@@ -1,0 +1,79 @@
+//! The knowledge entry record.
+
+use serde::{Deserialize, Serialize};
+
+/// One memorised piece of knowledge, with full provenance.
+///
+/// Provenance matters: §4.2 of the paper "carefully monitor\[s\] how Bob
+/// draws conclusions … to verify the sources of the knowledge"; the
+/// evaluation harness replays that audit over these fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeEntry {
+    /// Stable id within the store.
+    pub id: u64,
+    /// The query or goal that led to this knowledge.
+    pub topic: String,
+    /// The memorised text (usually a fetched page).
+    pub content: String,
+    /// Where it came from.
+    pub source_url: String,
+    /// Source category ("encyclopedia", "news", "forum", …).
+    pub source_kind: String,
+    /// Virtual time (µs) at memorisation.
+    pub learned_at: u64,
+    /// Importance in [0, 1], set by the memoriser (e.g. rank in search
+    /// results).
+    pub importance: f64,
+    /// Cached embedding of `content`.
+    #[serde(default)]
+    pub embedding: Vec<f32>,
+}
+
+impl KnowledgeEntry {
+    /// Approximate size in bytes for capacity accounting.
+    pub fn byte_size(&self) -> usize {
+        self.content.len() + self.topic.len() + self.source_url.len() + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> KnowledgeEntry {
+        KnowledgeEntry {
+            id: 1,
+            topic: "solar superstorms".into(),
+            content: "CMEs drive geomagnetic storms.".into(),
+            source_url: "sim://encyclopedia.test/wiki/coronal-mass-ejection".into(),
+            source_kind: "encyclopedia".into(),
+            learned_at: 123,
+            importance: 0.8,
+            embedding: vec![0.0; 4],
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = entry();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: KnowledgeEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn embedding_defaults_when_absent() {
+        let json = r#"{"id":2,"topic":"t","content":"c","source_url":"u","source_kind":"news",
+                       "learned_at":5,"importance":0.5}"#;
+        let e: KnowledgeEntry = serde_json::from_str(json).unwrap();
+        assert!(e.embedding.is_empty());
+    }
+
+    #[test]
+    fn byte_size_scales_with_content() {
+        let mut e = entry();
+        let small = e.byte_size();
+        e.content.push_str(&"x".repeat(1000));
+        assert!(e.byte_size() >= small + 1000);
+    }
+}

@@ -1,0 +1,24 @@
+//! # ira-agentmem
+//!
+//! The agent's long-term knowledge memory — the `knowledge.json` file of
+//! the HotNets '23 architecture (§3, component 3). Retrieved web content
+//! is stored as scored, embedded entries; when the agent reasons, the
+//! most relevant entries are loaded into the model's prompt.
+//!
+//! * [`mod@embed`] — feature-hashed bag-of-words embeddings with cosine
+//!   similarity (a deterministic, dependency-free stand-in for a
+//!   sentence-embedding model).
+//! * [`entry`] — the knowledge entry record, with provenance (source
+//!   URL and kind) so the evaluation can audit where conclusions came
+//!   from, as §4.2 of the paper does.
+//! * [`store`] — the store: deduplication, generative-agents-style
+//!   retrieval scoring (relevance + recency + importance), capacity
+//!   eviction, and `knowledge.json` (de)serialization.
+
+pub mod embed;
+pub mod entry;
+pub mod store;
+
+pub use embed::{cosine, embed, EMBED_DIM};
+pub use entry::KnowledgeEntry;
+pub use store::{KnowledgeStore, RetrievalWeights, StoreConfig};

@@ -1,0 +1,499 @@
+//! The knowledge store: dedup, scored retrieval, eviction, and
+//! `knowledge.json` persistence.
+
+use crate::embed::{cosine, embed};
+use crate::entry::KnowledgeEntry;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use thiserror::Error;
+
+/// Weights of the three retrieval components, following the
+/// generative-agents formulation the paper builds on: relevance to the
+/// query, recency of acquisition, and intrinsic importance.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RetrievalWeights {
+    pub relevance: f64,
+    pub recency: f64,
+    pub importance: f64,
+    /// Recency half-life in virtual seconds.
+    pub half_life_secs: f64,
+    /// Redundancy penalty (MMR-style): each candidate's score is
+    /// reduced by `diversity × max cosine similarity to the entries
+    /// already selected`, so a prompt full of near-identical cable
+    /// pages makes room for the general-principle page that actually
+    /// completes the answer.
+    #[serde(default = "default_diversity")]
+    pub diversity: f64,
+}
+
+fn default_diversity() -> f64 {
+    0.25
+}
+
+impl Default for RetrievalWeights {
+    fn default() -> Self {
+        RetrievalWeights {
+            relevance: 1.0,
+            recency: 0.1,
+            importance: 0.1,
+            half_life_secs: 3600.0,
+            diversity: default_diversity(),
+        }
+    }
+}
+
+impl RetrievalWeights {
+    /// Relevance-only scoring (the ablation baseline).
+    pub fn relevance_only() -> Self {
+        RetrievalWeights {
+            relevance: 1.0,
+            recency: 0.0,
+            importance: 0.0,
+            half_life_secs: 3600.0,
+            diversity: 0.0,
+        }
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Maximum number of entries before eviction.
+    pub capacity: usize,
+    /// Cosine similarity above which a new entry is considered a
+    /// duplicate and dropped.
+    pub dedup_threshold: f32,
+    pub weights: RetrievalWeights,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            capacity: 2_000,
+            dedup_threshold: 0.98,
+            weights: RetrievalWeights::default(),
+        }
+    }
+}
+
+/// Persistence / IO failures.
+#[derive(Debug, Error)]
+pub enum StoreError {
+    #[error("io error: {0}")]
+    Io(#[from] std::io::Error),
+    #[error("corrupt knowledge file: {0}")]
+    Corrupt(#[from] serde_json::Error),
+}
+
+/// Serialized form of the store (the `knowledge.json` contents).
+#[derive(Debug, Serialize, Deserialize)]
+struct StoreFile {
+    config: StoreConfig,
+    next_id: u64,
+    entries: Vec<KnowledgeEntry>,
+}
+
+/// The agent's knowledge memory. Thread-safe: retrieval fan-out reads
+/// concurrently while the memoriser writes.
+pub struct KnowledgeStore {
+    inner: RwLock<Inner>,
+    config: StoreConfig,
+}
+
+struct Inner {
+    entries: Vec<KnowledgeEntry>,
+    next_id: u64,
+}
+
+impl KnowledgeStore {
+    pub fn new(config: StoreConfig) -> Self {
+        KnowledgeStore {
+            inner: RwLock::new(Inner { entries: Vec::new(), next_id: 0 }),
+            config,
+        }
+    }
+
+    pub fn with_defaults() -> Self {
+        KnowledgeStore::new(StoreConfig::default())
+    }
+
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memorise a piece of content. Returns the new entry id, or `None`
+    /// if it was dropped as a near-duplicate.
+    pub fn memorize(
+        &self,
+        topic: &str,
+        content: &str,
+        source_url: &str,
+        source_kind: &str,
+        learned_at: u64,
+        importance: f64,
+    ) -> Option<u64> {
+        let embedding = embed(content);
+        let mut inner = self.inner.write();
+
+        let duplicate = inner
+            .entries
+            .iter()
+            .any(|e| cosine(&e.embedding, &embedding) >= self.config.dedup_threshold);
+        if duplicate {
+            return None;
+        }
+
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.entries.push(KnowledgeEntry {
+            id,
+            topic: topic.to_string(),
+            content: content.to_string(),
+            source_url: source_url.to_string(),
+            source_kind: source_kind.to_string(),
+            learned_at,
+            importance: importance.clamp(0.0, 1.0),
+            embedding,
+        });
+
+        if inner.entries.len() > self.config.capacity {
+            // Evict the entry with the lowest standing value
+            // (importance + recency), never the one just added.
+            let newest = inner.entries.len() - 1;
+            let now = learned_at;
+            let weights = self.config.weights;
+            let victim = inner
+                .entries
+                .iter()
+                .enumerate()
+                .take(newest)
+                .min_by(|(_, a), (_, b)| {
+                    standing(a, now, &weights).total_cmp(&standing(b, now, &weights))
+                })
+                .map(|(i, _)| i);
+            if let Some(i) = victim {
+                inner.entries.remove(i);
+            }
+        }
+
+        Some(id)
+    }
+
+    /// Retrieve the top-`k` entries for a query at virtual time `now`,
+    /// greedily maximising marginal relevance: at each step the
+    /// highest-scoring remaining entry is chosen after subtracting the
+    /// diversity penalty against what is already selected.
+    pub fn retrieve(&self, query: &str, k: usize, now: u64) -> Vec<KnowledgeEntry> {
+        let q = embed(query);
+        let inner = self.inner.read();
+        let mut candidates: Vec<(f64, &KnowledgeEntry)> = inner
+            .entries
+            .iter()
+            .map(|e| (self.score(e, &q, now), e))
+            .collect();
+        // Deterministic base order: score desc, id asc.
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id.cmp(&b.1.id)));
+
+        let diversity = self.config.weights.diversity;
+        if diversity <= 0.0 {
+            return candidates.into_iter().take(k).map(|(_, e)| e.clone()).collect();
+        }
+
+        let mut selected: Vec<KnowledgeEntry> = Vec::with_capacity(k.min(candidates.len()));
+        while selected.len() < k && !candidates.is_empty() {
+            let best = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, (score, e))| {
+                    let max_sim = selected
+                        .iter()
+                        .map(|s| cosine(&s.embedding, &e.embedding) as f64)
+                        .fold(0.0f64, f64::max);
+                    (i, score - diversity * max_sim)
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            match best {
+                Some((i, _)) => {
+                    let (_, e) = candidates.remove(i);
+                    selected.push(e.clone());
+                }
+                None => break,
+            }
+        }
+        selected
+    }
+
+    /// The retrieval score of an entry for a query embedding.
+    fn score(&self, e: &KnowledgeEntry, query: &[f32], now: u64) -> f64 {
+        let w = &self.config.weights;
+        let relevance = cosine(&e.embedding, query) as f64;
+        let age_secs = now.saturating_sub(e.learned_at) as f64 / 1e6;
+        let recency = 0.5f64.powf(age_secs / w.half_life_secs);
+        w.relevance * relevance + w.recency * recency + w.importance * e.importance
+    }
+
+    /// Retrieve just the content strings (prompt-ready), top-`k`,
+    /// ordered least-relevant-first so the most relevant text sits
+    /// closest to the question in the prompt (and survives context
+    /// truncation longest).
+    pub fn retrieve_texts(&self, query: &str, k: usize, now: u64) -> Vec<String> {
+        let mut entries = self.retrieve(query, k, now);
+        entries.reverse();
+        entries.into_iter().map(|e| e.content).collect()
+    }
+
+    /// Whether any entry was memorised from this exact URL.
+    pub fn has_url(&self, url: &str) -> bool {
+        self.inner.read().entries.iter().any(|e| e.source_url == url)
+    }
+
+    /// Every entry, in insertion order (for audits and persistence).
+    pub fn entries(&self) -> Vec<KnowledgeEntry> {
+        self.inner.read().entries.clone()
+    }
+
+    /// Distinct (topic, count) pairs — what the agent has studied.
+    pub fn topic_histogram(&self) -> Vec<(String, usize)> {
+        use std::collections::BTreeMap;
+        let inner = self.inner.read();
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for e in &inner.entries {
+            *counts.entry(e.topic.clone()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Distinct (source_kind, count) pairs — the provenance audit.
+    pub fn source_histogram(&self) -> Vec<(String, usize)> {
+        use std::collections::BTreeMap;
+        let inner = self.inner.read();
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for e in &inner.entries {
+            *counts.entry(e.source_kind.clone()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Serialize to the `knowledge.json` format.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.read();
+        let file = StoreFile {
+            config: self.config,
+            next_id: inner.next_id,
+            entries: inner.entries.clone(),
+        };
+        serde_json::to_string_pretty(&file).expect("store serializes")
+    }
+
+    /// Load from the `knowledge.json` format. Entries missing an
+    /// embedding are re-embedded.
+    pub fn from_json(json: &str) -> Result<Self, StoreError> {
+        let mut file: StoreFile = serde_json::from_str(json)?;
+        for e in &mut file.entries {
+            if e.embedding.is_empty() {
+                e.embedding = embed(&e.content);
+            }
+        }
+        Ok(KnowledgeStore {
+            inner: RwLock::new(Inner { entries: file.entries, next_id: file.next_id }),
+            config: file.config,
+        })
+    }
+
+    /// Write `knowledge.json` to disk.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Read `knowledge.json` from disk.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let json = std::fs::read_to_string(path)?;
+        KnowledgeStore::from_json(&json)
+    }
+}
+
+fn standing(e: &KnowledgeEntry, now: u64, w: &RetrievalWeights) -> f64 {
+    let age_secs = now.saturating_sub(e.learned_at) as f64 / 1e6;
+    let recency = 0.5f64.powf(age_secs / w.half_life_secs);
+    e.importance + recency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KnowledgeStore {
+        KnowledgeStore::with_defaults()
+    }
+
+    fn mem(s: &KnowledgeStore, topic: &str, content: &str, t: u64) -> Option<u64> {
+        s.memorize(topic, content, "sim://x.test/p", "news", t, 0.5)
+    }
+
+    #[test]
+    fn memorize_and_retrieve_by_relevance() {
+        let s = store();
+        mem(&s, "cables", "The EllaLink submarine cable connects Brazil to Portugal.", 1);
+        mem(&s, "cooking", "Salt the pasta water until it tastes like the sea.", 2);
+        mem(&s, "storms", "Geomagnetically induced currents grow stronger at high latitude.", 3);
+        let hits = s.retrieve("submarine cable Brazil", 1, 10);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].content.contains("EllaLink"));
+    }
+
+    #[test]
+    fn near_duplicates_are_dropped() {
+        let s = store();
+        assert!(mem(&s, "a", "The EllaLink submarine cable connects Brazil to Portugal.", 1).is_some());
+        assert!(mem(&s, "b", "The EllaLink submarine cable connects Brazil to Portugal.", 2).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn distinct_content_is_kept() {
+        let s = store();
+        assert!(mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1).is_some());
+        assert!(mem(&s, "b", "The Grace Hopper cable connects New York to Bude.", 2).is_some());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn recency_breaks_relevance_ties() {
+        let mut config = StoreConfig::default();
+        config.weights = RetrievalWeights {
+            relevance: 1.0,
+            recency: 0.5,
+            importance: 0.0,
+            half_life_secs: 1.0,
+            diversity: 0.0,
+        };
+        let s = KnowledgeStore::new(config);
+        // Two entries with disjoint-but-equal relevance to the query.
+        s.memorize("t", "alpha fact about cables", "u1", "news", 0, 0.5);
+        s.memorize("t", "alpha fact about cables too", "u2", "news", 10_000_000, 0.5);
+        let hits = s.retrieve("alpha fact cables", 2, 10_000_000);
+        assert_eq!(hits[0].source_url, "u2", "newer entry should rank first");
+    }
+
+    #[test]
+    fn importance_lifts_ranking() {
+        let mut config = StoreConfig::default();
+        config.weights = RetrievalWeights {
+            relevance: 1.0,
+            recency: 0.0,
+            importance: 1.0,
+            half_life_secs: 3600.0,
+            diversity: 0.0,
+        };
+        let s = KnowledgeStore::new(config);
+        s.memorize("t", "beta fact about storms", "low", "news", 0, 0.0);
+        s.memorize("t", "beta fact about storms also", "high", "news", 0, 1.0);
+        let hits = s.retrieve("beta fact storms", 2, 0);
+        assert_eq!(hits[0].source_url, "high");
+    }
+
+    #[test]
+    fn capacity_eviction_keeps_newest() {
+        let config = StoreConfig { capacity: 5, ..StoreConfig::default() };
+        let s = KnowledgeStore::new(config);
+        for i in 0..10u64 {
+            s.memorize(
+                "t",
+                &format!("unique fact number{i:02} about topic{i:02} entry{i:02}"),
+                &format!("u{i}"),
+                "news",
+                i * 1_000_000,
+                0.1,
+            );
+        }
+        assert_eq!(s.len(), 5);
+        let entries = s.entries();
+        assert!(
+            entries.iter().any(|e| e.source_url == "u9"),
+            "newest entry must survive eviction"
+        );
+    }
+
+    #[test]
+    fn has_url_tracks_sources() {
+        let s = store();
+        assert!(!s.has_url("sim://x.test/p"));
+        mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1);
+        assert!(s.has_url("sim://x.test/p"));
+        assert!(!s.has_url("sim://x.test/other"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_entries() {
+        let s = store();
+        mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1);
+        mem(&s, "b", "Geomagnetic storms threaten power grids.", 2);
+        let json = s.to_json();
+        let back = KnowledgeStore::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.entries()[0].content, s.entries()[0].content);
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("ira-agentmem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.json");
+        let s = store();
+        mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1);
+        s.save(&path).unwrap();
+        let back = KnowledgeStore::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error_not_a_panic() {
+        assert!(matches!(
+            KnowledgeStore::from_json("{not json"),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn retrieve_texts_orders_most_relevant_last() {
+        let s = store();
+        mem(&s, "a", "The EllaLink submarine cable connects Brazil to Portugal.", 1);
+        mem(&s, "b", "Completely unrelated gardening trivia about roses.", 2);
+        let texts = s.retrieve_texts("submarine cable Brazil", 2, 10);
+        assert_eq!(texts.len(), 2);
+        assert!(texts[1].contains("EllaLink"), "most relevant should be last");
+    }
+
+    #[test]
+    fn topic_histogram_counts_study_areas() {
+        let s = store();
+        s.memorize("cables", "fact one about cables", "u1", "news", 0, 0.5);
+        s.memorize("cables", "fact two about routes", "u2", "news", 0, 0.5);
+        s.memorize("storms", "fact three about storms", "u3", "news", 0, 0.5);
+        let hist = s.topic_histogram();
+        assert!(hist.contains(&("cables".to_string(), 2)));
+        assert!(hist.contains(&("storms".to_string(), 1)));
+    }
+
+    #[test]
+    fn source_histogram_counts_kinds() {
+        let s = store();
+        s.memorize("t", "fact one about cables", "u1", "news", 0, 0.5);
+        s.memorize("t", "fact two about storms", "u2", "encyclopedia", 0, 0.5);
+        s.memorize("t", "fact three about grids", "u3", "news", 0, 0.5);
+        let hist = s.source_histogram();
+        assert!(hist.contains(&("news".to_string(), 2)));
+        assert!(hist.contains(&("encyclopedia".to_string(), 1)));
+    }
+}

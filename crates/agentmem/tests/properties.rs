@@ -1,0 +1,113 @@
+//! Property-based tests for embeddings and the knowledge store.
+
+use ira_agentmem::{cosine, embed, KnowledgeStore, StoreConfig, EMBED_DIM};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn embeddings_are_unit_or_zero(s in "\\PC{0,300}") {
+        let v = embed(&s);
+        prop_assert_eq!(v.len(), EMBED_DIM);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm.abs() < 1e-4 || (norm - 1.0).abs() < 1e-4, "norm {norm}");
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in "\\PC{0,200}", b in "\\PC{0,200}") {
+        let va = embed(&a);
+        let vb = embed(&b);
+        let c = cosine(&va, &vb);
+        prop_assert!((-1.0001..=1.0001).contains(&c));
+        prop_assert!((c - cosine(&vb, &va)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_similarity_is_maximal(a in "[a-z ]{5,100}", b in "[a-z ]{5,100}") {
+        let va = embed(&a);
+        prop_assume!(va.iter().any(|&x| x != 0.0));
+        let vb = embed(&b);
+        prop_assert!(cosine(&va, &va) >= cosine(&va, &vb) - 1e-5);
+    }
+
+    #[test]
+    fn store_never_exceeds_capacity(
+        capacity in 1usize..20,
+        n_inserts in 0usize..50,
+    ) {
+        let store = KnowledgeStore::new(StoreConfig { capacity, ..StoreConfig::default() });
+        for i in 0..n_inserts {
+            store.memorize(
+                "topic",
+                &format!("wholly distinct content item{i:03} about subject{i:03}"),
+                &format!("sim://s.test/{i}"),
+                "news",
+                i as u64,
+                0.5,
+            );
+        }
+        prop_assert!(store.len() <= capacity);
+    }
+
+    #[test]
+    fn memorizing_identical_content_is_idempotent(
+        content in "[a-z ]{20,120}",
+        repeats in 1usize..6,
+    ) {
+        let store = KnowledgeStore::with_defaults();
+        prop_assume!(embed(&content).iter().any(|&x| x != 0.0));
+        for i in 0..repeats {
+            store.memorize("t", &content, &format!("u{i}"), "news", i as u64, 0.5);
+        }
+        prop_assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn retrieve_respects_k_and_is_deterministic(
+        k in 0usize..15,
+        n in 0usize..12,
+        query in "[a-z ]{3,40}",
+    ) {
+        let store = KnowledgeStore::with_defaults();
+        for i in 0..n {
+            store.memorize(
+                "t",
+                &format!("entry number{i:02} about theme{i:02} and cables"),
+                &format!("u{i}"),
+                "news",
+                i as u64,
+                0.5,
+            );
+        }
+        let a = store.retrieve(&query, k, 1_000);
+        let b = store.retrieve(&query, k, 1_000);
+        prop_assert!(a.len() <= k.min(store.len()));
+        prop_assert_eq!(
+            a.iter().map(|e| e.id).collect::<Vec<_>>(),
+            b.iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything(n in 0usize..10) {
+        let store = KnowledgeStore::with_defaults();
+        for i in 0..n {
+            store.memorize(
+                "topic",
+                &format!("fact number{i:02} about region{i:02}"),
+                &format!("sim://src.test/{i}"),
+                "blog",
+                i as u64 * 7,
+                (i as f64 / 10.0).min(1.0),
+            );
+        }
+        let restored = KnowledgeStore::from_json(&store.to_json()).unwrap();
+        prop_assert_eq!(restored.len(), store.len());
+        let a = store.entries();
+        let b = restored.entries();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.content, &y.content);
+            prop_assert_eq!(&x.source_url, &y.source_url);
+            prop_assert_eq!(x.learned_at, y.learned_at);
+        }
+    }
+}

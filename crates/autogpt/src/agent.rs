@@ -1,0 +1,521 @@
+//! The executor: drives goals and single queries through the command
+//! loop against the simulated web, memorising what it reads.
+//!
+//! Flow for a goal (mirroring the paper's §3.2 snippets):
+//!
+//! 1. Ask the model for an action plan (`PLAN:` with search steps).
+//! 2. For each search step, issue `google`; if a step returns too few
+//!    results, invoke chain-of-thought decomposition and retry with the
+//!    sub-queries.
+//! 3. `browse_website` the top results; `memorize` each fetched page
+//!    into the knowledge store with importance decaying down the
+//!    ranking.
+//!
+//! Every command respects the [`Budget`] and is recorded in the
+//! [`EventLog`].
+
+use crate::budget::Budget;
+use crate::command::{Command, CommandOutcome};
+use crate::cycle::AgentCycle;
+use crate::events::{EventKind, EventLog};
+use ira_agentmem::KnowledgeStore;
+use ira_simllm::plangen::StepAction;
+use ira_simllm::Llm;
+use ira_simnet::{Client, Url};
+use ira_webcorpus::sites::{SearchResultPage, SEARCH_HOST};
+use serde::{Deserialize, Serialize};
+
+/// Loop configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoGptConfig {
+    /// Results requested per search.
+    pub results_per_search: usize,
+    /// Of those, how many to actually fetch and memorise.
+    pub fetches_per_search: usize,
+    /// Below this many results, decompose the query (CoT) and retry.
+    pub cot_threshold: usize,
+    /// Crawler extension (§5 "Limitations of Auto-GPT"): follow up to
+    /// this many "Related:" links per fetched page, one level deep.
+    /// 0 disables crawling (the paper's baseline behaviour).
+    pub crawl_links: usize,
+}
+
+impl Default for AutoGptConfig {
+    fn default() -> Self {
+        AutoGptConfig {
+            results_per_search: 8,
+            fetches_per_search: 3,
+            cot_threshold: 1,
+            crawl_links: 0,
+        }
+    }
+}
+
+/// Summary of one goal run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GoalReport {
+    pub goal: String,
+    pub cycles: u32,
+    pub searches: u32,
+    pub fetches: u32,
+    pub memorized: u32,
+    pub duplicates: u32,
+    pub errors: u32,
+    /// Virtual time consumed, microseconds.
+    pub elapsed_us: u64,
+}
+
+/// The autonomous agent loop.
+pub struct AutoGpt<'a> {
+    client: &'a Client,
+    llm: &'a Llm,
+    memory: &'a KnowledgeStore,
+    config: AutoGptConfig,
+    budget: Budget,
+    log: EventLog,
+    cycles: Vec<AgentCycle>,
+}
+
+impl<'a> AutoGpt<'a> {
+    pub fn new(
+        client: &'a Client,
+        llm: &'a Llm,
+        memory: &'a KnowledgeStore,
+        config: AutoGptConfig,
+        budget: Budget,
+    ) -> Self {
+        AutoGpt {
+            client,
+            llm,
+            memory,
+            config,
+            budget,
+            log: EventLog::new(),
+            cycles: Vec::new(),
+        }
+    }
+
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The full THOUGHTS/PLAN/COMMAND transcript.
+    pub fn transcript(&self) -> &[AgentCycle] {
+        &self.cycles
+    }
+
+    fn now_us(&self) -> u64 {
+        self.client.network().clock().now().as_micros()
+    }
+
+    /// Pursue a goal end to end. Budget exhaustion ends the run early
+    /// but is not an error: the report says how far it got.
+    pub fn run_goal(&mut self, goal: &str) -> GoalReport {
+        let started = self.now_us();
+        let mut report = GoalReport { goal: goal.to_string(), ..GoalReport::default() };
+
+        let plan = self.llm.plan_goal(goal);
+        let plan_lines: Vec<String> = plan.steps.iter().map(|s| s.description.clone()).collect();
+
+        for step in &plan.steps {
+            let StepAction::Search { query } = &step.action else {
+                continue; // analysis/memorize steps are folded into search handling
+            };
+            if self.budget.take_cycle().is_err() {
+                break;
+            }
+            report.cycles += 1;
+            self.log.record(self.now_us(), EventKind::CycleStart, step.description.clone());
+            self.cycles.push(
+                AgentCycle::new(plan.thoughts.clone(), Command::Google { query: query.clone() })
+                    .with_plan(plan_lines.clone())
+                    .with_reasoning(format!("Goal: {goal}")),
+            );
+            self.search_and_absorb(goal, query, &mut report);
+        }
+
+        self.log.record(self.now_us(), EventKind::GoalComplete, goal.to_string());
+        self.cycles.push(AgentCycle::new(
+            format!("I have gathered the available information for: {goal}"),
+            Command::TaskComplete { reason: "plan executed".into() },
+        ));
+        report.elapsed_us = self.now_us().saturating_sub(started);
+        report
+    }
+
+    /// Pursue a single query (the self-learning path: one proposed
+    /// search, absorb the results).
+    pub fn pursue_query(&mut self, topic: &str, query: &str) -> GoalReport {
+        let started = self.now_us();
+        let mut report = GoalReport { goal: topic.to_string(), ..GoalReport::default() };
+        if self.budget.take_cycle().is_ok() {
+            report.cycles += 1;
+            self.cycles.push(AgentCycle::new(
+                format!("To better answer questions about {topic}, I will search for: {query}"),
+                Command::Google { query: query.to_string() },
+            ));
+            self.search_and_absorb(topic, query, &mut report);
+        }
+        report.elapsed_us = self.now_us().saturating_sub(started);
+        report
+    }
+
+    /// Execute one search; on thin results, decompose and retry the
+    /// sub-queries; fetch and memorise the top hits.
+    fn search_and_absorb(&mut self, topic: &str, query: &str, report: &mut GoalReport) {
+        let results = self.google(query, report);
+        let results = if results.len() <= self.config.cot_threshold {
+            // Chain-of-thought: break the step into subplans.
+            let mut all = results;
+            for sub in self.llm.decompose(query) {
+                if sub == query {
+                    continue;
+                }
+                all.extend(self.google(&sub, report));
+            }
+            all
+        } else {
+            results
+        };
+
+        let mut fetched = 0usize;
+        for (rank, hit) in results.iter().enumerate() {
+            if fetched >= self.config.fetches_per_search {
+                break;
+            }
+            // Never spend a fetch slot re-reading a memorised page: a
+            // repeated query pages deeper into the ranking instead.
+            if self.memory.has_url(&hit.url) {
+                continue;
+            }
+            if self.budget.take_fetch().is_err() {
+                return;
+            }
+            match self.browse(&hit.url) {
+                Ok(page) => {
+                    fetched += 1;
+                    report.fetches += 1;
+                    self.log.record(self.now_us(), EventKind::Fetch, hit.url.clone());
+                    let importance = 1.0 / (1.0 + rank as f64);
+                    self.absorb_page(topic, &hit.url, &page, importance, report);
+                    // Crawler extension: follow related links one level.
+                    for link in related_links(&page).into_iter().take(self.config.crawl_links) {
+                        if self.memory.has_url(&link) {
+                            continue;
+                        }
+                        if self.budget.take_fetch().is_err() {
+                            return;
+                        }
+                        match self.browse(&link) {
+                            Ok(linked_page) => {
+                                report.fetches += 1;
+                                self.log.record(self.now_us(), EventKind::Fetch, link.clone());
+                                self.absorb_page(
+                                    topic,
+                                    &link,
+                                    &linked_page,
+                                    importance * 0.5,
+                                    report,
+                                );
+                            }
+                            Err(err) => {
+                                report.errors += 1;
+                                self.log.record(self.now_us(), EventKind::Error, err);
+                            }
+                        }
+                    }
+                }
+                Err(err) => {
+                    report.errors += 1;
+                    self.log.record(self.now_us(), EventKind::Error, err);
+                }
+            }
+        }
+    }
+
+    /// Issue one `google` command.
+    fn google(&mut self, query: &str, report: &mut GoalReport) -> Vec<SearchHitLite> {
+        if self.budget.take_search().is_err() {
+            return Vec::new();
+        }
+        report.searches += 1;
+        let url = Url::build(
+            SEARCH_HOST,
+            "/q",
+            &[("query", query), ("k", &self.config.results_per_search.to_string())],
+        );
+        match self.client.get_text(&url.to_string()) {
+            Ok(body) => match serde_json::from_str::<SearchResultPage>(&body) {
+                Ok(page) => {
+                    self.log.record(
+                        self.now_us(),
+                        EventKind::Search,
+                        format!("{query} -> {} results", page.results.len()),
+                    );
+                    page.results
+                        .into_iter()
+                        .map(|r| SearchHitLite { url: r.url })
+                        .collect()
+                }
+                Err(err) => {
+                    report.errors += 1;
+                    self.log.record(self.now_us(), EventKind::Error, err.to_string());
+                    Vec::new()
+                }
+            },
+            Err(err) => {
+                report.errors += 1;
+                self.log.record(self.now_us(), EventKind::Error, err.to_string());
+                Vec::new()
+            }
+        }
+    }
+
+    fn browse(&self, url: &str) -> Result<String, String> {
+        self.client.get_text(url).map_err(|e| e.to_string())
+    }
+
+    /// Memorise one fetched page and log the outcome.
+    fn absorb_page(
+        &mut self,
+        topic: &str,
+        url: &str,
+        page: &str,
+        importance: f64,
+        report: &mut GoalReport,
+    ) {
+        let kind = source_kind_of(url);
+        let stored = self
+            .memory
+            .memorize(topic, page, url, kind, self.now_us(), importance)
+            .is_some();
+        if stored {
+            report.memorized += 1;
+            self.log.record(self.now_us(), EventKind::Memorize, url.to_string());
+        } else {
+            report.duplicates += 1;
+            self.log
+                .record(self.now_us(), EventKind::DuplicateDropped, url.to_string());
+        }
+        self.cycles.push(AgentCycle::new(
+            format!("Saving what I learned from {url}"),
+            Command::Memorize { topic: topic.to_string(), url: url.to_string() },
+        ));
+    }
+
+    /// Outcome classification helper for external drivers.
+    pub fn classify_outcome(report: &GoalReport) -> CommandOutcome {
+        if report.errors > 0 && report.memorized == 0 {
+            CommandOutcome::Failed { error: format!("{} errors, nothing learned", report.errors) }
+        } else {
+            CommandOutcome::Memorized { stored: report.memorized > 0 }
+        }
+    }
+}
+
+/// Minimal search-hit view used internally.
+#[derive(Debug, Clone)]
+struct SearchHitLite {
+    url: String,
+}
+
+/// Extract the "Related: <url>" trailer links from a fetched page.
+fn related_links(page: &str) -> Vec<String> {
+    page.lines()
+        .filter_map(|l| l.strip_prefix("Related: "))
+        .map(|l| l.trim().to_string())
+        .filter(|l| l.starts_with("sim://"))
+        .collect()
+}
+
+/// Infer the source category from a result URL's host.
+fn source_kind_of(url: &str) -> &'static str {
+    match Url::parse(url).map(|u| u.host().to_string()).as_deref() {
+        Ok("encyclopedia.test") => "encyclopedia",
+        Ok("news.test") => "news",
+        Ok("blog.test") => "blog",
+        Ok("forum.test") => "forum",
+        Ok("micro.test") => "micropost",
+        Ok("papers.test") => "paper",
+        _ => "web",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ira_simnet::{Network, NetworkConfig};
+    use ira_webcorpus::{register_sites, Corpus, CorpusConfig};
+    use ira_worldmodel::World;
+    use std::sync::Arc;
+
+    fn setup() -> (Client, Llm, KnowledgeStore) {
+        let corpus = Arc::new(Corpus::generate(&World::standard(), CorpusConfig::default()));
+        let mut net = Network::new(NetworkConfig::default(), 42);
+        register_sites(&mut net, corpus);
+        (
+            Client::new(Arc::new(net)),
+            Llm::gpt4(7),
+            KnowledgeStore::with_defaults(),
+        )
+    }
+
+    #[test]
+    fn goal_run_learns_something() {
+        let (client, llm, memory) = setup();
+        let mut agent = AutoGpt::new(
+            &client,
+            &llm,
+            &memory,
+            AutoGptConfig::default(),
+            Budget::standard(),
+        );
+        let report = agent.run_goal(
+            "Understand solar superstorms and Coronal Mass Ejection, and principles of their \
+             formation and effects.",
+        );
+        assert!(report.searches >= 1, "report: {report:?}");
+        assert!(report.memorized >= 1, "report: {report:?}");
+        assert!(!memory.is_empty());
+        assert!(report.elapsed_us > 0, "virtual time must pass");
+        // Transcript shows Auto-GPT-style cycles.
+        assert!(agent.transcript().iter().any(|c| c.command.name() == "google"));
+        assert!(agent
+            .transcript()
+            .iter()
+            .any(|c| c.command.name() == "task_complete"));
+    }
+
+    #[test]
+    fn pursue_query_absorbs_cable_knowledge() {
+        let (client, llm, memory) = setup();
+        let mut agent = AutoGpt::new(
+            &client,
+            &llm,
+            &memory,
+            AutoGptConfig::default(),
+            Budget::standard(),
+        );
+        let report = agent.pursue_query(
+            "cable routes",
+            "specific route of the fiber optic submarine cable connecting brazil to europe",
+        );
+        assert!(report.memorized >= 1);
+        let texts = memory.retrieve_texts("brazil europe cable", 3, u64::MAX);
+        assert!(
+            texts.iter().any(|t| t.contains("EllaLink") || t.contains("Atlantis")),
+            "memory should hold the Brazil–Europe cable page"
+        );
+    }
+
+    #[test]
+    fn budget_zero_searches_learns_nothing() {
+        let (client, llm, memory) = setup();
+        let mut agent = AutoGpt::new(
+            &client,
+            &llm,
+            &memory,
+            AutoGptConfig::default(),
+            Budget::new(0, 10, 10),
+        );
+        let report = agent.pursue_query("anything", "solar storms");
+        assert_eq!(report.memorized, 0);
+        assert!(memory.is_empty());
+    }
+
+    #[test]
+    fn repeated_queries_page_deeper_instead_of_refetching() {
+        let (client, llm, memory) = setup();
+        let mut agent = AutoGpt::new(
+            &client,
+            &llm,
+            &memory,
+            AutoGptConfig::default(),
+            Budget::standard(),
+        );
+        let first = agent.pursue_query("t", "coronal mass ejection solar superstorm");
+        let before: Vec<String> = memory.entries().iter().map(|e| e.source_url.clone()).collect();
+        let second = agent.pursue_query("t", "coronal mass ejection solar superstorm");
+        assert!(first.memorized >= 1);
+        // The second pass must not spend fetches on pages already in
+        // memory: every new fetch lands on a previously unseen URL.
+        let after = memory.entries();
+        let new_urls: Vec<&str> = after
+            .iter()
+            .map(|e| e.source_url.as_str())
+            .filter(|u| !before.iter().any(|b| b == u))
+            .collect();
+        assert_eq!(
+            new_urls.len(),
+            second.fetches as usize,
+            "second pass fetched known URLs: {second:?}"
+        );
+    }
+
+    #[test]
+    fn event_log_records_the_run() {
+        let (client, llm, memory) = setup();
+        let mut agent = AutoGpt::new(
+            &client,
+            &llm,
+            &memory,
+            AutoGptConfig::default(),
+            Budget::standard(),
+        );
+        agent.pursue_query("t", "submarine cable repeater vulnerable component fiber");
+        assert!(agent.log().count(EventKind::Search) >= 1);
+        assert!(agent.log().count(EventKind::Fetch) >= 1);
+        assert!(agent.log().count(EventKind::Memorize) >= 1);
+    }
+
+    #[test]
+    fn related_links_parse_from_page_trailers() {
+        let page = "Title\n\nBody text.\nRelated: sim://a.test/x\nRelated: sim://b.test/y\nnot a link";
+        assert_eq!(
+            related_links(page),
+            vec!["sim://a.test/x".to_string(), "sim://b.test/y".to_string()]
+        );
+        assert!(related_links("no links here").is_empty());
+    }
+
+    #[test]
+    fn crawler_broadens_what_one_search_learns() {
+        let (client, llm, memory) = setup();
+        let mut no_crawl = AutoGpt::new(
+            &client,
+            &llm,
+            &memory,
+            AutoGptConfig { crawl_links: 0, ..AutoGptConfig::default() },
+            Budget::standard(),
+        );
+        let base = no_crawl.pursue_query("t", "coronal mass ejection solar superstorm");
+
+        let (client2, llm2, memory2) = setup();
+        let mut crawl = AutoGpt::new(
+            &client2,
+            &llm2,
+            &memory2,
+            AutoGptConfig { crawl_links: 2, ..AutoGptConfig::default() },
+            Budget::standard(),
+        );
+        let crawled = crawl.pursue_query("t", "coronal mass ejection solar superstorm");
+        assert!(
+            crawled.fetches > base.fetches,
+            "crawling must fetch more: {} vs {}",
+            crawled.fetches,
+            base.fetches
+        );
+        assert!(crawled.memorized >= base.memorized);
+    }
+
+    #[test]
+    fn source_kind_inference() {
+        assert_eq!(source_kind_of("sim://encyclopedia.test/wiki/x"), "encyclopedia");
+        assert_eq!(source_kind_of("sim://forum.test/thread/9"), "forum");
+        assert_eq!(source_kind_of("not a url"), "web");
+    }
+}

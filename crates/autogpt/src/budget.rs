@@ -1,0 +1,99 @@
+//! Hard resource limits for autonomous runs.
+//!
+//! An agent loop without budgets can spin forever on a broken site or a
+//! pathological goal; every counter here is a termination guarantee.
+
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+
+/// Raised when a run would exceed its budget.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+#[error("budget exhausted: {resource} limit {limit} reached")]
+pub struct BudgetExhausted {
+    pub resource: &'static str,
+    pub limit: u32,
+}
+
+/// Consumable resource limits.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Budget {
+    pub max_searches: u32,
+    pub max_fetches: u32,
+    pub max_cycles: u32,
+    searches: u32,
+    fetches: u32,
+    cycles: u32,
+}
+
+impl Budget {
+    pub fn new(max_searches: u32, max_fetches: u32, max_cycles: u32) -> Self {
+        Budget { max_searches, max_fetches, max_cycles, searches: 0, fetches: 0, cycles: 0 }
+    }
+
+    /// A comfortable default for a full training run.
+    pub fn standard() -> Self {
+        Budget::new(200, 600, 1_000)
+    }
+
+    pub fn take_search(&mut self) -> Result<(), BudgetExhausted> {
+        take(&mut self.searches, self.max_searches, "searches")
+    }
+
+    pub fn take_fetch(&mut self) -> Result<(), BudgetExhausted> {
+        take(&mut self.fetches, self.max_fetches, "fetches")
+    }
+
+    pub fn take_cycle(&mut self) -> Result<(), BudgetExhausted> {
+        take(&mut self.cycles, self.max_cycles, "cycles")
+    }
+
+    pub fn searches_used(&self) -> u32 {
+        self.searches
+    }
+
+    pub fn fetches_used(&self) -> u32 {
+        self.fetches
+    }
+
+    pub fn cycles_used(&self) -> u32 {
+        self.cycles
+    }
+}
+
+fn take(counter: &mut u32, limit: u32, resource: &'static str) -> Result<(), BudgetExhausted> {
+    if *counter >= limit {
+        return Err(BudgetExhausted { resource, limit });
+    }
+    *counter += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_up_to_the_limit() {
+        let mut b = Budget::new(2, 2, 2);
+        assert!(b.take_search().is_ok());
+        assert!(b.take_search().is_ok());
+        let err = b.take_search().unwrap_err();
+        assert_eq!(err.resource, "searches");
+        assert_eq!(b.searches_used(), 2);
+    }
+
+    #[test]
+    fn resources_are_independent() {
+        let mut b = Budget::new(1, 5, 5);
+        b.take_search().unwrap();
+        assert!(b.take_search().is_err());
+        assert!(b.take_fetch().is_ok());
+        assert!(b.take_cycle().is_ok());
+    }
+
+    #[test]
+    fn zero_budget_fails_immediately() {
+        let mut b = Budget::new(0, 0, 0);
+        assert!(b.take_cycle().is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Structured event log for autonomous runs.
+//!
+//! Every command execution and its outcome is recorded with the virtual
+//! timestamp, giving the experiments (E6 training cost, F1 stage
+//! timing) their raw data and making agent behaviour auditable.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of logged event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    CycleStart,
+    Search,
+    Fetch,
+    Memorize,
+    DuplicateDropped,
+    Error,
+    GoalComplete,
+}
+
+/// One log record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual time in microseconds.
+    pub at_us: u64,
+    pub kind: EventKind,
+    pub detail: String,
+}
+
+/// Append-only event log with counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    pub fn record(&mut self, at_us: u64, kind: EventKind, detail: impl Into<String>) {
+        self.events.push(Event { at_us, kind, detail: detail.into() });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Virtual time span covered by the log, microseconds.
+    pub fn span_us(&self) -> u64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => last.at_us.saturating_sub(first.at_us),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut log = EventLog::new();
+        log.record(10, EventKind::Search, "q=solar storms");
+        log.record(20, EventKind::Fetch, "sim://a.test/x");
+        log.record(30, EventKind::Fetch, "sim://a.test/y");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count(EventKind::Fetch), 2);
+        assert_eq!(log.count(EventKind::Error), 0);
+    }
+
+    #[test]
+    fn span_is_last_minus_first() {
+        let mut log = EventLog::new();
+        assert_eq!(log.span_us(), 0);
+        log.record(100, EventKind::CycleStart, "");
+        log.record(600, EventKind::GoalComplete, "");
+        assert_eq!(log.span_us(), 500);
+    }
+}

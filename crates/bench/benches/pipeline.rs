@@ -1,0 +1,32 @@
+//! End-to-end agent pipeline: training and one self-learning question.
+//! Sample counts are kept low — each iteration is a full agent run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ira_core::{Environment, ResearchAgent};
+
+const CABLE_Q: &str = "Which is more vulnerable to solar activity? The fiber optic cable that \
+                       connects Brazil to Europe or the one that connects the US to Europe?";
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_pipeline");
+    group.sample_size(10);
+    group.bench_function("train_bob", |b| {
+        b.iter(|| {
+            let env = Environment::standard();
+            let mut bob = ResearchAgent::bob(&env);
+            std::hint::black_box(bob.train())
+        })
+    });
+    group.bench_function("train_and_self_learn_cable_q", |b| {
+        b.iter(|| {
+            let env = Environment::standard();
+            let mut bob = ResearchAgent::bob(&env);
+            bob.train();
+            std::hint::black_box(bob.self_learn(CABLE_Q))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

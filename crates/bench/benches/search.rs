@@ -1,0 +1,43 @@
+//! BM25 search latency vs corpus size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ira_webcorpus::{Corpus, CorpusConfig};
+use ira_worldmodel::World;
+
+fn bench_search(c: &mut Criterion) {
+    let world = World::standard();
+    let mut group = c.benchmark_group("bm25_search");
+    for distractors in [150usize, 600, 2400] {
+        let corpus = Corpus::generate(
+            &world,
+            CorpusConfig { seed: 1, distractor_count: distractors },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(corpus.len()),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        corpus.search("fiber optic submarine cable brazil europe latitude", 10),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let world = World::standard();
+    c.bench_function("corpus_generate_and_index", |b| {
+        b.iter(|| {
+            std::hint::black_box(Corpus::generate(
+                &world,
+                CorpusConfig { seed: 1, distractor_count: 150 },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_search, bench_index_build);
+criterion_main!(benches);

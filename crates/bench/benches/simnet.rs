@@ -1,0 +1,48 @@
+//! Simulated-network request path: raw transmit and client with
+//! retries, plus URL parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ira_simnet::latency::LatencyModel;
+use ira_simnet::ratelimit::TokenBucket;
+use ira_simnet::server::{HostConfig, Request, Response};
+use ira_simnet::{Client, Network, NetworkConfig, Url};
+use std::sync::Arc;
+
+fn network() -> Arc<Network> {
+    let mut net = Network::new(NetworkConfig::default(), 42);
+    net.register_with(
+        "bench.test",
+        Arc::new(|_req: &Request| Response::ok("body of a benchmark page")),
+        HostConfig {
+            latency: LatencyModel { loss: 0.001, ..LatencyModel::fast() },
+            rate_limit: TokenBucket::unlimited(),
+        },
+    );
+    Arc::new(net)
+}
+
+fn bench_url_parse(c: &mut Criterion) {
+    c.bench_function("url_parse", |b| {
+        b.iter(|| {
+            std::hint::black_box(Url::parse("sim://search.test/q?query=solar+storm+cable&k=10"))
+        })
+    });
+}
+
+fn bench_transmit(c: &mut Criterion) {
+    let net = network();
+    let req = Request::get(Url::parse("sim://bench.test/page").unwrap());
+    c.bench_function("network_transmit", |b| {
+        b.iter(|| std::hint::black_box(net.transmit(&req)))
+    });
+}
+
+fn bench_client_get(c: &mut Criterion) {
+    let client = Client::new(network());
+    c.bench_function("client_get_with_retries", |b| {
+        b.iter(|| std::hint::black_box(client.get("sim://bench.test/page")))
+    });
+}
+
+criterion_group!(benches, bench_url_parse, bench_transmit, bench_client_get);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! World-model computations: geomagnetic latitude, cable failure
+//! probability, conclusion derivation, and the Monte Carlo
+//! connectivity report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ira_worldmodel::geo::GeoPoint;
+use ira_worldmodel::geomag::geomagnetic_latitude;
+use ira_worldmodel::storm::StormScenario;
+use ira_worldmodel::World;
+
+fn bench_geomag(c: &mut Criterion) {
+    let p = GeoPoint::new(40.71, -74.01);
+    c.bench_function("geomagnetic_latitude", |b| {
+        b.iter(|| std::hint::black_box(geomagnetic_latitude(&p)))
+    });
+}
+
+fn bench_cable_failure(c: &mut Criterion) {
+    let world = World::standard();
+    let cable = world.cables.find("Grace Hopper").unwrap().clone();
+    let storm = StormScenario::carrington_1859();
+    c.bench_function("cable_failure_prob", |b| {
+        b.iter(|| std::hint::black_box(world.storm_model.cable_failure_prob(&cable, &storm)))
+    });
+}
+
+fn bench_conclusions(c: &mut Criterion) {
+    let world = World::standard();
+    c.bench_function("derive_conclusions", |b| {
+        b.iter(|| std::hint::black_box(world.conclusions()))
+    });
+}
+
+fn bench_storm_report(c: &mut Criterion) {
+    let world = World::standard();
+    let storm = StormScenario::carrington_1859();
+    c.bench_function("storm_report_100_trials", |b| {
+        b.iter(|| {
+            std::hint::black_box(world.graph.storm_report(
+                &world.cables,
+                &world.storm_model,
+                &storm,
+                100,
+                7,
+            ))
+        })
+    });
+}
+
+fn bench_bgp_reachability(c: &mut Criterion) {
+    use ira_worldmodel::bgp::RoutingSystem;
+    let sys = RoutingSystem::standard();
+    c.bench_function("bgp_availability_sweep", |b| {
+        b.iter(|| std::hint::black_box(sys.availability("facebook.com")))
+    });
+}
+
+fn bench_policy_evaluation(c: &mut Criterion) {
+    use ira_worldmodel::forecast::{evaluate_policy, CostModel, ForecastModel, ShutdownPolicy};
+    use rand::SeedableRng;
+    let world = World::standard();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let events = ForecastModel::default().sample_series(100, &mut rng);
+    let costs = CostModel::default();
+    c.bench_function("shutdown_policy_100_events", |b| {
+        b.iter(|| {
+            std::hint::black_box(evaluate_policy(
+                ShutdownPolicy { trigger_dst: 500.0 },
+                &events,
+                &world.cables,
+                &world.storm_model,
+                &costs,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_geomag,
+    bench_cable_failure,
+    bench_conclusions,
+    bench_storm_report,
+    bench_bgp_reachability,
+    bench_policy_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E5 — §3 step 4 knob: the confidence threshold.
+//!
+//! Paper claim: "increasing confidence can result in a longer iterative
+//! self-learning process, but can produce higher-quality answers." We
+//! sweep the threshold from 3 to 9 and report, per setting, the
+//! self-learning effort (rounds, searches, pages memorised) and the
+//! answer quality (quiz consistency, mean confidence).
+
+use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_evalkit::quiz::QuizBank;
+use ira_evalkit::report::{banner, table};
+use ira_evalkit::runner::evaluate_agent;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "E5",
+            "confidence-threshold sweep",
+            "higher threshold -> more self-learning effort, higher answer quality"
+        )
+    );
+
+    let mut rows = Vec::new();
+    for threshold in [3u8, 5, 7, 9] {
+        let env = Environment::standard();
+        let quiz = QuizBank::from_world(&env.world);
+        let conclusions = env.world.conclusions();
+        let config = AgentConfig { confidence_threshold: threshold, ..AgentConfig::default() };
+        let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, config, 0xB0B);
+        bob.train();
+        let run = evaluate_agent(&mut bob, &quiz, &conclusions);
+        rows.push(vec![
+            threshold.to_string(),
+            run.total_learning_rounds().to_string(),
+            run.total_searches().to_string(),
+            format!("{}/{}", run.consistency.consistent_count(), run.consistency.total()),
+            format!("{:.1}", run.consistency.mean_confidence()),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["threshold", "learn-rounds", "searches", "consistent", "mean-conf"],
+            &rows
+        )
+    );
+    println!(
+        "expected shape: rounds and searches grow with the threshold, and consistency/mean \
+         confidence rise toward the paper's 7-of-8 at threshold 7."
+    );
+}

@@ -1,0 +1,69 @@
+//! X11 — seed robustness of the flagship result (extension; the
+//! reproducibility hygiene the paper's single-run evaluation lacks).
+//!
+//! The paper reports one training run of one agent. This experiment
+//! re-runs the E2 cable trajectory across ten corpus/network seeds —
+//! ten different "views of the web" — and reports the distribution of
+//! outcomes. A result that only holds at one seed is an anecdote;
+//! during development this sweep caught every retrieval fragility the
+//! single-seed experiments missed.
+
+use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_evalkit::report::{banner, table};
+use ira_webcorpus::CorpusConfig;
+
+const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
+                        that connects Brazil to Europe or the one that connects the US to \
+                        Europe?";
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "X11",
+            "E2 across ten corpus seeds",
+            "(extension) the 3 -> 8..9 one-round trajectory must hold for every view of \
+             the web, not one lucky seed"
+        )
+    );
+
+    let mut rows = Vec::new();
+    let mut correct = 0usize;
+    let mut one_round = 0usize;
+    let seeds: Vec<u64> = (0..10).map(|i| 0x5EED + i * 0x101).collect();
+    for &seed in &seeds {
+        let env = Environment::build(
+            CorpusConfig { seed, distractor_count: 150 },
+            seed ^ 0xBEEF,
+        );
+        let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, AgentConfig::default(), seed);
+        bob.train();
+        let t = bob.self_learn(QUESTION);
+        let answer = bob.ask(QUESTION);
+        let verdict_ok = answer
+            .verdict
+            .as_deref()
+            .unwrap_or("")
+            .to_lowercase()
+            .contains("united states");
+        if verdict_ok {
+            correct += 1;
+        }
+        if t.learning_rounds() == 1 {
+            one_round += 1;
+        }
+        let series: Vec<String> = t.confidence_series().iter().map(u8::to_string).collect();
+        rows.push(vec![
+            format!("{seed:#x}"),
+            series.join(" -> "),
+            t.learning_rounds().to_string(),
+            if verdict_ok { "US-Europe" } else { "WRONG/hedge" }.to_string(),
+        ]);
+    }
+    println!("{}", table(&["seed", "confidence", "rounds", "verdict"], &rows));
+    println!(
+        "correct verdict on {correct}/{} seeds; one-round convergence on {one_round}/{}",
+        seeds.len(),
+        seeds.len()
+    );
+}

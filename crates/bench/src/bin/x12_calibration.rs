@@ -1,0 +1,84 @@
+//! X12 — confidence calibration (extension; validates the signal the
+//! whole §3 control loop gates on).
+//!
+//! The agent's self-reported confidence decides when self-learning
+//! stops. This experiment collects (confidence, correct) pairs across
+//! the full quiz at five corpus seeds — sampling every round of every
+//! trajectory, not just the final answers — and reports the
+//! calibration table, Brier score, and expected calibration error.
+
+use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_evalkit::calibration::Calibration;
+use ira_evalkit::quiz::QuizBank;
+use ira_evalkit::report::{banner, table};
+use ira_evalkit::verdict::match_verdict;
+use ira_webcorpus::CorpusConfig;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "X12",
+            "confidence calibration across seeds",
+            "(extension) answers at confidence 9 must be right far more often than at 3, \
+             or the threshold loop is gating on noise"
+        )
+    );
+
+    let mut cal = Calibration::new();
+    for seed in [0xCA1u64, 0xCA2, 0xCA3, 0xCA4, 0xCA5] {
+        let env = Environment::build(
+            CorpusConfig { seed, distractor_count: 150 },
+            seed ^ 0xBEEF,
+        );
+        let quiz = QuizBank::from_world(&env.world);
+        let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, AgentConfig::default(), seed);
+        bob.train();
+        for item in quiz.iter() {
+            let trajectory = bob.self_learn(&item.question);
+            // Sample every round: low-confidence rounds are exactly
+            // where calibration matters most.
+            for round in &trajectory.rounds {
+                let answer = ira_simllm::reason::Answer {
+                    text: round.answer_text.clone(),
+                    verdict: round.verdict.clone(),
+                    confidence: round.confidence,
+                    coverage: round.coverage,
+                    missing: Vec::new(),
+                    principles_used: Vec::new(),
+                    facts_used: 0,
+                    reasoning: Vec::new(),
+                };
+                let correct = match_verdict(&answer, item).consistent;
+                cal.record(round.confidence, correct);
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = cal
+        .buckets(&[(0, 2), (3, 4), (5, 6), (7, 8), (9, 10)])
+        .into_iter()
+        .map(|b| {
+            vec![
+                format!("{}-{}", b.lo, b.hi),
+                b.samples.to_string(),
+                format!("{:.2}", b.stated),
+                format!("{:.2}", b.accuracy),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["confidence", "samples", "stated-p", "accuracy"], &rows)
+    );
+    println!(
+        "{} samples · Brier score {:.3} · expected calibration error {:.3}",
+        cal.len(),
+        cal.brier_score(),
+        cal.expected_calibration_error()
+    );
+    println!(
+        "\nreading: accuracy should rise with the bucket. Low buckets scoring ~0 is correct \
+         behaviour — a hedge is 'wrong' against ground truth, and the agent said so."
+    );
+}

@@ -1,0 +1,79 @@
+//! X3 — multi-model committees (extension; §5 "Learning and
+//! interacting with multiple LLMs").
+//!
+//! Several independently seeded agents — each with its own view of the
+//! web — investigate the quiz; answers are aggregated by plurality
+//! vote. Reported per question: the committee verdict, cross-member
+//! agreement, and mean confidence, against the single-agent answer.
+//! The interesting rows are the ones where members diverge: agreement
+//! below 1.0 flags exactly the questions a single agent is least
+//! reliable on.
+
+use ira_core::{Committee, CommitteeConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_evalkit::quiz::QuizBank;
+use ira_evalkit::report::{banner, table};
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "X3",
+            "committee of independently trained agents",
+            "(extension) plurality voting across models; disagreement marks unreliable \
+             answers"
+        )
+    );
+
+    let env = Environment::standard();
+    let quiz = QuizBank::from_world(&env.world);
+    let questions: Vec<&str> = quiz.iter().map(|i| i.question.as_str()).collect();
+
+    // Single-agent reference.
+    let mut bob = ResearchAgent::bob(&env);
+    bob.train();
+    let single: Vec<(Option<String>, u8)> = questions
+        .iter()
+        .map(|q| {
+            let _ = bob.self_learn(q);
+            let a = bob.ask(q);
+            (a.verdict, a.confidence)
+        })
+        .collect();
+
+    let committee = Committee::new(RoleDefinition::bob(), CommitteeConfig::default());
+    let answers = committee.investigate(&questions);
+
+    let rows: Vec<Vec<String>> = quiz
+        .iter()
+        .zip(&answers)
+        .zip(&single)
+        .map(|((item, committee_ans), (single_verdict, single_conf))| {
+            vec![
+                item.id.clone(),
+                single_verdict.clone().unwrap_or_else(|| "(hedge)".into()),
+                single_conf.to_string(),
+                committee_ans.verdict.clone().unwrap_or_else(|| "(hedge)".into()),
+                format!("{:.2}", committee_ans.agreement),
+                format!("{:.1}", committee_ans.mean_confidence),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["question", "single verdict", "conf", "committee verdict", "agree", "mean-conf"],
+            &rows
+        )
+    );
+
+    let contested: Vec<&str> = quiz
+        .iter()
+        .zip(&answers)
+        .filter(|(_, a)| a.agreement < 1.0)
+        .map(|(item, _)| item.id.as_str())
+        .collect();
+    println!(
+        "contested questions (agreement < 1.0): {}",
+        if contested.is_empty() { "none".into() } else { contested.join(", ") }
+    );
+}

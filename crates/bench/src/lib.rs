@@ -1,0 +1,1 @@
+//! Experiment binaries live in src/bin; criterion benches in benches/.

@@ -1,0 +1,309 @@
+//! Hand-rolled argument parsing for the `ira` CLI.
+//!
+//! Deliberately dependency-free: the grammar is small (one subcommand,
+//! a handful of `--flag value` options, one positional), and keeping it
+//! in-tree means the whole workspace builds from the offline
+//! dependency set.
+
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Train an agent and write its knowledge file.
+    Train {
+        role: RoleChoice,
+        out: String,
+        crawl_links: usize,
+        distractors: usize,
+    },
+    /// Answer one question from a knowledge file.
+    Ask { knowledge: String, question: String },
+    /// Self-learn a question (updates the knowledge file).
+    Learn {
+        knowledge: String,
+        question: String,
+        threshold: u8,
+    },
+    /// Run the full quiz evaluation.
+    Quiz { incidents: bool, threshold: u8, report: Option<String> },
+    /// Generate a storm response plan.
+    Plan,
+    /// Generate research questions from a knowledge file.
+    Questions { knowledge: String, max: usize },
+    /// Print corpus statistics.
+    Corpus { distractors: usize },
+    /// Run a world-model simulation.
+    Simulate { what: SimChoice },
+    /// Audit the built-in databases.
+    Audit,
+    /// Print usage.
+    Help,
+}
+
+/// What `ira simulate` runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimChoice {
+    /// Storm impact sweep over the scenario catalog.
+    Storms,
+    /// The 2021 Facebook outage replay on the BGP substrate.
+    Outage,
+    /// Economic impact per scenario.
+    Economics,
+}
+
+/// Which built-in role to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleChoice {
+    Bob,
+    Alice,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+pub const USAGE: &str = "\
+ira — interactive research agent for Internet incident investigation
+
+USAGE:
+    ira <command> [options]
+
+COMMANDS:
+    train       Train an agent and save its knowledge
+                  --role bob|alice        (default bob)
+                  --out <file>            (default knowledge.json)
+                  --crawl <n>             related links to follow (default 0)
+                  --distractors <n>       corpus distractor count (default 150)
+    ask         Answer a question from saved knowledge
+                  --knowledge <file>      (default knowledge.json)
+                  \"<question>\"
+    learn       Self-learn a question, updating the knowledge file
+                  --knowledge <file>      (default knowledge.json)
+                  --threshold <0-10>      confidence threshold (default 7)
+                  \"<question>\"
+    quiz        Train + evaluate against the expert conclusions
+                  --incidents             use the incident quiz instead
+                  --threshold <0-10>      (default 7)
+                  --report <file>         write a markdown report
+    plan        Train + produce a storm response plan
+    questions   Propose research questions from saved knowledge
+                  --knowledge <file>      (default knowledge.json)
+                  --max <n>               (default 10)
+    corpus      Print synthetic-web statistics
+                  --distractors <n>       (default 150)
+    simulate    Run a world-model simulation
+                  storms | outage | economics   (default storms)
+    audit       Integrity-check the built-in databases
+    help        Show this message
+";
+
+/// Parse `args` (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().unwrap_or("help");
+    let rest: Vec<&str> = it.collect();
+
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "train" => {
+            let role = match flag(&rest, "--role")?.unwrap_or("bob") {
+                "bob" => RoleChoice::Bob,
+                "alice" => RoleChoice::Alice,
+                other => return Err(ParseError(format!("unknown role {other:?}"))),
+            };
+            Ok(Command::Train {
+                role,
+                out: flag(&rest, "--out")?.unwrap_or("knowledge.json").to_string(),
+                crawl_links: num_flag(&rest, "--crawl", 0)?,
+                distractors: num_flag(&rest, "--distractors", 150)?,
+            })
+        }
+        "ask" => Ok(Command::Ask {
+            knowledge: flag(&rest, "--knowledge")?.unwrap_or("knowledge.json").to_string(),
+            question: positional(&rest)
+                .ok_or_else(|| ParseError("ask needs a question".into()))?,
+        }),
+        "learn" => Ok(Command::Learn {
+            knowledge: flag(&rest, "--knowledge")?.unwrap_or("knowledge.json").to_string(),
+            threshold: num_flag(&rest, "--threshold", 7)? as u8,
+            question: positional(&rest)
+                .ok_or_else(|| ParseError("learn needs a question".into()))?,
+        }),
+        "quiz" => Ok(Command::Quiz {
+            incidents: rest.contains(&"--incidents"),
+            threshold: num_flag(&rest, "--threshold", 7)? as u8,
+            report: flag(&rest, "--report")?.map(str::to_string),
+        }),
+        "plan" => Ok(Command::Plan),
+        "audit" => Ok(Command::Audit),
+        "questions" => Ok(Command::Questions {
+            knowledge: flag(&rest, "--knowledge")?.unwrap_or("knowledge.json").to_string(),
+            max: num_flag(&rest, "--max", 10)?,
+        }),
+        "corpus" => Ok(Command::Corpus { distractors: num_flag(&rest, "--distractors", 150)? }),
+        "simulate" => {
+            let what = match positional(&rest).as_deref() {
+                Some("storms") | None => SimChoice::Storms,
+                Some("outage") => SimChoice::Outage,
+                Some("economics") => SimChoice::Economics,
+                Some(other) => {
+                    return Err(ParseError(format!(
+                        "unknown simulation {other:?}; expected storms|outage|economics"
+                    )))
+                }
+            };
+            Ok(Command::Simulate { what })
+        }
+        other => Err(ParseError(format!(
+            "unknown command {other:?}; run `ira help` for usage"
+        ))),
+    }
+}
+
+/// Value of `--name` if present.
+fn flag<'a>(rest: &[&'a str], name: &str) -> Result<Option<&'a str>, ParseError> {
+    match rest.iter().position(|a| *a == name) {
+        Some(i) => rest
+            .get(i + 1)
+            .copied()
+            .map(Some)
+            .ok_or_else(|| ParseError(format!("{name} needs a value"))),
+        None => Ok(None),
+    }
+}
+
+/// Numeric flag with default.
+fn num_flag(rest: &[&str], name: &str, default: usize) -> Result<usize, ParseError> {
+    match flag(rest, name)? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError(format!("{name} expects a number, got {v:?}"))),
+        None => Ok(default),
+    }
+}
+
+/// The first argument that is neither a flag name nor a flag value.
+fn positional(rest: &[&str]) -> Option<String> {
+    let mut skip_next = false;
+    for (i, a) in rest.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Boolean flags take no value.
+            skip_next = *a != "--incidents";
+            let _ = i;
+            continue;
+        }
+        return Some(a.to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, ParseError> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(p(&[]), Ok(Command::Help));
+        assert_eq!(p(&["help"]), Ok(Command::Help));
+        assert_eq!(p(&["--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn train_defaults_and_overrides() {
+        assert_eq!(
+            p(&["train"]),
+            Ok(Command::Train {
+                role: RoleChoice::Bob,
+                out: "knowledge.json".into(),
+                crawl_links: 0,
+                distractors: 150,
+            })
+        );
+        assert_eq!(
+            p(&["train", "--role", "alice", "--out", "a.json", "--crawl", "2"]),
+            Ok(Command::Train {
+                role: RoleChoice::Alice,
+                out: "a.json".into(),
+                crawl_links: 2,
+                distractors: 150,
+            })
+        );
+        assert!(p(&["train", "--role", "mallory"]).is_err());
+    }
+
+    #[test]
+    fn ask_requires_a_question() {
+        assert!(p(&["ask"]).is_err());
+        assert_eq!(
+            p(&["ask", "--knowledge", "k.json", "what is a CME?"]),
+            Ok(Command::Ask { knowledge: "k.json".into(), question: "what is a CME?".into() })
+        );
+        // Positional before flags also works.
+        assert_eq!(
+            p(&["ask", "what is a CME?", "--knowledge", "k.json"]),
+            Ok(Command::Ask { knowledge: "k.json".into(), question: "what is a CME?".into() })
+        );
+    }
+
+    #[test]
+    fn quiz_flags() {
+        assert_eq!(
+            p(&["quiz"]),
+            Ok(Command::Quiz { incidents: false, threshold: 7, report: None })
+        );
+        assert_eq!(
+            p(&["quiz", "--incidents", "--threshold", "9", "--report", "r.md"]),
+            Ok(Command::Quiz {
+                incidents: true,
+                threshold: 9,
+                report: Some("r.md".into())
+            })
+        );
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let err = p(&["quiz", "--threshold", "lots"]).unwrap_err();
+        assert!(err.0.contains("--threshold"));
+    }
+
+    #[test]
+    fn missing_flag_value_is_reported() {
+        assert!(p(&["train", "--out"]).is_err());
+    }
+
+    #[test]
+    fn simulate_choices_parse() {
+        assert_eq!(p(&["simulate"]), Ok(Command::Simulate { what: SimChoice::Storms }));
+        assert_eq!(
+            p(&["simulate", "outage"]),
+            Ok(Command::Simulate { what: SimChoice::Outage })
+        );
+        assert_eq!(
+            p(&["simulate", "economics"]),
+            Ok(Command::Simulate { what: SimChoice::Economics })
+        );
+        assert!(p(&["simulate", "weather"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let err = p(&["frobnicate"]).unwrap_err();
+        assert!(err.0.contains("frobnicate"));
+    }
+}

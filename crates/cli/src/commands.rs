@@ -1,0 +1,327 @@
+//! Command implementations for the `ira` CLI.
+
+use crate::args::{Command, RoleChoice, SimChoice};
+use ira_agentmem::KnowledgeStore;
+use ira_autogpt::AutoGptConfig;
+use ira_core::{questions, AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_evalkit::plancov::PlanCoverage;
+use ira_evalkit::quiz::QuizBank;
+use ira_evalkit::report::table;
+use ira_evalkit::runner::{evaluate_agent, evaluate_baseline};
+use ira_evalkit::trajectory::render_table;
+use ira_simllm::Llm;
+use ira_webcorpus::CorpusConfig;
+use std::path::Path;
+
+/// Run one parsed command; returns a process exit code.
+pub fn run(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            print!("{}", crate::args::USAGE);
+            0
+        }
+        Command::Train { role, out, crawl_links, distractors } => {
+            train(role, &out, crawl_links, distractors)
+        }
+        Command::Ask { knowledge, question } => ask(&knowledge, &question),
+        Command::Learn { knowledge, question, threshold } => {
+            learn(&knowledge, &question, threshold)
+        }
+        Command::Quiz { incidents, threshold, report } => {
+            quiz(incidents, threshold, report.as_deref())
+        }
+        Command::Plan => plan(),
+        Command::Questions { knowledge, max } => questions_cmd(&knowledge, max),
+        Command::Corpus { distractors } => corpus_stats(distractors),
+        Command::Simulate { what } => simulate(what),
+        Command::Audit => audit_cmd(),
+    }
+}
+
+fn role_definition(choice: RoleChoice) -> RoleDefinition {
+    match choice {
+        RoleChoice::Bob => RoleDefinition::bob(),
+        RoleChoice::Alice => RoleDefinition::outage_analyst(),
+    }
+}
+
+fn env_with(distractors: usize) -> Environment {
+    Environment::build(CorpusConfig { seed: 0xC0FFEE, distractor_count: distractors }, 0xBEEF)
+}
+
+fn train(role: RoleChoice, out: &str, crawl_links: usize, distractors: usize) -> i32 {
+    let env = env_with(distractors);
+    let config = AgentConfig {
+        autogpt: AutoGptConfig { crawl_links, ..AutoGptConfig::default() },
+        ..AgentConfig::default()
+    };
+    let mut agent = ResearchAgent::new(role_definition(role), &env, config, 0xB0B);
+    println!("{}", agent.role);
+    let report = agent.train();
+    println!(
+        "trained: {} searches, {} fetches, {} entries memorised in {:.1} virtual seconds",
+        report.total_searches(),
+        report.total_fetches(),
+        report.memory_entries,
+        report.virtual_elapsed_us as f64 / 1e6
+    );
+    match agent.save_knowledge(Path::new(out)) {
+        Ok(()) => {
+            println!("knowledge written to {out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: could not write {out}: {e}");
+            1
+        }
+    }
+}
+
+/// Load a knowledge file into a fresh agent (no training).
+fn agent_from_knowledge<'e>(env: &'e Environment, path: &str) -> Result<ResearchAgent<'e>, i32> {
+    let store = match KnowledgeStore::load(Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not load {path}: {e}");
+            eprintln!("hint: run `ira train --out {path}` first");
+            return Err(1);
+        }
+    };
+    Ok(ResearchAgent::with_memory(
+        RoleDefinition::bob(),
+        env,
+        AgentConfig::default(),
+        0xB0B,
+        store,
+    ))
+}
+
+fn ask(knowledge: &str, question: &str) -> i32 {
+    let env = env_with(150);
+    let mut agent = match agent_from_knowledge(&env, knowledge) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let (answer, citations) = agent.ask_cited(question);
+    println!("Q: {question}\n");
+    println!("{}\n", answer.text);
+    println!("confidence: {}/10", answer.confidence);
+    if let Some(v) = &answer.verdict {
+        println!("verdict: {v}");
+    }
+    if !answer.reasoning.is_empty() {
+        println!("\nreasoning:");
+        for step in &answer.reasoning {
+            println!("  - {step}");
+        }
+    }
+    if !citations.is_empty() {
+        println!("\ngrounded in:");
+        for (url, kind) in citations {
+            println!("  [{kind}] {url}");
+        }
+    }
+    0
+}
+
+fn learn(knowledge: &str, question: &str, threshold: u8) -> i32 {
+    let env = env_with(150);
+    let store = match KnowledgeStore::load(Path::new(knowledge)) {
+        Ok(s) => s,
+        Err(_) => {
+            println!("no knowledge file at {knowledge}; starting fresh");
+            KnowledgeStore::with_defaults()
+        }
+    };
+    let config = AgentConfig { confidence_threshold: threshold, ..AgentConfig::default() };
+    let mut agent =
+        ResearchAgent::with_memory(RoleDefinition::bob(), &env, config, 0xB0B, store);
+    let trajectory = agent.self_learn(question);
+    println!("{}", render_table(&trajectory));
+    let answer = agent.ask(question);
+    println!("final answer:\n{}", answer.text);
+    if let Err(e) = agent.save_knowledge(Path::new(knowledge)) {
+        eprintln!("error: could not write {knowledge}: {e}");
+        return 1;
+    }
+    println!("\nknowledge updated in {knowledge}");
+    0
+}
+
+fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>) -> i32 {
+    let env = env_with(150);
+    let quiz = if incidents {
+        QuizBank::incidents(&env.world.incidents)
+    } else {
+        QuizBank::from_world(&env.world)
+    };
+    let conclusions = env.world.conclusions();
+    let role = if incidents { RoleDefinition::outage_analyst() } else { RoleDefinition::bob() };
+    let config = AgentConfig { confidence_threshold: threshold, ..AgentConfig::default() };
+    let mut agent = ResearchAgent::new(role, &env, config, 0xB0B);
+    agent.train();
+    let run = evaluate_agent(&mut agent, &quiz, &conclusions);
+
+    let rows: Vec<Vec<String>> = run
+        .consistency
+        .per_item
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.verdict.clone().unwrap_or_else(|| "(hedge)".into()),
+                r.confidence.to_string(),
+                if r.matched.consistent { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["item", "verdict", "conf", "consistent"], &rows));
+    println!("{}", run.consistency.summary());
+    let baseline = evaluate_baseline(&Llm::gpt4(999), &quiz);
+    println!("{}", baseline.summary());
+    if let Some(path) = report_path {
+        let md = ira_evalkit::report::markdown_report(
+            &format!("Investigation report ({})", if incidents { "incidents" } else { "solar superstorms" }),
+            &run,
+            &baseline,
+        );
+        if let Err(e) = std::fs::write(path, md) {
+            eprintln!("error: could not write {path}: {e}");
+            return 1;
+        }
+        println!("report written to {path}");
+    }
+    0
+}
+
+fn plan() -> i32 {
+    let env = env_with(150);
+    let mut bob = ResearchAgent::bob(&env);
+    bob.train();
+    let answer = bob.respond_plan();
+    println!("{}\n", answer.text);
+    let coverage = PlanCoverage::of(&answer.text);
+    println!(
+        "covers {:.0}% of the expert reference components (confidence {}/10)",
+        coverage.coverage() * 100.0,
+        answer.confidence
+    );
+    0
+}
+
+fn questions_cmd(knowledge: &str, max: usize) -> i32 {
+    let env = env_with(150);
+    let mut agent = match agent_from_knowledge(&env, knowledge) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let generated = questions::generate(&mut agent, max);
+    if generated.is_empty() {
+        println!("no questions could be generated — the knowledge file holds no entity facts");
+        return 0;
+    }
+    let rows: Vec<Vec<String>> = generated
+        .iter()
+        .map(|q| vec![q.novelty.to_string(), q.confidence.to_string(), q.question.clone()])
+        .collect();
+    println!("{}", table(&["novelty", "conf", "question"], &rows));
+    0
+}
+
+fn simulate(what: SimChoice) -> i32 {
+    use ira_worldmodel::{storm::StormScenario, World};
+    match what {
+        SimChoice::Storms => {
+            let world = World::standard();
+            println!("storm impact sweep ({} cables, Monte Carlo 200 trials):\n", world.cables.len());
+            let rows: Vec<Vec<String>> = StormScenario::catalog()
+                .into_iter()
+                .map(|storm| {
+                    let report = world.graph.storm_report(
+                        &world.cables,
+                        &world.storm_model,
+                        &storm,
+                        200,
+                        0xC11,
+                    );
+                    vec![
+                        storm.name.clone(),
+                        format!("{:.0}", storm.dst_nt),
+                        format!("{:.1}", report.mean_cables_down),
+                        format!("{:.3}", report.mean_pair_connectivity),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                table(&["scenario", "dst-nT", "cables-down", "pair-connectivity"], &rows)
+            );
+        }
+        SimChoice::Outage => {
+            use ira_worldmodel::bgp::RoutingSystem;
+            let mut sys = RoutingSystem::standard();
+            let (before, during, after) = sys.facebook_outage_replay();
+            println!(
+                "facebook.com availability across edge networks:\n  pre-incident {:.0}%  ->  \
+                 DNS prefixes withdrawn {:.0}%  ->  restored {:.0}%",
+                before * 100.0,
+                during * 100.0,
+                after * 100.0
+            );
+            println!("google.com stays at {:.0}% throughout.", sys.availability("google.com") * 100.0);
+        }
+        SimChoice::Economics => {
+            use ira_worldmodel::econ::storm_impact;
+            let world = World::standard();
+            let rows: Vec<Vec<String>> = StormScenario::catalog()
+                .into_iter()
+                .map(|storm| {
+                    let impact = storm_impact(&world, &storm, 200, 0xEC0);
+                    vec![
+                        storm.name.clone(),
+                        format!("{:.1}", impact.grid_losses_busd),
+                        format!("{:.1}", impact.connectivity_losses_busd),
+                        format!("{:.1}", impact.total_busd),
+                    ]
+                })
+                .collect();
+            println!("{}", table(&["scenario", "grid-$B", "connectivity-$B", "total-$B"], &rows));
+        }
+    }
+    0
+}
+
+fn audit_cmd() -> i32 {
+    let world = ira_worldmodel::World::standard();
+    let report = ira_worldmodel::audit(&world);
+    if report.clean() {
+        println!(
+            "clean: {} cables, {}+{} data centers, {} grids, {} incidents pass every check",
+            world.cables.len(),
+            world.google.len(),
+            world.facebook.len(),
+            world.grids.len(),
+            world.incidents.len()
+        );
+        0
+    } else {
+        for f in &report.findings {
+            eprintln!("[{}] {}", f.dataset, f.message);
+        }
+        1
+    }
+}
+
+fn corpus_stats(distractors: usize) -> i32 {
+    let env = env_with(distractors);
+    println!("documents: {}", env.corpus.len());
+    println!("\nby topic:");
+    for (topic, count) in env.corpus.topic_counts() {
+        println!("  {:<26} {count}", topic.label());
+    }
+    println!("\nby source:");
+    for (source, count) in env.corpus.source_counts() {
+        println!("  {:<26} {count}  (sim://{})", source.label(), source.host());
+    }
+    0
+}

@@ -1,0 +1,6 @@
+//! Library surface of the `ira` CLI, exposed for integration testing.
+//! The binary (`src/main.rs`) is a thin wrapper over [`args::parse`]
+//! and [`commands::run`].
+
+pub mod args;
+pub mod commands;

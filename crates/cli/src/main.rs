@@ -1,0 +1,17 @@
+//! `ira` — the command-line interface to the interactive research
+//! agent. See `ira help` for the command set.
+
+use ira_cli::{args, commands};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args::parse(&argv) {
+        Ok(cmd) => commands::run(cmd),
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("run `ira help` for usage");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,71 @@
+//! End-to-end CLI flows through the library surface: train writes a
+//! knowledge file, ask/learn/questions consume it.
+
+use ira_cli::args::{parse, Command, RoleChoice};
+use ira_cli::commands::run;
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("ira-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn train_then_ask_then_learn_round_trip() {
+    let knowledge = tmp("flow-knowledge.json");
+    let _ = std::fs::remove_file(&knowledge);
+
+    // train
+    let code = run(Command::Train {
+        role: RoleChoice::Bob,
+        out: knowledge.clone(),
+        crawl_links: 0,
+        distractors: 50,
+    });
+    assert_eq!(code, 0);
+    assert!(std::path::Path::new(&knowledge).exists());
+
+    // ask (pre-learning: should succeed, typically a hedge)
+    let code = run(Command::Ask {
+        knowledge: knowledge.clone(),
+        question: "Which is more vulnerable to solar activity? The fiber optic cable that \
+                   connects Brazil to Europe or the one that connects the US to Europe?"
+            .into(),
+    });
+    assert_eq!(code, 0);
+
+    // learn (updates the file)
+    let before = std::fs::read_to_string(&knowledge).unwrap();
+    let code = run(Command::Learn {
+        knowledge: knowledge.clone(),
+        question: "Which is more vulnerable to solar activity? The fiber optic cable that \
+                   connects Brazil to Europe or the one that connects the US to Europe?"
+            .into(),
+        threshold: 7,
+    });
+    assert_eq!(code, 0);
+    let after = std::fs::read_to_string(&knowledge).unwrap();
+    assert!(after.len() > before.len(), "learning must grow the knowledge file");
+
+    // questions from the grown knowledge
+    let code = run(Command::Questions { knowledge: knowledge.clone(), max: 5 });
+    assert_eq!(code, 0);
+
+    std::fs::remove_file(&knowledge).ok();
+}
+
+#[test]
+fn ask_with_missing_knowledge_file_fails_cleanly() {
+    let code = run(Command::Ask {
+        knowledge: tmp("definitely-missing.json"),
+        question: "anything".into(),
+    });
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn corpus_and_help_commands_succeed() {
+    assert_eq!(run(Command::Corpus { distractors: 10 }), 0);
+    assert_eq!(run(Command::Help), 0);
+    assert_eq!(run(parse(&["help".to_string()]).unwrap()), 0);
+}

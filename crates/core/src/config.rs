@@ -1,0 +1,80 @@
+//! Agent configuration.
+
+use ira_agentmem::StoreConfig;
+use ira_autogpt::{AutoGptConfig, Budget};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the research agent and its self-learning loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Knowledge entries loaded into the prompt per question.
+    pub retrieval_k: usize,
+    /// Confidence threshold (0–10) at which a query counts as
+    /// answerable — the paper's example uses 7.
+    pub confidence_threshold: u8,
+    /// Maximum self-learning rounds per query.
+    pub max_rounds: u32,
+    /// Maximum searches proposed per self-learning round.
+    pub searches_per_round: usize,
+    /// Run the searches of one round in parallel threads.
+    pub parallel_retrieval: bool,
+    /// Two-pass retrieval: the model reads the question-retrieved
+    /// context, names its knowledge gaps, and the gap queries'
+    /// vocabulary joins the retrieval query. On by default — the paper
+    /// only says knowledge is "automatically loaded" into the prompt;
+    /// question-only top-k retrieval dilutes as the memory grows (see
+    /// the A1 ablation, which measures both).
+    pub query_expansion: bool,
+    /// Knowledge-memory behaviour (dedup threshold, retrieval weights).
+    pub memory: StoreConfig,
+    #[serde(skip, default = "default_autogpt")]
+    pub autogpt: AutoGptConfig,
+    #[serde(skip, default = "default_budget")]
+    pub budget: Budget,
+}
+
+fn default_autogpt() -> AutoGptConfig {
+    AutoGptConfig::default()
+}
+
+fn default_budget() -> Budget {
+    Budget::standard()
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            retrieval_k: 10,
+            confidence_threshold: 7,
+            max_rounds: 4,
+            searches_per_round: 4,
+            parallel_retrieval: false,
+            query_expansion: true,
+            memory: StoreConfig::default(),
+            autogpt: AutoGptConfig::default(),
+            budget: Budget::standard(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = AgentConfig::default();
+        assert_eq!(c.confidence_threshold, 7, "paper's example threshold");
+        assert!(c.retrieval_k >= 4);
+        assert!(c.max_rounds >= 1);
+    }
+
+    #[test]
+    fn serde_round_trips_the_serializable_part() {
+        let c = AgentConfig { confidence_threshold: 9, ..AgentConfig::default() };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: AgentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.confidence_threshold, 9);
+        assert_eq!(back.retrieval_k, c.retrieval_k);
+    }
+}

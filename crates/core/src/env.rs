@@ -1,0 +1,70 @@
+//! The simulated environment: world → corpus → network → client.
+
+use ira_simnet::{Client, Network, NetworkConfig};
+use ira_webcorpus::{register_sites, Corpus, CorpusConfig};
+use ira_worldmodel::World;
+use std::sync::Arc;
+
+/// Everything outside the agent: ground truth, the web built from it,
+/// and the network serving that web.
+pub struct Environment {
+    pub world: World,
+    pub corpus: Arc<Corpus>,
+    pub client: Client,
+}
+
+impl Environment {
+    /// Build the standard environment with explicit seeds.
+    pub fn build(corpus_config: CorpusConfig, net_seed: u64) -> Self {
+        let world = World::standard();
+        Self::build_with_world(world, corpus_config, net_seed)
+    }
+
+    /// Build around a caller-supplied world (for ablations).
+    pub fn build_with_world(world: World, corpus_config: CorpusConfig, net_seed: u64) -> Self {
+        let corpus = Arc::new(Corpus::generate(&world, corpus_config));
+        let mut net = Network::new(NetworkConfig::default(), net_seed);
+        register_sites(&mut net, Arc::clone(&corpus));
+        let client = Client::new(Arc::new(net));
+        Environment { world, corpus, client }
+    }
+
+    /// The default experiment environment.
+    pub fn standard() -> Self {
+        Self::build(CorpusConfig::default(), 0xBEEF)
+    }
+
+    /// Virtual time elapsed so far, microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.client.network().clock().now().as_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_environment_serves_search() {
+        let env = Environment::standard();
+        let body = env
+            .client
+            .get_text("sim://search.test/q?query=solar+superstorm")
+            .unwrap();
+        assert!(body.contains("results"));
+        assert!(env.corpus.len() > 200);
+    }
+
+    #[test]
+    fn distractor_count_is_tunable() {
+        let small = Environment::build(
+            CorpusConfig { seed: 1, distractor_count: 0 },
+            1,
+        );
+        let big = Environment::build(
+            CorpusConfig { seed: 1, distractor_count: 300 },
+            1,
+        );
+        assert_eq!(big.corpus.len() - small.corpus.len(), 300);
+    }
+}

@@ -1,0 +1,104 @@
+//! Role definition — the only human input the architecture needs
+//! (§3.2 step 1: "the only human knowledge we need to create Bob is to
+//! define the role of the agent with several initial goals").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An agent's role definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoleDefinition {
+    /// Agent name, e.g. "Bob".
+    pub name: String,
+    /// One-sentence role statement.
+    pub role: String,
+    /// Initial goals driving the first training phase.
+    pub goals: Vec<String>,
+}
+
+impl RoleDefinition {
+    pub fn new(name: &str, role: &str, goals: &[&str]) -> Self {
+        assert!(!goals.is_empty(), "a role needs at least one goal");
+        RoleDefinition {
+            name: name.to_string(),
+            role: role.to_string(),
+            goals: goals.iter().map(|g| g.to_string()).collect(),
+        }
+    }
+
+    /// Agent Bob, verbatim from the paper's §3.2 snippet: an Internet
+    /// researcher investigating solar superstorms.
+    pub fn bob() -> Self {
+        RoleDefinition::new(
+            "Bob",
+            "An Internet researcher searches for knowledge of solar superstorms and network \
+             infrastructure.",
+            &[
+                "Understand solar superstorms and Coronal Mass Ejection, and principles of \
+                 their formation and effects.",
+                "Knowledge of past solar superstorm events and their damage and impact.",
+                "Understand the current global large-scale network infrastructure equipment \
+                 such as fiber optic cables, power supply systems, etc.",
+            ],
+        )
+    }
+
+    /// An agent investigating a configuration-error outage (the
+    /// Facebook DNS/BGP incident class from §2) — used by the
+    /// `outage_facebook_dns` example to show the architecture is not
+    /// storm-specific.
+    pub fn outage_analyst() -> Self {
+        RoleDefinition::new(
+            "Alice",
+            "An Internet researcher investigates large-scale outages caused by configuration \
+             errors in essential Internet infrastructure.",
+            &[
+                "Understand the current global large-scale network infrastructure equipment \
+                 such as fiber optic cables, power supply systems, etc.",
+                "Understand how the Internet interconnects continents and where it is \
+                 concentrated.",
+                "Study past large-scale Internet outages, their root causes and impact.",
+            ],
+        )
+    }
+}
+
+impl fmt::Display for RoleDefinition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Name: Agent {}", self.name)?;
+        writeln!(f, "Role: {}", self.role)?;
+        writeln!(f, "Goals:")?;
+        for g in &self.goals {
+            writeln!(f, "- {g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bob_matches_the_paper() {
+        let bob = RoleDefinition::bob();
+        assert_eq!(bob.name, "Bob");
+        assert_eq!(bob.goals.len(), 3);
+        assert!(bob.goals[0].contains("Coronal Mass Ejection"));
+        assert!(bob.goals[2].contains("fiber optic cables"));
+    }
+
+    #[test]
+    fn display_renders_the_snippet_shape() {
+        let text = RoleDefinition::bob().to_string();
+        assert!(text.starts_with("Name: Agent Bob"));
+        assert!(text.contains("Role: An Internet researcher"));
+        assert!(text.contains("Goals:\n- Understand solar superstorms"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one goal")]
+    fn goalless_role_is_rejected() {
+        RoleDefinition::new("X", "role", &[]);
+    }
+}

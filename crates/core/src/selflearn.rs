@@ -1,0 +1,137 @@
+//! Self-learning trajectory records (§3 step 4 / §4.2).
+//!
+//! Each question the agent is tested on produces a trajectory: the
+//! confidence before any extra learning (round 0), then one record per
+//! self-learning round showing the searches issued, what was memorised,
+//! and the re-assessed confidence. Experiments E2/E3 print these.
+
+use ira_simllm::reason::Answer;
+use serde::{Deserialize, Serialize};
+
+/// One round of the self-learning loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index; 0 is the pre-learning assessment.
+    pub round: u32,
+    /// Confidence after this round's knowledge state.
+    pub confidence: u8,
+    /// Evidence coverage backing that confidence.
+    pub coverage: f64,
+    /// The committed verdict, if any.
+    pub verdict: Option<String>,
+    /// The answer text at this round.
+    pub answer_text: String,
+    /// Searches issued *during* this round (empty for round 0).
+    pub searches: Vec<String>,
+    /// Entries memorised during this round.
+    pub memorized: u32,
+}
+
+/// A full per-question trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearningTrajectory {
+    pub question: String,
+    pub threshold: u8,
+    pub rounds: Vec<RoundRecord>,
+    /// Whether the final confidence met the threshold.
+    pub reached_threshold: bool,
+}
+
+impl LearningTrajectory {
+    pub fn new(question: &str, threshold: u8) -> Self {
+        LearningTrajectory {
+            question: question.to_string(),
+            threshold,
+            rounds: Vec::new(),
+            reached_threshold: false,
+        }
+    }
+
+    /// Record a round from an answer.
+    pub fn record(&mut self, round: u32, answer: &Answer, searches: Vec<String>, memorized: u32) {
+        self.rounds.push(RoundRecord {
+            round,
+            confidence: answer.confidence,
+            coverage: answer.coverage,
+            verdict: answer.verdict.clone(),
+            answer_text: answer.text.clone(),
+            searches,
+            memorized,
+        });
+        self.reached_threshold = answer.confidence >= self.threshold;
+    }
+
+    /// Confidence before any self-learning.
+    pub fn initial_confidence(&self) -> Option<u8> {
+        self.rounds.first().map(|r| r.confidence)
+    }
+
+    /// Confidence after the last round.
+    pub fn final_confidence(&self) -> Option<u8> {
+        self.rounds.last().map(|r| r.confidence)
+    }
+
+    /// Total searches issued across rounds.
+    pub fn total_searches(&self) -> usize {
+        self.rounds.iter().map(|r| r.searches.len()).sum()
+    }
+
+    /// Number of learning rounds actually executed (excludes round 0).
+    pub fn learning_rounds(&self) -> u32 {
+        self.rounds.len().saturating_sub(1) as u32
+    }
+
+    /// The confidence series, round by round.
+    pub fn confidence_series(&self) -> Vec<u8> {
+        self.rounds.iter().map(|r| r.confidence).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(confidence: u8) -> Answer {
+        Answer {
+            text: format!("answer at {confidence}"),
+            verdict: (confidence >= 7).then(|| "committed".into()),
+            confidence,
+            coverage: confidence as f64 / 10.0,
+            missing: Vec::new(),
+            principles_used: Vec::new(),
+            facts_used: 0,
+            reasoning: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn trajectory_tracks_rounds() {
+        let mut t = LearningTrajectory::new("q", 7);
+        t.record(0, &answer(3), Vec::new(), 0);
+        assert!(!t.reached_threshold);
+        t.record(1, &answer(9), vec!["query one".into(), "query two".into()], 5);
+        assert!(t.reached_threshold);
+        assert_eq!(t.initial_confidence(), Some(3));
+        assert_eq!(t.final_confidence(), Some(9));
+        assert_eq!(t.total_searches(), 2);
+        assert_eq!(t.learning_rounds(), 1);
+        assert_eq!(t.confidence_series(), vec![3, 9]);
+    }
+
+    #[test]
+    fn empty_trajectory_is_safe() {
+        let t = LearningTrajectory::new("q", 7);
+        assert_eq!(t.initial_confidence(), None);
+        assert_eq!(t.final_confidence(), None);
+        assert_eq!(t.learning_rounds(), 0);
+    }
+
+    #[test]
+    fn threshold_can_regress_and_recover() {
+        let mut t = LearningTrajectory::new("q", 5);
+        t.record(0, &answer(6), Vec::new(), 0);
+        assert!(t.reached_threshold);
+        t.record(1, &answer(4), vec!["x".into()], 1);
+        assert!(!t.reached_threshold, "reflects the latest round");
+    }
+}

@@ -1,0 +1,176 @@
+//! Confidence calibration.
+//!
+//! The paper's whole control loop hangs on the agent's self-reported
+//! 0–10 confidence ("if the confidence score falls below a predefined
+//! threshold … the agent is deemed insufficiently qualified"). That
+//! only works if the score is *calibrated*: answers given at
+//! confidence 9 should be right far more often than answers given at
+//! 3. This module measures it: collect (confidence, was-correct)
+//! samples across questions and seeds, bucket them, and compute the
+//! standard summary numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// One observation: the agent answered at `confidence` and the answer
+/// was (or was not) consistent with ground truth.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CalibrationSample {
+    pub confidence: u8,
+    pub correct: bool,
+}
+
+/// Accumulated calibration statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Calibration {
+    samples: Vec<CalibrationSample>,
+}
+
+/// One row of the calibration table.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CalibrationBucket {
+    /// Inclusive confidence range covered by this bucket.
+    pub lo: u8,
+    pub hi: u8,
+    pub samples: usize,
+    /// Observed accuracy within the bucket.
+    pub accuracy: f64,
+    /// Mean stated confidence (as a probability, /10).
+    pub stated: f64,
+}
+
+impl Calibration {
+    pub fn new() -> Self {
+        Calibration::default()
+    }
+
+    pub fn record(&mut self, confidence: u8, correct: bool) {
+        assert!(confidence <= 10, "confidence is a 0-10 scale");
+        self.samples.push(CalibrationSample { confidence, correct });
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Bucket the samples into the given inclusive ranges.
+    pub fn buckets(&self, ranges: &[(u8, u8)]) -> Vec<CalibrationBucket> {
+        ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let in_bucket: Vec<&CalibrationSample> = self
+                    .samples
+                    .iter()
+                    .filter(|s| s.confidence >= lo && s.confidence <= hi)
+                    .collect();
+                let n = in_bucket.len();
+                let correct = in_bucket.iter().filter(|s| s.correct).count();
+                let stated = if n == 0 {
+                    0.0
+                } else {
+                    in_bucket.iter().map(|s| s.confidence as f64 / 10.0).sum::<f64>() / n as f64
+                };
+                CalibrationBucket {
+                    lo,
+                    hi,
+                    samples: n,
+                    accuracy: if n == 0 { 0.0 } else { correct as f64 / n as f64 },
+                    stated,
+                }
+            })
+            .collect()
+    }
+
+    /// Brier score: mean squared error between stated probability
+    /// (confidence/10) and the 0/1 outcome. 0 is perfect; 0.25 is the
+    /// score of always saying 0.5.
+    pub fn brier_score(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .map(|s| {
+                let p = s.confidence as f64 / 10.0;
+                let y = if s.correct { 1.0 } else { 0.0 };
+                (p - y) * (p - y)
+            })
+            .sum::<f64>()
+            / self.samples.len() as f64
+    }
+
+    /// Expected calibration error over the standard buckets: the
+    /// sample-weighted mean |accuracy − stated confidence|.
+    pub fn expected_calibration_error(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let buckets = self.buckets(&[(0, 2), (3, 4), (5, 6), (7, 8), (9, 10)]);
+        let total: usize = buckets.iter().map(|b| b.samples).sum();
+        buckets
+            .iter()
+            .filter(|b| b.samples > 0)
+            .map(|b| (b.samples as f64 / total as f64) * (b.accuracy - b.stated).abs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfectly_calibrated() -> Calibration {
+        // At confidence c, exactly c of 10 samples are correct.
+        let mut cal = Calibration::new();
+        for c in 0..=10u8 {
+            for i in 0..10 {
+                cal.record(c, i < c);
+            }
+        }
+        cal
+    }
+
+    #[test]
+    fn perfect_calibration_has_low_ece() {
+        let cal = perfectly_calibrated();
+        assert!(cal.expected_calibration_error() < 0.06, "ece {}", cal.expected_calibration_error());
+    }
+
+    #[test]
+    fn overconfidence_is_detected() {
+        let mut cal = Calibration::new();
+        // Claims 9/10 but is right only half the time.
+        for i in 0..100 {
+            cal.record(9, i % 2 == 0);
+        }
+        let ece = cal.expected_calibration_error();
+        assert!((ece - 0.4).abs() < 0.02, "ece {ece}");
+        assert!(cal.brier_score() > 0.2);
+    }
+
+    #[test]
+    fn buckets_partition_and_count() {
+        let cal = perfectly_calibrated();
+        let buckets = cal.buckets(&[(0, 4), (5, 10)]);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].samples + buckets[1].samples, cal.len());
+        assert!(buckets[1].accuracy > buckets[0].accuracy, "higher confidence, higher accuracy");
+    }
+
+    #[test]
+    fn empty_calibration_is_safe() {
+        let cal = Calibration::new();
+        assert_eq!(cal.brier_score(), 0.0);
+        assert_eq!(cal.expected_calibration_error(), 0.0);
+        assert!(cal.buckets(&[(0, 10)])[0].samples == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0-10")]
+    fn out_of_range_confidence_is_rejected() {
+        Calibration::new().record(11, true);
+    }
+}

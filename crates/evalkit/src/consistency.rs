@@ -1,0 +1,120 @@
+//! Aggregate consistency scoring — the paper's headline "7 out of 8
+//! conclusions" result (E1).
+
+use crate::quiz::QuizItem;
+use crate::verdict::{match_verdict, VerdictMatch};
+use ira_simllm::reason::Answer;
+use serde::{Deserialize, Serialize};
+
+/// Result for one quiz item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItemResult {
+    pub id: String,
+    pub question: String,
+    pub expected: String,
+    pub verdict: Option<String>,
+    pub confidence: u8,
+    pub matched: VerdictMatch,
+}
+
+/// The full consistency report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    pub label: String,
+    pub per_item: Vec<ItemResult>,
+}
+
+impl ConsistencyReport {
+    pub fn new(label: &str) -> Self {
+        ConsistencyReport { label: label.to_string(), per_item: Vec::new() }
+    }
+
+    /// Score one answered item.
+    pub fn add(&mut self, item: &QuizItem, answer: &Answer) {
+        let matched = match_verdict(answer, item);
+        self.per_item.push(ItemResult {
+            id: item.id.clone(),
+            question: item.question.clone(),
+            expected: item.expected_answer.clone(),
+            verdict: answer.verdict.clone(),
+            confidence: answer.confidence,
+            matched,
+        });
+    }
+
+    pub fn consistent_count(&self) -> usize {
+        self.per_item.iter().filter(|r| r.matched.consistent).count()
+    }
+
+    pub fn total(&self) -> usize {
+        self.per_item.len()
+    }
+
+    /// "7 out of 8" style summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: consistent with {} of {} expert conclusions",
+            self.label,
+            self.consistent_count(),
+            self.total()
+        )
+    }
+
+    /// Mean self-reported confidence across items.
+    pub fn mean_confidence(&self) -> f64 {
+        if self.per_item.is_empty() {
+            return 0.0;
+        }
+        self.per_item.iter().map(|r| r.confidence as f64).sum::<f64>()
+            / self.per_item.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quiz::QuizBank;
+    use ira_worldmodel::World;
+
+    fn dummy_answer(verdict: Option<&str>, text: &str, confidence: u8) -> Answer {
+        Answer {
+            text: text.into(),
+            verdict: verdict.map(str::to_owned),
+            confidence,
+            coverage: confidence as f64 / 10.0,
+            missing: Vec::new(),
+            principles_used: Vec::new(),
+            facts_used: 0,
+            reasoning: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn report_counts_matches_and_misses() {
+        let quiz = QuizBank::from_world(&World::standard());
+        let mut report = ConsistencyReport::new("test");
+        for (i, item) in quiz.iter().enumerate() {
+            let answer = if i % 2 == 0 {
+                dummy_answer(
+                    Some(&item.expected_answer),
+                    &format!("{} because {}", item.expected_answer, item.rationale_terms.join(" ")),
+                    9,
+                )
+            } else {
+                dummy_answer(None, "It depends on many factors.", 2)
+            };
+            report.add(item, &answer);
+        }
+        assert_eq!(report.total(), 8);
+        assert_eq!(report.consistent_count(), 4);
+        assert!(report.summary().contains("4 of 8"));
+        assert!((report.mean_confidence() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = ConsistencyReport::new("empty");
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.mean_confidence(), 0.0);
+    }
+}

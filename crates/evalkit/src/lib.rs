@@ -1,0 +1,37 @@
+//! # ira-evalkit
+//!
+//! The evaluation harness for §4 of the paper: quiz generation from the
+//! derived expert conclusions, verdict matching, consistency scoring
+//! (the "7 out of 8" result), confidence trajectories, response-plan
+//! coverage, and the knowledge-provenance audit.
+//!
+//! * [`quiz`] — the eight-question quiz bank built from
+//!   [`ira_worldmodel::ConclusionSet`].
+//! * [`verdict`] — does an agent answer match the expert conclusion?
+//! * [`consistency`] — aggregate agent-vs-paper scoring (experiment E1).
+//! * [`trajectory`] — confidence trajectory tables (E2/E3).
+//! * [`plancov`] — response-plan component coverage (E4).
+//! * [`provenance`] — source audit over the knowledge store.
+//! * [`runner`] — end-to-end: train, self-learn per question, score.
+//! * [`report`] — plain-text table / CSV rendering shared by the
+//!   experiment binaries.
+
+pub mod calibration;
+pub mod consistency;
+pub mod plancov;
+pub mod poison;
+pub mod provenance;
+pub mod quiz;
+pub mod report;
+pub mod runner;
+pub mod trajectory;
+pub mod verdict;
+
+pub use calibration::{Calibration, CalibrationBucket};
+pub use consistency::{ConsistencyReport, ItemResult};
+pub use plancov::PlanCoverage;
+pub use poison::PoisonCampaign;
+pub use provenance::ProvenanceReport;
+pub use quiz::{QuizBank, QuizItem};
+pub use runner::{evaluate_agent, evaluate_baseline, EvalRun};
+pub use verdict::{match_verdict, VerdictMatch};

@@ -1,0 +1,92 @@
+//! Response-plan coverage (experiment E4, §4.3).
+//!
+//! The paper compares the agent's generated "shutdown strategy" against
+//! the human-expert plan and finds *Predictive Shutdown* and
+//! *Redundancy Utilization* "highly consistent". We check the generated
+//! plan text for all five reference components.
+
+use serde::{Deserialize, Serialize};
+
+/// The five reference components of the expert plan.
+pub const REFERENCE_COMPONENTS: [&str; 5] = [
+    "Predictive Shutdown",
+    "Redundancy Utilization",
+    "Phased Shutdown",
+    "Data Preservation",
+    "Gradual Reboot",
+];
+
+/// The two components the paper highlights as "highly consistent".
+pub const CORE_COMPONENTS: [&str; 2] = ["Predictive Shutdown", "Redundancy Utilization"];
+
+/// Coverage of a generated plan against the reference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanCoverage {
+    pub present: Vec<String>,
+    pub missing: Vec<String>,
+}
+
+impl PlanCoverage {
+    /// Analyse a generated plan text.
+    pub fn of(plan_text: &str) -> Self {
+        let lower = plan_text.to_lowercase();
+        let (present, missing) = REFERENCE_COMPONENTS
+            .iter()
+            .map(|c| c.to_string())
+            .partition(|c: &String| lower.contains(&c.to_lowercase()));
+        PlanCoverage { present, missing }
+    }
+
+    /// Fraction of the five reference components present.
+    pub fn coverage(&self) -> f64 {
+        self.present.len() as f64 / REFERENCE_COMPONENTS.len() as f64
+    }
+
+    /// Whether the two paper-highlighted components are both present.
+    pub fn core_two_present(&self) -> bool {
+        CORE_COMPONENTS
+            .iter()
+            .all(|c| self.present.iter().any(|p| p == c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_plan_scores_one() {
+        let plan = "Suggesting the following strategy:\n\
+                    - Predictive Shutdown: shut the vulnerable systems down first.\n\
+                    - Redundancy Utilization: shift traffic to safer zones.\n\
+                    - Phased Shutdown: sequence by vulnerability.\n\
+                    - Data Preservation: back everything up.\n\
+                    - Gradual Reboot: restore carefully.";
+        let cov = PlanCoverage::of(plan);
+        assert_eq!(cov.coverage(), 1.0);
+        assert!(cov.core_two_present());
+        assert!(cov.missing.is_empty());
+    }
+
+    #[test]
+    fn partial_plan_reports_missing() {
+        let plan = "- Predictive Shutdown: power down early.\n- Data Preservation: backups.";
+        let cov = PlanCoverage::of(plan);
+        assert_eq!(cov.present.len(), 2);
+        assert!(!cov.core_two_present(), "redundancy component absent");
+        assert!(cov.missing.contains(&"Gradual Reboot".to_string()));
+    }
+
+    #[test]
+    fn empty_plan_scores_zero() {
+        let cov = PlanCoverage::of("no plan at all");
+        assert_eq!(cov.coverage(), 0.0);
+        assert_eq!(cov.missing.len(), 5);
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let cov = PlanCoverage::of("we recommend PREDICTIVE SHUTDOWN and redundancy utilization");
+        assert!(cov.core_two_present());
+    }
+}

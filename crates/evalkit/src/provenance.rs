@@ -1,0 +1,104 @@
+//! Knowledge-provenance audit.
+//!
+//! §4.1/§4.2 of the paper stress that Bob "does not receive this
+//! research paper … as a knowledge base" and that the authors "verify
+//! the sources of the knowledge". This module replays that audit over
+//! the agent's memory: a per-source histogram, and a check that no
+//! memorised entry contains the expert conclusions verbatim (which
+//! would mean the agent read the answer key rather than deriving it).
+
+use ira_agentmem::KnowledgeStore;
+use ira_worldmodel::conclusions::ConclusionSet;
+use serde::{Deserialize, Serialize};
+
+/// The audit result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProvenanceReport {
+    /// Entries per source kind.
+    pub source_histogram: Vec<(String, usize)>,
+    /// Total entries audited.
+    pub entries: usize,
+    /// Entries whose content contains an expert conclusion statement
+    /// verbatim (should be zero — the conclusions are never published
+    /// in the corpus).
+    pub answer_key_leaks: usize,
+    /// Distinct source URLs.
+    pub distinct_sources: usize,
+}
+
+impl ProvenanceReport {
+    /// Audit a knowledge store against the conclusion set.
+    pub fn audit(store: &KnowledgeStore, conclusions: &ConclusionSet) -> Self {
+        let entries = store.entries();
+        let mut leaks = 0;
+        for e in &entries {
+            for c in conclusions.iter() {
+                if e.content.contains(&c.statement) {
+                    leaks += 1;
+                }
+            }
+        }
+        let mut urls: Vec<&str> = entries.iter().map(|e| e.source_url.as_str()).collect();
+        urls.sort();
+        urls.dedup();
+        ProvenanceReport {
+            source_histogram: store.source_histogram(),
+            entries: entries.len(),
+            answer_key_leaks: leaks,
+            distinct_sources: urls.len(),
+        }
+    }
+
+    /// The audit passes when learning was multi-source and leak-free.
+    pub fn clean(&self) -> bool {
+        self.answer_key_leaks == 0 && self.distinct_sources >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ira_worldmodel::World;
+
+    fn store_with(contents: &[(&str, &str)]) -> KnowledgeStore {
+        let s = KnowledgeStore::with_defaults();
+        for (i, (content, url)) in contents.iter().enumerate() {
+            s.memorize("t", content, url, "news", i as u64, 0.5);
+        }
+        s
+    }
+
+    #[test]
+    fn clean_store_passes() {
+        let s = store_with(&[
+            ("Geomagnetic storms threaten repeaters.", "sim://a.test/1"),
+            ("The EllaLink cable connects Brazil to Portugal.", "sim://b.test/2"),
+        ]);
+        let report = ProvenanceReport::audit(&s, &World::standard().conclusions());
+        assert!(report.clean());
+        assert_eq!(report.entries, 2);
+        assert_eq!(report.distinct_sources, 2);
+        assert_eq!(report.answer_key_leaks, 0);
+    }
+
+    #[test]
+    fn answer_key_leak_is_detected() {
+        let world = World::standard();
+        let conclusions = world.conclusions();
+        let statement = conclusions.iter().next().unwrap().statement.clone();
+        let s = store_with(&[
+            (&format!("Leaked: {statement}"), "sim://leak.test/1"),
+            ("Innocent content about cables and storms.", "sim://b.test/2"),
+        ]);
+        let report = ProvenanceReport::audit(&s, &conclusions);
+        assert_eq!(report.answer_key_leaks, 1);
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn single_source_store_is_flagged() {
+        let s = store_with(&[("One single source only.", "sim://solo.test/1")]);
+        let report = ProvenanceReport::audit(&s, &World::standard().conclusions());
+        assert!(!report.clean());
+    }
+}

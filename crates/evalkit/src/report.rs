@@ -1,0 +1,172 @@
+//! Plain-text table rendering shared by the experiment binaries.
+
+/// Render rows as a fixed-width table with a header rule.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render rows as CSV (no quoting — callers keep cells comma-free).
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        debug_assert!(row.iter().all(|c| !c.contains(',')), "cells must be comma-free");
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a markdown table.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Render a full evaluation run as a standalone markdown report — the
+/// artifact a deployment would archive per investigation.
+pub fn markdown_report(
+    title: &str,
+    run: &crate::runner::EvalRun,
+    baseline: &crate::consistency::ConsistencyReport,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n\n"));
+    out.push_str(&format!(
+        "**Result:** {} · baseline: {} of {}\n\n",
+        run.consistency.summary(),
+        baseline.consistent_count(),
+        baseline.total()
+    ));
+
+    out.push_str("## Per-question results\n\n");
+    let rows: Vec<Vec<String>> = run
+        .consistency
+        .per_item
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.verdict.clone().unwrap_or_else(|| "*(hedge)*".into()),
+                r.confidence.to_string(),
+                if r.matched.consistent { "yes" } else { "**no**" }.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&["question", "verdict", "confidence", "consistent"], &rows));
+
+    out.push_str("\n## Self-learning trajectories\n\n");
+    let rows: Vec<Vec<String>> = run
+        .trajectories
+        .iter()
+        .map(|t| {
+            let series: Vec<String> =
+                t.confidence_series().iter().map(u8::to_string).collect();
+            vec![
+                t.question.chars().take(60).collect::<String>(),
+                series.join(" → "),
+                t.total_searches().to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&["question", "confidence", "searches"], &rows));
+
+    out.push_str("\n## Provenance\n\n");
+    let p = &run.provenance;
+    out.push_str(&format!(
+        "{} knowledge entries from {} distinct sources; answer-key leaks: {}; audit: {}\n\n",
+        p.entries,
+        p.distinct_sources,
+        p.answer_key_leaks,
+        if p.clean() { "clean" } else { "**dirty**" }
+    ));
+    let rows: Vec<Vec<String>> = p
+        .source_histogram
+        .iter()
+        .map(|(kind, count)| vec![kind.clone(), count.to_string()])
+        .collect();
+    out.push_str(&md_table(&["source kind", "entries"], &rows));
+    out
+}
+
+/// A standard experiment banner.
+pub fn banner(id: &str, title: &str, paper_claim: &str) -> String {
+    format!(
+        "=== {id}: {title} ===\npaper: {paper_claim}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["short".into(), "1".into()],
+                vec!["much longer name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Both value cells start at the same column.
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find("22").unwrap(), col);
+    }
+
+    #[test]
+    fn csv_joins_cells() {
+        let c = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn md_table_renders() {
+        let t = md_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t, "| a | b |\n|---|---|\n| 1 | 2 |\n");
+    }
+
+    #[test]
+    fn banner_shape() {
+        let b = banner("E1", "Conclusion consistency", "7 of 8 conclusions");
+        assert!(b.starts_with("=== E1: Conclusion consistency ==="));
+        assert!(b.contains("paper: 7 of 8"));
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end evaluation runs: train an agent, self-learn through the
+//! quiz, and score consistency — plus the ungrounded baseline (the
+//! paper's "ChatGPT directly" comparison).
+
+use crate::consistency::ConsistencyReport;
+use crate::provenance::ProvenanceReport;
+use crate::quiz::QuizBank;
+use ira_core::selflearn::LearningTrajectory;
+use ira_core::{Environment, ResearchAgent};
+use ira_simllm::Llm;
+use serde::{Deserialize, Serialize};
+
+/// Everything one evaluated run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalRun {
+    pub consistency: ConsistencyReport,
+    pub trajectories: Vec<LearningTrajectory>,
+    pub provenance: ProvenanceReport,
+}
+
+impl EvalRun {
+    /// Total self-learning rounds across the quiz.
+    pub fn total_learning_rounds(&self) -> u32 {
+        self.trajectories.iter().map(|t| t.learning_rounds()).sum()
+    }
+
+    /// Total searches issued during self-learning.
+    pub fn total_searches(&self) -> usize {
+        self.trajectories.iter().map(|t| t.total_searches()).sum()
+    }
+}
+
+/// Evaluate a (typically freshly trained) agent on the quiz with full
+/// self-learning per question.
+pub fn evaluate_agent(
+    agent: &mut ResearchAgent<'_>,
+    quiz: &QuizBank,
+    world_conclusions: &ira_worldmodel::ConclusionSet,
+) -> EvalRun {
+    let mut consistency = ConsistencyReport::new(&format!("agent {}", agent.role.name));
+    let mut trajectories = Vec::new();
+    for item in quiz.iter() {
+        let trajectory = agent.self_learn(&item.question);
+        let answer = agent.ask(&item.question);
+        consistency.add(item, &answer);
+        trajectories.push(trajectory);
+    }
+    let provenance = ProvenanceReport::audit(agent.memory(), world_conclusions);
+    EvalRun { consistency, trajectories, provenance }
+}
+
+/// The baseline: the same model with no agent architecture — no
+/// memory, no retrieval, no self-learning. This reproduces the paper's
+/// observation that the raw model hedges.
+pub fn evaluate_baseline(llm: &Llm, quiz: &QuizBank) -> ConsistencyReport {
+    let mut report = ConsistencyReport::new("baseline (ungrounded LLM)");
+    for item in quiz.iter() {
+        let answer = llm.answer(&item.question, &[]);
+        report.add(item, &answer);
+    }
+    report
+}
+
+/// Convenience: build environment + Bob, train, evaluate, return both
+/// runs. Used by experiment E1 and the integration tests.
+pub fn full_paper_run(env: &Environment) -> (EvalRun, ConsistencyReport) {
+    let quiz = QuizBank::from_world(&env.world);
+    let conclusions = env.world.conclusions();
+    let mut bob = ResearchAgent::bob(env);
+    bob.train();
+    let agent_run = evaluate_agent(&mut bob, &quiz, &conclusions);
+    let baseline = evaluate_baseline(&Llm::gpt4(999), &quiz);
+    (agent_run, baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ira_worldmodel::World;
+
+    #[test]
+    fn baseline_is_mostly_inconsistent_and_unconfident() {
+        let quiz = QuizBank::from_world(&World::standard());
+        let report = evaluate_baseline(&Llm::gpt4(1), &quiz);
+        assert_eq!(report.total(), 8);
+        assert!(
+            report.consistent_count() <= 1,
+            "ungrounded model matched {} conclusions",
+            report.consistent_count()
+        );
+        assert!(report.mean_confidence() <= 3.0);
+    }
+
+    #[test]
+    fn trained_agent_reaches_paper_level_consistency() {
+        // The paper's headline: 7 of 8 conclusions consistent. This is
+        // the full pipeline, so it doubles as an integration test.
+        let env = Environment::standard();
+        let (agent_run, baseline) = full_paper_run(&env);
+        assert!(
+            agent_run.consistency.consistent_count() >= 7,
+            "agent matched only {} of {}:\n{:#?}",
+            agent_run.consistency.consistent_count(),
+            agent_run.consistency.total(),
+            agent_run
+                .consistency
+                .per_item
+                .iter()
+                .map(|r| (r.id.clone(), r.matched.consistent, r.verdict.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(agent_run.consistency.consistent_count() > baseline.consistent_count());
+        assert!(agent_run.provenance.clean(), "provenance: {:?}", agent_run.provenance);
+        assert_eq!(agent_run.trajectories.len(), 8);
+    }
+}

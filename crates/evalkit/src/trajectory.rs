@@ -1,0 +1,88 @@
+//! Confidence-trajectory reporting (experiments E2/E3).
+
+use ira_core::selflearn::LearningTrajectory;
+
+/// Render a trajectory as the fixed-width table the experiment
+/// binaries print.
+pub fn render_table(t: &LearningTrajectory) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("question: {}\n", t.question));
+    out.push_str(&format!("threshold: {}\n", t.threshold));
+    out.push_str("round  conf  coverage  searches  memorized  verdict\n");
+    for r in &t.rounds {
+        out.push_str(&format!(
+            "{:>5}  {:>4}  {:>8.2}  {:>8}  {:>9}  {}\n",
+            r.round,
+            r.confidence,
+            r.coverage,
+            r.searches.len(),
+            r.memorized,
+            r.verdict.as_deref().unwrap_or("(hedge)")
+        ));
+    }
+    out.push_str(&format!(
+        "reached threshold: {} (confidence {} -> {})\n",
+        t.reached_threshold,
+        t.initial_confidence().unwrap_or(0),
+        t.final_confidence().unwrap_or(0)
+    ));
+    out
+}
+
+/// CSV form: `round,confidence,coverage,searches,memorized`.
+pub fn render_csv(t: &LearningTrajectory) -> String {
+    let mut out = String::from("round,confidence,coverage,searches,memorized\n");
+    for r in &t.rounds {
+        out.push_str(&format!(
+            "{},{},{:.3},{},{}\n",
+            r.round,
+            r.confidence,
+            r.coverage,
+            r.searches.len(),
+            r.memorized
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ira_simllm::reason::Answer;
+
+    fn trajectory() -> LearningTrajectory {
+        let mut t = LearningTrajectory::new("test question", 7);
+        let mk = |c: u8, verdict: Option<&str>| Answer {
+            text: "answer".into(),
+            verdict: verdict.map(str::to_owned),
+            confidence: c,
+            coverage: c as f64 / 10.0,
+            missing: Vec::new(),
+            principles_used: Vec::new(),
+            facts_used: 0,
+            reasoning: Vec::new(),
+        };
+        t.record(0, &mk(3, None), Vec::new(), 0);
+        t.record(1, &mk(9, Some("the US cable")), vec!["q1".into(), "q2".into()], 4);
+        t
+    }
+
+    #[test]
+    fn table_shows_both_rounds() {
+        let text = render_table(&trajectory());
+        assert!(text.contains("test question"));
+        assert!(text.contains("(hedge)"));
+        assert!(text.contains("the US cable"));
+        assert!(text.contains("confidence 3 -> 9"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows() {
+        let csv = render_csv(&trajectory());
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "round,confidence,coverage,searches,memorized");
+        assert!(lines[1].starts_with("0,3,"));
+        assert!(lines[2].starts_with("1,9,"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Verdict matching: does an agent answer assert the expert conclusion?
+//!
+//! A match requires three things:
+//!
+//! 1. the agent *committed* (hedged answers never match — the paper's
+//!    ChatGPT baseline fails exactly this way),
+//! 2. the verdict covers the expected answer's signature terms and
+//!    contains none of the wrong-side terms,
+//! 3. the rationale mentions enough of the expected reasoning
+//!    vocabulary.
+
+use crate::quiz::QuizItem;
+use ira_simllm::reason::Answer;
+use serde::{Deserialize, Serialize};
+
+/// Share of signature terms that must appear in the verdict.
+const SIGNATURE_THRESHOLD: f64 = 0.7;
+/// Share of rationale terms that must appear in the answer text.
+const RATIONALE_THRESHOLD: f64 = 0.34;
+
+/// Outcome of matching one answer against one quiz item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerdictMatch {
+    /// The agent committed to some verdict at all.
+    pub committed: bool,
+    /// Fraction of expected signature terms found in the verdict.
+    pub signature_score: f64,
+    /// A wrong-side term appeared in the verdict.
+    pub wrong_side: bool,
+    /// Fraction of rationale terms found in the answer text.
+    pub rationale_score: f64,
+    /// The overall call: consistent with the expert conclusion.
+    pub consistent: bool,
+}
+
+/// Normalise text for matching: lowercase and expand the common
+/// country abbreviations the questions use.
+fn normalize(text: &str) -> String {
+    let lower = text.to_lowercase();
+    // Cheap token-boundary-aware replacement of "us"/"u.s." → the full
+    // name, so "the US to Europe" matches "United States".
+    let mut out = String::with_capacity(lower.len() + 16);
+    for word in lower.split_whitespace() {
+        let cleaned = word.trim_matches(|c: char| !c.is_alphanumeric() && c != '\'');
+        let mapped = match cleaned {
+            "us" | "u.s" | "usa" => "united states",
+            other => other,
+        };
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(mapped);
+    }
+    out
+}
+
+/// Content words of the expected answer (the "signature").
+fn signature_terms(expected: &str) -> Vec<String> {
+    const SKIP: &[&str] = &[
+        "the", "a", "an", "to", "of", "is", "are", "more", "most", "yes", "no", "and", "or",
+        "that", "its", "it", "than", "while",
+    ];
+    normalize(expected)
+        .split_whitespace()
+        .filter(|w| w.len() > 1 && !SKIP.contains(w))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Match one answer against one quiz item.
+pub fn match_verdict(answer: &Answer, item: &QuizItem) -> VerdictMatch {
+    let text_norm = normalize(&answer.text);
+    let rationale_terms = &item.rationale_terms;
+    let rationale_hits = rationale_terms
+        .iter()
+        .filter(|t| text_norm.contains(t.as_str()))
+        .count();
+    let rationale_score = if rationale_terms.is_empty() {
+        1.0
+    } else {
+        rationale_hits as f64 / rationale_terms.len() as f64
+    };
+
+    let Some(verdict) = &answer.verdict else {
+        return VerdictMatch {
+            committed: false,
+            signature_score: 0.0,
+            wrong_side: false,
+            rationale_score,
+            consistent: false,
+        };
+    };
+
+    // Match the signature against the verdict plus the leading sentence
+    // of the answer (models often state the choice there).
+    let verdict_norm = format!(
+        "{} {}",
+        normalize(verdict),
+        normalize(answer.text.split('.').next().unwrap_or(""))
+    );
+    let signature = signature_terms(&item.expected_answer);
+    let hits = signature
+        .iter()
+        .filter(|t| verdict_norm.contains(t.as_str()))
+        .count();
+    let signature_score = if signature.is_empty() {
+        1.0
+    } else {
+        hits as f64 / signature.len() as f64
+    };
+    let wrong_side = item
+        .wrong_terms
+        .iter()
+        .any(|t| verdict_norm.contains(t.as_str()));
+
+    VerdictMatch {
+        committed: true,
+        signature_score,
+        wrong_side,
+        rationale_score,
+        consistent: signature_score >= SIGNATURE_THRESHOLD
+            && !wrong_side
+            && rationale_score >= RATIONALE_THRESHOLD,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ira_worldmodel::World;
+
+    fn item(id: &str) -> QuizItem {
+        crate::quiz::QuizBank::from_world(&World::standard())
+            .get(id)
+            .unwrap()
+            .clone()
+    }
+
+    fn answer(text: &str, verdict: Option<&str>) -> Answer {
+        Answer {
+            text: text.into(),
+            verdict: verdict.map(str::to_owned),
+            confidence: 8,
+            coverage: 0.9,
+            missing: Vec::new(),
+            principles_used: Vec::new(),
+            facts_used: 3,
+            reasoning: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn correct_cable_verdict_matches() {
+        let item = item("BrazilEuropeCableSafer");
+        let ans = answer(
+            "The cable connecting United States to Europe is more vulnerable. Solar activity \
+             has a more significant impact at higher geomagnetic latitudes.",
+            Some("the cable connecting United States to Europe"),
+        );
+        let m = match_verdict(&ans, &item);
+        assert!(m.consistent, "{m:?}");
+    }
+
+    #[test]
+    fn wrong_side_cable_verdict_is_rejected() {
+        let item = item("BrazilEuropeCableSafer");
+        let ans = answer(
+            "The cable connecting Brazil to Europe is more vulnerable because of higher \
+             geomagnetic latitude exposure.",
+            Some("the cable connecting Brazil to Europe"),
+        );
+        let m = match_verdict(&ans, &item);
+        assert!(!m.consistent);
+        assert!(m.wrong_side);
+    }
+
+    #[test]
+    fn hedged_answer_never_matches() {
+        let item = item("BrazilEuropeCableSafer");
+        let ans = answer(
+            "Both cables can be vulnerable to solar activity; the exact impact can vary with \
+             geomagnetic latitude and design.",
+            None,
+        );
+        let m = match_verdict(&ans, &item);
+        assert!(!m.committed);
+        assert!(!m.consistent);
+    }
+
+    #[test]
+    fn abbreviated_us_matches_united_states() {
+        let item = item("BrazilEuropeCableSafer");
+        let ans = answer(
+            "The cable connecting the US to Europe is more exposed given the higher \
+             geomagnetic latitudes along its route.",
+            Some("the cable connecting the US to Europe"),
+        );
+        assert!(match_verdict(&ans, &item).consistent);
+    }
+
+    #[test]
+    fn datacenter_wrong_operator_is_rejected() {
+        let item = item("GoogleBetterSpread");
+        let right = answer(
+            "Facebook's data centers are more vulnerable given Google's broader spread across \
+             Asia and South America, which makes its footprint more dispersed.",
+            Some("Facebook's data centers are more vulnerable"),
+        );
+        assert!(match_verdict(&right, &item).consistent);
+        let wrong = answer(
+            "Google's data centers are more vulnerable because they are more spread out and \
+             dispersed across Asia and South America.",
+            Some("Google's data centers are more vulnerable"),
+        );
+        assert!(!match_verdict(&wrong, &item).consistent);
+    }
+
+    #[test]
+    fn rationale_free_answer_fails_the_rationale_gate() {
+        let item = item("BrazilEuropeCableSafer");
+        let ans = answer(
+            "The cable connecting United States to Europe. Just trust me on this one.",
+            Some("the cable connecting United States to Europe"),
+        );
+        let m = match_verdict(&ans, &item);
+        assert!(!m.consistent, "no reasoning vocabulary present: {m:?}");
+    }
+
+    #[test]
+    fn all_quiz_items_accept_their_own_expected_answer() {
+        let world = World::standard();
+        let quiz = crate::quiz::QuizBank::from_world(&world);
+        for item in quiz.iter() {
+            let text = format!(
+                "{} This follows because {}.",
+                item.expected_answer,
+                item.rationale_terms.join(" and ")
+            );
+            let ans = answer(&text, Some(&item.expected_answer));
+            let m = match_verdict(&ans, &item.clone());
+            assert!(m.consistent, "{:?} rejected its own expected answer: {m:?}", item.id);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the evaluation harness.
+
+use ira_evalkit::plancov::PlanCoverage;
+use ira_evalkit::quiz::{QuizBank, QuizItem};
+use ira_evalkit::report::{csv, table};
+use ira_evalkit::verdict::match_verdict;
+use ira_simllm::reason::Answer;
+use ira_worldmodel::World;
+use proptest::prelude::*;
+
+fn answer(text: String, verdict: Option<String>, confidence: u8) -> Answer {
+    Answer {
+        text,
+        verdict,
+        confidence,
+        coverage: confidence as f64 / 10.0,
+        missing: Vec::new(),
+        principles_used: Vec::new(),
+        facts_used: 0,
+        reasoning: Vec::new(),
+    }
+}
+
+fn any_item() -> impl Strategy<Value = QuizItem> {
+    let quiz = QuizBank::from_world(&World::standard());
+    let items: Vec<QuizItem> = quiz.iter().cloned().collect();
+    prop::sample::select(items)
+}
+
+proptest! {
+    #[test]
+    fn verdict_scores_are_bounded(
+        item in any_item(),
+        text in "\\PC{0,300}",
+        verdict in prop::option::of("\\PC{0,80}"),
+        confidence in 0u8..=10,
+    ) {
+        let m = match_verdict(&answer(text, verdict.clone(), confidence), &item);
+        prop_assert!((0.0..=1.0).contains(&m.signature_score));
+        prop_assert!((0.0..=1.0).contains(&m.rationale_score));
+        prop_assert_eq!(m.committed, verdict.is_some());
+        if !m.committed {
+            prop_assert!(!m.consistent, "hedges never count as consistent");
+        }
+    }
+
+    #[test]
+    fn expected_answers_always_match_themselves(item in any_item()) {
+        let text = format!(
+            "{} This is because {}.",
+            item.expected_answer,
+            item.rationale_terms.join(" and ")
+        );
+        let m = match_verdict(
+            &answer(text, Some(item.expected_answer.clone()), 9),
+            &item,
+        );
+        prop_assert!(m.consistent, "{:?} rejected its own expected answer", item.id);
+    }
+
+    #[test]
+    fn plan_coverage_is_monotone_in_components(present_mask in 0u8..32) {
+        use ira_evalkit::plancov::REFERENCE_COMPONENTS;
+        let mut text = String::from("Plan: ");
+        let mut expected = 0;
+        for (i, c) in REFERENCE_COMPONENTS.iter().enumerate() {
+            if present_mask & (1 << i) != 0 {
+                text.push_str(c);
+                text.push_str(". ");
+                expected += 1;
+            }
+        }
+        let cov = PlanCoverage::of(&text);
+        prop_assert_eq!(cov.present.len(), expected);
+        prop_assert_eq!(cov.present.len() + cov.missing.len(), REFERENCE_COMPONENTS.len());
+        prop_assert!((0.0..=1.0).contains(&cov.coverage()));
+    }
+
+    #[test]
+    fn table_renders_any_rows_without_panicking(
+        rows in prop::collection::vec(
+            prop::collection::vec("[ -~&&[^,]]{0,20}", 3..=3),
+            0..6,
+        ),
+    ) {
+        let rendered = table(&["a", "b", "c"], &rows);
+        prop_assert!(rendered.lines().count() >= 2);
+        let rendered_csv = csv(&["a", "b", "c"], &rows);
+        prop_assert_eq!(rendered_csv.lines().count(), rows.len() + 1);
+    }
+}

@@ -1,0 +1,827 @@
+//! The fact-extraction layer — the model's "reading comprehension".
+//!
+//! Real LLMs absorb facts from prose in context; this module gives the
+//! simulated model the same ability over the prose the synthetic web
+//! actually publishes (the *fact sentence contract*, documented in
+//! `ira-webcorpus::templates`). Extraction is per-sentence, with a
+//! running subject so anaphora like "The system spans…" binds to the
+//! entity the passage is about.
+//!
+//! Extraction is intentionally tolerant of surrounding text — facts are
+//! found anywhere within a sentence — but strict about the fact shapes
+//! themselves, so distractor text never produces phantom facts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A general causal principle the model can pick up from explainer
+/// text. These carry the "why" of an answer; entity facts carry the
+/// "which".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Principle {
+    /// Induced currents grow with geomagnetic latitude.
+    LatitudeRisk,
+    /// Repeaters, not fiber, are the vulnerable cable component.
+    RepeaterWeakness,
+    /// Dispersed data-center footprints are more resilient.
+    DispersionResilience,
+    /// Longer cables accumulate more repeater risk.
+    LengthRisk,
+    /// Terrestrial fiber is short/unrepeated and safer.
+    TerrestrialSafety,
+    /// Storms threaten power grids through long lines.
+    GridThreat,
+    /// Enough cable failures partition continents.
+    PartitionRisk,
+    /// Planning: shut vulnerable systems down preemptively.
+    PredictiveShutdown,
+    /// Planning: redirect to redundant, safer systems.
+    RedundancyUtilization,
+    /// Planning: shut down in phases ordered by vulnerability.
+    PhasedShutdown,
+    /// Planning: back critical data up pre-impact.
+    DataPreservation,
+    /// Planning: reboot gradually after impact.
+    GradualReboot,
+}
+
+impl Principle {
+    /// The distinctive key-phrase marking each principle in text.
+    fn marker(&self) -> &'static str {
+        match self {
+            Principle::LatitudeRisk => "grow stronger at higher geomagnetic latitudes",
+            Principle::RepeaterWeakness => "most vulnerable component",
+            Principle::DispersionResilience => "dispersed data center footprint",
+            Principle::LengthRisk => "more repeaters and therefore accumulate",
+            Principle::TerrestrialSafety => "short and unrepeated",
+            Principle::GridThreat => "damaging currents in long power lines",
+            Principle::PartitionRisk => "partitioned from the internet",
+            Principle::PredictiveShutdown => "preemptively shut down",
+            Principle::RedundancyUtilization => "redirected to redundant systems",
+            Principle::PhasedShutdown => "phased shutdown sequence",
+            Principle::DataPreservation => "backed up and preserved before",
+            Principle::GradualReboot => "rebooted gradually",
+        }
+    }
+
+    pub const ALL: [Principle; 12] = [
+        Principle::LatitudeRisk,
+        Principle::RepeaterWeakness,
+        Principle::DispersionResilience,
+        Principle::LengthRisk,
+        Principle::TerrestrialSafety,
+        Principle::GridThreat,
+        Principle::PartitionRisk,
+        Principle::PredictiveShutdown,
+        Principle::RedundancyUtilization,
+        Principle::PhasedShutdown,
+        Principle::DataPreservation,
+        Principle::GradualReboot,
+    ];
+}
+
+/// A structured fact extracted from context text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fact {
+    /// "{name} submarine cable connects {cityA}, {countryA} to {cityB},
+    /// {countryB}, linking {regionA} and {regionB}."
+    CableRoute {
+        name: String,
+        from_city: String,
+        from_country: String,
+        to_city: String,
+        to_country: String,
+        from_region: String,
+        to_region: String,
+    },
+    /// Maximum |geomagnetic latitude| along an entity's route.
+    MaxGeomagLatitude { entity: String, degrees: f64 },
+    /// Cable length in km.
+    LengthKm { entity: String, km: f64 },
+    /// Number of powered repeaters.
+    RepeaterCount { entity: String, count: u32 },
+    /// Operator's region coverage count.
+    RegionCoverage { operator: String, regions: u32 },
+    /// Share of operator's sites at low geomagnetic latitude, percent.
+    LowLatShare { operator: String, percent: f64 },
+    /// Operator runs a data center at a site.
+    DcPresence { operator: String, city: String, country: String, region: String },
+    /// Historic storm intensity.
+    StormDst { name: String, year: Option<u16>, dst: f64 },
+    /// A regional grid's geomagnetic latitude.
+    RegionGridLatitude { grid: String, region: String, degrees: f64 },
+    /// "The {year} {name} was caused by {cause}."
+    IncidentCause { incident: String, cause: String },
+    /// "The main effect on the Internet was {effect}." (subject-bound)
+    IncidentEffect { incident: String, effect: String },
+    /// "Service was disrupted for about {h} hours." (subject-bound)
+    IncidentDuration { incident: String, hours: f64 },
+    /// "The {year} {name} severed {n} submarine cables."
+    IncidentCablesCut { incident: String, count: u32 },
+    /// "During the {year} {name}, global Internet traffic grew by
+    /// about {p} percent."
+    IncidentTraffic { incident: String, percent: f64 },
+}
+
+/// Everything read out of a body of context text.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Extraction {
+    pub facts: Vec<Fact>,
+    pub principles: BTreeSet<Principle>,
+}
+
+impl Extraction {
+    /// Read `text`, optionally knowing up front what entity the passage
+    /// is about (e.g. a page title).
+    pub fn from_text(text: &str, subject_hint: Option<&str>) -> Self {
+        let mut ex = Extraction::default();
+        ex.absorb(text, subject_hint);
+        ex
+    }
+
+    /// Read more text into this extraction.
+    pub fn absorb(&mut self, text: &str, subject_hint: Option<&str>) {
+        let lower = text.to_lowercase();
+        for p in Principle::ALL {
+            if lower.contains(p.marker()) {
+                self.principles.insert(p);
+            }
+        }
+
+        let mut subject: Option<String> = subject_hint.map(str::to_owned);
+        for sentence in split_sentences(text) {
+            if let Some(fact) = parse_route(sentence) {
+                if let Fact::CableRoute { name, .. } = &fact {
+                    subject = Some(name.clone());
+                }
+                self.push(fact);
+            }
+            if let Some(deg) = parse_apex(sentence) {
+                let entity = apex_entity(sentence).or_else(|| subject.clone());
+                if let Some(entity) = entity {
+                    self.push(Fact::MaxGeomagLatitude { entity, degrees: deg });
+                }
+            }
+            if let Some(km) = parse_after_number(sentence, "spans approximately ", " kilometres") {
+                if let Some(entity) = subject.clone() {
+                    self.push(Fact::LengthKm { entity, km });
+                }
+            }
+            if let Some(n) = parse_after_number(sentence, "powered through roughly ", " optical repeaters")
+            {
+                if let Some(entity) = subject.clone() {
+                    self.push(Fact::RepeaterCount { entity, count: n as u32 });
+                }
+            }
+            if let Some(fact) = parse_coverage(sentence) {
+                self.push(fact);
+            }
+            if let Some(fact) = parse_low_lat_share(sentence) {
+                self.push(fact);
+            }
+            if let Some(fact) = parse_presence(sentence) {
+                self.push(fact);
+            }
+            if let Some(fact) = parse_storm(sentence) {
+                self.push(fact);
+            }
+            if let Some(fact) = parse_grid(sentence) {
+                self.push(fact);
+            }
+            if let Some(fact) = parse_incident_cause(sentence) {
+                if let Fact::IncidentCause { incident, .. } = &fact {
+                    subject = Some(incident.clone());
+                }
+                self.push(fact);
+            }
+            if let Some(effect) = parse_after_marker(sentence, "The main effect on the Internet was ") {
+                if let Some(incident) = subject.clone() {
+                    self.push(Fact::IncidentEffect { incident, effect });
+                }
+            }
+            if let Some(hours) = parse_after_number(sentence, "disrupted for about ", " hours") {
+                if let Some(incident) = subject.clone() {
+                    self.push(Fact::IncidentDuration { incident, hours });
+                }
+            }
+            if let Some(fact) = parse_cables_cut(sentence) {
+                self.push(fact);
+            }
+            if let Some(fact) = parse_incident_traffic(sentence) {
+                self.push(fact);
+            }
+        }
+    }
+
+    /// Merge another extraction into this one, deduplicating.
+    pub fn merge(&mut self, other: &Extraction) {
+        for f in &other.facts {
+            self.push(f.clone());
+        }
+        self.principles.extend(other.principles.iter().copied());
+    }
+
+    fn push(&mut self, fact: Fact) {
+        if !self.facts.contains(&fact) {
+            self.facts.push(fact);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty() && self.principles.is_empty()
+    }
+
+    /// All cable-route facts.
+    pub fn routes(&self) -> impl Iterator<Item = &Fact> {
+        self.facts
+            .iter()
+            .filter(|f| matches!(f, Fact::CableRoute { .. }))
+    }
+
+    /// Max geomagnetic latitude recorded for `entity`, if any.
+    /// All distinct apex values recorded for `entity`.
+    pub fn apex_values(&self, entity: &str) -> Vec<f64> {
+        self.facts
+            .iter()
+            .filter_map(|f| match f {
+                Fact::MaxGeomagLatitude { entity: e, degrees } if e == entity => Some(*degrees),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The apex value the model believes, robust to adversarial
+    /// context: the *median* of the distinct values it has read. A
+    /// single poisoned source cannot drag the estimate past the
+    /// midpoint, and with two honest corroborating sources it cannot
+    /// move it at all (§5 "the knowledge memory file can be hacked
+    /// with adversarial data").
+    pub fn apex_of(&self, entity: &str) -> Option<f64> {
+        let mut values = self.apex_values(entity);
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        Some(if n % 2 == 1 {
+            values[n / 2]
+        } else {
+            (values[n / 2 - 1] + values[n / 2]) / 2.0
+        })
+    }
+
+    /// Whether sources disagree materially about an entity's apex
+    /// (spread above `tolerance` degrees).
+    pub fn apex_conflict(&self, entity: &str, tolerance: f64) -> bool {
+        let values = self.apex_values(entity);
+        match (
+            values.iter().copied().reduce(f64::min),
+            values.iter().copied().reduce(f64::max),
+        ) {
+            (Some(lo), Some(hi)) => hi - lo > tolerance,
+            _ => false,
+        }
+    }
+
+    /// Region coverage for an operator (case-insensitive).
+    pub fn coverage_of(&self, operator: &str) -> Option<u32> {
+        let op = operator.to_lowercase();
+        self.facts.iter().find_map(|f| match f {
+            Fact::RegionCoverage { operator: o, regions } if o.to_lowercase() == op => {
+                Some(*regions)
+            }
+            _ => None,
+        })
+    }
+
+    /// Low-latitude share for an operator (percent).
+    pub fn low_lat_share_of(&self, operator: &str) -> Option<f64> {
+        let op = operator.to_lowercase();
+        self.facts.iter().find_map(|f| match f {
+            Fact::LowLatShare { operator: o, percent } if o.to_lowercase() == op => Some(*percent),
+            _ => None,
+        })
+    }
+
+    /// Data-center presence facts for an operator.
+    pub fn presences_of(&self, operator: &str) -> Vec<&Fact> {
+        let op = operator.to_lowercase();
+        self.facts
+            .iter()
+            .filter(|f| {
+                matches!(f, Fact::DcPresence { operator: o, .. } if o.to_lowercase() == op)
+            })
+            .collect()
+    }
+
+    /// Mean |grid geomagnetic latitude| for a region, if known.
+    pub fn region_latitude(&self, region: &str) -> Option<f64> {
+        let wanted = region.to_lowercase();
+        let values: Vec<f64> = self
+            .facts
+            .iter()
+            .filter_map(|f| match f {
+                Fact::RegionGridLatitude { region: r, degrees, .. }
+                    if r.to_lowercase() == wanted =>
+                {
+                    Some(*degrees)
+                }
+                _ => None,
+            })
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+}
+
+/// Find all facts about an incident whose name matches `needle`
+/// (containment either way, case-insensitive).
+pub fn incident_matches(incident: &str, needle: &str) -> bool {
+    let a = incident.to_lowercase();
+    let b = needle.to_lowercase();
+    a.contains(&b) || b.contains(&a)
+}
+
+/// Split text into sentences, avoiding splits after short capitalised
+/// abbreviations ("St. Ghislain").
+pub fn split_sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'.' || bytes[i] == b'\n' || bytes[i] == b'?' || bytes[i] == b'!' {
+            let is_break = if bytes[i] == b'.' {
+                let next_ws = bytes.get(i + 1).is_none_or(|b| b.is_ascii_whitespace());
+                let prev_word_len = text[start..i]
+                    .rsplit(|c: char| c.is_whitespace())
+                    .next()
+                    .map_or(0, str::len);
+                next_ws && prev_word_len > 2
+            } else {
+                true
+            };
+            if is_break {
+                let s = text[start..=i.min(text.len() - 1)].trim();
+                if !s.is_empty() {
+                    out.push(s);
+                }
+                start = i + 1;
+            }
+        }
+        i += 1;
+    }
+    let tail = text[start.min(text.len())..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Parse a leading f64 (optionally signed) from `s`.
+fn leading_number(s: &str) -> Option<f64> {
+    let s = s.trim_start();
+    let end = s
+        .char_indices()
+        .take_while(|(i, c)| c.is_ascii_digit() || *c == '.' || (*i == 0 && *c == '-'))
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    s[..end].trim_end_matches('.').parse().ok()
+}
+
+/// Find `prefix`…number…`suffix` in a sentence; return the number.
+fn parse_after_number(sentence: &str, prefix: &str, suffix: &str) -> Option<f64> {
+    let idx = sentence.find(prefix)?;
+    let rest = &sentence[idx + prefix.len()..];
+    let n = leading_number(rest)?;
+    // Require the suffix to follow the number closely.
+    let after_num = &rest[rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len())..];
+    after_num.starts_with(suffix.trim_start()).then_some(n)
+        .or_else(|| rest.contains(suffix).then_some(n))
+}
+
+fn parse_route(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " submarine cable connects ";
+    let idx = sentence.find(MARKER)?;
+    let mut name = sentence[..idx].trim();
+    name = name.strip_prefix("The ").unwrap_or(name);
+    // Guard against prose like "...systems. The submarine cable connects…"
+    if name.is_empty() || name.len() > 60 {
+        return None;
+    }
+    let rest = &sentence[idx + MARKER.len()..];
+    let (from_part, rest) = rest.split_once(" to ")?;
+    let (to_part, regions) = rest.split_once(", linking ")?;
+    let (from_city, from_country) = from_part.split_once(", ")?;
+    let (to_city, to_country) = to_part.split_once(", ")?;
+    let regions = regions.trim_end_matches('.');
+    let (from_region, to_region) = regions.split_once(" and ")?;
+    Some(Fact::CableRoute {
+        name: name.to_string(),
+        from_city: from_city.trim().to_string(),
+        from_country: from_country.trim().to_string(),
+        to_city: to_city.trim().to_string(),
+        to_country: to_country.trim().to_string(),
+        from_region: from_region.trim().to_string(),
+        to_region: to_region.trim().to_string(),
+    })
+}
+
+fn parse_apex(sentence: &str) -> Option<f64> {
+    const MARKER: &str = "maximum geomagnetic latitude of ";
+    let idx = sentence.find(MARKER)?;
+    let rest = &sentence[idx + MARKER.len()..];
+    let deg = leading_number(rest)?;
+    rest.contains("degrees").then_some(deg)
+}
+
+/// "The {name} cable reaches a maximum geomagnetic latitude…" — the
+/// short social-post form carries its own entity.
+fn apex_entity(sentence: &str) -> Option<String> {
+    let idx = sentence.find(" cable reaches a maximum geomagnetic latitude")?;
+    let head = &sentence[..idx];
+    let name_start = head.rfind("The ")?;
+    let name = head[name_start + 4..].trim();
+    (!name.is_empty()).then(|| name.to_string())
+}
+
+fn parse_coverage(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " operates data centers in ";
+    let idx = sentence.find(MARKER)?;
+    let operator = last_word_span(&sentence[..idx])?;
+    let rest = &sentence[idx + MARKER.len()..];
+    let regions = leading_number(rest)? as u32;
+    rest.contains("major regions").then(|| Fact::RegionCoverage {
+        operator,
+        regions,
+    })
+}
+
+fn parse_low_lat_share(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " percent of ";
+    const TAIL: &str = "'s data center sites sit at low geomagnetic latitudes";
+    let tail_idx = sentence.find(TAIL)?;
+    let idx = sentence[..tail_idx].find(MARKER)?;
+    let operator = sentence[idx + MARKER.len()..tail_idx].trim().to_string();
+    let head = &sentence[..idx];
+    let num_start = head.rfind(' ').map(|i| i + 1).unwrap_or(0);
+    let percent = leading_number(&head[num_start..])?;
+    Some(Fact::LowLatShare { operator, percent })
+}
+
+fn parse_presence(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " operates a data center in ";
+    let idx = sentence.find(MARKER)?;
+    let operator = last_word_span(&sentence[..idx])?;
+    let rest = sentence[idx + MARKER.len()..].trim_end_matches('.');
+    let (site, region) = rest.rsplit_once(", in ")?;
+    let (city, country) = site.rsplit_once(", ")?;
+    Some(Fact::DcPresence {
+        operator,
+        city: city.trim().to_string(),
+        country: country.trim().to_string(),
+        region: region.trim().to_string(),
+    })
+}
+
+fn parse_storm(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " reached an estimated Dst of ";
+    let idx = sentence.find(MARKER)?;
+    let head = sentence[..idx].trim();
+    let head = head.strip_prefix("The ").unwrap_or(head);
+    let (year, name) = match head.split_once(' ') {
+        Some((y, rest)) if y.len() == 4 && y.chars().all(|c| c.is_ascii_digit()) => {
+            (y.parse().ok(), rest.to_string())
+        }
+        _ => (None, head.to_string()),
+    };
+    let rest = &sentence[idx + MARKER.len()..];
+    let dst = leading_number(rest)?;
+    rest.contains("nanotesla")
+        .then_some(Fact::StormDst { name, year, dst })
+}
+
+fn parse_grid(sentence: &str) -> Option<Fact> {
+    const SERVES: &str = " serves ";
+    const SITS: &str = " and sits at about ";
+    let serves_idx = sentence.find(SERVES)?;
+    let sits_idx = sentence.find(SITS)?;
+    if sits_idx <= serves_idx {
+        return None;
+    }
+    let grid = sentence[..serves_idx]
+        .trim()
+        .strip_prefix("The ")
+        .unwrap_or(&sentence[..serves_idx])
+        .to_string();
+    let region = sentence[serves_idx + SERVES.len()..sits_idx].trim().to_string();
+    let rest = &sentence[sits_idx + SITS.len()..];
+    let degrees = leading_number(rest)?;
+    rest.contains("degrees geomagnetic latitude").then_some(Fact::RegionGridLatitude {
+        grid,
+        region,
+        degrees,
+    })
+}
+
+fn parse_incident_cause(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " was caused by ";
+    let idx = sentence.find(MARKER)?;
+    let head = sentence[..idx].trim();
+    let head = head.strip_prefix("The ").unwrap_or(head);
+    // Require the "{year} {name}" shape so prose like "the outage was
+    // caused by" without a named subject is ignored.
+    let (year, _) = head.split_once(' ')?;
+    if !(year.len() == 4 && year.chars().all(|c| c.is_ascii_digit())) {
+        return None;
+    }
+    let cause = sentence[idx + MARKER.len()..].trim_end_matches('.').trim();
+    (!cause.is_empty()).then(|| Fact::IncidentCause {
+        incident: head.to_string(),
+        cause: cause.to_string(),
+    })
+}
+
+/// Text following a marker up to the sentence end.
+fn parse_after_marker(sentence: &str, marker: &str) -> Option<String> {
+    let idx = sentence.find(marker)?;
+    let rest = sentence[idx + marker.len()..].trim_end_matches('.').trim();
+    (!rest.is_empty()).then(|| rest.to_string())
+}
+
+fn parse_cables_cut(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " severed ";
+    const TAIL: &str = " submarine cables";
+    let idx = sentence.find(MARKER)?;
+    let head = sentence[..idx].trim();
+    let head = head.strip_prefix("The ").unwrap_or(head);
+    let rest = &sentence[idx + MARKER.len()..];
+    let count = leading_number(rest)? as u32;
+    rest.contains(TAIL.trim_start()).then(|| Fact::IncidentCablesCut {
+        incident: head.to_string(),
+        count,
+    })
+}
+
+fn parse_incident_traffic(sentence: &str) -> Option<Fact> {
+    const HEAD: &str = "During the ";
+    const MARKER: &str = "global Internet traffic grew by about ";
+    let head_idx = sentence.find(HEAD)?;
+    let marker_idx = sentence.find(MARKER)?;
+    if marker_idx <= head_idx {
+        return None;
+    }
+    let incident = sentence[head_idx + HEAD.len()..marker_idx]
+        .trim_end_matches(|c: char| c == ',' || c.is_whitespace())
+        .to_string();
+    let rest = &sentence[marker_idx + MARKER.len()..];
+    let percent = leading_number(rest)?;
+    rest.contains("percent").then_some(Fact::IncidentTraffic { incident, percent })
+}
+
+/// The word(s) immediately before a marker — operator names are one
+/// word ("Google", "Facebook"), so take the trailing word.
+fn last_word_span(head: &str) -> Option<String> {
+    let w = head.trim_end().rsplit(|c: char| c.is_whitespace()).next()?;
+    let w = w.trim_matches(|c: char| !c.is_alphanumeric());
+    (!w.is_empty()).then(|| w.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROUTE: &str = "The EllaLink submarine cable connects Fortaleza, Brazil to Sines, \
+                         Portugal, linking South America and Europe.";
+
+    #[test]
+    fn route_parses_fully() {
+        let ex = Extraction::from_text(ROUTE, None);
+        assert_eq!(ex.facts.len(), 1);
+        match &ex.facts[0] {
+            Fact::CableRoute { name, from_country, to_country, from_region, to_region, .. } => {
+                assert_eq!(name, "EllaLink");
+                assert_eq!(from_country, "Brazil");
+                assert_eq!(to_country, "Portugal");
+                assert_eq!(from_region, "South America");
+                assert_eq!(to_region, "Europe");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subject_binds_following_facts() {
+        let text = format!(
+            "{ROUTE} The system spans approximately 6134 kilometres. Along its route it \
+             reaches a maximum geomagnetic latitude of 46.3 degrees. The cable is powered \
+             through roughly 87 optical repeaters."
+        );
+        let ex = Extraction::from_text(&text, None);
+        assert_eq!(ex.apex_of("EllaLink"), Some(46.3));
+        assert!(ex.facts.contains(&Fact::LengthKm { entity: "EllaLink".into(), km: 6134.0 }));
+        assert!(ex
+            .facts
+            .contains(&Fact::RepeaterCount { entity: "EllaLink".into(), count: 87 }));
+    }
+
+    #[test]
+    fn subject_hint_binds_when_no_route_sentence() {
+        let text = "Along its route it reaches a maximum geomagnetic latitude of 63.0 degrees.";
+        let ex = Extraction::from_text(text, Some("Grace Hopper"));
+        assert_eq!(ex.apex_of("Grace Hopper"), Some(63.0));
+        // Without a hint the fact is dropped rather than misattributed.
+        let ex = Extraction::from_text(text, None);
+        assert!(ex.facts.is_empty());
+    }
+
+    #[test]
+    fn social_apex_form_carries_its_own_entity() {
+        let text = "TIL: The MAREA cable reaches a maximum geomagnetic latitude of 55.2 degrees.";
+        let ex = Extraction::from_text(text, None);
+        assert_eq!(ex.apex_of("MAREA"), Some(55.2));
+    }
+
+    #[test]
+    fn fleet_facts_parse() {
+        let text = "Google operates data centers in 7 of the world's 7 major regions. About 26 \
+                    percent of Google's data center sites sit at low geomagnetic latitudes.";
+        let ex = Extraction::from_text(text, None);
+        assert_eq!(ex.coverage_of("google"), Some(7));
+        assert_eq!(ex.low_lat_share_of("Google"), Some(26.0));
+    }
+
+    #[test]
+    fn presence_parses_with_abbreviated_city() {
+        let text = "Google operates a data center in St. Ghislain, Belgium, in Europe.";
+        let ex = Extraction::from_text(text, None);
+        assert_eq!(ex.presences_of("google").len(), 1);
+        match ex.presences_of("google")[0] {
+            Fact::DcPresence { city, country, region, .. } => {
+                assert_eq!(city, "St. Ghislain");
+                assert_eq!(country, "Belgium");
+                assert_eq!(region, "Europe");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn storm_dst_parses() {
+        let text = "The 1859 Carrington event reached an estimated Dst of -1760 nanotesla.";
+        let ex = Extraction::from_text(text, None);
+        assert_eq!(
+            ex.facts[0],
+            Fact::StormDst { name: "Carrington event".into(), year: Some(1859), dst: -1760.0 }
+        );
+    }
+
+    #[test]
+    fn grid_latitude_parses() {
+        let text = "The Singapore Grid serves Asia and sits at about 8 degrees geomagnetic \
+                    latitude.";
+        let ex = Extraction::from_text(text, None);
+        assert_eq!(ex.region_latitude("Asia"), Some(8.0));
+    }
+
+    #[test]
+    fn region_latitude_averages_multiple_grids() {
+        let text = "The US Eastern Interconnection serves North America and sits at about 50 \
+                    degrees geomagnetic latitude. The ERCOT serves North America and sits at \
+                    about 40 degrees geomagnetic latitude.";
+        let ex = Extraction::from_text(text, None);
+        assert_eq!(ex.region_latitude("North America"), Some(45.0));
+    }
+
+    #[test]
+    fn principles_detected_case_insensitively() {
+        let text = "Geomagnetically induced currents grow stronger at higher geomagnetic \
+                    latitudes. Terrestrial fiber links are short and unrepeated, leaving them \
+                    far less exposed than submarine cables.";
+        let ex = Extraction::from_text(text, None);
+        assert!(ex.principles.contains(&Principle::LatitudeRisk));
+        assert!(ex.principles.contains(&Principle::TerrestrialSafety));
+        assert!(!ex.principles.contains(&Principle::GridThreat));
+    }
+
+    #[test]
+    fn distractor_text_yields_nothing() {
+        let text = "The storm dropped five centimetres of rain in an hour. Streaming services \
+                    continue to erode the cable subscriber base. Rooftop solar output peaks \
+                    around noon local time.";
+        let ex = Extraction::from_text(text, None);
+        assert!(ex.is_empty(), "got {ex:?}");
+    }
+
+    #[test]
+    fn merge_deduplicates() {
+        let a = Extraction::from_text(ROUTE, None);
+        let mut b = Extraction::from_text(ROUTE, None);
+        b.merge(&a);
+        assert_eq!(b.facts.len(), 1);
+    }
+
+    #[test]
+    fn sentence_splitter_respects_abbreviations() {
+        let s = split_sentences("Google operates a data center in St. Ghislain, Belgium, in Europe. Next sentence.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("St. Ghislain"));
+    }
+
+    #[test]
+    fn sentence_splitter_handles_decimals() {
+        let s = split_sentences("It reaches 46.3 degrees. Second.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("46.3"));
+    }
+
+    const INCIDENT_TEXT: &str = "The 2021 Facebook outage was caused by a faulty BGP \
+        configuration change that withdrew the routes to its own DNS servers. The main \
+        effect on the Internet was that every service became unreachable at once. Service \
+        was disrupted for about 7 hours.";
+
+    #[test]
+    fn incident_cause_effect_and_duration_parse_with_subject_binding() {
+        let ex = Extraction::from_text(INCIDENT_TEXT, None);
+        assert!(ex.facts.iter().any(|f| matches!(
+            f,
+            Fact::IncidentCause { incident, cause }
+                if incident == "2021 Facebook outage" && cause.contains("BGP")
+        )));
+        assert!(ex.facts.iter().any(|f| matches!(
+            f,
+            Fact::IncidentEffect { incident, effect }
+                if incident == "2021 Facebook outage" && effect.contains("unreachable")
+        )));
+        assert!(ex.facts.iter().any(|f| matches!(
+            f,
+            Fact::IncidentDuration { incident, hours }
+                if incident == "2021 Facebook outage" && *hours == 7.0
+        )));
+    }
+
+    #[test]
+    fn cables_cut_and_traffic_parse() {
+        let text = "The 2006 Hengchun earthquake severed 8 submarine cables. During the 2020 \
+                    COVID-19 lockdown surge, global Internet traffic grew by about 20 percent.";
+        let ex = Extraction::from_text(text, None);
+        assert!(ex.facts.contains(&Fact::IncidentCablesCut {
+            incident: "2006 Hengchun earthquake".into(),
+            count: 8
+        }));
+        assert!(ex.facts.contains(&Fact::IncidentTraffic {
+            incident: "2020 COVID-19 lockdown surge".into(),
+            percent: 20.0
+        }));
+    }
+
+    #[test]
+    fn cause_without_year_shape_is_ignored() {
+        let ex = Extraction::from_text("The outage was caused by a squirrel.", None);
+        assert!(ex.facts.is_empty());
+    }
+
+    #[test]
+    fn incident_matching_is_bidirectional_containment() {
+        assert!(incident_matches("2021 Facebook outage", "facebook outage"));
+        assert!(incident_matches("facebook outage", "2021 Facebook outage"));
+        assert!(!incident_matches("2021 Facebook outage", "hengchun earthquake"));
+    }
+
+    #[test]
+    fn apex_of_is_the_median_of_distinct_values() {
+        let text = "The EllaLink cable reaches a maximum geomagnetic latitude of 46.0 degrees. \
+                    The EllaLink cable reaches a maximum geomagnetic latitude of 75.0 degrees. \
+                    The EllaLink cable reaches a maximum geomagnetic latitude of 46.2 degrees.";
+        let ex = Extraction::from_text(text, None);
+        assert_eq!(ex.apex_values("EllaLink").len(), 3);
+        assert_eq!(ex.apex_of("EllaLink"), Some(46.2), "median resists one outlier");
+    }
+
+    #[test]
+    fn apex_conflict_detects_disagreeing_sources() {
+        let honest = Extraction::from_text(
+            "The MAREA cable reaches a maximum geomagnetic latitude of 55.0 degrees. \
+             The MAREA cable reaches a maximum geomagnetic latitude of 55.4 degrees.",
+            None,
+        );
+        assert!(!honest.apex_conflict("MAREA", 15.0));
+        let poisoned = Extraction::from_text(
+            "The MAREA cable reaches a maximum geomagnetic latitude of 55.0 degrees. \
+             The MAREA cable reaches a maximum geomagnetic latitude of 80.0 degrees.",
+            None,
+        );
+        assert!(poisoned.apex_conflict("MAREA", 15.0));
+        assert!(!poisoned.apex_conflict("unknown entity", 15.0));
+    }
+
+    #[test]
+    fn numbers_with_signs_parse() {
+        assert_eq!(leading_number("-1760 nanotesla"), Some(-1760.0));
+        assert_eq!(leading_number("46.3 degrees"), Some(46.3));
+        assert_eq!(leading_number("no number"), None);
+    }
+}

@@ -1,0 +1,459 @@
+//! Question understanding: classify an investigation question into an
+//! intent with filled slots.
+//!
+//! The intents cover the question space of the evaluation (the eight
+//! expert conclusions plus response planning). Unrecognised questions
+//! fall back to [`Intent::Unknown`], which the model answers from its
+//! hedging prior.
+
+use serde::{Deserialize, Serialize};
+
+/// A cable-route descriptor: two endpoint descriptors in lowercase
+/// normalized form (e.g. `"brazil"`, `"united states"`, `"europe"`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteSpec {
+    pub a: String,
+    pub b: String,
+}
+
+impl RouteSpec {
+    pub fn new(a: &str, b: &str) -> Self {
+        RouteSpec { a: normalize_place(a), b: normalize_place(b) }
+    }
+
+    /// Human-readable form for answer text.
+    pub fn display(&self) -> String {
+        format!("{} to {}", title_case(&self.a), title_case(&self.b))
+    }
+}
+
+/// Classified question intent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Intent {
+    /// Which of two cable routes is more vulnerable?
+    CompareCableVulnerability { route_a: RouteSpec, route_b: RouteSpec },
+    /// Which operator's data centers are more vulnerable?
+    CompareOperatorVulnerability { op_a: String, op_b: String },
+    /// Does risk depend on latitude?
+    LatitudeDependence,
+    /// Which cable component is the weak point?
+    WeakComponent,
+    /// Submarine vs terrestrial exposure?
+    SubmarineVsTerrestrial,
+    /// Which of two regions is more susceptible?
+    CompareRegionSusceptibility { region_a: String, region_b: String },
+    /// Does cable length matter?
+    LengthEffect,
+    /// Large-scale connectivity impact of a superstorm?
+    PartitionImpact,
+    /// Produce a response/shutdown plan.
+    ShutdownPlan,
+    /// What caused a named historical incident?
+    IncidentCause { incident: String },
+    /// What was a named historical incident's impact?
+    IncidentImpact { incident: String },
+    /// Anything else.
+    Unknown,
+}
+
+/// Normalize a place descriptor to a canonical lowercase name.
+pub fn normalize_place(raw: &str) -> String {
+    let p = raw
+        .trim()
+        .trim_end_matches(['?', '.', ','])
+        .trim()
+        .to_lowercase();
+    let p = p.strip_prefix("the ").unwrap_or(&p);
+    match p {
+        "us" | "u.s" | "usa" | "united states of america" | "america" => "united states".into(),
+        "uk" | "u.k" | "britain" | "great britain" => "united kingdom".into(),
+        other => other.to_string(),
+    }
+}
+
+/// Map a normalized place descriptor to its coarse region name, when
+/// the descriptor is itself country-like.
+pub fn place_region(place: &str) -> Option<&'static str> {
+    match place {
+        "united states" | "canada" | "mexico" => Some("North America"),
+        "brazil" | "argentina" | "chile" => Some("South America"),
+        "united kingdom" | "portugal" | "spain" | "france" | "ireland" | "denmark"
+        | "norway" | "iceland" | "sweden" | "finland" | "netherlands" | "belgium"
+        | "germany" | "italy" => Some("Europe"),
+        "japan" | "china" | "singapore" | "india" | "south korea" | "taiwan" | "indonesia" => {
+            Some("Asia")
+        }
+        "australia" | "new zealand" => Some("Oceania"),
+        "south africa" | "kenya" | "angola" | "cameroon" | "nigeria" | "egypt" => Some("Africa"),
+        "north america" | "south america" | "europe" | "asia" | "africa" | "oceania"
+        | "middle east" => Some(region_const(place)),
+        _ => None,
+    }
+}
+
+fn region_const(p: &str) -> &'static str {
+    match p {
+        "north america" => "North America",
+        "south america" => "South America",
+        "europe" => "Europe",
+        "asia" => "Asia",
+        "africa" => "Africa",
+        "oceania" => "Oceania",
+        "middle east" => "Middle East",
+        _ => unreachable!("region_const called on non-region"),
+    }
+}
+
+fn title_case(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Known hyperscale operators for the operator-comparison intent.
+const OPERATORS: &[&str] = &["google", "facebook", "meta", "amazon", "microsoft", "apple"];
+
+/// Region words recognised for the region-comparison intent.
+const REGION_WORDS: &[&str] = &[
+    "united states",
+    "north america",
+    "south america",
+    "europe",
+    "asia",
+    "africa",
+    "oceania",
+    "brazil",
+    "japan",
+    "singapore",
+    "china",
+    "india",
+];
+
+/// Classify `question` into an [`Intent`].
+///
+/// Accepts both bare questions and the paper's §4.1 quiz-prompt
+/// wrapper ("solely based on {agent}'s knowledge, what will {agent}
+/// answer the following question: …? How confident … Rate his
+/// confidence on a scale from 1 to 10."): the wrapper is stripped
+/// before classification.
+pub fn classify(question: &str) -> Intent {
+    let q = strip_quiz_wrapper(&question.to_lowercase());
+
+    // Planning requests first: they often mention storms and impact too.
+    if (q.contains("plan") || q.contains("strategy") || q.contains("playbook"))
+        && (q.contains("shutdown") || q.contains("shut down") || q.contains("response"))
+    {
+        return Intent::ShutdownPlan;
+    }
+
+    // Named-incident questions, before the generic impact branch.
+    if let Some(idx) = q.find("what caused ") {
+        let tail = &q[idx + "what caused ".len()..];
+        let tail = tail.strip_prefix("the internet disruption during ").unwrap_or(tail);
+        let tail = tail.strip_prefix("the ").unwrap_or(tail);
+        let incident = tail.trim_end_matches(['?', '.']).trim();
+        if !incident.is_empty() && !incident.contains("storm") {
+            return Intent::IncidentCause { incident: incident.to_string() };
+        }
+    }
+    if let Some(idx) = q.find("impact of the ") {
+        let tail = &q[idx + "impact of the ".len()..];
+        let end = tail.find(" on the").unwrap_or_else(|| tail.trim_end_matches(['?', '.']).len());
+        let incident = tail[..end].trim();
+        if !incident.is_empty() && !incident.contains("storm") {
+            return Intent::IncidentImpact { incident: incident.to_string() };
+        }
+    }
+
+    // Cable route comparison: two "connects X to Y" phrases.
+    let routes = parse_route_phrases(&q);
+    if routes.len() >= 2 && (q.contains("vulnerab") || q.contains("affect") || q.contains("risk"))
+    {
+        return Intent::CompareCableVulnerability {
+            route_a: routes[0].clone(),
+            route_b: routes[1].clone(),
+        };
+    }
+
+    // Operator comparison.
+    if (q.contains("datacenter") || q.contains("data center")) && q.contains("vulnerab") {
+        let found: Vec<&str> = OPERATORS.iter().copied().filter(|op| q.contains(op)).collect();
+        if found.len() >= 2 {
+            return Intent::CompareOperatorVulnerability {
+                op_a: found[0].to_string(),
+                op_b: found[1].to_string(),
+            };
+        }
+    }
+
+    if q.contains("component") && q.contains("cable") {
+        return Intent::WeakComponent;
+    }
+
+    if q.contains("submarine") && q.contains("terrestrial") {
+        return Intent::SubmarineVsTerrestrial;
+    }
+
+    if q.contains("length") && q.contains("cable") {
+        return Intent::LengthEffect;
+    }
+
+    if q.contains("latitude") && (q.contains("depend") || q.contains("risk")) {
+        return Intent::LatitudeDependence;
+    }
+
+    if (q.contains("susceptib") || q.contains("vulnerab"))
+        && !q.contains("cable")
+    {
+        let found: Vec<&str> = REGION_WORDS
+            .iter()
+            .copied()
+            .filter(|r| q.contains(r))
+            .collect();
+        // "united states" also matches nothing else here; take first two
+        // distinct regions mentioned.
+        let mut regions: Vec<String> = Vec::new();
+        for f in found {
+            if let Some(r) = place_region(&normalize_place(f)) {
+                if !regions.contains(&r.to_string()) {
+                    regions.push(r.to_string());
+                }
+            }
+        }
+        if regions.len() >= 2 {
+            return Intent::CompareRegionSusceptibility {
+                region_a: regions[0].clone(),
+                region_b: regions[1].clone(),
+            };
+        }
+    }
+
+    if (q.contains("connectivity") || q.contains("large-scale") || q.contains("internet"))
+        && q.contains("impact")
+    {
+        return Intent::PartitionImpact;
+    }
+
+    Intent::Unknown
+}
+
+/// Strip the paper's quiz-prompt scaffolding, leaving the bare
+/// question.
+fn strip_quiz_wrapper(q: &str) -> String {
+    let mut core = q;
+    if let Some(idx) = core.find("answer the following question:") {
+        core = &core[idx + "answer the following question:".len()..];
+    }
+    // Drop the trailing confidence probe if present.
+    for marker in ["how confident", "rate his confidence", "rate your confidence"] {
+        if let Some(idx) = core.find(marker) {
+            core = &core[..idx];
+        }
+    }
+    core.trim().to_string()
+}
+
+/// Pull "connects X to Y" phrases out of a question.
+fn parse_route_phrases(q: &str) -> Vec<RouteSpec> {
+    let mut specs = Vec::new();
+    let mut rest = q;
+    while let Some(idx) = rest.find("connects ") {
+        let tail = &rest[idx + "connects ".len()..];
+        // Endpoint A runs to " to ".
+        if let Some((a, after)) = tail.split_once(" to ") {
+            // Endpoint B runs to the next delimiter.
+            let b_end = after
+                .find(" or ")
+                .or_else(|| after.find('?'))
+                .or_else(|| after.find(','))
+                .unwrap_or(after.len());
+            let b = &after[..b_end];
+            if !a.is_empty() && !b.is_empty() && b.split_whitespace().count() <= 4 {
+                specs.push(RouteSpec::new(a, b));
+            }
+            rest = after;
+        } else {
+            break;
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cable_question_parses() {
+        let q = "Which is more vulnerable to solar activity? The fiber optic cable that \
+                 connects Brazil to Europe or the one that connects the US to Europe?";
+        match classify(q) {
+            Intent::CompareCableVulnerability { route_a, route_b } => {
+                assert_eq!(route_a, RouteSpec::new("brazil", "europe"));
+                assert_eq!(route_b.a, "united states");
+                assert_eq!(route_b.b, "europe");
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_datacenter_question_parses() {
+        let q = "Whose datacenter is more vulnerable to a solar superstorm, Google's or \
+                 Facebook's?";
+        match classify(q) {
+            Intent::CompareOperatorVulnerability { op_a, op_b } => {
+                assert_eq!(op_a, "google");
+                assert_eq!(op_b, "facebook");
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latitude_question_parses() {
+        let q = "Does the risk a solar superstorm poses to Internet infrastructure depend on \
+                 latitude, and if so, how?";
+        assert_eq!(classify(q), Intent::LatitudeDependence);
+    }
+
+    #[test]
+    fn component_question_parses() {
+        let q = "Which component of a submarine cable system is most at risk during a \
+                 geomagnetic storm?";
+        assert_eq!(classify(q), Intent::WeakComponent);
+    }
+
+    #[test]
+    fn terrestrial_question_parses() {
+        let q = "Are submarine cables or terrestrial fiber links more at risk during a solar \
+                 superstorm?";
+        assert_eq!(classify(q), Intent::SubmarineVsTerrestrial);
+    }
+
+    #[test]
+    fn region_question_parses() {
+        let q = "Is the United States or Asia more susceptible to Internet disruption from a \
+                 solar superstorm?";
+        match classify(q) {
+            Intent::CompareRegionSusceptibility { region_a, region_b } => {
+                assert_eq!(region_a, "North America");
+                assert_eq!(region_b, "Asia");
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_question_parses() {
+        let q = "Does the length of a submarine cable affect its vulnerability to solar \
+                 superstorms?";
+        assert_eq!(classify(q), Intent::LengthEffect);
+    }
+
+    #[test]
+    fn partition_question_parses() {
+        let q = "What is the large-scale connectivity impact of a Carrington-class solar \
+                 superstorm on the Internet?";
+        assert_eq!(classify(q), Intent::PartitionImpact);
+    }
+
+    #[test]
+    fn plan_question_parses() {
+        let q = "Plan a shutdown strategy for operators facing an incoming CME.";
+        assert_eq!(classify(q), Intent::ShutdownPlan);
+    }
+
+    #[test]
+    fn incident_cause_question_parses() {
+        match classify("What caused the 2021 Facebook outage?") {
+            Intent::IncidentCause { incident } => assert_eq!(incident, "2021 facebook outage"),
+            other => panic!("got {other:?}"),
+        }
+        match classify(
+            "What caused the Internet disruption during the 2004 Indian Ocean earthquake and \
+             tsunami?",
+        ) {
+            Intent::IncidentCause { incident } => {
+                assert!(incident.contains("indian ocean"));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incident_impact_question_parses() {
+        match classify("What was the impact of the 2006 Hengchun earthquake on the Internet?") {
+            Intent::IncidentImpact { incident } => {
+                assert_eq!(incident, "2006 hengchun earthquake");
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn storm_impact_question_is_not_an_incident() {
+        // The Carrington question must keep routing to PartitionImpact.
+        let q = "What is the large-scale connectivity impact of a Carrington-class solar \
+                 superstorm on the Internet?";
+        assert_eq!(classify(q), Intent::PartitionImpact);
+    }
+
+    #[test]
+    fn the_papers_full_quiz_prompt_wrapper_is_stripped() {
+        // Verbatim from §4.1 of the paper.
+        let q = "Solely based on Bob's knowledge, what will Bob answer the following \
+                 question: Which is more vulnerable to solar activity? The fiber optic cable \
+                 that connects Brazil to Europe or the one that connects the US to Europe? \
+                 How confident he will be to answer the following question. Rate his \
+                 confidence on a scale from 1 to 10.";
+        match classify(q) {
+            Intent::CompareCableVulnerability { route_a, route_b } => {
+                assert_eq!(route_a, RouteSpec::new("brazil", "europe"));
+                assert_eq!(route_b.a, "united states");
+            }
+            other => panic!("got {other:?}"),
+        }
+        let q2 = "Solely based on Bob's knowledge, what will Bob answer the following \
+                  question: Whose datacenter is more vulnerable? Google's or Facebook's? How \
+                  confident he will be to answer the following question. Rate his confidence \
+                  on a scale from 1 to 10.";
+        assert!(matches!(
+            classify(q2),
+            Intent::CompareOperatorVulnerability { .. }
+        ));
+    }
+
+    #[test]
+    fn nonsense_is_unknown() {
+        assert_eq!(classify("What is the best pasta shape?"), Intent::Unknown);
+    }
+
+    #[test]
+    fn place_normalization() {
+        assert_eq!(normalize_place("the US"), "united states");
+        assert_eq!(normalize_place("US?"), "united states");
+        assert_eq!(normalize_place("Brazil"), "brazil");
+        assert_eq!(normalize_place("the UK"), "united kingdom");
+    }
+
+    #[test]
+    fn place_regions() {
+        assert_eq!(place_region("brazil"), Some("South America"));
+        assert_eq!(place_region("united states"), Some("North America"));
+        assert_eq!(place_region("europe"), Some("Europe"));
+        assert_eq!(place_region("atlantis"), None);
+    }
+
+    #[test]
+    fn route_display_is_title_cased() {
+        assert_eq!(RouteSpec::new("the US", "europe").display(), "United States to Europe");
+    }
+}

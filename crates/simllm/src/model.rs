@@ -1,0 +1,374 @@
+//! The [`Llm`] facade: the single entry point agents use to "call the
+//! model". Assembles prompts under the context window, runs extraction
+//! and reasoning, accounts tokens, and exposes the typed helper calls
+//! the agent architecture needs (answering, confidence assessment,
+//! search proposal, planning).
+
+use crate::chat::{Message, Prompt};
+use crate::extract::{Extraction, Principle};
+use crate::intent::classify;
+use crate::plangen::{self, ActionPlan};
+use crate::reason::{self, Answer, MissingKnowledge};
+use crate::token::{count_tokens, ContextWindow};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// Model configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LlmConfig {
+    pub context: ContextWindow,
+    /// Seed for sampling (query phrasing variation).
+    pub seed: u64,
+    /// Sampling temperature in [0, 1]; 0 = always the canonical
+    /// phrasing.
+    pub temperature: f64,
+}
+
+impl Default for LlmConfig {
+    fn default() -> Self {
+        LlmConfig { context: ContextWindow::gpt4(), seed: 0, temperature: 0.0 }
+    }
+}
+
+/// Cumulative usage counters, the basis of the training-cost
+/// experiment (E6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlmStats {
+    pub calls: u64,
+    pub prompt_tokens: u64,
+    pub completion_tokens: u64,
+}
+
+/// Callback invoked after every model call with (prompt_tokens,
+/// completion_tokens). The agent layer uses it to charge simulated
+/// inference latency to the virtual clock, reproducing the fact that a
+/// real agent's wall time is dominated by API calls.
+pub type InferenceHook = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+/// The simulated language model.
+pub struct Llm {
+    config: LlmConfig,
+    stats: Mutex<LlmStats>,
+    rng: Mutex<ChaCha8Rng>,
+    hook: Mutex<Option<InferenceHook>>,
+}
+
+impl Llm {
+    pub fn new(config: LlmConfig) -> Self {
+        Llm {
+            stats: Mutex::new(LlmStats::default()),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(config.seed)),
+            hook: Mutex::new(None),
+            config,
+        }
+    }
+
+    /// A GPT-4-shaped model with the given seed.
+    pub fn gpt4(seed: u64) -> Self {
+        Llm::new(LlmConfig { seed, ..LlmConfig::default() })
+    }
+
+    pub fn stats(&self) -> LlmStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// Install the inference-latency hook (see [`InferenceHook`]).
+    pub fn set_inference_hook(&self, hook: InferenceHook) {
+        *self.hook.lock().expect("hook lock") = Some(hook);
+    }
+
+    fn charge(&self, prompt: usize, completion: usize) {
+        {
+            let mut s = self.stats.lock().expect("stats lock");
+            s.calls += 1;
+            s.prompt_tokens += prompt as u64;
+            s.completion_tokens += completion as u64;
+        }
+        if let Some(hook) = self.hook.lock().expect("hook lock").clone() {
+            hook(prompt, completion);
+        }
+    }
+
+    /// Assemble the knowledge context that fits the window alongside
+    /// the question, newest-first retention.
+    fn grounded_extraction(&self, question: &str, knowledge: &[String]) -> (Extraction, usize) {
+        let reserved = count_tokens(question) + 64;
+        let (kept, dropped) = self.config.context.fit(knowledge, reserved);
+        let mut ex = Extraction::default();
+        for chunk in kept {
+            ex.absorb(chunk, None);
+        }
+        let prompt_tokens: usize =
+            kept.iter().map(|c| count_tokens(c)).sum::<usize>() + reserved;
+        self.charge(prompt_tokens, 0);
+        (ex, dropped)
+    }
+
+    /// Answer a question grounded in the supplied knowledge snippets.
+    pub fn answer(&self, question: &str, knowledge: &[String]) -> Answer {
+        let intent = classify(question);
+        let (ex, _) = self.grounded_extraction(question, knowledge);
+        let ans = reason::answer(question, &intent, &ex);
+        self.charge(0, count_tokens(&ans.text));
+        ans
+    }
+
+    /// The paper's confidence probe: "rate confidence on a scale from
+    /// 0 to 10 to answer the following question".
+    pub fn assess_confidence(&self, question: &str, knowledge: &[String]) -> u8 {
+        self.answer(question, knowledge).confidence
+    }
+
+    /// The paper's self-learning probe: "what will you search for to
+    /// get more information on this question?". Returns up to `max`
+    /// deduplicated queries.
+    pub fn propose_searches(&self, question: &str, knowledge: &[String], max: usize) -> Vec<String> {
+        let ans = self.answer(question, knowledge);
+        let mut queries = Vec::new();
+        for missing in &ans.missing {
+            if queries.len() >= max {
+                break;
+            }
+            let q = self.query_for(missing);
+            if !queries.contains(&q) {
+                queries.push(q);
+            }
+        }
+        queries
+    }
+
+    /// Render one missing-knowledge item as a search query.
+    pub fn query_for(&self, missing: &MissingKnowledge) -> String {
+        let alt = self.config.temperature > 0.0 && self.rng.lock().expect("rng").gen::<f64>() < 0.5;
+        match missing {
+            MissingKnowledge::CableRoute(spec) => {
+                if alt {
+                    format!(
+                        "submarine cable between {} and {} route",
+                        spec.a, spec.b
+                    )
+                } else {
+                    // Deliberately not "fiber optic …": the discriminating
+                    // terms are the endpoints, and padding the query with
+                    // generic vocabulary lets lexical luck outrank them.
+                    format!(
+                        "specific route of the submarine cable connecting {} to {}",
+                        spec.a, spec.b
+                    )
+                }
+            }
+            MissingKnowledge::CableApex { cable } => {
+                format!("{cable} submarine cable maximum geomagnetic latitude degrees")
+            }
+            MissingKnowledge::OperatorFootprint(op) => {
+                if alt {
+                    format!("{op} data center regions worldwide")
+                } else {
+                    format!("{op} global data center footprint major regions")
+                }
+            }
+            MissingKnowledge::OperatorPresence(op) => {
+                format!("{op} data centers locations Asia South America Europe")
+            }
+            MissingKnowledge::RegionLatitude(region) => {
+                format!("power grid geomagnetic latitude {region}")
+            }
+            MissingKnowledge::Principle(p) => principle_query(*p).to_string(),
+            MissingKnowledge::PlanningGuidance => {
+                "solar storm response plan shutdown strategy network operators".to_string()
+            }
+            MissingKnowledge::IncidentInfo(incident) => {
+                format!("{incident} internet outage cause impact")
+            }
+        }
+    }
+
+    /// Plan how to achieve a goal (the Auto-GPT planning phase).
+    pub fn plan_goal(&self, goal: &str) -> ActionPlan {
+        let plan = plangen::plan_goal(goal);
+        self.charge(
+            count_tokens(goal) + 32,
+            plan.steps.iter().map(|s| count_tokens(&s.description)).sum(),
+        );
+        plan
+    }
+
+    /// Chain-of-thought decomposition of a compound task.
+    pub fn decompose(&self, task: &str) -> Vec<String> {
+        let aspects = plangen::decompose(task);
+        self.charge(count_tokens(task) + 16, aspects.iter().map(|a| count_tokens(a)).sum());
+        aspects
+    }
+
+    /// Generate a storm response / shutdown strategy from knowledge.
+    pub fn shutdown_strategy(&self, knowledge: &[String]) -> Answer {
+        self.answer(
+            "Plan a shutdown strategy for network operators facing an incoming CME.",
+            knowledge,
+        )
+    }
+
+    /// Generic chat completion: classify the last user message and
+    /// answer it from the prompt's own context. This is the untyped
+    /// interface Auto-GPT-style tools drive.
+    pub fn complete(&self, prompt: &Prompt) -> String {
+        let question = prompt.last_user().unwrap_or_default().to_string();
+        let context = prompt.context_text();
+        let intent = classify(&question);
+        let mut ex = Extraction::default();
+        ex.absorb(&context, None);
+        let ans = reason::answer(&question, &intent, &ex);
+        self.charge(prompt.token_count(), count_tokens(&ans.text));
+        ans.text
+    }
+
+    /// Convenience: a prompt carrying knowledge plus a question, the
+    /// shape the agent uses for quiz answering.
+    pub fn quiz_prompt(agent_name: &str, knowledge: &[String], question: &str) -> Prompt {
+        let mut p = Prompt::new().with(Message::system(format!(
+            "You are {agent_name}, an Internet researcher. Answer solely based on \
+             {agent_name}'s knowledge below."
+        )));
+        for k in knowledge {
+            p.push(Message::system(k.clone()));
+        }
+        p.push(Message::user(question.to_string()));
+        p
+    }
+}
+
+fn principle_query(p: Principle) -> &'static str {
+    match p {
+        Principle::LatitudeRisk => "geomagnetically induced currents higher latitudes effect",
+        Principle::RepeaterWeakness => "submarine cable repeater vulnerable component fiber",
+        Principle::DispersionResilience => "data center geographic dispersion resilience",
+        Principle::LengthRisk => "long submarine cables repeaters failure risk",
+        Principle::TerrestrialSafety => "terrestrial fiber links storm exposure",
+        Principle::GridThreat => "geomagnetic storm power grid transformers",
+        Principle::PartitionRisk => "internet continents partition cable failures",
+        Principle::PredictiveShutdown
+        | Principle::RedundancyUtilization
+        | Principle::PhasedShutdown
+        | Principle::DataPreservation
+        | Principle::GradualReboot => "solar storm response plan shutdown strategy operators",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CABLE_Q: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
+                           that connects Brazil to Europe or the one that connects the US to \
+                           Europe?";
+
+    fn knowledge() -> Vec<String> {
+        vec![
+            "Geomagnetically induced currents grow stronger at higher geomagnetic latitudes."
+                .into(),
+            "The EllaLink submarine cable connects Fortaleza, Brazil to Sines, Portugal, \
+             linking South America and Europe. Along its route it reaches a maximum \
+             geomagnetic latitude of 46.0 degrees."
+                .into(),
+            "The Grace Hopper submarine cable connects New York, United States to Bude, \
+             United Kingdom, linking North America and Europe. Along its route it reaches a \
+             maximum geomagnetic latitude of 63.0 degrees."
+                .into(),
+        ]
+    }
+
+    #[test]
+    fn grounded_answer_through_the_facade() {
+        let llm = Llm::gpt4(1);
+        let ans = llm.answer(CABLE_Q, &knowledge());
+        assert_eq!(ans.confidence, 9);
+        assert!(ans.verdict.unwrap().contains("United States"));
+    }
+
+    #[test]
+    fn confidence_probe_matches_answer() {
+        let llm = Llm::gpt4(1);
+        assert_eq!(llm.assess_confidence(CABLE_Q, &knowledge()), 9);
+        assert_eq!(llm.assess_confidence(CABLE_Q, &[]), 2);
+    }
+
+    #[test]
+    fn propose_searches_targets_missing_routes() {
+        let llm = Llm::gpt4(1);
+        let queries = llm.propose_searches(CABLE_Q, &[], 4);
+        assert!(!queries.is_empty());
+        assert!(
+            queries.iter().any(|q| q.contains("brazil") && q.contains("europe")),
+            "queries: {queries:?}"
+        );
+        assert!(queries.iter().any(|q| q.contains("united states")));
+    }
+
+    #[test]
+    fn stats_accumulate_per_call() {
+        let llm = Llm::gpt4(1);
+        assert_eq!(llm.stats().calls, 0);
+        llm.answer(CABLE_Q, &knowledge());
+        let s = llm.stats();
+        assert!(s.calls >= 1);
+        assert!(s.prompt_tokens > 0);
+        assert!(s.completion_tokens > 0);
+    }
+
+    #[test]
+    fn oversized_knowledge_is_truncated_not_fatal() {
+        let llm = Llm::new(LlmConfig {
+            context: ContextWindow::new(256),
+            seed: 0,
+            temperature: 0.0,
+        });
+        let mut k = vec!["filler text that is irrelevant ".repeat(50); 20];
+        k.extend(knowledge());
+        // Newest-first retention keeps the real knowledge at the end.
+        let ans = llm.answer(CABLE_Q, &k);
+        assert_eq!(ans.confidence, 9);
+    }
+
+    #[test]
+    fn complete_answers_from_prompt_context() {
+        let llm = Llm::gpt4(1);
+        let prompt = Llm::quiz_prompt("Bob", &knowledge(), CABLE_Q);
+        let text = llm.complete(&prompt);
+        assert!(text.contains("United States"), "got: {text}");
+    }
+
+    #[test]
+    fn temperature_zero_is_deterministic() {
+        let a = Llm::gpt4(7).propose_searches(CABLE_Q, &[], 4);
+        let b = Llm::gpt4(7).propose_searches(CABLE_Q, &[], 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_and_decompose_charge_tokens() {
+        let llm = Llm::gpt4(1);
+        let plan = llm.plan_goal("Understand solar superstorms and Coronal Mass Ejection");
+        assert!(plan.search_count() >= 1);
+        let aspects = llm.decompose("optic fiber cables, power supply systems");
+        assert_eq!(aspects.len(), 2);
+        assert!(llm.stats().calls >= 2);
+    }
+
+    #[test]
+    fn shutdown_strategy_uses_planning_knowledge() {
+        let llm = Llm::gpt4(1);
+        let k = vec![
+            "Upon warning of a coronal mass ejection, operators should preemptively shut \
+             down the most vulnerable systems."
+                .into(),
+            "Traffic and operations should be redirected to redundant systems located in \
+             safer, lower-latitude zones."
+                .into(),
+        ];
+        let ans = llm.shutdown_strategy(&k);
+        assert!(ans.text.contains("Predictive Shutdown"));
+        assert!(ans.text.contains("Redundancy Utilization"));
+    }
+}

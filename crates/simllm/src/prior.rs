@@ -1,0 +1,134 @@
+//! The ungrounded "pretraining prior": fluent hedging.
+//!
+//! Without relevant knowledge in context, a real foundation model
+//! produces exactly the kind of non-committal answer the paper quotes
+//! from ChatGPT ("Both … can be vulnerable … the exact impact and
+//! vulnerability can vary …"). These generators reproduce that regime
+//! so the evaluation's baseline comparison is faithful.
+
+use crate::intent::RouteSpec;
+use crate::reason::Answer;
+
+/// Hedge for a two-route cable comparison.
+pub fn cable_hedge(a: &RouteSpec, b: &RouteSpec, knows_latitude_principle: bool) -> String {
+    let base = format!(
+        "Both the fiber optic cable that connects {} and the one that connects {} can be \
+         vulnerable to solar activity. Solar activity, such as solar flares or geomagnetic \
+         storms, can cause disruptions in satellite communications, power grids, and other \
+         electronic systems, which can indirectly affect the functioning of fiber optic \
+         cables as well. However, the exact impact and vulnerability can vary depending on \
+         the location and specific design of the cables.",
+        a.display(),
+        b.display()
+    );
+    if knows_latitude_principle {
+        format!(
+            "{base} To accurately determine the vulnerability of the specific cables, factors \
+             such as their routes and the geomagnetic latitudes they traverse would need to \
+             be considered; that specific information is not available."
+        )
+    } else {
+        base
+    }
+}
+
+/// Hedge for an operator comparison.
+pub fn operator_hedge(op_a: &str, op_b: &str, knows_dispersion_principle: bool) -> String {
+    let base = format!(
+        "It is difficult to definitively answer this without additional information. Both \
+         {} and {} operate many data centers throughout the world, designed and maintained \
+         to high standards to ensure resilience and redundancy.",
+        capitalize(op_a),
+        capitalize(op_b)
+    );
+    if knows_dispersion_principle {
+        format!(
+            "{base} Geographic dispersion matters for resilience, but without specific \
+             information on the location and spread of the data centers in question it is \
+             hard to say which fleet would be more exposed."
+        )
+    } else {
+        base
+    }
+}
+
+/// Generic hedge mentioning the topic.
+pub fn generic_hedge(topic: &str) -> String {
+    format!(
+        "There is not enough specific information available to give a confident answer about \
+         {topic}. In general, extreme space weather can affect electrical and communication \
+         systems in complex, situation-dependent ways, and the details would depend on the \
+         specific infrastructure involved."
+    )
+}
+
+/// Full answer object for an unclassifiable question.
+pub fn unknown_answer(question: &str) -> Answer {
+    let topic = question
+        .trim_end_matches(['?', '.'])
+        .split_whitespace()
+        .rev()
+        .take(4)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect::<Vec<_>>()
+        .join(" ");
+    Answer {
+        text: generic_hedge(&format!("\"{topic}\"")),
+        verdict: None,
+        confidence: 2,
+        coverage: 0.0,
+        missing: Vec::new(),
+        principles_used: Vec::new(),
+        facts_used: 0,
+        reasoning: vec!["no recognised investigation intent; answering from the prior".into()],
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cable_hedge_mentions_both_routes_and_commits_to_nothing() {
+        let a = RouteSpec::new("brazil", "europe");
+        let b = RouteSpec::new("the US", "europe");
+        let text = cable_hedge(&a, &b, false);
+        assert!(text.contains("Brazil To Europe") || text.contains("Brazil to Europe"));
+        assert!(text.contains("can vary"));
+        assert!(!text.contains("is more vulnerable."));
+    }
+
+    #[test]
+    fn principle_awareness_adds_the_self_diagnosis() {
+        let a = RouteSpec::new("brazil", "europe");
+        let b = RouteSpec::new("us", "europe");
+        let with = cable_hedge(&a, &b, true);
+        let without = cable_hedge(&a, &b, false);
+        assert!(with.len() > without.len());
+        assert!(with.contains("not available"));
+    }
+
+    #[test]
+    fn operator_hedge_names_both() {
+        let text = operator_hedge("google", "facebook", false);
+        assert!(text.contains("Google") && text.contains("Facebook"));
+    }
+
+    #[test]
+    fn unknown_answer_is_low_confidence() {
+        let ans = unknown_answer("What is the best pasta shape?");
+        assert_eq!(ans.confidence, 2);
+        assert!(ans.verdict.is_none());
+        assert!(ans.text.contains("pasta"));
+    }
+}

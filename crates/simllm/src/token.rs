@@ -1,0 +1,103 @@
+//! Token counting and context-window accounting.
+//!
+//! The simulated model charges tokens like a real one: prompts and
+//! completions are measured, and context assembly truncates oldest
+//! knowledge first when the window would overflow. Token costs feed
+//! experiment E6 (training cost).
+
+/// Approximate tokens in a text: whitespace-separated words count one
+/// token each, plus one per 4 characters of long words (mimicking BPE
+/// splitting of rare/long strings).
+pub fn count_tokens(text: &str) -> usize {
+    text.split_whitespace()
+        .map(|w| 1 + w.len() / 8)
+        .sum()
+}
+
+/// A context-window budget tracker.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextWindow {
+    /// Maximum tokens the model accepts per prompt.
+    pub max_tokens: usize,
+}
+
+impl ContextWindow {
+    pub fn new(max_tokens: usize) -> Self {
+        assert!(max_tokens >= 64, "context window too small to be useful");
+        ContextWindow { max_tokens }
+    }
+
+    /// GPT-4-class default (8k).
+    pub fn gpt4() -> Self {
+        ContextWindow::new(8_192)
+    }
+
+    /// Select a suffix of `chunks` (newest last) that fits alongside
+    /// `reserved` tokens of fixed prompt content. Returns the number of
+    /// chunks dropped from the front.
+    pub fn fit<'a>(&self, chunks: &'a [String], reserved: usize) -> (&'a [String], usize) {
+        let budget = self.max_tokens.saturating_sub(reserved);
+        let mut used = 0;
+        let mut start = chunks.len();
+        // Walk backwards so the newest knowledge always survives.
+        for (i, chunk) in chunks.iter().enumerate().rev() {
+            let cost = count_tokens(chunk);
+            if used + cost > budget {
+                break;
+            }
+            used += cost;
+            start = i;
+        }
+        (&chunks[start..], start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_roughly_word_count() {
+        assert_eq!(count_tokens("three small words"), 3);
+        assert_eq!(count_tokens(""), 0);
+        // long tokens cost extra
+        assert!(count_tokens("antidisestablishmentarianism") > 1);
+    }
+
+    #[test]
+    fn fit_keeps_newest_chunks() {
+        let window = ContextWindow::new(64);
+        let chunks: Vec<String> = (0..10)
+            .map(|i| format!("chunk {i} with a handful of words inside"))
+            .collect();
+        let (kept, dropped) = window.fit(&chunks, 0);
+        assert!(dropped > 0, "should not all fit");
+        assert_eq!(kept.len() + dropped, 10);
+        // Newest chunk must be present.
+        assert!(kept.last().unwrap().contains("chunk 9"));
+    }
+
+    #[test]
+    fn fit_with_reservation_shrinks_budget() {
+        let window = ContextWindow::new(100);
+        let chunks: Vec<String> = (0..10).map(|i| format!("word word word word {i}")).collect();
+        let (no_reserve, _) = window.fit(&chunks, 0);
+        let (reserved, _) = window.fit(&chunks, 80);
+        assert!(reserved.len() < no_reserve.len());
+    }
+
+    #[test]
+    fn everything_fits_in_a_large_window() {
+        let window = ContextWindow::gpt4();
+        let chunks: Vec<String> = (0..5).map(|i| format!("small {i}")).collect();
+        let (kept, dropped) = window.fit(&chunks, 100);
+        assert_eq!(kept.len(), 5);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "context window")]
+    fn tiny_window_is_rejected() {
+        ContextWindow::new(8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the simulated LLM: total functions over
+//! arbitrary text, bounded confidence, and calibration monotonicity.
+
+use ira_simllm::extract::Extraction;
+use ira_simllm::intent::classify;
+use ira_simllm::plangen;
+use ira_simllm::Llm;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn extraction_never_panics(text in "\\PC{0,1000}") {
+        let _ = Extraction::from_text(&text, None);
+    }
+
+    #[test]
+    fn classify_never_panics(q in "\\PC{0,300}") {
+        let _ = classify(&q);
+    }
+
+    #[test]
+    fn plan_generation_is_total_and_closes(goal in "\\PC{0,200}") {
+        let plan = plangen::plan_goal(&goal);
+        // Plans always end with analysis + memorize steps.
+        prop_assert!(plan.steps.len() >= 2);
+    }
+
+    #[test]
+    fn confidence_is_always_in_range(
+        question in "\\PC{0,200}",
+        knowledge in prop::collection::vec("\\PC{0,200}", 0..6),
+    ) {
+        let llm = Llm::gpt4(0);
+        let ans = llm.answer(&question, &knowledge);
+        prop_assert!(ans.confidence <= 10);
+        prop_assert!((0.0..=1.0).contains(&ans.coverage));
+        prop_assert!(!ans.text.is_empty());
+    }
+
+    #[test]
+    fn adding_knowledge_never_lowers_cable_confidence(
+        extra in prop::collection::vec("[a-z ]{10,80}", 0..4),
+    ) {
+        // Irrelevant extra snippets must not reduce confidence: the
+        // evidence slots only accumulate.
+        const Q: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
+                         that connects Brazil to Europe or the one that connects the US to \
+                         Europe?";
+        let relevant = vec![
+            "Geomagnetically induced currents grow stronger at higher geomagnetic latitudes."
+                .to_string(),
+        ];
+        let llm = Llm::gpt4(0);
+        let base = llm.answer(Q, &relevant).confidence;
+        let mut more = extra;
+        more.extend(relevant);
+        let with_noise = llm.answer(Q, &more).confidence;
+        prop_assert!(with_noise >= base, "noise lowered confidence {base} -> {with_noise}");
+    }
+
+    #[test]
+    fn extraction_merge_is_idempotent(text in "[ -~]{0,500}") {
+        let a = Extraction::from_text(&text, None);
+        let mut b = a.clone();
+        b.merge(&a);
+        prop_assert_eq!(a.facts.len(), b.facts.len());
+        prop_assert_eq!(a.principles.len(), b.principles.len());
+    }
+
+    #[test]
+    fn proposed_searches_are_unique_and_bounded(max in 0usize..8) {
+        const Q: &str = "Whose datacenter is more vulnerable to a solar superstorm, Google's \
+                         or Facebook's?";
+        let llm = Llm::gpt4(0);
+        let queries = llm.propose_searches(Q, &[], max);
+        prop_assert!(queries.len() <= max);
+        let mut dedup = queries.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), queries.len(), "duplicate queries proposed");
+    }
+}

@@ -1,0 +1,186 @@
+//! Client-side response cache (LRU + TTL).
+//!
+//! A research agent re-visits hubs and reference pages constantly; a
+//! real client would not pay the network round trip twice. The cache
+//! stores successful text responses keyed by URL, bounded by entry
+//! count with least-recently-used eviction, and expires entries after a
+//! TTL measured on the virtual clock.
+
+use crate::clock::{Duration, Instant};
+use crate::server::Response;
+use std::collections::HashMap;
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum cached responses; 0 disables the cache.
+    pub capacity: usize,
+    /// Entries older than this are refetched.
+    pub ttl: Duration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity: 256, ttl: Duration::from_secs(300) }
+    }
+}
+
+struct CacheEntry {
+    response: Response,
+    stored_at: Instant,
+    last_used: u64,
+}
+
+/// The cache. Not internally synchronised: the [`crate::client::Client`]
+/// wraps it in a lock.
+pub struct ResponseCache {
+    config: CacheConfig,
+    entries: HashMap<String, CacheEntry>,
+    /// Logical use-counter driving LRU order.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResponseCache {
+    pub fn new(config: CacheConfig) -> Self {
+        ResponseCache {
+            config,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Look up `url` at virtual time `now`.
+    pub fn get(&mut self, url: &str, now: Instant) -> Option<Response> {
+        if self.config.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        let ttl = self.config.ttl;
+        let tick = self.tick;
+        match self.entries.get_mut(url) {
+            Some(entry) if now.duration_since(entry.stored_at) <= ttl => {
+                entry.last_used = tick;
+                self.hits += 1;
+                Some(entry.response.clone())
+            }
+            Some(_) => {
+                // Expired: drop it and report a miss.
+                self.entries.remove(url);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a successful response fetched at `now`.
+    pub fn put(&mut self, url: &str, response: Response, now: Instant) {
+        if self.config.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.config.capacity && !self.entries.contains_key(url) {
+            // Evict the least-recently-used entry.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            url.to_string(),
+            CacheEntry { response, stored_at: now, last_used: self.tick },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(body: &str) -> Response {
+        Response::ok(body.to_string())
+    }
+
+    fn t(secs: u64) -> Instant {
+        Instant::EPOCH + Duration::from_secs(secs)
+    }
+
+    fn cache(capacity: usize, ttl_secs: u64) -> ResponseCache {
+        ResponseCache::new(CacheConfig { capacity, ttl: Duration::from_secs(ttl_secs) })
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = cache(4, 60);
+        assert!(c.get("sim://a.test/x", t(0)).is_none());
+        c.put("sim://a.test/x", resp("body"), t(0));
+        let hit = c.get("sim://a.test/x", t(10)).expect("hit");
+        assert_eq!(hit.text(), Some("body"));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut c = cache(4, 60);
+        c.put("sim://a.test/x", resp("body"), t(0));
+        assert!(c.get("sim://a.test/x", t(61)).is_none(), "expired");
+        assert!(c.is_empty(), "expired entry is dropped");
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let mut c = cache(2, 600);
+        c.put("sim://a.test/1", resp("1"), t(0));
+        c.put("sim://a.test/2", resp("2"), t(1));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get("sim://a.test/1", t(2)).is_some());
+        c.put("sim://a.test/3", resp("3"), t(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("sim://a.test/1", t(4)).is_some());
+        assert!(c.get("sim://a.test/2", t(4)).is_none(), "LRU victim evicted");
+        assert!(c.get("sim://a.test/3", t(4)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = cache(0, 60);
+        c.put("sim://a.test/x", resp("body"), t(0));
+        assert!(c.get("sim://a.test/x", t(0)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn updating_an_entry_does_not_evict_others() {
+        let mut c = cache(2, 600);
+        c.put("sim://a.test/1", resp("1"), t(0));
+        c.put("sim://a.test/2", resp("2"), t(1));
+        c.put("sim://a.test/1", resp("1-new"), t(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("sim://a.test/1", t(3)).unwrap().text(), Some("1-new"));
+        assert!(c.get("sim://a.test/2", t(3)).is_some());
+    }
+}

@@ -1,0 +1,360 @@
+//! The user-facing client: timeouts and retries over [`Network::transmit`].
+//!
+//! This is the only entry point the agent crates use to reach the
+//! simulated web. It enforces a per-request timeout against the virtual
+//! clock and drives the [`RetryPolicy`], sleeping (in virtual time)
+//! between attempts.
+
+use crate::cache::{CacheConfig, ResponseCache};
+use crate::clock::Duration;
+use crate::error::{NetError, NetResult};
+use crate::retry::RetryPolicy;
+use crate::server::{Network, Request, Response};
+use crate::url::Url;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Client behaviour knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Per-attempt timeout: attempts whose simulated round trip exceeds
+    /// this are reported as [`NetError::Timeout`].
+    pub timeout: Duration,
+    pub retry: RetryPolicy,
+    /// Client-side response cache (LRU + TTL). Hits cost no virtual
+    /// network time.
+    pub cache: CacheConfig,
+    /// Maximum redirect hops followed per request.
+    pub max_redirects: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            timeout: Duration::from_secs(10),
+            retry: RetryPolicy::standard(),
+            cache: CacheConfig::default(),
+            max_redirects: 4,
+        }
+    }
+}
+
+static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A handle for issuing requests to a [`Network`].
+#[derive(Clone)]
+pub struct Client {
+    net: Arc<Network>,
+    config: ClientConfig,
+    cache: Arc<Mutex<ResponseCache>>,
+    id: u64,
+}
+
+impl Client {
+    pub fn new(net: Arc<Network>) -> Self {
+        Client::with_config(net, ClientConfig::default())
+    }
+
+    pub fn with_config(net: Arc<Network>, config: ClientConfig) -> Self {
+        Client {
+            net,
+            cache: Arc::new(Mutex::new(ResponseCache::new(config.cache))),
+            config,
+            id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().stats()
+    }
+
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Fetch `url` (string form), with retries per the client config.
+    pub fn get(&self, url: &str) -> NetResult<Response> {
+        self.get_url(&Url::parse(url)?)
+    }
+
+    /// Fetch a parsed [`Url`], following redirects (up to the
+    /// configured hop limit) and retrying per the client config.
+    /// Successful responses are cached; cache hits cost no virtual time.
+    pub fn get_url(&self, url: &Url) -> NetResult<Response> {
+        let mut current = url.clone();
+        for _ in 0..=self.config.max_redirects {
+            let resp = self.fetch_one(&current)?;
+            match resp.redirect_location() {
+                Some(location) => {
+                    current = Url::parse(location)?;
+                }
+                None => return Ok(resp),
+            }
+        }
+        Err(NetError::HttpStatus { host: current.host().to_string(), code: 310 })
+    }
+
+    /// One fetch without redirect handling.
+    fn fetch_one(&self, url: &Url) -> NetResult<Response> {
+        let key = url.to_string();
+        if let Some(cached) = self.cache.lock().get(&key, self.net.clock().now()) {
+            return Ok(cached);
+        }
+        let req = Request { url: url.clone(), client_id: self.id };
+        let mut attempt: u32 = 0;
+        loop {
+            let start = self.net.clock().now();
+            let result = self.net.transmit(&req).and_then(|resp| {
+                let elapsed = self.net.clock().now().duration_since(start);
+                if elapsed > self.config.timeout {
+                    Err(NetError::Timeout { host: url.host().to_string(), elapsed })
+                } else {
+                    Ok(resp)
+                }
+            });
+
+            let err = match result {
+                Ok(resp) => {
+                    self.cache.lock().put(&key, resp.clone(), self.net.clock().now());
+                    return Ok(resp);
+                }
+                Err(err) => err,
+            };
+
+            match self.config.retry.next_delay(attempt, &err) {
+                Some(delay) => {
+                    self.net.clock().advance(delay);
+                    attempt += 1;
+                }
+                None => {
+                    return Err(if attempt > 0 {
+                        NetError::RetriesExhausted {
+                            attempts: attempt + 1,
+                            last: Box::new(err),
+                        }
+                    } else {
+                        err
+                    });
+                }
+            }
+        }
+    }
+
+    /// Fetch and return the body as text, treating non-text bodies as an
+    /// error. Most agent code wants this form.
+    pub fn get_text(&self, url: &str) -> NetResult<String> {
+        let parsed = Url::parse(url)?;
+        let resp = self.get_url(&parsed)?;
+        resp.text()
+            .map(str::to_owned)
+            .ok_or_else(|| NetError::BodyNotText { host: parsed.host().to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::ratelimit::TokenBucket;
+    use crate::retry::{Backoff, RetryPolicy};
+    use crate::server::{HostConfig, NetworkConfig, Status};
+    use parking_lot::Mutex;
+
+    fn ok_host() -> Arc<dyn crate::server::Host> {
+        Arc::new(|_req: &Request| Response::ok("body"))
+    }
+
+    fn cfg(loss: f64) -> HostConfig {
+        HostConfig {
+            latency: LatencyModel { loss, ..LatencyModel::fast() },
+            rate_limit: TokenBucket::unlimited(),
+        }
+    }
+
+    #[test]
+    fn get_returns_body() {
+        let mut net = Network::new(NetworkConfig::default(), 3);
+        net.register_with("a.test", ok_host(), cfg(0.0));
+        let client = Client::new(Arc::new(net));
+        assert_eq!(client.get_text("sim://a.test/page").unwrap(), "body");
+    }
+
+    #[test]
+    fn retries_recover_from_transient_loss() {
+        // loss=0.5: with 5 retries the request should essentially always
+        // succeed under a fixed seed.
+        let mut net = Network::new(NetworkConfig::default(), 17);
+        net.register_with("flaky.test", ok_host(), cfg(0.5));
+        let client = Client::with_config(
+            Arc::new(net),
+            ClientConfig {
+                timeout: Duration::from_secs(30),
+                retry: RetryPolicy { max_retries: 5, backoff: Backoff::default() },
+                cache: CacheConfig::default(),
+                max_redirects: 4,
+            },
+        );
+        for _ in 0..20 {
+            assert!(client.get("sim://flaky.test/").is_ok());
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_final_error() {
+        let mut net = Network::new(NetworkConfig::default(), 17);
+        net.register_with("dead.test", ok_host(), cfg(1.0));
+        let client = Client::with_config(
+            Arc::new(net),
+            ClientConfig {
+                timeout: Duration::from_secs(30),
+                retry: RetryPolicy { max_retries: 2, backoff: Backoff::default() },
+                cache: CacheConfig::default(),
+                max_redirects: 4,
+            },
+        );
+        match client.get("sim://dead.test/").unwrap_err() {
+            NetError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, NetError::ConnectionReset { .. }));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_fires_on_slow_host() {
+        let mut net = Network::new(NetworkConfig::default(), 9);
+        net.register_with(
+            "slow.test",
+            ok_host(),
+            HostConfig {
+                latency: LatencyModel {
+                    base: Duration::from_secs(5),
+                    jitter_mean: Duration::from_millis(1),
+                    tail: 0.0,
+                    loss: 0.0,
+                },
+                rate_limit: TokenBucket::unlimited(),
+            },
+        );
+        let client = Client::with_config(
+            Arc::new(net),
+            ClientConfig {
+                timeout: Duration::from_secs(1),
+                retry: RetryPolicy::none(),
+                cache: CacheConfig::default(),
+                max_redirects: 4,
+            },
+        );
+        assert!(matches!(
+            client.get("sim://slow.test/").unwrap_err(),
+            NetError::Timeout { .. }
+        ));
+    }
+
+    #[test]
+    fn rate_limit_is_ridden_out_by_retry() {
+        // Bucket of 1 token refilling at 10/sec: second request is
+        // denied but the retry honours retry_after and succeeds.
+        let mut net = Network::new(NetworkConfig::default(), 4);
+        net.register_with(
+            "lim.test",
+            ok_host(),
+            HostConfig {
+                latency: LatencyModel { loss: 0.0, ..LatencyModel::fast() },
+                rate_limit: TokenBucket::new(1, 10.0),
+            },
+        );
+        let client = Client::new(Arc::new(net));
+        assert!(client.get("sim://lim.test/").is_ok());
+        assert!(client.get("sim://lim.test/").is_ok(), "retry should absorb the 429");
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let counter = Arc::new(Mutex::new(0u32));
+        let c2 = Arc::clone(&counter);
+        let handler = move |_req: &Request| {
+            *c2.lock() += 1;
+            Response {
+                status: Status::NotFound,
+                body: bytes::Bytes::from_static(b"nope"),
+                content_type: "text/plain",
+            }
+        };
+        let mut net = Network::new(NetworkConfig::default(), 4);
+        net.register_with("nf.test", Arc::new(handler), cfg(0.0));
+        let client = Client::new(Arc::new(net));
+        assert!(client.get("sim://nf.test/").is_err());
+        assert_eq!(*counter.lock(), 1, "404 must not be retried");
+    }
+
+    #[test]
+    fn cache_hits_cost_no_virtual_time() {
+        let mut net = Network::new(NetworkConfig::default(), 3);
+        net.register_with("c.test", ok_host(), cfg(0.0));
+        let client = Client::new(Arc::new(net));
+        client.get("sim://c.test/page").unwrap();
+        let after_first = client.network().clock().now();
+        client.get("sim://c.test/page").unwrap();
+        assert_eq!(
+            client.network().clock().now(),
+            after_first,
+            "second fetch must be served from cache"
+        );
+        assert_eq!(client.cache_stats().0, 1);
+    }
+
+    #[test]
+    fn distinct_urls_do_not_share_cache_entries() {
+        let mut net = Network::new(NetworkConfig::default(), 3);
+        net.register_with("c.test", ok_host(), cfg(0.0));
+        let client = Client::new(Arc::new(net));
+        client.get("sim://c.test/a").unwrap();
+        let before = client.network().clock().now();
+        client.get("sim://c.test/b").unwrap();
+        assert!(client.network().clock().now() > before, "different URL must hit the network");
+    }
+
+    #[test]
+    fn redirects_are_followed_to_the_target() {
+        let mut net = Network::new(NetworkConfig::default(), 3);
+        net.register_with(
+            "old.test",
+            Arc::new(|_req: &Request| Response::redirect("sim://new.test/page")),
+            cfg(0.0),
+        );
+        net.register_with(
+            "new.test",
+            Arc::new(|_req: &Request| Response::ok("final content")),
+            cfg(0.0),
+        );
+        let client = Client::new(Arc::new(net));
+        assert_eq!(client.get_text("sim://old.test/moved").unwrap(), "final content");
+    }
+
+    #[test]
+    fn redirect_loops_are_bounded() {
+        let mut net = Network::new(NetworkConfig::default(), 3);
+        net.register_with(
+            "loop.test",
+            Arc::new(|_req: &Request| Response::redirect("sim://loop.test/again")),
+            cfg(0.0),
+        );
+        let client = Client::new(Arc::new(net));
+        match client.get("sim://loop.test/start").unwrap_err() {
+            NetError::HttpStatus { code, .. } => assert_eq!(code, 310),
+            other => panic!("expected redirect-loop error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clients_get_distinct_ids() {
+        let net = Arc::new(Network::new(NetworkConfig::default(), 1));
+        let a = Client::new(Arc::clone(&net));
+        let b = Client::new(net);
+        assert_ne!(a.id, b.id);
+    }
+}

@@ -1,0 +1,119 @@
+//! Error taxonomy for the simulated network stack.
+//!
+//! The variants mirror the failure classes a real HTTP client surfaces,
+//! because the agent's retry policy needs to distinguish them: DNS-style
+//! resolution failures are permanent, timeouts and connection resets are
+//! retryable, and rate-limit rejections are retryable *after a delay*.
+
+use crate::clock::Duration;
+use crate::url::UrlError;
+use thiserror::Error;
+
+/// Result alias used across the crate.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Any failure produced by the simulated network.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The URL could not be parsed.
+    #[error("invalid url: {0}")]
+    InvalidUrl(#[from] UrlError),
+
+    /// No virtual host is registered for this hostname.
+    #[error("host not found: {0}")]
+    HostNotFound(String),
+
+    /// The request exceeded the client's timeout budget.
+    #[error("request to {host} timed out after {elapsed}")]
+    Timeout { host: String, elapsed: Duration },
+
+    /// The connection dropped mid-flight (simulated transient loss).
+    #[error("connection to {host} reset")]
+    ConnectionReset { host: String },
+
+    /// The server rejected the request due to rate limiting.
+    #[error("rate limited by {host}, retry after {retry_after}")]
+    RateLimited { host: String, retry_after: Duration },
+
+    /// All retry attempts were exhausted; carries the final error.
+    #[error("retries exhausted after {attempts} attempts: {last}")]
+    RetriesExhausted {
+        attempts: u32,
+        #[source]
+        last: Box<NetError>,
+    },
+
+    /// The server answered with a non-success status.
+    #[error("http error {code} from {host}")]
+    HttpStatus { host: String, code: u16 },
+
+    /// The response body was not valid UTF-8 text.
+    #[error("response body from {host} is not valid utf-8")]
+    BodyNotText { host: String },
+}
+
+impl NetError {
+    /// Whether a retry of the same request could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Timeout { .. }
+            | NetError::ConnectionReset { .. }
+            | NetError::RateLimited { .. } => true,
+            NetError::HttpStatus { code, .. } => *code >= 500,
+            NetError::InvalidUrl(_)
+            | NetError::HostNotFound(_)
+            | NetError::RetriesExhausted { .. }
+            | NetError::BodyNotText { .. } => false,
+        }
+    }
+
+    /// Server-mandated minimum wait before retrying, if any.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            NetError::RateLimited { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(NetError::Timeout {
+            host: "a".into(),
+            elapsed: Duration::from_millis(100)
+        }
+        .is_retryable());
+        assert!(NetError::ConnectionReset { host: "a".into() }.is_retryable());
+        assert!(NetError::RateLimited {
+            host: "a".into(),
+            retry_after: Duration::from_millis(50)
+        }
+        .is_retryable());
+        assert!(NetError::HttpStatus { host: "a".into(), code: 503 }.is_retryable());
+        assert!(!NetError::HttpStatus { host: "a".into(), code: 404 }.is_retryable());
+        assert!(!NetError::HostNotFound("a".into()).is_retryable());
+    }
+
+    #[test]
+    fn rate_limit_carries_retry_after() {
+        let e = NetError::RateLimited {
+            host: "a".into(),
+            retry_after: Duration::from_millis(75),
+        };
+        assert_eq!(e.retry_after(), Some(Duration::from_millis(75)));
+        assert_eq!(NetError::HostNotFound("a".into()).retry_after(), None);
+    }
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = NetError::Timeout {
+            host: "search.test".into(),
+            elapsed: Duration::from_millis(1500),
+        };
+        assert_eq!(e.to_string(), "request to search.test timed out after 1.500s");
+    }
+}

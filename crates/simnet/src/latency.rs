@@ -1,0 +1,150 @@
+//! Seeded per-request latency and loss models.
+//!
+//! Real page fetches have a long-tailed latency distribution; the agent
+//! training loop spends most of its virtual time here (experiment F1
+//! depends on this split being realistic). We model latency as a base
+//! RTT plus a log-normal-ish tail and an independent loss probability.
+
+use crate::clock::Duration;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a host's latency behaviour.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Minimum round-trip time.
+    pub base: Duration,
+    /// Mean of the additional variable component.
+    pub jitter_mean: Duration,
+    /// Tail index: larger values produce heavier tails. Range [0, 1).
+    pub tail: f64,
+    /// Probability a request is lost (connection reset).
+    pub loss: f64,
+}
+
+impl LatencyModel {
+    /// A fast, reliable host (e.g. a search API endpoint).
+    pub fn fast() -> Self {
+        LatencyModel {
+            base: Duration::from_millis(15),
+            jitter_mean: Duration::from_millis(10),
+            tail: 0.05,
+            loss: 0.001,
+        }
+    }
+
+    /// A typical content site.
+    pub fn typical() -> Self {
+        LatencyModel {
+            base: Duration::from_millis(60),
+            jitter_mean: Duration::from_millis(40),
+            tail: 0.15,
+            loss: 0.01,
+        }
+    }
+
+    /// A slow or overloaded origin (e.g. a forum archive).
+    pub fn slow() -> Self {
+        LatencyModel {
+            base: Duration::from_millis(200),
+            jitter_mean: Duration::from_millis(150),
+            tail: 0.30,
+            loss: 0.03,
+        }
+    }
+
+    /// Draw one request outcome from the model.
+    ///
+    /// The variable component is an exponential draw stretched by a
+    /// Pareto-style tail factor with probability `tail`, which gives the
+    /// p99 ≫ p50 shape seen in real fetch traces without needing a full
+    /// distributions crate.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> LatencySample {
+        if rng.gen::<f64>() < self.loss {
+            return LatencySample::Lost;
+        }
+        // Exponential via inverse CDF; clamp the uniform away from 0.
+        let u: f64 = rng.gen_range(1e-9..1.0f64);
+        let mut extra = self.jitter_mean.mul_f64(-u.ln());
+        if rng.gen::<f64>() < self.tail {
+            let stretch = rng.gen_range(3.0..12.0);
+            extra = extra.mul_f64(stretch);
+        }
+        LatencySample::Delivered(self.base + extra)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::typical()
+    }
+}
+
+/// Outcome of one simulated request transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencySample {
+    /// The request completes after this much virtual time.
+    Delivered(Duration),
+    /// The request is lost; the client sees a connection reset.
+    Lost,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draws(model: LatencyModel, n: usize, seed: u64) -> (Vec<Duration>, usize) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut delivered = Vec::new();
+        let mut lost = 0;
+        for _ in 0..n {
+            match model.sample(&mut rng) {
+                LatencySample::Delivered(d) => delivered.push(d),
+                LatencySample::Lost => lost += 1,
+            }
+        }
+        (delivered, lost)
+    }
+
+    #[test]
+    fn samples_respect_base_floor() {
+        let (delivered, _) = draws(LatencyModel::typical(), 2_000, 7);
+        assert!(delivered.iter().all(|d| *d >= Duration::from_millis(60)));
+    }
+
+    #[test]
+    fn loss_rate_matches_parameter() {
+        let model = LatencyModel { loss: 0.2, ..LatencyModel::fast() };
+        let (_, lost) = draws(model, 10_000, 11);
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn tail_produces_heavy_upper_quantiles() {
+        let (mut delivered, _) = draws(LatencyModel::slow(), 5_000, 13);
+        delivered.sort();
+        let p50 = delivered[delivered.len() / 2];
+        let p99 = delivered[delivered.len() * 99 / 100];
+        assert!(
+            p99.as_micros() > 3 * p50.as_micros(),
+            "expected heavy tail, got p50={p50} p99={p99}"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let (a, _) = draws(LatencyModel::typical(), 100, 99);
+        let (b, _) = draws(LatencyModel::typical(), 100, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let model = LatencyModel { loss: 0.0, ..LatencyModel::fast() };
+        let (_, lost) = draws(model, 5_000, 3);
+        assert_eq!(lost, 0);
+    }
+}

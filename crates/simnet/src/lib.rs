@@ -1,0 +1,70 @@
+//! # ira-simnet
+//!
+//! A deterministic, simulated network substrate for the interactive
+//! research agent. The agent's retrieval loop (search engine queries,
+//! page fetches) runs over this stack instead of a real socket layer,
+//! which keeps every experiment reproducible while preserving the
+//! systems behaviour that matters to the agent: request latency,
+//! transient failures, rate limiting, retries, and timeouts.
+//!
+//! The stack is layered like a miniature HTTP deployment:
+//!
+//! * [`clock::VirtualClock`] — a logical clock all components share, so
+//!   latency-dependent results do not depend on host scheduling.
+//! * [`url::Url`] — a small, strict URL type (scheme/host/path/query).
+//! * [`latency::LatencyModel`] — seeded per-host latency distributions.
+//! * [`ratelimit::TokenBucket`] — per-host server-side rate limiting.
+//! * [`server::Network`] — a registry of virtual hosts implementing
+//!   [`server::Host`].
+//! * [`client::Client`] — the user-facing client with timeout and
+//!   [`retry::RetryPolicy`] support.
+//!
+//! ```
+//! use ira_simnet::prelude::*;
+//! use std::sync::Arc;
+//!
+//! struct Hello;
+//! impl Host for Hello {
+//!     fn handle(&self, req: &Request, _: &mut HostCtx<'_>) -> Response {
+//!         Response::ok(format!("hello {}", req.url.path()))
+//!     }
+//! }
+//!
+//! let mut net = Network::new(NetworkConfig::default(), 42);
+//! net.register("example.test", Arc::new(Hello));
+//! let net = Arc::new(net);
+//! let client = Client::new(Arc::clone(&net));
+//! let resp = client.get("sim://example.test/docs/1").unwrap();
+//! assert_eq!(resp.status, Status::Ok);
+//! assert!(resp.text().unwrap().contains("/docs/1"));
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod clock;
+pub mod error;
+pub mod latency;
+pub mod ratelimit;
+pub mod retry;
+pub mod server;
+pub mod url;
+
+pub use cache::{CacheConfig, ResponseCache};
+pub use client::{Client, ClientConfig};
+pub use clock::{Duration, Instant, VirtualClock};
+pub use error::{NetError, NetResult};
+pub use latency::{LatencyModel, LatencySample};
+pub use ratelimit::TokenBucket;
+pub use retry::{Backoff, RetryPolicy};
+pub use server::{Host, HostCtx, Network, NetworkConfig, Request, Response, Status};
+pub use url::Url;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::client::{Client, ClientConfig};
+    pub use crate::clock::{Duration, Instant, VirtualClock};
+    pub use crate::error::{NetError, NetResult};
+    pub use crate::retry::RetryPolicy;
+    pub use crate::server::{Host, HostCtx, Network, NetworkConfig, Request, Response, Status};
+    pub use crate::url::Url;
+}

@@ -1,0 +1,142 @@
+//! Retry policies with exponential backoff.
+//!
+//! The agent loop must survive transient fetch failures without a human
+//! in the loop, so the client retries retryable errors with capped
+//! exponential backoff, honouring any server-provided `retry_after`.
+
+use crate::clock::Duration;
+use crate::error::NetError;
+use serde::{Deserialize, Serialize};
+
+/// Exponential backoff schedule.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub initial: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub factor: f64,
+    /// Upper bound on any single delay.
+    pub max: Duration,
+}
+
+impl Backoff {
+    /// Delay before retry number `attempt` (0-based: the delay after the
+    /// first failure is `delay(0)`).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let d = self.initial.mul_f64(self.factor.powi(attempt as i32));
+        d.min(self.max)
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            initial: Duration::from_millis(100),
+            factor: 2.0,
+            max: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How many times to retry and how long to wait between attempts.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum number of *retries* (total attempts = retries + 1).
+    pub max_retries: u32,
+    pub backoff: Backoff,
+}
+
+impl RetryPolicy {
+    /// Never retry.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, backoff: Backoff::default() }
+    }
+
+    /// A sensible default for page fetches: 3 retries, 100ms..10s backoff.
+    pub fn standard() -> Self {
+        RetryPolicy { max_retries: 3, backoff: Backoff::default() }
+    }
+
+    /// Decide what to do after a failure on attempt `attempt` (0-based).
+    ///
+    /// Returns the wait duration before the next attempt, or `None` if
+    /// the request should fail now. Server-provided `retry_after` hints
+    /// override the backoff schedule when longer.
+    pub fn next_delay(&self, attempt: u32, err: &NetError) -> Option<Duration> {
+        if attempt >= self.max_retries || !err.is_retryable() {
+            return None;
+        }
+        let scheduled = self.backoff.delay(attempt);
+        Some(match err.retry_after() {
+            Some(hint) if hint > scheduled => hint,
+            _ => scheduled,
+        })
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeout() -> NetError {
+        NetError::Timeout { host: "h".into(), elapsed: Duration::from_millis(1) }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_until_cap() {
+        let b = Backoff {
+            initial: Duration::from_millis(100),
+            factor: 2.0,
+            max: Duration::from_millis(500),
+        };
+        assert_eq!(b.delay(0), Duration::from_millis(100));
+        assert_eq!(b.delay(1), Duration::from_millis(200));
+        assert_eq!(b.delay(2), Duration::from_millis(400));
+        assert_eq!(b.delay(3), Duration::from_millis(500)); // capped
+        assert_eq!(b.delay(30), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn policy_stops_after_max_retries() {
+        let p = RetryPolicy { max_retries: 2, backoff: Backoff::default() };
+        assert!(p.next_delay(0, &timeout()).is_some());
+        assert!(p.next_delay(1, &timeout()).is_some());
+        assert!(p.next_delay(2, &timeout()).is_none());
+    }
+
+    #[test]
+    fn policy_never_retries_permanent_errors() {
+        let p = RetryPolicy::standard();
+        assert!(p.next_delay(0, &NetError::HostNotFound("h".into())).is_none());
+        assert!(p
+            .next_delay(0, &NetError::HttpStatus { host: "h".into(), code: 404 })
+            .is_none());
+    }
+
+    #[test]
+    fn retry_after_hint_overrides_shorter_backoff() {
+        let p = RetryPolicy::standard(); // first backoff delay = 100ms
+        let err = NetError::RateLimited {
+            host: "h".into(),
+            retry_after: Duration::from_secs(2),
+        };
+        assert_eq!(p.next_delay(0, &err), Some(Duration::from_secs(2)));
+        // ...but a hint shorter than the schedule does not shrink it.
+        let err = NetError::RateLimited {
+            host: "h".into(),
+            retry_after: Duration::from_millis(1),
+        };
+        assert_eq!(p.next_delay(0, &err), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn none_policy_fails_immediately() {
+        assert!(RetryPolicy::none().next_delay(0, &timeout()).is_none());
+    }
+}

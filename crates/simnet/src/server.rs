@@ -1,0 +1,433 @@
+//! The virtual network: host registry, request/response types, and the
+//! server-side transmission pipeline (rate limit → latency/loss → handler).
+//!
+//! A [`Network`] owns every registered virtual host. Requests are
+//! submitted through [`Network::transmit`], which charges virtual time
+//! for the round trip, applies the host's token bucket, and may drop the
+//! request according to the host's loss model. The [`crate::client::Client`]
+//! wraps this with timeouts and retries.
+
+use crate::clock::{Duration, VirtualClock};
+use crate::error::{NetError, NetResult};
+use crate::latency::{LatencyModel, LatencySample};
+use crate::ratelimit::{Acquire, TokenBucket};
+use crate::url::Url;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Response status codes, a compact subset of HTTP semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Status {
+    Ok,
+    /// Moved: the body carries the target URL.
+    Redirect,
+    NotFound,
+    TooManyRequests,
+    ServerError,
+}
+
+impl Status {
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Redirect => 301,
+            Status::NotFound => 404,
+            Status::TooManyRequests => 429,
+            Status::ServerError => 500,
+        }
+    }
+}
+
+/// A request addressed to a virtual host.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub url: Url,
+    /// Client identifier, used by hosts for per-client accounting.
+    pub client_id: u64,
+}
+
+impl Request {
+    pub fn get(url: Url) -> Self {
+        Request { url, client_id: 0 }
+    }
+}
+
+/// A response from a virtual host.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: Status,
+    pub body: Bytes,
+    /// Media type hint ("text/html", "application/json", ...).
+    pub content_type: &'static str,
+}
+
+impl Response {
+    pub fn ok(body: impl Into<String>) -> Self {
+        Response {
+            status: Status::Ok,
+            body: Bytes::from(body.into()),
+            content_type: "text/html",
+        }
+    }
+
+    pub fn json(body: impl Into<String>) -> Self {
+        Response {
+            status: Status::Ok,
+            body: Bytes::from(body.into()),
+            content_type: "application/json",
+        }
+    }
+
+    /// A permanent redirect to `location`.
+    pub fn redirect(location: impl Into<String>) -> Self {
+        Response {
+            status: Status::Redirect,
+            body: Bytes::from(location.into()),
+            content_type: "text/plain",
+        }
+    }
+
+    /// The redirect target, if this is a redirect response.
+    pub fn redirect_location(&self) -> Option<&str> {
+        (self.status == Status::Redirect)
+            .then(|| std::str::from_utf8(&self.body).ok())
+            .flatten()
+    }
+
+    pub fn not_found() -> Self {
+        Response {
+            status: Status::NotFound,
+            body: Bytes::from_static(b"not found"),
+            content_type: "text/plain",
+        }
+    }
+
+    /// Body as UTF-8 text.
+    pub fn text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Per-request context handed to host handlers.
+pub struct HostCtx<'a> {
+    /// Virtual time at which the request arrives at the host.
+    pub now: crate::clock::Instant,
+    /// Extra processing time the handler wants to charge (e.g. a search
+    /// host charges per-document scoring time).
+    pub processing: &'a mut Duration,
+}
+
+impl HostCtx<'_> {
+    /// Charge additional server-side processing time to this request.
+    pub fn charge(&mut self, d: Duration) {
+        *self.processing += d;
+    }
+}
+
+/// A virtual host: anything that can answer requests.
+pub trait Host: Send + Sync {
+    fn handle(&self, req: &Request, ctx: &mut HostCtx<'_>) -> Response;
+}
+
+/// Blanket impl so closures can serve as simple hosts in tests.
+impl<F> Host for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request, _ctx: &mut HostCtx<'_>) -> Response {
+        self(req)
+    }
+}
+
+/// Per-host configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    pub latency: LatencyModel,
+    pub rate_limit: TokenBucket,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            latency: LatencyModel::typical(),
+            rate_limit: TokenBucket::unlimited(),
+        }
+    }
+}
+
+/// Network-wide configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Default latency/limit settings for hosts registered without
+    /// explicit configuration.
+    pub default_host: HostConfig,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { default_host: HostConfig::default() }
+    }
+}
+
+/// Aggregate transmission statistics, used by experiment E6/F1.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    pub requests: u64,
+    pub delivered: u64,
+    pub lost: u64,
+    pub rate_limited: u64,
+    /// Total virtual time spent on the wire and in server processing.
+    pub busy: Duration,
+}
+
+struct HostSlot {
+    host: Arc<dyn Host>,
+    latency: LatencyModel,
+    bucket: Mutex<TokenBucket>,
+}
+
+/// The registry of virtual hosts plus shared clock and RNG.
+pub struct Network {
+    hosts: HashMap<String, HostSlot>,
+    clock: VirtualClock,
+    rng: Mutex<ChaCha8Rng>,
+    stats: Mutex<NetStats>,
+    config: NetworkConfig,
+}
+
+impl Network {
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        Network {
+            hosts: HashMap::new(),
+            clock: VirtualClock::new(),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+            stats: Mutex::new(NetStats::default()),
+            config,
+        }
+    }
+
+    /// Register `host` under `name` with default latency/limits.
+    pub fn register(&mut self, name: &str, host: Arc<dyn Host>) {
+        let cfg = self.config.default_host.clone();
+        self.register_with(name, host, cfg);
+    }
+
+    /// Register `host` with explicit per-host configuration.
+    pub fn register_with(&mut self, name: &str, host: Arc<dyn Host>, cfg: HostConfig) {
+        self.hosts.insert(
+            name.to_string(),
+            HostSlot {
+                host,
+                latency: cfg.latency,
+                bucket: Mutex::new(cfg.rate_limit),
+            },
+        );
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Registered host names, sorted (for deterministic iteration).
+    pub fn host_names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.hosts.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of transmission statistics.
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    /// Transmit one request: advance virtual time for the round trip and
+    /// return the host's response or a transport error.
+    ///
+    /// This is the raw, no-retry path; use [`crate::client::Client`] for
+    /// the full client behaviour.
+    pub fn transmit(&self, req: &Request) -> NetResult<Response> {
+        let slot = self
+            .hosts
+            .get(req.url.host())
+            .ok_or_else(|| NetError::HostNotFound(req.url.host().to_string()))?;
+
+        {
+            let mut stats = self.stats.lock();
+            stats.requests += 1;
+        }
+
+        // Rate limiting happens before any time is charged: the reject
+        // is cheap for the server.
+        let now = self.clock.now();
+        if let Acquire::Denied { retry_after } = slot.bucket.lock().try_acquire(now) {
+            self.stats.lock().rate_limited += 1;
+            return Err(NetError::RateLimited {
+                host: req.url.host().to_string(),
+                retry_after,
+            });
+        }
+
+        let sample = slot.latency.sample(&mut self.rng.lock());
+        match sample {
+            LatencySample::Lost => {
+                // A reset is detected after roughly one base RTT.
+                let wasted = slot.latency.base;
+                self.clock.advance(wasted);
+                let mut stats = self.stats.lock();
+                stats.lost += 1;
+                stats.busy += wasted;
+                Err(NetError::ConnectionReset { host: req.url.host().to_string() })
+            }
+            LatencySample::Delivered(rtt) => {
+                let mut processing = Duration::ZERO;
+                let mut ctx = HostCtx { now: self.clock.now(), processing: &mut processing };
+                let resp = slot.host.handle(req, &mut ctx);
+                let total = rtt + processing;
+                self.clock.advance(total);
+                let mut stats = self.stats.lock();
+                stats.delivered += 1;
+                stats.busy += total;
+                match resp.status {
+                    Status::Ok | Status::Redirect => Ok(resp),
+                    Status::TooManyRequests => Err(NetError::RateLimited {
+                        host: req.url.host().to_string(),
+                        retry_after: Duration::from_secs(1),
+                    }),
+                    status => Err(NetError::HttpStatus {
+                        host: req.url.host().to_string(),
+                        code: status.code(),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratelimit::TokenBucket;
+
+    fn echo_host() -> Arc<dyn Host> {
+        Arc::new(|req: &Request| Response::ok(format!("echo:{}", req.url.path())))
+    }
+
+    fn reliable_cfg() -> HostConfig {
+        HostConfig {
+            latency: LatencyModel { loss: 0.0, ..LatencyModel::fast() },
+            rate_limit: TokenBucket::unlimited(),
+        }
+    }
+
+    fn net_with_echo() -> Network {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        net.register_with("echo.test", echo_host(), reliable_cfg());
+        net
+    }
+
+    #[test]
+    fn transmit_reaches_handler_and_advances_clock() {
+        let net = net_with_echo();
+        let before = net.clock().now();
+        let resp = net
+            .transmit(&Request::get(Url::parse("sim://echo.test/a/b").unwrap()))
+            .unwrap();
+        assert_eq!(resp.text(), Some("echo:/a/b"));
+        assert!(net.clock().now() > before, "round trip must cost virtual time");
+    }
+
+    #[test]
+    fn unknown_host_is_an_error() {
+        let net = net_with_echo();
+        let err = net
+            .transmit(&Request::get(Url::parse("sim://nowhere.test/").unwrap()))
+            .unwrap_err();
+        assert_eq!(err, NetError::HostNotFound("nowhere.test".into()));
+    }
+
+    #[test]
+    fn rate_limited_host_rejects_burst() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        net.register_with(
+            "limited.test",
+            echo_host(),
+            HostConfig {
+                latency: LatencyModel { loss: 0.0, ..LatencyModel::fast() },
+                rate_limit: TokenBucket::new(2, 0.0001),
+            },
+        );
+        let url = Url::parse("sim://limited.test/").unwrap();
+        assert!(net.transmit(&Request::get(url.clone())).is_ok());
+        assert!(net.transmit(&Request::get(url.clone())).is_ok());
+        let err = net.transmit(&Request::get(url)).unwrap_err();
+        assert!(matches!(err, NetError::RateLimited { .. }), "got {err:?}");
+        assert_eq!(net.stats().rate_limited, 1);
+    }
+
+    #[test]
+    fn lossy_host_produces_resets() {
+        let mut net = Network::new(NetworkConfig::default(), 5);
+        net.register_with(
+            "flaky.test",
+            echo_host(),
+            HostConfig {
+                latency: LatencyModel { loss: 1.0, ..LatencyModel::fast() },
+                rate_limit: TokenBucket::unlimited(),
+            },
+        );
+        let err = net
+            .transmit(&Request::get(Url::parse("sim://flaky.test/").unwrap()))
+            .unwrap_err();
+        assert_eq!(err, NetError::ConnectionReset { host: "flaky.test".into() });
+        assert_eq!(net.stats().lost, 1);
+    }
+
+    #[test]
+    fn handler_processing_time_is_charged() {
+        struct Slow;
+        impl Host for Slow {
+            fn handle(&self, _req: &Request, ctx: &mut HostCtx<'_>) -> Response {
+                ctx.charge(Duration::from_secs(2));
+                Response::ok("done")
+            }
+        }
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        net.register_with("slow.test", Arc::new(Slow), reliable_cfg());
+        net.transmit(&Request::get(Url::parse("sim://slow.test/").unwrap()))
+            .unwrap();
+        assert!(net.clock().now().as_micros() >= 2_000_000);
+    }
+
+    #[test]
+    fn non_ok_status_maps_to_error() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        net.register_with(
+            "err.test",
+            Arc::new(|_req: &Request| Response::not_found()),
+            reliable_cfg(),
+        );
+        let err = net
+            .transmit(&Request::get(Url::parse("sim://err.test/x").unwrap()))
+            .unwrap_err();
+        assert_eq!(err, NetError::HttpStatus { host: "err.test".into(), code: 404 });
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let net = net_with_echo();
+        let url = Url::parse("sim://echo.test/").unwrap();
+        for _ in 0..5 {
+            net.transmit(&Request::get(url.clone())).unwrap();
+        }
+        let s = net.stats();
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.delivered, 5);
+        assert!(s.busy > Duration::ZERO);
+    }
+}

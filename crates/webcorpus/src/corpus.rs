@@ -1,0 +1,218 @@
+//! The assembled corpus: fact-bearing documents plus distractors, with
+//! a BM25 index and URL lookup.
+
+use crate::distractors;
+use crate::doc::{DocId, Document, SourceKind, Topic};
+use crate::index::bm25::{SearchEngine, SearchHit};
+use crate::templates;
+use ira_worldmodel::World;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Corpus generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// RNG seed for prose variation and distractor sampling.
+    pub seed: u64,
+    /// Number of distractor documents to interleave.
+    pub distractor_count: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { seed: 0xC0FFEE, distractor_count: 150 }
+    }
+}
+
+/// The synthetic web corpus.
+pub struct Corpus {
+    docs: Vec<Document>,
+    engine: SearchEngine,
+    by_url: HashMap<String, DocId>,
+}
+
+impl Corpus {
+    /// Generate the corpus for `world`.
+    pub fn generate(world: &World, config: CorpusConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut docs = templates::generate(world, &mut rng, 0);
+        let first_distractor = docs.len() as DocId;
+        docs.extend(distractors::generate(
+            config.distractor_count,
+            &mut rng,
+            first_distractor,
+        ));
+        link_related(&mut docs);
+
+        let engine = SearchEngine::build(docs.iter());
+        let by_url = docs
+            .iter()
+            .map(|d| (d.url().to_string(), d.id))
+            .collect();
+        Corpus { docs, engine, by_url }
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    pub fn doc(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(id as usize)
+    }
+
+    pub fn doc_by_url(&self, url: &str) -> Option<&Document> {
+        self.by_url.get(url).and_then(|&id| self.doc(id))
+    }
+
+    /// Fetch a document by host + path (what a virtual host sees).
+    pub fn doc_by_host_path(&self, host: &str, path: &str) -> Option<&Document> {
+        self.docs
+            .iter()
+            .find(|d| d.source.host() == host && d.path == path)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.iter()
+    }
+
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.engine.search(query, k)
+    }
+
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+
+    /// Number of documents per topic, for corpus statistics.
+    pub fn topic_counts(&self) -> Vec<(Topic, usize)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<Topic, usize> = BTreeMap::new();
+        for d in &self.docs {
+            *counts.entry(d.topic).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Number of documents per source kind.
+    pub fn source_counts(&self) -> Vec<(SourceKind, usize)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<SourceKind, usize> = BTreeMap::new();
+        for d in &self.docs {
+            *counts.entry(d.source).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Give every fact-bearing document up to two "Related" links to the
+/// next documents of the same topic (cyclically), the hypertext the
+/// crawler extension follows.
+fn link_related(docs: &mut [Document]) {
+    use std::collections::BTreeMap;
+    let mut by_topic: BTreeMap<Topic, Vec<usize>> = BTreeMap::new();
+    for (i, d) in docs.iter().enumerate() {
+        if d.topic != Topic::Distractor {
+            by_topic.entry(d.topic).or_default().push(i);
+        }
+    }
+    for indices in by_topic.values() {
+        let n = indices.len();
+        if n < 2 {
+            continue;
+        }
+        for (pos, &i) in indices.iter().enumerate() {
+            let mut links = Vec::new();
+            for step in 1..=2usize {
+                let j = indices[(pos + step) % n];
+                if j != i {
+                    links.push(docs[j].url().to_string());
+                }
+            }
+            links.dedup();
+            docs[i].links = links;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&World::standard(), CorpusConfig::default())
+    }
+
+    #[test]
+    fn corpus_contains_facts_and_distractors() {
+        let c = corpus();
+        assert!(c.len() > 200, "corpus size {}", c.len());
+        let topics = c.topic_counts();
+        let distractors = topics
+            .iter()
+            .find(|(t, _)| *t == Topic::Distractor)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert_eq!(distractors, 150);
+    }
+
+    #[test]
+    fn url_lookup_round_trips() {
+        let c = corpus();
+        let doc = c.iter().next().unwrap();
+        let found = c.doc_by_url(&doc.url().to_string()).unwrap();
+        assert_eq!(found.id, doc.id);
+    }
+
+    #[test]
+    fn host_path_lookup_works() {
+        let c = corpus();
+        let doc = c.iter().find(|d| d.source == SourceKind::Encyclopedia).unwrap();
+        let found = c.doc_by_host_path(doc.source.host(), &doc.path).unwrap();
+        assert_eq!(found.id, doc.id);
+    }
+
+    #[test]
+    fn search_surfaces_cable_article_over_distractors() {
+        let c = corpus();
+        let hits = c.search("fiber optic cable route Brazil Europe geomagnetic", 5);
+        assert!(!hits.is_empty());
+        let top = c.doc(hits[0].doc).unwrap();
+        assert_ne!(top.topic, Topic::Distractor, "top hit was {}", top.title);
+    }
+
+    #[test]
+    fn search_for_distractor_topic_finds_distractor() {
+        let c = corpus();
+        let hits = c.search("sourdough starter dough", 3);
+        assert!(!hits.is_empty());
+        assert_eq!(c.doc(hits[0].doc).unwrap().topic, Topic::Distractor);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(&World::standard(), CorpusConfig::default());
+        let b = Corpus::generate(&World::standard(), CorpusConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.body, y.body);
+        }
+    }
+
+    #[test]
+    fn distractor_scaling_works() {
+        let c = Corpus::generate(
+            &World::standard(),
+            CorpusConfig { seed: 1, distractor_count: 10 },
+        );
+        let d = Corpus::generate(
+            &World::standard(),
+            CorpusConfig { seed: 1, distractor_count: 400 },
+        );
+        assert_eq!(d.len() - c.len(), 390);
+    }
+}

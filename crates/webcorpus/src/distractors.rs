@@ -1,0 +1,263 @@
+//! Distractor documents.
+//!
+//! A search engine over only on-topic documents would make retrieval
+//! trivial. These generators produce plausible off-topic content with
+//! deliberate keyword overlap — "storm" in weather reports, "cable" in
+//! television articles, "solar" in renewable-energy pieces, "center" in
+//! sports coverage — so BM25 has to rank, not merely match.
+
+use crate::doc::{slugify, DocId, Document, SourceKind, Topic};
+use crate::textgen::{paragraph, TextGen};
+use rand_chacha::ChaCha8Rng;
+
+/// One distractor theme: a title pool and sentence pool sharing some
+/// vocabulary with the real topics.
+struct Theme {
+    titles: &'static [&'static str],
+    sentences: &'static [&'static str],
+    source: SourceKind,
+}
+
+const THEMES: &[Theme] = &[
+    Theme {
+        titles: &[
+            "Storm watch: weekend weather outlook",
+            "Tropical storm season arrives early",
+            "Winter storm disrupts regional flights",
+            "Thunderstorm safety for campers",
+        ],
+        sentences: &[
+            "Meteorologists expect the storm to weaken before landfall.",
+            "Residents are advised to secure outdoor furniture ahead of the storm.",
+            "The storm dropped five centimetres of rain in an hour.",
+            "Lightning from the storm knocked out a local radio transmitter.",
+            "Forecast models disagree about the storm's track over the weekend.",
+        ],
+        source: SourceKind::News,
+    },
+    Theme {
+        titles: &[
+            "Cable television's slow decline",
+            "Best HDMI cable for your new monitor",
+            "The cable car routes of San Francisco",
+            "Why your gym's cable machine is underrated",
+        ],
+        sentences: &[
+            "Streaming services continue to erode the cable subscriber base.",
+            "A braided cable jacket resists fraying far better than rubber.",
+            "The cable car grips a moving loop of steel beneath the street.",
+            "Cable exercises keep constant tension through the whole movement.",
+            "Premium cable brands rarely outperform budget ones in blind tests.",
+        ],
+        source: SourceKind::Blog,
+    },
+    Theme {
+        titles: &[
+            "Solar panel payback periods explained",
+            "A beginner's guide to solar gardening lights",
+            "Solar farm construction hits record pace",
+            "Do solar chargers work on cloudy days?",
+        ],
+        sentences: &[
+            "Rooftop solar output peaks around noon local time.",
+            "The solar farm will power forty thousand homes when complete.",
+            "Solar inverters convert direct current to alternating current.",
+            "Panel efficiency degrades roughly half a percent per year.",
+            "Community solar lets renters buy into shared arrays.",
+        ],
+        source: SourceKind::News,
+    },
+    Theme {
+        titles: &[
+            "Training for your first marathon",
+            "The center forward position in modern football",
+            "Community center reopens after renovation",
+            "Yoga for desk workers",
+        ],
+        sentences: &[
+            "The team's new center anchors both defense and offense.",
+            "A strong core keeps your running form stable late in the race.",
+            "The community center now hosts evening coding classes.",
+            "Interval sessions build speed faster than steady mileage alone.",
+            "Stretching the hip flexors relieves lower back tension.",
+        ],
+        source: SourceKind::Forum,
+    },
+    Theme {
+        titles: &[
+            "Sourdough starter troubleshooting",
+            "Weeknight pasta that actually delivers",
+            "A field guide to regional barbecue",
+            "Fermentation basics for beginners",
+        ],
+        sentences: &[
+            "Let the dough rest until it doubles in volume.",
+            "Salt the pasta water until it tastes like the sea.",
+            "Low and slow is the whole secret to brisket.",
+            "A healthy starter smells pleasantly sour, never acrid.",
+            "Finish the sauce with a splash of the starchy cooking water.",
+        ],
+        source: SourceKind::Blog,
+    },
+    Theme {
+        titles: &[
+            "The best travel routes through the Alps",
+            "Island hopping on a budget",
+            "A connection guide for long layovers",
+            "Rail network expansion announced",
+        ],
+        sentences: &[
+            "The scenic route adds an hour but repays every minute.",
+            "Book the first connection of the day to absorb delays.",
+            "The new rail link connects two regions that lacked direct service.",
+            "Overnight ferries free up a day of sightseeing.",
+            "Regional passes beat point-to-point tickets past three legs.",
+        ],
+        source: SourceKind::Blog,
+    },
+    Theme {
+        titles: &[
+            "Patch notes: season of storms",
+            "Server maintenance scheduled this weekend",
+            "Ranked ladder resets explained",
+            "The best builds after the balance patch",
+        ],
+        sentences: &[
+            "The game servers will be offline for four hours during the update.",
+            "Storm-themed cosmetics arrive with the new season.",
+            "Latency to the regional server cluster improved after the migration.",
+            "The balance team nerfed the dominant strategy again.",
+            "Cross-region play remains disabled in ranked queues.",
+        ],
+        source: SourceKind::Forum,
+    },
+    Theme {
+        titles: &[
+            "Strength training for beginners",
+            "Sleep hygiene that actually works",
+            "Reading the nutrition label properly",
+            "A sensible approach to supplements",
+        ],
+        sentences: &[
+            "Consistency beats intensity for long-term progress.",
+            "Caffeine's half-life means the afternoon cup disrupts sleep.",
+            "Protein needs scale with training volume, not ambition.",
+            "Most supplements underdeliver compared to sleep and diet.",
+            "Progressive overload is the whole principle in two words.",
+        ],
+        source: SourceKind::Blog,
+    },
+    Theme {
+        titles: &[
+            "Quarterly earnings roundup",
+            "Markets wobble on rate speculation",
+            "The quiet rise of index funds",
+            "Currency networks and settlement latency",
+        ],
+        sentences: &[
+            "Analysts had expected stronger guidance for the next quarter.",
+            "The index closed half a percent lower on thin volume.",
+            "Settlement networks batch transactions to cut costs.",
+            "Dividend growth has outpaced inflation for a decade.",
+            "Volatility returned as traders repriced rate expectations.",
+        ],
+        source: SourceKind::News,
+    },
+];
+
+/// Generate `count` distractor documents starting at `first_id`.
+pub fn generate(count: usize, rng: &mut ChaCha8Rng, first_id: DocId) -> Vec<Document> {
+    let mut docs = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut tg = TextGen::new(rng);
+        let theme = &THEMES[i % THEMES.len()];
+        let title = tg.pick(theme.titles);
+        let n_sentences = tg.int(3, 6) as usize;
+        let mut sentences = Vec::with_capacity(n_sentences);
+        for _ in 0..n_sentences {
+            sentences.push(tg.pick(theme.sentences).to_string());
+        }
+        let id = first_id + i as DocId;
+        let path = match theme.source {
+            SourceKind::News => format!("/articles/{id}-{}", slugify(title)),
+            SourceKind::Blog => format!("/posts/{id}-{}", slugify(title)),
+            SourceKind::Forum => format!("/thread/{id}"),
+            _ => format!("/d/{id}"),
+        };
+        docs.push(Document {
+            id,
+            source: theme.source,
+            path,
+            title: format!("{title} ({id})"),
+            body: paragraph(&sentences),
+            topic: Topic::Distractor,
+            links: Vec::new(),
+        });
+    }
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(generate(50, &mut rng, 100).len(), 50);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(generate(0, &mut rng, 0).is_empty());
+    }
+
+    #[test]
+    fn ids_start_at_first_id_and_are_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let docs = generate(10, &mut rng, 500);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(d.id, 500 + i as DocId);
+        }
+    }
+
+    #[test]
+    fn all_are_tagged_distractor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(generate(20, &mut rng, 0).iter().all(|d| d.topic == Topic::Distractor));
+    }
+
+    #[test]
+    fn distractors_share_keywords_with_real_topics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let docs = generate(60, &mut rng, 0);
+        let all: String = docs
+            .iter()
+            .map(|d| d.full_text().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ");
+        for kw in ["storm", "cable", "solar", "center"] {
+            assert!(all.contains(kw), "expected keyword overlap on {kw}");
+        }
+    }
+
+    #[test]
+    fn distractors_never_mention_core_facts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let docs = generate(100, &mut rng, 0);
+        for d in &docs {
+            assert!(!d.body.contains("geomagnetic latitude"), "distractor leaks facts: {}", d.title);
+            assert!(!d.body.contains("optical repeaters"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            generate(30, &mut rng, 0)
+                .into_iter()
+                .map(|d| d.body)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,4 @@
+//! Text indexing: tokenizer and BM25 search.
+
+pub mod bm25;
+pub mod tokenize;

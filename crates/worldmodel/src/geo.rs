@@ -1,0 +1,215 @@
+//! Geographic primitives: coordinates, great-circle math, regions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// A point on the Earth's surface, degrees north / degrees east.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    pub lat: f64,
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point, validating coordinate ranges.
+    ///
+    /// Panics on out-of-range coordinates: the database is static and an
+    /// invalid entry is a bug in this crate, not a runtime condition.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
+        assert!((-180.0..=180.0).contains(&lon), "longitude {lon} out of range");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Interpolate along the great circle from `self` to `other`.
+    ///
+    /// `t` in \[0,1\]; uses spherical linear interpolation so sampled
+    /// waypoints actually lie on the shortest path — this matters
+    /// because trans-Atlantic great circles arc far north of both
+    /// endpoints, which is exactly the effect that makes US–Europe
+    /// cables vulnerable to geomagnetic storms.
+    pub fn intermediate(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        debug_assert!((0.0..=1.0).contains(&t));
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+
+        // Angular distance between the endpoints.
+        let d = (self.distance_km(other) / EARTH_RADIUS_KM).max(1e-12);
+        let a = ((1.0 - t) * d).sin() / d.sin();
+        let b = (t * d).sin() / d.sin();
+
+        let x = a * lat1.cos() * lon1.cos() + b * lat2.cos() * lon2.cos();
+        let y = a * lat1.cos() * lon1.sin() + b * lat2.cos() * lon2.sin();
+        let z = a * lat1.sin() + b * lat2.sin();
+
+        GeoPoint {
+            lat: z.atan2((x * x + y * y).sqrt()).to_degrees(),
+            lon: y.atan2(x).to_degrees(),
+        }
+    }
+
+    /// Sample `n + 1` waypoints (inclusive of endpoints) along the great
+    /// circle from `self` to `other`.
+    pub fn great_circle_path(&self, other: &GeoPoint, n: usize) -> Vec<GeoPoint> {
+        assert!(n >= 1, "path needs at least one segment");
+        (0..=n)
+            .map(|i| self.intermediate(other, i as f64 / n as f64))
+            .collect()
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = if self.lat >= 0.0 { 'N' } else { 'S' };
+        let ew = if self.lon >= 0.0 { 'E' } else { 'W' };
+        write!(f, "{:.2}°{ns} {:.2}°{ew}", self.lat.abs(), self.lon.abs())
+    }
+}
+
+/// Coarse world regions, used for dispersion metrics and corpus text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    NorthAmerica,
+    SouthAmerica,
+    Europe,
+    Africa,
+    MiddleEast,
+    Asia,
+    Oceania,
+}
+
+impl Region {
+    pub const ALL: [Region; 7] = [
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Europe,
+        Region::Africa,
+        Region::MiddleEast,
+        Region::Asia,
+        Region::Oceania,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "North America",
+            Region::SouthAmerica => "South America",
+            Region::Europe => "Europe",
+            Region::Africa => "Africa",
+            Region::MiddleEast => "Middle East",
+            Region::Asia => "Asia",
+            Region::Oceania => "Oceania",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named place with coordinates — cable landing points, data-center
+/// sites, and topology nodes all reference these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Place {
+    pub name: String,
+    pub country: String,
+    pub region: Region,
+    pub point: GeoPoint,
+}
+
+impl Place {
+    pub fn new(name: &str, country: &str, region: Region, lat: f64, lon: f64) -> Self {
+        Place {
+            name: name.to_string(),
+            country: country.to_string(),
+            region,
+            point: GeoPoint::new(lat, lon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn new_york() -> GeoPoint {
+        GeoPoint::new(40.71, -74.01)
+    }
+    fn london() -> GeoPoint {
+        GeoPoint::new(51.51, -0.13)
+    }
+
+    #[test]
+    fn haversine_matches_known_distances() {
+        // New York – London is ~5,570 km.
+        let d = new_york().distance_km(&london());
+        assert!((d - 5_570.0).abs() < 60.0, "NY–London distance {d}");
+        // Antipodal-ish check: distance is symmetric.
+        assert!((d - london().distance_km(&new_york())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = new_york();
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn great_circle_arcs_north_of_endpoints() {
+        // The NY–London great circle reaches above 52°N even though both
+        // endpoints are below it — the physical reason trans-Atlantic
+        // cables pass through high geomagnetic latitudes.
+        let path = new_york().great_circle_path(&london(), 64);
+        let max_lat = path.iter().map(|p| p.lat).fold(f64::MIN, f64::max);
+        assert!(max_lat > 52.0, "great-circle apex {max_lat}");
+    }
+
+    #[test]
+    fn intermediate_endpoints_are_exact() {
+        let a = new_york();
+        let b = london();
+        let start = a.intermediate(&b, 0.0);
+        let end = a.intermediate(&b, 1.0);
+        assert!(a.distance_km(&start) < 1.0);
+        assert!(b.distance_km(&end) < 1.0);
+    }
+
+    #[test]
+    fn path_lengths_sum_to_total_distance() {
+        let a = new_york();
+        let b = london();
+        let path = a.great_circle_path(&b, 100);
+        let sum: f64 = path.windows(2).map(|w| w[0].distance_km(&w[1])).sum();
+        let direct = a.distance_km(&b);
+        assert!(
+            (sum - direct).abs() / direct < 1e-3,
+            "polyline {sum} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn invalid_latitude_panics() {
+        GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    fn display_formats_hemispheres() {
+        assert_eq!(GeoPoint::new(-23.55, -46.63).to_string(), "23.55°S 46.63°W");
+        assert_eq!(GeoPoint::new(1.35, 103.82).to_string(), "1.35°N 103.82°E");
+    }
+}

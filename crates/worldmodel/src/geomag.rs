@@ -1,0 +1,142 @@
+//! Geomagnetic coordinates.
+//!
+//! Geomagnetically induced currents during a superstorm concentrate at
+//! high *geomagnetic* (not geographic) latitudes. We use the standard
+//! centred-dipole approximation: the geomagnetic latitude of a point is
+//! its angular distance from the geomagnetic equator defined by the
+//! dipole axis through the geomagnetic north pole (≈80.7°N, 72.7°W for
+//! epoch 2020). The dipole model is accurate to a few degrees, which is
+//! ample for ranking infrastructure risk.
+
+use crate::geo::GeoPoint;
+
+/// Geomagnetic north pole, IGRF-13 epoch 2020 dipole.
+pub const GEOMAG_POLE: GeoPoint = GeoPoint { lat: 80.65, lon: -72.68 };
+
+/// Geomagnetic latitude of `p` in degrees, range [-90, 90].
+///
+/// Positive values are geomagnetically northern; the magnitude is what
+/// drives GIC risk.
+pub fn geomagnetic_latitude(p: &GeoPoint) -> f64 {
+    let lat = p.lat.to_radians();
+    let lon = p.lon.to_radians();
+    let pole_lat = GEOMAG_POLE.lat.to_radians();
+    let pole_lon = GEOMAG_POLE.lon.to_radians();
+
+    // cos(colatitude) via the spherical law of cosines against the pole.
+    let cos_colat =
+        lat.sin() * pole_lat.sin() + lat.cos() * pole_lat.cos() * (lon - pole_lon).cos();
+    90.0 - cos_colat.clamp(-1.0, 1.0).acos().to_degrees()
+}
+
+/// Highest absolute geomagnetic latitude along a polyline path.
+///
+/// This is the risk-dominating statistic for a submarine cable: a single
+/// high-latitude span exposes every repeater in that span.
+pub fn max_abs_geomag_latitude(path: &[GeoPoint]) -> f64 {
+    path.iter()
+        .map(|p| geomagnetic_latitude(p).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Qualitative risk bands used in generated corpus text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LatitudeBand {
+    /// |geomagnetic latitude| < 30°: historically negligible GIC.
+    Low,
+    /// 30°–50°: moderate exposure during extreme events.
+    Mid,
+    /// > 50°: the auroral/sub-auroral zone where GIC concentrates.
+    High,
+}
+
+impl LatitudeBand {
+    pub fn of(geomag_lat_abs: f64) -> Self {
+        if geomag_lat_abs < 30.0 {
+            LatitudeBand::Low
+        } else if geomag_lat_abs < 50.0 {
+            LatitudeBand::Mid
+        } else {
+            LatitudeBand::High
+        }
+    }
+
+    pub fn description(&self) -> &'static str {
+        match self {
+            LatitudeBand::Low => "low geomagnetic latitude, historically negligible storm exposure",
+            LatitudeBand::Mid => "mid geomagnetic latitude, moderate exposure during extreme events",
+            LatitudeBand::High => "high geomagnetic latitude within the auroral zone of strongest induced currents",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pole_has_maximum_geomag_latitude() {
+        let v = geomagnetic_latitude(&GEOMAG_POLE);
+        assert!((v - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_city_bands() {
+        // North-American cities sit at notably higher geomagnetic than
+        // geographic latitude (the pole leans toward them).
+        let montreal = GeoPoint::new(45.50, -73.57);
+        let gm = geomagnetic_latitude(&montreal);
+        assert!(gm > 50.0, "Montréal geomagnetic latitude {gm}");
+
+        // Singapore is nearly on the geomagnetic equator.
+        let singapore = GeoPoint::new(1.35, 103.82);
+        assert!(geomagnetic_latitude(&singapore).abs() < 15.0);
+
+        // Fortaleza (Brazil) stays low — the Brazil–Europe route premise.
+        let fortaleza = GeoPoint::new(-3.73, -38.52);
+        assert!(geomagnetic_latitude(&fortaleza).abs() < 15.0);
+    }
+
+    #[test]
+    fn us_cities_exceed_their_geographic_latitude() {
+        let dc = GeoPoint::new(38.90, -77.04);
+        assert!(geomagnetic_latitude(&dc) > dc.lat);
+    }
+
+    #[test]
+    fn southern_hemisphere_is_negative() {
+        let sydney = GeoPoint::new(-33.87, 151.21);
+        assert!(geomagnetic_latitude(&sydney) < 0.0);
+    }
+
+    #[test]
+    fn max_along_ny_london_path_exceeds_endpoints() {
+        let ny = GeoPoint::new(40.71, -74.01);
+        let ldn = GeoPoint::new(51.51, -0.13);
+        let path = ny.great_circle_path(&ldn, 64);
+        let max = max_abs_geomag_latitude(&path);
+        let ends = geomagnetic_latitude(&ny).abs().max(geomagnetic_latitude(&ldn).abs());
+        assert!(max >= ends, "path max {max} vs endpoint max {ends}");
+        assert!(max > 55.0, "NY–London apex should be auroral-adjacent, got {max}");
+    }
+
+    #[test]
+    fn bands_partition_the_range() {
+        assert_eq!(LatitudeBand::of(5.0), LatitudeBand::Low);
+        assert_eq!(LatitudeBand::of(29.99), LatitudeBand::Low);
+        assert_eq!(LatitudeBand::of(30.0), LatitudeBand::Mid);
+        assert_eq!(LatitudeBand::of(49.99), LatitudeBand::Mid);
+        assert_eq!(LatitudeBand::of(50.0), LatitudeBand::High);
+        assert_eq!(LatitudeBand::of(90.0), LatitudeBand::High);
+    }
+
+    #[test]
+    fn geomag_latitude_is_bounded() {
+        for lat in [-90.0, -45.0, 0.0, 45.0, 90.0] {
+            for lon in [-180.0, -90.0, 0.0, 90.0, 180.0] {
+                let v = geomagnetic_latitude(&GeoPoint::new(lat, lon));
+                assert!((-90.0..=90.0).contains(&v), "({lat},{lon}) -> {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Historical Internet incidents — the disruption classes §2 of the
+//! paper motivates beyond solar storms: configuration errors, natural
+//! disasters, and black-swan events like the COVID-19 pandemic.
+//!
+//! Each incident carries ground-truth cause/impact numbers and derives
+//! quiz conclusions the same way [`crate::conclusions`] does for
+//! storms, so a second agent role ("Alice", the outage analyst) can be
+//! evaluated mechanically on a different investigation domain.
+
+use serde::{Deserialize, Serialize};
+
+/// The §2 incident taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IncidentClass {
+    /// Large-scale configuration errors in essential infrastructure.
+    ConfigurationError,
+    /// Natural disasters damaging physical infrastructure.
+    NaturalDisaster,
+    /// Black-swan events shifting usage and operations.
+    BlackSwan,
+}
+
+/// Identifiers for the catalogued incidents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IncidentId {
+    /// October 2021: Facebook's BGP/DNS outage.
+    FacebookOutage2021,
+    /// December 2004: Indian Ocean earthquake and tsunami.
+    IndianOceanTsunami2004,
+    /// December 2006: Hengchun (Taiwan) earthquake cable cuts.
+    TaiwanEarthquake2006,
+    /// Spring 2020: the COVID-19 lockdown traffic surge.
+    CovidLockdown2020,
+}
+
+impl IncidentId {
+    pub const ALL: [IncidentId; 4] = [
+        IncidentId::FacebookOutage2021,
+        IncidentId::IndianOceanTsunami2004,
+        IncidentId::TaiwanEarthquake2006,
+        IncidentId::CovidLockdown2020,
+    ];
+}
+
+/// One catalogued incident with its ground-truth numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Incident {
+    pub id: IncidentId,
+    /// Canonical name as it appears in corpus text, e.g. "Facebook
+    /// outage".
+    pub name: String,
+    pub year: u16,
+    pub class: IncidentClass,
+    /// Canonical cause phrase (appears verbatim in corpus text).
+    pub cause: String,
+    /// Service disruption duration in hours (0 for usage-shift events).
+    pub duration_hours: f64,
+    /// Submarine cables severed, if any.
+    pub cables_cut: u32,
+    /// Peak traffic change in percent (positive = surge), if relevant.
+    pub traffic_change_pct: f64,
+    /// One-sentence causal mechanism.
+    pub mechanism: String,
+}
+
+impl Incident {
+    /// The canonical "main effect on the Internet" phrase used by the
+    /// corpus generator and expected by the extraction layer.
+    pub fn effect_summary(&self) -> &'static str {
+        match self.id {
+            IncidentId::FacebookOutage2021 => {
+                "that every service behind its DNS became unreachable at once, while \
+                 engineers were locked out of their own remote tooling"
+            }
+            IncidentId::IndianOceanTsunami2004 => {
+                "the destruction of coastal landing stations and regional infrastructure \
+                 across South and Southeast Asia"
+            }
+            IncidentId::TaiwanEarthquake2006 => {
+                "weeks of throttled East Asian connectivity while a small fleet of cable \
+                 ships repaired the severed submarine cables"
+            }
+            IncidentId::CovidLockdown2020 => {
+                "a sustained traffic surge that operators absorbed by adding capacity, with \
+                 congestion staying localised rather than systemic"
+            }
+        }
+    }
+
+    /// The "{year} {name}" string used as the incident's canonical
+    /// entity key in fact sentences.
+    pub fn entity_key(&self) -> String {
+        format!("{} {}", self.year, self.name)
+    }
+}
+
+/// The built-in incident catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncidentCatalog {
+    incidents: Vec<Incident>,
+}
+
+impl IncidentCatalog {
+    pub fn standard() -> Self {
+        IncidentCatalog {
+            incidents: vec![
+                Incident {
+                    id: IncidentId::FacebookOutage2021,
+                    name: "Facebook outage".into(),
+                    year: 2021,
+                    class: IncidentClass::ConfigurationError,
+                    cause: "a faulty BGP configuration change that withdrew the routes to its \
+                            own DNS servers"
+                        .into(),
+                    duration_hours: 7.0,
+                    cables_cut: 0,
+                    traffic_change_pct: 0.0,
+                    mechanism: "With the routes withdrawn, the authoritative DNS servers \
+                                became unreachable, taking every Facebook service offline at \
+                                once and locking engineers out of their own remote tooling."
+                        .into(),
+                },
+                Incident {
+                    id: IncidentId::IndianOceanTsunami2004,
+                    name: "Indian Ocean earthquake and tsunami".into(),
+                    year: 2004,
+                    class: IncidentClass::NaturalDisaster,
+                    cause: "a magnitude 9.1 undersea earthquake and the tsunami it triggered"
+                        .into(),
+                    duration_hours: 336.0,
+                    cables_cut: 2,
+                    traffic_change_pct: 0.0,
+                    mechanism: "Coastal landing stations and terrestrial infrastructure in \
+                                the region were destroyed, causing major service disruptions \
+                                across South and Southeast Asia."
+                        .into(),
+                },
+                Incident {
+                    id: IncidentId::TaiwanEarthquake2006,
+                    name: "Hengchun earthquake".into(),
+                    year: 2006,
+                    class: IncidentClass::NaturalDisaster,
+                    cause: "a magnitude 7.0 earthquake off the coast of Taiwan".into(),
+                    duration_hours: 1_176.0,
+                    cables_cut: 8,
+                    traffic_change_pct: 0.0,
+                    mechanism: "Submarine landslides snapped the cables in the Luzon Strait \
+                                chokepoint; repairs by a small fleet of cable ships took \
+                                seven weeks, throttling East Asian connectivity throughout."
+                        .into(),
+                },
+                Incident {
+                    id: IncidentId::CovidLockdown2020,
+                    name: "COVID-19 lockdown surge".into(),
+                    year: 2020,
+                    class: IncidentClass::BlackSwan,
+                    cause: "the abrupt global shift to working and studying from home during \
+                            the COVID-19 pandemic"
+                        .into(),
+                    duration_hours: 0.0,
+                    cables_cut: 0,
+                    traffic_change_pct: 20.0,
+                    mechanism: "Traffic grew by roughly a fifth within weeks, yet the \
+                                Internet absorbed the surge: operators added capacity and \
+                                congestion remained localised rather than systemic."
+                        .into(),
+                },
+            ],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.incidents.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Incident> {
+        self.incidents.iter()
+    }
+
+    pub fn get(&self, id: IncidentId) -> Option<&Incident> {
+        self.incidents.iter().find(|i| i.id == id)
+    }
+}
+
+/// A derived incident conclusion (the quiz form), mirroring
+/// [`crate::conclusions::Conclusion`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncidentConclusion {
+    pub id: IncidentId,
+    pub statement: String,
+    pub question: String,
+    pub expected_answer: String,
+    pub rationale_terms: Vec<String>,
+}
+
+/// Derive the incident quiz from the catalog.
+pub fn derive_incident_conclusions(catalog: &IncidentCatalog) -> Vec<IncidentConclusion> {
+    catalog
+        .iter()
+        .map(|incident| {
+            let (question, expected_answer, rationale_terms) = match incident.id {
+                IncidentId::FacebookOutage2021 => (
+                    format!("What caused the {} {}?", incident.year, incident.name),
+                    "a faulty BGP configuration change withdrew the routes to its DNS servers"
+                        .to_string(),
+                    vec!["bgp".into(), "dns".into(), "route".into()],
+                ),
+                IncidentId::IndianOceanTsunami2004 => (
+                    format!(
+                        "What caused the Internet disruption during the {} {}?",
+                        incident.year, incident.name
+                    ),
+                    "an undersea earthquake and the tsunami it triggered".to_string(),
+                    vec!["earthquake".into(), "tsunami".into(), "coastal".into()],
+                ),
+                IncidentId::TaiwanEarthquake2006 => (
+                    format!(
+                        "What was the impact of the {} {} on the Internet?",
+                        incident.year, incident.name
+                    ),
+                    format!(
+                        "it severed {} submarine cables and repairs took weeks",
+                        incident.cables_cut
+                    ),
+                    vec!["cable".into(), "sever".into(), "week".into()],
+                ),
+                IncidentId::CovidLockdown2020 => (
+                    format!(
+                        "What was the impact of the {} {} on the Internet?",
+                        incident.year, incident.name
+                    ),
+                    format!(
+                        "traffic grew by about {:.0} percent and the Internet absorbed the \
+                         surge",
+                        incident.traffic_change_pct
+                    ),
+                    vec!["traffic".into(), "percent".into(), "absorb".into()],
+                ),
+            };
+            IncidentConclusion {
+                id: incident.id,
+                statement: incident.mechanism.clone(),
+                question,
+                expected_answer,
+                rationale_terms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_the_papers_incident_classes() {
+        let catalog = IncidentCatalog::standard();
+        assert_eq!(catalog.len(), 4);
+        use std::collections::BTreeSet;
+        let classes: BTreeSet<_> = catalog.iter().map(|i| format!("{:?}", i.class)).collect();
+        assert_eq!(classes.len(), 3, "all three incident classes represented");
+    }
+
+    #[test]
+    fn facebook_outage_matches_the_papers_description() {
+        // §2: "a prolonged Facebook DNS outage of more than seven hours".
+        let catalog = IncidentCatalog::standard();
+        let fb = catalog.get(IncidentId::FacebookOutage2021).unwrap();
+        assert!(fb.duration_hours >= 7.0);
+        assert!(fb.cause.contains("BGP"));
+        assert!(fb.mechanism.contains("DNS"));
+    }
+
+    #[test]
+    fn conclusions_derive_for_every_incident() {
+        let catalog = IncidentCatalog::standard();
+        let conclusions = derive_incident_conclusions(&catalog);
+        assert_eq!(conclusions.len(), catalog.len());
+        for c in &conclusions {
+            assert!(!c.question.is_empty());
+            assert!(!c.expected_answer.is_empty());
+            assert!(!c.rationale_terms.is_empty());
+        }
+    }
+
+    #[test]
+    fn covid_is_a_surge_not_an_outage() {
+        let catalog = IncidentCatalog::standard();
+        let covid = catalog.get(IncidentId::CovidLockdown2020).unwrap();
+        assert_eq!(covid.duration_hours, 0.0);
+        assert!(covid.traffic_change_pct > 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # ira-worldmodel
+//!
+//! The ground-truth model of Internet infrastructure and geomagnetic
+//! storm physics that the rest of the reproduction is anchored to.
+//!
+//! The HotNets '23 paper evaluates its research agent by checking the
+//! agent's conclusions against *Solar Superstorms: Planning for an
+//! Internet Apocalypse* (SIGCOMM '21). That paper's conclusions follow
+//! from physical and geographic facts: geomagnetically induced currents
+//! (GIC) concentrate at high geomagnetic latitudes, submarine cable
+//! repeaters are powered and therefore vulnerable while the fiber itself
+//! is not, long trans-Atlantic cables cross high latitudes while the
+//! Brazil–Europe route stays low, Google's data centers are more
+//! dispersed than Facebook's, and so on.
+//!
+//! This crate encodes those facts once:
+//!
+//! * [`geo`] — coordinates, great-circle math, the city gazetteer.
+//! * [`geomag`] — dipole geomagnetic latitude.
+//! * [`cables`] — a database of real submarine cables with sampled
+//!   great-circle paths and repeater counts.
+//! * [`datacenters`] — Google and Facebook/Meta data-center sites with
+//!   dispersion metrics.
+//! * [`power`] — regional power-grid vulnerability.
+//! * [`storm`] — storm scenarios (Carrington 1859, 1921, Québec 1989…)
+//!   and the GIC failure-probability model.
+//! * [`graph`] — the connectivity graph and partition analysis.
+//! * [`conclusions`] — the eight expert conclusions, *derived* from the
+//!   model rather than hard-coded, so the evaluation harness can verify
+//!   them mechanically.
+//! * [`world`] — the bundle type tying it together.
+//!
+//! The synthetic web corpus (`ira-webcorpus`) is generated from this
+//! same model, which is what makes "the agent learns from the web and
+//! reaches expert conclusions" a checkable statement.
+
+pub mod audit;
+pub mod bgp;
+pub mod cables;
+pub mod conclusions;
+pub mod datacenters;
+pub mod econ;
+pub mod forecast;
+pub mod geo;
+pub mod geomag;
+pub mod graph;
+pub mod incidents;
+pub mod power;
+pub mod storm;
+pub mod world;
+
+pub use audit::{audit, AuditReport};
+pub use bgp::{AsGraph, AsKind, RoutingSystem};
+pub use cables::{CableDatabase, SubmarineCable};
+pub use conclusions::{Conclusion, ConclusionId, ConclusionSet};
+pub use datacenters::{DataCenter, DataCenterFleet, Operator};
+pub use econ::{storm_impact, EconomicImpact};
+pub use forecast::{CmeEvent, CostModel, ForecastModel, ShutdownPolicy};
+pub use geo::{GeoPoint, Region};
+pub use graph::{ConnectivityReport, TopologyGraph};
+pub use incidents::{Incident, IncidentCatalog, IncidentClass, IncidentId};
+pub use power::{PowerGrid, PowerGridDatabase};
+pub use storm::{StormModel, StormScenario};
+pub use world::World;

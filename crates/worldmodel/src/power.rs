@@ -1,0 +1,168 @@
+//! Regional power grids and their storm exposure.
+//!
+//! Terrestrial Internet infrastructure fails during a superstorm mainly
+//! through the power grid: geomagnetically induced currents saturate
+//! high-voltage transformer cores (the 1989 Québec collapse took 9 hours
+//! to restore; a Carrington-class event could destroy transformers with
+//! month-scale replacement lead times). Grid vulnerability scales with
+//! geomagnetic latitude, ground resistivity, and line length.
+
+use crate::geo::{GeoPoint, Region};
+use crate::geomag::{geomagnetic_latitude, LatitudeBand};
+use serde::{Deserialize, Serialize};
+
+/// A regional high-voltage grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerGrid {
+    pub name: String,
+    pub region: Region,
+    /// Representative centroid used for geomagnetic latitude.
+    pub centroid: GeoPoint,
+    /// Relative ground resistivity factor in [0.5, 2.0]; igneous-rock
+    /// shields (e.g. the Canadian and Fennoscandian shields) conduct GIC
+    /// into lines more strongly.
+    pub ground_factor: f64,
+    /// Mean extra-high-voltage line length factor in [0.5, 2.0]; long
+    /// lines integrate more induced voltage.
+    pub line_factor: f64,
+}
+
+impl PowerGrid {
+    pub fn geomag_lat_abs(&self) -> f64 {
+        geomagnetic_latitude(&self.centroid).abs()
+    }
+
+    pub fn band(&self) -> LatitudeBand {
+        LatitudeBand::of(self.geomag_lat_abs())
+    }
+
+    /// Dimensionless structural exposure (before storm intensity is
+    /// applied): latitude weight × ground × line factors.
+    pub fn exposure(&self) -> f64 {
+        let lat_weight = latitude_weight(self.geomag_lat_abs());
+        lat_weight * self.ground_factor * self.line_factor
+    }
+}
+
+/// The latitude weighting shared by the grid and cable models: a smooth
+/// logistic ramp centred near 50° geomagnetic latitude, matching the
+/// observation that GIC incidents concentrate above the 50° contour
+/// while equatorial grids are essentially untouched.
+pub fn latitude_weight(geomag_lat_abs: f64) -> f64 {
+    let x = (geomag_lat_abs - 50.0) / 6.0;
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Database of major grids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerGridDatabase {
+    grids: Vec<PowerGrid>,
+}
+
+impl PowerGridDatabase {
+    pub fn standard() -> Self {
+        use Region::*;
+        let g = |name: &str, region, lat: f64, lon: f64, ground: f64, line: f64| PowerGrid {
+            name: name.to_string(),
+            region,
+            centroid: GeoPoint::new(lat, lon),
+            ground_factor: ground,
+            line_factor: line,
+        };
+        PowerGridDatabase {
+            grids: vec![
+                g("Hydro-Québec", NorthAmerica, 49.0, -72.0, 1.8, 1.6),
+                g("US Eastern Interconnection", NorthAmerica, 40.0, -80.0, 1.2, 1.5),
+                g("US Western Interconnection", NorthAmerica, 41.0, -112.0, 1.0, 1.6),
+                g("ERCOT (Texas)", NorthAmerica, 31.0, -99.0, 0.8, 1.0),
+                g("Nordic Grid", Europe, 62.0, 16.0, 1.7, 1.3),
+                g("UK National Grid", Europe, 53.0, -1.5, 1.1, 0.9),
+                g("Continental Europe (ENTSO-E)", Europe, 48.0, 10.0, 1.0, 1.2),
+                g("Iberian Grid", Europe, 40.0, -4.0, 0.9, 1.0),
+                g("Japan (TEPCO/Kansai)", Asia, 35.5, 138.0, 0.9, 0.8),
+                g("China State Grid", Asia, 33.0, 110.0, 1.0, 1.4),
+                g("India Grid", Asia, 22.0, 79.0, 0.9, 1.2),
+                g("Singapore Grid", Asia, 1.35, 103.8, 0.7, 0.5),
+                g("Brazil Interconnected System", SouthAmerica, -15.0, -50.0, 0.9, 1.4),
+                g("South Africa (Eskom)", Africa, -29.0, 25.0, 1.1, 1.3),
+                g("Australia NEM", Oceania, -33.0, 146.0, 0.9, 1.2),
+            ],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.grids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.grids.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &PowerGrid> {
+        self.grids.iter()
+    }
+
+    pub fn find(&self, name: &str) -> Option<&PowerGrid> {
+        let needle = name.to_ascii_lowercase();
+        self.grids
+            .iter()
+            .find(|g| g.name.to_ascii_lowercase().contains(&needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latitude_weight_is_monotone_and_bounded() {
+        let mut prev = -1.0;
+        for lat in 0..90 {
+            let w = latitude_weight(lat as f64);
+            assert!((0.0..=1.0).contains(&w));
+            assert!(w >= prev, "weight must be non-decreasing");
+            prev = w;
+        }
+        assert!(latitude_weight(10.0) < 0.01);
+        assert!(latitude_weight(65.0) > 0.9);
+    }
+
+    #[test]
+    fn quebec_is_the_most_exposed_grid() {
+        let db = PowerGridDatabase::standard();
+        let max = db
+            .iter()
+            .max_by(|a, b| a.exposure().total_cmp(&b.exposure()))
+            .unwrap();
+        assert!(
+            max.name.contains("Québec") || max.name.contains("Nordic"),
+            "most exposed grid was {}",
+            max.name
+        );
+    }
+
+    #[test]
+    fn singapore_is_essentially_immune() {
+        let db = PowerGridDatabase::standard();
+        let sg = db.find("singapore").unwrap();
+        assert!(sg.exposure() < 0.01, "Singapore exposure {}", sg.exposure());
+    }
+
+    #[test]
+    fn northern_grids_exceed_equatorial_grids() {
+        let db = PowerGridDatabase::standard();
+        let nordic = db.find("nordic").unwrap().exposure();
+        let brazil = db.find("brazil").unwrap().exposure();
+        let india = db.find("india").unwrap().exposure();
+        assert!(nordic > 10.0 * brazil);
+        assert!(nordic > 10.0 * india);
+    }
+
+    #[test]
+    fn database_covers_all_major_regions() {
+        let db = PowerGridDatabase::standard();
+        use std::collections::BTreeSet;
+        let regions: BTreeSet<_> = db.iter().map(|g| g.region).collect();
+        assert!(regions.len() >= 6);
+    }
+}

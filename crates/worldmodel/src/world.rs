@@ -1,0 +1,75 @@
+//! The bundled world: every database plus the storm model.
+
+use crate::cables::CableDatabase;
+use crate::conclusions::ConclusionSet;
+use crate::datacenters::DataCenterFleet;
+use crate::graph::TopologyGraph;
+use crate::incidents::IncidentCatalog;
+use crate::power::PowerGridDatabase;
+use crate::storm::StormModel;
+
+/// Everything the corpus generator and the evaluation harness need,
+/// built once and shared.
+#[derive(Debug, Clone)]
+pub struct World {
+    pub cables: CableDatabase,
+    pub google: DataCenterFleet,
+    pub facebook: DataCenterFleet,
+    pub grids: PowerGridDatabase,
+    pub graph: TopologyGraph,
+    pub storm_model: StormModel,
+    pub incidents: IncidentCatalog,
+}
+
+impl World {
+    /// The standard world used by every experiment.
+    pub fn standard() -> Self {
+        let cables = CableDatabase::standard();
+        let graph = TopologyGraph::from_cables(&cables);
+        World {
+            cables,
+            google: DataCenterFleet::google(),
+            facebook: DataCenterFleet::facebook(),
+            grids: PowerGridDatabase::standard(),
+            graph,
+            storm_model: StormModel::default(),
+            incidents: IncidentCatalog::standard(),
+        }
+    }
+
+    /// Derive the expert conclusion set from this world.
+    pub fn conclusions(&self) -> ConclusionSet {
+        ConclusionSet::derive(self)
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_world_builds_and_is_consistent() {
+        let w = World::standard();
+        assert!(w.cables.len() >= 40);
+        assert!(w.graph.node_count() >= 40);
+        assert!(!w.google.is_empty());
+        assert!(!w.facebook.is_empty());
+        assert!(!w.grids.is_empty());
+    }
+
+    #[test]
+    fn all_eight_conclusions_hold_in_the_standard_world() {
+        let w = World::standard();
+        let set = w.conclusions();
+        assert_eq!(set.len(), 8);
+        for c in set.iter() {
+            assert!(c.holds, "conclusion {:?} does not hold: {}", c.id, c.evidence);
+        }
+    }
+}

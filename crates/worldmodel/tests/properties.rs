@@ -1,0 +1,221 @@
+//! Property-based tests for the world model's geometry and physics.
+
+use ira_worldmodel::cables::SubmarineCable;
+use ira_worldmodel::geo::{GeoPoint, Place, Region, EARTH_RADIUS_KM};
+use ira_worldmodel::geomag::{geomagnetic_latitude, LatitudeBand};
+use ira_worldmodel::power::latitude_weight;
+use ira_worldmodel::storm::{StormModel, StormScenario};
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = GeoPoint> {
+    (-85.0f64..85.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric_and_bounded(a in point_strategy(), b in point_strategy()) {
+        let d_ab = a.distance_km(&b);
+        let d_ba = b.distance_km(&a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6);
+        prop_assert!(d_ab >= 0.0);
+        // No two points are farther apart than half the circumference.
+        prop_assert!(d_ab <= std::f64::consts::PI * EARTH_RADIUS_KM + 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds(
+        a in point_strategy(),
+        b in point_strategy(),
+        c in point_strategy(),
+    ) {
+        let direct = a.distance_km(&c);
+        let via_b = a.distance_km(&b) + b.distance_km(&c);
+        prop_assert!(direct <= via_b + 1e-6);
+    }
+
+    #[test]
+    fn intermediate_points_lie_on_the_path(
+        a in point_strategy(),
+        b in point_strategy(),
+        t in 0.0f64..=1.0,
+    ) {
+        prop_assume!(a.distance_km(&b) > 1.0);
+        let m = a.intermediate(&b, t);
+        let total = a.distance_km(&b);
+        let via_m = a.distance_km(&m) + m.distance_km(&b);
+        // A point on the great circle splits the distance exactly.
+        prop_assert!((via_m - total).abs() / total < 1e-3,
+            "via {via_m} vs total {total}");
+        // And the split matches t.
+        prop_assert!((a.distance_km(&m) - t * total).abs() / total < 1e-3);
+    }
+
+    #[test]
+    fn geomagnetic_latitude_is_bounded(p in point_strategy()) {
+        let gm = geomagnetic_latitude(&p);
+        prop_assert!((-90.0..=90.0).contains(&gm));
+    }
+
+    #[test]
+    fn latitude_weight_is_monotone_nondecreasing(a in 0.0f64..90.0, b in 0.0f64..90.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(latitude_weight(lo) <= latitude_weight(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&latitude_weight(a)));
+    }
+
+    #[test]
+    fn latitude_bands_partition(a in 0.0f64..90.0) {
+        // Exactly one band per value, stable at boundaries.
+        let band = LatitudeBand::of(a);
+        match band {
+            LatitudeBand::Low => prop_assert!(a < 30.0),
+            LatitudeBand::Mid => prop_assert!((30.0..50.0).contains(&a)),
+            LatitudeBand::High => prop_assert!(a >= 50.0),
+        }
+    }
+
+    #[test]
+    fn cable_failure_probability_is_valid_and_monotone_in_storm(
+        lat_a in -60.0f64..60.0,
+        lon_a in -179.0f64..179.0,
+        lat_b in -60.0f64..60.0,
+        lon_b in -179.0f64..179.0,
+        dst1 in -2000.0f64..-50.0,
+        dst2 in -2000.0f64..-50.0,
+        slack in 1.0f64..1.6,
+    ) {
+        let from = Place::new("A", "Xland", Region::Europe, lat_a, lon_a);
+        let to = Place::new("B", "Yland", Region::Asia, lat_b, lon_b);
+        prop_assume!(from.point.distance_km(&to.point) > 200.0);
+        let cable = SubmarineCable::new("test", from, to, 2020, slack);
+        let model = StormModel::default();
+
+        let (weak, strong) = if dst1 >= dst2 { (dst1, dst2) } else { (dst2, dst1) };
+        let p_weak = model.cable_failure_prob(&cable, &StormScenario::new("w", weak, None));
+        let p_strong = model.cable_failure_prob(&cable, &StormScenario::new("s", strong, None));
+        prop_assert!((0.0..=1.0).contains(&p_weak));
+        prop_assert!((0.0..=1.0).contains(&p_strong));
+        prop_assert!(p_strong >= p_weak - 1e-12, "stronger storm must not reduce risk");
+    }
+
+    #[test]
+    fn longer_route_never_reduces_failure_probability(
+        lat_a in -60.0f64..60.0,
+        lon_a in -179.0f64..179.0,
+        lat_b in -60.0f64..60.0,
+        lon_b in -179.0f64..179.0,
+        slack in 1.0f64..1.4,
+        stretch in 1.05f64..2.0,
+    ) {
+        let from = Place::new("A", "Xland", Region::Europe, lat_a, lon_a);
+        let to = Place::new("B", "Yland", Region::Asia, lat_b, lon_b);
+        prop_assume!(from.point.distance_km(&to.point) > 500.0);
+        let cable = SubmarineCable::new("test", from.clone(), to.clone(), 2020, slack);
+        let longer = SubmarineCable::new("test2", from, to, 2020, slack * stretch);
+        let model = StormModel::default();
+        let storm = StormScenario::carrington_1859();
+        prop_assert!(
+            model.cable_failure_prob(&longer, &storm)
+                >= model.cable_failure_prob(&cable, &storm) - 1e-12
+        );
+    }
+
+    #[test]
+    fn storm_intensity_is_monotone_in_dst(dst1 in -2000.0f64..-1.0, dst2 in -2000.0f64..-1.0) {
+        let s1 = StormScenario::new("a", dst1, None);
+        let s2 = StormScenario::new("b", dst2, None);
+        if dst1 <= dst2 {
+            prop_assert!(s1.intensity() >= s2.intensity());
+        } else {
+            prop_assert!(s2.intensity() >= s1.intensity());
+        }
+        prop_assert!((0.0..=1.0).contains(&s1.intensity()));
+    }
+}
+
+mod bgp_properties {
+    use ira_worldmodel::bgp::{AsGraph, AsKind};
+    use proptest::prelude::*;
+
+    /// Build a random layered AS graph: `tier1` backbones in a full
+    /// peering mesh, each other AS choosing 1-2 providers among the
+    /// ASes created before it (guaranteeing a DAG of provider edges).
+    fn random_graph(tier1: usize, others: usize, seed: u64) -> AsGraph {
+        let mut g = AsGraph::new();
+        for i in 0..tier1 {
+            g.add_as(i as u32 + 1, &format!("t1-{i}"), AsKind::Tier1);
+        }
+        for i in 0..tier1 {
+            for j in (i + 1)..tier1 {
+                g.add_peering(i as u32 + 1, j as u32 + 1);
+            }
+        }
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move |bound: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % bound
+        };
+        for i in 0..others {
+            let asn = (tier1 + i) as u32 + 1;
+            g.add_as(asn, &format!("as-{asn}"), AsKind::Edge);
+            let p1 = next((tier1 + i) as u64) as u32 + 1;
+            g.add_provider(asn, p1);
+            if next(2) == 1 {
+                let p2 = next((tier1 + i) as u64) as u32 + 1;
+                if p2 != asn && p2 != p1 {
+                    g.add_provider(asn, p2);
+                }
+            }
+        }
+        g
+    }
+
+    proptest! {
+        #[test]
+        fn reachability_is_symmetric(tier1 in 2usize..4, others in 1usize..20, seed in 0u64..500) {
+            // Valley-free reachability as implemented (up*, ≤1 peer,
+            // down*) is symmetric: reverse a valid path and it is
+            // still valley-free.
+            let g = random_graph(tier1, others, seed);
+            let n = (tier1 + others) as u32;
+            for a in 1..=n {
+                for b in 1..=n {
+                    prop_assert_eq!(
+                        g.can_reach(a, b),
+                        g.can_reach(b, a),
+                        "asymmetric reachability {} vs {}", a, b
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn everyone_reaches_their_own_up_cone_and_tier1s(
+            tier1 in 2usize..4,
+            others in 1usize..20,
+            seed in 0u64..500,
+        ) {
+            // With a fully peered tier-1 mesh and provider chains that
+            // terminate in the mesh, the graph is universally reachable.
+            let g = random_graph(tier1, others, seed);
+            let n = (tier1 + others) as u32;
+            for a in 1..=n {
+                prop_assert!(g.can_reach(a, a));
+                for t in 1..=tier1 as u32 {
+                    prop_assert!(g.can_reach(a, t), "AS{} cannot reach tier1 {}", a, t);
+                }
+            }
+        }
+
+        #[test]
+        fn self_reachability_always_holds(tier1 in 2usize..4, others in 0usize..20, seed in 0u64..200) {
+            let g = random_graph(tier1, others, seed);
+            let n = (tier1 + others) as u32;
+            for a in 1..=n {
+                prop_assert!(g.can_reach(a, a));
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The fact-sentence contract between `ira-webcorpus` (which writes the
+//! synthetic web) and `ira-simllm` (which reads it). These tests are
+//! the reason the two crates can evolve independently: if either side
+//! drifts from the canonical sentence shapes, this suite fails.
+
+use ira_simllm::extract::{Extraction, Fact, Principle};
+use ira_webcorpus::{Corpus, CorpusConfig, SourceKind, Topic};
+use ira_worldmodel::World;
+
+fn corpus() -> (World, Corpus) {
+    let world = World::standard();
+    let corpus = Corpus::generate(&world, CorpusConfig::default());
+    (world, corpus)
+}
+
+#[test]
+fn every_cable_article_yields_route_length_apex_and_repeaters() {
+    let (world, corpus) = corpus();
+    for cable in world.cables.iter() {
+        let article = corpus
+            .iter()
+            .find(|d| d.source == SourceKind::Encyclopedia && d.title == cable.name)
+            .unwrap_or_else(|| panic!("no article for {}", cable.name));
+        let ex = Extraction::from_text(&article.full_text(), None);
+
+        let route = ex.routes().next().unwrap_or_else(|| panic!("{}: no route fact", cable.name));
+        match route {
+            Fact::CableRoute { name, from_country, to_country, .. } => {
+                assert_eq!(name, &cable.name);
+                assert_eq!(from_country, &cable.from.country);
+                assert_eq!(to_country, &cable.to.country);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let apex = ex
+            .apex_of(&cable.name)
+            .unwrap_or_else(|| panic!("{}: no apex fact", cable.name));
+        assert!(
+            (apex - cable.max_geomag_latitude()).abs() < 0.1,
+            "{}: apex {apex} vs model {}",
+            cable.name,
+            cable.max_geomag_latitude()
+        );
+
+        assert!(
+            ex.facts.iter().any(|f| matches!(
+                f,
+                Fact::RepeaterCount { entity, count }
+                    if entity == &cable.name && *count == cable.repeater_count()
+            )),
+            "{}: repeater fact missing or wrong",
+            cable.name
+        );
+        assert!(
+            ex.facts
+                .iter()
+                .any(|f| matches!(f, Fact::LengthKm { entity, .. } if entity == &cable.name)),
+            "{}: length fact missing",
+            cable.name
+        );
+    }
+}
+
+#[test]
+fn fleet_overviews_yield_coverage_and_low_lat_facts() {
+    let (world, corpus) = corpus();
+    let mut ex = Extraction::default();
+    for doc in corpus.iter().filter(|d| d.topic == Topic::DataCenters) {
+        ex.absorb(&doc.full_text(), None);
+    }
+    assert_eq!(
+        ex.coverage_of("Google"),
+        Some(world.google.region_coverage() as u32)
+    );
+    assert_eq!(
+        ex.coverage_of("Facebook"),
+        Some(world.facebook.region_coverage() as u32)
+    );
+    assert!(ex.low_lat_share_of("Google").is_some());
+    assert!(ex.low_lat_share_of("Facebook").is_some());
+    // Presence facts exist for every site in both fleets.
+    assert_eq!(ex.presences_of("Google").len(), world.google.len());
+    assert_eq!(ex.presences_of("Facebook").len(), world.facebook.len());
+}
+
+#[test]
+fn grid_articles_yield_region_latitudes_for_all_regions_with_grids() {
+    let (world, corpus) = corpus();
+    let mut ex = Extraction::default();
+    for doc in corpus.iter().filter(|d| d.topic == Topic::PowerGrids) {
+        ex.absorb(&doc.full_text(), None);
+    }
+    for region in ["North America", "Asia", "Europe", "South America"] {
+        assert!(
+            ex.region_latitude(region).is_some(),
+            "no grid latitude extracted for {region}"
+        );
+    }
+    // The ordering that drives conclusion C6 must survive the
+    // corpus -> extraction round trip.
+    assert!(ex.region_latitude("North America").unwrap() > ex.region_latitude("Asia").unwrap());
+    let _ = world;
+}
+
+#[test]
+fn all_twelve_principles_are_extractable_from_the_corpus() {
+    let (_, corpus) = corpus();
+    let mut ex = Extraction::default();
+    for doc in corpus.iter() {
+        ex.absorb(&doc.full_text(), None);
+    }
+    for p in Principle::ALL {
+        assert!(ex.principles.contains(&p), "principle {p:?} not extractable");
+    }
+}
+
+#[test]
+fn distractors_contribute_no_facts() {
+    let (_, corpus) = corpus();
+    let mut ex = Extraction::default();
+    for doc in corpus.iter().filter(|d| d.topic == Topic::Distractor) {
+        ex.absorb(&doc.full_text(), None);
+    }
+    assert!(ex.is_empty(), "distractors leaked facts: {ex:?}");
+}
+
+#[test]
+fn storm_history_dst_values_match_the_model() {
+    let (_, corpus) = corpus();
+    let mut ex = Extraction::default();
+    for doc in corpus.iter().filter(|d| d.topic == Topic::StormHistory) {
+        ex.absorb(&doc.full_text(), None);
+    }
+    let carrington = ex
+        .facts
+        .iter()
+        .find_map(|f| match f {
+            Fact::StormDst { year: Some(1859), dst, .. } => Some(*dst),
+            _ => None,
+        })
+        .expect("Carrington Dst fact");
+    assert_eq!(carrington, -1760.0);
+}
