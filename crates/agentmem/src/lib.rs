@@ -14,11 +14,16 @@
 //! * [`store`] — the store: deduplication, generative-agents-style
 //!   retrieval scoring (relevance + recency + importance), capacity
 //!   eviction, and `knowledge.json` (de)serialization.
+//! * [`persist`] — crash-safe persistence shared by everything that
+//!   writes JSON state: atomic temp-file + fsync + rename writes,
+//!   checksum envelopes, and `.bak` rotation with fallback on load.
 
 pub mod embed;
 pub mod entry;
+pub mod persist;
 pub mod store;
 
 pub use embed::{cosine, embed, EMBED_DIM};
 pub use entry::KnowledgeEntry;
+pub use persist::{load_with_backup, save_atomic};
 pub use store::{KnowledgeStore, RetrievalWeights, StoreConfig};

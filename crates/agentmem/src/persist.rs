@@ -1,0 +1,221 @@
+//! Crash-safe JSON persistence.
+//!
+//! `knowledge.json` is the agent's only durable state, so losing it to
+//! a crash mid-write (or to a corrupted disk block) silently destroys
+//! everything the agent learned. This module makes every save atomic
+//! and every load corruption-tolerant:
+//!
+//! * **Atomic write** — the payload is written to a sibling temp file,
+//!   fsynced, and renamed over the target, so readers only ever see a
+//!   complete old file or a complete new file.
+//! * **Checksum envelope** — the payload is wrapped in
+//!   `{"checksum": "<fnv64 hex>", "body": <payload>}` so truncation and
+//!   bit-rot are *detected* at load, not discovered as subtly wrong
+//!   behaviour later.
+//! * **`.bak` rotation** — the previous good file is kept as `<path>.bak`
+//!   and loads fall back to it when the primary fails verification.
+//!
+//! Files written before this module existed (plain payloads with no
+//! envelope) still load: a top-level object without the envelope keys is
+//! treated as the payload itself.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash — small, dependency-free, and plenty for
+/// detecting truncation and corruption (this is an integrity check,
+/// not a cryptographic one).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The `<path>.bak` sibling used for rotation and recovery.
+pub fn backup_path(path: &Path) -> PathBuf {
+    sibling(path, ".bak")
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Wrap `payload` (which must be valid JSON) in a checksum envelope.
+fn envelope(payload: &str) -> io::Result<String> {
+    let body = serde_json::parse(payload)
+        .map_err(|e| invalid(format!("payload is not valid json: {e}")))?;
+    let canonical = serde_json::to_string(&body)
+        .map_err(|e| invalid(format!("payload does not re-serialize: {e}")))?;
+    let checksum = format!("{:016x}", fnv64(canonical.as_bytes()));
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("checksum".to_string(), serde_json::Value::String(checksum));
+    obj.insert("body".to_string(), body);
+    serde_json::to_string_pretty(&serde_json::Value::Object(obj))
+        .map_err(|e| invalid(format!("envelope does not serialize: {e}")))
+}
+
+/// Atomically persist `payload` (a JSON document) to `path`.
+///
+/// Write order: temp file + fsync, rotate the current file to
+/// `<path>.bak`, rename the temp file into place. A crash at any point
+/// leaves either the old file or the new file intact on disk.
+pub fn save_atomic(path: &Path, payload: &str) -> io::Result<()> {
+    let wrapped = envelope(payload)?;
+    let tmp = sibling(path, ".tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(wrapped.as_bytes())?;
+        f.sync_all()?;
+    }
+    if path.exists() {
+        std::fs::rename(path, backup_path(path))?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and verify one file, returning the payload JSON.
+fn read_verified(path: &Path) -> io::Result<String> {
+    let mut raw = String::new();
+    File::open(path)?.read_to_string(&mut raw)?;
+    let value = serde_json::parse(&raw)
+        .map_err(|e| invalid(format!("{}: not valid json: {e}", path.display())))?;
+    let serde_json::Value::Object(mut obj) = value else {
+        // Non-object JSON can't be an envelope; treat as a legacy payload.
+        return Ok(raw);
+    };
+    let (Some(serde_json::Value::String(expected)), Some(_)) =
+        (obj.get("checksum"), obj.get("body"))
+    else {
+        // Legacy plain file written before checksum envelopes existed.
+        return Ok(raw);
+    };
+    let expected = expected.clone();
+    let body = obj.remove("body").expect("body key checked above");
+    let canonical = serde_json::to_string(&body)
+        .map_err(|e| invalid(format!("{}: body does not re-serialize: {e}", path.display())))?;
+    let actual = format!("{:016x}", fnv64(canonical.as_bytes()));
+    if actual != expected {
+        return Err(invalid(format!(
+            "{}: checksum mismatch (stored {expected}, computed {actual})",
+            path.display()
+        )));
+    }
+    Ok(canonical)
+}
+
+/// Load the payload from `path`, falling back to `<path>.bak` when the
+/// primary is missing, truncated, or fails its checksum.
+///
+/// Returns the payload JSON as a string. The error from the *primary*
+/// file is preserved when the backup also fails, since that is the more
+/// useful diagnosis.
+pub fn load_with_backup(path: &Path) -> io::Result<String> {
+    match read_verified(path) {
+        Ok(payload) => Ok(payload),
+        Err(primary_err) => match read_verified(&backup_path(path)) {
+            Ok(payload) => Ok(payload),
+            Err(_) => Err(primary_err),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ira-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
+        path
+    }
+
+    #[test]
+    fn fnv64_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn round_trip_preserves_the_payload() {
+        let path = temp_path("round.json");
+        save_atomic(&path, r#"{"answer": 42, "who": "agent"}"#).unwrap();
+        let back = load_with_backup(&path).unwrap();
+        let value = serde_json::parse(&back).unwrap();
+        assert_eq!(serde_json::to_string(&value).unwrap(), back);
+        assert!(back.contains("42"));
+    }
+
+    #[test]
+    fn saved_files_carry_a_verifiable_checksum() {
+        let path = temp_path("sum.json");
+        save_atomic(&path, r#"{"k": "v"}"#).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.contains("\"checksum\""));
+        assert!(raw.contains("\"body\""));
+    }
+
+    #[test]
+    fn rewrite_rotates_the_previous_file_to_bak() {
+        let path = temp_path("rot.json");
+        save_atomic(&path, r#"{"version": 1}"#).unwrap();
+        save_atomic(&path, r#"{"version": 2}"#).unwrap();
+        assert!(load_with_backup(&path).unwrap().contains('2'));
+        let bak = read_verified(&backup_path(&path)).unwrap();
+        assert!(bak.contains('1'), "previous generation must survive as .bak");
+    }
+
+    #[test]
+    fn truncated_primary_falls_back_to_bak() {
+        let path = temp_path("trunc.json");
+        save_atomic(&path, r#"{"generation": 1}"#).unwrap();
+        save_atomic(&path, r#"{"generation": 2}"#).unwrap();
+        // Simulate a crash mid-write / disk corruption: cut the file.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        let recovered = load_with_backup(&path).unwrap();
+        assert!(recovered.contains('1'), "must recover generation 1 from .bak");
+    }
+
+    #[test]
+    fn bitflip_fails_the_checksum_and_falls_back() {
+        let path = temp_path("flip.json");
+        save_atomic(&path, r#"{"value": "aaaa"}"#).unwrap();
+        save_atomic(&path, r#"{"value": "bbbb"}"#).unwrap();
+        // Corrupt the body while keeping the file syntactically valid.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, raw.replace("bbbb", "cccc")).unwrap();
+        let recovered = load_with_backup(&path).unwrap();
+        assert!(recovered.contains("aaaa"), "checksum mismatch must trigger fallback");
+    }
+
+    #[test]
+    fn missing_file_and_backup_is_an_error() {
+        let path = temp_path("absent.json");
+        assert!(load_with_backup(&path).is_err());
+    }
+
+    #[test]
+    fn legacy_plain_files_still_load() {
+        let path = temp_path("legacy.json");
+        std::fs::write(&path, r#"{"old": "format"}"#).unwrap();
+        let payload = load_with_backup(&path).unwrap();
+        assert!(payload.contains("old"));
+    }
+}

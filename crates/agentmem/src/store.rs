@@ -309,15 +309,19 @@ impl KnowledgeStore {
         })
     }
 
-    /// Write `knowledge.json` to disk.
+    /// Write `knowledge.json` to disk atomically (temp file + fsync +
+    /// rename), wrapped in a checksum envelope, rotating the previous
+    /// file to `<path>.bak`. See [`crate::persist`].
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        std::fs::write(path, self.to_json())?;
+        crate::persist::save_atomic(path, &self.to_json())?;
         Ok(())
     }
 
-    /// Read `knowledge.json` from disk.
+    /// Read `knowledge.json` from disk, verifying its checksum and
+    /// falling back to `<path>.bak` when the primary file is missing,
+    /// truncated, or corrupted.
     pub fn load(path: &Path) -> Result<Self, StoreError> {
-        let json = std::fs::read_to_string(path)?;
+        let json = crate::persist::load_with_backup(path)?;
         KnowledgeStore::from_json(&json)
     }
 }
@@ -369,13 +373,15 @@ mod tests {
 
     #[test]
     fn recency_breaks_relevance_ties() {
-        let mut config = StoreConfig::default();
-        config.weights = RetrievalWeights {
-            relevance: 1.0,
-            recency: 0.5,
-            importance: 0.0,
-            half_life_secs: 1.0,
-            diversity: 0.0,
+        let config = StoreConfig {
+            weights: RetrievalWeights {
+                relevance: 1.0,
+                recency: 0.5,
+                importance: 0.0,
+                half_life_secs: 1.0,
+                diversity: 0.0,
+            },
+            ..StoreConfig::default()
         };
         let s = KnowledgeStore::new(config);
         // Two entries with disjoint-but-equal relevance to the query.
@@ -387,13 +393,15 @@ mod tests {
 
     #[test]
     fn importance_lifts_ranking() {
-        let mut config = StoreConfig::default();
-        config.weights = RetrievalWeights {
-            relevance: 1.0,
-            recency: 0.0,
-            importance: 1.0,
-            half_life_secs: 3600.0,
-            diversity: 0.0,
+        let config = StoreConfig {
+            weights: RetrievalWeights {
+                relevance: 1.0,
+                recency: 0.0,
+                importance: 1.0,
+                half_life_secs: 3600.0,
+                diversity: 0.0,
+            },
+            ..StoreConfig::default()
         };
         let s = KnowledgeStore::new(config);
         s.memorize("t", "beta fact about storms", "low", "news", 0, 0.0);
@@ -455,6 +463,31 @@ mod tests {
         let back = KnowledgeStore::load(&path).unwrap();
         assert_eq!(back.len(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_knowledge_file_recovers_from_bak() {
+        let dir = std::env::temp_dir().join("ira-agentmem-trunc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.json");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(crate::persist::backup_path(&path)).ok();
+
+        let s = store();
+        mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1);
+        s.save(&path).unwrap();
+        // Second save rotates the first generation to .bak.
+        mem(&s, "b", "Geomagnetic storms threaten power grids.", 2);
+        s.save(&path).unwrap();
+
+        // Truncate the primary, as a crash mid-write would.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 3]).unwrap();
+
+        let back = KnowledgeStore::load(&path).unwrap();
+        assert_eq!(back.len(), 1, "must recover the previous generation from .bak");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(crate::persist::backup_path(&path)).ok();
     }
 
     #[test]

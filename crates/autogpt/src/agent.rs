@@ -21,7 +21,7 @@ use crate::events::{EventKind, EventLog};
 use ira_agentmem::KnowledgeStore;
 use ira_simllm::plangen::StepAction;
 use ira_simllm::Llm;
-use ira_simnet::{Client, Url};
+use ira_simnet::{Client, NetError, Url};
 use ira_webcorpus::sites::{SearchResultPage, SEARCH_HOST};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +61,10 @@ pub struct GoalReport {
     pub memorized: u32,
     pub duplicates: u32,
     pub errors: u32,
+    /// Ranked sources skipped (or abandoned) because their host's
+    /// circuit breaker was open; the agent rerouted to later results.
+    #[serde(default)]
+    pub source_unavailable: u32,
     /// Virtual time consumed, microseconds.
     pub elapsed_us: u64,
 }
@@ -192,6 +196,15 @@ impl<'a> AutoGpt<'a> {
             if self.memory.has_url(&hit.url) {
                 continue;
             }
+            // Degrade around dead hosts: if the circuit breaker is open
+            // for this result's host, reroute to the next-ranked result
+            // without spending any fetch budget on it.
+            if self.source_unavailable(&hit.url) {
+                report.source_unavailable += 1;
+                self.log
+                    .record(self.now_us(), EventKind::SourceUnavailable, hit.url.clone());
+                continue;
+            }
             if self.budget.take_fetch().is_err() {
                 return;
             }
@@ -205,6 +218,15 @@ impl<'a> AutoGpt<'a> {
                     // Crawler extension: follow related links one level.
                     for link in related_links(&page).into_iter().take(self.config.crawl_links) {
                         if self.memory.has_url(&link) {
+                            continue;
+                        }
+                        if self.source_unavailable(&link) {
+                            report.source_unavailable += 1;
+                            self.log.record(
+                                self.now_us(),
+                                EventKind::SourceUnavailable,
+                                link.clone(),
+                            );
                             continue;
                         }
                         if self.budget.take_fetch().is_err() {
@@ -222,18 +244,34 @@ impl<'a> AutoGpt<'a> {
                                     report,
                                 );
                             }
-                            Err(err) => {
-                                report.errors += 1;
-                                self.log.record(self.now_us(), EventKind::Error, err);
-                            }
+                            Err(err) => self.record_fetch_failure(&link, err, report),
                         }
                     }
                 }
-                Err(err) => {
-                    report.errors += 1;
-                    self.log.record(self.now_us(), EventKind::Error, err);
-                }
+                Err(err) => self.record_fetch_failure(&hit.url, err, report),
             }
+        }
+    }
+
+    /// Whether this URL's host would currently fail fast at the circuit
+    /// breaker — checked *before* spending fetch budget.
+    fn source_unavailable(&self, url: &str) -> bool {
+        match Url::parse(url) {
+            Ok(parsed) => self.client.breaker_would_fail_fast(parsed.host()),
+            Err(_) => false,
+        }
+    }
+
+    /// Classify a fetch failure: circuit-open means the source is
+    /// unavailable (the agent reroutes), anything else is a hard error.
+    fn record_fetch_failure(&mut self, url: &str, err: NetError, report: &mut GoalReport) {
+        if matches!(err, NetError::CircuitOpen { .. }) {
+            report.source_unavailable += 1;
+            self.log
+                .record(self.now_us(), EventKind::SourceUnavailable, url.to_string());
+        } else {
+            report.errors += 1;
+            self.log.record(self.now_us(), EventKind::Error, err.to_string());
         }
     }
 
@@ -275,8 +313,8 @@ impl<'a> AutoGpt<'a> {
         }
     }
 
-    fn browse(&self, url: &str) -> Result<String, String> {
-        self.client.get_text(url).map_err(|e| e.to_string())
+    fn browse(&self, url: &str) -> Result<String, NetError> {
+        self.client.get_text(url)
     }
 
     /// Memorise one fetched page and log the outcome.
@@ -510,6 +548,54 @@ mod tests {
             base.fetches
         );
         assert!(crawled.memorized >= base.memorized);
+    }
+
+    #[test]
+    fn circuit_open_sources_are_rerouted_not_fatal() {
+        use ira_simnet::{ClientConfig, Duration, FaultPlan, Instant};
+
+        let corpus = Arc::new(Corpus::generate(&World::standard(), CorpusConfig::default()));
+        let mut net = Network::new(NetworkConfig::default(), 42);
+        register_sites(&mut net, corpus);
+        let client = Client::with_config(Arc::new(net), ClientConfig::resilient());
+
+        // Black out most content hosts for the whole run; only the
+        // search engine and the encyclopedia stay reachable.
+        let forever = Instant::EPOCH + Duration::from_secs(86_400);
+        let mut plan = FaultPlan::new();
+        for host in ["archive.test", "news.test", "blog.test", "forum.test", "micro.test", "papers.test"] {
+            plan = plan.with_blackout(host, Instant::EPOCH, forever);
+        }
+        client.network().set_fault_plan(plan);
+
+        let llm = Llm::gpt4(7);
+        let memory = KnowledgeStore::with_defaults();
+        let mut agent = AutoGpt::new(
+            &client,
+            &llm,
+            &memory,
+            AutoGptConfig { results_per_search: 16, ..AutoGptConfig::default() },
+            Budget::standard(),
+        );
+        let report = agent.run_goal(
+            "Understand solar superstorms and Coronal Mass Ejection, and principles of their \
+             formation and effects.",
+        );
+        // The run must finish with partial knowledge, not abort: dead
+        // hosts trip their breakers, later hits on them are rerouted.
+        assert!(report.errors >= 1, "the tripping fetches surface as errors: {report:?}");
+        assert!(
+            report.source_unavailable >= 1,
+            "later hits on dead hosts must be skipped at the breaker: {report:?}"
+        );
+        assert!(
+            agent.log().count(EventKind::SourceUnavailable) as u32 == report.source_unavailable,
+            "every reroute must be recorded in the event log"
+        );
+        assert!(
+            client.breaker_totals().opened >= 1,
+            "at least one host breaker must have opened"
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub enum EventKind {
     Memorize,
     DuplicateDropped,
     Error,
+    /// A ranked source was skipped because its host's circuit breaker
+    /// is open: the agent rerouted to the next result instead of
+    /// waiting out (or hammering) a failing host.
+    SourceUnavailable,
     GoalComplete,
 }
 

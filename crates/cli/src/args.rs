@@ -16,6 +16,11 @@ pub enum Command {
         out: String,
         crawl_links: usize,
         distractors: usize,
+        /// Fault intensity in [0, 1]: fraction of hosts given seeded
+        /// fault windows (0 disables fault injection).
+        faults: f64,
+        /// Resume from the training checkpoint next to `out`.
+        resume: bool,
     },
     /// Answer one question from a knowledge file.
     Ask { knowledge: String, question: String },
@@ -32,7 +37,7 @@ pub enum Command {
     /// Generate research questions from a knowledge file.
     Questions { knowledge: String, max: usize },
     /// Print corpus statistics.
-    Corpus { distractors: usize },
+    Corpus { distractors: usize, faults: f64 },
     /// Run a world-model simulation.
     Simulate { what: SimChoice },
     /// Audit the built-in databases.
@@ -81,6 +86,8 @@ COMMANDS:
                   --out <file>            (default knowledge.json)
                   --crawl <n>             related links to follow (default 0)
                   --distractors <n>       corpus distractor count (default 150)
+                  --faults <0..1>         fault-injection intensity (default 0)
+                  --resume                resume from the training checkpoint
     ask         Answer a question from saved knowledge
                   --knowledge <file>      (default knowledge.json)
                   \"<question>\"
@@ -98,6 +105,7 @@ COMMANDS:
                   --max <n>               (default 10)
     corpus      Print synthetic-web statistics
                   --distractors <n>       (default 150)
+                  --faults <0..1>         report the fault plan at this intensity
     simulate    Run a world-model simulation
                   storms | outage | economics   (default storms)
     audit       Integrity-check the built-in databases
@@ -123,6 +131,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 out: flag(&rest, "--out")?.unwrap_or("knowledge.json").to_string(),
                 crawl_links: num_flag(&rest, "--crawl", 0)?,
                 distractors: num_flag(&rest, "--distractors", 150)?,
+                faults: float_flag(&rest, "--faults", 0.0)?,
+                resume: rest.contains(&"--resume"),
             })
         }
         "ask" => Ok(Command::Ask {
@@ -147,7 +157,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             knowledge: flag(&rest, "--knowledge")?.unwrap_or("knowledge.json").to_string(),
             max: num_flag(&rest, "--max", 10)?,
         }),
-        "corpus" => Ok(Command::Corpus { distractors: num_flag(&rest, "--distractors", 150)? }),
+        "corpus" => Ok(Command::Corpus {
+            distractors: num_flag(&rest, "--distractors", 150)?,
+            faults: float_flag(&rest, "--faults", 0.0)?,
+        }),
         "simulate" => {
             let what = match positional(&rest).as_deref() {
                 Some("storms") | None => SimChoice::Storms,
@@ -189,6 +202,17 @@ fn num_flag(rest: &[&str], name: &str, default: usize) -> Result<usize, ParseErr
     }
 }
 
+/// Float flag with default, clamped to [0, 1].
+fn float_flag(rest: &[&str], name: &str, default: f64) -> Result<f64, ParseError> {
+    match flag(rest, name)? {
+        Some(v) => v
+            .parse::<f64>()
+            .map(|f| f.clamp(0.0, 1.0))
+            .map_err(|_| ParseError(format!("{name} expects a number in [0, 1], got {v:?}"))),
+        None => Ok(default),
+    }
+}
+
 /// The first argument that is neither a flag name nor a flag value.
 fn positional(rest: &[&str]) -> Option<String> {
     let mut skip_next = false;
@@ -199,7 +223,7 @@ fn positional(rest: &[&str]) -> Option<String> {
         }
         if a.starts_with("--") {
             // Boolean flags take no value.
-            skip_next = *a != "--incidents";
+            skip_next = !matches!(*a, "--incidents" | "--resume");
             let _ = i;
             continue;
         }
@@ -232,6 +256,8 @@ mod tests {
                 out: "knowledge.json".into(),
                 crawl_links: 0,
                 distractors: 150,
+                faults: 0.0,
+                resume: false,
             })
         );
         assert_eq!(
@@ -241,9 +267,43 @@ mod tests {
                 out: "a.json".into(),
                 crawl_links: 2,
                 distractors: 150,
+                faults: 0.0,
+                resume: false,
             })
         );
         assert!(p(&["train", "--role", "mallory"]).is_err());
+    }
+
+    #[test]
+    fn train_faults_and_resume_flags() {
+        assert_eq!(
+            p(&["train", "--faults", "0.25", "--resume"]),
+            Ok(Command::Train {
+                role: RoleChoice::Bob,
+                out: "knowledge.json".into(),
+                crawl_links: 0,
+                distractors: 150,
+                faults: 0.25,
+                resume: true,
+            })
+        );
+        // Intensity clamps into [0, 1]; junk is an error.
+        assert_eq!(
+            p(&["train", "--faults", "7"]),
+            Ok(Command::Train {
+                role: RoleChoice::Bob,
+                out: "knowledge.json".into(),
+                crawl_links: 0,
+                distractors: 150,
+                faults: 1.0,
+                resume: false,
+            })
+        );
+        assert!(p(&["train", "--faults", "many"]).is_err());
+        assert_eq!(
+            p(&["corpus", "--faults", "0.5"]),
+            Ok(Command::Corpus { distractors: 150, faults: 0.5 })
+        );
     }
 
     #[test]

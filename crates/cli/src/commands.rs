@@ -10,8 +10,21 @@ use ira_evalkit::report::table;
 use ira_evalkit::runner::{evaluate_agent, evaluate_baseline};
 use ira_evalkit::trajectory::render_table;
 use ira_simllm::Llm;
+use ira_simnet::{Duration, FaultPlan};
 use ira_webcorpus::CorpusConfig;
 use std::path::Path;
+use std::path::PathBuf;
+
+/// Fault horizon for CLI training runs. Training alone spans roughly
+/// ten virtual seconds; thirty gives headroom for `--crawl` while
+/// keeping scheduled windows inside the run.
+fn train_horizon() -> Duration {
+    Duration::from_secs(30)
+}
+
+/// Fault seed for `--faults` runs (shared with experiment X13 so the
+/// CLI reproduces the same plans).
+const FAULT_SEED: u64 = 0xC4A0;
 
 /// Run one parsed command; returns a process exit code.
 pub fn run(cmd: Command) -> i32 {
@@ -20,8 +33,8 @@ pub fn run(cmd: Command) -> i32 {
             print!("{}", crate::args::USAGE);
             0
         }
-        Command::Train { role, out, crawl_links, distractors } => {
-            train(role, &out, crawl_links, distractors)
+        Command::Train { role, out, crawl_links, distractors, faults, resume } => {
+            train(role, &out, crawl_links, distractors, faults, resume)
         }
         Command::Ask { knowledge, question } => ask(&knowledge, &question),
         Command::Learn { knowledge, question, threshold } => {
@@ -32,7 +45,7 @@ pub fn run(cmd: Command) -> i32 {
         }
         Command::Plan => plan(),
         Command::Questions { knowledge, max } => questions_cmd(&knowledge, max),
-        Command::Corpus { distractors } => corpus_stats(distractors),
+        Command::Corpus { distractors, faults } => corpus_stats(distractors, faults),
         Command::Simulate { what } => simulate(what),
         Command::Audit => audit_cmd(),
     }
@@ -49,15 +62,61 @@ fn env_with(distractors: usize) -> Environment {
     Environment::build(CorpusConfig { seed: 0xC0FFEE, distractor_count: distractors }, 0xBEEF)
 }
 
-fn train(role: RoleChoice, out: &str, crawl_links: usize, distractors: usize) -> i32 {
-    let env = env_with(distractors);
+/// The training checkpoint lives next to the knowledge file.
+fn checkpoint_path(out: &str) -> PathBuf {
+    PathBuf::from(format!("{out}.ckpt"))
+}
+
+fn train(
+    role: RoleChoice,
+    out: &str,
+    crawl_links: usize,
+    distractors: usize,
+    faults: f64,
+    resume: bool,
+) -> i32 {
+    let env = if faults > 0.0 {
+        Environment::build_chaotic(
+            CorpusConfig { seed: 0xC0FFEE, distractor_count: distractors },
+            0xBEEF,
+            faults,
+            train_horizon(),
+            FAULT_SEED,
+        )
+    } else {
+        env_with(distractors)
+    };
+    if faults > 0.0 {
+        println!(
+            "fault injection: intensity {:.0}%, {} scheduled windows (seed {FAULT_SEED:#x})",
+            faults * 100.0,
+            env.client.network().fault_plan_window_count()
+        );
+    }
     let config = AgentConfig {
         autogpt: AutoGptConfig { crawl_links, ..AutoGptConfig::default() },
         ..AgentConfig::default()
     };
     let mut agent = ResearchAgent::new(role_definition(role), &env, config, 0xB0B);
     println!("{}", agent.role);
-    let report = agent.train();
+    // Training always checkpoints after each goal so a killed run can
+    // be picked up with `--resume`; without the flag any stale
+    // checkpoint is discarded and training starts fresh.
+    let ckpt_path = checkpoint_path(out);
+    if !resume {
+        ira_core::TrainingCheckpoint::remove(&ckpt_path);
+    } else if ira_core::TrainingCheckpoint::load(&ckpt_path).is_some() {
+        println!("resuming from checkpoint {}", ckpt_path.display());
+    } else {
+        println!("no checkpoint at {}; training from scratch", ckpt_path.display());
+    }
+    let report = match agent.train_with_checkpoint(&ckpt_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: checkpointed training failed: {e}");
+            return 1;
+        }
+    };
     println!(
         "trained: {} searches, {} fetches, {} entries memorised in {:.1} virtual seconds",
         report.total_searches(),
@@ -65,6 +124,18 @@ fn train(role: RoleChoice, out: &str, crawl_links: usize, distractors: usize) ->
         report.memory_entries,
         report.virtual_elapsed_us as f64 / 1e6
     );
+    if faults > 0.0 {
+        let breaker = env.client.breaker_totals();
+        let fault_stats = env.client.network().fault_stats();
+        println!(
+            "faults charged: {} events; breaker: {} transitions, {} fast failures; \
+             {} sources rerouted",
+            fault_stats.total(),
+            breaker.transitions(),
+            breaker.fast_failures,
+            report.per_goal.iter().map(|g| g.source_unavailable).sum::<u32>()
+        );
+    }
     match agent.save_knowledge(Path::new(out)) {
         Ok(()) => {
             println!("knowledge written to {out}");
@@ -312,7 +383,7 @@ fn audit_cmd() -> i32 {
     }
 }
 
-fn corpus_stats(distractors: usize) -> i32 {
+fn corpus_stats(distractors: usize, faults: f64) -> i32 {
     let env = env_with(distractors);
     println!("documents: {}", env.corpus.len());
     println!("\nby topic:");
@@ -322,6 +393,26 @@ fn corpus_stats(distractors: usize) -> i32 {
     println!("\nby source:");
     for (source, count) in env.corpus.source_counts() {
         println!("  {:<26} {count}  (sim://{})", source.label(), source.host());
+    }
+    if faults > 0.0 {
+        let hosts = env.client.network().host_names();
+        let plan = FaultPlan::random(&hosts, faults, train_horizon(), FAULT_SEED);
+        println!(
+            "\nfault plan at {:.0}% intensity (seed {FAULT_SEED:#x}, horizon {}s):",
+            faults * 100.0,
+            train_horizon().as_secs_f64()
+        );
+        for (host, host_plan) in &plan.hosts {
+            for w in &host_plan.windows {
+                println!(
+                    "  {:<26} {:>6.1}s - {:>6.1}s  {:?}",
+                    host,
+                    w.from.as_micros() as f64 / 1e6,
+                    w.until.as_micros() as f64 / 1e6,
+                    w.kind
+                );
+            }
+        }
     }
     0
 }

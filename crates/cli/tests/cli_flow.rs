@@ -21,6 +21,8 @@ fn train_then_ask_then_learn_round_trip() {
         out: knowledge.clone(),
         crawl_links: 0,
         distractors: 50,
+        faults: 0.0,
+        resume: false,
     });
     assert_eq!(code, 0);
     assert!(std::path::Path::new(&knowledge).exists());
@@ -55,6 +57,39 @@ fn train_then_ask_then_learn_round_trip() {
 }
 
 #[test]
+fn faulted_train_still_writes_knowledge_and_cleans_its_checkpoint() {
+    let knowledge = tmp("chaos-knowledge.json");
+    let _ = std::fs::remove_file(&knowledge);
+
+    let code = run(Command::Train {
+        role: RoleChoice::Bob,
+        out: knowledge.clone(),
+        crawl_links: 0,
+        distractors: 50,
+        faults: 0.25,
+        resume: false,
+    });
+    assert_eq!(code, 0);
+    assert!(std::path::Path::new(&knowledge).exists());
+    // Completed training removes its checkpoint; --resume on a clean
+    // slate then just trains from scratch.
+    let ckpt = format!("{knowledge}.ckpt");
+    assert!(!std::path::Path::new(&ckpt).exists());
+    let code = run(Command::Train {
+        role: RoleChoice::Bob,
+        out: knowledge.clone(),
+        crawl_links: 0,
+        distractors: 50,
+        faults: 0.0,
+        resume: true,
+    });
+    assert_eq!(code, 0);
+
+    std::fs::remove_file(&knowledge).ok();
+    std::fs::remove_file(format!("{knowledge}.bak")).ok();
+}
+
+#[test]
 fn ask_with_missing_knowledge_file_fails_cleanly() {
     let code = run(Command::Ask {
         knowledge: tmp("definitely-missing.json"),
@@ -65,7 +100,7 @@ fn ask_with_missing_knowledge_file_fails_cleanly() {
 
 #[test]
 fn corpus_and_help_commands_succeed() {
-    assert_eq!(run(Command::Corpus { distractors: 10 }), 0);
+    assert_eq!(run(Command::Corpus { distractors: 10, faults: 0.0 }), 0);
     assert_eq!(run(Command::Help), 0);
     assert_eq!(run(parse(&["help".to_string()]).unwrap()), 0);
 }

@@ -126,6 +126,65 @@ impl<'e> ResearchAgent<'e> {
         }
     }
 
+    /// Crash-safe [`ResearchAgent::train`]: a [`TrainingCheckpoint`] is
+    /// written atomically after every completed goal, and a prior
+    /// checkpoint at `ckpt_path` resumes the run — completed goals are
+    /// skipped, their memory restored, and the virtual clock replayed
+    /// to the checkpointed instant so the remaining goals observe
+    /// exactly the state an uninterrupted run would have. The
+    /// checkpoint is deleted once every goal has completed.
+    pub fn train_with_checkpoint(
+        &mut self,
+        ckpt_path: &std::path::Path,
+    ) -> Result<TrainingReport, ira_agentmem::store::StoreError> {
+        use crate::checkpoint::TrainingCheckpoint;
+
+        let host = HostTimer::start();
+        let virtual_start = self.now_us();
+        let mut per_goal: Vec<GoalReport> = Vec::new();
+        let mut completed: Vec<String> = Vec::new();
+
+        if let Some(ckpt) = TrainingCheckpoint::load(ckpt_path) {
+            if ckpt.role_name == self.role.name {
+                if let Ok(memory) = KnowledgeStore::from_json(&ckpt.memory) {
+                    self.memory = memory;
+                    per_goal = ckpt.per_goal;
+                    completed = ckpt.completed;
+                    let clock = self.env.client.network().clock();
+                    let target = ira_simnet::Instant::from_micros(ckpt.clock_us);
+                    if target > clock.now() {
+                        clock.advance_to(target);
+                    }
+                }
+            }
+        }
+
+        for goal in self.role.goals.clone() {
+            if completed.iter().any(|done| done == &goal) {
+                continue;
+            }
+            per_goal.push(self.retrieve_goal(&goal));
+            completed.push(goal.clone());
+            TrainingCheckpoint {
+                role_name: self.role.name.clone(),
+                completed: completed.clone(),
+                per_goal: per_goal.clone(),
+                memory: self.memory.to_json(),
+                clock_us: self.now_us(),
+            }
+            .save(ckpt_path)?;
+        }
+        TrainingCheckpoint::remove(ckpt_path);
+
+        Ok(TrainingReport {
+            per_goal,
+            memory_entries: self.memory.len(),
+            llm: self.llm.stats(),
+            virtual_elapsed_us: self.now_us() - virtual_start,
+            host_elapsed_us: host.elapsed_us(),
+        })
+    }
+
     fn retrieve_goal(&mut self, goal: &str) -> GoalReport {
         let host = HostTimer::start();
         let virtual_start = self.now_us();
@@ -555,6 +614,87 @@ mod tests {
             t_seq.final_confidence(),
             t_par.final_confidence(),
             "parallel retrieval must not change the learning outcome"
+        );
+    }
+
+    #[test]
+    fn interrupted_training_resumes_to_identical_knowledge() {
+        use crate::checkpoint::TrainingCheckpoint;
+
+        let ckpt = std::env::temp_dir().join("ira-core-resume-test.ckpt.json");
+        TrainingCheckpoint::remove(&ckpt);
+
+        // Uninterrupted reference run.
+        let env1 = Environment::standard();
+        let mut full = ResearchAgent::bob(&env1);
+        let report_full = full.train_with_checkpoint(&ckpt).unwrap();
+        assert!(!ckpt.exists(), "checkpoint must be deleted after success");
+
+        // Interrupted run: goal 1 completes, then the process "dies".
+        // Reconstruct the on-disk state train_with_checkpoint leaves
+        // behind after its first goal.
+        let env2 = Environment::standard();
+        let mut partial_role = RoleDefinition::bob();
+        let first_goal = partial_role.goals[0].clone();
+        partial_role.goals.truncate(1);
+        let mut partial =
+            ResearchAgent::new(partial_role, &env2, AgentConfig::default(), 0xB0B);
+        let partial_report = partial.train();
+        TrainingCheckpoint {
+            role_name: "Bob".into(),
+            completed: vec![first_goal],
+            per_goal: partial_report.per_goal.clone(),
+            memory: partial.memory().to_json(),
+            clock_us: env2.now_us(),
+        }
+        .save(&ckpt)
+        .unwrap();
+
+        // Restart: fresh process, fresh environment from the same
+        // seeds, resume from the checkpoint.
+        let env3 = Environment::standard();
+        let mut resumed = ResearchAgent::bob(&env3);
+        let report_resumed = resumed.train_with_checkpoint(&ckpt).unwrap();
+        assert!(!ckpt.exists(), "checkpoint must be deleted after success");
+
+        // Knowledge must match the uninterrupted run exactly, modulo
+        // the learned_at timestamps (the network's latency stream is
+        // positioned differently after a restart).
+        let key = |s: &ResearchAgent<'_>| -> Vec<(String, String, String, String)> {
+            s.memory()
+                .entries()
+                .into_iter()
+                .map(|e| (e.topic, e.content, e.source_url, e.source_kind))
+                .collect()
+        };
+        assert_eq!(key(&full), key(&resumed), "resumed knowledge must match");
+        assert_eq!(report_full.per_goal.len(), report_resumed.per_goal.len());
+        assert_eq!(
+            report_full.total_memorized(),
+            report_resumed.total_memorized(),
+            "per-goal reports must carry over the completed goal's counts"
+        );
+    }
+
+    #[test]
+    fn chaotic_environment_still_trains_with_partial_knowledge() {
+        // Training spans ~10 virtual seconds; a 12-second horizon makes
+        // the fault windows actually overlap the run.
+        let env = Environment::build_chaotic(
+            ira_webcorpus::CorpusConfig::default(),
+            0xBEEF,
+            0.25,
+            ira_simnet::Duration::from_secs(12),
+            7,
+        );
+        let mut bob = ResearchAgent::bob(&env);
+        let report = bob.train();
+        // Chaos must not abort training: the agent finishes all goals,
+        // degrading around faulted hosts.
+        assert_eq!(report.per_goal.len(), 3);
+        assert!(
+            report.total_memorized() >= 1,
+            "some knowledge must survive 25% fault intensity: {report:?}"
         );
     }
 

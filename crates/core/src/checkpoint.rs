@@ -1,0 +1,131 @@
+//! Training checkpoint/resume.
+//!
+//! `train` can take a long (virtual and host) time; an interrupted run
+//! used to lose everything. A [`TrainingCheckpoint`] is written
+//! atomically (via [`ira_agentmem::persist`]) after every *completed*
+//! goal, so a restarted `train --resume` skips finished goals, restores
+//! the memory they produced, and replays the virtual clock to the
+//! checkpointed instant — making the resumed run's remaining goals see
+//! exactly the state an uninterrupted run would have.
+
+use ira_agentmem::persist;
+use ira_autogpt::GoalReport;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Durable snapshot of a training run after its last completed goal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingCheckpoint {
+    /// Role (agent) name the checkpoint belongs to; a resume under a
+    /// different role ignores the checkpoint instead of corrupting it.
+    pub role_name: String,
+    /// Goals completed so far, in execution order.
+    pub completed: Vec<String>,
+    /// Per-goal reports for the completed goals.
+    pub per_goal: Vec<GoalReport>,
+    /// Serialized knowledge store (`KnowledgeStore::to_json`).
+    pub memory: String,
+    /// Virtual clock reading when the checkpoint was taken,
+    /// microseconds. Replayed on resume so remaining goals observe the
+    /// same timestamps an uninterrupted run would.
+    pub clock_us: u64,
+}
+
+impl TrainingCheckpoint {
+    /// Atomically persist the checkpoint (checksum envelope + `.bak`
+    /// rotation, see [`ira_agentmem::persist::save_atomic`]).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        persist::save_atomic(path, &json)
+    }
+
+    /// Load a checkpoint, tolerating absence and corruption: any
+    /// failure (missing file, bad checksum with no usable backup,
+    /// schema drift) yields `None` — training then starts from scratch
+    /// rather than crashing.
+    pub fn load(path: &Path) -> Option<TrainingCheckpoint> {
+        let json = persist::load_with_backup(path).ok()?;
+        serde_json::from_str(&json).ok()
+    }
+
+    /// Delete the checkpoint and its backup (after a successful run).
+    pub fn remove(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(persist::backup_path(path)).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ira-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        TrainingCheckpoint::remove(&path);
+        path
+    }
+
+    fn sample() -> TrainingCheckpoint {
+        TrainingCheckpoint {
+            role_name: "Bob".into(),
+            completed: vec!["goal one".into()],
+            per_goal: vec![GoalReport { goal: "goal one".into(), ..GoalReport::default() }],
+            memory: r#"{"entries": []}"#.into(),
+            clock_us: 123_456,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = temp_path("ckpt.json");
+        sample().save(&path).unwrap();
+        let back = TrainingCheckpoint::load(&path).expect("checkpoint loads");
+        assert_eq!(back.role_name, "Bob");
+        assert_eq!(back.completed, vec!["goal one".to_string()]);
+        assert_eq!(back.clock_us, 123_456);
+        TrainingCheckpoint::remove(&path);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_not_an_error() {
+        let path = temp_path("absent.json");
+        assert!(TrainingCheckpoint::load(&path).is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_without_backup_is_none() {
+        let path = temp_path("corrupt.json");
+        std::fs::write(&path, "{definitely not json").unwrap();
+        assert!(TrainingCheckpoint::load(&path).is_none());
+        TrainingCheckpoint::remove(&path);
+    }
+
+    #[test]
+    fn truncated_checkpoint_recovers_from_bak() {
+        let path = temp_path("trunc.json");
+        sample().save(&path).unwrap();
+        let mut second = sample();
+        second.completed.push("goal two".into());
+        second.save(&path).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        let back = TrainingCheckpoint::load(&path).expect("must fall back to .bak");
+        assert_eq!(back.completed.len(), 1, "backup holds the first generation");
+        TrainingCheckpoint::remove(&path);
+    }
+
+    #[test]
+    fn remove_clears_checkpoint_and_backup() {
+        let path = temp_path("rm.json");
+        sample().save(&path).unwrap();
+        sample().save(&path).unwrap();
+        TrainingCheckpoint::remove(&path);
+        assert!(!path.exists());
+        assert!(!persist::backup_path(&path).exists());
+    }
+}

@@ -1,6 +1,6 @@
 //! The simulated environment: world → corpus → network → client.
 
-use ira_simnet::{Client, Network, NetworkConfig};
+use ira_simnet::{Client, ClientConfig, Duration, FaultPlan, Network, NetworkConfig};
 use ira_webcorpus::{register_sites, Corpus, CorpusConfig};
 use ira_worldmodel::World;
 use std::sync::Arc;
@@ -32,6 +32,29 @@ impl Environment {
     /// The default experiment environment.
     pub fn standard() -> Self {
         Self::build(CorpusConfig::default(), 0xBEEF)
+    }
+
+    /// Build a chaos environment: the standard stack plus a seeded
+    /// random fault plan (blackouts, flaky periods, rate-limit storms,
+    /// corrupted bodies) over `intensity` of the hosts for `horizon` of
+    /// virtual time, and a circuit-breaker-enabled client so the agent
+    /// degrades around dead hosts instead of hammering them.
+    pub fn build_chaotic(
+        corpus_config: CorpusConfig,
+        net_seed: u64,
+        intensity: f64,
+        horizon: Duration,
+        fault_seed: u64,
+    ) -> Self {
+        let world = World::standard();
+        let corpus = Arc::new(Corpus::generate(&world, corpus_config));
+        let mut net = Network::new(NetworkConfig::default(), net_seed);
+        register_sites(&mut net, Arc::clone(&corpus));
+        let hosts = net.host_names();
+        let net = Arc::new(net);
+        net.set_fault_plan(FaultPlan::random(&hosts, intensity, horizon, fault_seed));
+        let client = Client::with_config(net, ClientConfig::resilient());
+        Environment { world, corpus, client }
     }
 
     /// Virtual time elapsed so far, microseconds.

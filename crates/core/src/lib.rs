@@ -20,6 +20,7 @@
 //! [`stages`] times the two pipeline stages of Figure 1.
 
 pub mod agent;
+pub mod checkpoint;
 pub mod config;
 pub mod ensemble;
 pub mod env;
@@ -29,6 +30,7 @@ pub mod selflearn;
 pub mod stages;
 
 pub use agent::{ResearchAgent, TrainingReport};
+pub use checkpoint::TrainingCheckpoint;
 pub use config::AgentConfig;
 pub use ensemble::{Committee, CommitteeAnswer, CommitteeConfig};
 pub use questions::{generate as generate_questions, ResearchQuestion};

@@ -12,6 +12,8 @@
 //! * [`trajectory`] — confidence trajectory tables (E2/E3).
 //! * [`plancov`] — response-plan component coverage (E4).
 //! * [`provenance`] — source audit over the knowledge store.
+//! * [`robustness`] — chaos sweep: quiz consistency, wasted work, and
+//!   circuit-breaker activity under seeded fault injection (X13).
 //! * [`runner`] — end-to-end: train, self-learn per question, score.
 //! * [`report`] — plain-text table / CSV rendering shared by the
 //!   experiment binaries.
@@ -23,6 +25,7 @@ pub mod poison;
 pub mod provenance;
 pub mod quiz;
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod trajectory;
 pub mod verdict;
@@ -33,5 +36,6 @@ pub use plancov::PlanCoverage;
 pub use poison::PoisonCampaign;
 pub use provenance::ProvenanceReport;
 pub use quiz::{QuizBank, QuizItem};
+pub use robustness::{chaos_sweep, run_chaos_level, ChaosLevelReport, ChaosSweep};
 pub use runner::{evaluate_agent, evaluate_baseline, EvalRun};
 pub use verdict::{match_verdict, VerdictMatch};

@@ -1,0 +1,209 @@
+//! Chaos / degradation evaluation (experiment X13).
+//!
+//! Sweeps fault intensity (the fraction of hosts given fault windows —
+//! blackouts, flaky periods, rate-limit storms, corrupted bodies) and
+//! measures how gracefully the agent degrades: quiz consistency,
+//! self-learning effort, wasted network work, and circuit-breaker
+//! activity at each level. The paper's interactive-agent vision demands
+//! an agent that finishes with partial knowledge and honest confidence
+//! when parts of the web disappear, rather than aborting.
+
+use crate::quiz::QuizBank;
+use crate::runner::evaluate_agent;
+use ira_core::{Environment, ResearchAgent};
+use ira_simnet::Duration;
+use ira_webcorpus::CorpusConfig;
+use serde::{Deserialize, Serialize};
+
+/// Fault horizon used by the sweep. A full train + quiz run spans
+/// roughly 220 virtual seconds (dominated by simulated inference
+/// latency), so windows are scheduled across a 240-second horizon —
+/// long enough to cover the whole run, short enough that windows
+/// actually intersect it.
+pub fn chaos_horizon() -> Duration {
+    Duration::from_secs(240)
+}
+
+/// Everything measured at one fault-intensity level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosLevelReport {
+    /// Fraction of hosts faulted, [0, 1].
+    pub intensity: f64,
+    /// Fault windows actually scheduled.
+    pub fault_windows: usize,
+    /// Quiz conclusions consistent with the expert set.
+    pub consistent: usize,
+    /// Quiz size.
+    pub total: usize,
+    pub mean_confidence: f64,
+    /// Self-learning rounds spent across the quiz.
+    pub learning_rounds: u32,
+    /// Requests wasted on the network: transmissions lost or rejected
+    /// (fault drops, flaky loss, rate-limit storms).
+    pub wasted_network: u64,
+    /// Requests the circuit breaker rejected without touching the
+    /// network (fetch budget saved by failing fast).
+    pub fast_failures: u64,
+    /// Breaker state transitions (opened + half-opened + reclosed).
+    pub breaker_transitions: u64,
+    /// Ranked sources skipped during training because their host's
+    /// breaker was open (the agent rerouted down the ranking).
+    pub source_unavailable: u32,
+    /// Fault events the network charged, by class total.
+    pub fault_events: u64,
+}
+
+/// One full sweep over fault intensities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosSweep {
+    pub levels: Vec<ChaosLevelReport>,
+}
+
+impl ChaosSweep {
+    /// The fault-free reference level, if the sweep includes one.
+    pub fn baseline(&self) -> Option<&ChaosLevelReport> {
+        self.levels
+            .iter()
+            .find(|l| l.intensity == 0.0)
+    }
+
+    /// Largest consistency drop (in conclusions) versus the fault-free
+    /// level, across all faulted levels.
+    pub fn worst_degradation(&self) -> usize {
+        let Some(base) = self.baseline() else { return 0 };
+        self.levels
+            .iter()
+            .filter(|l| l.intensity > 0.0)
+            .map(|l| base.consistent.saturating_sub(l.consistent))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Train and evaluate one agent under a seeded fault plan covering
+/// `intensity` of the hosts. Intensity 0 still uses the resilient
+/// client profile (breaker enabled) so levels differ only in faults.
+pub fn run_chaos_level(intensity: f64, net_seed: u64, fault_seed: u64) -> ChaosLevelReport {
+    let env = Environment::build_chaotic(
+        CorpusConfig::default(),
+        net_seed,
+        intensity,
+        chaos_horizon(),
+        fault_seed,
+    );
+    let fault_windows = env.client.network().fault_plan_window_count();
+
+    let mut bob = ResearchAgent::bob(&env);
+    let training = bob.train();
+    let quiz = QuizBank::from_world(&env.world);
+    let conclusions = env.world.conclusions();
+    let run = evaluate_agent(&mut bob, &quiz, &conclusions);
+
+    let net_stats = env.client.network().stats();
+    let fault_stats = env.client.network().fault_stats();
+    let breaker = env.client.breaker_totals();
+
+    ChaosLevelReport {
+        intensity,
+        fault_windows,
+        consistent: run.consistency.consistent_count(),
+        total: run.consistency.total(),
+        mean_confidence: run.consistency.mean_confidence(),
+        learning_rounds: run.total_learning_rounds(),
+        wasted_network: net_stats.lost + net_stats.rate_limited,
+        fast_failures: breaker.fast_failures,
+        breaker_transitions: breaker.transitions(),
+        source_unavailable: training.per_goal.iter().map(|g| g.source_unavailable).sum(),
+        fault_events: fault_stats.total(),
+    }
+}
+
+/// Sweep a set of fault intensities with a shared seed base. Each
+/// level gets a distinct fault seed derived from `seed` so plans are
+/// independent but the whole sweep is reproducible.
+pub fn chaos_sweep(intensities: &[f64], seed: u64) -> ChaosSweep {
+    let levels = intensities
+        .iter()
+        .enumerate()
+        .map(|(i, &intensity)| run_chaos_level(intensity, 0xBEEF, seed.wrapping_add(i as u64)))
+        .collect();
+    ChaosSweep { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_level_matches_the_paper_shape() {
+        let level = run_chaos_level(0.0, 0xBEEF, 1);
+        assert_eq!(level.fault_windows, 0);
+        assert_eq!(level.fault_events, 0);
+        assert!(
+            level.consistent >= 7,
+            "breaker-enabled client must not change the fault-free result: {level:?}"
+        );
+    }
+
+    #[test]
+    fn quarter_intensity_degrades_gracefully() {
+        // The X13 acceptance bar: at 25% fault intensity the agent's
+        // quiz consistency stays within one conclusion of fault-free.
+        let base = run_chaos_level(0.0, 0xBEEF, 42);
+        let chaotic = run_chaos_level(0.25, 0xBEEF, 42);
+        assert!(chaotic.fault_windows > 0);
+        assert!(
+            base.consistent.saturating_sub(chaotic.consistent) <= 1,
+            "consistency must stay within 1 conclusion: base {} vs chaotic {}",
+            base.consistent,
+            chaotic.consistent
+        );
+    }
+
+    #[test]
+    fn chaos_levels_are_deterministic_per_seed() {
+        let a = run_chaos_level(0.25, 0xBEEF, 9);
+        let b = run_chaos_level(0.25, 0xBEEF, 9);
+        assert_eq!(a.consistent, b.consistent);
+        assert_eq!(a.wasted_network, b.wasted_network);
+        assert_eq!(a.fast_failures, b.fast_failures);
+        assert_eq!(a.breaker_transitions, b.breaker_transitions);
+        assert_eq!(a.fault_events, b.fault_events);
+    }
+
+    #[test]
+    fn sweep_reports_worst_degradation_against_baseline() {
+        let sweep = ChaosSweep {
+            levels: vec![
+                ChaosLevelReport {
+                    intensity: 0.0,
+                    fault_windows: 0,
+                    consistent: 7,
+                    total: 8,
+                    mean_confidence: 8.0,
+                    learning_rounds: 10,
+                    wasted_network: 0,
+                    fast_failures: 0,
+                    breaker_transitions: 0,
+                    source_unavailable: 0,
+                    fault_events: 0,
+                },
+                ChaosLevelReport {
+                    intensity: 0.5,
+                    fault_windows: 9,
+                    consistent: 5,
+                    total: 8,
+                    mean_confidence: 6.0,
+                    learning_rounds: 14,
+                    wasted_network: 40,
+                    fast_failures: 12,
+                    breaker_transitions: 6,
+                    source_unavailable: 3,
+                    fault_events: 52,
+                },
+            ],
+        };
+        assert_eq!(sweep.baseline().unwrap().consistent, 7);
+        assert_eq!(sweep.worst_degradation(), 2);
+    }
+}

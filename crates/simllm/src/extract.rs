@@ -454,7 +454,7 @@ fn parse_coverage(sentence: &str) -> Option<Fact> {
     let operator = last_word_span(&sentence[..idx])?;
     let rest = &sentence[idx + MARKER.len()..];
     let regions = leading_number(rest)? as u32;
-    rest.contains("major regions").then(|| Fact::RegionCoverage {
+    rest.contains("major regions").then_some(Fact::RegionCoverage {
         operator,
         regions,
     })

@@ -1,0 +1,321 @@
+//! Per-host circuit breaker for the client.
+//!
+//! The classic three-state machine, with all timing on the virtual
+//! clock so behaviour is reproducible:
+//!
+//! * **Closed** — requests flow; consecutive failures are counted.
+//! * **Open** — after `failure_threshold` consecutive failures the
+//!   breaker trips: requests fail fast (no network time spent) until
+//!   `cooldown` elapses.
+//! * **Half-open** — after the cooldown one probe request is allowed
+//!   through; success closes the breaker, failure re-opens it.
+//!
+//! Failures are classified ([`FailureClass`]) so the metrics say *why*
+//! a host tripped, not just that it did.
+
+use crate::clock::{Duration, Instant};
+use crate::error::NetError;
+use serde::{Deserialize, Serialize};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Virtual time the breaker stays open before a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 4,
+            cooldown: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The breaker's current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Failure taxonomy for breaker metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureClass {
+    Timeout,
+    ConnectionReset,
+    RateLimited,
+    ServerError,
+    Other,
+}
+
+impl FailureClass {
+    /// Classify a network error.
+    pub fn of(err: &NetError) -> FailureClass {
+        match err {
+            NetError::Timeout { .. } => FailureClass::Timeout,
+            NetError::ConnectionReset { .. } => FailureClass::ConnectionReset,
+            NetError::RateLimited { .. } => FailureClass::RateLimited,
+            NetError::HttpStatus { code, .. } if *code >= 500 => FailureClass::ServerError,
+            NetError::RetriesExhausted { last, .. } => FailureClass::of(last),
+            _ => FailureClass::Other,
+        }
+    }
+}
+
+/// Counters exported by one host's breaker.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BreakerMetrics {
+    /// Closed/half-open → open transitions.
+    pub opened: u64,
+    /// Open → half-open transitions (probe admitted).
+    pub half_opened: u64,
+    /// Half-open → closed transitions (probe succeeded).
+    pub reclosed: u64,
+    /// Requests rejected without touching the network.
+    pub fast_failures: u64,
+    pub timeouts: u64,
+    pub resets: u64,
+    pub rate_limited: u64,
+    pub server_errors: u64,
+    pub other_failures: u64,
+}
+
+impl BreakerMetrics {
+    /// Total state transitions (opened + half-opened + reclosed).
+    pub fn transitions(&self) -> u64 {
+        self.opened + self.half_opened + self.reclosed
+    }
+
+    /// Total recorded failures, across classes.
+    pub fn failures(&self) -> u64 {
+        self.timeouts + self.resets + self.rate_limited + self.server_errors + self.other_failures
+    }
+
+    /// Merge counters from another breaker (for network-wide totals).
+    pub fn absorb(&mut self, other: &BreakerMetrics) {
+        self.opened += other.opened;
+        self.half_opened += other.half_opened;
+        self.reclosed += other.reclosed;
+        self.fast_failures += other.fast_failures;
+        self.timeouts += other.timeouts;
+        self.resets += other.resets;
+        self.rate_limited += other.rate_limited;
+        self.server_errors += other.server_errors;
+        self.other_failures += other.other_failures;
+    }
+}
+
+/// One host's circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Instant,
+    metrics: BreakerMetrics,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: Instant::EPOCH,
+            metrics: BreakerMetrics::default(),
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    pub fn metrics(&self) -> BreakerMetrics {
+        self.metrics
+    }
+
+    /// Whether a request may proceed at virtual time `now`.
+    ///
+    /// Open breakers transition to half-open once the cooldown has
+    /// elapsed (the caller's request becomes the probe). Returns
+    /// `false` — and counts a fast failure — while the breaker is open
+    /// and cooling down.
+    pub fn allow(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now.duration_since(self.opened_at) >= self.config.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.metrics.half_opened += 1;
+                    true
+                } else {
+                    self.metrics.fast_failures += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Virtual time until the next probe is admitted; zero unless open.
+    pub fn retry_in(&self, now: Instant) -> Duration {
+        match self.state {
+            BreakerState::Open => {
+                (self.opened_at + self.config.cooldown).duration_since(now)
+            }
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Record a successful request.
+    pub fn record_success(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.metrics.reclosed += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a failed request at virtual time `now`.
+    pub fn record_failure(&mut self, class: FailureClass, now: Instant) {
+        match class {
+            FailureClass::Timeout => self.metrics.timeouts += 1,
+            FailureClass::ConnectionReset => self.metrics.resets += 1,
+            FailureClass::RateLimited => self.metrics.rate_limited += 1,
+            FailureClass::ServerError => self.metrics.server_errors += 1,
+            FailureClass::Other => self.metrics.other_failures += 1,
+        }
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.consecutive_failures = 0;
+        self.metrics.opened += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_s: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_secs(cooldown_s),
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let mut b = breaker(3, 10);
+        let now = Instant::EPOCH;
+        b.record_failure(FailureClass::Timeout, now);
+        b.record_failure(FailureClass::Timeout, now);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(now));
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = breaker(3, 10);
+        let now = Instant::EPOCH;
+        b.record_failure(FailureClass::ConnectionReset, now);
+        b.record_failure(FailureClass::ConnectionReset, now);
+        b.record_success();
+        b.record_failure(FailureClass::ConnectionReset, now);
+        b.record_failure(FailureClass::ConnectionReset, now);
+        assert_eq!(b.state(), BreakerState::Closed, "count must reset on success");
+    }
+
+    #[test]
+    fn opens_at_threshold_and_fails_fast() {
+        let mut b = breaker(2, 10);
+        let now = Instant::EPOCH;
+        b.record_failure(FailureClass::Timeout, now);
+        b.record_failure(FailureClass::Timeout, now);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(now + Duration::from_secs(5)));
+        assert_eq!(b.metrics().fast_failures, 1);
+        assert_eq!(b.metrics().opened, 1);
+        assert_eq!(b.retry_in(now), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown_then_close_on_success() {
+        let mut b = breaker(1, 10);
+        b.record_failure(FailureClass::ServerError, Instant::EPOCH);
+        assert_eq!(b.state(), BreakerState::Open);
+        let after = Instant::EPOCH + Duration::from_secs(10);
+        assert!(b.allow(after), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        let m = b.metrics();
+        assert_eq!((m.opened, m.half_opened, m.reclosed), (1, 1, 1));
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = breaker(1, 10);
+        b.record_failure(FailureClass::Timeout, Instant::EPOCH);
+        let probe_at = Instant::EPOCH + Duration::from_secs(10);
+        assert!(b.allow(probe_at));
+        b.record_failure(FailureClass::Timeout, probe_at);
+        assert_eq!(b.state(), BreakerState::Open);
+        // A new full cooldown applies from the re-open.
+        assert!(!b.allow(probe_at + Duration::from_secs(9)));
+        assert!(b.allow(probe_at + Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn failure_classification() {
+        assert_eq!(
+            FailureClass::of(&NetError::Timeout {
+                host: "h".into(),
+                elapsed: Duration::from_millis(1)
+            }),
+            FailureClass::Timeout
+        );
+        assert_eq!(
+            FailureClass::of(&NetError::HttpStatus { host: "h".into(), code: 503 }),
+            FailureClass::ServerError
+        );
+        assert_eq!(
+            FailureClass::of(&NetError::HttpStatus { host: "h".into(), code: 404 }),
+            FailureClass::Other
+        );
+        // RetriesExhausted classifies as its underlying cause.
+        assert_eq!(
+            FailureClass::of(&NetError::RetriesExhausted {
+                attempts: 3,
+                last: Box::new(NetError::ConnectionReset { host: "h".into() }),
+            }),
+            FailureClass::ConnectionReset
+        );
+    }
+
+    #[test]
+    fn metrics_absorb_accumulates() {
+        let mut a = BreakerMetrics { opened: 1, timeouts: 2, ..BreakerMetrics::default() };
+        let b = BreakerMetrics { opened: 2, resets: 3, ..BreakerMetrics::default() };
+        a.absorb(&b);
+        assert_eq!(a.opened, 3);
+        assert_eq!(a.failures(), 5);
+        assert_eq!(a.transitions(), 3);
+    }
+}

@@ -5,6 +5,7 @@
 //! clock and drives the [`RetryPolicy`], sleeping (in virtual time)
 //! between attempts.
 
+use crate::breaker::{BreakerConfig, BreakerMetrics, BreakerState, CircuitBreaker, FailureClass};
 use crate::cache::{CacheConfig, ResponseCache};
 use crate::clock::Duration;
 use crate::error::{NetError, NetResult};
@@ -12,6 +13,8 @@ use crate::retry::RetryPolicy;
 use crate::server::{Network, Request, Response};
 use crate::url::Url;
 use parking_lot::Mutex;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,6 +30,9 @@ pub struct ClientConfig {
     pub cache: CacheConfig,
     /// Maximum redirect hops followed per request.
     pub max_redirects: u32,
+    /// Per-host circuit breaker; `None` (the default) disables it and
+    /// preserves the classic retry-only behaviour.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ClientConfig {
@@ -36,7 +42,16 @@ impl Default for ClientConfig {
             retry: RetryPolicy::standard(),
             cache: CacheConfig::default(),
             max_redirects: 4,
+            breaker: None,
         }
+    }
+}
+
+impl ClientConfig {
+    /// The resilient profile: default behaviour plus a per-host
+    /// circuit breaker — what the agent uses under chaos testing.
+    pub fn resilient() -> Self {
+        ClientConfig { breaker: Some(BreakerConfig::default()), ..ClientConfig::default() }
     }
 }
 
@@ -48,6 +63,8 @@ pub struct Client {
     net: Arc<Network>,
     config: ClientConfig,
     cache: Arc<Mutex<ResponseCache>>,
+    breakers: Arc<Mutex<HashMap<String, CircuitBreaker>>>,
+    retry_rng: Arc<Mutex<ChaCha8Rng>>,
     id: u64,
 }
 
@@ -60,6 +77,8 @@ impl Client {
         Client {
             net,
             cache: Arc::new(Mutex::new(ResponseCache::new(config.cache))),
+            breakers: Arc::new(Mutex::new(HashMap::new())),
+            retry_rng: Arc::new(Mutex::new(config.retry.backoff.jitter_rng())),
             config,
             id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
         }
@@ -72,6 +91,39 @@ impl Client {
 
     pub fn network(&self) -> &Arc<Network> {
         &self.net
+    }
+
+    /// Whether a request to `host` would currently be rejected by its
+    /// circuit breaker without touching the network. Non-mutating: does
+    /// not count a fast failure or admit a probe, so callers can use it
+    /// to reroute *before* spending any budget.
+    pub fn breaker_would_fail_fast(&self, host: &str) -> bool {
+        let breakers = self.breakers.lock();
+        match breakers.get(host) {
+            Some(b) => {
+                b.state() == BreakerState::Open
+                    && b.retry_in(self.net.clock().now()) > Duration::ZERO
+            }
+            None => false,
+        }
+    }
+
+    /// Per-host breaker metrics, sorted by host name.
+    pub fn breaker_metrics(&self) -> Vec<(String, BreakerMetrics)> {
+        let breakers = self.breakers.lock();
+        let mut out: Vec<(String, BreakerMetrics)> =
+            breakers.iter().map(|(h, b)| (h.clone(), b.metrics())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Breaker metrics summed across all hosts.
+    pub fn breaker_totals(&self) -> BreakerMetrics {
+        let mut total = BreakerMetrics::default();
+        for (_, m) in self.breaker_metrics() {
+            total.absorb(&m);
+        }
+        total
     }
 
     /// Fetch `url` (string form), with retries per the client config.
@@ -103,8 +155,21 @@ impl Client {
             return Ok(cached);
         }
         let req = Request { url: url.clone(), client_id: self.id };
+        let host = url.host().to_string();
         let mut attempt: u32 = 0;
         loop {
+            if let Some(breaker_cfg) = self.config.breaker {
+                let now = self.net.clock().now();
+                let mut breakers = self.breakers.lock();
+                let breaker = breakers
+                    .entry(host.clone())
+                    .or_insert_with(|| CircuitBreaker::new(breaker_cfg));
+                if !breaker.allow(now) {
+                    let retry_in = breaker.retry_in(now);
+                    return Err(NetError::CircuitOpen { host, retry_in });
+                }
+            }
+
             let start = self.net.clock().now();
             let result = self.net.transmit(&req).and_then(|resp| {
                 let elapsed = self.net.clock().now().duration_since(start);
@@ -117,13 +182,25 @@ impl Client {
 
             let err = match result {
                 Ok(resp) => {
+                    if self.config.breaker.is_some() {
+                        if let Some(b) = self.breakers.lock().get_mut(&host) {
+                            b.record_success();
+                        }
+                    }
                     self.cache.lock().put(&key, resp.clone(), self.net.clock().now());
                     return Ok(resp);
                 }
                 Err(err) => err,
             };
 
-            match self.config.retry.next_delay(attempt, &err) {
+            if self.config.breaker.is_some() {
+                let now = self.net.clock().now();
+                if let Some(b) = self.breakers.lock().get_mut(&host) {
+                    b.record_failure(FailureClass::of(&err), now);
+                }
+            }
+
+            match self.next_delay(attempt, &err) {
                 Some(delay) => {
                     self.net.clock().advance(delay);
                     attempt += 1;
@@ -139,6 +216,16 @@ impl Client {
                     });
                 }
             }
+        }
+    }
+
+    /// Decide the wait before the next retry, applying seeded jitter
+    /// when the backoff enables it (zero rng draws otherwise).
+    fn next_delay(&self, attempt: u32, err: &NetError) -> Option<Duration> {
+        if self.config.retry.backoff.jitter {
+            self.config.retry.next_delay_with(attempt, err, &mut self.retry_rng.lock())
+        } else {
+            self.config.retry.next_delay(attempt, err)
         }
     }
 
@@ -192,8 +279,7 @@ mod tests {
             ClientConfig {
                 timeout: Duration::from_secs(30),
                 retry: RetryPolicy { max_retries: 5, backoff: Backoff::default() },
-                cache: CacheConfig::default(),
-                max_redirects: 4,
+                ..ClientConfig::default()
             },
         );
         for _ in 0..20 {
@@ -210,8 +296,7 @@ mod tests {
             ClientConfig {
                 timeout: Duration::from_secs(30),
                 retry: RetryPolicy { max_retries: 2, backoff: Backoff::default() },
-                cache: CacheConfig::default(),
-                max_redirects: 4,
+                ..ClientConfig::default()
             },
         );
         match client.get("sim://dead.test/").unwrap_err() {
@@ -244,8 +329,7 @@ mod tests {
             ClientConfig {
                 timeout: Duration::from_secs(1),
                 retry: RetryPolicy::none(),
-                cache: CacheConfig::default(),
-                max_redirects: 4,
+                ..ClientConfig::default()
             },
         );
         assert!(matches!(
@@ -356,5 +440,133 @@ mod tests {
         let a = Client::new(Arc::clone(&net));
         let b = Client::new(net);
         assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn retries_exhausted_attempts_is_always_total_attempts() {
+        // Regression guard: `attempts` counts every attempt made, i.e.
+        // retries + the initial try, for any retry budget.
+        for max_retries in [1u32, 2, 4] {
+            let mut net = Network::new(NetworkConfig::default(), 17);
+            net.register_with("dead.test", ok_host(), cfg(1.0));
+            let client = Client::with_config(
+                Arc::new(net),
+                ClientConfig {
+                    timeout: Duration::from_secs(60),
+                    retry: RetryPolicy { max_retries, backoff: Backoff::default() },
+                    ..ClientConfig::default()
+                },
+            );
+            match client.get("sim://dead.test/").unwrap_err() {
+                NetError::RetriesExhausted { attempts, .. } => {
+                    assert_eq!(attempts, max_retries + 1);
+                }
+                other => panic!("expected RetriesExhausted, got {other:?}"),
+            }
+        }
+    }
+
+    fn breaker_client(net: Network, threshold: u32, cooldown: Duration) -> Client {
+        Client::with_config(
+            Arc::new(net),
+            ClientConfig {
+                retry: RetryPolicy::none(),
+                breaker: Some(crate::breaker::BreakerConfig {
+                    failure_threshold: threshold,
+                    cooldown,
+                }),
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn breaker_trips_and_fails_fast_without_network_traffic() {
+        let mut net = Network::new(NetworkConfig::default(), 17);
+        net.register_with("dead.test", ok_host(), cfg(1.0));
+        let client = breaker_client(net, 2, Duration::from_secs(60));
+
+        for _ in 0..2 {
+            assert!(matches!(
+                client.get("sim://dead.test/").unwrap_err(),
+                NetError::ConnectionReset { .. }
+            ));
+        }
+        let sent_before = client.network().stats().requests;
+        assert!(client.breaker_would_fail_fast("dead.test"));
+        match client.get("sim://dead.test/").unwrap_err() {
+            NetError::CircuitOpen { host, retry_in } => {
+                assert_eq!(host, "dead.test");
+                assert!(retry_in > Duration::ZERO);
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        assert_eq!(
+            client.network().stats().requests,
+            sent_before,
+            "fast failure must not touch the network"
+        );
+        let totals = client.breaker_totals();
+        assert_eq!(totals.opened, 1);
+        assert_eq!(totals.fast_failures, 1);
+        assert_eq!(totals.resets, 2);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_once_the_fault_clears() {
+        use crate::clock::Instant;
+        use crate::faults::FaultPlan;
+
+        let mut net = Network::new(NetworkConfig::default(), 17);
+        net.register_with("site.test", ok_host(), cfg(0.0));
+        let client = breaker_client(net, 1, Duration::from_secs(5));
+        let outage_end = Instant::EPOCH + Duration::from_secs(10);
+        client.network().set_fault_plan(
+            FaultPlan::new().with_blackout("site.test", Instant::EPOCH, outage_end),
+        );
+
+        // Blackout: first request fails and trips the one-strike breaker.
+        assert!(client.get("sim://site.test/a").is_err());
+        // Still cooling down: fail fast.
+        assert!(matches!(
+            client.get("sim://site.test/a").unwrap_err(),
+            NetError::CircuitOpen { .. }
+        ));
+        // Past both the outage window and the cooldown, the half-open
+        // probe goes through and recloses the breaker.
+        client.network().clock().advance_to(outage_end + Duration::from_secs(1));
+        assert!(!client.breaker_would_fail_fast("site.test"));
+        assert!(client.get("sim://site.test/a").is_ok());
+        let metrics = client.breaker_metrics();
+        assert_eq!(metrics.len(), 1);
+        let m = metrics[0].1;
+        assert_eq!((m.opened, m.half_opened, m.reclosed), (1, 1, 1));
+        assert!(m.fast_failures >= 1);
+    }
+
+    #[test]
+    fn jittered_retries_are_deterministic_per_seed() {
+        let run = || {
+            let mut net = Network::new(NetworkConfig::default(), 17);
+            net.register_with("dead.test", ok_host(), cfg(1.0));
+            let client = Client::with_config(
+                Arc::new(net),
+                ClientConfig {
+                    timeout: Duration::from_secs(60),
+                    retry: RetryPolicy {
+                        max_retries: 3,
+                        backoff: Backoff { jitter: true, jitter_seed: 5, ..Backoff::default() },
+                    },
+                    ..ClientConfig::default()
+                },
+            );
+            let err = client.get("sim://dead.test/").unwrap_err();
+            (client.network().clock().now(), err)
+        };
+        let (clock1, err1) = run();
+        let (clock2, err2) = run();
+        assert_eq!(clock1, clock2, "same seeds must spend identical virtual time");
+        assert_eq!(err1, err2);
+        assert!(matches!(err1, NetError::RetriesExhausted { attempts: 4, .. }));
     }
 }

@@ -50,6 +50,12 @@ pub enum NetError {
     /// The response body was not valid UTF-8 text.
     #[error("response body from {host} is not valid utf-8")]
     BodyNotText { host: String },
+
+    /// The client's circuit breaker is open for this host: the request
+    /// failed fast without touching the network. `retry_in` is the
+    /// virtual time until the next half-open probe is admitted.
+    #[error("circuit open for {host}, probe in {retry_in}")]
+    CircuitOpen { host: String, retry_in: Duration },
 }
 
 impl NetError {
@@ -60,10 +66,13 @@ impl NetError {
             | NetError::ConnectionReset { .. }
             | NetError::RateLimited { .. } => true,
             NetError::HttpStatus { code, .. } => *code >= 500,
+            // Circuit-open is deliberately non-retryable: the point of
+            // failing fast is to let the caller reroute immediately.
             NetError::InvalidUrl(_)
             | NetError::HostNotFound(_)
             | NetError::RetriesExhausted { .. }
-            | NetError::BodyNotText { .. } => false,
+            | NetError::BodyNotText { .. }
+            | NetError::CircuitOpen { .. } => false,
         }
     }
 
@@ -96,6 +105,11 @@ mod tests {
         assert!(NetError::HttpStatus { host: "a".into(), code: 503 }.is_retryable());
         assert!(!NetError::HttpStatus { host: "a".into(), code: 404 }.is_retryable());
         assert!(!NetError::HostNotFound("a".into()).is_retryable());
+        assert!(!NetError::CircuitOpen {
+            host: "a".into(),
+            retry_in: Duration::from_secs(30)
+        }
+        .is_retryable());
     }
 
     #[test]

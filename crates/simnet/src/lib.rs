@@ -39,20 +39,24 @@
 //! assert!(resp.text().unwrap().contains("/docs/1"));
 //! ```
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod clock;
 pub mod error;
+pub mod faults;
 pub mod latency;
 pub mod ratelimit;
 pub mod retry;
 pub mod server;
 pub mod url;
 
+pub use breaker::{BreakerConfig, BreakerMetrics, BreakerState, CircuitBreaker, FailureClass};
 pub use cache::{CacheConfig, ResponseCache};
 pub use client::{Client, ClientConfig};
 pub use clock::{Duration, Instant, VirtualClock};
 pub use error::{NetError, NetResult};
+pub use faults::{FaultKind, FaultPlan, FaultStats, FaultWindow};
 pub use latency::{LatencyModel, LatencySample};
 pub use ratelimit::TokenBucket;
 pub use retry::{Backoff, RetryPolicy};
@@ -61,9 +65,11 @@ pub use url::Url;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::breaker::{BreakerConfig, BreakerMetrics, BreakerState};
     pub use crate::client::{Client, ClientConfig};
     pub use crate::clock::{Duration, Instant, VirtualClock};
     pub use crate::error::{NetError, NetResult};
+    pub use crate::faults::{FaultKind, FaultPlan, FaultStats};
     pub use crate::retry::RetryPolicy;
     pub use crate::server::{Host, HostCtx, Network, NetworkConfig, Request, Response, Status};
     pub use crate::url::Url;

@@ -6,6 +6,8 @@
 
 use crate::clock::Duration;
 use crate::error::NetError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Exponential backoff schedule.
@@ -17,14 +19,42 @@ pub struct Backoff {
     pub factor: f64,
     /// Upper bound on any single delay.
     pub max: Duration,
+    /// Full-jitter mode: the actual delay is drawn uniformly from
+    /// `[0, scheduled]`, de-synchronising concurrent retriers that hit
+    /// the same rate-limited host. Off by default; the draw comes from
+    /// a stream seeded with `jitter_seed`, so runs stay reproducible.
+    #[serde(default)]
+    pub jitter: bool,
+    /// Seed for the jitter stream (only used when `jitter` is on).
+    #[serde(default)]
+    pub jitter_seed: u64,
 }
 
 impl Backoff {
     /// Delay before retry number `attempt` (0-based: the delay after the
-    /// first failure is `delay(0)`).
+    /// first failure is `delay(0)`). Ignores jitter — this is the
+    /// deterministic schedule ceiling.
     pub fn delay(&self, attempt: u32) -> Duration {
         let d = self.initial.mul_f64(self.factor.powi(attempt as i32));
         d.min(self.max)
+    }
+
+    /// Delay before retry `attempt`, applying full jitter when enabled.
+    ///
+    /// With `jitter` off this returns exactly [`Backoff::delay`] and
+    /// consumes nothing from `rng`, so existing deterministic streams
+    /// are unchanged.
+    pub fn delay_with(&self, attempt: u32, rng: &mut ChaCha8Rng) -> Duration {
+        let scheduled = self.delay(attempt);
+        if !self.jitter || scheduled == Duration::ZERO {
+            return scheduled;
+        }
+        Duration::from_micros(rng.gen_range(0..=scheduled.as_micros()))
+    }
+
+    /// A fresh jitter stream for this schedule's seed.
+    pub fn jitter_rng(&self) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.jitter_seed)
     }
 }
 
@@ -34,6 +64,8 @@ impl Default for Backoff {
             initial: Duration::from_millis(100),
             factor: 2.0,
             max: Duration::from_secs(10),
+            jitter: false,
+            jitter_seed: 0,
         }
     }
 }
@@ -72,6 +104,25 @@ impl RetryPolicy {
             _ => scheduled,
         })
     }
+
+    /// [`RetryPolicy::next_delay`] with jitter applied to the backoff
+    /// component. A server-provided `retry_after` hint still floors
+    /// the delay — jitter never undercuts an explicit server demand.
+    pub fn next_delay_with(
+        &self,
+        attempt: u32,
+        err: &NetError,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<Duration> {
+        if attempt >= self.max_retries || !err.is_retryable() {
+            return None;
+        }
+        let scheduled = self.backoff.delay_with(attempt, rng);
+        Some(match err.retry_after() {
+            Some(hint) if hint > scheduled => hint,
+            _ => scheduled,
+        })
+    }
 }
 
 impl Default for RetryPolicy {
@@ -94,6 +145,7 @@ mod tests {
             initial: Duration::from_millis(100),
             factor: 2.0,
             max: Duration::from_millis(500),
+            ..Backoff::default()
         };
         assert_eq!(b.delay(0), Duration::from_millis(100));
         assert_eq!(b.delay(1), Duration::from_millis(200));
@@ -138,5 +190,53 @@ mod tests {
     #[test]
     fn none_policy_fails_immediately() {
         assert!(RetryPolicy::none().next_delay(0, &timeout()).is_none());
+    }
+
+    #[test]
+    fn jitter_off_matches_the_plain_schedule_and_spends_no_randomness() {
+        let b = Backoff::default();
+        let mut rng = b.jitter_rng();
+        for attempt in 0..5 {
+            assert_eq!(b.delay_with(attempt, &mut rng), b.delay(attempt));
+        }
+        // The stream was never consumed: a fresh rng draws the same first value.
+        use rand::Rng;
+        let first: u64 = rng.gen();
+        let fresh: u64 = b.jitter_rng().gen();
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn full_jitter_stays_within_the_schedule_and_is_seeded() {
+        let b = Backoff { jitter: true, jitter_seed: 99, ..Backoff::default() };
+        let mut rng1 = b.jitter_rng();
+        let mut rng2 = b.jitter_rng();
+        for attempt in 0..20 {
+            let d1 = b.delay_with(attempt, &mut rng1);
+            let d2 = b.delay_with(attempt, &mut rng2);
+            assert_eq!(d1, d2, "same seed, same jitter");
+            assert!(d1 <= b.delay(attempt), "full jitter never exceeds the schedule");
+        }
+        // Across many draws the jitter must actually vary.
+        let mut rng = b.jitter_rng();
+        let draws: Vec<Duration> = (0..10).map(|_| b.delay_with(3, &mut rng)).collect();
+        assert!(draws.iter().any(|d| *d != draws[0]), "jitter should vary: {draws:?}");
+    }
+
+    #[test]
+    fn jittered_delay_still_honours_retry_after_hints() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            backoff: Backoff { jitter: true, jitter_seed: 7, ..Backoff::default() },
+        };
+        let err = NetError::RateLimited {
+            host: "h".into(),
+            retry_after: Duration::from_secs(5),
+        };
+        let mut rng = p.backoff.jitter_rng();
+        for attempt in 0..3 {
+            let d = p.next_delay_with(attempt, &err, &mut rng).unwrap();
+            assert!(d >= Duration::from_secs(5), "hint floors the jittered delay");
+        }
     }
 }

@@ -9,12 +9,13 @@
 
 use crate::clock::{Duration, VirtualClock};
 use crate::error::{NetError, NetResult};
+use crate::faults::{FaultKind, FaultPlan, FaultStats};
 use crate::latency::{LatencyModel, LatencySample};
 use crate::ratelimit::{Acquire, TokenBucket};
 use crate::url::Url;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -161,17 +162,11 @@ impl Default for HostConfig {
 }
 
 /// Network-wide configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct NetworkConfig {
     /// Default latency/limit settings for hosts registered without
     /// explicit configuration.
     pub default_host: HostConfig,
-}
-
-impl Default for NetworkConfig {
-    fn default() -> Self {
-        NetworkConfig { default_host: HostConfig::default() }
-    }
 }
 
 /// Aggregate transmission statistics, used by experiment E6/F1.
@@ -198,6 +193,9 @@ pub struct Network {
     rng: Mutex<ChaCha8Rng>,
     stats: Mutex<NetStats>,
     config: NetworkConfig,
+    /// Installed chaos schedule; `None` leaves behaviour unchanged.
+    faults: Mutex<Option<FaultPlan>>,
+    fault_stats: Mutex<FaultStats>,
 }
 
 impl Network {
@@ -208,6 +206,8 @@ impl Network {
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
             stats: Mutex::new(NetStats::default()),
             config,
+            faults: Mutex::new(None),
+            fault_stats: Mutex::new(FaultStats::default()),
         }
     }
 
@@ -246,6 +246,58 @@ impl Network {
         *self.stats.lock()
     }
 
+    /// Install (or replace) a fault plan. Callable through a shared
+    /// reference so chaos can be scheduled after the network is
+    /// wrapped in an `Arc`.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.lock() = if plan.is_empty() { None } else { Some(plan) };
+    }
+
+    /// Remove any installed fault plan.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.lock() = None;
+    }
+
+    /// Snapshot of injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.fault_stats.lock()
+    }
+
+    /// Fault windows in the installed plan (0 when none is installed).
+    pub fn fault_plan_window_count(&self) -> usize {
+        self.faults.lock().as_ref().map_or(0, |p| p.window_count())
+    }
+
+    /// The fault window active for `host` right now, if any.
+    fn active_fault(&self, host: &str) -> Option<FaultKind> {
+        self.faults
+            .lock()
+            .as_ref()
+            .and_then(|plan| plan.active(host, self.clock.now()))
+            .map(|w| w.kind)
+    }
+
+    /// Damage an OK body per the active corruption fault. Truncation
+    /// keeps a prefix (cutting JSON and UTF-8 mid-structure); garbling
+    /// XORs every third byte, which almost always breaks UTF-8.
+    fn corrupt_body(&self, resp: &mut Response, truncate: bool) {
+        if resp.status != Status::Ok || resp.body.is_empty() {
+            return;
+        }
+        let bytes = resp.body.to_vec();
+        let damaged = if truncate {
+            bytes[..bytes.len() / 2].to_vec()
+        } else {
+            bytes
+                .iter()
+                .enumerate()
+                .map(|(i, b)| if i % 3 == 0 { b ^ 0xA5 } else { *b })
+                .collect()
+        };
+        resp.body = Bytes::from(damaged);
+        self.fault_stats.lock().corrupted_bodies += 1;
+    }
+
     /// Transmit one request: advance virtual time for the round trip and
     /// return the host's response or a transport error.
     ///
@@ -260,6 +312,46 @@ impl Network {
         {
             let mut stats = self.stats.lock();
             stats.requests += 1;
+        }
+
+        // Evaluate the chaos schedule first: an injected fault models
+        // the host (or its path) misbehaving before normal service.
+        let fault = self.active_fault(req.url.host());
+        match fault {
+            Some(FaultKind::Blackout) => {
+                // Unreachable host: detected after roughly one base RTT.
+                let wasted = slot.latency.base;
+                self.clock.advance(wasted);
+                let mut stats = self.stats.lock();
+                stats.lost += 1;
+                stats.busy += wasted;
+                self.fault_stats.lock().blackout_drops += 1;
+                return Err(NetError::ConnectionReset { host: req.url.host().to_string() });
+            }
+            Some(FaultKind::RateLimitStorm { retry_after }) => {
+                self.stats.lock().rate_limited += 1;
+                self.fault_stats.lock().storm_rejections += 1;
+                return Err(NetError::RateLimited {
+                    host: req.url.host().to_string(),
+                    retry_after,
+                });
+            }
+            Some(FaultKind::Flaky { extra_loss, .. }) => {
+                // The extra loss draw composes with (precedes) the
+                // baseline loss model below.
+                if self.rng.lock().gen_bool(extra_loss) {
+                    let wasted = slot.latency.base;
+                    self.clock.advance(wasted);
+                    let mut stats = self.stats.lock();
+                    stats.lost += 1;
+                    stats.busy += wasted;
+                    self.fault_stats.lock().flaky_drops += 1;
+                    return Err(NetError::ConnectionReset {
+                        host: req.url.host().to_string(),
+                    });
+                }
+            }
+            Some(FaultKind::CorruptBody { .. }) | None => {}
         }
 
         // Rate limiting happens before any time is charged: the reject
@@ -284,10 +376,19 @@ impl Network {
                 stats.busy += wasted;
                 Err(NetError::ConnectionReset { host: req.url.host().to_string() })
             }
-            LatencySample::Delivered(rtt) => {
+            LatencySample::Delivered(mut rtt) => {
+                if let Some(FaultKind::Flaky { slowdown, .. }) = fault {
+                    // Degraded path: responses crawl, driving client
+                    // timeouts without dropping the connection.
+                    rtt = rtt.mul_f64(slowdown.max(1.0));
+                    self.fault_stats.lock().flaky_slowdowns += 1;
+                }
                 let mut processing = Duration::ZERO;
                 let mut ctx = HostCtx { now: self.clock.now(), processing: &mut processing };
-                let resp = slot.host.handle(req, &mut ctx);
+                let mut resp = slot.host.handle(req, &mut ctx);
+                if let Some(FaultKind::CorruptBody { truncate }) = fault {
+                    self.corrupt_body(&mut resp, truncate);
+                }
                 let total = rtt + processing;
                 self.clock.advance(total);
                 let mut stats = self.stats.lock();
@@ -429,5 +530,133 @@ mod tests {
         assert_eq!(s.requests, 5);
         assert_eq!(s.delivered, 5);
         assert!(s.busy > Duration::ZERO);
+    }
+
+    mod faults {
+        use super::*;
+        use crate::clock::Instant;
+        use crate::faults::{FaultKind, FaultPlan};
+
+        fn far() -> Instant {
+            Instant::from_micros(u64::MAX)
+        }
+
+        #[test]
+        fn blackout_window_drops_every_request() {
+            let net = net_with_echo();
+            net.set_fault_plan(FaultPlan::new().with_blackout("echo.test", Instant::EPOCH, far()));
+            let url = Url::parse("sim://echo.test/").unwrap();
+            for _ in 0..3 {
+                let err = net.transmit(&Request::get(url.clone())).unwrap_err();
+                assert_eq!(err, NetError::ConnectionReset { host: "echo.test".into() });
+            }
+            assert_eq!(net.fault_stats().blackout_drops, 3);
+            assert!(net.clock().now() > Instant::EPOCH, "drops still cost virtual time");
+        }
+
+        #[test]
+        fn blackout_ends_when_the_window_closes() {
+            let net = net_with_echo();
+            let until = Instant::from_micros(1_000_000);
+            net.set_fault_plan(FaultPlan::new().with_blackout("echo.test", Instant::EPOCH, until));
+            let url = Url::parse("sim://echo.test/").unwrap();
+            assert!(net.transmit(&Request::get(url.clone())).is_err());
+            net.clock().advance_to(until);
+            assert!(net.transmit(&Request::get(url)).is_ok(), "host recovers after the window");
+        }
+
+        #[test]
+        fn storm_rejects_with_the_planned_retry_after() {
+            let net = net_with_echo();
+            net.set_fault_plan(FaultPlan::new().with_window(
+                "echo.test",
+                Instant::EPOCH,
+                far(),
+                FaultKind::RateLimitStorm { retry_after: Duration::from_secs(2) },
+            ));
+            let err = net
+                .transmit(&Request::get(Url::parse("sim://echo.test/").unwrap()))
+                .unwrap_err();
+            assert_eq!(
+                err,
+                NetError::RateLimited {
+                    host: "echo.test".into(),
+                    retry_after: Duration::from_secs(2)
+                }
+            );
+            assert_eq!(net.fault_stats().storm_rejections, 1);
+        }
+
+        #[test]
+        fn flaky_window_raises_loss_above_baseline() {
+            let net = net_with_echo(); // baseline loss 0.0
+            net.set_fault_plan(FaultPlan::new().with_window(
+                "echo.test",
+                Instant::EPOCH,
+                far(),
+                FaultKind::Flaky { extra_loss: 0.5, slowdown: 1.0 },
+            ));
+            let url = Url::parse("sim://echo.test/").unwrap();
+            let mut drops = 0;
+            for _ in 0..200 {
+                if net.transmit(&Request::get(url.clone())).is_err() {
+                    drops += 1;
+                }
+            }
+            assert!((60..140).contains(&drops), "expected ~100 drops, got {drops}");
+            assert_eq!(net.fault_stats().flaky_drops, drops);
+        }
+
+        #[test]
+        fn corrupt_truncate_halves_the_body() {
+            let net = net_with_echo();
+            net.set_fault_plan(FaultPlan::new().with_window(
+                "echo.test",
+                Instant::EPOCH,
+                far(),
+                FaultKind::CorruptBody { truncate: true },
+            ));
+            let resp = net
+                .transmit(&Request::get(Url::parse("sim://echo.test/abcdef").unwrap()))
+                .unwrap();
+            // Full body is "echo:/abcdef" (12 bytes) → truncated to 6.
+            assert_eq!(resp.text(), Some("echo:/"), "body must be cut in half");
+            assert_eq!(net.fault_stats().corrupted_bodies, 1);
+        }
+
+        #[test]
+        fn corrupt_garble_breaks_utf8() {
+            let net = net_with_echo();
+            net.set_fault_plan(FaultPlan::new().with_window(
+                "echo.test",
+                Instant::EPOCH,
+                far(),
+                FaultKind::CorruptBody { truncate: false },
+            ));
+            let resp = net
+                .transmit(&Request::get(Url::parse("sim://echo.test/page").unwrap()))
+                .unwrap();
+            assert_ne!(resp.text(), Some("echo:/page"), "body must be damaged");
+        }
+
+        #[test]
+        fn clearing_the_plan_restores_normal_service() {
+            let net = net_with_echo();
+            net.set_fault_plan(FaultPlan::new().with_blackout("echo.test", Instant::EPOCH, far()));
+            let url = Url::parse("sim://echo.test/").unwrap();
+            assert!(net.transmit(&Request::get(url.clone())).is_err());
+            net.clear_fault_plan();
+            assert!(net.transmit(&Request::get(url)).is_ok());
+        }
+
+        #[test]
+        fn faults_on_one_host_leave_others_untouched() {
+            let mut net = Network::new(NetworkConfig::default(), 1);
+            net.register_with("sick.test", echo_host(), reliable_cfg());
+            net.register_with("well.test", echo_host(), reliable_cfg());
+            net.set_fault_plan(FaultPlan::new().with_blackout("sick.test", Instant::EPOCH, far()));
+            assert!(net.transmit(&Request::get(Url::parse("sim://sick.test/").unwrap())).is_err());
+            assert!(net.transmit(&Request::get(Url::parse("sim://well.test/").unwrap())).is_ok());
+        }
     }
 }

@@ -68,6 +68,7 @@ proptest! {
             initial: Duration::from_millis(initial_ms),
             factor,
             max: Duration::from_millis(max_ms),
+            ..Backoff::default()
         };
         let d0 = b.delay(attempt);
         let d1 = b.delay(attempt + 1);
@@ -136,6 +137,194 @@ proptest! {
     }
 }
 
+mod breaker_properties {
+    use ira_simnet::breaker::{BreakerConfig, BreakerState, CircuitBreaker, FailureClass};
+    use ira_simnet::clock::{Duration, Instant};
+    use proptest::prelude::*;
+
+    /// Replay a random event sequence through the breaker state
+    /// machine. Events: 0 = failure, 1 = success, 2 = allow() probe;
+    /// each paired with a virtual-time step.
+    fn replay(
+        threshold: u32,
+        cooldown_s: u64,
+        events: &[(u8, u64)],
+    ) -> (CircuitBreaker, Instant) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_secs(cooldown_s),
+        });
+        let mut now = Instant::EPOCH;
+        for (kind, step_ms) in events {
+            now = now + Duration::from_millis(*step_ms);
+            match kind % 3 {
+                0 => b.record_failure(FailureClass::Timeout, now),
+                1 => b.record_success(),
+                _ => {
+                    let _ = b.allow(now);
+                }
+            }
+        }
+        (b, now)
+    }
+
+    proptest! {
+        #[test]
+        fn breaker_invariants_hold_for_any_event_sequence(
+            threshold in 1u32..6,
+            cooldown_s in 1u64..120,
+            events in prop::collection::vec((0u8..3, 0u64..200_000), 0..60),
+        ) {
+            let (b, now) = replay(threshold, cooldown_s, &events);
+            let m = b.metrics();
+            // Fast failures only happen while open, so each one was
+            // preceded by an open transition.
+            if m.fast_failures > 0 {
+                prop_assert!(m.opened > 0);
+            }
+            // Every half-open admission and every reclose follows an
+            // open transition; a reclose needs a half-open probe first.
+            prop_assert!(m.half_opened <= m.opened);
+            prop_assert!(m.reclosed <= m.half_opened);
+            // retry_in is zero exactly when not open.
+            match b.state() {
+                BreakerState::Open => {}
+                _ => prop_assert_eq!(b.retry_in(now), Duration::ZERO),
+            }
+        }
+
+        #[test]
+        fn open_breaker_always_admits_a_probe_after_cooldown(
+            threshold in 1u32..6,
+            cooldown_s in 1u64..120,
+            failures in 1u32..12,
+        ) {
+            let mut b = CircuitBreaker::new(BreakerConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_secs(cooldown_s),
+            });
+            let now = Instant::EPOCH;
+            for _ in 0..failures.max(threshold) {
+                b.record_failure(FailureClass::ConnectionReset, now);
+            }
+            prop_assert_eq!(b.state(), BreakerState::Open);
+            // Any earlier moment fails fast; the cooldown boundary
+            // admits the probe.
+            if cooldown_s > 1 {
+                prop_assert!(!b.allow(now + Duration::from_secs(cooldown_s - 1)));
+            }
+            prop_assert!(b.allow(now + Duration::from_secs(cooldown_s)));
+            prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        }
+
+        #[test]
+        fn closed_breaker_never_rejects(
+            threshold in 2u32..8,
+            events in prop::collection::vec(0u64..100_000, 0..30),
+        ) {
+            // Interleave below-threshold failure bursts with successes:
+            // the breaker must stay closed and keep admitting requests.
+            let mut b = CircuitBreaker::new(BreakerConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_secs(30),
+            });
+            let mut now = Instant::EPOCH;
+            for step_ms in &events {
+                now = now + Duration::from_millis(*step_ms);
+                for _ in 0..threshold - 1 {
+                    b.record_failure(FailureClass::Timeout, now);
+                }
+                b.record_success();
+                prop_assert_eq!(b.state(), BreakerState::Closed);
+                prop_assert!(b.allow(now));
+            }
+            prop_assert_eq!(b.metrics().fast_failures, 0);
+        }
+    }
+}
+
+mod fault_plan_properties {
+    use ira_simnet::clock::{Duration, Instant};
+    use ira_simnet::faults::FaultPlan;
+    use proptest::prelude::*;
+
+    fn hosts_strategy() -> impl Strategy<Value = Vec<String>> {
+        prop::collection::vec("[a-z]{1,8}\\.test", 1..12)
+            .prop_map(|mut hs| {
+                hs.sort();
+                hs.dedup();
+                hs
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn random_plans_are_reproducible_and_well_formed(
+            hosts in hosts_strategy(),
+            intensity in 0.0f64..1.0,
+            horizon_s in 1u64..100_000,
+            seed in 0u64..1_000,
+        ) {
+            let horizon = Duration::from_secs(horizon_s);
+            let a = FaultPlan::random(&hosts, intensity, horizon, seed);
+            let b = FaultPlan::random(&hosts, intensity, horizon, seed);
+            prop_assert_eq!(&a, &b, "same seed must give the same plan");
+
+            // Afflicted host count matches the rounded intensity.
+            let expected = if intensity == 0.0 {
+                0
+            } else {
+                ((hosts.len() as f64 * intensity).round() as usize).clamp(1, hosts.len())
+            };
+            prop_assert_eq!(a.hosts.len(), expected);
+
+            for (host, host_plan) in &a.hosts {
+                prop_assert!(hosts.contains(host), "plan must only afflict known hosts");
+                prop_assert!(!host_plan.windows.is_empty());
+                let mut last_from = Instant::EPOCH;
+                for w in &host_plan.windows {
+                    prop_assert!(w.from < w.until, "windows must be non-empty spans");
+                    prop_assert!(w.from >= last_from, "windows must be sorted by start");
+                    last_from = w.from;
+                }
+            }
+        }
+
+        #[test]
+        fn active_window_agrees_with_contains(
+            hosts in hosts_strategy(),
+            intensity in 0.1f64..1.0,
+            horizon_s in 10u64..10_000,
+            seed in 0u64..1_000,
+            probe_s in 0u64..12_000,
+        ) {
+            let plan = FaultPlan::random(&hosts, intensity, Duration::from_secs(horizon_s), seed);
+            let now = Instant::EPOCH + Duration::from_secs(probe_s);
+            for (host, host_plan) in &plan.hosts {
+                let active = plan.active(host, now);
+                let any_contains = host_plan.windows.iter().any(|w| w.contains(now));
+                prop_assert_eq!(active.is_some(), any_contains);
+                if let Some(w) = active {
+                    prop_assert!(w.contains(now));
+                }
+            }
+            // Unknown hosts are never faulted.
+            prop_assert!(plan.active("not-a-host.test", now).is_none());
+        }
+
+        #[test]
+        fn window_count_sums_per_host_windows(
+            hosts in hosts_strategy(),
+            intensity in 0.0f64..1.0,
+            seed in 0u64..1_000,
+        ) {
+            let plan = FaultPlan::random(&hosts, intensity, Duration::from_secs(3_600), seed);
+            let summed: usize = plan.hosts.values().map(|h| h.windows.len()).sum();
+            prop_assert_eq!(plan.window_count(), summed);
+        }
+    }
+}
+
 mod cache_properties {
     use ira_simnet::cache::{CacheConfig, ResponseCache};
     use ira_simnet::clock::{Duration, Instant};
@@ -158,7 +347,7 @@ mod cache_properties {
                     Response::ok(format!("body {i}")),
                     Instant::from_micros(i as u64),
                 );
-                prop_assert!(cache.len() <= capacity.max(0));
+                prop_assert!(cache.len() <= capacity);
             }
         }
 

@@ -232,7 +232,7 @@ fn cable_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
             "is a fiber optic submarine cable system.",
             "is an undersea telecommunications cable.",
         ]);
-        let sentences = vec![
+        let sentences = [
             format!("{} {}", cable.name, intro),
             facts::cable_route(cable),
             facts::cable_length(cable),

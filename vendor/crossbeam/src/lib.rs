@@ -1,0 +1,73 @@
+//! Offline drop-in subset of `crossbeam`: scoped threads, implemented
+//! over `std::thread::scope` (stable since Rust 1.63). Only the
+//! `crossbeam::thread::scope` entry point used by the workspace is
+//! provided, with crossbeam's `Result`-returning signature and the
+//! spawn-closure-takes-the-scope convention (callers ignore it as `|_|`).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the `scope` closure and to every spawned
+    /// thread's closure (crossbeam convention; typically ignored).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (which
+        /// callers conventionally bind as `_`), matching crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle for joining one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which threads borrowing from the caller's
+    /// stack can be spawned; all are joined before `scope` returns.
+    ///
+    /// Unjoined panicking children are reported as `Err`, like
+    /// crossbeam. (Children joined explicitly surface their panic
+    /// through their own `join` result instead.)
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u32, 2, 3];
+        let sum: u32 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|v| scope.spawn(move |_| *v * 2))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+}

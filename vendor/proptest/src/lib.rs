@@ -1,0 +1,739 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Deterministic property testing: each test's RNG is seeded from an
+//! FNV hash of the test name plus the case index, so failures are
+//! reproducible run-to-run without a persistence file. No shrinking —
+//! the failing case's message is reported directly.
+//!
+//! Supported surface (everything this workspace's property tests use):
+//! - `proptest! { #[test] fn name(arg in strategy, ...) { ... } }`
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assume!`
+//! - `&str` regex-subset strategies: literals, `[...]` classes (ranges,
+//!   negation, `&&` intersection), `\PC`, `\.`-style escapes, groups,
+//!   and the `*`, `{n}`, `{n,m}` quantifiers
+//! - integer / float `Range` and `RangeInclusive` strategies
+//! - tuple strategies (arity 2–4), `.prop_map(...)`
+//! - `prop::collection::vec`, `prop::option::of`, `prop::sample::select`
+//!
+//! Case count defaults to 64; override with `PROPTEST_CASES`.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic per-test RNG (splitmix64 core).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, func: f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    strategy: S,
+    func: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.func)(self.strategy.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let draw = rng.below(span) as i128;
+                    (self.start as i128 + draw) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u64;
+                    let draw = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                    (start as i128 + draw as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    // Treat as half-open plus occasional exact endpoint.
+                    if rng.below(64) == 0 {
+                        return end;
+                    }
+                    start + (rng.next_f64() as $t) * (end - start)
+                }
+            }
+        )*
+    };
+}
+
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ------------------------ regex-subset strings -----------------------
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = regex_lite::parse(self);
+        let mut out = String::new();
+        regex_lite::render(&nodes, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+mod regex_lite {
+    //! Generator for the small regex subset used as string strategies.
+
+    use super::TestRng;
+
+    pub enum Node {
+        Literal(char),
+        /// Pool of allowed characters.
+        Class(Vec<char>),
+        Group(Vec<(Node, Quant)>),
+    }
+
+    #[derive(Clone, Copy)]
+    pub enum Quant {
+        One,
+        Star,
+        Between(usize, usize),
+    }
+
+    /// Characters `\PC` may produce: printable ASCII plus a small pool
+    /// of multi-byte code points to exercise UTF-8 handling.
+    fn pc_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..=0x7E).map(|b| b as char).collect();
+        pool.extend(['é', 'ß', 'λ', 'Ж', '中', '…', '—', '😀', '¡', 'ñ']);
+        pool
+    }
+
+    pub fn parse(pattern: &str) -> Vec<(Node, Quant)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let seq = parse_seq(&chars, &mut i, false);
+        assert!(i == chars.len(), "unsupported regex strategy: {pattern}");
+        seq
+    }
+
+    fn parse_seq(chars: &[char], i: &mut usize, in_group: bool) -> Vec<(Node, Quant)> {
+        let mut seq = Vec::new();
+        while *i < chars.len() {
+            let c = chars[*i];
+            if c == ')' && in_group {
+                break;
+            }
+            let node = match c {
+                '[' => Node::Class(parse_class(chars, i)),
+                '(' => {
+                    *i += 1;
+                    let inner = parse_seq(chars, i, true);
+                    assert!(
+                        chars.get(*i) == Some(&')'),
+                        "unterminated group in regex strategy"
+                    );
+                    *i += 1;
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    *i += 1;
+                    let esc = chars.get(*i).copied().expect("dangling escape");
+                    *i += 1;
+                    if esc == 'P' {
+                        // `\PC`: anything outside unicode category C.
+                        let cat = chars.get(*i).copied().expect("\\P needs a category");
+                        assert!(cat == 'C', "only \\PC is supported");
+                        *i += 1;
+                        Node::Class(pc_pool())
+                    } else {
+                        Node::Literal(esc)
+                    }
+                }
+                other => {
+                    *i += 1;
+                    Node::Literal(other)
+                }
+            };
+            // `[` and `(` advance i inside their parsers; literals above.
+            let quant = parse_quant(chars, i);
+            seq.push((node, quant));
+        }
+        seq
+    }
+
+    fn parse_quant(chars: &[char], i: &mut usize) -> Quant {
+        match chars.get(*i) {
+            Some('*') => {
+                *i += 1;
+                Quant::Star
+            }
+            Some('+') => {
+                *i += 1;
+                Quant::Between(1, 16)
+            }
+            Some('?') => {
+                *i += 1;
+                Quant::Between(0, 1)
+            }
+            Some('{') => {
+                *i += 1;
+                let mut lo = String::new();
+                while chars[*i].is_ascii_digit() {
+                    lo.push(chars[*i]);
+                    *i += 1;
+                }
+                let lo: usize = lo.parse().expect("bad quantifier");
+                let hi = if chars[*i] == ',' {
+                    *i += 1;
+                    let mut hi = String::new();
+                    while chars[*i].is_ascii_digit() {
+                        hi.push(chars[*i]);
+                        *i += 1;
+                    }
+                    hi.parse().expect("bad quantifier")
+                } else {
+                    lo
+                };
+                assert!(chars[*i] == '}', "unterminated quantifier");
+                *i += 1;
+                Quant::Between(lo, hi)
+            }
+            _ => Quant::One,
+        }
+    }
+
+    /// Parse `[...]` (cursor on `[`). Supports ranges, leading `^`
+    /// negation (complemented within printable ASCII), and `A&&[B]`
+    /// intersection.
+    fn parse_class(chars: &[char], i: &mut usize) -> Vec<char> {
+        assert!(chars[*i] == '[');
+        *i += 1;
+        let negated = chars.get(*i) == Some(&'^');
+        if negated {
+            *i += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        loop {
+            let c = *chars.get(*i).expect("unterminated char class");
+            if c == ']' {
+                *i += 1;
+                break;
+            }
+            if c == '&' && chars.get(*i + 1) == Some(&'&') {
+                *i += 2;
+                assert!(
+                    chars.get(*i) == Some(&'['),
+                    "`&&` must be followed by a bracketed class"
+                );
+                let rhs = parse_class(chars, i);
+                set.retain(|c| rhs.contains(c));
+                assert!(
+                    chars.get(*i) == Some(&']'),
+                    "class must end after `&&` intersection"
+                );
+                *i += 1;
+                break;
+            }
+            let lo = if c == '\\' {
+                *i += 1;
+                let esc = *chars.get(*i).expect("dangling escape in class");
+                esc
+            } else {
+                c
+            };
+            *i += 1;
+            if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&c| c != ']') {
+                *i += 1;
+                let hi = *chars.get(*i).expect("unterminated range");
+                *i += 1;
+                for code in (lo as u32)..=(hi as u32) {
+                    if let Some(c) = char::from_u32(code) {
+                        set.push(c);
+                    }
+                }
+            } else {
+                set.push(lo);
+            }
+        }
+        if negated {
+            (0x20u8..=0x7E)
+                .map(|b| b as char)
+                .filter(|c| !set.contains(c))
+                .collect()
+        } else {
+            assert!(!set.is_empty(), "empty char class");
+            set
+        }
+    }
+
+    pub fn render(seq: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+        for (node, quant) in seq {
+            let count = match quant {
+                Quant::One => 1,
+                Quant::Star => rng.below(17) as usize,
+                Quant::Between(lo, hi) => {
+                    *lo + rng.below((*hi - *lo + 1) as u64) as usize
+                }
+            };
+            for _ in 0..count {
+                match node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(pool) => {
+                        out.push(pool[rng.below(pool.len() as u64) as usize])
+                    }
+                    Node::Group(inner) => render(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collection / option / sample strategies
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; try another.
+    Reject,
+    /// `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => f.write_str("rejected by prop_assume!"),
+            TestCaseError::Fail(msg) => f.write_str(msg),
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::{fnv64, TestCaseError, TestRng};
+
+    fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Run `body` against `PROPTEST_CASES` accepted cases, deterministic
+    /// in `name`. Panics (failing the enclosing #[test]) on the first
+    /// failed case.
+    pub fn run<F>(name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let target = case_count();
+        let base = fnv64(name);
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut case = 0u64;
+        while accepted < target {
+            let mut rng = TestRng::new(base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            match body(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > target.saturating_mul(64) {
+                        panic!(
+                            "proptest `{name}`: too many cases rejected by prop_assume! \
+                             ({rejected} rejects for {accepted} accepted)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{name}` failed at case #{case}: {msg}");
+                }
+            }
+            case += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Strategy, TestCaseError, TestRng};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_with(pattern: &str, seed: u64) -> String {
+        let mut rng = TestRng::new(seed);
+        Strategy::generate(pattern, &mut rng)
+    }
+
+    #[test]
+    fn class_patterns_stay_in_alphabet() {
+        for seed in 0..50 {
+            let s = gen_with("[a-z]{3,10}", seed);
+            assert!((3..=10).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn host_pattern_shape() {
+        for seed in 0..50 {
+            let s = gen_with("[a-z][a-z0-9-]{0,20}(\\.[a-z]{2,8}){1,2}", seed);
+            assert!(s.contains('.'), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn intersection_class_excludes_comma() {
+        for seed in 0..100 {
+            let s = gen_with("[ -~&&[^,]]{0,20}", seed);
+            assert!(!s.contains(','), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pc_star_never_empty_classes() {
+        for seed in 0..20 {
+            let _ = gen_with("\\PC*", seed);
+            let s = gen_with("\\PC{0,1000}", seed);
+            assert!(s.chars().count() <= 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(gen_with("[a-z]{8}", 7), gen_with("[a-z]{8}", 7));
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = Strategy::generate(&(5u32..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let f = Strategy::generate(&(0.0f64..=1.0), &mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let (a, b) = Strategy::generate(&(0u8..4, "[xy]{2}"), &mut rng);
+            assert!(a < 4 && b.len() == 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, s in "[a-c]{1,3}") {
+            prop_assert!(x < 100);
+            prop_assume!(!s.is_empty());
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+}

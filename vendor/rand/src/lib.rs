@@ -1,0 +1,272 @@
+//! Offline drop-in subset of `rand`.
+//!
+//! Provides the `RngCore` / `Rng` / `SeedableRng` trio with the handful
+//! of generation methods the workspace uses (`gen`, `gen_range`,
+//! `gen_bool`, `fill_bytes`). Streams are deterministic per seed, which
+//! is the property every experiment in this repository relies on; they
+//! are NOT bit-compatible with upstream `rand` streams.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types producible from uniform random bits (the subset of upstream's
+/// `Standard` distribution the workspace needs).
+pub trait FromRng {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    /// Uniform in [0, 1), 53 bits of precision.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl FromRng for u16 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl FromRng for u8 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl FromRng for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl FromRng for i64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl FromRng for i32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl FromRng for i16 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i16
+    }
+}
+
+impl FromRng for i8 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+
+impl FromRng for isize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                    // Modulo bias is negligible for the 64-bit draw vs.
+                    // the spans used here, and determinism is what the
+                    // simulation actually needs.
+                    let draw = rng.next_u64() as $wide % span;
+                    self.start.wrapping_add(draw as $t)
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "gen_range: empty range");
+                    let span = (end as $wide).wrapping_sub(start as $wide).wrapping_add(1);
+                    if span == 0 {
+                        // Full domain.
+                        return FromRng::from_rng(rng);
+                    }
+                    let draw = rng.next_u64() as $wide % span;
+                    start.wrapping_add(draw as $t)
+                }
+            }
+        )*
+    };
+}
+
+int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let u: $t = FromRng::from_rng(rng);
+                    self.start + u * (self.end - self.start)
+                }
+            }
+        )*
+    };
+}
+
+float_range!(f32, f64);
+
+/// High-level generation methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        let u: f64 = FromRng::from_rng(self);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64, like upstream.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Placeholder module for API parity; the workspace uses
+    //! `rand_chacha::ChaCha8Rng` exclusively.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+}

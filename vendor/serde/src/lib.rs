@@ -1,0 +1,570 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! Instead of the upstream visitor machinery, serialization is modeled
+//! as conversion to and from a JSON-like [`Value`] tree:
+//!
+//! - [`Serialize`] renders a type into a [`Value`];
+//! - [`Deserialize`] reconstructs a type from a [`Value`];
+//! - `serde_json` (the companion vendored crate) renders `Value` to
+//!   text and parses text back into `Value`.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! vendored `serde_derive`) generate these conversions for structs and
+//! enums, honoring `#[serde(default)]`, `#[serde(default = "path")]`
+//! and `#[serde(skip)]`.
+//!
+//! JSON mapping notes:
+//! - maps and sets serialize as arrays of `[key, value]` pairs / plain
+//!   arrays, which uniformly supports non-string keys (e.g. tuples);
+//! - enums use the externally-tagged layout: `"Variant"` for unit
+//!   variants, `{"Variant": payload}` otherwise;
+//! - newtype structs are transparent.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------
+
+/// A JSON-like document tree. Integers keep their exact 64-bit value;
+/// non-negative integers canonicalize to `I64` when they fit so that
+/// `PartialEq` behaves intuitively across serialize/parse round trips.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Canonical integer constructor: prefers `I64` when the magnitude
+    /// fits, so equal integers compare equal regardless of source type.
+    pub fn int(v: i128) -> Value {
+        if v >= i64::MIN as i128 && v <= i64::MAX as i128 {
+            Value::I64(v as i64)
+        } else {
+            Value::U64(v as u64)
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::I64(v) => u64::try_from(*v).ok(),
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if !matches!(self, Value::Object(_)) {
+            *self = Value::Object(BTreeMap::new());
+        }
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------
+
+/// Serialization / deserialization error (shared with `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error { msg: msg.to_string() }
+    }
+
+    /// Standard "wrong shape" constructor used by generated code.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Error {
+        Error::custom(format!("expected {expected}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------
+// Traits
+// ---------------------------------------------------------------------
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// --------------------------- primitives ------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::type_mismatch("bool", value))
+    }
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn serialize_value(&self) -> Value {
+                    Value::int(*self as i128)
+                }
+            }
+            impl Deserialize for $t {
+                fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                    let wide: i128 = match value {
+                        Value::I64(v) => *v as i128,
+                        Value::U64(v) => *v as i128,
+                        _ => return Err(Error::type_mismatch("integer", value)),
+                    };
+                    <$t>::try_from(wide).map_err(|_| {
+                        Error::custom(format!(
+                            "integer {wide} out of range for {}",
+                            stringify!($t)
+                        ))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+ser_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn serialize_value(&self) -> Value {
+                    Value::F64(*self as f64)
+                }
+            }
+            impl Deserialize for $t {
+                fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                    value
+                        .as_f64()
+                        .map(|v| v as $t)
+                        .ok_or_else(|| Error::type_mismatch("number", value))
+                }
+            }
+        )*
+    };
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::type_mismatch("string", value))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::type_mismatch("single-char string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// --------------------------- containers ------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::type_mismatch("array", value))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize_value(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.serialize_value()),+])
+                }
+            }
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                    let arr = value
+                        .as_array()
+                        .ok_or_else(|| Error::type_mismatch("tuple array", value))?;
+                    let expected = [$($idx,)+].len();
+                    if arr.len() != expected {
+                        return Err(Error::custom(format!(
+                            "expected tuple of {expected}, found array of {}",
+                            arr.len()
+                        )));
+                    }
+                    Ok(($($name::deserialize_value(&arr[$idx])?,)+))
+                }
+            }
+        )*
+    };
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+fn serialize_pairs<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    pairs: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Array(
+        pairs
+            .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+            .collect(),
+    )
+}
+
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(
+    value: &Value,
+) -> Result<Vec<(K, V)>, Error> {
+    value
+        .as_array()
+        .ok_or_else(|| Error::type_mismatch("array of [key, value] pairs", value))?
+        .iter()
+        .map(|pair| {
+            let arr = pair
+                .as_array()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| Error::type_mismatch("[key, value] pair", pair))?;
+            Ok((K::deserialize_value(&arr[0])?, V::deserialize_value(&arr[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        serialize_pairs(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(deserialize_pairs::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        // Sort by serialized key text for deterministic output.
+        let mut pairs: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize_value(), v.serialize_value()))
+            .collect();
+        pairs.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(deserialize_pairs::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::type_mismatch("array", value))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize_value(&self) -> Value {
+        let mut items: Vec<Value> =
+            self.iter().map(Serialize::serialize_value).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::type_mismatch("array", value))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_canonicalization() {
+        assert_eq!(5u64.serialize_value(), Value::I64(5));
+        assert_eq!(u64::MAX.serialize_value(), Value::U64(u64::MAX));
+        assert_eq!(u64::deserialize_value(&Value::I64(9)), Ok(9));
+        assert!(u32::deserialize_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u16> = Some(1859);
+        let none: Option<u16> = None;
+        assert_eq!(Option::<u16>::deserialize_value(&some.serialize_value()), Ok(some));
+        assert_eq!(Option::<u16>::deserialize_value(&none.serialize_value()), Ok(none));
+    }
+
+    #[test]
+    fn map_with_tuple_keys_roundtrips() {
+        let mut map = BTreeMap::new();
+        map.insert((1u32, 2u32), 0.5f64);
+        map.insert((3, 4), 1.5);
+        let value = map.serialize_value();
+        let back: BTreeMap<(u32, u32), f64> = Deserialize::deserialize_value(&value).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn index_on_object() {
+        let mut obj = Value::Object(BTreeMap::new());
+        obj["items"] = Value::Array(vec![Value::I64(1)]);
+        obj["items"].as_array_mut().unwrap().push(Value::I64(2));
+        assert_eq!(obj["items"].as_array().unwrap().len(), 2);
+        assert!(obj["missing"].is_null());
+    }
+}

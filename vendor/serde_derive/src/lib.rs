@@ -1,0 +1,461 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde subset, implemented directly over `proc_macro` token trees.
+//!
+//! Supported shapes (everything this workspace derives): structs with
+//! named fields, tuple structs (newtypes are transparent), and enums
+//! with unit / tuple / named variants (externally tagged). Field
+//! attributes: `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(skip)]` (combinable, e.g. `#[serde(skip, default = "f")]`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Shape {
+    Unit,
+    Tuple,
+    Named,
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for
+    /// `default = "path"`.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: Option<String>,
+    attrs: SerdeAttrs,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+    fields: Vec<Field>,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, shape, fields } => struct_serialize(&name, shape, &fields),
+        Item::Enum { name, variants } => enum_serialize(&name, &variants),
+    };
+    generated.parse().expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, shape, fields } => struct_deserialize(&name, shape, &fields),
+        Item::Enum { name, variants } => enum_deserialize(&name, &variants),
+    };
+    generated.parse().expect("derive(Deserialize): generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while attr_at(&tokens, i).is_some() {
+        i += 2;
+    }
+    if is_ident(&tokens, i, "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = ident_at(&tokens, i, "expected `struct` or `enum`");
+    i += 1;
+    let name = ident_at(&tokens, i, "expected type name");
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic types are not supported by the vendored serde");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                shape: Shape::Named,
+                fields: parse_fields(g.stream(), true),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                shape: Shape::Tuple,
+                fields: parse_fields(g.stream(), false),
+            },
+            _ => Item::Struct { name, shape: Shape::Unit, fields: Vec::new() },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            _ => panic!("derive: expected enum body"),
+        },
+        other => panic!("derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// If tokens[i..] starts with `#[...]`, return `(name, inner tokens)`.
+fn attr_at(tokens: &[TokenTree], i: usize) -> Option<(String, Vec<TokenTree>)> {
+    match (tokens.get(i), tokens.get(i + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let name = inner.first().map(|t| t.to_string()).unwrap_or_default();
+            Some((name, inner))
+        }
+        _ => None,
+    }
+}
+
+fn is_ident(tokens: &[TokenTree], i: usize, text: &str) -> bool {
+    matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == text)
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize, msg: &str) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("derive: {msg}"),
+    }
+}
+
+/// Parse the arguments of a `#[serde(...)]` attribute.
+fn parse_serde_attr(inner: &[TokenTree], attrs: &mut SerdeAttrs) {
+    let args = match inner.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" => {
+                    attrs.skip = true;
+                    i += 1;
+                }
+                "default" => {
+                    if matches!(&toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                    {
+                        let lit = toks
+                            .get(i + 2)
+                            .map(|t| t.to_string())
+                            .expect("serde(default = ...): missing path");
+                        attrs.default = Some(Some(lit.trim_matches('"').to_string()));
+                        i += 3;
+                    } else {
+                        attrs.default = Some(None);
+                        i += 1;
+                    }
+                }
+                other => panic!("vendored serde_derive: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("vendored serde_derive: unexpected token {other} in #[serde(...)]"),
+        }
+    }
+}
+
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if !current.is_empty() {
+                        out.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_fields(stream: TokenStream, named: bool) -> Vec<Field> {
+    split_commas(stream.into_iter().collect())
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            let mut attrs = SerdeAttrs::default();
+            while let Some((name, inner)) = attr_at(&chunk, i) {
+                if name == "serde" {
+                    parse_serde_attr(&inner, &mut attrs);
+                }
+                i += 2;
+            }
+            if is_ident(&chunk, i, "pub") {
+                i += 1;
+                if matches!(&chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            let name = if named {
+                Some(ident_at(&chunk, i, "expected field name"))
+            } else {
+                None
+            };
+            Field { name, attrs }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while attr_at(&tokens, i).is_some() {
+            i += 2;
+        }
+        let vname = ident_at(&tokens, i, "expected variant name");
+        i += 1;
+        let (shape, fields) = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                (Shape::Tuple, parse_fields(g.stream(), false))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                (Shape::Named, parse_fields(g.stream(), true))
+            }
+            _ => (Shape::Unit, Vec::new()),
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen: structs
+// ---------------------------------------------------------------------
+
+fn struct_serialize(name: &str, shape: Shape, fields: &[Field]) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple => {
+            let live: Vec<usize> = (0..fields.len())
+                .filter(|&i| !fields[i].attrs.skip)
+                .collect();
+            if live.len() == 1 && fields.len() == 1 {
+                // Newtype structs are transparent.
+                "::serde::Serialize::serialize_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Named => {
+            let mut out = String::from(
+                "{\n        let mut __map = ::std::collections::BTreeMap::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.attrs.skip) {
+                let fname = f.name.as_ref().expect("named field");
+                out.push_str(&format!(
+                    "        __map.insert(\"{fname}\".to_string(), ::serde::Serialize::serialize_value(&self.{fname}));\n"
+                ));
+            }
+            out.push_str("        ::serde::Value::Object(__map)\n    }");
+            out
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+/// Expression producing a field's value during deserialization.
+/// `source` is an expression of type `Option<&Value>` for this field.
+fn field_expr(context: &str, f: &Field, source: &str) -> String {
+    let missing = match (&f.attrs.default, f.attrs.skip) {
+        (Some(Some(path)), _) => format!("{path}()"),
+        (Some(None), _) | (None, true) => "::std::default::Default::default()".to_string(),
+        (None, false) => {
+            let fname = f.name.as_deref().unwrap_or("?");
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\"missing field `{fname}` in {context}\"))"
+            )
+        }
+    };
+    if f.attrs.skip {
+        return missing;
+    }
+    format!(
+        "match {source} {{ ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize_value(__v)?, ::std::option::Option::None => {{ {missing} }} }}"
+    )
+}
+
+fn struct_deserialize(name: &str, shape: Shape, fields: &[Field]) -> String {
+    let body = match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Tuple if fields.len() == 1 => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__value)?))"
+        ),
+        Shape::Tuple => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| ::serde::Error::type_mismatch(\"array for {name}\", __value))?;\n        if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}\")); }}\n        ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Named => {
+            let mut out = format!(
+                "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::type_mismatch(\"object for {name}\", __value))?;\n        ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                let fname = f.name.as_ref().expect("named field");
+                let expr = field_expr(name, f, &format!("__obj.get(\"{fname}\")"));
+                out.push_str(&format!("            {fname}: {expr},\n"));
+            }
+            out.push_str("        })");
+            out
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn deserialize_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Codegen: enums (externally tagged)
+// ---------------------------------------------------------------------
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match v.shape {
+            Shape::Unit => {
+                arms.push_str(&format!(
+                    "            {name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                ));
+            }
+            Shape::Tuple => {
+                let bindings: Vec<String> =
+                    (0..v.fields.len()).map(|i| format!("__f{i}")).collect();
+                let payload = if bindings.len() == 1 {
+                    "::serde::Serialize::serialize_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = bindings
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "            {name}::{vname}({binds}) => {{\n                let mut __map = ::std::collections::BTreeMap::new();\n                __map.insert(\"{vname}\".to_string(), {payload});\n                ::serde::Value::Object(__map)\n            }}\n",
+                    binds = bindings.join(", ")
+                ));
+            }
+            Shape::Named => {
+                let names: Vec<&String> =
+                    v.fields.iter().map(|f| f.name.as_ref().expect("named")).collect();
+                let mut inner = String::from(
+                    "let mut __fields = ::std::collections::BTreeMap::new();\n",
+                );
+                for f in v.fields.iter().filter(|f| !f.attrs.skip) {
+                    let fname = f.name.as_ref().expect("named");
+                    inner.push_str(&format!(
+                        "                __fields.insert(\"{fname}\".to_string(), ::serde::Serialize::serialize_value({fname}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "            {name}::{vname} {{ {binds} }} => {{\n                {inner}                let mut __map = ::std::collections::BTreeMap::new();\n                __map.insert(\"{vname}\".to_string(), ::serde::Value::Object(__fields));\n                ::serde::Value::Object(__map)\n            }}\n",
+                    binds = names
+                        .iter()
+                        .map(|n| n.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize_value(&self) -> ::serde::Value {{\n        match self {{\n{arms}        }}\n    }}\n}}\n"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!(
+                    "                \"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            Shape::Tuple => {
+                let body = if v.fields.len() == 1 {
+                    format!(
+                        "::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize_value(__payload)?))"
+                    )
+                } else {
+                    let n = v.fields.len();
+                    let items: Vec<String> = (0..n)
+                        .map(|i| {
+                            format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?")
+                        })
+                        .collect();
+                    format!(
+                        "{{ let __arr = __payload.as_array().ok_or_else(|| ::serde::Error::type_mismatch(\"array for {name}::{vname}\", __payload))?;\n                    if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\")); }}\n                    ::std::result::Result::Ok({name}::{vname}({items})) }}",
+                        items = items.join(", ")
+                    )
+                };
+                payload_arms.push_str(&format!("                \"{vname}\" => {body},\n"));
+            }
+            Shape::Named => {
+                let mut fields_code = String::new();
+                for f in &v.fields {
+                    let fname = f.name.as_ref().expect("named");
+                    let expr = field_expr(
+                        &format!("{name}::{vname}"),
+                        f,
+                        &format!("__fields.get(\"{fname}\")"),
+                    );
+                    fields_code.push_str(&format!("                        {fname}: {expr},\n"));
+                }
+                payload_arms.push_str(&format!(
+                    "                \"{vname}\" => {{\n                    let __fields = __payload.as_object().ok_or_else(|| ::serde::Error::type_mismatch(\"object for {name}::{vname}\", __payload))?;\n                    ::std::result::Result::Ok({name}::{vname} {{\n{fields_code}                    }})\n                }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn deserialize_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        match __value {{\n            ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}                __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n            }},\n            ::serde::Value::Object(__m) if __m.len() == 1 => {{\n                let (__tag, __payload) = __m.iter().next().expect(\"len checked\");\n                match __tag.as_str() {{\n{payload_arms}                    __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n                }}\n            }}\n            __other => ::std::result::Result::Err(::serde::Error::type_mismatch(\"enum {name}\", __other)),\n        }}\n    }}\n}}\n"
+    )
+}

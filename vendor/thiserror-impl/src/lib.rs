@@ -1,0 +1,425 @@
+//! `#[derive(Error)]` implemented directly over `proc_macro` token
+//! trees (no syn/quote). Supports the shapes this workspace uses:
+//! enums with unit / tuple / named variants, structs with named fields,
+//! per-variant or struct-level `#[error("...")]` format strings with
+//! positional (`{0}`, `{0:?}`) and named (`{field}`) interpolation,
+//! `#[from]` (implies `#[source]`) and explicit `#[source]` fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Shape {
+    Unit,
+    Tuple,
+    Named,
+}
+
+struct Field {
+    name: Option<String>,
+    ty: String,
+    is_from: bool,
+    is_source: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+    fields: Vec<Field>,
+    fmt: Option<String>,
+}
+
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut outer_fmt: Option<String> = None;
+    while let Some((name, lit)) = attr_at(&tokens, i) {
+        if name == "error" {
+            outer_fmt = lit;
+        }
+        i += 2;
+    }
+
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = ident_at(&tokens, i, "expected `enum` or `struct`");
+    i += 1;
+    let type_name = ident_at(&tokens, i, "expected type name");
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("derive(Error): generics and tuple structs are not supported by the vendored thiserror"),
+    };
+
+    let generated = match kind.as_str() {
+        "enum" => derive_for_enum(&type_name, parse_variants(body)),
+        "struct" => derive_for_struct(
+            &type_name,
+            parse_fields_named(body),
+            outer_fmt.expect("derive(Error): struct requires a #[error(\"...\")] attribute"),
+        ),
+        other => panic!("derive(Error): unsupported item kind `{other}`"),
+    };
+
+    generated
+        .parse()
+        .expect("derive(Error): generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing helpers
+// ---------------------------------------------------------------------
+
+/// If tokens[i..] starts with an attribute `#[...]`, return its name and
+/// (for `name("literal")` shapes) the raw literal text including quotes.
+fn attr_at(tokens: &[TokenTree], i: usize) -> Option<(String, Option<String>)> {
+    match (tokens.get(i), tokens.get(i + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let name = inner
+                .first()
+                .map(|t| t.to_string())
+                .unwrap_or_default();
+            let lit = inner.get(1).and_then(|t| match t {
+                TokenTree::Group(args) => {
+                    args.stream().into_iter().next().map(|l| l.to_string())
+                }
+                _ => None,
+            });
+            Some((name, lit))
+        }
+        _ => None,
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize, msg: &str) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("derive(Error): {msg}"),
+    }
+}
+
+/// Split a token list on top-level commas.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if !current.is_empty() {
+                        out.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_field(chunk: Vec<TokenTree>, named: bool) -> Field {
+    let mut i = 0;
+    let mut is_from = false;
+    let mut is_source = false;
+    while let Some((name, _)) = attr_at(&chunk, i) {
+        match name.as_str() {
+            "from" => is_from = true,
+            "source" => is_source = true,
+            _ => {}
+        }
+        i += 2;
+    }
+    if matches!(&chunk.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let name = if named {
+        let field_name = ident_at(&chunk, i, "expected field name");
+        i += 1;
+        // Skip the `:` between name and type.
+        i += 1;
+        Some(field_name)
+    } else {
+        None
+    };
+    let ty = chunk[i..]
+        .iter()
+        .cloned()
+        .collect::<TokenStream>()
+        .to_string();
+    Field { name, ty, is_from, is_source }
+}
+
+fn parse_fields_named(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream.into_iter().collect())
+        .into_iter()
+        .map(|chunk| parse_field(chunk, true))
+        .collect()
+}
+
+fn parse_fields_tuple(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream.into_iter().collect())
+        .into_iter()
+        .map(|chunk| parse_field(chunk, false))
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut fmt = None;
+        while let Some((name, lit)) = attr_at(&tokens, i) {
+            if name == "error" {
+                fmt = lit;
+            }
+            i += 2;
+        }
+        let vname = ident_at(&tokens, i, "expected variant name");
+        i += 1;
+        let (shape, fields) = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                (Shape::Tuple, parse_fields_tuple(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                (Shape::Named, parse_fields_named(g.stream()))
+            }
+            _ => (Shape::Unit, Vec::new()),
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape, fields, fmt });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Format-string handling
+// ---------------------------------------------------------------------
+
+/// Rewrite positional interpolations (`{0}` -> `{_0}`) in a raw string
+/// literal (quotes included) and collect the binding names it uses.
+fn rewrite_fmt(lit: &str) -> (String, Vec<String>) {
+    let chars: Vec<char> = lit.chars().collect();
+    let mut out = String::with_capacity(lit.len() + 4);
+    let mut used = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '}' && chars[j] != ':' {
+                j += 1;
+            }
+            let name: String = chars[start..j].iter().collect();
+            let binding = if !name.is_empty() && name.chars().all(|c| c.is_ascii_digit()) {
+                format!("_{name}")
+            } else {
+                name.clone()
+            };
+            if !binding.is_empty() && !used.contains(&binding) {
+                used.push(binding.clone());
+            }
+            out.push('{');
+            out.push_str(&binding);
+            if let Some(&c) = chars.get(j) {
+                // Push the terminator (`}` or `:`); the rest of the spec
+                // after `:` is copied verbatim by the outer loop.
+                out.push(c);
+            }
+            i = j + 1;
+            continue;
+        }
+        if c == '}' && chars.get(i + 1) == Some(&'}') {
+            out.push_str("}}");
+            i += 2;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    (out, used)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// Pattern that binds exactly `bound` for a variant, with `_`/`..` for
+/// the rest. `bound` entries are `_N` for tuple positions.
+fn variant_pattern(type_name: &str, v: &Variant, bound: &[String]) -> String {
+    match v.shape {
+        Shape::Unit => format!("{type_name}::{}", v.name),
+        Shape::Tuple => {
+            if bound.is_empty() {
+                if v.fields.is_empty() {
+                    format!("{type_name}::{}()", v.name)
+                } else {
+                    format!("{type_name}::{}(..)", v.name)
+                }
+            } else {
+                let elems: Vec<String> = (0..v.fields.len())
+                    .map(|idx| {
+                        let name = format!("_{idx}");
+                        if bound.contains(&name) { name } else { "_".to_string() }
+                    })
+                    .collect();
+                format!("{type_name}::{}({})", v.name, elems.join(", "))
+            }
+        }
+        Shape::Named => {
+            if bound.is_empty() {
+                format!("{type_name}::{} {{ .. }}", v.name)
+            } else {
+                format!("{type_name}::{} {{ {}, .. }}", v.name, bound.join(", "))
+            }
+        }
+    }
+}
+
+fn source_field(v: &Variant) -> Option<(usize, &Field)> {
+    v.fields
+        .iter()
+        .enumerate()
+        .find(|(_, f)| f.is_from || f.is_source)
+}
+
+fn derive_for_enum(type_name: &str, variants: Vec<Variant>) -> String {
+    let mut display_arms = String::new();
+    let mut source_arms = String::new();
+    let mut from_impls = String::new();
+    let mut any_source = false;
+
+    for v in &variants {
+        let fmt = v.fmt.as_deref().unwrap_or_else(|| {
+            panic!(
+                "derive(Error): variant `{}::{}` is missing #[error(\"...\")]",
+                type_name, v.name
+            )
+        });
+        let (rewritten, used) = rewrite_fmt(fmt);
+        let pattern = variant_pattern(type_name, v, &used);
+        display_arms.push_str(&format!(
+            "            {pattern} => ::std::write!(__f, {rewritten}),\n"
+        ));
+
+        if let Some((idx, field)) = source_field(v) {
+            any_source = true;
+            let binding = field.name.clone().unwrap_or_else(|| format!("_{idx}"));
+            let pattern = variant_pattern(type_name, v, std::slice::from_ref(&binding));
+            source_arms.push_str(&format!(
+                "            {pattern} => ::std::option::Option::Some(::thiserror::AsDynError::as_dyn_error({binding})),\n"
+            ));
+
+            if field.is_from {
+                assert!(
+                    v.fields.len() == 1,
+                    "derive(Error): #[from] requires a single-field variant ({}::{})",
+                    type_name,
+                    v.name
+                );
+                let constructor = match (&field.name, v.shape) {
+                    (Some(name), Shape::Named) => {
+                        format!("{type_name}::{} {{ {name}: source }}", v.name)
+                    }
+                    (_, _) => format!("{type_name}::{}(source)", v.name),
+                };
+                from_impls.push_str(&format!(
+                    "impl ::std::convert::From<{ty}> for {type_name} {{\n    fn from(source: {ty}) -> Self {{\n        {constructor}\n    }}\n}}\n",
+                    ty = field.ty
+                ));
+            }
+        } else {
+            let pattern = variant_pattern(type_name, v, &[]);
+            source_arms.push_str(&format!(
+                "            {pattern} => ::std::option::Option::None,\n"
+            ));
+        }
+    }
+
+    let source_fn = if any_source {
+        format!(
+            "    fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{\n        match self {{\n{source_arms}        }}\n    }}\n"
+        )
+    } else {
+        String::new()
+    };
+
+    format!(
+        "impl ::std::fmt::Display for {type_name} {{\n    fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n        match self {{\n{display_arms}        }}\n    }}\n}}\nimpl ::std::error::Error for {type_name} {{\n{source_fn}}}\n{from_impls}"
+    )
+}
+
+fn derive_for_struct(type_name: &str, fields: Vec<Field>, fmt: String) -> String {
+    let (rewritten, used) = rewrite_fmt(&fmt);
+    let bindings = if used.is_empty() {
+        String::new()
+    } else {
+        format!("        let {type_name} {{ {}, .. }} = self;\n", used.join(", "))
+    };
+    let source_fn = fields
+        .iter()
+        .find(|f| f.is_from || f.is_source)
+        .map(|f| {
+            let name = f
+                .name
+                .clone()
+                .expect("derive(Error): struct #[source] field must be named");
+            format!(
+                "    fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{\n        ::std::option::Option::Some(::thiserror::AsDynError::as_dyn_error(&self.{name}))\n    }}\n"
+            )
+        })
+        .unwrap_or_default();
+
+    let from_impl = fields
+        .iter()
+        .filter(|f| f.is_from)
+        .map(|f| {
+            assert!(
+                fields.len() == 1,
+                "derive(Error): #[from] requires a single-field struct ({type_name})"
+            );
+            let name = f.name.clone().expect("named field");
+            format!(
+                "impl ::std::convert::From<{ty}> for {type_name} {{\n    fn from(source: {ty}) -> Self {{\n        {type_name} {{ {name}: source }}\n    }}\n}}\n",
+                ty = f.ty
+            )
+        })
+        .collect::<String>();
+
+    format!(
+        "impl ::std::fmt::Display for {type_name} {{\n    fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n{bindings}        ::std::write!(__f, {rewritten})\n    }}\n}}\nimpl ::std::error::Error for {type_name} {{\n{source_fn}}}\n{from_impl}"
+    )
+}

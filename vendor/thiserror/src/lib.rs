@@ -1,0 +1,21 @@
+//! Offline drop-in subset of `thiserror`.
+//!
+//! `#[derive(Error)]` with `#[error("...")]` Display format strings
+//! (positional `{0}` / `{0:?}` and named `{field}` interpolation),
+//! `#[from]` conversions and `#[source]` chaining. Implemented by the
+//! companion `thiserror-impl` proc macro with no external dependencies.
+
+pub use thiserror_impl::Error;
+
+/// Object-safety shim used by generated `source()` implementations so a
+/// field of type `E`, `Box<E>`, etc. coerces uniformly to
+/// `&dyn Error`.
+pub trait AsDynError {
+    fn as_dyn_error(&self) -> &(dyn std::error::Error + 'static);
+}
+
+impl<T: std::error::Error + 'static> AsDynError for T {
+    fn as_dyn_error(&self) -> &(dyn std::error::Error + 'static) {
+        self
+    }
+}
