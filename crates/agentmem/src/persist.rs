@@ -38,7 +38,10 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
 }
 
 fn sibling(path: &Path, suffix: &str) -> PathBuf {
-    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
     name.push(suffix);
     path.with_file_name(name)
 }
@@ -104,8 +107,12 @@ fn read_verified(path: &Path) -> io::Result<String> {
     };
     let expected = expected.clone();
     let body = obj.remove("body").expect("body key checked above");
-    let canonical = serde_json::to_string(&body)
-        .map_err(|e| invalid(format!("{}: body does not re-serialize: {e}", path.display())))?;
+    let canonical = serde_json::to_string(&body).map_err(|e| {
+        invalid(format!(
+            "{}: body does not re-serialize: {e}",
+            path.display()
+        ))
+    })?;
     let actual = format!("{:016x}", fnv64(canonical.as_bytes()));
     if actual != expected {
         return Err(invalid(format!(
@@ -178,7 +185,10 @@ mod tests {
         save_atomic(&path, r#"{"version": 2}"#).unwrap();
         assert!(load_with_backup(&path).unwrap().contains('2'));
         let bak = read_verified(&backup_path(&path)).unwrap();
-        assert!(bak.contains('1'), "previous generation must survive as .bak");
+        assert!(
+            bak.contains('1'),
+            "previous generation must survive as .bak"
+        );
     }
 
     #[test]
@@ -190,7 +200,10 @@ mod tests {
         let raw = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
         let recovered = load_with_backup(&path).unwrap();
-        assert!(recovered.contains('1'), "must recover generation 1 from .bak");
+        assert!(
+            recovered.contains('1'),
+            "must recover generation 1 from .bak"
+        );
     }
 
     #[test]
@@ -202,7 +215,10 @@ mod tests {
         let raw = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, raw.replace("bbbb", "cccc")).unwrap();
         let recovered = load_with_backup(&path).unwrap();
-        assert!(recovered.contains("aaaa"), "checksum mismatch must trigger fallback");
+        assert!(
+            recovered.contains("aaaa"),
+            "checksum mismatch must trigger fallback"
+        );
     }
 
     #[test]

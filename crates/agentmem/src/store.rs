@@ -109,7 +109,10 @@ struct Inner {
 impl KnowledgeStore {
     pub fn new(config: StoreConfig) -> Self {
         KnowledgeStore {
-            inner: RwLock::new(Inner { entries: Vec::new(), next_id: 0 }),
+            inner: RwLock::new(Inner {
+                entries: Vec::new(),
+                next_id: 0,
+            }),
             config,
         }
     }
@@ -205,7 +208,11 @@ impl KnowledgeStore {
 
         let diversity = self.config.weights.diversity;
         if diversity <= 0.0 {
-            return candidates.into_iter().take(k).map(|(_, e)| e.clone()).collect();
+            return candidates
+                .into_iter()
+                .take(k)
+                .map(|(_, e)| e.clone())
+                .collect();
         }
 
         let mut selected: Vec<KnowledgeEntry> = Vec::with_capacity(k.min(candidates.len()));
@@ -253,7 +260,11 @@ impl KnowledgeStore {
 
     /// Whether any entry was memorised from this exact URL.
     pub fn has_url(&self, url: &str) -> bool {
-        self.inner.read().entries.iter().any(|e| e.source_url == url)
+        self.inner
+            .read()
+            .entries
+            .iter()
+            .any(|e| e.source_url == url)
     }
 
     /// Every entry, in insertion order (for audits and persistence).
@@ -304,7 +315,10 @@ impl KnowledgeStore {
             }
         }
         Ok(KnowledgeStore {
-            inner: RwLock::new(Inner { entries: file.entries, next_id: file.next_id }),
+            inner: RwLock::new(Inner {
+                entries: file.entries,
+                next_id: file.next_id,
+            }),
             config: file.config,
         })
     }
@@ -347,9 +361,24 @@ mod tests {
     #[test]
     fn memorize_and_retrieve_by_relevance() {
         let s = store();
-        mem(&s, "cables", "The EllaLink submarine cable connects Brazil to Portugal.", 1);
-        mem(&s, "cooking", "Salt the pasta water until it tastes like the sea.", 2);
-        mem(&s, "storms", "Geomagnetically induced currents grow stronger at high latitude.", 3);
+        mem(
+            &s,
+            "cables",
+            "The EllaLink submarine cable connects Brazil to Portugal.",
+            1,
+        );
+        mem(
+            &s,
+            "cooking",
+            "Salt the pasta water until it tastes like the sea.",
+            2,
+        );
+        mem(
+            &s,
+            "storms",
+            "Geomagnetically induced currents grow stronger at high latitude.",
+            3,
+        );
         let hits = s.retrieve("submarine cable Brazil", 1, 10);
         assert_eq!(hits.len(), 1);
         assert!(hits[0].content.contains("EllaLink"));
@@ -358,16 +387,40 @@ mod tests {
     #[test]
     fn near_duplicates_are_dropped() {
         let s = store();
-        assert!(mem(&s, "a", "The EllaLink submarine cable connects Brazil to Portugal.", 1).is_some());
-        assert!(mem(&s, "b", "The EllaLink submarine cable connects Brazil to Portugal.", 2).is_none());
+        assert!(mem(
+            &s,
+            "a",
+            "The EllaLink submarine cable connects Brazil to Portugal.",
+            1
+        )
+        .is_some());
+        assert!(mem(
+            &s,
+            "b",
+            "The EllaLink submarine cable connects Brazil to Portugal.",
+            2
+        )
+        .is_none());
         assert_eq!(s.len(), 1);
     }
 
     #[test]
     fn distinct_content_is_kept() {
         let s = store();
-        assert!(mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1).is_some());
-        assert!(mem(&s, "b", "The Grace Hopper cable connects New York to Bude.", 2).is_some());
+        assert!(mem(
+            &s,
+            "a",
+            "The EllaLink cable connects Brazil to Portugal.",
+            1
+        )
+        .is_some());
+        assert!(mem(
+            &s,
+            "b",
+            "The Grace Hopper cable connects New York to Bude.",
+            2
+        )
+        .is_some());
         assert_eq!(s.len(), 2);
     }
 
@@ -386,7 +439,14 @@ mod tests {
         let s = KnowledgeStore::new(config);
         // Two entries with disjoint-but-equal relevance to the query.
         s.memorize("t", "alpha fact about cables", "u1", "news", 0, 0.5);
-        s.memorize("t", "alpha fact about cables too", "u2", "news", 10_000_000, 0.5);
+        s.memorize(
+            "t",
+            "alpha fact about cables too",
+            "u2",
+            "news",
+            10_000_000,
+            0.5,
+        );
         let hits = s.retrieve("alpha fact cables", 2, 10_000_000);
         assert_eq!(hits[0].source_url, "u2", "newer entry should rank first");
     }
@@ -412,7 +472,10 @@ mod tests {
 
     #[test]
     fn capacity_eviction_keeps_newest() {
-        let config = StoreConfig { capacity: 5, ..StoreConfig::default() };
+        let config = StoreConfig {
+            capacity: 5,
+            ..StoreConfig::default()
+        };
         let s = KnowledgeStore::new(config);
         for i in 0..10u64 {
             s.memorize(
@@ -436,7 +499,12 @@ mod tests {
     fn has_url_tracks_sources() {
         let s = store();
         assert!(!s.has_url("sim://x.test/p"));
-        mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1);
+        mem(
+            &s,
+            "a",
+            "The EllaLink cable connects Brazil to Portugal.",
+            1,
+        );
         assert!(s.has_url("sim://x.test/p"));
         assert!(!s.has_url("sim://x.test/other"));
     }
@@ -444,7 +512,12 @@ mod tests {
     #[test]
     fn json_round_trip_preserves_entries() {
         let s = store();
-        mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1);
+        mem(
+            &s,
+            "a",
+            "The EllaLink cable connects Brazil to Portugal.",
+            1,
+        );
         mem(&s, "b", "Geomagnetic storms threaten power grids.", 2);
         let json = s.to_json();
         let back = KnowledgeStore::from_json(&json).unwrap();
@@ -458,7 +531,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("knowledge.json");
         let s = store();
-        mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1);
+        mem(
+            &s,
+            "a",
+            "The EllaLink cable connects Brazil to Portugal.",
+            1,
+        );
         s.save(&path).unwrap();
         let back = KnowledgeStore::load(&path).unwrap();
         assert_eq!(back.len(), 1);
@@ -474,7 +552,12 @@ mod tests {
         std::fs::remove_file(crate::persist::backup_path(&path)).ok();
 
         let s = store();
-        mem(&s, "a", "The EllaLink cable connects Brazil to Portugal.", 1);
+        mem(
+            &s,
+            "a",
+            "The EllaLink cable connects Brazil to Portugal.",
+            1,
+        );
         s.save(&path).unwrap();
         // Second save rotates the first generation to .bak.
         mem(&s, "b", "Geomagnetic storms threaten power grids.", 2);
@@ -485,7 +568,11 @@ mod tests {
         std::fs::write(&path, &raw[..raw.len() / 3]).unwrap();
 
         let back = KnowledgeStore::load(&path).unwrap();
-        assert_eq!(back.len(), 1, "must recover the previous generation from .bak");
+        assert_eq!(
+            back.len(),
+            1,
+            "must recover the previous generation from .bak"
+        );
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(crate::persist::backup_path(&path)).ok();
     }
@@ -501,11 +588,24 @@ mod tests {
     #[test]
     fn retrieve_texts_orders_most_relevant_last() {
         let s = store();
-        mem(&s, "a", "The EllaLink submarine cable connects Brazil to Portugal.", 1);
-        mem(&s, "b", "Completely unrelated gardening trivia about roses.", 2);
+        mem(
+            &s,
+            "a",
+            "The EllaLink submarine cable connects Brazil to Portugal.",
+            1,
+        );
+        mem(
+            &s,
+            "b",
+            "Completely unrelated gardening trivia about roses.",
+            2,
+        );
         let texts = s.retrieve_texts("submarine cable Brazil", 2, 10);
         assert_eq!(texts.len(), 2);
-        assert!(texts[1].contains("EllaLink"), "most relevant should be last");
+        assert!(
+            texts[1].contains("EllaLink"),
+            "most relevant should be last"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The executor: drives goals and single queries through the command
-//! loop against the simulated web, memorising what it reads.
+//! loop against the web services, memorising what it reads.
 //!
 //! Flow for a goal (mirroring the paper's §3.2 snippets):
 //!
@@ -11,6 +11,13 @@
 //!    into the knowledge store with importance decaying down the
 //!    ranking.
 //!
+//! The loop speaks only the `ira-services` traits: any
+//! [`WebServices`] (search + fetch + clock), any [`LanguageModel`],
+//! any [`Memory`]. The canonical bindings are the simulation substrate
+//! (`ira_simnet::Client` over the `ira-webcorpus` sites,
+//! `ira_simllm::Llm`, `ira_agentmem::KnowledgeStore`), but nothing
+//! here depends on those concrete types.
+//!
 //! Every command respects the [`Budget`] and is recorded in the
 //! [`EventLog`].
 
@@ -18,11 +25,7 @@ use crate::budget::Budget;
 use crate::command::{Command, CommandOutcome};
 use crate::cycle::AgentCycle;
 use crate::events::{EventKind, EventLog};
-use ira_agentmem::KnowledgeStore;
-use ira_simllm::plangen::StepAction;
-use ira_simllm::Llm;
-use ira_simnet::{Client, NetError, Url};
-use ira_webcorpus::sites::{SearchResultPage, SEARCH_HOST};
+use ira_services::{LanguageModel, Memory, SearchHit, ServiceError, StepAction, WebServices};
 use serde::{Deserialize, Serialize};
 
 /// Loop configuration.
@@ -61,19 +64,20 @@ pub struct GoalReport {
     pub memorized: u32,
     pub duplicates: u32,
     pub errors: u32,
-    /// Ranked sources skipped (or abandoned) because their host's
-    /// circuit breaker was open; the agent rerouted to later results.
+    /// Ranked sources skipped (or abandoned) because their host was
+    /// unavailable (circuit breaker open); the agent rerouted to later
+    /// results.
     #[serde(default)]
     pub source_unavailable: u32,
     /// Virtual time consumed, microseconds.
     pub elapsed_us: u64,
 }
 
-/// The autonomous agent loop.
+/// The autonomous agent loop, generic over its service backends.
 pub struct AutoGpt<'a> {
-    client: &'a Client,
-    llm: &'a Llm,
-    memory: &'a KnowledgeStore,
+    web: &'a dyn WebServices,
+    llm: &'a dyn LanguageModel,
+    memory: &'a dyn Memory,
     config: AutoGptConfig,
     budget: Budget,
     log: EventLog,
@@ -82,14 +86,14 @@ pub struct AutoGpt<'a> {
 
 impl<'a> AutoGpt<'a> {
     pub fn new(
-        client: &'a Client,
-        llm: &'a Llm,
-        memory: &'a KnowledgeStore,
+        web: &'a dyn WebServices,
+        llm: &'a dyn LanguageModel,
+        memory: &'a dyn Memory,
         config: AutoGptConfig,
         budget: Budget,
     ) -> Self {
         AutoGpt {
-            client,
+            web,
             llm,
             memory,
             config,
@@ -113,14 +117,17 @@ impl<'a> AutoGpt<'a> {
     }
 
     fn now_us(&self) -> u64 {
-        self.client.network().clock().now().as_micros()
+        self.web.now_us()
     }
 
     /// Pursue a goal end to end. Budget exhaustion ends the run early
     /// but is not an error: the report says how far it got.
     pub fn run_goal(&mut self, goal: &str) -> GoalReport {
         let started = self.now_us();
-        let mut report = GoalReport { goal: goal.to_string(), ..GoalReport::default() };
+        let mut report = GoalReport {
+            goal: goal.to_string(),
+            ..GoalReport::default()
+        };
 
         let plan = self.llm.plan_goal(goal);
         let plan_lines: Vec<String> = plan.steps.iter().map(|s| s.description.clone()).collect();
@@ -133,19 +140,31 @@ impl<'a> AutoGpt<'a> {
                 break;
             }
             report.cycles += 1;
-            self.log.record(self.now_us(), EventKind::CycleStart, step.description.clone());
+            self.log.record(
+                self.now_us(),
+                EventKind::CycleStart,
+                step.description.clone(),
+            );
             self.cycles.push(
-                AgentCycle::new(plan.thoughts.clone(), Command::Google { query: query.clone() })
-                    .with_plan(plan_lines.clone())
-                    .with_reasoning(format!("Goal: {goal}")),
+                AgentCycle::new(
+                    plan.thoughts.clone(),
+                    Command::Google {
+                        query: query.clone(),
+                    },
+                )
+                .with_plan(plan_lines.clone())
+                .with_reasoning(format!("Goal: {goal}")),
             );
             self.search_and_absorb(goal, query, &mut report);
         }
 
-        self.log.record(self.now_us(), EventKind::GoalComplete, goal.to_string());
+        self.log
+            .record(self.now_us(), EventKind::GoalComplete, goal.to_string());
         self.cycles.push(AgentCycle::new(
             format!("I have gathered the available information for: {goal}"),
-            Command::TaskComplete { reason: "plan executed".into() },
+            Command::TaskComplete {
+                reason: "plan executed".into(),
+            },
         ));
         report.elapsed_us = self.now_us().saturating_sub(started);
         report
@@ -155,12 +174,17 @@ impl<'a> AutoGpt<'a> {
     /// search, absorb the results).
     pub fn pursue_query(&mut self, topic: &str, query: &str) -> GoalReport {
         let started = self.now_us();
-        let mut report = GoalReport { goal: topic.to_string(), ..GoalReport::default() };
+        let mut report = GoalReport {
+            goal: topic.to_string(),
+            ..GoalReport::default()
+        };
         if self.budget.take_cycle().is_ok() {
             report.cycles += 1;
             self.cycles.push(AgentCycle::new(
                 format!("To better answer questions about {topic}, I will search for: {query}"),
-                Command::Google { query: query.to_string() },
+                Command::Google {
+                    query: query.to_string(),
+                },
             ));
             self.search_and_absorb(topic, query, &mut report);
         }
@@ -196,10 +220,10 @@ impl<'a> AutoGpt<'a> {
             if self.memory.has_url(&hit.url) {
                 continue;
             }
-            // Degrade around dead hosts: if the circuit breaker is open
-            // for this result's host, reroute to the next-ranked result
-            // without spending any fetch budget on it.
-            if self.source_unavailable(&hit.url) {
+            // Degrade around dead hosts: if this result's source is
+            // unavailable (its breaker is open), reroute to the
+            // next-ranked result without spending any fetch budget.
+            if !self.web.source_available(&hit.url) {
                 report.source_unavailable += 1;
                 self.log
                     .record(self.now_us(), EventKind::SourceUnavailable, hit.url.clone());
@@ -208,19 +232,23 @@ impl<'a> AutoGpt<'a> {
             if self.budget.take_fetch().is_err() {
                 return;
             }
-            match self.browse(&hit.url) {
+            match self.web.fetch(&hit.url) {
                 Ok(page) => {
                     fetched += 1;
                     report.fetches += 1;
-                    self.log.record(self.now_us(), EventKind::Fetch, hit.url.clone());
+                    self.log
+                        .record(self.now_us(), EventKind::Fetch, hit.url.clone());
                     let importance = 1.0 / (1.0 + rank as f64);
                     self.absorb_page(topic, &hit.url, &page, importance, report);
                     // Crawler extension: follow related links one level.
-                    for link in related_links(&page).into_iter().take(self.config.crawl_links) {
+                    for link in related_links(&page)
+                        .into_iter()
+                        .take(self.config.crawl_links)
+                    {
                         if self.memory.has_url(&link) {
                             continue;
                         }
-                        if self.source_unavailable(&link) {
+                        if !self.web.source_available(&link) {
                             report.source_unavailable += 1;
                             self.log.record(
                                 self.now_us(),
@@ -232,10 +260,11 @@ impl<'a> AutoGpt<'a> {
                         if self.budget.take_fetch().is_err() {
                             return;
                         }
-                        match self.browse(&link) {
+                        match self.web.fetch(&link) {
                             Ok(linked_page) => {
                                 report.fetches += 1;
-                                self.log.record(self.now_us(), EventKind::Fetch, link.clone());
+                                self.log
+                                    .record(self.now_us(), EventKind::Fetch, link.clone());
                                 self.absorb_page(
                                     topic,
                                     &link,
@@ -253,68 +282,42 @@ impl<'a> AutoGpt<'a> {
         }
     }
 
-    /// Whether this URL's host would currently fail fast at the circuit
-    /// breaker — checked *before* spending fetch budget.
-    fn source_unavailable(&self, url: &str) -> bool {
-        match Url::parse(url) {
-            Ok(parsed) => self.client.breaker_would_fail_fast(parsed.host()),
-            Err(_) => false,
-        }
-    }
-
-    /// Classify a fetch failure: circuit-open means the source is
-    /// unavailable (the agent reroutes), anything else is a hard error.
-    fn record_fetch_failure(&mut self, url: &str, err: NetError, report: &mut GoalReport) {
-        if matches!(err, NetError::CircuitOpen { .. }) {
+    /// Classify a fetch failure: an unavailable source means the agent
+    /// reroutes, anything else is a hard error.
+    fn record_fetch_failure(&mut self, url: &str, err: ServiceError, report: &mut GoalReport) {
+        if err.is_source_unavailable() {
             report.source_unavailable += 1;
             self.log
                 .record(self.now_us(), EventKind::SourceUnavailable, url.to_string());
         } else {
             report.errors += 1;
-            self.log.record(self.now_us(), EventKind::Error, err.to_string());
+            self.log
+                .record(self.now_us(), EventKind::Error, err.to_string());
         }
     }
 
     /// Issue one `google` command.
-    fn google(&mut self, query: &str, report: &mut GoalReport) -> Vec<SearchHitLite> {
+    fn google(&mut self, query: &str, report: &mut GoalReport) -> Vec<SearchHit> {
         if self.budget.take_search().is_err() {
             return Vec::new();
         }
         report.searches += 1;
-        let url = Url::build(
-            SEARCH_HOST,
-            "/q",
-            &[("query", query), ("k", &self.config.results_per_search.to_string())],
-        );
-        match self.client.get_text(&url.to_string()) {
-            Ok(body) => match serde_json::from_str::<SearchResultPage>(&body) {
-                Ok(page) => {
-                    self.log.record(
-                        self.now_us(),
-                        EventKind::Search,
-                        format!("{query} -> {} results", page.results.len()),
-                    );
-                    page.results
-                        .into_iter()
-                        .map(|r| SearchHitLite { url: r.url })
-                        .collect()
-                }
-                Err(err) => {
-                    report.errors += 1;
-                    self.log.record(self.now_us(), EventKind::Error, err.to_string());
-                    Vec::new()
-                }
-            },
+        match self.web.search(query, self.config.results_per_search) {
+            Ok(hits) => {
+                self.log.record(
+                    self.now_us(),
+                    EventKind::Search,
+                    format!("{query} -> {} results", hits.len()),
+                );
+                hits
+            }
             Err(err) => {
                 report.errors += 1;
-                self.log.record(self.now_us(), EventKind::Error, err.to_string());
+                self.log
+                    .record(self.now_us(), EventKind::Error, err.to_string());
                 Vec::new()
             }
         }
-    }
-
-    fn browse(&self, url: &str) -> Result<String, NetError> {
-        self.client.get_text(url)
     }
 
     /// Memorise one fetched page and log the outcome.
@@ -329,11 +332,11 @@ impl<'a> AutoGpt<'a> {
         let kind = source_kind_of(url);
         let stored = self
             .memory
-            .memorize(topic, page, url, kind, self.now_us(), importance)
-            .is_some();
+            .memorize(topic, page, url, kind, self.now_us(), importance);
         if stored {
             report.memorized += 1;
-            self.log.record(self.now_us(), EventKind::Memorize, url.to_string());
+            self.log
+                .record(self.now_us(), EventKind::Memorize, url.to_string());
         } else {
             report.duplicates += 1;
             self.log
@@ -341,24 +344,25 @@ impl<'a> AutoGpt<'a> {
         }
         self.cycles.push(AgentCycle::new(
             format!("Saving what I learned from {url}"),
-            Command::Memorize { topic: topic.to_string(), url: url.to_string() },
+            Command::Memorize {
+                topic: topic.to_string(),
+                url: url.to_string(),
+            },
         ));
     }
 
     /// Outcome classification helper for external drivers.
     pub fn classify_outcome(report: &GoalReport) -> CommandOutcome {
         if report.errors > 0 && report.memorized == 0 {
-            CommandOutcome::Failed { error: format!("{} errors, nothing learned", report.errors) }
+            CommandOutcome::Failed {
+                error: format!("{} errors, nothing learned", report.errors),
+            }
         } else {
-            CommandOutcome::Memorized { stored: report.memorized > 0 }
+            CommandOutcome::Memorized {
+                stored: report.memorized > 0,
+            }
         }
     }
-}
-
-/// Minimal search-hit view used internally.
-#[derive(Debug, Clone)]
-struct SearchHitLite {
-    url: String,
 }
 
 /// Extract the "Related: <url>" trailer links from a fetched page.
@@ -370,15 +374,26 @@ fn related_links(page: &str) -> Vec<String> {
         .collect()
 }
 
+/// The host part of a `sim://` URL, without pulling in a URL parser.
+fn host_of(url: &str) -> Option<&str> {
+    let rest = url.strip_prefix("sim://")?;
+    let host = rest.split(['/', '?']).next().unwrap_or(rest);
+    if host.is_empty() {
+        None
+    } else {
+        Some(host)
+    }
+}
+
 /// Infer the source category from a result URL's host.
 fn source_kind_of(url: &str) -> &'static str {
-    match Url::parse(url).map(|u| u.host().to_string()).as_deref() {
-        Ok("encyclopedia.test") => "encyclopedia",
-        Ok("news.test") => "news",
-        Ok("blog.test") => "blog",
-        Ok("forum.test") => "forum",
-        Ok("micro.test") => "micropost",
-        Ok("papers.test") => "paper",
+    match host_of(url) {
+        Some("encyclopedia.test") => "encyclopedia",
+        Some("news.test") => "news",
+        Some("blog.test") => "blog",
+        Some("forum.test") => "forum",
+        Some("micro.test") => "micropost",
+        Some("papers.test") => "paper",
         _ => "web",
     }
 }
@@ -386,13 +401,18 @@ fn source_kind_of(url: &str) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ira_simnet::{Network, NetworkConfig};
+    use ira_agentmem::KnowledgeStore;
+    use ira_simllm::Llm;
+    use ira_simnet::{Client, Network, NetworkConfig};
     use ira_webcorpus::{register_sites, Corpus, CorpusConfig};
     use ira_worldmodel::World;
     use std::sync::Arc;
 
     fn setup() -> (Client, Llm, KnowledgeStore) {
-        let corpus = Arc::new(Corpus::generate(&World::standard(), CorpusConfig::default()));
+        let corpus = Arc::new(Corpus::generate(
+            &World::standard(),
+            CorpusConfig::default(),
+        ));
         let mut net = Network::new(NetworkConfig::default(), 42);
         register_sites(&mut net, corpus);
         (
@@ -421,7 +441,10 @@ mod tests {
         assert!(!memory.is_empty());
         assert!(report.elapsed_us > 0, "virtual time must pass");
         // Transcript shows Auto-GPT-style cycles.
-        assert!(agent.transcript().iter().any(|c| c.command.name() == "google"));
+        assert!(agent
+            .transcript()
+            .iter()
+            .any(|c| c.command.name() == "google"));
         assert!(agent
             .transcript()
             .iter()
@@ -445,7 +468,9 @@ mod tests {
         assert!(report.memorized >= 1);
         let texts = memory.retrieve_texts("brazil europe cable", 3, u64::MAX);
         assert!(
-            texts.iter().any(|t| t.contains("EllaLink") || t.contains("Atlantis")),
+            texts
+                .iter()
+                .any(|t| t.contains("EllaLink") || t.contains("Atlantis")),
             "memory should hold the Brazil–Europe cable page"
         );
     }
@@ -476,7 +501,11 @@ mod tests {
             Budget::standard(),
         );
         let first = agent.pursue_query("t", "coronal mass ejection solar superstorm");
-        let before: Vec<String> = memory.entries().iter().map(|e| e.source_url.clone()).collect();
+        let before: Vec<String> = memory
+            .entries()
+            .iter()
+            .map(|e| e.source_url.clone())
+            .collect();
         let second = agent.pursue_query("t", "coronal mass ejection solar superstorm");
         assert!(first.memorized >= 1);
         // The second pass must not spend fetches on pages already in
@@ -512,7 +541,8 @@ mod tests {
 
     #[test]
     fn related_links_parse_from_page_trailers() {
-        let page = "Title\n\nBody text.\nRelated: sim://a.test/x\nRelated: sim://b.test/y\nnot a link";
+        let page =
+            "Title\n\nBody text.\nRelated: sim://a.test/x\nRelated: sim://b.test/y\nnot a link";
         assert_eq!(
             related_links(page),
             vec!["sim://a.test/x".to_string(), "sim://b.test/y".to_string()]
@@ -527,7 +557,10 @@ mod tests {
             &client,
             &llm,
             &memory,
-            AutoGptConfig { crawl_links: 0, ..AutoGptConfig::default() },
+            AutoGptConfig {
+                crawl_links: 0,
+                ..AutoGptConfig::default()
+            },
             Budget::standard(),
         );
         let base = no_crawl.pursue_query("t", "coronal mass ejection solar superstorm");
@@ -537,7 +570,10 @@ mod tests {
             &client2,
             &llm2,
             &memory2,
-            AutoGptConfig { crawl_links: 2, ..AutoGptConfig::default() },
+            AutoGptConfig {
+                crawl_links: 2,
+                ..AutoGptConfig::default()
+            },
             Budget::standard(),
         );
         let crawled = crawl.pursue_query("t", "coronal mass ejection solar superstorm");
@@ -554,7 +590,10 @@ mod tests {
     fn circuit_open_sources_are_rerouted_not_fatal() {
         use ira_simnet::{ClientConfig, Duration, FaultPlan, Instant};
 
-        let corpus = Arc::new(Corpus::generate(&World::standard(), CorpusConfig::default()));
+        let corpus = Arc::new(Corpus::generate(
+            &World::standard(),
+            CorpusConfig::default(),
+        ));
         let mut net = Network::new(NetworkConfig::default(), 42);
         register_sites(&mut net, corpus);
         let client = Client::with_config(Arc::new(net), ClientConfig::resilient());
@@ -563,7 +602,14 @@ mod tests {
         // search engine and the encyclopedia stay reachable.
         let forever = Instant::EPOCH + Duration::from_secs(86_400);
         let mut plan = FaultPlan::new();
-        for host in ["archive.test", "news.test", "blog.test", "forum.test", "micro.test", "papers.test"] {
+        for host in [
+            "archive.test",
+            "news.test",
+            "blog.test",
+            "forum.test",
+            "micro.test",
+            "papers.test",
+        ] {
             plan = plan.with_blackout(host, Instant::EPOCH, forever);
         }
         client.network().set_fault_plan(plan);
@@ -574,7 +620,10 @@ mod tests {
             &client,
             &llm,
             &memory,
-            AutoGptConfig { results_per_search: 16, ..AutoGptConfig::default() },
+            AutoGptConfig {
+                results_per_search: 16,
+                ..AutoGptConfig::default()
+            },
             Budget::standard(),
         );
         let report = agent.run_goal(
@@ -583,7 +632,10 @@ mod tests {
         );
         // The run must finish with partial knowledge, not abort: dead
         // hosts trip their breakers, later hits on them are rerouted.
-        assert!(report.errors >= 1, "the tripping fetches surface as errors: {report:?}");
+        assert!(
+            report.errors >= 1,
+            "the tripping fetches surface as errors: {report:?}"
+        );
         assert!(
             report.source_unavailable >= 1,
             "later hits on dead hosts must be skipped at the breaker: {report:?}"
@@ -600,8 +652,12 @@ mod tests {
 
     #[test]
     fn source_kind_inference() {
-        assert_eq!(source_kind_of("sim://encyclopedia.test/wiki/x"), "encyclopedia");
+        assert_eq!(
+            source_kind_of("sim://encyclopedia.test/wiki/x"),
+            "encyclopedia"
+        );
         assert_eq!(source_kind_of("sim://forum.test/thread/9"), "forum");
         assert_eq!(source_kind_of("not a url"), "web");
+        assert_eq!(source_kind_of("sim://news.test?id=1"), "news");
     }
 }

@@ -27,7 +27,14 @@ pub struct Budget {
 
 impl Budget {
     pub fn new(max_searches: u32, max_fetches: u32, max_cycles: u32) -> Self {
-        Budget { max_searches, max_fetches, max_cycles, searches: 0, fetches: 0, cycles: 0 }
+        Budget {
+            max_searches,
+            max_fetches,
+            max_cycles,
+            searches: 0,
+            fetches: 0,
+            cycles: 0,
+        }
     }
 
     /// A comfortable default for a full training run.

@@ -63,20 +63,28 @@ mod tests {
     fn names_match_autogpt_verbs() {
         assert_eq!(Command::Google { query: "x".into() }.name(), "google");
         assert_eq!(
-            Command::BrowseWebsite { url: "sim://a.test/".into() }.name(),
+            Command::BrowseWebsite {
+                url: "sim://a.test/".into()
+            }
+            .name(),
             "browse_website"
         );
     }
 
     #[test]
     fn display_is_compact_and_informative() {
-        let c = Command::Google { query: "solar storms".into() };
+        let c = Command::Google {
+            query: "solar storms".into(),
+        };
         assert_eq!(c.to_string(), "google(query=\"solar storms\")");
     }
 
     #[test]
     fn serde_round_trip() {
-        let c = Command::Memorize { topic: "t".into(), url: "sim://a.test/x".into() };
+        let c = Command::Memorize {
+            topic: "t".into(),
+            url: "sim://a.test/x".into(),
+        };
         let json = serde_json::to_string(&c).unwrap();
         assert_eq!(serde_json::from_str::<Command>(&json).unwrap(), c);
     }

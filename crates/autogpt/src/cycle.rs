@@ -70,7 +70,9 @@ mod tests {
     fn renders_like_autogpt_output() {
         let cycle = AgentCycle::new(
             "I need to gather information on solar superstorms.",
-            Command::Google { query: "solar superstorms".into() },
+            Command::Google {
+                query: "solar superstorms".into(),
+            },
         )
         .with_plan(vec![
             "Use the 'google' command to search for information.".into(),
@@ -84,7 +86,12 @@ mod tests {
 
     #[test]
     fn empty_sections_are_omitted() {
-        let cycle = AgentCycle::new("t", Command::TaskComplete { reason: "done".into() });
+        let cycle = AgentCycle::new(
+            "t",
+            Command::TaskComplete {
+                reason: "done".into(),
+            },
+        );
         let text = cycle.to_string();
         assert!(!text.contains("REASONING"));
         assert!(!text.contains("PLAN"));

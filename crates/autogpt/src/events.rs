@@ -43,7 +43,11 @@ impl EventLog {
     }
 
     pub fn record(&mut self, at_us: u64, kind: EventKind, detail: impl Into<String>) {
-        self.events.push(Event { at_us, kind, detail: detail.into() });
+        self.events.push(Event {
+            at_us,
+            kind,
+            detail: detail.into(),
+        });
     }
 
     pub fn len(&self) -> usize {

@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ira_agentmem::{embed, KnowledgeStore, StoreConfig};
 
 fn filled_store(n: usize) -> KnowledgeStore {
-    let store = KnowledgeStore::new(StoreConfig { capacity: n + 10, ..StoreConfig::default() });
+    let store = KnowledgeStore::new(StoreConfig {
+        capacity: n + 10,
+        ..StoreConfig::default()
+    });
     for i in 0..n {
         store.memorize(
             "topic",
@@ -27,7 +30,9 @@ fn bench_embed(c: &mut Criterion) {
     let text = "The Grace Hopper submarine cable connects New York, United States to Bude, \
                 United Kingdom, linking North America and Europe. Along its route it reaches \
                 a maximum geomagnetic latitude of 63.0 degrees.";
-    c.bench_function("embed_document", |b| b.iter(|| std::hint::black_box(embed(text))));
+    c.bench_function("embed_document", |b| {
+        b.iter(|| std::hint::black_box(embed(text)))
+    });
 }
 
 fn bench_memorize(c: &mut Criterion) {

@@ -10,7 +10,10 @@ fn bench_search(c: &mut Criterion) {
     for distractors in [150usize, 600, 2400] {
         let corpus = Corpus::generate(
             &world,
-            CorpusConfig { seed: 1, distractor_count: distractors },
+            CorpusConfig {
+                seed: 1,
+                distractor_count: distractors,
+            },
         );
         group.bench_with_input(
             BenchmarkId::from_parameter(corpus.len()),
@@ -33,7 +36,10 @@ fn bench_index_build(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(Corpus::generate(
                 &world,
-                CorpusConfig { seed: 1, distractor_count: 150 },
+                CorpusConfig {
+                    seed: 1,
+                    distractor_count: 150,
+                },
             ))
         })
     });

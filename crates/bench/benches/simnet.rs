@@ -14,7 +14,10 @@ fn network() -> Arc<Network> {
         "bench.test",
         Arc::new(|_req: &Request| Response::ok("body of a benchmark page")),
         HostConfig {
-            latency: LatencyModel { loss: 0.001, ..LatencyModel::fast() },
+            latency: LatencyModel {
+                loss: 0.001,
+                ..LatencyModel::fast()
+            },
             rate_limit: TokenBucket::unlimited(),
         },
     );
@@ -24,7 +27,9 @@ fn network() -> Arc<Network> {
 fn bench_url_parse(c: &mut Criterion) {
     c.bench_function("url_parse", |b| {
         b.iter(|| {
-            std::hint::black_box(Url::parse("sim://search.test/q?query=solar+storm+cable&k=10"))
+            std::hint::black_box(Url::parse(
+                "sim://search.test/q?query=solar+storm+cable&k=10",
+            ))
         })
     });
 }

@@ -27,7 +27,11 @@ fn run_variant(label: &str, config: AgentConfig) -> Vec<String> {
     let run = evaluate_agent(&mut agent, &quiz, &conclusions);
     vec![
         label.to_string(),
-        format!("{}/{}", run.consistency.consistent_count(), run.consistency.total()),
+        format!(
+            "{}/{}",
+            run.consistency.consistent_count(),
+            run.consistency.total()
+        ),
         format!("{:.1}", run.consistency.mean_confidence()),
         run.total_learning_rounds().to_string(),
         run.total_searches().to_string(),
@@ -64,26 +68,42 @@ fn main() {
         run_variant(
             "memory: dedup off",
             AgentConfig {
-                memory: StoreConfig { dedup_threshold: 1.01, ..StoreConfig::default() },
+                memory: StoreConfig {
+                    dedup_threshold: 1.01,
+                    ..StoreConfig::default()
+                },
                 ..base
             },
         ),
         run_variant(
             "cot decomposition off",
             AgentConfig {
-                autogpt: AutoGptConfig { cot_threshold: 0, ..AutoGptConfig::default() },
+                autogpt: AutoGptConfig {
+                    cot_threshold: 0,
+                    ..AutoGptConfig::default()
+                },
                 ..base
             },
         ),
         run_variant(
             "query expansion OFF (question-only retrieval)",
-            AgentConfig { query_expansion: false, ..base },
+            AgentConfig {
+                query_expansion: false,
+                ..base
+            },
         ),
     ];
     println!(
         "{}",
         table(
-            &["variant", "consistent", "mean-conf", "rounds", "searches", "memory"],
+            &[
+                "variant",
+                "consistent",
+                "mean-conf",
+                "rounds",
+                "searches",
+                "memory"
+            ],
             &rows
         )
     );

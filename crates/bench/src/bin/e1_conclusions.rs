@@ -37,7 +37,13 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table(&["conclusion", "agent verdict", "conf", "consistent"], &rows));
+    println!(
+        "{}",
+        table(
+            &["conclusion", "agent verdict", "conf", "consistent"],
+            &rows
+        )
+    );
 
     println!("{}", agent_run.consistency.summary());
     println!("{}", baseline.summary());

@@ -31,7 +31,11 @@ fn main() {
     let coverage = PlanCoverage::of(&plan.text);
     println!("reference components ({}):", REFERENCE_COMPONENTS.len());
     for c in REFERENCE_COMPONENTS {
-        let mark = if coverage.present.iter().any(|p| p == c) { "present" } else { "MISSING" };
+        let mark = if coverage.present.iter().any(|p| p == c) {
+            "present"
+        } else {
+            "MISSING"
+        };
         println!("  {c:<24} {mark}");
     }
     println!(

@@ -5,13 +5,20 @@
 //! sweep the threshold from 3 to 9 and report, per setting, the
 //! self-learning effort (rounds, searches, pages memorised) and the
 //! answer quality (quiz consistency, mean confidence).
+//!
+//! Sessions are spawned from one shared [`Engine`] — the corpus is
+//! generated once, not per threshold — and `--threads N` fans the
+//! sweep out without changing a byte of the report (timing on stderr).
 
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_bench::{print_timing, threads_from_args};
+use ira_core::AgentConfig;
+use ira_engine::{Engine, SessionConfig};
 use ira_evalkit::quiz::QuizBank;
 use ira_evalkit::report::{banner, table};
-use ira_evalkit::runner::evaluate_agent;
+use ira_evalkit::runner::{evaluate_agent, sweep};
 
 fn main() {
+    let threads = threads_from_args();
     print!(
         "{}",
         banner(
@@ -21,27 +28,43 @@ fn main() {
         )
     );
 
-    let mut rows = Vec::new();
-    for threshold in [3u8, 5, 7, 9] {
-        let env = Environment::standard();
-        let quiz = QuizBank::from_world(&env.world);
-        let conclusions = env.world.conclusions();
-        let config = AgentConfig { confidence_threshold: threshold, ..AgentConfig::default() };
-        let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, config, 0xB0B);
-        bob.train();
-        let run = evaluate_agent(&mut bob, &quiz, &conclusions);
-        rows.push(vec![
+    let start = std::time::Instant::now();
+    let engine = Engine::new();
+    let rows = sweep(vec![3u8, 5, 7, 9], threads, |_, threshold| {
+        let config = AgentConfig {
+            confidence_threshold: threshold,
+            ..AgentConfig::default()
+        };
+        let mut session = engine.spawn_session(SessionConfig {
+            agent: config,
+            ..SessionConfig::bob()
+        });
+        let quiz = QuizBank::from_world(session.world());
+        let conclusions = session.world().conclusions();
+        session.agent.train();
+        let run = evaluate_agent(&mut session.agent, &quiz, &conclusions);
+        vec![
             threshold.to_string(),
             run.total_learning_rounds().to_string(),
             run.total_searches().to_string(),
-            format!("{}/{}", run.consistency.consistent_count(), run.consistency.total()),
+            format!(
+                "{}/{}",
+                run.consistency.consistent_count(),
+                run.consistency.total()
+            ),
             format!("{:.1}", run.consistency.mean_confidence()),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         table(
-            &["threshold", "learn-rounds", "searches", "consistent", "mean-conf"],
+            &[
+                "threshold",
+                "learn-rounds",
+                "searches",
+                "consistent",
+                "mean-conf"
+            ],
             &rows
         )
     );
@@ -49,4 +72,5 @@ fn main() {
         "expected shape: rounds and searches grow with the threshold, and consistency/mean \
          confidence rise toward the paper's 7-of-8 at threshold 7."
     );
+    print_timing(threads, start.elapsed(), engine.corpus_builds());
 }

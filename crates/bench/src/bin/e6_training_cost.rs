@@ -5,14 +5,18 @@
 //! the distractor load of the web corpus (1× to 8×) and report, per
 //! corpus size, training effort: searches, pages fetched, entries
 //! memorised, LLM tokens, and both virtual ("online") and host wall
-//! time.
+//! time. Each corpus size is an independent session; `--threads N`
+//! runs them on worker threads without changing the report.
 
-use ira_core::{Environment, ResearchAgent};
+use ira_bench::{print_timing, threads_from_args};
+use ira_engine::{Engine, SessionConfig};
 use ira_evalkit::quiz::QuizBank;
 use ira_evalkit::report::{banner, table};
+use ira_evalkit::runner::sweep;
 use ira_webcorpus::CorpusConfig;
 
 fn main() {
+    let threads = threads_from_args();
     print!(
         "{}",
         banner(
@@ -23,34 +27,44 @@ fn main() {
         )
     );
 
-    let mut rows = Vec::new();
-    for distractors in [75usize, 150, 300, 600, 1200] {
-        let env = Environment::build(
-            CorpusConfig { seed: 0xC0FFEE, distractor_count: distractors },
-            0xBEEF,
-        );
-        let mut bob = ResearchAgent::bob(&env);
-        let report = bob.train();
-        // The paper's "learns … in the order of minutes" covers the
-        // whole investigation, so include the quiz self-learning too.
-        let quiz = QuizBank::from_world(&env.world);
-        let investigate_start = env.now_us();
-        for item in quiz.iter() {
-            let _ = bob.self_learn(&item.question);
-        }
-        let investigate_us = env.now_us() - investigate_start;
-        let llm = bob.llm_stats();
-        rows.push(vec![
-            env.corpus.len().to_string(),
-            report.total_searches().to_string(),
-            report.total_fetches().to_string(),
-            report.total_memorized().to_string(),
-            (llm.prompt_tokens + llm.completion_tokens).to_string(),
-            format!("{:.1}", report.virtual_elapsed_us as f64 / 1e6),
-            format!("{:.1}", (report.virtual_elapsed_us + investigate_us) as f64 / 1e6 / 60.0),
-            format!("{:.0}", report.host_elapsed_us as f64 / 1e3),
-        ]);
-    }
+    let start = std::time::Instant::now();
+    let engine = Engine::new();
+    let rows = sweep(
+        vec![75usize, 150, 300, 600, 1200],
+        threads,
+        |_, distractors| {
+            let mut session = engine.spawn_session(SessionConfig {
+                corpus: CorpusConfig {
+                    seed: 0xC0FFEE,
+                    distractor_count: distractors,
+                },
+                ..SessionConfig::bob()
+            });
+            let report = session.agent.train();
+            // The paper's "learns … in the order of minutes" covers the
+            // whole investigation, so include the quiz self-learning too.
+            let quiz = QuizBank::from_world(session.world());
+            let investigate_start = session.now_us();
+            for item in quiz.iter() {
+                let _ = session.agent.self_learn(&item.question);
+            }
+            let investigate_us = session.now_us() - investigate_start;
+            let llm = session.agent.llm_stats();
+            vec![
+                session.env.corpus.len().to_string(),
+                report.total_searches().to_string(),
+                report.total_fetches().to_string(),
+                report.total_memorized().to_string(),
+                (llm.prompt_tokens + llm.completion_tokens).to_string(),
+                format!("{:.1}", report.virtual_elapsed_us as f64 / 1e6),
+                format!(
+                    "{:.1}",
+                    (report.virtual_elapsed_us + investigate_us) as f64 / 1e6 / 60.0
+                ),
+                format!("{:.0}", report.host_elapsed_us as f64 / 1e3),
+            ]
+        },
+    );
     println!(
         "{}",
         table(
@@ -72,4 +86,5 @@ fn main() {
          self-learning) as the agent would experience it against a real network and model \
          API: the paper's \"order of minutes\", not the weeks of a human literature survey."
     );
+    print_timing(threads, start.elapsed(), engine.corpus_builds());
 }

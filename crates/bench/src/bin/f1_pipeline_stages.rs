@@ -46,7 +46,10 @@ fn main() {
             format!("{:.1}", s.reasoning_host_us as f64 / 1e3),
         ],
     ];
-    println!("{}", table(&["stage", "ops", "virtual-s", "host-ms"], &rows));
+    println!(
+        "{}",
+        table(&["stage", "ops", "virtual-s", "host-ms"], &rows)
+    );
     println!(
         "retrieval share of total agent time: {:.1}%  (rest is model inference)",
         s.retrieval_share() * 100.0

@@ -46,7 +46,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["scenario", "dst-nT", "cables-down", "grid-$B", "connectivity-$B", "total-$B"],
+            &[
+                "scenario",
+                "dst-nT",
+                "cables-down",
+                "grid-$B",
+                "connectivity-$B",
+                "total-$B"
+            ],
             &rows
         )
     );

@@ -7,9 +7,15 @@
 //! outcomes. A result that only holds at one seed is an anecdote;
 //! during development this sweep caught every retrieval fragility the
 //! single-seed experiments missed.
+//!
+//! Each seed is one independent session over a shared [`Engine`];
+//! `--threads N` runs seeds on worker threads with the report
+//! aggregated in seed order, byte-identical to serial.
 
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_bench::{print_timing, threads_from_args};
+use ira_engine::{Engine, SessionConfig};
 use ira_evalkit::report::{banner, table};
+use ira_evalkit::runner::sweep;
 use ira_webcorpus::CorpusConfig;
 
 const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
@@ -17,6 +23,7 @@ const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber op
                         Europe?";
 
 fn main() {
+    let threads = threads_from_args();
     print!(
         "{}",
         banner(
@@ -27,43 +34,54 @@ fn main() {
         )
     );
 
-    let mut rows = Vec::new();
-    let mut correct = 0usize;
-    let mut one_round = 0usize;
+    let start = std::time::Instant::now();
+    let engine = Engine::new();
     let seeds: Vec<u64> = (0..10).map(|i| 0x5EED + i * 0x101).collect();
-    for &seed in &seeds {
-        let env = Environment::build(
-            CorpusConfig { seed, distractor_count: 150 },
-            seed ^ 0xBEEF,
-        );
-        let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, AgentConfig::default(), seed);
-        bob.train();
-        let t = bob.self_learn(QUESTION);
-        let answer = bob.ask(QUESTION);
+    let outcomes = sweep(seeds.clone(), threads, |_, seed| {
+        let mut session = engine.spawn_session(SessionConfig {
+            corpus: CorpusConfig {
+                seed,
+                distractor_count: 150,
+            },
+            net_seed: seed ^ 0xBEEF,
+            llm_seed: seed,
+            ..SessionConfig::bob()
+        });
+        session.agent.train();
+        let t = session.agent.self_learn(QUESTION);
+        let answer = session.agent.ask(QUESTION);
         let verdict_ok = answer
             .verdict
             .as_deref()
             .unwrap_or("")
             .to_lowercase()
             .contains("united states");
-        if verdict_ok {
-            correct += 1;
-        }
-        if t.learning_rounds() == 1 {
-            one_round += 1;
-        }
         let series: Vec<String> = t.confidence_series().iter().map(u8::to_string).collect();
-        rows.push(vec![
+        let row = vec![
             format!("{seed:#x}"),
             series.join(" -> "),
             t.learning_rounds().to_string(),
-            if verdict_ok { "US-Europe" } else { "WRONG/hedge" }.to_string(),
-        ]);
-    }
-    println!("{}", table(&["seed", "confidence", "rounds", "verdict"], &rows));
+            if verdict_ok {
+                "US-Europe"
+            } else {
+                "WRONG/hedge"
+            }
+            .to_string(),
+        ];
+        (row, verdict_ok, t.learning_rounds() == 1)
+    });
+
+    let correct = outcomes.iter().filter(|(_, ok, _)| *ok).count();
+    let one_round = outcomes.iter().filter(|(_, _, one)| *one).count();
+    let rows: Vec<Vec<String>> = outcomes.into_iter().map(|(row, _, _)| row).collect();
+    println!(
+        "{}",
+        table(&["seed", "confidence", "rounds", "verdict"], &rows)
+    );
     println!(
         "correct verdict on {correct}/{} seeds; one-round convergence on {one_round}/{}",
         seeds.len(),
         seeds.len()
     );
+    print_timing(threads, start.elapsed(), engine.corpus_builds());
 }

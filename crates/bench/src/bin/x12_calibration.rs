@@ -28,7 +28,10 @@ fn main() {
     let mut cal = Calibration::new();
     for seed in [0xCA1u64, 0xCA2, 0xCA3, 0xCA4, 0xCA5] {
         let env = Environment::build(
-            CorpusConfig { seed, distractor_count: 150 },
+            CorpusConfig {
+                seed,
+                distractor_count: 150,
+            },
             seed ^ 0xBEEF,
         );
         let quiz = QuizBank::from_world(&env.world);

@@ -9,15 +9,18 @@
 //! alive; this sweep measures what that degradation costs: quiz
 //! consistency, self-learning effort, wasted network work, and breaker
 //! activity at 0%, 10%, 25%, and 50% fault intensity. Fixed seeds make
-//! every level bit-reproducible.
+//! every level bit-reproducible, and `--threads N` runs the levels on
+//! worker threads with the very same output (timing on stderr).
 
+use ira_bench::{print_timing, threads_from_args};
 use ira_evalkit::report::{banner, table};
-use ira_evalkit::robustness::chaos_sweep;
+use ira_evalkit::robustness::chaos_sweep_threads;
 
 const INTENSITIES: [f64; 4] = [0.0, 0.10, 0.25, 0.50];
 const FAULT_SEED: u64 = 0xC4A0;
 
 fn main() {
+    let threads = threads_from_args();
     print!(
         "{}",
         banner(
@@ -29,7 +32,8 @@ fn main() {
         )
     );
 
-    let sweep = chaos_sweep(&INTENSITIES, FAULT_SEED);
+    let start = std::time::Instant::now();
+    let sweep = chaos_sweep_threads(&INTENSITIES, FAULT_SEED, threads);
 
     let rows: Vec<Vec<String>> = sweep
         .levels
@@ -72,14 +76,23 @@ fn main() {
          {} conclusion(s)",
         sweep.worst_degradation()
     );
-    if let Some(quarter) = sweep.levels.iter().find(|l| (l.intensity - 0.25).abs() < 1e-9) {
+    if let Some(quarter) = sweep
+        .levels
+        .iter()
+        .find(|l| (l.intensity - 0.25).abs() < 1e-9)
+    {
         let drop = base.saturating_sub(quarter.consistent);
         println!(
             "at 25% intensity: {}/{} consistent ({} below fault-free) -- {}",
             quarter.consistent,
             quarter.total,
             drop,
-            if drop <= 1 { "within the 1-conclusion bar" } else { "EXCEEDS the 1-conclusion bar" }
+            if drop <= 1 {
+                "within the 1-conclusion bar"
+            } else {
+                "EXCEEDS the 1-conclusion bar"
+            }
         );
     }
+    print_timing(threads, start.elapsed(), 1);
 }

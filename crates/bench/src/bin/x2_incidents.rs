@@ -57,7 +57,13 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table(&["incident", "Alice's verdict", "conf", "consistent"], &rows));
+    println!(
+        "{}",
+        table(
+            &["incident", "Alice's verdict", "conf", "consistent"],
+            &rows
+        )
+    );
     println!("{}", run.consistency.summary());
 
     let baseline = evaluate_baseline(&Llm::gpt4(404), &quiz);

@@ -8,12 +8,21 @@
 //! The interesting rows are the ones where members diverge: agreement
 //! below 1.0 flags exactly the questions a single agent is least
 //! reliable on.
+//!
+//! Committee members are independent end-to-end runs, so `--threads N`
+//! evaluates them on worker threads ([`Committee::evaluate_member`])
+//! and aggregates in member order — the same report, faster.
 
-use ira_core::{Committee, CommitteeConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_bench::{print_timing, threads_from_args};
+use ira_core::ensemble::aggregate;
+use ira_core::{Committee, CommitteeConfig, RoleDefinition};
+use ira_engine::{Engine, SessionConfig};
 use ira_evalkit::quiz::QuizBank;
 use ira_evalkit::report::{banner, table};
+use ira_evalkit::runner::sweep;
 
 fn main() {
+    let threads = threads_from_args();
     print!(
         "{}",
         banner(
@@ -24,24 +33,33 @@ fn main() {
         )
     );
 
-    let env = Environment::standard();
-    let quiz = QuizBank::from_world(&env.world);
+    let start = std::time::Instant::now();
+    let engine = Engine::new();
+    let mut session = engine.spawn_session(SessionConfig::bob());
+    let quiz = QuizBank::from_world(session.world());
     let questions: Vec<&str> = quiz.iter().map(|i| i.question.as_str()).collect();
 
     // Single-agent reference.
-    let mut bob = ResearchAgent::bob(&env);
-    bob.train();
+    session.agent.train();
     let single: Vec<(Option<String>, u8)> = questions
         .iter()
         .map(|q| {
-            let _ = bob.self_learn(q);
-            let a = bob.ask(q);
+            let _ = session.agent.self_learn(q);
+            let a = session.agent.ask(q);
             (a.verdict, a.confidence)
         })
         .collect();
 
     let committee = Committee::new(RoleDefinition::bob(), CommitteeConfig::default());
-    let answers = committee.investigate(&questions);
+    let members = committee.config().members;
+    let per_member = sweep((0..members).collect(), threads, |_, m| {
+        committee.evaluate_member(m, &questions)
+    });
+    let answers: Vec<_> = questions
+        .iter()
+        .enumerate()
+        .map(|(qi, q)| aggregate(q, per_member.iter().map(|ms| ms[qi].clone()).collect()))
+        .collect();
 
     let rows: Vec<Vec<String>> = quiz
         .iter()
@@ -52,7 +70,10 @@ fn main() {
                 item.id.clone(),
                 single_verdict.clone().unwrap_or_else(|| "(hedge)".into()),
                 single_conf.to_string(),
-                committee_ans.verdict.clone().unwrap_or_else(|| "(hedge)".into()),
+                committee_ans
+                    .verdict
+                    .clone()
+                    .unwrap_or_else(|| "(hedge)".into()),
                 format!("{:.2}", committee_ans.agreement),
                 format!("{:.1}", committee_ans.mean_confidence),
             ]
@@ -61,7 +82,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["question", "single verdict", "conf", "committee verdict", "agree", "mean-conf"],
+            &[
+                "question",
+                "single verdict",
+                "conf",
+                "committee verdict",
+                "agree",
+                "mean-conf"
+            ],
             &rows
         )
     );
@@ -74,6 +102,11 @@ fn main() {
         .collect();
     println!(
         "contested questions (agreement < 1.0): {}",
-        if contested.is_empty() { "none".into() } else { contested.join(", ") }
+        if contested.is_empty() {
+            "none".into()
+        } else {
+            contested.join(", ")
+        }
     );
+    print_timing(threads, start.elapsed(), engine.corpus_builds());
 }

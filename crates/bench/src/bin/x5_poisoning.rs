@@ -52,7 +52,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["poison/cable", "stored", "conf", "verdict status", "verdict"],
+            &[
+                "poison/cable",
+                "stored",
+                "conf",
+                "verdict status",
+                "verdict"
+            ],
             &rows
         )
     );

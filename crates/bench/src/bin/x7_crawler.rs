@@ -32,7 +32,10 @@ fn main() {
     for crawl_links in [0usize, 1, 2] {
         let env = Environment::standard();
         let config = AgentConfig {
-            autogpt: AutoGptConfig { crawl_links, ..AutoGptConfig::default() },
+            autogpt: AutoGptConfig {
+                crawl_links,
+                ..AutoGptConfig::default()
+            },
             ..AgentConfig::default()
         };
         let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, config, 0xB0B);

@@ -29,8 +29,14 @@ fn main() {
     let quiz = QuizBank::from_world(&env.world);
 
     // Tight capacity: roughly one investigation's worth of entries.
-    let memory_config = StoreConfig { capacity: 30, ..StoreConfig::default() };
-    let agent_config = AgentConfig { memory: memory_config, ..AgentConfig::default() };
+    let memory_config = StoreConfig {
+        capacity: 30,
+        ..StoreConfig::default()
+    };
+    let agent_config = AgentConfig {
+        memory: memory_config,
+        ..AgentConfig::default()
+    };
 
     let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, agent_config, 0xB0B);
     bob.train();
@@ -72,7 +78,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["session", "consistent", "mean-conf", "mem-before", "mem-after"],
+            &[
+                "session",
+                "consistent",
+                "mean-conf",
+                "mem-before",
+                "mem-after"
+            ],
             &rows
         )
     );

@@ -8,9 +8,7 @@
 //! account expected repeater losses against preemptive downtime.
 
 use ira_evalkit::report::{banner, table};
-use ira_worldmodel::forecast::{
-    evaluate_policy, CostModel, ForecastModel, ShutdownPolicy,
-};
+use ira_worldmodel::forecast::{evaluate_policy, CostModel, ForecastModel, ShutdownPolicy};
 use ira_worldmodel::World;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,7 +33,9 @@ fn main() {
     let mut best: Option<(f64, f64)> = None;
     for trigger in [0.0, 200.0, 400.0, 600.0, 800.0, 1_000.0, 1_400.0, f64::MAX] {
         let outcome = evaluate_policy(
-            ShutdownPolicy { trigger_dst: trigger },
+            ShutdownPolicy {
+                trigger_dst: trigger,
+            },
             &events,
             &world.cables,
             &world.storm_model,
@@ -80,7 +80,11 @@ fn main() {
         println!(
             "minimum cost {cost:.0} at trigger {}; the agent plan's 'most vulnerable first' \
              instinct corresponds to running a mid-range trigger rather than either extreme.",
-            if trigger == f64::MAX { "never".into() } else { format!("{trigger:.0} nT") }
+            if trigger == f64::MAX {
+                "never".into()
+            } else {
+                format!("{trigger:.0} nT")
+            }
         );
     }
 }

@@ -1,1 +1,61 @@
 //! Experiment binaries live in src/bin; criterion benches in benches/.
+
+/// Parse `--threads N` (or `--threads=N`) from the process arguments.
+/// Defaults to 1 — serial. The sweep binaries keep **stdout**
+/// byte-identical at any thread count; wall-clock timing goes to
+/// stderr, so `e5_threshold_sweep --threads 8 > out.txt` produces the
+/// same file as the serial run.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    threads_from(&args)
+}
+
+/// [`threads_from_args`] over an explicit argument list (testable).
+pub fn threads_from(args: &[String]) -> usize {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            return iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1);
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return v.parse().ok().filter(|&n| n >= 1).unwrap_or(1);
+        }
+    }
+    1
+}
+
+/// One-line timing summary on stderr (never stdout — stdout is the
+/// deterministic report).
+pub fn print_timing(threads: usize, wall: std::time::Duration, corpus_builds: usize) {
+    eprintln!(
+        "[timing] threads={threads} wall={:.2}s corpus-builds={corpus_builds}",
+        wall.as_secs_f64()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        assert_eq!(threads_from(&args(&["bin", "--threads", "8"])), 8);
+        assert_eq!(threads_from(&args(&["bin", "--threads=4"])), 4);
+        assert_eq!(threads_from(&args(&["bin"])), 1);
+    }
+
+    #[test]
+    fn bad_thread_counts_fall_back_to_serial() {
+        assert_eq!(threads_from(&args(&["bin", "--threads", "zero"])), 1);
+        assert_eq!(threads_from(&args(&["bin", "--threads", "0"])), 1);
+        assert_eq!(threads_from(&args(&["bin", "--threads"])), 1);
+    }
+}

@@ -21,6 +21,9 @@ pub enum Command {
         faults: f64,
         /// Resume from the training checkpoint next to `out`.
         resume: bool,
+        /// Train this many independently seeded sessions on worker
+        /// threads (1 = the classic serial path).
+        parallel: usize,
     },
     /// Answer one question from a knowledge file.
     Ask { knowledge: String, question: String },
@@ -31,7 +34,14 @@ pub enum Command {
         threshold: u8,
     },
     /// Run the full quiz evaluation.
-    Quiz { incidents: bool, threshold: u8, report: Option<String> },
+    Quiz {
+        incidents: bool,
+        threshold: u8,
+        report: Option<String>,
+        /// Evaluate this many independently seeded agents on worker
+        /// threads and report each (1 = single agent, classic output).
+        parallel: usize,
+    },
     /// Generate a storm response plan.
     Plan,
     /// Generate research questions from a knowledge file.
@@ -88,6 +98,8 @@ COMMANDS:
                   --distractors <n>       corpus distractor count (default 150)
                   --faults <0..1>         fault-injection intensity (default 0)
                   --resume                resume from the training checkpoint
+                  --parallel <n>          train n seeded sessions on worker threads
+                                          (default 1; session 0 writes --out)
     ask         Answer a question from saved knowledge
                   --knowledge <file>      (default knowledge.json)
                   \"<question>\"
@@ -99,6 +111,8 @@ COMMANDS:
                   --incidents             use the incident quiz instead
                   --threshold <0-10>      (default 7)
                   --report <file>         write a markdown report
+                  --parallel <n>          evaluate n seeded agents on worker threads
+                                          (default 1; classic single-agent output)
     plan        Train + produce a storm response plan
     questions   Propose research questions from saved knowledge
                   --knowledge <file>      (default knowledge.json)
@@ -128,20 +142,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             };
             Ok(Command::Train {
                 role,
-                out: flag(&rest, "--out")?.unwrap_or("knowledge.json").to_string(),
+                out: flag(&rest, "--out")?
+                    .unwrap_or("knowledge.json")
+                    .to_string(),
                 crawl_links: num_flag(&rest, "--crawl", 0)?,
                 distractors: num_flag(&rest, "--distractors", 150)?,
                 faults: float_flag(&rest, "--faults", 0.0)?,
                 resume: rest.contains(&"--resume"),
+                parallel: num_flag(&rest, "--parallel", 1)?.max(1),
             })
         }
         "ask" => Ok(Command::Ask {
-            knowledge: flag(&rest, "--knowledge")?.unwrap_or("knowledge.json").to_string(),
-            question: positional(&rest)
-                .ok_or_else(|| ParseError("ask needs a question".into()))?,
+            knowledge: flag(&rest, "--knowledge")?
+                .unwrap_or("knowledge.json")
+                .to_string(),
+            question: positional(&rest).ok_or_else(|| ParseError("ask needs a question".into()))?,
         }),
         "learn" => Ok(Command::Learn {
-            knowledge: flag(&rest, "--knowledge")?.unwrap_or("knowledge.json").to_string(),
+            knowledge: flag(&rest, "--knowledge")?
+                .unwrap_or("knowledge.json")
+                .to_string(),
             threshold: num_flag(&rest, "--threshold", 7)? as u8,
             question: positional(&rest)
                 .ok_or_else(|| ParseError("learn needs a question".into()))?,
@@ -150,11 +170,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             incidents: rest.contains(&"--incidents"),
             threshold: num_flag(&rest, "--threshold", 7)? as u8,
             report: flag(&rest, "--report")?.map(str::to_string),
+            parallel: num_flag(&rest, "--parallel", 1)?.max(1),
         }),
         "plan" => Ok(Command::Plan),
         "audit" => Ok(Command::Audit),
         "questions" => Ok(Command::Questions {
-            knowledge: flag(&rest, "--knowledge")?.unwrap_or("knowledge.json").to_string(),
+            knowledge: flag(&rest, "--knowledge")?
+                .unwrap_or("knowledge.json")
+                .to_string(),
             max: num_flag(&rest, "--max", 10)?,
         }),
         "corpus" => Ok(Command::Corpus {
@@ -258,6 +281,7 @@ mod tests {
                 distractors: 150,
                 faults: 0.0,
                 resume: false,
+                parallel: 1,
             })
         );
         assert_eq!(
@@ -269,6 +293,7 @@ mod tests {
                 distractors: 150,
                 faults: 0.0,
                 resume: false,
+                parallel: 1,
             })
         );
         assert!(p(&["train", "--role", "mallory"]).is_err());
@@ -285,6 +310,7 @@ mod tests {
                 distractors: 150,
                 faults: 0.25,
                 resume: true,
+                parallel: 1,
             })
         );
         // Intensity clamps into [0, 1]; junk is an error.
@@ -297,12 +323,16 @@ mod tests {
                 distractors: 150,
                 faults: 1.0,
                 resume: false,
+                parallel: 1,
             })
         );
         assert!(p(&["train", "--faults", "many"]).is_err());
         assert_eq!(
             p(&["corpus", "--faults", "0.5"]),
-            Ok(Command::Corpus { distractors: 150, faults: 0.5 })
+            Ok(Command::Corpus {
+                distractors: 150,
+                faults: 0.5
+            })
         );
     }
 
@@ -311,12 +341,18 @@ mod tests {
         assert!(p(&["ask"]).is_err());
         assert_eq!(
             p(&["ask", "--knowledge", "k.json", "what is a CME?"]),
-            Ok(Command::Ask { knowledge: "k.json".into(), question: "what is a CME?".into() })
+            Ok(Command::Ask {
+                knowledge: "k.json".into(),
+                question: "what is a CME?".into()
+            })
         );
         // Positional before flags also works.
         assert_eq!(
             p(&["ask", "what is a CME?", "--knowledge", "k.json"]),
-            Ok(Command::Ask { knowledge: "k.json".into(), question: "what is a CME?".into() })
+            Ok(Command::Ask {
+                knowledge: "k.json".into(),
+                question: "what is a CME?".into()
+            })
         );
     }
 
@@ -324,16 +360,65 @@ mod tests {
     fn quiz_flags() {
         assert_eq!(
             p(&["quiz"]),
-            Ok(Command::Quiz { incidents: false, threshold: 7, report: None })
+            Ok(Command::Quiz {
+                incidents: false,
+                threshold: 7,
+                report: None,
+                parallel: 1
+            })
         );
         assert_eq!(
-            p(&["quiz", "--incidents", "--threshold", "9", "--report", "r.md"]),
+            p(&[
+                "quiz",
+                "--incidents",
+                "--threshold",
+                "9",
+                "--report",
+                "r.md"
+            ]),
             Ok(Command::Quiz {
                 incidents: true,
                 threshold: 9,
-                report: Some("r.md".into())
+                report: Some("r.md".into()),
+                parallel: 1,
             })
         );
+    }
+
+    #[test]
+    fn parallel_flag_parses_and_clamps() {
+        assert_eq!(
+            p(&["train", "--parallel", "4"]),
+            Ok(Command::Train {
+                role: RoleChoice::Bob,
+                out: "knowledge.json".into(),
+                crawl_links: 0,
+                distractors: 150,
+                faults: 0.0,
+                resume: false,
+                parallel: 4,
+            })
+        );
+        // 0 would mean "no sessions"; it clamps up to serial.
+        assert_eq!(
+            p(&["quiz", "--parallel", "0"]),
+            Ok(Command::Quiz {
+                incidents: false,
+                threshold: 7,
+                report: None,
+                parallel: 1
+            })
+        );
+        assert_eq!(
+            p(&["quiz", "--parallel", "8"]),
+            Ok(Command::Quiz {
+                incidents: false,
+                threshold: 7,
+                report: None,
+                parallel: 8
+            })
+        );
+        assert!(p(&["quiz", "--parallel", "several"]).is_err());
     }
 
     #[test]
@@ -349,14 +434,23 @@ mod tests {
 
     #[test]
     fn simulate_choices_parse() {
-        assert_eq!(p(&["simulate"]), Ok(Command::Simulate { what: SimChoice::Storms }));
+        assert_eq!(
+            p(&["simulate"]),
+            Ok(Command::Simulate {
+                what: SimChoice::Storms
+            })
+        );
         assert_eq!(
             p(&["simulate", "outage"]),
-            Ok(Command::Simulate { what: SimChoice::Outage })
+            Ok(Command::Simulate {
+                what: SimChoice::Outage
+            })
         );
         assert_eq!(
             p(&["simulate", "economics"]),
-            Ok(Command::Simulate { what: SimChoice::Economics })
+            Ok(Command::Simulate {
+                what: SimChoice::Economics
+            })
         );
         assert!(p(&["simulate", "weather"]).is_err());
     }

@@ -4,10 +4,11 @@ use crate::args::{Command, RoleChoice, SimChoice};
 use ira_agentmem::KnowledgeStore;
 use ira_autogpt::AutoGptConfig;
 use ira_core::{questions, AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_engine::{Engine, FaultSpec, SessionConfig};
 use ira_evalkit::plancov::PlanCoverage;
 use ira_evalkit::quiz::QuizBank;
 use ira_evalkit::report::table;
-use ira_evalkit::runner::{evaluate_agent, evaluate_baseline};
+use ira_evalkit::runner::{evaluate_agent, evaluate_baseline, sweep};
 use ira_evalkit::trajectory::render_table;
 use ira_simllm::Llm;
 use ira_simnet::{Duration, FaultPlan};
@@ -33,19 +34,56 @@ pub fn run(cmd: Command) -> i32 {
             print!("{}", crate::args::USAGE);
             0
         }
-        Command::Train { role, out, crawl_links, distractors, faults, resume } => {
-            train(role, &out, crawl_links, distractors, faults, resume)
+        Command::Train {
+            role,
+            out,
+            crawl_links,
+            distractors,
+            faults,
+            resume,
+            parallel,
+        } => {
+            if parallel > 1 {
+                train_parallel(
+                    role,
+                    &out,
+                    crawl_links,
+                    distractors,
+                    faults,
+                    resume,
+                    parallel,
+                )
+            } else {
+                train(role, &out, crawl_links, distractors, faults, resume)
+            }
         }
-        Command::Ask { knowledge, question } => ask(&knowledge, &question),
-        Command::Learn { knowledge, question, threshold } => {
-            learn(&knowledge, &question, threshold)
-        }
-        Command::Quiz { incidents, threshold, report } => {
-            quiz(incidents, threshold, report.as_deref())
+        Command::Ask {
+            knowledge,
+            question,
+        } => ask(&knowledge, &question),
+        Command::Learn {
+            knowledge,
+            question,
+            threshold,
+        } => learn(&knowledge, &question, threshold),
+        Command::Quiz {
+            incidents,
+            threshold,
+            report,
+            parallel,
+        } => {
+            if parallel > 1 {
+                quiz_parallel(incidents, threshold, report.as_deref(), parallel)
+            } else {
+                quiz(incidents, threshold, report.as_deref())
+            }
         }
         Command::Plan => plan(),
         Command::Questions { knowledge, max } => questions_cmd(&knowledge, max),
-        Command::Corpus { distractors, faults } => corpus_stats(distractors, faults),
+        Command::Corpus {
+            distractors,
+            faults,
+        } => corpus_stats(distractors, faults),
         Command::Simulate { what } => simulate(what),
         Command::Audit => audit_cmd(),
     }
@@ -59,7 +97,13 @@ fn role_definition(choice: RoleChoice) -> RoleDefinition {
 }
 
 fn env_with(distractors: usize) -> Environment {
-    Environment::build(CorpusConfig { seed: 0xC0FFEE, distractor_count: distractors }, 0xBEEF)
+    Environment::build(
+        CorpusConfig {
+            seed: 0xC0FFEE,
+            distractor_count: distractors,
+        },
+        0xBEEF,
+    )
 }
 
 /// The training checkpoint lives next to the knowledge file.
@@ -77,7 +121,10 @@ fn train(
 ) -> i32 {
     let env = if faults > 0.0 {
         Environment::build_chaotic(
-            CorpusConfig { seed: 0xC0FFEE, distractor_count: distractors },
+            CorpusConfig {
+                seed: 0xC0FFEE,
+                distractor_count: distractors,
+            },
             0xBEEF,
             faults,
             train_horizon(),
@@ -94,7 +141,10 @@ fn train(
         );
     }
     let config = AgentConfig {
-        autogpt: AutoGptConfig { crawl_links, ..AutoGptConfig::default() },
+        autogpt: AutoGptConfig {
+            crawl_links,
+            ..AutoGptConfig::default()
+        },
         ..AgentConfig::default()
     };
     let mut agent = ResearchAgent::new(role_definition(role), &env, config, 0xB0B);
@@ -108,7 +158,10 @@ fn train(
     } else if ira_core::TrainingCheckpoint::load(&ckpt_path).is_some() {
         println!("resuming from checkpoint {}", ckpt_path.display());
     } else {
-        println!("no checkpoint at {}; training from scratch", ckpt_path.display());
+        println!(
+            "no checkpoint at {}; training from scratch",
+            ckpt_path.display()
+        );
     }
     let report = match agent.train_with_checkpoint(&ckpt_path) {
         Ok(r) => r,
@@ -133,7 +186,11 @@ fn train(
             fault_stats.total(),
             breaker.transitions(),
             breaker.fast_failures,
-            report.per_goal.iter().map(|g| g.source_unavailable).sum::<u32>()
+            report
+                .per_goal
+                .iter()
+                .map(|g| g.source_unavailable)
+                .sum::<u32>()
         );
     }
     match agent.save_knowledge(Path::new(out)) {
@@ -148,8 +205,182 @@ fn train(
     }
 }
 
+/// `ira train --parallel N`: N independently seeded training sessions
+/// (session *i* shifts the network and model seeds by *i*; session 0
+/// uses exactly the serial seeds) fan out over worker threads sharing
+/// one engine-cached corpus. Session 0's knowledge is written to
+/// `out`, so the file is identical to a serial `ira train` run; the
+/// extra sessions report seed robustness of the training itself.
+fn train_parallel(
+    role: RoleChoice,
+    out: &str,
+    crawl_links: usize,
+    distractors: usize,
+    faults: f64,
+    resume: bool,
+    sessions: usize,
+) -> i32 {
+    if resume {
+        println!("note: --resume only applies to serial training; ignoring it");
+    }
+    let config = AgentConfig {
+        autogpt: AutoGptConfig {
+            crawl_links,
+            ..AutoGptConfig::default()
+        },
+        ..AgentConfig::default()
+    };
+    println!("{}", role_definition(role));
+    println!("training {sessions} seeded sessions in parallel");
+
+    let engine = Engine::new();
+    let start = std::time::Instant::now();
+    let seeds: Vec<u64> = (0..sessions as u64).collect();
+    let mut results = sweep(seeds, sessions, |_, s| {
+        let mut session = engine.spawn_session(SessionConfig {
+            role: role_definition(role),
+            agent: config,
+            corpus: CorpusConfig {
+                seed: 0xC0FFEE,
+                distractor_count: distractors,
+            },
+            net_seed: 0xBEEF + s,
+            llm_seed: 0xB0B + s,
+            faults: (faults > 0.0).then(|| FaultSpec {
+                intensity: faults,
+                horizon: train_horizon(),
+                seed: FAULT_SEED.wrapping_add(s),
+            }),
+        });
+        let report = session.agent.train();
+        (session, report)
+    });
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .enumerate()
+        .map(|(i, (_, report))| {
+            vec![
+                i.to_string(),
+                report.total_searches().to_string(),
+                report.total_fetches().to_string(),
+                report.memory_entries.to_string(),
+                format!("{:.1}", report.virtual_elapsed_us as f64 / 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["session", "searches", "fetches", "entries", "virt-s"],
+            &rows
+        )
+    );
+    eprintln!(
+        "[timing] sessions={sessions} wall={:.2}s corpus-builds={}",
+        start.elapsed().as_secs_f64(),
+        engine.corpus_builds()
+    );
+
+    let (session0, _) = &mut results[0];
+    match session0.agent.save_knowledge(Path::new(out)) {
+        Ok(()) => {
+            println!("knowledge from session 0 written to {out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: could not write {out}: {e}");
+            1
+        }
+    }
+}
+
+/// `ira quiz --parallel N`: N independently seeded agents take the
+/// quiz on worker threads; the per-agent scores and the across-agent
+/// aggregate quantify how seed-robust the result is.
+fn quiz_parallel(incidents: bool, threshold: u8, report_path: Option<&str>, agents: usize) -> i32 {
+    if report_path.is_some() {
+        println!("note: --report only applies to the single-agent quiz; ignoring it");
+    }
+    let engine = Engine::new();
+    let quiz = if incidents {
+        QuizBank::incidents(&engine.world().incidents)
+    } else {
+        QuizBank::from_world(engine.world())
+    };
+    let conclusions = engine.world().conclusions();
+    let role = if incidents {
+        RoleDefinition::outage_analyst()
+    } else {
+        RoleDefinition::bob()
+    };
+    let config = AgentConfig {
+        confidence_threshold: threshold,
+        ..AgentConfig::default()
+    };
+
+    println!("evaluating {agents} seeded agents in parallel");
+    let start = std::time::Instant::now();
+    let seeds: Vec<u64> = (0..agents as u64).collect();
+    let runs = sweep(seeds, agents, |_, s| {
+        let mut session = engine.spawn_session(SessionConfig {
+            role: role.clone(),
+            agent: config,
+            corpus: CorpusConfig {
+                seed: 0xC0FFEE,
+                distractor_count: 150,
+            },
+            net_seed: 0xBEEF + s,
+            llm_seed: 0xB0B + s,
+            faults: None,
+        });
+        session.agent.train();
+        evaluate_agent(&mut session.agent, &quiz, &conclusions)
+    });
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .enumerate()
+        .map(|(i, run)| {
+            vec![
+                i.to_string(),
+                format!(
+                    "{}/{}",
+                    run.consistency.consistent_count(),
+                    run.consistency.total()
+                ),
+                format!("{:.1}", run.consistency.mean_confidence()),
+                run.total_learning_rounds().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["agent", "consistent", "mean-conf", "learn-rounds"], &rows)
+    );
+    let mean_consistent = runs
+        .iter()
+        .map(|r| r.consistency.consistent_count())
+        .sum::<usize>() as f64
+        / runs.len() as f64;
+    println!(
+        "across {} agents: mean {:.1}/{} conclusions consistent",
+        runs.len(),
+        mean_consistent,
+        runs[0].consistency.total()
+    );
+    let baseline = evaluate_baseline(&Llm::gpt4(999), &quiz);
+    println!("{}", baseline.summary());
+    eprintln!(
+        "[timing] agents={agents} wall={:.2}s corpus-builds={}",
+        start.elapsed().as_secs_f64(),
+        engine.corpus_builds()
+    );
+    0
+}
+
 /// Load a knowledge file into a fresh agent (no training).
-fn agent_from_knowledge<'e>(env: &'e Environment, path: &str) -> Result<ResearchAgent<'e>, i32> {
+fn agent_from_knowledge(env: &Environment, path: &str) -> Result<ResearchAgent, i32> {
     let store = match KnowledgeStore::load(Path::new(path)) {
         Ok(s) => s,
         Err(e) => {
@@ -204,9 +435,11 @@ fn learn(knowledge: &str, question: &str, threshold: u8) -> i32 {
             KnowledgeStore::with_defaults()
         }
     };
-    let config = AgentConfig { confidence_threshold: threshold, ..AgentConfig::default() };
-    let mut agent =
-        ResearchAgent::with_memory(RoleDefinition::bob(), &env, config, 0xB0B, store);
+    let config = AgentConfig {
+        confidence_threshold: threshold,
+        ..AgentConfig::default()
+    };
+    let mut agent = ResearchAgent::with_memory(RoleDefinition::bob(), &env, config, 0xB0B, store);
     let trajectory = agent.self_learn(question);
     println!("{}", render_table(&trajectory));
     let answer = agent.ask(question);
@@ -227,8 +460,15 @@ fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>) -> i32 {
         QuizBank::from_world(&env.world)
     };
     let conclusions = env.world.conclusions();
-    let role = if incidents { RoleDefinition::outage_analyst() } else { RoleDefinition::bob() };
-    let config = AgentConfig { confidence_threshold: threshold, ..AgentConfig::default() };
+    let role = if incidents {
+        RoleDefinition::outage_analyst()
+    } else {
+        RoleDefinition::bob()
+    };
+    let config = AgentConfig {
+        confidence_threshold: threshold,
+        ..AgentConfig::default()
+    };
     let mut agent = ResearchAgent::new(role, &env, config, 0xB0B);
     agent.train();
     let run = evaluate_agent(&mut agent, &quiz, &conclusions);
@@ -246,13 +486,23 @@ fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>) -> i32 {
             ]
         })
         .collect();
-    println!("{}", table(&["item", "verdict", "conf", "consistent"], &rows));
+    println!(
+        "{}",
+        table(&["item", "verdict", "conf", "consistent"], &rows)
+    );
     println!("{}", run.consistency.summary());
     let baseline = evaluate_baseline(&Llm::gpt4(999), &quiz);
     println!("{}", baseline.summary());
     if let Some(path) = report_path {
         let md = ira_evalkit::report::markdown_report(
-            &format!("Investigation report ({})", if incidents { "incidents" } else { "solar superstorms" }),
+            &format!(
+                "Investigation report ({})",
+                if incidents {
+                    "incidents"
+                } else {
+                    "solar superstorms"
+                }
+            ),
             &run,
             &baseline,
         );
@@ -293,7 +543,13 @@ fn questions_cmd(knowledge: &str, max: usize) -> i32 {
     }
     let rows: Vec<Vec<String>> = generated
         .iter()
-        .map(|q| vec![q.novelty.to_string(), q.confidence.to_string(), q.question.clone()])
+        .map(|q| {
+            vec![
+                q.novelty.to_string(),
+                q.confidence.to_string(),
+                q.question.clone(),
+            ]
+        })
         .collect();
     println!("{}", table(&["novelty", "conf", "question"], &rows));
     0
@@ -304,7 +560,10 @@ fn simulate(what: SimChoice) -> i32 {
     match what {
         SimChoice::Storms => {
             let world = World::standard();
-            println!("storm impact sweep ({} cables, Monte Carlo 200 trials):\n", world.cables.len());
+            println!(
+                "storm impact sweep ({} cables, Monte Carlo 200 trials):\n",
+                world.cables.len()
+            );
             let rows: Vec<Vec<String>> = StormScenario::catalog()
                 .into_iter()
                 .map(|storm| {
@@ -325,7 +584,10 @@ fn simulate(what: SimChoice) -> i32 {
                 .collect();
             println!(
                 "{}",
-                table(&["scenario", "dst-nT", "cables-down", "pair-connectivity"], &rows)
+                table(
+                    &["scenario", "dst-nT", "cables-down", "pair-connectivity"],
+                    &rows
+                )
             );
         }
         SimChoice::Outage => {
@@ -339,7 +601,10 @@ fn simulate(what: SimChoice) -> i32 {
                 during * 100.0,
                 after * 100.0
             );
-            println!("google.com stays at {:.0}% throughout.", sys.availability("google.com") * 100.0);
+            println!(
+                "google.com stays at {:.0}% throughout.",
+                sys.availability("google.com") * 100.0
+            );
         }
         SimChoice::Economics => {
             use ira_worldmodel::econ::storm_impact;
@@ -356,7 +621,13 @@ fn simulate(what: SimChoice) -> i32 {
                     ]
                 })
                 .collect();
-            println!("{}", table(&["scenario", "grid-$B", "connectivity-$B", "total-$B"], &rows));
+            println!(
+                "{}",
+                table(
+                    &["scenario", "grid-$B", "connectivity-$B", "total-$B"],
+                    &rows
+                )
+            );
         }
     }
     0
@@ -392,7 +663,11 @@ fn corpus_stats(distractors: usize, faults: f64) -> i32 {
     }
     println!("\nby source:");
     for (source, count) in env.corpus.source_counts() {
-        println!("  {:<26} {count}  (sim://{})", source.label(), source.host());
+        println!(
+            "  {:<26} {count}  (sim://{})",
+            source.label(),
+            source.host()
+        );
     }
     if faults > 0.0 {
         let hosts = env.client.network().host_names();

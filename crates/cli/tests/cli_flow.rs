@@ -23,6 +23,7 @@ fn train_then_ask_then_learn_round_trip() {
         distractors: 50,
         faults: 0.0,
         resume: false,
+        parallel: 1,
     });
     assert_eq!(code, 0);
     assert!(std::path::Path::new(&knowledge).exists());
@@ -47,10 +48,16 @@ fn train_then_ask_then_learn_round_trip() {
     });
     assert_eq!(code, 0);
     let after = std::fs::read_to_string(&knowledge).unwrap();
-    assert!(after.len() > before.len(), "learning must grow the knowledge file");
+    assert!(
+        after.len() > before.len(),
+        "learning must grow the knowledge file"
+    );
 
     // questions from the grown knowledge
-    let code = run(Command::Questions { knowledge: knowledge.clone(), max: 5 });
+    let code = run(Command::Questions {
+        knowledge: knowledge.clone(),
+        max: 5,
+    });
     assert_eq!(code, 0);
 
     std::fs::remove_file(&knowledge).ok();
@@ -68,6 +75,7 @@ fn faulted_train_still_writes_knowledge_and_cleans_its_checkpoint() {
         distractors: 50,
         faults: 0.25,
         resume: false,
+        parallel: 1,
     });
     assert_eq!(code, 0);
     assert!(std::path::Path::new(&knowledge).exists());
@@ -82,11 +90,63 @@ fn faulted_train_still_writes_knowledge_and_cleans_its_checkpoint() {
         distractors: 50,
         faults: 0.0,
         resume: true,
+        parallel: 1,
     });
     assert_eq!(code, 0);
 
     std::fs::remove_file(&knowledge).ok();
     std::fs::remove_file(format!("{knowledge}.bak")).ok();
+}
+
+#[test]
+fn parallel_train_writes_the_same_knowledge_as_serial() {
+    let serial = tmp("serial-knowledge.json");
+    let parallel = tmp("parallel-knowledge.json");
+    let _ = std::fs::remove_file(&serial);
+    let _ = std::fs::remove_file(&parallel);
+
+    let code = run(Command::Train {
+        role: RoleChoice::Bob,
+        out: serial.clone(),
+        crawl_links: 0,
+        distractors: 50,
+        faults: 0.0,
+        resume: false,
+        parallel: 1,
+    });
+    assert_eq!(code, 0);
+
+    // Session 0 of a parallel run uses the serial seeds, so the file
+    // it writes must match the serial run byte for byte.
+    let code = run(parse(&[
+        "train".to_string(),
+        "--out".to_string(),
+        parallel.clone(),
+        "--distractors".to_string(),
+        "50".to_string(),
+        "--parallel".to_string(),
+        "3".to_string(),
+    ])
+    .unwrap());
+    assert_eq!(code, 0);
+
+    let serial_bytes = std::fs::read(&serial).unwrap();
+    let parallel_bytes = std::fs::read(&parallel).unwrap();
+    assert_eq!(serial_bytes, parallel_bytes);
+
+    std::fs::remove_file(&serial).ok();
+    std::fs::remove_file(&parallel).ok();
+}
+
+#[test]
+fn parallel_quiz_reports_all_agents() {
+    let code = run(Command::Quiz {
+        incidents: false,
+        threshold: 7,
+        report: None,
+        parallel: 2,
+    });
+    assert_eq!(code, 0);
 }
 
 #[test]
@@ -100,7 +160,13 @@ fn ask_with_missing_knowledge_file_fails_cleanly() {
 
 #[test]
 fn corpus_and_help_commands_succeed() {
-    assert_eq!(run(Command::Corpus { distractors: 10, faults: 0.0 }), 0);
+    assert_eq!(
+        run(Command::Corpus {
+            distractors: 10,
+            faults: 0.0
+        }),
+        0
+    );
     assert_eq!(run(Command::Help), 0);
     assert_eq!(run(parse(&["help".to_string()]).unwrap()), 0);
 }

@@ -1,5 +1,13 @@
 //! The research agent: role + model + memory + autonomous retrieval,
 //! with the knowledge-testing / self-learning loop of §3.
+//!
+//! The agent owns shared handles to its service backends — a
+//! [`WebServices`] (search + fetch + session clock) and a
+//! [`LanguageModel`] — rather than borrowing an environment, so agents
+//! are `Send` and sessions can run on worker threads (see
+//! `ira-engine`). [`ResearchAgent::new`] keeps the legacy convenience
+//! wiring: clone the environment's client and build a seeded GPT-4
+//! model.
 
 use crate::config::AgentConfig;
 use crate::env::Environment;
@@ -8,9 +16,10 @@ use crate::selflearn::LearningTrajectory;
 use crate::stages::{HostTimer, StageStats};
 use ira_agentmem::KnowledgeStore;
 use ira_autogpt::{AutoGpt, Budget, GoalReport};
-use ira_simllm::reason::Answer;
-use ira_simllm::{Llm, LlmStats};
+use ira_services::{Answer, LanguageModel, LlmStats, WebServices};
+use ira_simllm::Llm;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Summary of the initial goal-driven training phase.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,32 +46,44 @@ impl TrainingReport {
 }
 
 /// The interactive research agent.
-pub struct ResearchAgent<'e> {
+pub struct ResearchAgent {
     pub role: RoleDefinition,
     config: AgentConfig,
-    env: &'e Environment,
-    llm: Llm,
+    web: Arc<dyn WebServices>,
+    llm: Arc<dyn LanguageModel>,
     memory: KnowledgeStore,
     stages: StageStats,
 }
 
-impl<'e> ResearchAgent<'e> {
-    /// Create an untrained agent in an environment.
-    pub fn new(role: RoleDefinition, env: &'e Environment, config: AgentConfig, seed: u64) -> Self {
-        let llm = Llm::gpt4(seed);
-        // Charge GPT-4-class inference latency to the shared virtual
-        // clock: a real agent's wall time is dominated by API calls
-        // (~1.2 s request overhead, ~0.1 ms per prompt token ingested,
-        // ~35 ms per completion token generated).
-        let clock = env.client.network().clock().clone();
-        llm.set_inference_hook(std::sync::Arc::new(move |prompt, completion| {
-            let us = 1_200_000 + 100 * prompt as u64 + 35_000 * completion as u64;
-            clock.advance(ira_simnet::Duration::from_micros(us));
+impl ResearchAgent {
+    /// Create an untrained agent in an environment: the canonical
+    /// simulation wiring — the environment's client as web services, a
+    /// seeded GPT-4-class model.
+    pub fn new(role: RoleDefinition, env: &Environment, config: AgentConfig, seed: u64) -> Self {
+        let web: Arc<dyn WebServices> = Arc::new(env.client.clone());
+        let llm: Arc<dyn LanguageModel> = Arc::new(Llm::gpt4(seed));
+        Self::from_services(role, web, llm, config)
+    }
+
+    /// Create an agent over explicit service backends. The configured
+    /// [`InferenceLatency`](crate::config::InferenceLatency) is
+    /// installed as the model's inference hook, charging every call to
+    /// the web services' clock.
+    pub fn from_services(
+        role: RoleDefinition,
+        web: Arc<dyn WebServices>,
+        llm: Arc<dyn LanguageModel>,
+        config: AgentConfig,
+    ) -> Self {
+        let latency = config.inference;
+        let clock = Arc::clone(&web);
+        llm.set_inference_hook(Arc::new(move |prompt, completion| {
+            clock.advance_us(latency.charge_us(prompt, completion));
         }));
         ResearchAgent {
             role,
             config,
-            env,
+            web,
             llm,
             memory: KnowledgeStore::new(config.memory),
             stages: StageStats::default(),
@@ -74,7 +95,7 @@ impl<'e> ResearchAgent<'e> {
     /// keep investigating).
     pub fn with_memory(
         role: RoleDefinition,
-        env: &'e Environment,
+        env: &Environment,
         config: AgentConfig,
         seed: u64,
         memory: KnowledgeStore,
@@ -85,7 +106,7 @@ impl<'e> ResearchAgent<'e> {
     }
 
     /// Agent Bob in the given environment with default config.
-    pub fn bob(env: &'e Environment) -> Self {
+    pub fn bob(env: &Environment) -> Self {
         ResearchAgent::new(RoleDefinition::bob(), env, AgentConfig::default(), 0xB0B)
     }
 
@@ -106,7 +127,7 @@ impl<'e> ResearchAgent<'e> {
     }
 
     fn now_us(&self) -> u64 {
-        self.env.now_us()
+        self.web.now_us()
     }
 
     /// Phase 1: pursue every role goal through the autonomous loop.
@@ -133,6 +154,8 @@ impl<'e> ResearchAgent<'e> {
     /// to the checkpointed instant so the remaining goals observe
     /// exactly the state an uninterrupted run would have. The
     /// checkpoint is deleted once every goal has completed.
+    ///
+    /// [`TrainingCheckpoint`]: crate::checkpoint::TrainingCheckpoint
     pub fn train_with_checkpoint(
         &mut self,
         ckpt_path: &std::path::Path,
@@ -150,10 +173,9 @@ impl<'e> ResearchAgent<'e> {
                     self.memory = memory;
                     per_goal = ckpt.per_goal;
                     completed = ckpt.completed;
-                    let clock = self.env.client.network().clock();
-                    let target = ira_simnet::Instant::from_micros(ckpt.clock_us);
-                    if target > clock.now() {
-                        clock.advance_to(target);
+                    let now = self.now_us();
+                    if ckpt.clock_us > now {
+                        self.web.advance_us(ckpt.clock_us - now);
                     }
                 }
             }
@@ -189,8 +211,8 @@ impl<'e> ResearchAgent<'e> {
         let host = HostTimer::start();
         let virtual_start = self.now_us();
         let mut loop_ = AutoGpt::new(
-            &self.env.client,
-            &self.llm,
+            &*self.web,
+            &*self.llm,
             &self.memory,
             self.config.autogpt,
             self.config.budget,
@@ -274,9 +296,9 @@ impl<'e> ResearchAgent<'e> {
             let knowledge = self.knowledge_for(question);
             let host = HostTimer::start();
             let virtual_start = self.now_us();
-            let queries: Vec<String> = self
-                .llm
-                .propose_searches(question, &knowledge, self.config.searches_per_round);
+            let queries: Vec<String> =
+                self.llm
+                    .propose_searches(question, &knowledge, self.config.searches_per_round);
             self.stages.reasoning_virtual_us += self.now_us() - virtual_start;
             self.stages.reasoning_host_us += host.elapsed_us();
             self.stages.reasoning_ops += 1;
@@ -303,8 +325,8 @@ impl<'e> ResearchAgent<'e> {
         let host = HostTimer::start();
         let virtual_start = self.now_us();
         let memorized: u32 = if self.config.parallel_retrieval && queries.len() > 1 {
-            let client = &self.env.client;
-            let llm = &self.llm;
+            let web = &*self.web;
+            let llm = &*self.llm;
             let memory = &self.memory;
             let autogpt = self.config.autogpt;
             crossbeam::thread::scope(|scope| {
@@ -312,24 +334,22 @@ impl<'e> ResearchAgent<'e> {
                     .iter()
                     .map(|q| {
                         scope.spawn(move |_| {
-                            let mut loop_ = AutoGpt::new(
-                                client,
-                                llm,
-                                memory,
-                                autogpt,
-                                Budget::new(8, 24, 16),
-                            );
+                            let mut loop_ =
+                                AutoGpt::new(web, llm, memory, autogpt, Budget::new(8, 24, 16));
                             loop_.pursue_query(topic, q).memorized
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("retrieval thread")).sum()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("retrieval thread"))
+                    .sum()
             })
             .expect("retrieval scope")
         } else {
             let mut loop_ = AutoGpt::new(
-                &self.env.client,
-                &self.llm,
+                &*self.web,
+                &*self.llm,
                 &self.memory,
                 self.config.autogpt,
                 self.config.budget,
@@ -366,7 +386,10 @@ impl<'e> ResearchAgent<'e> {
         // Regional grid latitudes: average per region.
         let mut grid_lats: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for f in &ex.facts {
-            if let Fact::RegionGridLatitude { region, degrees, .. } = f {
+            if let Fact::RegionGridLatitude {
+                region, degrees, ..
+            } = f
+            {
                 grid_lats.entry(region.clone()).or_default().push(*degrees);
             }
         }
@@ -384,7 +407,13 @@ impl<'e> ResearchAgent<'e> {
         // Highest-latitude cable per region pair.
         let mut best: BTreeMap<(String, String), (String, f64)> = BTreeMap::new();
         for f in ex.routes() {
-            if let Fact::CableRoute { name, from_region, to_region, .. } = f {
+            if let Fact::CableRoute {
+                name,
+                from_region,
+                to_region,
+                ..
+            } = f
+            {
                 if let Some(apex) = ex.apex_of(name) {
                     let key = if from_region <= to_region {
                         (from_region.clone(), to_region.clone())
@@ -419,7 +448,14 @@ impl<'e> ResearchAgent<'e> {
         for (i, insight) in insights.iter().enumerate() {
             if self
                 .memory
-                .memorize("reflection", insight, &format!("reflection://self/{i}"), "reflection", now, 0.9)
+                .memorize(
+                    "reflection",
+                    insight,
+                    &format!("reflection://self/{i}"),
+                    "reflection",
+                    now,
+                    0.9,
+                )
                 .is_some()
             {
                 stored += 1;
@@ -438,7 +474,10 @@ impl<'e> ResearchAgent<'e> {
     }
 
     /// Save the agent's knowledge to `knowledge.json`.
-    pub fn save_knowledge(&self, path: &std::path::Path) -> Result<(), ira_agentmem::store::StoreError> {
+    pub fn save_knowledge(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<(), ira_agentmem::store::StoreError> {
         self.memory.save(path)
     }
 }
@@ -451,7 +490,7 @@ mod tests {
                            that connects Brazil to Europe or the one that connects the US to \
                            Europe?";
 
-    fn trained_bob(env: &Environment) -> ResearchAgent<'_> {
+    fn trained_bob(env: &Environment) -> ResearchAgent {
         let mut bob = ResearchAgent::bob(env);
         bob.train();
         bob
@@ -463,10 +502,22 @@ mod tests {
         let mut bob = ResearchAgent::bob(&env);
         let report = bob.train();
         assert_eq!(report.per_goal.len(), 3);
-        assert!(report.total_memorized() >= 5, "memorized {}", report.total_memorized());
+        assert!(
+            report.total_memorized() >= 5,
+            "memorized {}",
+            report.total_memorized()
+        );
         assert!(report.memory_entries >= 5);
         assert!(report.virtual_elapsed_us > 0);
         assert!(report.llm.calls > 0);
+    }
+
+    #[test]
+    fn agents_are_send() {
+        // The whole point of the service-handle design: one session
+        // (agent + its backends) can move to a worker thread.
+        fn assert_send<T: Send>() {}
+        assert_send::<ResearchAgent>();
     }
 
     #[test]
@@ -474,6 +525,30 @@ mod tests {
         let env = Environment::standard();
         let mut bob = ResearchAgent::bob(&env);
         assert!(bob.confidence(CABLE_Q) <= 3);
+    }
+
+    #[test]
+    fn inference_latency_config_governs_virtual_time() {
+        // A free model spends no virtual time on reasoning; the
+        // default GPT-4 profile dominates the run with it.
+        let env = Environment::standard();
+        let config = AgentConfig {
+            inference: crate::config::InferenceLatency::zero(),
+            ..AgentConfig::default()
+        };
+        let mut free = ResearchAgent::new(RoleDefinition::bob(), &env, config, 0xB0B);
+        free.train();
+        let _ = free.self_learn(CABLE_Q);
+        let free_stages = free.stage_stats();
+        assert_eq!(
+            free_stages.reasoning_virtual_us, 0,
+            "a zero-latency model must charge no reasoning time"
+        );
+
+        let env2 = Environment::standard();
+        let mut paid = trained_bob(&env2);
+        let _ = paid.self_learn(CABLE_Q);
+        assert!(paid.stage_stats().reasoning_virtual_us > 0);
     }
 
     #[test]
@@ -485,12 +560,18 @@ mod tests {
         let trajectory = bob.self_learn(CABLE_Q);
         let initial = trajectory.initial_confidence().unwrap();
         let final_ = trajectory.final_confidence().unwrap();
-        assert!(initial < 7, "initial confidence {initial} should be below threshold");
+        assert!(
+            initial < 7,
+            "initial confidence {initial} should be below threshold"
+        );
         assert!(final_ >= 8, "final confidence {final_} should reach 8-9");
         assert!(trajectory.reached_threshold);
         let last = trajectory.rounds.last().unwrap();
         let verdict = last.verdict.as_deref().expect("should commit");
-        assert!(verdict.to_lowercase().contains("united states"), "verdict: {verdict}");
+        assert!(
+            verdict.to_lowercase().contains("united states"),
+            "verdict: {verdict}"
+        );
     }
 
     #[test]
@@ -520,7 +601,10 @@ mod tests {
         let q = "Is the United States or Asia more susceptible to Internet disruption from a \
                  solar superstorm?";
         let env = Environment::standard();
-        let mut naive_cfg = AgentConfig { query_expansion: false, ..AgentConfig::default() };
+        let mut naive_cfg = AgentConfig {
+            query_expansion: false,
+            ..AgentConfig::default()
+        };
         naive_cfg.memory.weights.diversity = 0.0;
         let mut plain = ResearchAgent::new(RoleDefinition::bob(), &env, naive_cfg, 0xB0B);
         plain.train();
@@ -552,7 +636,10 @@ mod tests {
         let _ = bob.self_learn(CABLE_Q);
         let before = bob.memory().len();
         let stored = bob.reflect();
-        assert!(stored >= 1, "training plus one investigation should yield insights");
+        assert!(
+            stored >= 1,
+            "training plus one investigation should yield insights"
+        );
         assert_eq!(bob.memory().len(), before + stored);
         // The insights themselves must be machine-readable.
         let mut ex = Extraction::default();
@@ -561,7 +648,10 @@ mod tests {
                 ex.absorb(&e.content, None);
             }
         }
-        assert!(!ex.is_empty(), "insights must re-extract as facts or principles");
+        assert!(
+            !ex.is_empty(),
+            "insights must re-extract as facts or principles"
+        );
         // Reflecting twice does not duplicate insights (dedup).
         let again = bob.reflect();
         assert_eq!(again, 0, "identical insights must deduplicate, got {again}");
@@ -584,7 +674,11 @@ mod tests {
         let env = Environment::standard();
         let mut bob = trained_bob(&env);
         let plan = bob.respond_plan();
-        assert!(plan.text.contains("Predictive Shutdown"), "plan: {}", plan.text);
+        assert!(
+            plan.text.contains("Predictive Shutdown"),
+            "plan: {}",
+            plan.text
+        );
         assert!(plan.text.contains("Redundancy Utilization"));
     }
 
@@ -594,7 +688,10 @@ mod tests {
         let mut seq = ResearchAgent::new(
             RoleDefinition::bob(),
             &env,
-            AgentConfig { parallel_retrieval: false, ..AgentConfig::default() },
+            AgentConfig {
+                parallel_retrieval: false,
+                ..AgentConfig::default()
+            },
             1,
         );
         seq.train();
@@ -604,7 +701,10 @@ mod tests {
         let mut par = ResearchAgent::new(
             RoleDefinition::bob(),
             &env2,
-            AgentConfig { parallel_retrieval: true, ..AgentConfig::default() },
+            AgentConfig {
+                parallel_retrieval: true,
+                ..AgentConfig::default()
+            },
             1,
         );
         par.train();
@@ -637,8 +737,7 @@ mod tests {
         let mut partial_role = RoleDefinition::bob();
         let first_goal = partial_role.goals[0].clone();
         partial_role.goals.truncate(1);
-        let mut partial =
-            ResearchAgent::new(partial_role, &env2, AgentConfig::default(), 0xB0B);
+        let mut partial = ResearchAgent::new(partial_role, &env2, AgentConfig::default(), 0xB0B);
         let partial_report = partial.train();
         TrainingCheckpoint {
             role_name: "Bob".into(),
@@ -660,7 +759,7 @@ mod tests {
         // Knowledge must match the uninterrupted run exactly, modulo
         // the learned_at timestamps (the network's latency stream is
         // positioned differently after a restart).
-        let key = |s: &ResearchAgent<'_>| -> Vec<(String, String, String, String)> {
+        let key = |s: &ResearchAgent| -> Vec<(String, String, String, String)> {
             s.memory()
                 .entries()
                 .into_iter()
@@ -706,8 +805,14 @@ mod tests {
         let stages = bob.stage_stats();
         assert!(stages.retrieval_ops > 0);
         assert!(stages.reasoning_ops > 0);
-        assert!(stages.retrieval_virtual_us > 0, "web latency must be charged");
-        assert!(stages.reasoning_virtual_us > 0, "inference latency must be charged");
+        assert!(
+            stages.retrieval_virtual_us > 0,
+            "web latency must be charged"
+        );
+        assert!(
+            stages.reasoning_virtual_us > 0,
+            "inference latency must be charged"
+        );
         let share = stages.retrieval_share();
         assert!((0.0..1.0).contains(&share), "share {share}");
     }

@@ -74,7 +74,10 @@ mod tests {
         TrainingCheckpoint {
             role_name: "Bob".into(),
             completed: vec!["goal one".into()],
-            per_goal: vec![GoalReport { goal: "goal one".into(), ..GoalReport::default() }],
+            per_goal: vec![GoalReport {
+                goal: "goal one".into(),
+                ..GoalReport::default()
+            }],
             memory: r#"{"entries": []}"#.into(),
             clock_us: 123_456,
         }

@@ -4,6 +4,56 @@ use ira_agentmem::StoreConfig;
 use ira_autogpt::{AutoGptConfig, Budget};
 use serde::{Deserialize, Serialize};
 
+/// The simulated cost of one model call, charged to the session's
+/// virtual clock after every inference. A real agent's wall time is
+/// dominated by API calls; these constants model a GPT-4-class
+/// endpoint (~1.2 s request overhead, ~0.1 ms per prompt token
+/// ingested, ~35 ms per completion token generated). Ablations and
+/// alternative backends swap in their own numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceLatency {
+    /// Fixed per-request overhead, microseconds.
+    pub request_us: u64,
+    /// Cost per prompt token ingested, microseconds.
+    pub per_prompt_token_us: u64,
+    /// Cost per completion token generated, microseconds.
+    pub per_completion_token_us: u64,
+}
+
+impl InferenceLatency {
+    /// The GPT-4-class profile every experiment has used so far.
+    pub const fn gpt4() -> Self {
+        InferenceLatency {
+            request_us: 1_200_000,
+            per_prompt_token_us: 100,
+            per_completion_token_us: 35_000,
+        }
+    }
+
+    /// A free instantaneous model — useful for ablations that want to
+    /// isolate network time.
+    pub const fn zero() -> Self {
+        InferenceLatency {
+            request_us: 0,
+            per_prompt_token_us: 0,
+            per_completion_token_us: 0,
+        }
+    }
+
+    /// Virtual microseconds one call with these token counts costs.
+    pub fn charge_us(&self, prompt_tokens: usize, completion_tokens: usize) -> u64 {
+        self.request_us
+            + self.per_prompt_token_us * prompt_tokens as u64
+            + self.per_completion_token_us * completion_tokens as u64
+    }
+}
+
+impl Default for InferenceLatency {
+    fn default() -> Self {
+        InferenceLatency::gpt4()
+    }
+}
+
 /// Configuration of the research agent and its self-learning loop.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct AgentConfig {
@@ -25,6 +75,9 @@ pub struct AgentConfig {
     /// question-only top-k retrieval dilutes as the memory grows (see
     /// the A1 ablation, which measures both).
     pub query_expansion: bool,
+    /// Simulated model-call latency charged to the virtual clock.
+    #[serde(default)]
+    pub inference: InferenceLatency,
     /// Knowledge-memory behaviour (dedup threshold, retrieval weights).
     pub memory: StoreConfig,
     #[serde(skip, default = "default_autogpt")]
@@ -50,6 +103,7 @@ impl Default for AgentConfig {
             searches_per_round: 4,
             parallel_retrieval: false,
             query_expansion: true,
+            inference: InferenceLatency::default(),
             memory: StoreConfig::default(),
             autogpt: AutoGptConfig::default(),
             budget: Budget::standard(),
@@ -71,10 +125,35 @@ mod tests {
 
     #[test]
     fn serde_round_trips_the_serializable_part() {
-        let c = AgentConfig { confidence_threshold: 9, ..AgentConfig::default() };
+        let c = AgentConfig {
+            confidence_threshold: 9,
+            ..AgentConfig::default()
+        };
         let json = serde_json::to_string(&c).unwrap();
         let back: AgentConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.confidence_threshold, 9);
         assert_eq!(back.retrieval_k, c.retrieval_k);
+        assert_eq!(back.inference, c.inference);
+    }
+
+    #[test]
+    fn gpt4_latency_matches_the_historical_constants() {
+        // These numbers used to be hard-coded in ResearchAgent::new;
+        // the formula must not drift or every virtual-time result
+        // changes.
+        let l = InferenceLatency::gpt4();
+        assert_eq!(l.charge_us(0, 0), 1_200_000);
+        assert_eq!(l.charge_us(1000, 10), 1_200_000 + 100 * 1000 + 35_000 * 10);
+        assert_eq!(InferenceLatency::default(), InferenceLatency::gpt4());
+    }
+
+    #[test]
+    fn old_configs_without_inference_still_deserialize() {
+        // Knowledge/config files written before the field existed must
+        // load with the GPT-4 default.
+        let mut v: serde_json::Value = serde_json::to_value(&AgentConfig::default()).unwrap();
+        v.as_object_mut().unwrap().remove("inference");
+        let back: AgentConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back.inference, InferenceLatency::gpt4());
     }
 }

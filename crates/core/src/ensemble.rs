@@ -30,7 +30,11 @@ pub struct CommitteeConfig {
 
 impl Default for CommitteeConfig {
     fn default() -> Self {
-        CommitteeConfig { members: 3, base_seed: 0x77, agent: AgentConfig::default() }
+        CommitteeConfig {
+            members: 3,
+            base_seed: 0x77,
+            agent: AgentConfig::default(),
+        }
     }
 }
 
@@ -69,33 +73,47 @@ impl Committee {
         Committee { config, role }
     }
 
+    pub fn config(&self) -> &CommitteeConfig {
+        &self.config
+    }
+
+    /// Train member `m` in its own environment and self-learn every
+    /// question. Members are independent — callers may run them on
+    /// separate threads (the committee itself is `Sync`) and aggregate
+    /// with [`aggregate`].
+    pub fn evaluate_member(&self, m: usize, questions: &[&str]) -> Vec<MemberAnswer> {
+        let seed = self.config.base_seed + m as u64;
+        let env = Environment::build(
+            CorpusConfig {
+                seed,
+                distractor_count: 150,
+            },
+            seed ^ 0xBEEF,
+        );
+        let mut agent = ResearchAgent::new(self.role.clone(), &env, self.config.agent, seed);
+        agent.train();
+        let mut answers = Vec::with_capacity(questions.len());
+        for q in questions {
+            let _ = agent.self_learn(q);
+            let ans = agent.ask(q);
+            answers.push(MemberAnswer {
+                member: m,
+                verdict: ans.verdict,
+                confidence: ans.confidence,
+            });
+        }
+        answers
+    }
+
     /// Investigate a set of questions: every member trains in its own
     /// environment and self-learns each question; answers are
     /// aggregated per question.
     pub fn investigate(&self, questions: &[&str]) -> Vec<CommitteeAnswer> {
         // Collect every member's answers first (member-major order so
         // each trains exactly once).
-        let mut per_member: Vec<Vec<MemberAnswer>> = Vec::with_capacity(self.config.members);
-        for m in 0..self.config.members {
-            let seed = self.config.base_seed + m as u64;
-            let env = Environment::build(
-                CorpusConfig { seed, distractor_count: 150 },
-                seed ^ 0xBEEF,
-            );
-            let mut agent = ResearchAgent::new(self.role.clone(), &env, self.config.agent, seed);
-            agent.train();
-            let mut answers = Vec::with_capacity(questions.len());
-            for q in questions {
-                let _ = agent.self_learn(q);
-                let ans = agent.ask(q);
-                answers.push(MemberAnswer {
-                    member: m,
-                    verdict: ans.verdict,
-                    confidence: ans.confidence,
-                });
-            }
-            per_member.push(answers);
-        }
+        let per_member: Vec<Vec<MemberAnswer>> = (0..self.config.members)
+            .map(|m| self.evaluate_member(m, questions))
+            .collect();
 
         questions
             .iter()
@@ -109,7 +127,10 @@ impl Committee {
     }
 }
 
-fn aggregate(question: &str, members: Vec<MemberAnswer>) -> CommitteeAnswer {
+/// Aggregate one question's member answers: plurality verdict over
+/// case-normalised committed verdicts, mean confidence, agreement
+/// share.
+pub fn aggregate(question: &str, members: Vec<MemberAnswer>) -> CommitteeAnswer {
     let mean_confidence =
         members.iter().map(|m| m.confidence as f64).sum::<f64>() / members.len() as f64;
 
@@ -122,10 +143,7 @@ fn aggregate(question: &str, members: Vec<MemberAnswer>) -> CommitteeAnswer {
             entry.0 += 1;
         }
     }
-    let winner = votes
-        .values()
-        .max_by_key(|(count, _)| *count)
-        .cloned();
+    let winner = votes.values().max_by_key(|(count, _)| *count).cloned();
     let (verdict, agreement) = match winner {
         Some((count, text)) => (Some(text), count as f64 / members.len() as f64),
         None => (None, 0.0),
@@ -145,7 +163,11 @@ mod tests {
     use super::*;
 
     fn member(m: usize, verdict: Option<&str>, confidence: u8) -> MemberAnswer {
-        MemberAnswer { member: m, verdict: verdict.map(str::to_owned), confidence }
+        MemberAnswer {
+            member: m,
+            verdict: verdict.map(str::to_owned),
+            confidence,
+        }
     }
 
     #[test]
@@ -207,7 +229,10 @@ mod tests {
     fn empty_committee_is_rejected() {
         Committee::new(
             RoleDefinition::bob(),
-            CommitteeConfig { members: 0, ..CommitteeConfig::default() },
+            CommitteeConfig {
+                members: 0,
+                ..CommitteeConfig::default()
+            },
         );
     }
 }

@@ -26,7 +26,11 @@ impl Environment {
         let mut net = Network::new(NetworkConfig::default(), net_seed);
         register_sites(&mut net, Arc::clone(&corpus));
         let client = Client::new(Arc::new(net));
-        Environment { world, corpus, client }
+        Environment {
+            world,
+            corpus,
+            client,
+        }
     }
 
     /// The default experiment environment.
@@ -54,7 +58,11 @@ impl Environment {
         let net = Arc::new(net);
         net.set_fault_plan(FaultPlan::random(&hosts, intensity, horizon, fault_seed));
         let client = Client::with_config(net, ClientConfig::resilient());
-        Environment { world, corpus, client }
+        Environment {
+            world,
+            corpus,
+            client,
+        }
     }
 
     /// Virtual time elapsed so far, microseconds.
@@ -81,11 +89,17 @@ mod tests {
     #[test]
     fn distractor_count_is_tunable() {
         let small = Environment::build(
-            CorpusConfig { seed: 1, distractor_count: 0 },
+            CorpusConfig {
+                seed: 1,
+                distractor_count: 0,
+            },
             1,
         );
         let big = Environment::build(
-            CorpusConfig { seed: 1, distractor_count: 300 },
+            CorpusConfig {
+                seed: 1,
+                distractor_count: 300,
+            },
             1,
         );
         assert_eq!(big.corpus.len() - small.corpus.len(), 300);

@@ -29,12 +29,14 @@ pub mod role;
 pub mod selflearn;
 pub mod stages;
 
+pub use ira_services as services;
+
 pub use agent::{ResearchAgent, TrainingReport};
 pub use checkpoint::TrainingCheckpoint;
-pub use config::AgentConfig;
+pub use config::{AgentConfig, InferenceLatency};
 pub use ensemble::{Committee, CommitteeAnswer, CommitteeConfig};
-pub use questions::{generate as generate_questions, ResearchQuestion};
 pub use env::Environment;
+pub use questions::{generate as generate_questions, ResearchQuestion};
 pub use role::RoleDefinition;
 pub use selflearn::{LearningTrajectory, RoundRecord};
 pub use stages::StageStats;

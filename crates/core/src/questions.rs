@@ -29,7 +29,7 @@ pub struct ResearchQuestion {
 
 /// Mine the agent's memory and propose ranked research questions
 /// (most novel first). `max` caps the output.
-pub fn generate(agent: &mut ResearchAgent<'_>, max: usize) -> Vec<ResearchQuestion> {
+pub fn generate(agent: &mut ResearchAgent, max: usize) -> Vec<ResearchQuestion> {
     // Read everything the agent knows.
     let mut ex = Extraction::default();
     for entry in agent.memory().entries() {
@@ -44,7 +44,11 @@ pub fn generate(agent: &mut ResearchAgent<'_>, max: usize) -> Vec<ResearchQuesti
         .into_iter()
         .map(|question| {
             let confidence = agent.confidence(&question);
-            ResearchQuestion { question, confidence, novelty: 10u8.saturating_sub(confidence) }
+            ResearchQuestion {
+                question,
+                confidence,
+                novelty: 10u8.saturating_sub(confidence),
+            }
         })
         .collect();
     out.sort_by(|a, b| b.novelty.cmp(&a.novelty).then(a.question.cmp(&b.question)));
@@ -61,9 +65,11 @@ fn candidate_questions(ex: &Extraction) -> Vec<String> {
     let routes: Vec<(String, String)> = ex
         .routes()
         .filter_map(|f| match f {
-            Fact::CableRoute { from_country, to_country, .. } => {
-                Some((from_country.clone(), to_country.clone()))
-            }
+            Fact::CableRoute {
+                from_country,
+                to_country,
+                ..
+            } => Some((from_country.clone(), to_country.clone())),
             _ => None,
         })
         .collect();
@@ -124,7 +130,9 @@ fn candidate_questions(ex: &Extraction) -> Vec<String> {
     // Incident follow-ups.
     for f in &ex.facts {
         if let Fact::IncidentCause { incident, .. } = f {
-            questions.push(format!("What was the impact of the {incident} on the Internet?"));
+            questions.push(format!(
+                "What was the impact of the {incident} on the Internet?"
+            ));
         }
     }
 
@@ -149,9 +157,15 @@ mod tests {
             None,
         );
         let qs = candidate_questions(&ex);
-        assert!(qs.iter().any(|q| q.contains("Brazil") && q.contains("United States")));
-        assert!(qs.iter().any(|q| q.contains("Facebook's") || q.contains("Google's")));
-        assert!(qs.iter().any(|q| q.contains("impact of the 2021 Facebook outage")));
+        assert!(qs
+            .iter()
+            .any(|q| q.contains("Brazil") && q.contains("United States")));
+        assert!(qs
+            .iter()
+            .any(|q| q.contains("Facebook's") || q.contains("Google's")));
+        assert!(qs
+            .iter()
+            .any(|q| q.contains("impact of the 2021 Facebook outage")));
     }
 
     #[test]
@@ -165,9 +179,15 @@ mod tests {
              Brazil to Europe or the one that connects the US to Europe?",
         );
         let questions = generate(&mut bob, 12);
-        assert!(!questions.is_empty(), "a trained agent should pose questions");
+        assert!(
+            !questions.is_empty(),
+            "a trained agent should pose questions"
+        );
         for w in questions.windows(2) {
-            assert!(w[0].novelty >= w[1].novelty, "ranking must be novelty-descending");
+            assert!(
+                w[0].novelty >= w[1].novelty,
+                "ranking must be novelty-descending"
+            );
         }
         for q in &questions {
             assert_eq!(q.novelty, 10u8.saturating_sub(q.confidence));

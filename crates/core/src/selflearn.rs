@@ -109,7 +109,12 @@ mod tests {
         let mut t = LearningTrajectory::new("q", 7);
         t.record(0, &answer(3), Vec::new(), 0);
         assert!(!t.reached_threshold);
-        t.record(1, &answer(9), vec!["query one".into(), "query two".into()], 5);
+        t.record(
+            1,
+            &answer(9),
+            vec!["query one".into(), "query two".into()],
+            5,
+        );
         assert!(t.reached_threshold);
         assert_eq!(t.initial_confidence(), Some(3));
         assert_eq!(t.final_confidence(), Some(9));

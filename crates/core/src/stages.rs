@@ -58,7 +58,9 @@ pub struct HostTimer {
 
 impl HostTimer {
     pub fn start() -> Self {
-        HostTimer { start: Instant::now() }
+        HostTimer {
+            start: Instant::now(),
+        }
     }
 
     pub fn elapsed_us(&self) -> u64 {

@@ -1,0 +1,286 @@
+//! # ira-engine
+//!
+//! The engine/session layer. An [`Engine`] owns the expensive shared
+//! state of an experiment — the ground-truth [`World`] and a cache of
+//! generated corpora — and spawns owned, `Send` [`Session`]s: one
+//! simulated web + one research agent each, ready to move to a worker
+//! thread.
+//!
+//! The legacy pattern (`Environment::standard()` + borrowing agents)
+//! rebuilds the world and regenerates the corpus for every iteration
+//! of a sweep. Corpus generation is deterministic — `Corpus::generate`
+//! over the same world and config always yields the same pages — so
+//! the engine builds each distinct corpus exactly once and shares it
+//! (`Arc`) across sessions. Every per-session component that carries
+//! state (network, client, model, memory) is still constructed fresh,
+//! in exactly the order `Environment::build`/`build_chaotic` uses, so
+//! a session's observable behaviour is byte-identical to the legacy
+//! path.
+
+use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_simnet::{Client, ClientConfig, Duration, FaultPlan, Network, NetworkConfig};
+use ira_webcorpus::{register_sites, Corpus, CorpusConfig};
+use ira_worldmodel::World;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Random fault injection for a chaos session (mirrors
+/// `Environment::build_chaotic`).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Share of hosts faulted, 0.0–1.0.
+    pub intensity: f64,
+    /// Virtual-time horizon the fault plan covers.
+    pub horizon: Duration,
+    /// Fault-plan seed.
+    pub seed: u64,
+}
+
+/// Everything that makes one session distinct: the agent's identity
+/// and config, the view of the web, and the seeds.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    pub role: RoleDefinition,
+    pub agent: AgentConfig,
+    pub corpus: CorpusConfig,
+    /// Network latency/jitter stream seed.
+    pub net_seed: u64,
+    /// Language-model seed.
+    pub llm_seed: u64,
+    /// `Some` turns the session chaotic: a seeded random fault plan
+    /// plus a resilient (circuit-breaker) client.
+    pub faults: Option<FaultSpec>,
+}
+
+impl SessionConfig {
+    /// The canonical experiment session: agent Bob over the default
+    /// corpus with the standard seeds (`Environment::standard()` +
+    /// `ResearchAgent::bob`).
+    pub fn bob() -> Self {
+        SessionConfig {
+            role: RoleDefinition::bob(),
+            agent: AgentConfig::default(),
+            corpus: CorpusConfig::default(),
+            net_seed: 0xBEEF,
+            llm_seed: 0xB0B,
+            faults: None,
+        }
+    }
+}
+
+/// One spawned session: a private simulated web and the agent living
+/// in it. Owns everything (no borrows of the engine beyond `Arc`s), so
+/// it is `Send` and can run on a worker thread.
+pub struct Session {
+    pub env: Environment,
+    pub agent: ResearchAgent,
+}
+
+impl Session {
+    pub fn world(&self) -> &World {
+        &self.env.world
+    }
+
+    /// Virtual time elapsed in this session, microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.env.now_us()
+    }
+}
+
+type CorpusKey = (u64, usize);
+
+/// Shared experiment state: one world, each distinct corpus generated
+/// once.
+pub struct Engine {
+    world: World,
+    /// Per-key `OnceLock` cells so two threads asking for *different*
+    /// corpora build in parallel — the map lock is held only to hand
+    /// out the cell, never during generation.
+    corpora: Mutex<HashMap<CorpusKey, Arc<OnceLock<Arc<Corpus>>>>>,
+    builds: AtomicUsize,
+}
+
+impl Engine {
+    /// Engine over the standard ground-truth world.
+    pub fn new() -> Self {
+        Self::with_world(World::standard())
+    }
+
+    /// Engine over a caller-supplied world (ablations).
+    pub fn with_world(world: World) -> Self {
+        Engine {
+            world,
+            corpora: Mutex::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The corpus for `config`, generated on first request and shared
+    /// afterwards. Generation is deterministic, so the cached corpus is
+    /// indistinguishable from a rebuild.
+    pub fn corpus(&self, config: CorpusConfig) -> Arc<Corpus> {
+        let cell = {
+            let mut map = self.corpora.lock().expect("corpus map poisoned");
+            Arc::clone(
+                map.entry((config.seed, config.distractor_count))
+                    .or_default(),
+            )
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Corpus::generate(&self.world, config))
+        }))
+    }
+
+    /// How many corpora have actually been generated (cache misses).
+    pub fn corpus_builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Spawn one session. Construction replicates
+    /// `Environment::build`/`build_chaotic` exactly — fresh network on
+    /// `net_seed`, sites registered, then a plain or resilient client —
+    /// followed by `ResearchAgent::new` on `llm_seed`, so a session
+    /// behaves byte-for-byte like the legacy wiring.
+    pub fn spawn_session(&self, config: SessionConfig) -> Session {
+        let corpus = self.corpus(config.corpus);
+        let mut net = Network::new(NetworkConfig::default(), config.net_seed);
+        register_sites(&mut net, Arc::clone(&corpus));
+        let client = match config.faults {
+            None => Client::new(Arc::new(net)),
+            Some(spec) => {
+                let hosts = net.host_names();
+                let net = Arc::new(net);
+                net.set_fault_plan(FaultPlan::random(
+                    &hosts,
+                    spec.intensity,
+                    spec.horizon,
+                    spec.seed,
+                ));
+                Client::with_config(net, ClientConfig::resilient())
+            }
+        };
+        let env = Environment {
+            world: self.world.clone(),
+            corpus,
+            client,
+        };
+        let agent = ResearchAgent::new(config.role, &env, config.agent, config.llm_seed);
+        Session { env, agent }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_send_and_engine_is_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Session>();
+        assert_sync::<Engine>();
+    }
+
+    #[test]
+    fn corpus_is_generated_once_and_shared() {
+        let engine = Engine::new();
+        let a = engine.corpus(CorpusConfig::default());
+        let b = engine.corpus(CorpusConfig::default());
+        assert!(Arc::ptr_eq(&a, &b), "same config must share one corpus");
+        assert_eq!(engine.corpus_builds(), 1);
+        let c = engine.corpus(CorpusConfig {
+            seed: 1,
+            distractor_count: 0,
+        });
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(engine.corpus_builds(), 2);
+    }
+
+    #[test]
+    fn spawned_sessions_are_independent() {
+        let engine = Engine::new();
+        let mut one = engine.spawn_session(SessionConfig::bob());
+        let two = engine.spawn_session(SessionConfig::bob());
+        assert_eq!(one.now_us(), two.now_us());
+        one.agent.train();
+        assert!(one.now_us() > 0, "training spends virtual time");
+        assert_eq!(two.now_us(), 0, "sibling session's clock must not move");
+        assert_eq!(engine.corpus_builds(), 1, "both sessions share the corpus");
+    }
+
+    #[test]
+    fn session_matches_legacy_environment_byte_for_byte() {
+        // The determinism contract: an engine session with the bob
+        // preset must produce the very same training report as the
+        // legacy Environment::standard() + ResearchAgent::bob wiring,
+        // modulo host wall time.
+        let env = Environment::standard();
+        let mut legacy = ResearchAgent::bob(&env);
+        let mut legacy_report = legacy.train();
+
+        let engine = Engine::new();
+        let mut session = engine.spawn_session(SessionConfig::bob());
+        let mut engine_report = session.agent.train();
+
+        legacy_report.host_elapsed_us = 0;
+        engine_report.host_elapsed_us = 0;
+        assert_eq!(
+            serde_json::to_string(&legacy_report).unwrap(),
+            serde_json::to_string(&engine_report).unwrap(),
+        );
+        assert_eq!(env.now_us(), session.now_us(), "virtual clocks must agree");
+    }
+
+    #[test]
+    fn chaotic_session_matches_legacy_chaotic_environment() {
+        let horizon = Duration::from_secs(12);
+        let env = Environment::build_chaotic(CorpusConfig::default(), 0xBEEF, 0.25, horizon, 7);
+        let mut legacy = ResearchAgent::bob(&env);
+        let mut legacy_report = legacy.train();
+
+        let engine = Engine::new();
+        let mut session = engine.spawn_session(SessionConfig {
+            faults: Some(FaultSpec {
+                intensity: 0.25,
+                horizon,
+                seed: 7,
+            }),
+            ..SessionConfig::bob()
+        });
+        let mut engine_report = session.agent.train();
+
+        legacy_report.host_elapsed_us = 0;
+        engine_report.host_elapsed_us = 0;
+        assert_eq!(
+            serde_json::to_string(&legacy_report).unwrap(),
+            serde_json::to_string(&engine_report).unwrap(),
+        );
+    }
+
+    #[test]
+    fn parallel_spawns_share_one_corpus_build() {
+        let engine = Engine::new();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    let session = engine.spawn_session(SessionConfig::bob());
+                    assert_eq!(session.now_us(), 0);
+                });
+            }
+        })
+        .expect("spawn scope");
+        assert_eq!(engine.corpus_builds(), 1);
+    }
+}

@@ -45,7 +45,10 @@ impl Calibration {
 
     pub fn record(&mut self, confidence: u8, correct: bool) {
         assert!(confidence <= 10, "confidence is a 0-10 scale");
-        self.samples.push(CalibrationSample { confidence, correct });
+        self.samples.push(CalibrationSample {
+            confidence,
+            correct,
+        });
     }
 
     pub fn len(&self) -> usize {
@@ -71,13 +74,21 @@ impl Calibration {
                 let stated = if n == 0 {
                     0.0
                 } else {
-                    in_bucket.iter().map(|s| s.confidence as f64 / 10.0).sum::<f64>() / n as f64
+                    in_bucket
+                        .iter()
+                        .map(|s| s.confidence as f64 / 10.0)
+                        .sum::<f64>()
+                        / n as f64
                 };
                 CalibrationBucket {
                     lo,
                     hi,
                     samples: n,
-                    accuracy: if n == 0 { 0.0 } else { correct as f64 / n as f64 },
+                    accuracy: if n == 0 {
+                        0.0
+                    } else {
+                        correct as f64 / n as f64
+                    },
                     stated,
                 }
             })
@@ -136,7 +147,11 @@ mod tests {
     #[test]
     fn perfect_calibration_has_low_ece() {
         let cal = perfectly_calibrated();
-        assert!(cal.expected_calibration_error() < 0.06, "ece {}", cal.expected_calibration_error());
+        assert!(
+            cal.expected_calibration_error() < 0.06,
+            "ece {}",
+            cal.expected_calibration_error()
+        );
     }
 
     #[test]
@@ -157,7 +172,10 @@ mod tests {
         let buckets = cal.buckets(&[(0, 4), (5, 10)]);
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0].samples + buckets[1].samples, cal.len());
-        assert!(buckets[1].accuracy > buckets[0].accuracy, "higher confidence, higher accuracy");
+        assert!(
+            buckets[1].accuracy > buckets[0].accuracy,
+            "higher confidence, higher accuracy"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct ConsistencyReport {
 
 impl ConsistencyReport {
     pub fn new(label: &str) -> Self {
-        ConsistencyReport { label: label.to_string(), per_item: Vec::new() }
+        ConsistencyReport {
+            label: label.to_string(),
+            per_item: Vec::new(),
+        }
     }
 
     /// Score one answered item.
@@ -43,7 +46,10 @@ impl ConsistencyReport {
     }
 
     pub fn consistent_count(&self) -> usize {
-        self.per_item.iter().filter(|r| r.matched.consistent).count()
+        self.per_item
+            .iter()
+            .filter(|r| r.matched.consistent)
+            .count()
     }
 
     pub fn total(&self) -> usize {
@@ -65,7 +71,10 @@ impl ConsistencyReport {
         if self.per_item.is_empty() {
             return 0.0;
         }
-        self.per_item.iter().map(|r| r.confidence as f64).sum::<f64>()
+        self.per_item
+            .iter()
+            .map(|r| r.confidence as f64)
+            .sum::<f64>()
             / self.per_item.len() as f64
     }
 }
@@ -97,7 +106,11 @@ mod tests {
             let answer = if i % 2 == 0 {
                 dummy_answer(
                     Some(&item.expected_answer),
-                    &format!("{} because {}", item.expected_answer, item.rationale_terms.join(" ")),
+                    &format!(
+                        "{} because {}",
+                        item.expected_answer,
+                        item.rationale_terms.join(" ")
+                    ),
                     9,
                 )
             } else {

@@ -36,6 +36,9 @@ pub use plancov::PlanCoverage;
 pub use poison::PoisonCampaign;
 pub use provenance::ProvenanceReport;
 pub use quiz::{QuizBank, QuizItem};
-pub use robustness::{chaos_sweep, run_chaos_level, ChaosLevelReport, ChaosSweep};
-pub use runner::{evaluate_agent, evaluate_baseline, EvalRun};
+pub use robustness::{
+    chaos_sweep, chaos_sweep_threads, run_chaos_level, run_chaos_level_on, ChaosLevelReport,
+    ChaosSweep,
+};
+pub use runner::{evaluate_agent, evaluate_baseline, sweep, EvalRun};
 pub use verdict::{match_verdict, VerdictMatch};

@@ -72,7 +72,10 @@ mod tests {
     fn clean_store_passes() {
         let s = store_with(&[
             ("Geomagnetic storms threaten repeaters.", "sim://a.test/1"),
-            ("The EllaLink cable connects Brazil to Portugal.", "sim://b.test/2"),
+            (
+                "The EllaLink cable connects Brazil to Portugal.",
+                "sim://b.test/2",
+            ),
         ]);
         let report = ProvenanceReport::audit(&s, &World::standard().conclusions());
         assert!(report.clean());
@@ -88,7 +91,10 @@ mod tests {
         let statement = conclusions.iter().next().unwrap().statement.clone();
         let s = store_with(&[
             (&format!("Leaked: {statement}"), "sim://leak.test/1"),
-            ("Innocent content about cables and storms.", "sim://b.test/2"),
+            (
+                "Innocent content about cables and storms.",
+                "sim://b.test/2",
+            ),
         ]);
         let report = ProvenanceReport::audit(&s, &conclusions);
         assert_eq!(report.answer_key_leaks, 1);

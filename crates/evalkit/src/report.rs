@@ -38,7 +38,10 @@ pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = headers.join(",");
     out.push('\n');
     for row in rows {
-        debug_assert!(row.iter().all(|c| !c.contains(',')), "cells must be comma-free");
+        debug_assert!(
+            row.iter().all(|c| !c.contains(',')),
+            "cells must be comma-free"
+        );
         out.push_str(&row.join(","));
         out.push('\n');
     }
@@ -82,19 +85,26 @@ pub fn markdown_report(
                 r.id.clone(),
                 r.verdict.clone().unwrap_or_else(|| "*(hedge)*".into()),
                 r.confidence.to_string(),
-                if r.matched.consistent { "yes" } else { "**no**" }.to_string(),
+                if r.matched.consistent {
+                    "yes"
+                } else {
+                    "**no**"
+                }
+                .to_string(),
             ]
         })
         .collect();
-    out.push_str(&md_table(&["question", "verdict", "confidence", "consistent"], &rows));
+    out.push_str(&md_table(
+        &["question", "verdict", "confidence", "consistent"],
+        &rows,
+    ));
 
     out.push_str("\n## Self-learning trajectories\n\n");
     let rows: Vec<Vec<String>> = run
         .trajectories
         .iter()
         .map(|t| {
-            let series: Vec<String> =
-                t.confidence_series().iter().map(u8::to_string).collect();
+            let series: Vec<String> = t.confidence_series().iter().map(u8::to_string).collect();
             vec![
                 t.question.chars().take(60).collect::<String>(),
                 series.join(" → "),
@@ -124,9 +134,7 @@ pub fn markdown_report(
 
 /// A standard experiment banner.
 pub fn banner(id: &str, title: &str, paper_claim: &str) -> String {
-    format!(
-        "=== {id}: {title} ===\npaper: {paper_claim}\n"
-    )
+    format!("=== {id}: {title} ===\npaper: {paper_claim}\n")
 }
 
 #[cfg(test)]

@@ -9,10 +9,9 @@
 //! when parts of the web disappear, rather than aborting.
 
 use crate::quiz::QuizBank;
-use crate::runner::evaluate_agent;
-use ira_core::{Environment, ResearchAgent};
+use crate::runner::{evaluate_agent, sweep};
+use ira_engine::{Engine, FaultSpec, SessionConfig};
 use ira_simnet::Duration;
-use ira_webcorpus::CorpusConfig;
 use serde::{Deserialize, Serialize};
 
 /// Fault horizon used by the sweep. A full train + quiz run spans
@@ -62,15 +61,15 @@ pub struct ChaosSweep {
 impl ChaosSweep {
     /// The fault-free reference level, if the sweep includes one.
     pub fn baseline(&self) -> Option<&ChaosLevelReport> {
-        self.levels
-            .iter()
-            .find(|l| l.intensity == 0.0)
+        self.levels.iter().find(|l| l.intensity == 0.0)
     }
 
     /// Largest consistency drop (in conclusions) versus the fault-free
     /// level, across all faulted levels.
     pub fn worst_degradation(&self) -> usize {
-        let Some(base) = self.baseline() else { return 0 };
+        let Some(base) = self.baseline() else {
+            return 0;
+        };
         self.levels
             .iter()
             .filter(|l| l.intensity > 0.0)
@@ -83,21 +82,40 @@ impl ChaosSweep {
 /// Train and evaluate one agent under a seeded fault plan covering
 /// `intensity` of the hosts. Intensity 0 still uses the resilient
 /// client profile (breaker enabled) so levels differ only in faults.
+///
+/// Builds a throwaway [`Engine`]; sweeps over several levels should
+/// share one via [`run_chaos_level_on`] so the corpus is generated
+/// once.
 pub fn run_chaos_level(intensity: f64, net_seed: u64, fault_seed: u64) -> ChaosLevelReport {
-    let env = Environment::build_chaotic(
-        CorpusConfig::default(),
+    run_chaos_level_on(&Engine::new(), intensity, net_seed, fault_seed)
+}
+
+/// [`run_chaos_level`] against a shared engine: the chaotic session is
+/// spawned with the engine's cached corpus (byte-identical to a
+/// rebuild) and a fresh fault plan/network/agent per call.
+pub fn run_chaos_level_on(
+    engine: &Engine,
+    intensity: f64,
+    net_seed: u64,
+    fault_seed: u64,
+) -> ChaosLevelReport {
+    let mut session = engine.spawn_session(SessionConfig {
         net_seed,
-        intensity,
-        chaos_horizon(),
-        fault_seed,
-    );
+        faults: Some(FaultSpec {
+            intensity,
+            horizon: chaos_horizon(),
+            seed: fault_seed,
+        }),
+        ..SessionConfig::bob()
+    });
+    let env = &session.env;
     let fault_windows = env.client.network().fault_plan_window_count();
 
-    let mut bob = ResearchAgent::bob(&env);
+    let bob = &mut session.agent;
     let training = bob.train();
     let quiz = QuizBank::from_world(&env.world);
     let conclusions = env.world.conclusions();
-    let run = evaluate_agent(&mut bob, &quiz, &conclusions);
+    let run = evaluate_agent(bob, &quiz, &conclusions);
 
     let net_stats = env.client.network().stats();
     let fault_stats = env.client.network().fault_stats();
@@ -122,11 +140,18 @@ pub fn run_chaos_level(intensity: f64, net_seed: u64, fault_seed: u64) -> ChaosL
 /// level gets a distinct fault seed derived from `seed` so plans are
 /// independent but the whole sweep is reproducible.
 pub fn chaos_sweep(intensities: &[f64], seed: u64) -> ChaosSweep {
-    let levels = intensities
-        .iter()
-        .enumerate()
-        .map(|(i, &intensity)| run_chaos_level(intensity, 0xBEEF, seed.wrapping_add(i as u64)))
-        .collect();
+    chaos_sweep_threads(intensities, seed, 1)
+}
+
+/// [`chaos_sweep`] on `threads` worker threads. Levels are fully
+/// independent sessions over one shared engine, and results are
+/// aggregated in intensity order, so the sweep is byte-identical to
+/// the serial path at any thread count.
+pub fn chaos_sweep_threads(intensities: &[f64], seed: u64, threads: usize) -> ChaosSweep {
+    let engine = Engine::new();
+    let levels = sweep(intensities.to_vec(), threads, |i, intensity| {
+        run_chaos_level_on(&engine, intensity, 0xBEEF, seed.wrapping_add(i as u64))
+    });
     ChaosSweep { levels }
 }
 

@@ -1,6 +1,7 @@
 //! End-to-end evaluation runs: train an agent, self-learn through the
 //! quiz, and score consistency — plus the ungrounded baseline (the
-//! paper's "ChatGPT directly" comparison).
+//! paper's "ChatGPT directly" comparison) and the deterministic
+//! parallel [`sweep`] runner the experiment binaries share.
 
 use crate::consistency::ConsistencyReport;
 use crate::provenance::ProvenanceReport;
@@ -9,6 +10,7 @@ use ira_core::selflearn::LearningTrajectory;
 use ira_core::{Environment, ResearchAgent};
 use ira_simllm::Llm;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Everything one evaluated run produces.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,7 +35,7 @@ impl EvalRun {
 /// Evaluate a (typically freshly trained) agent on the quiz with full
 /// self-learning per question.
 pub fn evaluate_agent(
-    agent: &mut ResearchAgent<'_>,
+    agent: &mut ResearchAgent,
     quiz: &QuizBank,
     world_conclusions: &ira_worldmodel::ConclusionSet,
 ) -> EvalRun {
@@ -46,7 +48,11 @@ pub fn evaluate_agent(
         trajectories.push(trajectory);
     }
     let provenance = ProvenanceReport::audit(agent.memory(), world_conclusions);
-    EvalRun { consistency, trajectories, provenance }
+    EvalRun {
+        consistency,
+        trajectories,
+        provenance,
+    }
 }
 
 /// The baseline: the same model with no agent architecture — no
@@ -73,10 +79,90 @@ pub fn full_paper_run(env: &Environment) -> (EvalRun, ConsistencyReport) {
     (agent_run, baseline)
 }
 
+/// Run one independent job per item, optionally on `threads` worker
+/// threads, and return the results **in item order** regardless of
+/// completion order.
+///
+/// This is the deterministic sweep primitive the experiment binaries
+/// and the CLI share: each job gets `(index, item)` and must be
+/// self-contained (spawn its own session from a shared
+/// [`ira_engine::Engine`], typically). Because jobs share no mutable
+/// state and results are re-ordered by index, the output is invariant
+/// under `threads` — `sweep(items, 8, job)` is byte-identical to
+/// `sweep(items, 1, job)`, just faster. With `threads <= 1` the jobs
+/// run inline on the caller's thread.
+pub fn sweep<T, R, F>(items: Vec<T>, threads: usize, job: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| job(i, item))
+            .collect();
+    }
+
+    // Shared pull queue: workers take the next pending item, so a slow
+    // job never stalls the rest of the sweep behind it.
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut indexed: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut done = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("sweep queue poisoned").next();
+                        match next {
+                            Some((i, item)) => done.push((i, job(i, item))),
+                            None => break done,
+                        }
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope");
+
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ira_worldmodel::World;
+
+    #[test]
+    fn sweep_preserves_item_order_across_threads() {
+        // Jobs finish out of order (later items sleep less); results
+        // must still come back in item order, identical to serial.
+        let items: Vec<u64> = (0..12).collect();
+        let job = |i: usize, item: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(12 - item));
+            format!("{i}:{}", item * item)
+        };
+        let serial = sweep(items.clone(), 1, job);
+        let parallel = sweep(items, 4, job);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], "3:9");
+    }
+
+    #[test]
+    fn sweep_handles_degenerate_shapes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(sweep(empty, 8, |_, x: u32| x).is_empty());
+        assert_eq!(sweep(vec![7u32], 8, |_, x| x + 1), vec![8]);
+        // More threads than items must not hang or duplicate work.
+        assert_eq!(sweep(vec![1u32, 2], 16, |_, x| x), vec![1, 2]);
+    }
 
     #[test]
     fn baseline_is_mostly_inconsistent_and_unconfident() {
@@ -110,7 +196,11 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(agent_run.consistency.consistent_count() > baseline.consistent_count());
-        assert!(agent_run.provenance.clean(), "provenance: {:?}", agent_run.provenance);
+        assert!(
+            agent_run.provenance.clean(),
+            "provenance: {:?}",
+            agent_run.provenance
+        );
         assert_eq!(agent_run.trajectories.len(), 8);
     }
 }

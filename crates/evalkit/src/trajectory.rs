@@ -63,7 +63,12 @@ mod tests {
             reasoning: Vec::new(),
         };
         t.record(0, &mk(3, None), Vec::new(), 0);
-        t.record(1, &mk(9, Some("the US cable")), vec!["q1".into(), "q2".into()], 4);
+        t.record(
+            1,
+            &mk(9, Some("the US cable")),
+            vec!["q1".into(), "q2".into()],
+            4,
+        );
         t
     }
 

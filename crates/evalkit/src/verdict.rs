@@ -238,7 +238,11 @@ mod tests {
             );
             let ans = answer(&text, Some(&item.expected_answer));
             let m = match_verdict(&ans, &item.clone());
-            assert!(m.consistent, "{:?} rejected its own expected answer: {m:?}", item.id);
+            assert!(
+                m.consistent,
+                "{:?} rejected its own expected answer: {m:?}",
+                item.id
+            );
         }
     }
 }

@@ -1,0 +1,129 @@
+//! Determinism regression tests for the engine/session layer and the
+//! parallel sweep runner: parallelism is an implementation detail and
+//! must never change a single byte of any report.
+
+use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira_engine::{Engine, SessionConfig};
+use ira_evalkit::quiz::QuizBank;
+use ira_evalkit::robustness::chaos_sweep_threads;
+use ira_evalkit::runner::{evaluate_agent, sweep};
+use ira_webcorpus::CorpusConfig;
+
+const CABLE_Q: &str = "Which is more vulnerable to solar activity? The fiber optic cable that \
+                       connects Brazil to Europe or the one that connects the US to Europe?";
+
+/// Engine sessions must reproduce the legacy quiz evaluation exactly:
+/// same trajectories, same verdicts, same provenance — the whole
+/// `EvalRun` JSON.
+#[test]
+fn engine_quiz_run_matches_legacy_byte_for_byte() {
+    let env = Environment::standard();
+    let quiz = QuizBank::from_world(&env.world);
+    let conclusions = env.world.conclusions();
+    let mut legacy = ResearchAgent::bob(&env);
+    legacy.train();
+    let legacy_run = evaluate_agent(&mut legacy, &quiz, &conclusions);
+
+    let engine = Engine::new();
+    let mut session = engine.spawn_session(SessionConfig::bob());
+    let quiz2 = QuizBank::from_world(session.world());
+    let conclusions2 = session.world().conclusions();
+    session.agent.train();
+    let engine_run = evaluate_agent(&mut session.agent, &quiz2, &conclusions2);
+
+    assert_eq!(
+        serde_json::to_string(&legacy_run).unwrap(),
+        serde_json::to_string(&engine_run).unwrap(),
+        "engine session must be indistinguishable from the legacy environment"
+    );
+}
+
+/// The flagship sweep determinism contract: a self-learning run per
+/// seed, fanned out over 4 threads, must serialize identically to the
+/// serial sweep.
+#[test]
+fn parallel_seed_sweep_is_byte_identical_to_serial() {
+    let seeds: Vec<u64> = (0..6).map(|i| 0x5EED + i * 0x101).collect();
+
+    let run = |threads: usize| -> Vec<String> {
+        let engine = Engine::new();
+        sweep(seeds.clone(), threads, |_, seed| {
+            let mut session = engine.spawn_session(SessionConfig {
+                corpus: CorpusConfig {
+                    seed,
+                    distractor_count: 150,
+                },
+                net_seed: seed ^ 0xBEEF,
+                llm_seed: seed,
+                ..SessionConfig::bob()
+            });
+            session.agent.train();
+            let trajectory = session.agent.self_learn(CABLE_Q);
+            let answer = session.agent.ask(CABLE_Q);
+            format!(
+                "{}|{:?}|{}",
+                serde_json::to_string(&trajectory).unwrap(),
+                answer.verdict,
+                session.now_us(),
+            )
+        })
+    };
+
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "thread count must not change any sweep byte"
+    );
+    assert_eq!(serial.len(), seeds.len());
+}
+
+/// The chaos sweep exposed through the threaded API must match the
+/// serial path level for level.
+#[test]
+fn parallel_chaos_sweep_matches_serial() {
+    let intensities = [0.0, 0.25];
+    let serial = chaos_sweep_threads(&intensities, 0xC4A0, 1);
+    let parallel = chaos_sweep_threads(&intensities, 0xC4A0, 4);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+    );
+}
+
+/// Distinct configs must not cross-contaminate through the shared
+/// engine: a low-threshold and a high-threshold session spawned from
+/// one engine behave exactly like two legacy environments.
+#[test]
+fn engine_threshold_sessions_match_legacy_environments() {
+    let engine = Engine::new();
+    for threshold in [3u8, 9] {
+        let config = AgentConfig {
+            confidence_threshold: threshold,
+            ..AgentConfig::default()
+        };
+
+        let env = Environment::standard();
+        let mut legacy = ResearchAgent::new(RoleDefinition::bob(), &env, config, 0xB0B);
+        legacy.train();
+        let legacy_t = legacy.self_learn(CABLE_Q);
+
+        let mut session = engine.spawn_session(SessionConfig {
+            agent: config,
+            ..SessionConfig::bob()
+        });
+        session.agent.train();
+        let engine_t = session.agent.self_learn(CABLE_Q);
+
+        assert_eq!(
+            serde_json::to_string(&legacy_t).unwrap(),
+            serde_json::to_string(&engine_t).unwrap(),
+            "threshold {threshold} session diverged from legacy"
+        );
+    }
+    assert_eq!(
+        engine.corpus_builds(),
+        1,
+        "both sessions must share the corpus"
+    );
+}

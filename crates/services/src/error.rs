@@ -1,0 +1,52 @@
+//! Error type shared by the web-facing service traits.
+
+use thiserror::Error;
+
+/// Failure of a search or fetch call, classified the way the agent
+/// loop reacts to it: an unavailable source is *rerouted around*
+/// (degradation), anything else is a hard error charged to the run.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+pub enum ServiceError {
+    /// The source's host is currently unavailable (e.g. its circuit
+    /// breaker is open and the call failed fast). The agent should
+    /// skip this source and continue down the ranking.
+    #[error("source unavailable: {host}")]
+    SourceUnavailable { host: String },
+
+    /// Any other transport/decoding failure, carrying the backend's
+    /// own message.
+    #[error("{0}")]
+    Transport(String),
+}
+
+impl ServiceError {
+    /// Whether the agent should treat this as a reroutable outage
+    /// rather than a hard error.
+    pub fn is_source_unavailable(&self) -> bool {
+        matches!(self, ServiceError::SourceUnavailable { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helper() {
+        assert!(ServiceError::SourceUnavailable {
+            host: "a.test".into()
+        }
+        .is_source_unavailable());
+        assert!(!ServiceError::Transport("boom".into()).is_source_unavailable());
+    }
+
+    #[test]
+    fn display_carries_the_message() {
+        let e = ServiceError::Transport("connection to x.test reset".into());
+        assert_eq!(e.to_string(), "connection to x.test reset");
+        let u = ServiceError::SourceUnavailable {
+            host: "news.test".into(),
+        };
+        assert!(u.to_string().contains("news.test"));
+    }
+}

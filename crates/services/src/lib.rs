@@ -1,0 +1,46 @@
+//! # ira-services
+//!
+//! The service boundary between the agent architecture and its
+//! backends. The paper wires one agent directly to one LLM and one
+//! web; the production-scale system the ROADMAP targets serves many
+//! concurrent investigations over shared infrastructure, which demands
+//! an explicit seam:
+//!
+//! * [`LanguageModel`] — the typed model calls the agent loop makes
+//!   (answer, propose searches, plan, decompose).
+//! * [`SearchProvider`] / [`Fetcher`] — the retrieval side of the web:
+//!   issue a search query, fetch a page, probe source availability.
+//! * [`TimeSource`] — the session's clock; simulated inference and
+//!   network latency are charged here.
+//! * [`WebServices`] — the supertrait bundling search + fetch + time,
+//!   which is what one *session's* view of the web amounts to.
+//! * [`Memory`] — the knowledge-store surface the retrieval loop
+//!   writes into.
+//!
+//! `ira-autogpt` and the self-learning pipeline in `ira-core` speak
+//! only these traits; the canonical implementations ([`sim`]) bind
+//! them to the simulation substrate (`ira-simllm`'s [`Llm`],
+//! `ira-simnet`'s [`Client`] serving the `ira-webcorpus` search host,
+//! `ira-agentmem`'s [`KnowledgeStore`]). A real deployment would bind
+//! the same traits to an LLM API, a search API, and a database without
+//! touching the agent loop.
+//!
+//! [`Llm`]: ira_simllm::Llm
+//! [`Client`]: ira_simnet::Client
+//! [`KnowledgeStore`]: ira_agentmem::KnowledgeStore
+
+pub mod error;
+pub mod sim;
+pub mod traits;
+
+pub use error::ServiceError;
+pub use traits::{
+    Fetcher, InferenceHook, LanguageModel, Memory, SearchHit, SearchProvider, TimeSource,
+    WebServices,
+};
+
+// Data types that cross the trait boundary. Re-exported so trait
+// consumers (ira-autogpt) need no direct dependency on the simulation
+// crates that define them.
+pub use ira_simllm::plangen::StepAction;
+pub use ira_simllm::{ActionPlan, Answer, LlmStats, MissingKnowledge, PlanStep};

@@ -21,13 +21,22 @@ pub struct Message {
 
 impl Message {
     pub fn system(content: impl Into<String>) -> Self {
-        Message { role: Role::System, content: content.into() }
+        Message {
+            role: Role::System,
+            content: content.into(),
+        }
     }
     pub fn user(content: impl Into<String>) -> Self {
-        Message { role: Role::User, content: content.into() }
+        Message {
+            role: Role::User,
+            content: content.into(),
+        }
     }
     pub fn assistant(content: impl Into<String>) -> Self {
-        Message { role: Role::Assistant, content: content.into() }
+        Message {
+            role: Role::Assistant,
+            content: content.into(),
+        }
     }
 }
 
@@ -53,7 +62,10 @@ impl Prompt {
 
     /// Total prompt tokens.
     pub fn token_count(&self) -> usize {
-        self.messages.iter().map(|m| count_tokens(&m.content) + 4).sum()
+        self.messages
+            .iter()
+            .map(|m| count_tokens(&m.content) + 4)
+            .sum()
     }
 
     /// All user/system text concatenated — the model's working context.

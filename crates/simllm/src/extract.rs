@@ -105,11 +105,24 @@ pub enum Fact {
     /// Share of operator's sites at low geomagnetic latitude, percent.
     LowLatShare { operator: String, percent: f64 },
     /// Operator runs a data center at a site.
-    DcPresence { operator: String, city: String, country: String, region: String },
+    DcPresence {
+        operator: String,
+        city: String,
+        country: String,
+        region: String,
+    },
     /// Historic storm intensity.
-    StormDst { name: String, year: Option<u16>, dst: f64 },
+    StormDst {
+        name: String,
+        year: Option<u16>,
+        dst: f64,
+    },
     /// A regional grid's geomagnetic latitude.
-    RegionGridLatitude { grid: String, region: String, degrees: f64 },
+    RegionGridLatitude {
+        grid: String,
+        region: String,
+        degrees: f64,
+    },
     /// "The {year} {name} was caused by {cause}."
     IncidentCause { incident: String, cause: String },
     /// "The main effect on the Internet was {effect}." (subject-bound)
@@ -159,7 +172,10 @@ impl Extraction {
             if let Some(deg) = parse_apex(sentence) {
                 let entity = apex_entity(sentence).or_else(|| subject.clone());
                 if let Some(entity) = entity {
-                    self.push(Fact::MaxGeomagLatitude { entity, degrees: deg });
+                    self.push(Fact::MaxGeomagLatitude {
+                        entity,
+                        degrees: deg,
+                    });
                 }
             }
             if let Some(km) = parse_after_number(sentence, "spans approximately ", " kilometres") {
@@ -167,10 +183,14 @@ impl Extraction {
                     self.push(Fact::LengthKm { entity, km });
                 }
             }
-            if let Some(n) = parse_after_number(sentence, "powered through roughly ", " optical repeaters")
+            if let Some(n) =
+                parse_after_number(sentence, "powered through roughly ", " optical repeaters")
             {
                 if let Some(entity) = subject.clone() {
-                    self.push(Fact::RepeaterCount { entity, count: n as u32 });
+                    self.push(Fact::RepeaterCount {
+                        entity,
+                        count: n as u32,
+                    });
                 }
             }
             if let Some(fact) = parse_coverage(sentence) {
@@ -194,7 +214,9 @@ impl Extraction {
                 }
                 self.push(fact);
             }
-            if let Some(effect) = parse_after_marker(sentence, "The main effect on the Internet was ") {
+            if let Some(effect) =
+                parse_after_marker(sentence, "The main effect on the Internet was ")
+            {
                 if let Some(incident) = subject.clone() {
                     self.push(Fact::IncidentEffect { incident, effect });
                 }
@@ -287,9 +309,10 @@ impl Extraction {
     pub fn coverage_of(&self, operator: &str) -> Option<u32> {
         let op = operator.to_lowercase();
         self.facts.iter().find_map(|f| match f {
-            Fact::RegionCoverage { operator: o, regions } if o.to_lowercase() == op => {
-                Some(*regions)
-            }
+            Fact::RegionCoverage {
+                operator: o,
+                regions,
+            } if o.to_lowercase() == op => Some(*regions),
             _ => None,
         })
     }
@@ -298,7 +321,10 @@ impl Extraction {
     pub fn low_lat_share_of(&self, operator: &str) -> Option<f64> {
         let op = operator.to_lowercase();
         self.facts.iter().find_map(|f| match f {
-            Fact::LowLatShare { operator: o, percent } if o.to_lowercase() == op => Some(*percent),
+            Fact::LowLatShare {
+                operator: o,
+                percent,
+            } if o.to_lowercase() == op => Some(*percent),
             _ => None,
         })
     }
@@ -308,9 +334,7 @@ impl Extraction {
         let op = operator.to_lowercase();
         self.facts
             .iter()
-            .filter(|f| {
-                matches!(f, Fact::DcPresence { operator: o, .. } if o.to_lowercase() == op)
-            })
+            .filter(|f| matches!(f, Fact::DcPresence { operator: o, .. } if o.to_lowercase() == op))
             .collect()
     }
 
@@ -321,11 +345,9 @@ impl Extraction {
             .facts
             .iter()
             .filter_map(|f| match f {
-                Fact::RegionGridLatitude { region: r, degrees, .. }
-                    if r.to_lowercase() == wanted =>
-                {
-                    Some(*degrees)
-                }
+                Fact::RegionGridLatitude {
+                    region: r, degrees, ..
+                } if r.to_lowercase() == wanted => Some(*degrees),
                 _ => None,
             })
             .collect();
@@ -398,8 +420,12 @@ fn parse_after_number(sentence: &str, prefix: &str, suffix: &str) -> Option<f64>
     let rest = &sentence[idx + prefix.len()..];
     let n = leading_number(rest)?;
     // Require the suffix to follow the number closely.
-    let after_num = &rest[rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len())..];
-    after_num.starts_with(suffix.trim_start()).then_some(n)
+    let after_num = &rest[rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len())..];
+    after_num
+        .starts_with(suffix.trim_start())
+        .then_some(n)
         .or_else(|| rest.contains(suffix).then_some(n))
 }
 
@@ -454,10 +480,8 @@ fn parse_coverage(sentence: &str) -> Option<Fact> {
     let operator = last_word_span(&sentence[..idx])?;
     let rest = &sentence[idx + MARKER.len()..];
     let regions = leading_number(rest)? as u32;
-    rest.contains("major regions").then_some(Fact::RegionCoverage {
-        operator,
-        regions,
-    })
+    rest.contains("major regions")
+        .then_some(Fact::RegionCoverage { operator, regions })
 }
 
 fn parse_low_lat_share(sentence: &str) -> Option<Fact> {
@@ -517,14 +541,17 @@ fn parse_grid(sentence: &str) -> Option<Fact> {
         .strip_prefix("The ")
         .unwrap_or(&sentence[..serves_idx])
         .to_string();
-    let region = sentence[serves_idx + SERVES.len()..sits_idx].trim().to_string();
+    let region = sentence[serves_idx + SERVES.len()..sits_idx]
+        .trim()
+        .to_string();
     let rest = &sentence[sits_idx + SITS.len()..];
     let degrees = leading_number(rest)?;
-    rest.contains("degrees geomagnetic latitude").then_some(Fact::RegionGridLatitude {
-        grid,
-        region,
-        degrees,
-    })
+    rest.contains("degrees geomagnetic latitude")
+        .then_some(Fact::RegionGridLatitude {
+            grid,
+            region,
+            degrees,
+        })
 }
 
 fn parse_incident_cause(sentence: &str) -> Option<Fact> {
@@ -560,10 +587,11 @@ fn parse_cables_cut(sentence: &str) -> Option<Fact> {
     let head = head.strip_prefix("The ").unwrap_or(head);
     let rest = &sentence[idx + MARKER.len()..];
     let count = leading_number(rest)? as u32;
-    rest.contains(TAIL.trim_start()).then(|| Fact::IncidentCablesCut {
-        incident: head.to_string(),
-        count,
-    })
+    rest.contains(TAIL.trim_start())
+        .then(|| Fact::IncidentCablesCut {
+            incident: head.to_string(),
+            count,
+        })
 }
 
 fn parse_incident_traffic(sentence: &str) -> Option<Fact> {
@@ -579,7 +607,8 @@ fn parse_incident_traffic(sentence: &str) -> Option<Fact> {
         .to_string();
     let rest = &sentence[marker_idx + MARKER.len()..];
     let percent = leading_number(rest)?;
-    rest.contains("percent").then_some(Fact::IncidentTraffic { incident, percent })
+    rest.contains("percent")
+        .then_some(Fact::IncidentTraffic { incident, percent })
 }
 
 /// The word(s) immediately before a marker — operator names are one
@@ -602,7 +631,14 @@ mod tests {
         let ex = Extraction::from_text(ROUTE, None);
         assert_eq!(ex.facts.len(), 1);
         match &ex.facts[0] {
-            Fact::CableRoute { name, from_country, to_country, from_region, to_region, .. } => {
+            Fact::CableRoute {
+                name,
+                from_country,
+                to_country,
+                from_region,
+                to_region,
+                ..
+            } => {
                 assert_eq!(name, "EllaLink");
                 assert_eq!(from_country, "Brazil");
                 assert_eq!(to_country, "Portugal");
@@ -622,10 +658,14 @@ mod tests {
         );
         let ex = Extraction::from_text(&text, None);
         assert_eq!(ex.apex_of("EllaLink"), Some(46.3));
-        assert!(ex.facts.contains(&Fact::LengthKm { entity: "EllaLink".into(), km: 6134.0 }));
-        assert!(ex
-            .facts
-            .contains(&Fact::RepeaterCount { entity: "EllaLink".into(), count: 87 }));
+        assert!(ex.facts.contains(&Fact::LengthKm {
+            entity: "EllaLink".into(),
+            km: 6134.0
+        }));
+        assert!(ex.facts.contains(&Fact::RepeaterCount {
+            entity: "EllaLink".into(),
+            count: 87
+        }));
     }
 
     #[test]
@@ -660,7 +700,12 @@ mod tests {
         let ex = Extraction::from_text(text, None);
         assert_eq!(ex.presences_of("google").len(), 1);
         match ex.presences_of("google")[0] {
-            Fact::DcPresence { city, country, region, .. } => {
+            Fact::DcPresence {
+                city,
+                country,
+                region,
+                ..
+            } => {
                 assert_eq!(city, "St. Ghislain");
                 assert_eq!(country, "Belgium");
                 assert_eq!(region, "Europe");
@@ -675,7 +720,11 @@ mod tests {
         let ex = Extraction::from_text(text, None);
         assert_eq!(
             ex.facts[0],
-            Fact::StormDst { name: "Carrington event".into(), year: Some(1859), dst: -1760.0 }
+            Fact::StormDst {
+                name: "Carrington event".into(),
+                year: Some(1859),
+                dst: -1760.0
+            }
         );
     }
 
@@ -726,7 +775,9 @@ mod tests {
 
     #[test]
     fn sentence_splitter_respects_abbreviations() {
-        let s = split_sentences("Google operates a data center in St. Ghislain, Belgium, in Europe. Next sentence.");
+        let s = split_sentences(
+            "Google operates a data center in St. Ghislain, Belgium, in Europe. Next sentence.",
+        );
         assert_eq!(s.len(), 2);
         assert!(s[0].contains("St. Ghislain"));
     }
@@ -788,7 +839,10 @@ mod tests {
     fn incident_matching_is_bidirectional_containment() {
         assert!(incident_matches("2021 Facebook outage", "facebook outage"));
         assert!(incident_matches("facebook outage", "2021 Facebook outage"));
-        assert!(!incident_matches("2021 Facebook outage", "hengchun earthquake"));
+        assert!(!incident_matches(
+            "2021 Facebook outage",
+            "hengchun earthquake"
+        ));
     }
 
     #[test]
@@ -798,7 +852,11 @@ mod tests {
                     The EllaLink cable reaches a maximum geomagnetic latitude of 46.2 degrees.";
         let ex = Extraction::from_text(text, None);
         assert_eq!(ex.apex_values("EllaLink").len(), 3);
-        assert_eq!(ex.apex_of("EllaLink"), Some(46.2), "median resists one outlier");
+        assert_eq!(
+            ex.apex_of("EllaLink"),
+            Some(46.2),
+            "median resists one outlier"
+        );
     }
 
     #[test]

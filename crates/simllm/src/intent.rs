@@ -18,7 +18,10 @@ pub struct RouteSpec {
 
 impl RouteSpec {
     pub fn new(a: &str, b: &str) -> Self {
-        RouteSpec { a: normalize_place(a), b: normalize_place(b) }
+        RouteSpec {
+            a: normalize_place(a),
+            b: normalize_place(b),
+        }
     }
 
     /// Human-readable form for answer text.
@@ -31,7 +34,10 @@ impl RouteSpec {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Intent {
     /// Which of two cable routes is more vulnerable?
-    CompareCableVulnerability { route_a: RouteSpec, route_b: RouteSpec },
+    CompareCableVulnerability {
+        route_a: RouteSpec,
+        route_b: RouteSpec,
+    },
     /// Which operator's data centers are more vulnerable?
     CompareOperatorVulnerability { op_a: String, op_b: String },
     /// Does risk depend on latitude?
@@ -77,9 +83,10 @@ pub fn place_region(place: &str) -> Option<&'static str> {
     match place {
         "united states" | "canada" | "mexico" => Some("North America"),
         "brazil" | "argentina" | "chile" => Some("South America"),
-        "united kingdom" | "portugal" | "spain" | "france" | "ireland" | "denmark"
-        | "norway" | "iceland" | "sweden" | "finland" | "netherlands" | "belgium"
-        | "germany" | "italy" => Some("Europe"),
+        "united kingdom" | "portugal" | "spain" | "france" | "ireland" | "denmark" | "norway"
+        | "iceland" | "sweden" | "finland" | "netherlands" | "belgium" | "germany" | "italy" => {
+            Some("Europe")
+        }
         "japan" | "china" | "singapore" | "india" | "south korea" | "taiwan" | "indonesia" => {
             Some("Asia")
         }
@@ -156,26 +163,33 @@ pub fn classify(question: &str) -> Intent {
     // Named-incident questions, before the generic impact branch.
     if let Some(idx) = q.find("what caused ") {
         let tail = &q[idx + "what caused ".len()..];
-        let tail = tail.strip_prefix("the internet disruption during ").unwrap_or(tail);
+        let tail = tail
+            .strip_prefix("the internet disruption during ")
+            .unwrap_or(tail);
         let tail = tail.strip_prefix("the ").unwrap_or(tail);
         let incident = tail.trim_end_matches(['?', '.']).trim();
         if !incident.is_empty() && !incident.contains("storm") {
-            return Intent::IncidentCause { incident: incident.to_string() };
+            return Intent::IncidentCause {
+                incident: incident.to_string(),
+            };
         }
     }
     if let Some(idx) = q.find("impact of the ") {
         let tail = &q[idx + "impact of the ".len()..];
-        let end = tail.find(" on the").unwrap_or_else(|| tail.trim_end_matches(['?', '.']).len());
+        let end = tail
+            .find(" on the")
+            .unwrap_or_else(|| tail.trim_end_matches(['?', '.']).len());
         let incident = tail[..end].trim();
         if !incident.is_empty() && !incident.contains("storm") {
-            return Intent::IncidentImpact { incident: incident.to_string() };
+            return Intent::IncidentImpact {
+                incident: incident.to_string(),
+            };
         }
     }
 
     // Cable route comparison: two "connects X to Y" phrases.
     let routes = parse_route_phrases(&q);
-    if routes.len() >= 2 && (q.contains("vulnerab") || q.contains("affect") || q.contains("risk"))
-    {
+    if routes.len() >= 2 && (q.contains("vulnerab") || q.contains("affect") || q.contains("risk")) {
         return Intent::CompareCableVulnerability {
             route_a: routes[0].clone(),
             route_b: routes[1].clone(),
@@ -184,7 +198,11 @@ pub fn classify(question: &str) -> Intent {
 
     // Operator comparison.
     if (q.contains("datacenter") || q.contains("data center")) && q.contains("vulnerab") {
-        let found: Vec<&str> = OPERATORS.iter().copied().filter(|op| q.contains(op)).collect();
+        let found: Vec<&str> = OPERATORS
+            .iter()
+            .copied()
+            .filter(|op| q.contains(op))
+            .collect();
         if found.len() >= 2 {
             return Intent::CompareOperatorVulnerability {
                 op_a: found[0].to_string(),
@@ -209,9 +227,7 @@ pub fn classify(question: &str) -> Intent {
         return Intent::LatitudeDependence;
     }
 
-    if (q.contains("susceptib") || q.contains("vulnerab"))
-        && !q.contains("cable")
-    {
+    if (q.contains("susceptib") || q.contains("vulnerab")) && !q.contains("cable") {
         let found: Vec<&str> = REGION_WORDS
             .iter()
             .copied()
@@ -252,7 +268,11 @@ fn strip_quiz_wrapper(q: &str) -> String {
         core = &core[idx + "answer the following question:".len()..];
     }
     // Drop the trailing confidence probe if present.
-    for marker in ["how confident", "rate his confidence", "rate your confidence"] {
+    for marker in [
+        "how confident",
+        "rate his confidence",
+        "rate your confidence",
+    ] {
         if let Some(idx) = core.find(marker) {
             core = &core[..idx];
         }
@@ -454,6 +474,9 @@ mod tests {
 
     #[test]
     fn route_display_is_title_cased() {
-        assert_eq!(RouteSpec::new("the US", "europe").display(), "United States to Europe");
+        assert_eq!(
+            RouteSpec::new("the US", "europe").display(),
+            "United States to Europe"
+        );
     }
 }

@@ -28,7 +28,11 @@ pub struct LlmConfig {
 
 impl Default for LlmConfig {
     fn default() -> Self {
-        LlmConfig { context: ContextWindow::gpt4(), seed: 0, temperature: 0.0 }
+        LlmConfig {
+            context: ContextWindow::gpt4(),
+            seed: 0,
+            temperature: 0.0,
+        }
     }
 }
 
@@ -67,7 +71,10 @@ impl Llm {
 
     /// A GPT-4-shaped model with the given seed.
     pub fn gpt4(seed: u64) -> Self {
-        Llm::new(LlmConfig { seed, ..LlmConfig::default() })
+        Llm::new(LlmConfig {
+            seed,
+            ..LlmConfig::default()
+        })
     }
 
     pub fn stats(&self) -> LlmStats {
@@ -100,8 +107,7 @@ impl Llm {
         for chunk in kept {
             ex.absorb(chunk, None);
         }
-        let prompt_tokens: usize =
-            kept.iter().map(|c| count_tokens(c)).sum::<usize>() + reserved;
+        let prompt_tokens: usize = kept.iter().map(|c| count_tokens(c)).sum::<usize>() + reserved;
         self.charge(prompt_tokens, 0);
         (ex, dropped)
     }
@@ -124,7 +130,12 @@ impl Llm {
     /// The paper's self-learning probe: "what will you search for to
     /// get more information on this question?". Returns up to `max`
     /// deduplicated queries.
-    pub fn propose_searches(&self, question: &str, knowledge: &[String], max: usize) -> Vec<String> {
+    pub fn propose_searches(
+        &self,
+        question: &str,
+        knowledge: &[String],
+        max: usize,
+    ) -> Vec<String> {
         let ans = self.answer(question, knowledge);
         let mut queries = Vec::new();
         for missing in &ans.missing {
@@ -145,10 +156,7 @@ impl Llm {
         match missing {
             MissingKnowledge::CableRoute(spec) => {
                 if alt {
-                    format!(
-                        "submarine cable between {} and {} route",
-                        spec.a, spec.b
-                    )
+                    format!("submarine cable between {} and {} route", spec.a, spec.b)
                 } else {
                     // Deliberately not "fiber optic …": the discriminating
                     // terms are the endpoints, and padding the query with
@@ -190,7 +198,10 @@ impl Llm {
         let plan = plangen::plan_goal(goal);
         self.charge(
             count_tokens(goal) + 32,
-            plan.steps.iter().map(|s| count_tokens(&s.description)).sum(),
+            plan.steps
+                .iter()
+                .map(|s| count_tokens(&s.description))
+                .sum(),
         );
         plan
     }
@@ -198,7 +209,10 @@ impl Llm {
     /// Chain-of-thought decomposition of a compound task.
     pub fn decompose(&self, task: &str) -> Vec<String> {
         let aspects = plangen::decompose(task);
-        self.charge(count_tokens(task) + 16, aspects.iter().map(|a| count_tokens(a)).sum());
+        self.charge(
+            count_tokens(task) + 16,
+            aspects.iter().map(|a| count_tokens(a)).sum(),
+        );
         aspects
     }
 
@@ -300,7 +314,9 @@ mod tests {
         let queries = llm.propose_searches(CABLE_Q, &[], 4);
         assert!(!queries.is_empty());
         assert!(
-            queries.iter().any(|q| q.contains("brazil") && q.contains("europe")),
+            queries
+                .iter()
+                .any(|q| q.contains("brazil") && q.contains("europe")),
             "queries: {queries:?}"
         );
         assert!(queries.iter().any(|q| q.contains("united states")));

@@ -48,11 +48,54 @@ impl ActionPlan {
 
 /// Words that carry no search signal when building queries from goals.
 const GOAL_STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "been", "but", "by", "current", "etc", "for", "from", "gain",
-    "global", "have", "how", "in", "into", "is", "it", "its", "knowledge", "large", "learn",
-    "my", "of", "on", "or", "past", "principles", "scale", "several", "such", "that", "the",
-    "their", "them", "these", "this", "to", "understand", "understanding", "up", "via", "well",
-    "what", "which", "with",
+    "a",
+    "an",
+    "and",
+    "are",
+    "as",
+    "been",
+    "but",
+    "by",
+    "current",
+    "etc",
+    "for",
+    "from",
+    "gain",
+    "global",
+    "have",
+    "how",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "knowledge",
+    "large",
+    "learn",
+    "my",
+    "of",
+    "on",
+    "or",
+    "past",
+    "principles",
+    "scale",
+    "several",
+    "such",
+    "that",
+    "the",
+    "their",
+    "them",
+    "these",
+    "this",
+    "to",
+    "understand",
+    "understanding",
+    "up",
+    "via",
+    "well",
+    "what",
+    "which",
+    "with",
 ];
 
 fn is_goal_stopword(w: &str) -> bool {
@@ -97,10 +140,10 @@ pub fn plan_goal(goal: &str) -> ActionPlan {
     let mut steps = Vec::new();
     for aspect in &aspects {
         steps.push(PlanStep {
-            description: format!(
-                "Use the 'google' command to search for information on {aspect}."
-            ),
-            action: StepAction::Search { query: aspect.clone() },
+            description: format!("Use the 'google' command to search for information on {aspect}."),
+            action: StepAction::Search {
+                query: aspect.clone(),
+            },
         });
     }
     steps.push(PlanStep {
@@ -117,7 +160,10 @@ pub fn plan_goal(goal: &str) -> ActionPlan {
         thoughts: format!(
             "I need to gather information on {}. I will start by using the 'google' command \
              to search for relevant information.",
-            aspects.first().cloned().unwrap_or_else(|| "the topic".into())
+            aspects
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "the topic".into())
         ),
         steps,
     }

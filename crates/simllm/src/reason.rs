@@ -133,7 +133,11 @@ fn matching_cables<'e>(ex: &'e Extraction, spec: &RouteSpec) -> Vec<&'e str> {
                 to_region,
                 ..
             } => {
-                let side_a = (from_city.as_str(), from_country.as_str(), from_region.as_str());
+                let side_a = (
+                    from_city.as_str(),
+                    from_country.as_str(),
+                    from_region.as_str(),
+                );
                 let side_b = (to_city.as_str(), to_country.as_str(), to_region.as_str());
                 let fwd = side_matches(&spec.a, side_a) && side_matches(&spec.b, side_b);
                 let rev = side_matches(&spec.b, side_a) && side_matches(&spec.a, side_b);
@@ -174,11 +178,7 @@ pub fn answer(question: &str, intent: &Intent, ex: &Extraction) -> Answer {
     }
 }
 
-fn finish(
-    slots: Slots,
-    text: String,
-    verdict: Option<String>,
-) -> Answer {
+fn finish(slots: Slots, text: String, verdict: Option<String>) -> Answer {
     // An answer that cannot commit is not a confident answer, whatever
     // partial evidence accumulated: cap hedges below any sensible
     // confidence threshold so the self-learning loop keeps digging.
@@ -209,7 +209,10 @@ fn compare_cables(ex: &Extraction, spec_a: &RouteSpec, spec_b: &RouteSpec) -> An
         let cables = matching_cables(ex, spec);
         if cables.is_empty() {
             slots.missing(MissingKnowledge::CableRoute(spec.clone()));
-            slots.step(format!("no known cable matches the {} route", spec.display()));
+            slots.step(format!(
+                "no known cable matches the {} route",
+                spec.display()
+            ));
             sides.push((None, spec));
             continue;
         }
@@ -248,7 +251,9 @@ fn compare_cables(ex: &Extraction, spec_a: &RouteSpec, spec_b: &RouteSpec) -> An
             }
             None => {
                 for name in cables.iter().take(2) {
-                    slots.missing(MissingKnowledge::CableApex { cable: name.to_string() });
+                    slots.missing(MissingKnowledge::CableApex {
+                        cable: name.to_string(),
+                    });
                 }
                 sides.push((None, spec));
             }
@@ -320,7 +325,11 @@ fn compare_operators(ex: &Extraction, op_a: &str, op_b: &str) -> Answer {
                 std::cmp::Ordering::Greater => false,
                 std::cmp::Ordering::Equal => pa.2.unwrap_or(0.0) < pb.2.unwrap_or(0.0),
             };
-            let (loser, winner) = if a_more_vulnerable { (pa, pb) } else { (pb, pa) };
+            let (loser, winner) = if a_more_vulnerable {
+                (pa, pb)
+            } else {
+                (pb, pa)
+            };
             let regions_note = if winner.3 >= 3 {
                 " including regions less likely to be affected, such as Asia and South America,"
             } else {
@@ -352,20 +361,17 @@ fn latitude_dependence(ex: &Extraction) -> Answer {
     let mut slots = Slots::new();
     let has = slots.principle(ex, Principle::LatitudeRisk, 0.6);
     slots.principle(ex, Principle::GridThreat, 0.2);
-    let example = ex
-        .facts
-        .iter()
-        .find_map(|f| match f {
-            Fact::MaxGeomagLatitude { entity, degrees } => Some(format!(
-                "For example, the {entity} route reaches about {degrees:.0} degrees geomagnetic \
+    let example = ex.facts.iter().find_map(|f| match f {
+        Fact::MaxGeomagLatitude { entity, degrees } => Some(format!(
+            "For example, the {entity} route reaches about {degrees:.0} degrees geomagnetic \
                  latitude, placing it in the zone of strongest induced currents."
-            )),
-            Fact::RegionGridLatitude { grid, degrees, .. } => Some(format!(
-                "For example, the {grid} operates at about {degrees:.0} degrees geomagnetic \
+        )),
+        Fact::RegionGridLatitude { grid, degrees, .. } => Some(format!(
+            "For example, the {grid} operates at about {degrees:.0} degrees geomagnetic \
                  latitude, inside the higher-risk band."
-            )),
-            _ => None,
-        });
+        )),
+        _ => None,
+    });
     if example.is_some() {
         slots.filled(0.2, 1);
     }
@@ -376,9 +382,17 @@ fn latitude_dependence(ex: &Extraction) -> Answer {
              the auroral zones while equatorial infrastructure is largely spared. {}",
             example.unwrap_or_default()
         );
-        finish(slots, text.trim_end().to_string(), Some("risk increases at higher latitudes".into()))
+        finish(
+            slots,
+            text.trim_end().to_string(),
+            Some("risk increases at higher latitudes".into()),
+        )
     } else {
-        finish(slots, prior::generic_hedge("the latitude dependence of storm risk"), None)
+        finish(
+            slots,
+            prior::generic_hedge("the latitude dependence of storm risk"),
+            None,
+        )
     }
 }
 
@@ -386,7 +400,11 @@ fn weak_component(ex: &Extraction) -> Answer {
     let mut slots = Slots::new();
     let has = slots.principle(ex, Principle::RepeaterWeakness, 0.7);
     slots.principle(ex, Principle::TerrestrialSafety, 0.15);
-    if ex.facts.iter().any(|f| matches!(f, Fact::RepeaterCount { .. })) {
+    if ex
+        .facts
+        .iter()
+        .any(|f| matches!(f, Fact::RepeaterCount { .. }))
+    {
         slots.filled(0.15, 1);
     }
     if has {
@@ -397,7 +415,11 @@ fn weak_component(ex: &Extraction) -> Answer {
             .to_string();
         finish(slots, text, Some("the powered repeaters".into()))
     } else {
-        finish(slots, prior::generic_hedge("submarine cable failure modes"), None)
+        finish(
+            slots,
+            prior::generic_hedge("submarine cable failure modes"),
+            None,
+        )
     }
 }
 
@@ -454,7 +476,11 @@ fn compare_regions(ex: &Extraction, region_a: &str, region_b: &str) -> Answer {
             } else {
                 (region_b, lat_b, region_a, lat_a)
             };
-            let hi_display = if hi == "North America" { "The United States" } else { hi };
+            let hi_display = if hi == "North America" {
+                "The United States"
+            } else {
+                hi
+            };
             let sing_note = if singapore {
                 " Asian hubs such as Singapore lie near the geomagnetic equator."
             } else {
@@ -466,7 +492,11 @@ fn compare_regions(ex: &Extraction, region_a: &str, region_b: &str) -> Answer {
                  induced currents, while {lo} averages only about {lo_lat:.0} degrees, closer \
                  to the equator.{sing_note}"
             );
-            finish(slots, text, Some(format!("{hi_display} is more susceptible").to_lowercase()))
+            finish(
+                slots,
+                text,
+                Some(format!("{hi_display} is more susceptible").to_lowercase()),
+            )
         }
         _ => finish(
             slots,
@@ -479,7 +509,11 @@ fn compare_regions(ex: &Extraction, region_a: &str, region_b: &str) -> Answer {
 fn length_effect(ex: &Extraction) -> Answer {
     let mut slots = Slots::new();
     let has = slots.principle(ex, Principle::LengthRisk, 0.6);
-    if ex.facts.iter().any(|f| matches!(f, Fact::RepeaterCount { .. })) {
+    if ex
+        .facts
+        .iter()
+        .any(|f| matches!(f, Fact::RepeaterCount { .. }))
+    {
         slots.filled(0.2, 1);
     }
     if ex.facts.iter().any(|f| matches!(f, Fact::LengthKm { .. })) {
@@ -491,9 +525,17 @@ fn length_effect(ex: &Extraction) -> Answer {
                     failure point under induced currents, so the risk accumulates with every \
                     additional span."
             .to_string();
-        finish(slots, text, Some("yes, longer cables are more vulnerable".into()))
+        finish(
+            slots,
+            text,
+            Some("yes, longer cables are more vulnerable".into()),
+        )
     } else {
-        finish(slots, prior::generic_hedge("the effect of cable length"), None)
+        finish(
+            slots,
+            prior::generic_hedge("the effect of cable length"),
+            None,
+        )
     }
 }
 
@@ -518,7 +560,11 @@ fn partition_impact(ex: &Extraction) -> Answer {
             Some("intercontinental links fail while regional networks survive".into()),
         )
     } else {
-        finish(slots, prior::generic_hedge("large-scale connectivity impact"), None)
+        finish(
+            slots,
+            prior::generic_hedge("large-scale connectivity impact"),
+            None,
+        )
     }
 }
 
@@ -593,7 +639,11 @@ fn shutdown_plan(ex: &Extraction) -> Answer {
             text.push_str(&format!("\n  {}. {name} ({deg:.1} degrees)", i + 1));
         }
     }
-    finish(slots, text, Some("staged shutdown and redundancy plan".into()))
+    finish(
+        slots,
+        text,
+        Some("staged shutdown and redundancy plan".into()),
+    )
 }
 
 /// Collect every incident-tagged fact matching `needle`.
@@ -641,7 +691,11 @@ fn incident_cause(ex: &Extraction, needle: &str) -> Answer {
         }
         None => {
             slots.missing(MissingKnowledge::IncidentInfo(needle.to_string()));
-            finish(slots, prior::generic_hedge(&format!("the cause of the {needle}")), None)
+            finish(
+                slots,
+                prior::generic_hedge(&format!("the cause of the {needle}")),
+                None,
+            )
         }
     }
 }
@@ -801,7 +855,11 @@ mod tests {
             .missing
             .iter()
             .any(|m| matches!(m, MissingKnowledge::CableApex { cable } if cable == "EllaLink")));
-        assert!((3..=6).contains(&ans.confidence), "partial knowledge: {}", ans.confidence);
+        assert!(
+            (3..=6).contains(&ans.confidence),
+            "partial knowledge: {}",
+            ans.confidence
+        );
     }
 
     const DC_Q: &str = "Whose datacenter is more vulnerable to a solar superstorm, Google's or \
@@ -958,7 +1016,10 @@ mod tests {
         let ans = answer(q, &intent, &ex);
         let text = ans.text;
         assert!(text.contains("severed 8 submarine cables"), "text: {text}");
-        assert!(text.contains("7 weeks"), "duration should be converted: {text}");
+        assert!(
+            text.contains("7 weeks"),
+            "duration should be converted: {text}"
+        );
         assert!(ans.confidence >= 7);
     }
 
@@ -996,7 +1057,10 @@ mod tests {
         let farice = text.find("FARICE-1").expect("FARICE listed");
         let grace = text.find("Grace Hopper").expect("Grace listed");
         let ella = text.find("EllaLink").expect("EllaLink listed");
-        assert!(farice < grace && grace < ella, "must be ordered by latitude: {text}");
+        assert!(
+            farice < grace && grace < ella,
+            "must be ordered by latitude: {text}"
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@
 /// token each, plus one per 4 characters of long words (mimicking BPE
 /// splitting of rare/long strings).
 pub fn count_tokens(text: &str) -> usize {
-    text.split_whitespace()
-        .map(|w| 1 + w.len() / 8)
-        .sum()
+    text.split_whitespace().map(|w| 1 + w.len() / 8).sum()
 }
 
 /// A context-window budget tracker.
@@ -80,7 +78,9 @@ mod tests {
     #[test]
     fn fit_with_reservation_shrinks_budget() {
         let window = ContextWindow::new(100);
-        let chunks: Vec<String> = (0..10).map(|i| format!("word word word word {i}")).collect();
+        let chunks: Vec<String> = (0..10)
+            .map(|i| format!("word word word word {i}"))
+            .collect();
         let (no_reserve, _) = window.fit(&chunks, 0);
         let (reserved, _) = window.fit(&chunks, 80);
         assert!(reserved.len() < no_reserve.len());

@@ -164,9 +164,7 @@ impl CircuitBreaker {
     /// Virtual time until the next probe is admitted; zero unless open.
     pub fn retry_in(&self, now: Instant) -> Duration {
         match self.state {
-            BreakerState::Open => {
-                (self.opened_at + self.config.cooldown).duration_since(now)
-            }
+            BreakerState::Open => (self.opened_at + self.config.cooldown).duration_since(now),
             _ => Duration::ZERO,
         }
     }
@@ -239,7 +237,11 @@ mod tests {
         b.record_success();
         b.record_failure(FailureClass::ConnectionReset, now);
         b.record_failure(FailureClass::ConnectionReset, now);
-        assert_eq!(b.state(), BreakerState::Closed, "count must reset on success");
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "count must reset on success"
+        );
     }
 
     #[test]
@@ -292,11 +294,17 @@ mod tests {
             FailureClass::Timeout
         );
         assert_eq!(
-            FailureClass::of(&NetError::HttpStatus { host: "h".into(), code: 503 }),
+            FailureClass::of(&NetError::HttpStatus {
+                host: "h".into(),
+                code: 503
+            }),
             FailureClass::ServerError
         );
         assert_eq!(
-            FailureClass::of(&NetError::HttpStatus { host: "h".into(), code: 404 }),
+            FailureClass::of(&NetError::HttpStatus {
+                host: "h".into(),
+                code: 404
+            }),
             FailureClass::Other
         );
         // RetriesExhausted classifies as its underlying cause.
@@ -311,8 +319,16 @@ mod tests {
 
     #[test]
     fn metrics_absorb_accumulates() {
-        let mut a = BreakerMetrics { opened: 1, timeouts: 2, ..BreakerMetrics::default() };
-        let b = BreakerMetrics { opened: 2, resets: 3, ..BreakerMetrics::default() };
+        let mut a = BreakerMetrics {
+            opened: 1,
+            timeouts: 2,
+            ..BreakerMetrics::default()
+        };
+        let b = BreakerMetrics {
+            opened: 2,
+            resets: 3,
+            ..BreakerMetrics::default()
+        };
         a.absorb(&b);
         assert_eq!(a.opened, 3);
         assert_eq!(a.failures(), 5);

@@ -21,7 +21,10 @@ pub struct CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { capacity: 256, ttl: Duration::from_secs(300) }
+        CacheConfig {
+            capacity: 256,
+            ttl: Duration::from_secs(300),
+        }
     }
 }
 
@@ -112,7 +115,11 @@ impl ResponseCache {
         }
         self.entries.insert(
             url.to_string(),
-            CacheEntry { response, stored_at: now, last_used: self.tick },
+            CacheEntry {
+                response,
+                stored_at: now,
+                last_used: self.tick,
+            },
         );
     }
 }
@@ -130,7 +137,10 @@ mod tests {
     }
 
     fn cache(capacity: usize, ttl_secs: u64) -> ResponseCache {
-        ResponseCache::new(CacheConfig { capacity, ttl: Duration::from_secs(ttl_secs) })
+        ResponseCache::new(CacheConfig {
+            capacity,
+            ttl: Duration::from_secs(ttl_secs),
+        })
     }
 
     #[test]
@@ -161,7 +171,10 @@ mod tests {
         c.put("sim://a.test/3", resp("3"), t(3));
         assert_eq!(c.len(), 2);
         assert!(c.get("sim://a.test/1", t(4)).is_some());
-        assert!(c.get("sim://a.test/2", t(4)).is_none(), "LRU victim evicted");
+        assert!(
+            c.get("sim://a.test/2", t(4)).is_none(),
+            "LRU victim evicted"
+        );
         assert!(c.get("sim://a.test/3", t(4)).is_some());
     }
 

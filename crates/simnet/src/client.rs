@@ -51,7 +51,10 @@ impl ClientConfig {
     /// The resilient profile: default behaviour plus a per-host
     /// circuit breaker — what the agent uses under chaos testing.
     pub fn resilient() -> Self {
-        ClientConfig { breaker: Some(BreakerConfig::default()), ..ClientConfig::default() }
+        ClientConfig {
+            breaker: Some(BreakerConfig::default()),
+            ..ClientConfig::default()
+        }
     }
 }
 
@@ -111,8 +114,10 @@ impl Client {
     /// Per-host breaker metrics, sorted by host name.
     pub fn breaker_metrics(&self) -> Vec<(String, BreakerMetrics)> {
         let breakers = self.breakers.lock();
-        let mut out: Vec<(String, BreakerMetrics)> =
-            breakers.iter().map(|(h, b)| (h.clone(), b.metrics())).collect();
+        let mut out: Vec<(String, BreakerMetrics)> = breakers
+            .iter()
+            .map(|(h, b)| (h.clone(), b.metrics()))
+            .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -145,7 +150,10 @@ impl Client {
                 None => return Ok(resp),
             }
         }
-        Err(NetError::HttpStatus { host: current.host().to_string(), code: 310 })
+        Err(NetError::HttpStatus {
+            host: current.host().to_string(),
+            code: 310,
+        })
     }
 
     /// One fetch without redirect handling.
@@ -154,7 +162,10 @@ impl Client {
         if let Some(cached) = self.cache.lock().get(&key, self.net.clock().now()) {
             return Ok(cached);
         }
-        let req = Request { url: url.clone(), client_id: self.id };
+        let req = Request {
+            url: url.clone(),
+            client_id: self.id,
+        };
         let host = url.host().to_string();
         let mut attempt: u32 = 0;
         loop {
@@ -174,7 +185,10 @@ impl Client {
             let result = self.net.transmit(&req).and_then(|resp| {
                 let elapsed = self.net.clock().now().duration_since(start);
                 if elapsed > self.config.timeout {
-                    Err(NetError::Timeout { host: url.host().to_string(), elapsed })
+                    Err(NetError::Timeout {
+                        host: url.host().to_string(),
+                        elapsed,
+                    })
                 } else {
                     Ok(resp)
                 }
@@ -187,7 +201,9 @@ impl Client {
                             b.record_success();
                         }
                     }
-                    self.cache.lock().put(&key, resp.clone(), self.net.clock().now());
+                    self.cache
+                        .lock()
+                        .put(&key, resp.clone(), self.net.clock().now());
                     return Ok(resp);
                 }
                 Err(err) => err,
@@ -223,7 +239,9 @@ impl Client {
     /// when the backoff enables it (zero rng draws otherwise).
     fn next_delay(&self, attempt: u32, err: &NetError) -> Option<Duration> {
         if self.config.retry.backoff.jitter {
-            self.config.retry.next_delay_with(attempt, err, &mut self.retry_rng.lock())
+            self.config
+                .retry
+                .next_delay_with(attempt, err, &mut self.retry_rng.lock())
         } else {
             self.config.retry.next_delay(attempt, err)
         }
@@ -236,7 +254,9 @@ impl Client {
         let resp = self.get_url(&parsed)?;
         resp.text()
             .map(str::to_owned)
-            .ok_or_else(|| NetError::BodyNotText { host: parsed.host().to_string() })
+            .ok_or_else(|| NetError::BodyNotText {
+                host: parsed.host().to_string(),
+            })
     }
 }
 
@@ -255,7 +275,10 @@ mod tests {
 
     fn cfg(loss: f64) -> HostConfig {
         HostConfig {
-            latency: LatencyModel { loss, ..LatencyModel::fast() },
+            latency: LatencyModel {
+                loss,
+                ..LatencyModel::fast()
+            },
             rate_limit: TokenBucket::unlimited(),
         }
     }
@@ -278,7 +301,10 @@ mod tests {
             Arc::new(net),
             ClientConfig {
                 timeout: Duration::from_secs(30),
-                retry: RetryPolicy { max_retries: 5, backoff: Backoff::default() },
+                retry: RetryPolicy {
+                    max_retries: 5,
+                    backoff: Backoff::default(),
+                },
                 ..ClientConfig::default()
             },
         );
@@ -295,7 +321,10 @@ mod tests {
             Arc::new(net),
             ClientConfig {
                 timeout: Duration::from_secs(30),
-                retry: RetryPolicy { max_retries: 2, backoff: Backoff::default() },
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    backoff: Backoff::default(),
+                },
                 ..ClientConfig::default()
             },
         );
@@ -347,13 +376,19 @@ mod tests {
             "lim.test",
             ok_host(),
             HostConfig {
-                latency: LatencyModel { loss: 0.0, ..LatencyModel::fast() },
+                latency: LatencyModel {
+                    loss: 0.0,
+                    ..LatencyModel::fast()
+                },
                 rate_limit: TokenBucket::new(1, 10.0),
             },
         );
         let client = Client::new(Arc::new(net));
         assert!(client.get("sim://lim.test/").is_ok());
-        assert!(client.get("sim://lim.test/").is_ok(), "retry should absorb the 429");
+        assert!(
+            client.get("sim://lim.test/").is_ok(),
+            "retry should absorb the 429"
+        );
     }
 
     #[test]
@@ -399,7 +434,10 @@ mod tests {
         client.get("sim://c.test/a").unwrap();
         let before = client.network().clock().now();
         client.get("sim://c.test/b").unwrap();
-        assert!(client.network().clock().now() > before, "different URL must hit the network");
+        assert!(
+            client.network().clock().now() > before,
+            "different URL must hit the network"
+        );
     }
 
     #[test]
@@ -416,7 +454,10 @@ mod tests {
             cfg(0.0),
         );
         let client = Client::new(Arc::new(net));
-        assert_eq!(client.get_text("sim://old.test/moved").unwrap(), "final content");
+        assert_eq!(
+            client.get_text("sim://old.test/moved").unwrap(),
+            "final content"
+        );
     }
 
     #[test]
@@ -453,7 +494,10 @@ mod tests {
                 Arc::new(net),
                 ClientConfig {
                     timeout: Duration::from_secs(60),
-                    retry: RetryPolicy { max_retries, backoff: Backoff::default() },
+                    retry: RetryPolicy {
+                        max_retries,
+                        backoff: Backoff::default(),
+                    },
                     ..ClientConfig::default()
                 },
             );
@@ -521,9 +565,13 @@ mod tests {
         net.register_with("site.test", ok_host(), cfg(0.0));
         let client = breaker_client(net, 1, Duration::from_secs(5));
         let outage_end = Instant::EPOCH + Duration::from_secs(10);
-        client.network().set_fault_plan(
-            FaultPlan::new().with_blackout("site.test", Instant::EPOCH, outage_end),
-        );
+        client
+            .network()
+            .set_fault_plan(FaultPlan::new().with_blackout(
+                "site.test",
+                Instant::EPOCH,
+                outage_end,
+            ));
 
         // Blackout: first request fails and trips the one-strike breaker.
         assert!(client.get("sim://site.test/a").is_err());
@@ -534,7 +582,10 @@ mod tests {
         ));
         // Past both the outage window and the cooldown, the half-open
         // probe goes through and recloses the breaker.
-        client.network().clock().advance_to(outage_end + Duration::from_secs(1));
+        client
+            .network()
+            .clock()
+            .advance_to(outage_end + Duration::from_secs(1));
         assert!(!client.breaker_would_fail_fast("site.test"));
         assert!(client.get("sim://site.test/a").is_ok());
         let metrics = client.breaker_metrics();
@@ -555,7 +606,11 @@ mod tests {
                     timeout: Duration::from_secs(60),
                     retry: RetryPolicy {
                         max_retries: 3,
-                        backoff: Backoff { jitter: true, jitter_seed: 5, ..Backoff::default() },
+                        backoff: Backoff {
+                            jitter: true,
+                            jitter_seed: 5,
+                            ..Backoff::default()
+                        },
                     },
                     ..ClientConfig::default()
                 },
@@ -565,8 +620,14 @@ mod tests {
         };
         let (clock1, err1) = run();
         let (clock2, err2) = run();
-        assert_eq!(clock1, clock2, "same seeds must spend identical virtual time");
+        assert_eq!(
+            clock1, clock2,
+            "same seeds must spend identical virtual time"
+        );
         assert_eq!(err1, err2);
-        assert!(matches!(err1, NetError::RetriesExhausted { attempts: 4, .. }));
+        assert!(matches!(
+            err1,
+            NetError::RetriesExhausted { attempts: 4, .. }
+        ));
     }
 }

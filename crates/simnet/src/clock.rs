@@ -16,7 +16,9 @@ use std::sync::Arc;
 /// Microsecond resolution is enough to model sub-millisecond intra-DC
 /// latencies while keeping arithmetic in `u64` overflow-safe for any
 /// realistic simulation length (~584k years).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct Duration(u64);
 
 impl Duration {
@@ -92,7 +94,9 @@ impl fmt::Display for Duration {
 }
 
 /// A point in virtual time (microseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct Instant(u64);
 
 impl Instant {
@@ -180,7 +184,10 @@ mod tests {
     #[test]
     fn duration_mul_f64_scales_and_saturates() {
         assert_eq!(Duration::from_millis(10).mul_f64(2.5).as_micros(), 25_000);
-        assert_eq!(Duration::from_micros(u64::MAX).mul_f64(4.0).as_micros(), u64::MAX);
+        assert_eq!(
+            Duration::from_micros(u64::MAX).mul_f64(4.0).as_micros(),
+            u64::MAX
+        );
         assert_eq!(Duration::from_millis(7).mul_f64(0.0), Duration::ZERO);
     }
 

@@ -102,8 +102,16 @@ mod tests {
             retry_after: Duration::from_millis(50)
         }
         .is_retryable());
-        assert!(NetError::HttpStatus { host: "a".into(), code: 503 }.is_retryable());
-        assert!(!NetError::HttpStatus { host: "a".into(), code: 404 }.is_retryable());
+        assert!(NetError::HttpStatus {
+            host: "a".into(),
+            code: 503
+        }
+        .is_retryable());
+        assert!(!NetError::HttpStatus {
+            host: "a".into(),
+            code: 404
+        }
+        .is_retryable());
         assert!(!NetError::HostNotFound("a".into()).is_retryable());
         assert!(!NetError::CircuitOpen {
             host: "a".into(),
@@ -128,6 +136,9 @@ mod tests {
             host: "search.test".into(),
             elapsed: Duration::from_millis(1500),
         };
-        assert_eq!(e.to_string(), "request to search.test timed out after 1.500s");
+        assert_eq!(
+            e.to_string(),
+            "request to search.test timed out after 1.500s"
+        );
     }
 }

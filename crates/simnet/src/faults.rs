@@ -131,8 +131,7 @@ impl FaultPlan {
         // Deterministic host order regardless of caller ordering.
         let mut sorted: Vec<&String> = hosts.iter().collect();
         sorted.sort();
-        let afflicted = ((sorted.len() as f64 * intensity).round() as usize)
-            .clamp(1, sorted.len());
+        let afflicted = ((sorted.len() as f64 * intensity).round() as usize).clamp(1, sorted.len());
         // Choose afflicted hosts by a seeded shuffle-prefix.
         for i in 0..afflicted {
             let j = rng.gen_range(i..sorted.len());
@@ -154,7 +153,9 @@ impl FaultPlan {
                     2 => FaultKind::RateLimitStorm {
                         retry_after: Duration::from_millis(rng.gen_range(500u64..3_000)),
                     },
-                    _ => FaultKind::CorruptBody { truncate: rng.gen_bool(0.5) },
+                    _ => FaultKind::CorruptBody {
+                        truncate: rng.gen_bool(0.5),
+                    },
                 };
                 host_plan.windows.push(FaultWindow {
                     from: Instant::from_micros(start_us),

@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn loss_rate_matches_parameter() {
-        let model = LatencyModel { loss: 0.2, ..LatencyModel::fast() };
+        let model = LatencyModel {
+            loss: 0.2,
+            ..LatencyModel::fast()
+        };
         let (_, lost) = draws(model, 10_000, 11);
         let rate = lost as f64 / 10_000.0;
         assert!((rate - 0.2).abs() < 0.02, "observed loss rate {rate}");
@@ -143,7 +146,10 @@ mod tests {
 
     #[test]
     fn zero_loss_never_drops() {
-        let model = LatencyModel { loss: 0.0, ..LatencyModel::fast() };
+        let model = LatencyModel {
+            loss: 0.0,
+            ..LatencyModel::fast()
+        };
         let (_, lost) = draws(model, 5_000, 3);
         assert_eq!(lost, 0);
     }

@@ -65,7 +65,9 @@ impl TokenBucket {
         } else {
             let deficit = 1.0 - self.tokens;
             let wait_us = (deficit / self.refill_per_sec * 1e6).ceil() as u64;
-            Acquire::Denied { retry_after: Duration::from_micros(wait_us) }
+            Acquire::Denied {
+                retry_after: Duration::from_micros(wait_us),
+            }
         }
     }
 

@@ -81,12 +81,18 @@ pub struct RetryPolicy {
 impl RetryPolicy {
     /// Never retry.
     pub fn none() -> Self {
-        RetryPolicy { max_retries: 0, backoff: Backoff::default() }
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Backoff::default(),
+        }
     }
 
     /// A sensible default for page fetches: 3 retries, 100ms..10s backoff.
     pub fn standard() -> Self {
-        RetryPolicy { max_retries: 3, backoff: Backoff::default() }
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Backoff::default(),
+        }
     }
 
     /// Decide what to do after a failure on attempt `attempt` (0-based).
@@ -136,7 +142,10 @@ mod tests {
     use super::*;
 
     fn timeout() -> NetError {
-        NetError::Timeout { host: "h".into(), elapsed: Duration::from_millis(1) }
+        NetError::Timeout {
+            host: "h".into(),
+            elapsed: Duration::from_millis(1),
+        }
     }
 
     #[test]
@@ -156,7 +165,10 @@ mod tests {
 
     #[test]
     fn policy_stops_after_max_retries() {
-        let p = RetryPolicy { max_retries: 2, backoff: Backoff::default() };
+        let p = RetryPolicy {
+            max_retries: 2,
+            backoff: Backoff::default(),
+        };
         assert!(p.next_delay(0, &timeout()).is_some());
         assert!(p.next_delay(1, &timeout()).is_some());
         assert!(p.next_delay(2, &timeout()).is_none());
@@ -165,9 +177,17 @@ mod tests {
     #[test]
     fn policy_never_retries_permanent_errors() {
         let p = RetryPolicy::standard();
-        assert!(p.next_delay(0, &NetError::HostNotFound("h".into())).is_none());
         assert!(p
-            .next_delay(0, &NetError::HttpStatus { host: "h".into(), code: 404 })
+            .next_delay(0, &NetError::HostNotFound("h".into()))
+            .is_none());
+        assert!(p
+            .next_delay(
+                0,
+                &NetError::HttpStatus {
+                    host: "h".into(),
+                    code: 404
+                }
+            )
             .is_none());
     }
 
@@ -208,26 +228,40 @@ mod tests {
 
     #[test]
     fn full_jitter_stays_within_the_schedule_and_is_seeded() {
-        let b = Backoff { jitter: true, jitter_seed: 99, ..Backoff::default() };
+        let b = Backoff {
+            jitter: true,
+            jitter_seed: 99,
+            ..Backoff::default()
+        };
         let mut rng1 = b.jitter_rng();
         let mut rng2 = b.jitter_rng();
         for attempt in 0..20 {
             let d1 = b.delay_with(attempt, &mut rng1);
             let d2 = b.delay_with(attempt, &mut rng2);
             assert_eq!(d1, d2, "same seed, same jitter");
-            assert!(d1 <= b.delay(attempt), "full jitter never exceeds the schedule");
+            assert!(
+                d1 <= b.delay(attempt),
+                "full jitter never exceeds the schedule"
+            );
         }
         // Across many draws the jitter must actually vary.
         let mut rng = b.jitter_rng();
         let draws: Vec<Duration> = (0..10).map(|_| b.delay_with(3, &mut rng)).collect();
-        assert!(draws.iter().any(|d| *d != draws[0]), "jitter should vary: {draws:?}");
+        assert!(
+            draws.iter().any(|d| *d != draws[0]),
+            "jitter should vary: {draws:?}"
+        );
     }
 
     #[test]
     fn jittered_delay_still_honours_retry_after_hints() {
         let p = RetryPolicy {
             max_retries: 3,
-            backoff: Backoff { jitter: true, jitter_seed: 7, ..Backoff::default() },
+            backoff: Backoff {
+                jitter: true,
+                jitter_seed: 7,
+                ..Backoff::default()
+            },
         };
         let err = NetError::RateLimited {
             host: "h".into(),
@@ -236,7 +270,10 @@ mod tests {
         let mut rng = p.backoff.jitter_rng();
         for attempt in 0..3 {
             let d = p.next_delay_with(attempt, &err, &mut rng).unwrap();
-            assert!(d >= Duration::from_secs(5), "hint floors the jittered delay");
+            assert!(
+                d >= Duration::from_secs(5),
+                "hint floors the jittered delay"
+            );
         }
     }
 }

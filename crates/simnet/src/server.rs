@@ -326,7 +326,9 @@ impl Network {
                 stats.lost += 1;
                 stats.busy += wasted;
                 self.fault_stats.lock().blackout_drops += 1;
-                return Err(NetError::ConnectionReset { host: req.url.host().to_string() });
+                return Err(NetError::ConnectionReset {
+                    host: req.url.host().to_string(),
+                });
             }
             Some(FaultKind::RateLimitStorm { retry_after }) => {
                 self.stats.lock().rate_limited += 1;
@@ -374,7 +376,9 @@ impl Network {
                 let mut stats = self.stats.lock();
                 stats.lost += 1;
                 stats.busy += wasted;
-                Err(NetError::ConnectionReset { host: req.url.host().to_string() })
+                Err(NetError::ConnectionReset {
+                    host: req.url.host().to_string(),
+                })
             }
             LatencySample::Delivered(mut rtt) => {
                 if let Some(FaultKind::Flaky { slowdown, .. }) = fault {
@@ -384,7 +388,10 @@ impl Network {
                     self.fault_stats.lock().flaky_slowdowns += 1;
                 }
                 let mut processing = Duration::ZERO;
-                let mut ctx = HostCtx { now: self.clock.now(), processing: &mut processing };
+                let mut ctx = HostCtx {
+                    now: self.clock.now(),
+                    processing: &mut processing,
+                };
                 let mut resp = slot.host.handle(req, &mut ctx);
                 if let Some(FaultKind::CorruptBody { truncate }) = fault {
                     self.corrupt_body(&mut resp, truncate);
@@ -421,7 +428,10 @@ mod tests {
 
     fn reliable_cfg() -> HostConfig {
         HostConfig {
-            latency: LatencyModel { loss: 0.0, ..LatencyModel::fast() },
+            latency: LatencyModel {
+                loss: 0.0,
+                ..LatencyModel::fast()
+            },
             rate_limit: TokenBucket::unlimited(),
         }
     }
@@ -440,7 +450,10 @@ mod tests {
             .transmit(&Request::get(Url::parse("sim://echo.test/a/b").unwrap()))
             .unwrap();
         assert_eq!(resp.text(), Some("echo:/a/b"));
-        assert!(net.clock().now() > before, "round trip must cost virtual time");
+        assert!(
+            net.clock().now() > before,
+            "round trip must cost virtual time"
+        );
     }
 
     #[test]
@@ -459,7 +472,10 @@ mod tests {
             "limited.test",
             echo_host(),
             HostConfig {
-                latency: LatencyModel { loss: 0.0, ..LatencyModel::fast() },
+                latency: LatencyModel {
+                    loss: 0.0,
+                    ..LatencyModel::fast()
+                },
                 rate_limit: TokenBucket::new(2, 0.0001),
             },
         );
@@ -478,14 +494,22 @@ mod tests {
             "flaky.test",
             echo_host(),
             HostConfig {
-                latency: LatencyModel { loss: 1.0, ..LatencyModel::fast() },
+                latency: LatencyModel {
+                    loss: 1.0,
+                    ..LatencyModel::fast()
+                },
                 rate_limit: TokenBucket::unlimited(),
             },
         );
         let err = net
             .transmit(&Request::get(Url::parse("sim://flaky.test/").unwrap()))
             .unwrap_err();
-        assert_eq!(err, NetError::ConnectionReset { host: "flaky.test".into() });
+        assert_eq!(
+            err,
+            NetError::ConnectionReset {
+                host: "flaky.test".into()
+            }
+        );
         assert_eq!(net.stats().lost, 1);
     }
 
@@ -516,7 +540,13 @@ mod tests {
         let err = net
             .transmit(&Request::get(Url::parse("sim://err.test/x").unwrap()))
             .unwrap_err();
-        assert_eq!(err, NetError::HttpStatus { host: "err.test".into(), code: 404 });
+        assert_eq!(
+            err,
+            NetError::HttpStatus {
+                host: "err.test".into(),
+                code: 404
+            }
+        );
     }
 
     #[test]
@@ -548,10 +578,18 @@ mod tests {
             let url = Url::parse("sim://echo.test/").unwrap();
             for _ in 0..3 {
                 let err = net.transmit(&Request::get(url.clone())).unwrap_err();
-                assert_eq!(err, NetError::ConnectionReset { host: "echo.test".into() });
+                assert_eq!(
+                    err,
+                    NetError::ConnectionReset {
+                        host: "echo.test".into()
+                    }
+                );
             }
             assert_eq!(net.fault_stats().blackout_drops, 3);
-            assert!(net.clock().now() > Instant::EPOCH, "drops still cost virtual time");
+            assert!(
+                net.clock().now() > Instant::EPOCH,
+                "drops still cost virtual time"
+            );
         }
 
         #[test]
@@ -562,7 +600,10 @@ mod tests {
             let url = Url::parse("sim://echo.test/").unwrap();
             assert!(net.transmit(&Request::get(url.clone())).is_err());
             net.clock().advance_to(until);
-            assert!(net.transmit(&Request::get(url)).is_ok(), "host recovers after the window");
+            assert!(
+                net.transmit(&Request::get(url)).is_ok(),
+                "host recovers after the window"
+            );
         }
 
         #[test]
@@ -572,7 +613,9 @@ mod tests {
                 "echo.test",
                 Instant::EPOCH,
                 far(),
-                FaultKind::RateLimitStorm { retry_after: Duration::from_secs(2) },
+                FaultKind::RateLimitStorm {
+                    retry_after: Duration::from_secs(2),
+                },
             ));
             let err = net
                 .transmit(&Request::get(Url::parse("sim://echo.test/").unwrap()))
@@ -594,7 +637,10 @@ mod tests {
                 "echo.test",
                 Instant::EPOCH,
                 far(),
-                FaultKind::Flaky { extra_loss: 0.5, slowdown: 1.0 },
+                FaultKind::Flaky {
+                    extra_loss: 0.5,
+                    slowdown: 1.0,
+                },
             ));
             let url = Url::parse("sim://echo.test/").unwrap();
             let mut drops = 0;
@@ -603,7 +649,10 @@ mod tests {
                     drops += 1;
                 }
             }
-            assert!((60..140).contains(&drops), "expected ~100 drops, got {drops}");
+            assert!(
+                (60..140).contains(&drops),
+                "expected ~100 drops, got {drops}"
+            );
             assert_eq!(net.fault_stats().flaky_drops, drops);
         }
 
@@ -655,8 +704,12 @@ mod tests {
             net.register_with("sick.test", echo_host(), reliable_cfg());
             net.register_with("well.test", echo_host(), reliable_cfg());
             net.set_fault_plan(FaultPlan::new().with_blackout("sick.test", Instant::EPOCH, far()));
-            assert!(net.transmit(&Request::get(Url::parse("sim://sick.test/").unwrap())).is_err());
-            assert!(net.transmit(&Request::get(Url::parse("sim://well.test/").unwrap())).is_ok());
+            assert!(net
+                .transmit(&Request::get(Url::parse("sim://sick.test/").unwrap()))
+                .is_err());
+            assert!(net
+                .transmit(&Request::get(Url::parse("sim://well.test/").unwrap()))
+                .is_ok());
         }
     }
 }

@@ -60,7 +60,10 @@ impl Url {
             .chars()
             .find(|c| !(c.is_ascii_alphanumeric() || *c == '.' || *c == '-'))
         {
-            return Err(UrlError::InvalidHostChar { host: host.to_string(), ch });
+            return Err(UrlError::InvalidHostChar {
+                host: host.to_string(),
+                ch,
+            });
         }
 
         let mut query = Vec::new();
@@ -73,7 +76,11 @@ impl Url {
             }
         }
 
-        Ok(Url { host: host.to_string(), path, query })
+        Ok(Url {
+            host: host.to_string(),
+            path,
+            query,
+        })
     }
 
     /// Build a URL from parts, percent-encoding query values.
@@ -123,7 +130,13 @@ impl fmt::Display for Url {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "sim://{}{}", self.host, self.path)?;
         for (i, (k, v)) in self.query.iter().enumerate() {
-            write!(f, "{}{}={}", if i == 0 { "?" } else { "&" }, encode(k), encode(v))?;
+            write!(
+                f,
+                "{}{}={}",
+                if i == 0 { "?" } else { "&" },
+                encode(k),
+                encode(v)
+            )?;
         }
         Ok(())
     }
@@ -162,7 +175,10 @@ fn decode(s: &str) -> String {
             '+' => out.push(' '),
             '%' => {
                 let hex: String = chars.clone().take(2).collect();
-                match (hex.len() == 2).then(|| u8::from_str_radix(&hex, 16).ok()).flatten() {
+                match (hex.len() == 2)
+                    .then(|| u8::from_str_radix(&hex, 16).ok())
+                    .flatten()
+                {
                     Some(b) => {
                         chars.next();
                         chars.next();
@@ -200,9 +216,17 @@ mod tests {
 
     #[test]
     fn rejects_bad_urls() {
-        assert!(matches!(Url::parse("http://x.test/"), Err(UrlError::UnsupportedScheme(s)) if s == "http"));
-        assert!(matches!(Url::parse("no-scheme"), Err(UrlError::MissingScheme(_))));
-        assert!(matches!(Url::parse("sim:///path"), Err(UrlError::EmptyHost(_))));
+        assert!(
+            matches!(Url::parse("http://x.test/"), Err(UrlError::UnsupportedScheme(s)) if s == "http")
+        );
+        assert!(matches!(
+            Url::parse("no-scheme"),
+            Err(UrlError::MissingScheme(_))
+        ));
+        assert!(matches!(
+            Url::parse("sim:///path"),
+            Err(UrlError::EmptyHost(_))
+        ));
         assert!(matches!(
             Url::parse("sim://bad_host/x"),
             Err(UrlError::InvalidHostChar { ch: '_', .. })

@@ -145,11 +145,7 @@ mod breaker_properties {
     /// Replay a random event sequence through the breaker state
     /// machine. Events: 0 = failure, 1 = success, 2 = allow() probe;
     /// each paired with a virtual-time step.
-    fn replay(
-        threshold: u32,
-        cooldown_s: u64,
-        events: &[(u8, u64)],
-    ) -> (CircuitBreaker, Instant) {
+    fn replay(threshold: u32, cooldown_s: u64, events: &[(u8, u64)]) -> (CircuitBreaker, Instant) {
         let mut b = CircuitBreaker::new(BreakerConfig {
             failure_threshold: threshold,
             cooldown: Duration::from_secs(cooldown_s),
@@ -249,12 +245,11 @@ mod fault_plan_properties {
     use proptest::prelude::*;
 
     fn hosts_strategy() -> impl Strategy<Value = Vec<String>> {
-        prop::collection::vec("[a-z]{1,8}\\.test", 1..12)
-            .prop_map(|mut hs| {
-                hs.sort();
-                hs.dedup();
-                hs
-            })
+        prop::collection::vec("[a-z]{1,8}\\.test", 1..12).prop_map(|mut hs| {
+            hs.sort();
+            hs.dedup();
+            hs
+        })
     }
 
     proptest! {

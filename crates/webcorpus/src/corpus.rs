@@ -21,7 +21,10 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { seed: 0xC0FFEE, distractor_count: 150 }
+        CorpusConfig {
+            seed: 0xC0FFEE,
+            distractor_count: 150,
+        }
     }
 }
 
@@ -46,11 +49,12 @@ impl Corpus {
         link_related(&mut docs);
 
         let engine = SearchEngine::build(docs.iter());
-        let by_url = docs
-            .iter()
-            .map(|d| (d.url().to_string(), d.id))
-            .collect();
-        Corpus { docs, engine, by_url }
+        let by_url = docs.iter().map(|d| (d.url().to_string(), d.id)).collect();
+        Corpus {
+            docs,
+            engine,
+            by_url,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -171,7 +175,10 @@ mod tests {
     #[test]
     fn host_path_lookup_works() {
         let c = corpus();
-        let doc = c.iter().find(|d| d.source == SourceKind::Encyclopedia).unwrap();
+        let doc = c
+            .iter()
+            .find(|d| d.source == SourceKind::Encyclopedia)
+            .unwrap();
         let found = c.doc_by_host_path(doc.source.host(), &doc.path).unwrap();
         assert_eq!(found.id, doc.id);
     }
@@ -207,11 +214,17 @@ mod tests {
     fn distractor_scaling_works() {
         let c = Corpus::generate(
             &World::standard(),
-            CorpusConfig { seed: 1, distractor_count: 10 },
+            CorpusConfig {
+                seed: 1,
+                distractor_count: 10,
+            },
         );
         let d = Corpus::generate(
             &World::standard(),
-            CorpusConfig { seed: 1, distractor_count: 400 },
+            CorpusConfig {
+                seed: 1,
+                distractor_count: 400,
+            },
         );
         assert_eq!(d.len() - c.len(), 390);
     }

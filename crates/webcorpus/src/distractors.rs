@@ -222,7 +222,9 @@ mod tests {
     #[test]
     fn all_are_tagged_distractor() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        assert!(generate(20, &mut rng, 0).iter().all(|d| d.topic == Topic::Distractor));
+        assert!(generate(20, &mut rng, 0)
+            .iter()
+            .all(|d| d.topic == Topic::Distractor));
     }
 
     #[test]
@@ -244,7 +246,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let docs = generate(100, &mut rng, 0);
         for d in &docs {
-            assert!(!d.body.contains("geomagnetic latitude"), "distractor leaks facts: {}", d.title);
+            assert!(
+                !d.body.contains("geomagnetic latitude"),
+                "distractor leaks facts: {}",
+                d.title
+            );
             assert!(!d.body.contains("optical repeaters"));
         }
     }

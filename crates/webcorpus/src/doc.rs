@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn url_combines_host_and_path() {
-        assert_eq!(doc().url().to_string(), "sim://encyclopedia.test/wiki/ellalink");
+        assert_eq!(
+            doc().url().to_string(),
+            "sim://encyclopedia.test/wiki/ellalink"
+        );
     }
 
     #[test]

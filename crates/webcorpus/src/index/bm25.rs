@@ -53,10 +53,10 @@ impl SearchEngine {
                 *counts.entry(t).or_insert(0) += 1;
             }
             for (term, term_freq) in counts {
-                postings
-                    .entry(term)
-                    .or_default()
-                    .push(Posting { doc: doc.id, term_freq });
+                postings.entry(term).or_default().push(Posting {
+                    doc: doc.id,
+                    term_freq,
+                });
             }
         }
 
@@ -67,7 +67,12 @@ impl SearchEngine {
             total_len as f64 / doc_count as f64
         };
         // Deterministic posting order (build iterates a HashMap).
-        let mut engine = SearchEngine { postings, doc_len, avg_doc_len, doc_count };
+        let mut engine = SearchEngine {
+            postings,
+            doc_len,
+            avg_doc_len,
+            doc_count,
+        };
         for list in engine.postings.values_mut() {
             list.sort_by_key(|p| p.doc);
         }
@@ -99,7 +104,9 @@ impl SearchEngine {
         let n = self.doc_count as f64;
 
         for term in tokenize(query) {
-            let Some(list) = self.postings.get(&term) else { continue };
+            let Some(list) = self.postings.get(&term) else {
+                continue;
+            };
             let df = list.len() as f64;
             // BM25 idf with the +1 smoothing that keeps it positive.
             let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
@@ -193,9 +200,7 @@ mod tests {
         let engine = SearchEngine::build(&small_corpus());
         let hits = engine.search("cable connects submarine", 10);
         for w in hits.windows(2) {
-            assert!(
-                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].doc < w[1].doc)
-            );
+            assert!(w[0].score > w[1].score || (w[0].score == w[1].score && w[0].doc < w[1].doc));
         }
     }
 

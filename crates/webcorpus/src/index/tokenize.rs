@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn stopwords_are_dropped() {
-        assert_eq!(tokenize("the cable is in the ocean"), vec!["cable", "ocean"]);
+        assert_eq!(
+            tokenize("the cable is in the ocean"),
+            vec!["cable", "ocean"]
+        );
     }
 
     #[test]
@@ -105,11 +108,14 @@ mod tests {
 
     #[test]
     fn numbers_survive_tokenization() {
-        assert_eq!(tokenize("Dst of -1760 nanotesla in 1859"), vec!["dst", "1760", "nanotesla", "1859"]);
+        assert_eq!(
+            tokenize("Dst of -1760 nanotesla in 1859"),
+            vec!["dst", "1760", "nanotesla", "1859"]
+        );
     }
 
     #[test]
-    fn single_chars_are_dropped(){
+    fn single_chars_are_dropped() {
         assert_eq!(tokenize("a b c cable"), vec!["cable"]);
     }
 
@@ -125,7 +131,10 @@ mod tests {
         let doc = tokenize("The EllaLink submarine cable connects Fortaleza");
         let query = tokenize("ellalink submarine cable fortaleza");
         for q in &query {
-            assert!(doc.contains(q), "query token {q} missing from doc tokens {doc:?}");
+            assert!(
+                doc.contains(q),
+                "query token {q} missing from doc tokens {doc:?}"
+            );
         }
     }
 }

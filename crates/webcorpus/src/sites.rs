@@ -73,7 +73,10 @@ impl Host for SearchSite {
                 score,
             })
             .collect();
-        let page = SearchResultPage { query: query.to_string(), results };
+        let page = SearchResultPage {
+            query: query.to_string(),
+            results,
+        };
         Response::json(serde_json::to_string(&page).expect("search page serializes"))
     }
 }
@@ -112,7 +115,10 @@ struct ArchiveSite {
 impl Host for ArchiveSite {
     fn handle(&self, req: &Request, _ctx: &mut HostCtx<'_>) -> Response {
         let mut segments = req.url.path_segments();
-        match (segments.next(), segments.next().and_then(|s| s.parse::<u32>().ok())) {
+        match (
+            segments.next(),
+            segments.next().and_then(|s| s.parse::<u32>().ok()),
+        ) {
             (Some("doc"), Some(id)) => match self.corpus.doc(id) {
                 Some(doc) => Response::redirect(doc.url().to_string()),
                 None => Response::not_found(),
@@ -126,7 +132,9 @@ impl Host for ArchiveSite {
 pub fn register_sites(net: &mut Network, corpus: Arc<Corpus>) {
     net.register_with(
         SEARCH_HOST,
-        Arc::new(SearchSite { corpus: Arc::clone(&corpus) }),
+        Arc::new(SearchSite {
+            corpus: Arc::clone(&corpus),
+        }),
         HostConfig {
             latency: LatencyModel::fast(),
             // A realistic automated-client quota: burst of 30, then 5/s.
@@ -135,7 +143,9 @@ pub fn register_sites(net: &mut Network, corpus: Arc<Corpus>) {
     );
     net.register_with(
         ARCHIVE_HOST,
-        Arc::new(ArchiveSite { corpus: Arc::clone(&corpus) }),
+        Arc::new(ArchiveSite {
+            corpus: Arc::clone(&corpus),
+        }),
         HostConfig {
             latency: LatencyModel::fast(),
             rate_limit: TokenBucket::unlimited(),
@@ -149,8 +159,14 @@ pub fn register_sites(net: &mut Network, corpus: Arc<Corpus>) {
         };
         net.register_with(
             kind.host(),
-            Arc::new(ContentSite { corpus: Arc::clone(&corpus), host: kind.host() }),
-            HostConfig { latency, rate_limit: TokenBucket::unlimited() },
+            Arc::new(ContentSite {
+                corpus: Arc::clone(&corpus),
+                host: kind.host(),
+            }),
+            HostConfig {
+                latency,
+                rate_limit: TokenBucket::unlimited(),
+            },
         );
     }
 }
@@ -163,7 +179,10 @@ mod tests {
     use ira_worldmodel::World;
 
     fn setup() -> (Client, Arc<Corpus>) {
-        let corpus = Arc::new(Corpus::generate(&World::standard(), CorpusConfig::default()));
+        let corpus = Arc::new(Corpus::generate(
+            &World::standard(),
+            CorpusConfig::default(),
+        ));
         let mut net = Network::new(NetworkConfig::default(), 77);
         register_sites(&mut net, Arc::clone(&corpus));
         (Client::new(Arc::new(net)), corpus)
@@ -172,7 +191,14 @@ mod tests {
     #[test]
     fn search_returns_ranked_json() {
         let (client, _) = setup();
-        let url = Url::build(SEARCH_HOST, "/q", &[("query", "submarine cable geomagnetic latitude"), ("k", "5")]);
+        let url = Url::build(
+            SEARCH_HOST,
+            "/q",
+            &[
+                ("query", "submarine cable geomagnetic latitude"),
+                ("k", "5"),
+            ],
+        );
         let body = client.get_text(&url.to_string()).unwrap();
         let page: SearchResultPage = serde_json::from_str(&body).unwrap();
         assert!(!page.results.is_empty());
@@ -203,7 +229,9 @@ mod tests {
     #[test]
     fn unknown_document_path_is_not_found() {
         let (client, _) = setup();
-        assert!(client.get_text("sim://encyclopedia.test/wiki/does-not-exist").is_err());
+        assert!(client
+            .get_text("sim://encyclopedia.test/wiki/does-not-exist")
+            .is_err());
     }
 
     #[test]
@@ -222,7 +250,10 @@ mod tests {
         let via_archive = client
             .get_text(&format!("sim://archive.test/doc/{}", doc.id))
             .unwrap();
-        assert!(via_archive.contains(&doc.title), "redirect should land on the page");
+        assert!(
+            via_archive.contains(&doc.title),
+            "redirect should land on the page"
+        );
         assert!(client.get_text("sim://archive.test/doc/999999").is_err());
         assert!(client.get_text("sim://archive.test/nonsense").is_err());
     }

@@ -66,12 +66,21 @@ pub mod facts {
     pub fn cable_route(c: &SubmarineCable) -> String {
         format!(
             "The {} submarine cable connects {}, {} to {}, {}, linking {} and {}.",
-            c.name, c.from.name, c.from.country, c.to.name, c.to.country, c.from.region, c.to.region
+            c.name,
+            c.from.name,
+            c.from.country,
+            c.to.name,
+            c.to.country,
+            c.from.region,
+            c.to.region
         )
     }
 
     pub fn cable_length(c: &SubmarineCable) -> String {
-        format!("The system spans approximately {:.0} kilometres.", c.length_km())
+        format!(
+            "The system spans approximately {:.0} kilometres.",
+            c.length_km()
+        )
     }
 
     pub fn cable_apex(c: &SubmarineCable) -> String {
@@ -112,7 +121,10 @@ pub mod facts {
     }
 
     pub fn storm_dst(s: &StormScenario) -> String {
-        let year = s.year.map(|y| y.to_string()).unwrap_or_else(|| "hypothetical".into());
+        let year = s
+            .year
+            .map(|y| y.to_string())
+            .unwrap_or_else(|| "hypothetical".into());
         format!(
             "The {} {} reached an estimated Dst of {:.0} nanotesla.",
             year, s.name, s.dst_nt
@@ -139,14 +151,26 @@ impl<'w> Gen<'w> {
             SourceKind::MicroPost => format!("/status/{}", id),
             SourceKind::PaperAbstract => format!("/abs/{}", id),
         };
-        self.docs.push(Document { id, source, path, title, body: text, topic, links: Vec::new() });
+        self.docs.push(Document {
+            id,
+            source,
+            path,
+            title,
+            body: text,
+            topic,
+            links: Vec::new(),
+        });
     }
 }
 
 /// Generate every fact-bearing document for the world. IDs start at
 /// `first_id` and increase densely.
 pub fn generate(world: &World, rng: &mut ChaCha8Rng, first_id: DocId) -> Vec<Document> {
-    let mut g = Gen { world, next_id: first_id, docs: Vec::new() };
+    let mut g = Gen {
+        world,
+        next_id: first_id,
+        docs: Vec::new(),
+    };
     cable_articles(&mut g, rng);
     landing_hubs(&mut g, rng);
     solar_physics(&mut g, rng);
@@ -170,8 +194,15 @@ fn incident_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
     for incident in &incidents {
         let mut tg = TextGen::new(rng);
         let mut sentences = vec![
-            format!("The {} was caused by {}.", incident.entity_key(), incident.cause),
-            format!("The main effect on the Internet was {}.", incident.effect_summary()),
+            format!(
+                "The {} was caused by {}.",
+                incident.entity_key(),
+                incident.cause
+            ),
+            format!(
+                "The main effect on the Internet was {}.",
+                incident.effect_summary()
+            ),
         ];
         if incident.duration_hours > 0.0 {
             sentences.push(format!(
@@ -214,7 +245,11 @@ fn incident_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
                 incident.name
             ),
             paragraph(&[
-                format!("The {} was caused by {}.", incident.entity_key(), incident.cause),
+                format!(
+                    "The {} was caused by {}.",
+                    incident.entity_key(),
+                    incident.cause
+                ),
                 incident.mechanism.clone(),
                 tg.filler("large-scale outage reporting"),
             ]),
@@ -241,10 +276,7 @@ fn cable_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
             format!("It entered service in {}.", cable.rfs_year),
             tg.filler("submarine cable capacity"),
         ];
-        let text = body(&[
-            paragraph(&sentences[..3]),
-            paragraph(&sentences[3..]),
-        ]);
+        let text = body(&[paragraph(&sentences[..3]), paragraph(&sentences[3..])]);
         g.push(
             SourceKind::Encyclopedia,
             Topic::SubmarineCables,
@@ -273,7 +305,11 @@ fn cable_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
                 extra,
                 tg.filler("undersea connectivity demand"),
             ];
-            let source = if tg.chance(0.5) { SourceKind::News } else { SourceKind::Blog };
+            let source = if tg.chance(0.5) {
+                SourceKind::News
+            } else {
+                SourceKind::Blog
+            };
             g.push(
                 source,
                 Topic::SubmarineCables,
@@ -292,8 +328,14 @@ fn landing_hubs(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
     use std::collections::BTreeMap;
     let mut by_city: BTreeMap<String, Vec<SubmarineCable>> = BTreeMap::new();
     for cable in g.world.cables.iter() {
-        by_city.entry(cable.from.name.clone()).or_default().push(cable.clone());
-        by_city.entry(cable.to.name.clone()).or_default().push(cable.clone());
+        by_city
+            .entry(cable.from.name.clone())
+            .or_default()
+            .push(cable.clone());
+        by_city
+            .entry(cable.to.name.clone())
+            .or_default()
+            .push(cable.clone());
     }
     for (city, cables) in by_city {
         if cables.len() < 3 {
@@ -408,12 +450,18 @@ fn storm_history(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
         }
         let mut tg = TextGen::new(rng);
         let consequence = match storm.year {
-            Some(1859) => "Telegraph systems failed across Europe and North America, with \
-                 operators reporting sparks from their equipment.",
-            Some(1921) => "The storm caused extensive power outages and severe damage to the \
-                 telegraph network, the predominant communication system of that era.",
-            Some(1989) => "The Hydro-Québec grid collapsed within 92 seconds, leaving six \
-                 million people without power for nine hours.",
+            Some(1859) => {
+                "Telegraph systems failed across Europe and North America, with \
+                 operators reporting sparks from their equipment."
+            }
+            Some(1921) => {
+                "The storm caused extensive power outages and severe damage to the \
+                 telegraph network, the predominant communication system of that era."
+            }
+            Some(1989) => {
+                "The Hydro-Québec grid collapsed within 92 seconds, leaving six \
+                 million people without power for nine hours."
+            }
             _ => "Airlines rerouted polar flights and several satellites suffered anomalies.",
         };
         g.push(
@@ -421,10 +469,7 @@ fn storm_history(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
             Topic::StormHistory,
             format!("{} ({})", storm.name, storm.year.unwrap()),
             body(&[
-                paragraph(&[
-                    facts::storm_dst(&storm),
-                    consequence.into(),
-                ]),
+                paragraph(&[facts::storm_dst(&storm), consequence.into()]),
                 paragraph(&[
                     principles::GRID_THREAT.into(),
                     tg.filler("historical space weather records"),
@@ -528,7 +573,10 @@ fn fleet_articles(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
         use std::collections::BTreeMap;
         let mut by_region: BTreeMap<_, Vec<_>> = BTreeMap::new();
         for dc in fleet.iter() {
-            by_region.entry(dc.site.region).or_default().push(dc.clone());
+            by_region
+                .entry(dc.site.region)
+                .or_default()
+                .push(dc.clone());
         }
         for (region, sites) in by_region {
             let mut tg = TextGen::new(rng);
@@ -632,8 +680,7 @@ fn infrastructure_overviews(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
         Topic::InternetInfrastructure,
         "Topology of intercontinental fiber and its failure modes".into(),
         paragraph(&[
-            "We map intercontinental fiber routes and analyse correlated failure scenarios."
-                .into(),
+            "We map intercontinental fiber routes and analyse correlated failure scenarios.".into(),
             principles::PARTITION_RISK.into(),
             principles::LENGTH_RISK.into(),
         ]),
@@ -740,7 +787,11 @@ fn social_chatter(g: &mut Gen<'_>, rng: &mut ChaCha8Rng) {
             SourceKind::MicroPost,
             Topic::DataCenters,
             format!("{} regions", fleet.operator),
-            format!("{} {}", tg.pick(&["Worth knowing:", "Quick stat:"]), facts::fleet_coverage(&fleet)),
+            format!(
+                "{} {}",
+                tg.pick(&["Worth knowing:", "Quick stat:"]),
+                facts::fleet_coverage(&fleet)
+            ),
         );
     }
 }
@@ -789,7 +840,11 @@ mod tests {
     #[test]
     fn principle_sentences_appear_in_corpus() {
         let docs = gen_docs(3);
-        let all_text: String = docs.iter().map(|d| d.body.clone()).collect::<Vec<_>>().join("\n");
+        let all_text: String = docs
+            .iter()
+            .map(|d| d.body.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
         for p in [
             principles::LATITUDE_RISK,
             principles::REPEATER_WEAKNESS,
@@ -811,7 +866,11 @@ mod tests {
     #[test]
     fn fleet_facts_present_for_both_operators() {
         let docs = gen_docs(4);
-        let all: String = docs.iter().map(|d| d.body.clone()).collect::<Vec<_>>().join("\n");
+        let all: String = docs
+            .iter()
+            .map(|d| d.body.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(all.contains("Google operates data centers in"));
         assert!(all.contains("Facebook operates data centers in"));
         assert!(all.contains("percent of Google's data center sites"));
@@ -821,7 +880,11 @@ mod tests {
     #[test]
     fn storm_history_covers_named_events() {
         let docs = gen_docs(5);
-        let all: String = docs.iter().map(|d| d.body.clone()).collect::<Vec<_>>().join("\n");
+        let all: String = docs
+            .iter()
+            .map(|d| d.body.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(all.contains("Carrington event reached an estimated Dst of -1760"));
         assert!(all.contains("1921"));
         assert!(all.contains("1989"));
@@ -844,7 +907,11 @@ mod tests {
         // Document counts may differ slightly (secondary cable coverage
         // is sampled), but both corpora carry the full fact base...
         for docs in [&a, &b] {
-            let all: String = docs.iter().map(|d| d.body.clone()).collect::<Vec<_>>().join("\n");
+            let all: String = docs
+                .iter()
+                .map(|d| d.body.clone())
+                .collect::<Vec<_>>()
+                .join("\n");
             assert!(all.contains("maximum geomagnetic latitude"));
             assert!(all.contains("Google operates data centers in"));
         }
@@ -856,7 +923,10 @@ mod tests {
     #[test]
     fn paths_are_unique() {
         let docs = gen_docs(12);
-        let mut paths: Vec<_> = docs.iter().map(|d| format!("{}{}", d.source.host(), d.path)).collect();
+        let mut paths: Vec<_> = docs
+            .iter()
+            .map(|d| format!("{}{}", d.source.host(), d.path))
+            .collect();
         paths.sort();
         let before = paths.len();
         paths.dedup();

@@ -58,7 +58,10 @@ pub fn audit(world: &World) -> AuditReport {
             report.flag("cables", format!("{}: zero repeaters", cable.name));
         }
         if cable.from.name == cable.to.name {
-            report.flag("cables", format!("{}: both ends land at the same city", cable.name));
+            report.flag(
+                "cables",
+                format!("{}: both ends land at the same city", cable.name),
+            );
         }
     }
 
@@ -95,10 +98,16 @@ pub fn audit(world: &World) -> AuditReport {
     // Incidents: years sane, causes non-empty.
     for incident in world.incidents.iter() {
         if !(1850..=2100).contains(&incident.year) {
-            report.flag("incidents", format!("{}: odd year {}", incident.name, incident.year));
+            report.flag(
+                "incidents",
+                format!("{}: odd year {}", incident.name, incident.year),
+            );
         }
         if incident.cause.is_empty() || incident.mechanism.is_empty() {
-            report.flag("incidents", format!("{}: missing cause/mechanism", incident.name));
+            report.flag(
+                "incidents",
+                format!("{}: missing cause/mechanism", incident.name),
+            );
         }
     }
 

@@ -58,13 +58,26 @@ impl AsGraph {
     }
 
     pub fn add_as(&mut self, asn: Asn, name: &str, kind: AsKind) {
-        self.nodes.insert(asn, AsNode { asn, name: name.to_string(), kind });
+        self.nodes.insert(
+            asn,
+            AsNode {
+                asn,
+                name: name.to_string(),
+                kind,
+            },
+        );
     }
 
     /// Record that `customer` buys transit from `provider`.
     pub fn add_provider(&mut self, customer: Asn, provider: Asn) {
-        assert!(self.nodes.contains_key(&customer), "unknown customer AS{customer}");
-        assert!(self.nodes.contains_key(&provider), "unknown provider AS{provider}");
+        assert!(
+            self.nodes.contains_key(&customer),
+            "unknown customer AS{customer}"
+        );
+        assert!(
+            self.nodes.contains_key(&provider),
+            "unknown provider AS{provider}"
+        );
         assert_ne!(customer, provider, "an AS cannot be its own provider");
         self.providers.entry(customer).or_default().insert(provider);
     }
@@ -237,10 +250,17 @@ impl RoutingSystem {
 
     /// Announce a prefix from an origin AS.
     pub fn announce(&mut self, cidr: &str, origin: Asn) {
-        assert!(self.graph.node(origin).is_some(), "unknown origin AS{origin}");
+        assert!(
+            self.graph.node(origin).is_some(),
+            "unknown origin AS{origin}"
+        );
         self.prefixes.insert(
             cidr.to_string(),
-            Prefix { cidr: cidr.to_string(), origin, announced: true },
+            Prefix {
+                cidr: cidr.to_string(),
+                origin,
+                announced: true,
+            },
         );
     }
 
@@ -269,14 +289,18 @@ impl RoutingSystem {
     /// Register a DNS zone: resolving `name` requires reaching any of
     /// these prefixes.
     pub fn register_zone(&mut self, name: &str, dns_prefixes: &[&str]) {
-        self.dns_zones
-            .insert(name.to_string(), dns_prefixes.iter().map(|s| s.to_string()).collect());
+        self.dns_zones.insert(
+            name.to_string(),
+            dns_prefixes.iter().map(|s| s.to_string()).collect(),
+        );
     }
 
     /// Register the service prefixes behind `name`.
     pub fn register_service(&mut self, name: &str, prefixes: &[&str]) {
-        self.service_prefixes
-            .insert(name.to_string(), prefixes.iter().map(|s| s.to_string()).collect());
+        self.service_prefixes.insert(
+            name.to_string(),
+            prefixes.iter().map(|s| s.to_string()).collect(),
+        );
     }
 
     /// Can `from` reach the given prefix right now?
@@ -453,7 +477,11 @@ mod tests {
         let mut sys = RoutingSystem::standard();
         sys.withdraw("129.134.30.0/24");
         sys.withdraw("129.134.31.0/24");
-        assert_eq!(sys.availability("google.com"), 1.0, "the outage is Facebook-local");
+        assert_eq!(
+            sys.availability("google.com"),
+            1.0,
+            "the outage is Facebook-local"
+        );
     }
 
     #[test]

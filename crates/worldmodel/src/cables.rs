@@ -34,7 +34,10 @@ pub struct SubmarineCable {
 
 impl SubmarineCable {
     pub fn new(name: &str, from: Place, to: Place, rfs_year: u16, route_slack: f64) -> Self {
-        assert!(route_slack >= 1.0, "route slack must be >= 1, got {route_slack}");
+        assert!(
+            route_slack >= 1.0,
+            "route slack must be >= 1, got {route_slack}"
+        );
         SubmarineCable {
             name: name.to_string(),
             from,
@@ -51,7 +54,9 @@ impl SubmarineCable {
 
     /// Sampled waypoints along the modelled path.
     pub fn path(&self) -> Vec<GeoPoint> {
-        self.from.point.great_circle_path(&self.to.point, PATH_SEGMENTS)
+        self.from
+            .point
+            .great_circle_path(&self.to.point, PATH_SEGMENTS)
     }
 
     /// Number of powered repeaters along the cable.
@@ -101,14 +106,38 @@ impl CableDatabase {
         };
 
         // Landing points reused across systems.
-        let virginia_beach = || lp("Virginia Beach", "United States", NorthAmerica, 36.85, -75.98);
+        let virginia_beach = || {
+            lp(
+                "Virginia Beach",
+                "United States",
+                NorthAmerica,
+                36.85,
+                -75.98,
+            )
+        };
         let new_york = || lp("New York", "United States", NorthAmerica, 40.71, -74.01);
-        let wall_nj = || lp("Wall Township", "United States", NorthAmerica, 40.16, -74.06);
+        let wall_nj = || {
+            lp(
+                "Wall Township",
+                "United States",
+                NorthAmerica,
+                40.16,
+                -74.06,
+            )
+        };
         let boston = || lp("Lynn", "United States", NorthAmerica, 42.46, -70.95);
         let halifax = || lp("Halifax", "Canada", NorthAmerica, 44.65, -63.57);
         let miami = || lp("Boca Raton", "United States", NorthAmerica, 26.36, -80.08);
         let los_angeles = || lp("Los Angeles", "United States", NorthAmerica, 33.74, -118.29);
-        let oregon = || lp("Pacific City", "United States", NorthAmerica, 45.20, -123.96);
+        let oregon = || {
+            lp(
+                "Pacific City",
+                "United States",
+                NorthAmerica,
+                45.20,
+                -123.96,
+            )
+        };
         let vancouver = || lp("Port Alberni", "Canada", NorthAmerica, 49.23, -124.81);
 
         let bude = || lp("Bude", "United Kingdom", Europe, 50.83, -4.55);
@@ -159,7 +188,15 @@ impl CableDatabase {
         let murmansk = || lp("Murmansk", "Russia", Europe, 68.97, 33.08);
         let hillsboro = || lp("Hillsboro", "United States", NorthAmerica, 45.52, -122.99);
         let eureka = || lp("Eureka", "United States", NorthAmerica, 40.80, -124.16);
-        let grover_beach = || lp("Grover Beach", "United States", NorthAmerica, 35.12, -120.62);
+        let grover_beach = || {
+            lp(
+                "Grover Beach",
+                "United States",
+                NorthAmerica,
+                35.12,
+                -120.62,
+            )
+        };
         let myrtle_beach = || lp("Myrtle Beach", "United States", NorthAmerica, 33.69, -78.89);
         let toyohashi = || lp("Toyohashi", "Japan", Asia, 34.77, 137.39);
         let jakarta = || lp("Tanjung Pakis", "Indonesia", Asia, -5.95, 107.00);
@@ -180,7 +217,13 @@ impl CableDatabase {
             c("Grace Hopper", new_york(), bude(), 2022, 1.20),
             c("Amitié", boston(), le_porge(), 2023, 1.18),
             c("Havfrue (AEC-2)", wall_nj(), blaabjerg(), 2020, 1.22),
-            c("AEC-1 (America Europe Connect)", new_york(), killala(), 2016, 1.20),
+            c(
+                "AEC-1 (America Europe Connect)",
+                new_york(),
+                killala(),
+                2016,
+                1.20,
+            ),
             c("Apollo North", new_york(), bude(), 2003, 1.24),
             c("FLAG Atlantic-1", new_york(), plerin(), 2001, 1.24),
             c("Yellow (AC-2)", new_york(), bude(), 2000, 1.25),
@@ -190,7 +233,13 @@ impl CableDatabase {
             c("FARICE-1", reykjavik(), scotland(), 2004, 1.20),
             c("DANICE", reykjavik(), denmark_ice(), 2009, 1.18),
             c("Greenland Connect", nuuk(), reykjavik(), 2009, 1.20),
-            c("Svalbard Undersea Cable", longyearbyen(), andoya(), 2004, 1.15),
+            c(
+                "Svalbard Undersea Cable",
+                longyearbyen(),
+                andoya(),
+                2004,
+                1.15,
+            ),
             // --- South Atlantic, Brazil ↔ Europe/Africa (low latitude) ---
             c("EllaLink", fortaleza(), sines(), 2021, 1.15),
             c("Atlantis-2", fortaleza(), lisbon(), 2000, 1.35),
@@ -227,8 +276,20 @@ impl CableDatabase {
             c("Equiano", lisbon(), cape_town(), 2022, 1.30),
             c("EASSy", port_sudan(), maputo(), 2010, 1.25),
             // --- Intra-Asia ---
-            c("Asia Pacific Gateway (APG)", chongming(), singapore(), 2016, 1.30),
-            c("Southeast Asia-Japan Cable (SJC)", chikura(), singapore(), 2013, 1.25),
+            c(
+                "Asia Pacific Gateway (APG)",
+                chongming(),
+                singapore(),
+                2016,
+                1.30,
+            ),
+            c(
+                "Southeast Asia-Japan Cable (SJC)",
+                chikura(),
+                singapore(),
+                2013,
+                1.25,
+            ),
             // --- Later additions across the basins ---
             c("SAT-3/WASC", sesimbra(), cape_town(), 2001, 1.35),
             c("Europe India Gateway (EIG)", bude(), mumbai(), 2011, 1.45),
@@ -236,7 +297,13 @@ impl CableDatabase {
             c("Echo", eureka(), singapore(), 2024, 1.18),
             c("Bifrost", grover_beach(), jakarta(), 2024, 1.20),
             c("Apricot", shima(), singapore(), 2024, 1.25),
-            c("Japan-Guam-Australia (JGA)", maruyama(), sydney(), 2020, 1.20),
+            c(
+                "Japan-Guam-Australia (JGA)",
+                maruyama(),
+                sydney(),
+                2020,
+                1.20,
+            ),
             c("Malbec", santos(), las_toninas(), 2021, 1.15),
             c("Tannat", santos(), maldonado(), 2018, 1.15),
             c("Polar Express", murmansk(), vladivostok(), 2026, 1.30),
@@ -287,7 +354,11 @@ mod tests {
 
     #[test]
     fn database_has_expected_scale() {
-        assert!(db().len() >= 40, "cable DB should cover ≥40 systems, has {}", db().len());
+        assert!(
+            db().len() >= 40,
+            "cable DB should cover ≥40 systems, has {}",
+            db().len()
+        );
     }
 
     #[test]
@@ -309,7 +380,11 @@ mod tests {
                 "{} length {len} km implausible",
                 cable.name
             );
-            assert!(cable.repeater_count() >= 1, "{} has no repeaters", cable.name);
+            assert!(
+                cable.repeater_count() >= 1,
+                "{} has no repeaters",
+                cable.name
+            );
         }
     }
 
@@ -319,7 +394,10 @@ mod tests {
         let db = db();
         let marea = db.find("MAREA").unwrap();
         let len = marea.length_km();
-        assert!((5_800.0..7_400.0).contains(&len), "MAREA modelled at {len} km");
+        assert!(
+            (5_800.0..7_400.0).contains(&len),
+            "MAREA modelled at {len} km"
+        );
     }
 
     #[test]
@@ -396,6 +474,9 @@ mod tests {
     fn intercontinental_flag() {
         let db = db();
         assert!(db.find("MAREA").unwrap().is_intercontinental());
-        assert!(!db.find("Tasman Global Access").unwrap().is_intercontinental());
+        assert!(!db
+            .find("Tasman Global Access")
+            .unwrap()
+            .is_intercontinental());
     }
 }

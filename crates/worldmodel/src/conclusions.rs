@@ -102,7 +102,10 @@ impl ConclusionSet {
                 .filter(|c| c.from.country == "Brazil" || c.to.country == "Brazil")
                 .collect();
             let mean = |cables: &[&crate::cables::SubmarineCable]| {
-                cables.iter().map(|c| model.cable_failure_prob(c, &storm)).sum::<f64>()
+                cables
+                    .iter()
+                    .map(|c| model.cable_failure_prob(c, &storm))
+                    .sum::<f64>()
                     / cables.len().max(1) as f64
             };
             let us_p = mean(&us_eu);
@@ -117,11 +120,7 @@ impl ConclusionSet {
                            Europe?"
                     .into(),
                 expected_answer: "the cable connecting the US to Europe".into(),
-                rationale_terms: vec![
-                    "latitude".into(),
-                    "geomagnetic".into(),
-                    "higher".into(),
-                ],
+                rationale_terms: vec!["latitude".into(), "geomagnetic".into(), "higher".into()],
                 evidence: format!(
                     "Carrington-class failure probability: US–Europe mean {:.2} over {} cables \
                      vs Brazil–Europe mean {:.2} over {} cables",
@@ -181,11 +180,7 @@ impl ConclusionSet {
                            depend on latitude, and if so, how?"
                     .into(),
                 expected_answer: "risk increases at higher latitudes".into(),
-                rationale_terms: vec![
-                    "induced".into(),
-                    "geomagnetic".into(),
-                    "auroral".into(),
-                ],
+                rationale_terms: vec!["induced".into(), "geomagnetic".into(), "auroral".into()],
                 evidence: format!(
                     "per-repeater failure probability at 60° geomagnetic latitude is {:.1}× the \
                      15° value ({:.4} vs {:.4})",
@@ -333,13 +328,9 @@ impl ConclusionSet {
 
         // C8 — intercontinental partition risk.
         {
-            let report = world.graph.storm_report(
-                &world.cables,
-                model,
-                &storm,
-                400,
-                0xC8,
-            );
+            let report = world
+                .graph
+                .storm_report(&world.cables, model, &storm, 400, 0xC8);
             let na_eu_direct = report.direct_loss(Region::NorthAmerica, Region::Europe);
             conclusions.push(Conclusion {
                 id: ConclusionId::InterContinentalPartition,

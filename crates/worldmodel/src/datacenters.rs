@@ -80,20 +80,98 @@ impl DataCenterFleet {
             Operator::Google,
             &[
                 // United States
-                ("Council Bluffs, IA", "United States", NorthAmerica, 41.26, -95.86),
-                ("The Dalles, OR", "United States", NorthAmerica, 45.59, -121.18),
-                ("Berkeley County, SC", "United States", NorthAmerica, 33.19, -80.01),
-                ("Douglas County, GA", "United States", NorthAmerica, 33.75, -84.75),
-                ("Jackson County, AL", "United States", NorthAmerica, 34.78, -86.00),
+                (
+                    "Council Bluffs, IA",
+                    "United States",
+                    NorthAmerica,
+                    41.26,
+                    -95.86,
+                ),
+                (
+                    "The Dalles, OR",
+                    "United States",
+                    NorthAmerica,
+                    45.59,
+                    -121.18,
+                ),
+                (
+                    "Berkeley County, SC",
+                    "United States",
+                    NorthAmerica,
+                    33.19,
+                    -80.01,
+                ),
+                (
+                    "Douglas County, GA",
+                    "United States",
+                    NorthAmerica,
+                    33.75,
+                    -84.75,
+                ),
+                (
+                    "Jackson County, AL",
+                    "United States",
+                    NorthAmerica,
+                    34.78,
+                    -86.00,
+                ),
                 ("Lenoir, NC", "United States", NorthAmerica, 35.91, -81.54),
-                ("Mayes County, OK", "United States", NorthAmerica, 36.30, -95.32),
-                ("Midlothian, TX", "United States", NorthAmerica, 32.48, -96.99),
-                ("Montgomery County, TN", "United States", NorthAmerica, 36.49, -87.36),
-                ("New Albany, OH", "United States", NorthAmerica, 40.08, -82.81),
-                ("Papillion, NE", "United States", NorthAmerica, 41.15, -96.04),
-                ("Henderson, NV", "United States", NorthAmerica, 36.04, -114.98),
-                ("Loudoun County, VA", "United States", NorthAmerica, 39.09, -77.64),
-                ("Storey County, NV", "United States", NorthAmerica, 39.55, -119.44),
+                (
+                    "Mayes County, OK",
+                    "United States",
+                    NorthAmerica,
+                    36.30,
+                    -95.32,
+                ),
+                (
+                    "Midlothian, TX",
+                    "United States",
+                    NorthAmerica,
+                    32.48,
+                    -96.99,
+                ),
+                (
+                    "Montgomery County, TN",
+                    "United States",
+                    NorthAmerica,
+                    36.49,
+                    -87.36,
+                ),
+                (
+                    "New Albany, OH",
+                    "United States",
+                    NorthAmerica,
+                    40.08,
+                    -82.81,
+                ),
+                (
+                    "Papillion, NE",
+                    "United States",
+                    NorthAmerica,
+                    41.15,
+                    -96.04,
+                ),
+                (
+                    "Henderson, NV",
+                    "United States",
+                    NorthAmerica,
+                    36.04,
+                    -114.98,
+                ),
+                (
+                    "Loudoun County, VA",
+                    "United States",
+                    NorthAmerica,
+                    39.09,
+                    -77.64,
+                ),
+                (
+                    "Storey County, NV",
+                    "United States",
+                    NorthAmerica,
+                    39.55,
+                    -119.44,
+                ),
                 // Canada & Latin America
                 ("Montréal", "Canada", NorthAmerica, 45.50, -73.57),
                 ("Quilicura", "Chile", SouthAmerica, -33.36, -70.73),
@@ -130,21 +208,81 @@ impl DataCenterFleet {
             Operator::Facebook,
             &[
                 // United States
-                ("Prineville, OR", "United States", NorthAmerica, 44.30, -120.83),
-                ("Forest City, NC", "United States", NorthAmerica, 35.33, -81.87),
+                (
+                    "Prineville, OR",
+                    "United States",
+                    NorthAmerica,
+                    44.30,
+                    -120.83,
+                ),
+                (
+                    "Forest City, NC",
+                    "United States",
+                    NorthAmerica,
+                    35.33,
+                    -81.87,
+                ),
                 ("Altoona, IA", "United States", NorthAmerica, 41.65, -93.47),
-                ("Fort Worth, TX", "United States", NorthAmerica, 32.76, -97.33),
-                ("Los Lunas, NM", "United States", NorthAmerica, 34.81, -106.73),
-                ("Papillion, NE", "United States", NorthAmerica, 41.15, -96.04),
-                ("New Albany, OH", "United States", NorthAmerica, 40.08, -82.81),
+                (
+                    "Fort Worth, TX",
+                    "United States",
+                    NorthAmerica,
+                    32.76,
+                    -97.33,
+                ),
+                (
+                    "Los Lunas, NM",
+                    "United States",
+                    NorthAmerica,
+                    34.81,
+                    -106.73,
+                ),
+                (
+                    "Papillion, NE",
+                    "United States",
+                    NorthAmerica,
+                    41.15,
+                    -96.04,
+                ),
+                (
+                    "New Albany, OH",
+                    "United States",
+                    NorthAmerica,
+                    40.08,
+                    -82.81,
+                ),
                 ("Henrico, VA", "United States", NorthAmerica, 37.55, -77.46),
-                ("Eagle Mountain, UT", "United States", NorthAmerica, 40.31, -112.01),
-                ("Huntsville, AL", "United States", NorthAmerica, 34.73, -86.59),
+                (
+                    "Eagle Mountain, UT",
+                    "United States",
+                    NorthAmerica,
+                    40.31,
+                    -112.01,
+                ),
+                (
+                    "Huntsville, AL",
+                    "United States",
+                    NorthAmerica,
+                    34.73,
+                    -86.59,
+                ),
                 ("Gallatin, TN", "United States", NorthAmerica, 36.39, -86.45),
                 ("DeKalb, IL", "United States", NorthAmerica, 41.93, -88.77),
                 ("Mesa, AZ", "United States", NorthAmerica, 33.42, -111.83),
-                ("Newton County, GA", "United States", NorthAmerica, 33.55, -83.85),
-                ("Sarpy County, NE", "United States", NorthAmerica, 41.11, -96.11),
+                (
+                    "Newton County, GA",
+                    "United States",
+                    NorthAmerica,
+                    33.55,
+                    -83.85,
+                ),
+                (
+                    "Sarpy County, NE",
+                    "United States",
+                    NorthAmerica,
+                    41.11,
+                    -96.11,
+                ),
                 // Europe (Nordics + Ireland)
                 ("Luleå", "Sweden", Europe, 65.58, 22.15),
                 ("Odense", "Denmark", Europe, 55.40, 10.40),
@@ -244,8 +382,12 @@ mod tests {
     fn google_covers_more_regions_than_facebook() {
         let g = DataCenterFleet::google();
         let f = DataCenterFleet::facebook();
-        assert!(g.region_coverage() > f.region_coverage(),
-            "google {} vs facebook {}", g.region_coverage(), f.region_coverage());
+        assert!(
+            g.region_coverage() > f.region_coverage(),
+            "google {} vs facebook {}",
+            g.region_coverage(),
+            f.region_coverage()
+        );
         assert!(g.region_coverage() >= 6);
     }
 

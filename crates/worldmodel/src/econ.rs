@@ -63,7 +63,12 @@ pub struct EconomicImpact {
 }
 
 /// Estimate the economic impact of a storm scenario on the world.
-pub fn storm_impact(world: &World, storm: &StormScenario, trials: u32, seed: u64) -> EconomicImpact {
+pub fn storm_impact(
+    world: &World,
+    storm: &StormScenario,
+    trials: u32,
+    seed: u64,
+) -> EconomicImpact {
     // Grid-driven downtime per region: probability-weighted outage of
     // the region's most exposed grid.
     let outage_days = grid_outage_days(storm);
@@ -88,9 +93,7 @@ pub fn storm_impact(world: &World, storm: &StormScenario, trials: u32, seed: u64
     let degradation = (report.mean_cables_down / total_cables).min(1.0);
     let connectivity_losses: f64 = Region::ALL
         .iter()
-        .map(|&r| {
-            daily_digital_economy_busd(r) * CROSS_BORDER_SHARE * degradation * repair_days
-        })
+        .map(|&r| daily_digital_economy_busd(r) * CROSS_BORDER_SHARE * degradation * repair_days)
         .sum();
 
     EconomicImpact {
@@ -122,7 +125,10 @@ mod tests {
         let moderate = storm_impact(&world, &StormScenario::moderate(), 100, 1);
         assert!(carrington.total_busd > quebec.total_busd);
         assert!(quebec.total_busd > moderate.total_busd);
-        assert!(moderate.total_busd < 0.5, "moderate storms are economically negligible");
+        assert!(
+            moderate.total_busd < 0.5,
+            "moderate storms are economically negligible"
+        );
     }
 
     #[test]
@@ -134,7 +140,11 @@ mod tests {
             "Carrington impact should be tens of billions, got {:.1}",
             impact.total_busd
         );
-        assert!(impact.total_busd < 2_000.0, "sanity ceiling, got {:.1}", impact.total_busd);
+        assert!(
+            impact.total_busd < 2_000.0,
+            "sanity ceiling, got {:.1}",
+            impact.total_busd
+        );
         assert!(impact.grid_losses_busd > 0.0);
         assert!(impact.connectivity_losses_busd > 0.0);
     }

@@ -50,7 +50,11 @@ impl Default for ForecastModel {
         // alpha = 2 puts |Dst| > 1000 nT at ~1% of warnable events —
         // roughly the one-per-century intuition at ~1 warnable event
         // per month.
-        ForecastModel { tail_alpha: 2.0, min_dst: 100.0, magnitude_noise: 0.30 }
+        ForecastModel {
+            tail_alpha: 2.0,
+            min_dst: 100.0,
+            magnitude_noise: 0.30,
+        }
     }
 }
 
@@ -155,7 +159,10 @@ pub fn evaluate_policy(
     storm_model: &StormModel,
     costs: &CostModel,
 ) -> PolicyOutcome {
-    let mut outcome = PolicyOutcome { events: events.len(), ..PolicyOutcome::default() };
+    let mut outcome = PolicyOutcome {
+        events: events.len(),
+        ..PolicyOutcome::default()
+    };
     // A storm "matters" when it would destroy at least one repeater.
     for event in events {
         let damage_if_exposed = expected_repeater_losses(db, storm_model, event.true_dst);
@@ -221,7 +228,10 @@ mod tests {
         let carrington = expected_repeater_losses(&db, &model, -1_760.0);
         assert!(weak < 1.0, "moderate storms destroy ~nothing, got {weak}");
         assert!(carrington > quebec);
-        assert!(carrington > 30.0, "a Carrington event is a mass-loss event: {carrington}");
+        assert!(
+            carrington > 30.0,
+            "a Carrington event is a mass-loss event: {carrington}"
+        );
     }
 
     #[test]
@@ -231,13 +241,36 @@ mod tests {
         let costs = CostModel::default();
         let es = events(500, 3);
 
-        let never = evaluate_policy(ShutdownPolicy { trigger_dst: f64::MAX }, &es, &db, &model, &costs);
-        let always = evaluate_policy(ShutdownPolicy { trigger_dst: 0.0 }, &es, &db, &model, &costs);
-        let tuned = evaluate_policy(ShutdownPolicy { trigger_dst: 700.0 }, &es, &db, &model, &costs);
+        let never = evaluate_policy(
+            ShutdownPolicy {
+                trigger_dst: f64::MAX,
+            },
+            &es,
+            &db,
+            &model,
+            &costs,
+        );
+        let always = evaluate_policy(
+            ShutdownPolicy { trigger_dst: 0.0 },
+            &es,
+            &db,
+            &model,
+            &costs,
+        );
+        let tuned = evaluate_policy(
+            ShutdownPolicy { trigger_dst: 700.0 },
+            &es,
+            &db,
+            &model,
+            &costs,
+        );
 
         assert_eq!(never.shutdowns, 0);
         assert_eq!(always.shutdowns, es.len());
-        assert!(always.false_alarms > 0, "acting on every event must waste downtime");
+        assert!(
+            always.false_alarms > 0,
+            "acting on every event must waste downtime"
+        );
         assert!(
             tuned.total_cost < never.total_cost,
             "a tuned predictive shutdown must beat doing nothing: {} vs {}",
@@ -258,8 +291,20 @@ mod tests {
         let model = StormModel::default();
         let costs = CostModel::default();
         let es = events(200, 4);
-        let a = evaluate_policy(ShutdownPolicy { trigger_dst: 600.0 }, &es, &db, &model, &costs);
-        let b = evaluate_policy(ShutdownPolicy { trigger_dst: 600.0 }, &es, &db, &model, &costs);
+        let a = evaluate_policy(
+            ShutdownPolicy { trigger_dst: 600.0 },
+            &es,
+            &db,
+            &model,
+            &costs,
+        );
+        let b = evaluate_policy(
+            ShutdownPolicy { trigger_dst: 600.0 },
+            &es,
+            &db,
+            &model,
+            &costs,
+        );
         assert_eq!(a.total_cost, b.total_cost);
         assert_eq!(a.shutdowns, b.shutdowns);
     }

@@ -20,7 +20,10 @@ impl GeoPoint {
     /// invalid entry is a bug in this crate, not a runtime condition.
     pub fn new(lat: f64, lon: f64) -> Self {
         assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
-        assert!((-180.0..=180.0).contains(&lon), "longitude {lon} out of range");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range"
+        );
         GeoPoint { lat, lon }
     }
 

@@ -11,7 +11,10 @@
 use crate::geo::GeoPoint;
 
 /// Geomagnetic north pole, IGRF-13 epoch 2020 dipole.
-pub const GEOMAG_POLE: GeoPoint = GeoPoint { lat: 80.65, lon: -72.68 };
+pub const GEOMAG_POLE: GeoPoint = GeoPoint {
+    lat: 80.65,
+    lon: -72.68,
+};
 
 /// Geomagnetic latitude of `p` in degrees, range [-90, 90].
 ///
@@ -64,8 +67,12 @@ impl LatitudeBand {
     pub fn description(&self) -> &'static str {
         match self {
             LatitudeBand::Low => "low geomagnetic latitude, historically negligible storm exposure",
-            LatitudeBand::Mid => "mid geomagnetic latitude, moderate exposure during extreme events",
-            LatitudeBand::High => "high geomagnetic latitude within the auroral zone of strongest induced currents",
+            LatitudeBand::Mid => {
+                "mid geomagnetic latitude, moderate exposure during extreme events"
+            }
+            LatitudeBand::High => {
+                "high geomagnetic latitude within the auroral zone of strongest induced currents"
+            }
         }
     }
 }
@@ -115,9 +122,14 @@ mod tests {
         let ldn = GeoPoint::new(51.51, -0.13);
         let path = ny.great_circle_path(&ldn, 64);
         let max = max_abs_geomag_latitude(&path);
-        let ends = geomagnetic_latitude(&ny).abs().max(geomagnetic_latitude(&ldn).abs());
+        let ends = geomagnetic_latitude(&ny)
+            .abs()
+            .max(geomagnetic_latitude(&ldn).abs());
         assert!(max >= ends, "path max {max} vs endpoint max {ends}");
-        assert!(max > 55.0, "NY–London apex should be auroral-adjacent, got {max}");
+        assert!(
+            max > 55.0,
+            "NY–London apex should be auroral-adjacent, got {max}"
+        );
     }
 
     #[test]

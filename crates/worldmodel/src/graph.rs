@@ -70,7 +70,9 @@ impl TopologyGraph {
             graph.edges.push(Edge {
                 a,
                 b,
-                kind: EdgeKind::Submarine { cable: cable.name.clone() },
+                kind: EdgeKind::Submarine {
+                    cable: cable.name.clone(),
+                },
             });
         }
 
@@ -86,7 +88,11 @@ impl TopologyGraph {
                 continue;
             }
             for w in ids.windows(2) {
-                graph.edges.push(Edge { a: w[0], b: w[1], kind: EdgeKind::Terrestrial });
+                graph.edges.push(Edge {
+                    a: w[0],
+                    b: w[1],
+                    kind: EdgeKind::Terrestrial,
+                });
             }
             if ids.len() > 2 {
                 graph.edges.push(Edge {
@@ -187,7 +193,10 @@ impl TopologyGraph {
         let mut direct: BTreeMap<(Region, Region), Vec<&str>> = BTreeMap::new();
         for c in db.iter() {
             if c.is_intercontinental() {
-                let (a, b) = (c.from.region.min(c.to.region), c.from.region.max(c.to.region));
+                let (a, b) = (
+                    c.from.region.min(c.to.region),
+                    c.from.region.max(c.to.region),
+                );
                 direct.entry((a, b)).or_default().push(c.name.as_str());
             }
         }
@@ -295,7 +304,10 @@ impl ConnectivityReport {
             return 1.0;
         }
         let key = if a < b { (a, b) } else { (b, a) };
-        self.region_pair_connectivity.get(&key).copied().unwrap_or(0.0)
+        self.region_pair_connectivity
+            .get(&key)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Probability that all direct cables between the two regions are
@@ -326,7 +338,10 @@ mod tests {
     fn fully_up_graph_is_one_component() {
         let (g, _) = graph_and_db();
         let comp = g.components(|_| true);
-        assert!(comp.iter().all(|&c| c == comp[0]), "baseline graph must be connected");
+        assert!(
+            comp.iter().all(|&c| c == comp[0]),
+            "baseline graph must be connected"
+        );
     }
 
     #[test]
@@ -334,7 +349,11 @@ mod tests {
         let (g, _) = graph_and_db();
         let comp = g.components(|e| e.kind == EdgeKind::Terrestrial);
         let distinct: BTreeSet<usize> = comp.iter().copied().collect();
-        assert!(distinct.len() >= 5, "expected several components, got {}", distinct.len());
+        assert!(
+            distinct.len() >= 5,
+            "expected several components, got {}",
+            distinct.len()
+        );
         // Within one region all nodes share a component (backbone ring).
         let ny = g.node_by_name("New York").unwrap();
         let la = g.node_by_name("Los Angeles").unwrap();
@@ -364,13 +383,20 @@ mod tests {
         let model = StormModel::default();
         let carrington = g.storm_report(&db, &model, &StormScenario::carrington_1859(), 200, 7);
         let moderate = g.storm_report(&db, &model, &StormScenario::moderate(), 200, 7);
-        assert!(carrington.mean_cables_down > 5.0, "cables down {}", carrington.mean_cables_down);
+        assert!(
+            carrington.mean_cables_down > 5.0,
+            "cables down {}",
+            carrington.mean_cables_down
+        );
         assert!(carrington.mean_pair_connectivity <= moderate.mean_pair_connectivity);
         // The direct North Atlantic crossing is at non-trivial risk of
         // total loss under Carrington, and at none under a moderate storm.
         let na_eu_carrington = carrington.direct_loss(Region::NorthAmerica, Region::Europe);
         let na_eu_moderate = moderate.direct_loss(Region::NorthAmerica, Region::Europe);
-        assert!(na_eu_carrington > 0.005, "direct NA-EU loss {na_eu_carrington}");
+        assert!(
+            na_eu_carrington > 0.005,
+            "direct NA-EU loss {na_eu_carrington}"
+        );
         assert_eq!(na_eu_moderate, 0.0);
     }
 
@@ -409,8 +435,16 @@ mod tests {
     #[test]
     fn same_region_connectivity_is_always_one() {
         let (g, db) = graph_and_db();
-        let report =
-            g.storm_report(&db, &StormModel::default(), &StormScenario::carrington_1859(), 20, 5);
-        assert_eq!(report.region_connectivity(Region::Europe, Region::Europe), 1.0);
+        let report = g.storm_report(
+            &db,
+            &StormModel::default(),
+            &StormScenario::carrington_1859(),
+            20,
+            5,
+        );
+        assert_eq!(
+            report.region_connectivity(Region::Europe, Region::Europe),
+            1.0
+        );
     }
 }

@@ -72,8 +72,22 @@ impl PowerGridDatabase {
         PowerGridDatabase {
             grids: vec![
                 g("Hydro-Québec", NorthAmerica, 49.0, -72.0, 1.8, 1.6),
-                g("US Eastern Interconnection", NorthAmerica, 40.0, -80.0, 1.2, 1.5),
-                g("US Western Interconnection", NorthAmerica, 41.0, -112.0, 1.0, 1.6),
+                g(
+                    "US Eastern Interconnection",
+                    NorthAmerica,
+                    40.0,
+                    -80.0,
+                    1.2,
+                    1.5,
+                ),
+                g(
+                    "US Western Interconnection",
+                    NorthAmerica,
+                    41.0,
+                    -112.0,
+                    1.0,
+                    1.6,
+                ),
                 g("ERCOT (Texas)", NorthAmerica, 31.0, -99.0, 0.8, 1.0),
                 g("Nordic Grid", Europe, 62.0, 16.0, 1.7, 1.3),
                 g("UK National Grid", Europe, 53.0, -1.5, 1.1, 0.9),
@@ -83,7 +97,14 @@ impl PowerGridDatabase {
                 g("China State Grid", Asia, 33.0, 110.0, 1.0, 1.4),
                 g("India Grid", Asia, 22.0, 79.0, 0.9, 1.2),
                 g("Singapore Grid", Asia, 1.35, 103.8, 0.7, 0.5),
-                g("Brazil Interconnected System", SouthAmerica, -15.0, -50.0, 0.9, 1.4),
+                g(
+                    "Brazil Interconnected System",
+                    SouthAmerica,
+                    -15.0,
+                    -50.0,
+                    0.9,
+                    1.4,
+                ),
                 g("South Africa (Eskom)", Africa, -29.0, 25.0, 1.1, 1.3),
                 g("Australia NEM", Oceania, -33.0, 146.0, 0.9, 1.2),
             ],

@@ -33,7 +33,11 @@ pub struct StormScenario {
 impl StormScenario {
     pub fn new(name: &str, dst_nt: f64, year: Option<u16>) -> Self {
         assert!(dst_nt < 0.0, "storm Dst must be negative, got {dst_nt}");
-        StormScenario { name: name.to_string(), dst_nt, year }
+        StormScenario {
+            name: name.to_string(),
+            dst_nt,
+            year,
+        }
     }
 
     /// The 1859 Carrington event (estimated Dst ≈ −1760 nT), the
@@ -98,7 +102,10 @@ pub struct StormModel {
 
 impl Default for StormModel {
     fn default() -> Self {
-        StormModel { repeater_base: 0.05, grid_base: 5.0 }
+        StormModel {
+            repeater_base: 0.05,
+            grid_base: 5.0,
+        }
     }
 }
 
@@ -120,7 +127,8 @@ impl StormModel {
         let repeaters_per_segment = cable.repeater_count() as f64 / segments as f64;
         let mut survive = 1.0f64;
         for w in path.windows(2) {
-            let mid_lat = (geomagnetic_latitude(&w[0]).abs() + geomagnetic_latitude(&w[1]).abs()) / 2.0;
+            let mid_lat =
+                (geomagnetic_latitude(&w[0]).abs() + geomagnetic_latitude(&w[1]).abs()) / 2.0;
             let p = self.repeater_failure_prob(mid_lat, storm);
             survive *= (1.0 - p).powf(repeaters_per_segment);
         }
@@ -229,7 +237,10 @@ mod tests {
         let storm = StormScenario::quebec_1989();
         let quebec = m.grid_collapse_prob(grids.find("québec").unwrap(), &storm);
         let texas = m.grid_collapse_prob(grids.find("ercot").unwrap(), &storm);
-        assert!(quebec > 5.0 * texas, "Québec {quebec:.3} vs Texas {texas:.3}");
+        assert!(
+            quebec > 5.0 * texas,
+            "Québec {quebec:.3} vs Texas {texas:.3}"
+        );
     }
 
     #[test]
@@ -237,11 +248,18 @@ mod tests {
         let m = StormModel::default();
         let storm = StormScenario::carrington_1859();
         let mean = |fleet: &DataCenterFleet| {
-            fleet.iter().map(|d| m.datacenter_risk(d, &storm)).sum::<f64>() / fleet.len() as f64
+            fleet
+                .iter()
+                .map(|d| m.datacenter_risk(d, &storm))
+                .sum::<f64>()
+                / fleet.len() as f64
         };
         let g = mean(&DataCenterFleet::google());
         let f = mean(&DataCenterFleet::facebook());
-        assert!(f > g, "facebook mean risk {f:.3} should exceed google {g:.3}");
+        assert!(
+            f > g,
+            "facebook mean risk {f:.3} should exceed google {g:.3}"
+        );
     }
 
     #[test]
@@ -257,7 +275,10 @@ mod tests {
             .filter(|_| m.sample_cable_outage(cable, &storm, &mut rng))
             .count();
         let rate = hits as f64 / trials as f64;
-        assert!((rate - p).abs() < 0.02, "sampled {rate:.3} vs analytic {p:.3}");
+        assert!(
+            (rate - p).abs() < 0.02,
+            "sampled {rate:.3} vs analytic {p:.3}"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ mod tests {
         let set = w.conclusions();
         assert_eq!(set.len(), 8);
         for c in set.iter() {
-            assert!(c.holds, "conclusion {:?} does not hold: {}", c.id, c.evidence);
+            assert!(
+                c.holds,
+                "conclusion {:?} does not hold: {}",
+                c.id, c.evidence
+            );
         }
     }
 }

@@ -18,7 +18,11 @@ fn main() {
     // --- Phase 1: the incident, mechanically.
     println!("## Phase 1 — replay the outage on the routing substrate\n");
     let mut routing = RoutingSystem::standard();
-    let edges = routing.graph.ases().filter(|n| n.kind == AsKind::Edge).count();
+    let edges = routing
+        .graph
+        .ases()
+        .filter(|n| n.kind == AsKind::Edge)
+        .count();
     println!(
         "{} ASes, {} edge networks; facebook.com availability {:.0}%",
         routing.graph.len(),

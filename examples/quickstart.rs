@@ -39,7 +39,10 @@ fn main() {
     println!("Q: {question}\n");
 
     let before = bob.ask(question);
-    println!("before self-learning (confidence {}/10):\n{}\n", before.confidence, before.text);
+    println!(
+        "before self-learning (confidence {}/10):\n{}\n",
+        before.confidence, before.text
+    );
 
     let trajectory = bob.self_learn(question);
     let after = bob.ask(question);

@@ -52,7 +52,11 @@ fn main() {
     for (item, result) in quiz.iter().zip(&run.consistency.per_item) {
         println!(
             "[{}] {:?}\n    Q: {}\n    expert: {}\n    Bob:    {} (confidence {}/10)\n",
-            if result.matched.consistent { "ok" } else { "XX" },
+            if result.matched.consistent {
+                "ok"
+            } else {
+                "XX"
+            },
             result.id,
             item.question,
             item.expected_answer,

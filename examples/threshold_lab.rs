@@ -20,13 +20,15 @@ fn main() {
     for threshold in [3u8, 5, 7, 9] {
         for (qi, question) in QUESTIONS.iter().enumerate() {
             let env = Environment::standard();
-            let config = AgentConfig { confidence_threshold: threshold, ..AgentConfig::default() };
+            let config = AgentConfig {
+                confidence_threshold: threshold,
+                ..AgentConfig::default()
+            };
             let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, config, 0xB0B);
             bob.train();
             let t = bob.self_learn(question);
             let answer = bob.ask(question);
-            let series: Vec<String> =
-                t.confidence_series().iter().map(u8::to_string).collect();
+            let series: Vec<String> = t.confidence_series().iter().map(u8::to_string).collect();
             println!(
                 "{:>9}  Q{}        {:<17}  {:>6}  {:>8}  {}",
                 threshold,

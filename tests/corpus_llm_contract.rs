@@ -23,9 +23,17 @@ fn every_cable_article_yields_route_length_apex_and_repeaters() {
             .unwrap_or_else(|| panic!("no article for {}", cable.name));
         let ex = Extraction::from_text(&article.full_text(), None);
 
-        let route = ex.routes().next().unwrap_or_else(|| panic!("{}: no route fact", cable.name));
+        let route = ex
+            .routes()
+            .next()
+            .unwrap_or_else(|| panic!("{}: no route fact", cable.name));
         match route {
-            Fact::CableRoute { name, from_country, to_country, .. } => {
+            Fact::CableRoute {
+                name,
+                from_country,
+                to_country,
+                ..
+            } => {
                 assert_eq!(name, &cable.name);
                 assert_eq!(from_country, &cable.from.country);
                 assert_eq!(to_country, &cable.to.country);
@@ -111,7 +119,10 @@ fn all_twelve_principles_are_extractable_from_the_corpus() {
         ex.absorb(&doc.full_text(), None);
     }
     for p in Principle::ALL {
-        assert!(ex.principles.contains(&p), "principle {p:?} not extractable");
+        assert!(
+            ex.principles.contains(&p),
+            "principle {p:?} not extractable"
+        );
     }
 }
 
@@ -136,7 +147,11 @@ fn storm_history_dst_values_match_the_model() {
         .facts
         .iter()
         .find_map(|f| match f {
-            Fact::StormDst { year: Some(1859), dst, .. } => Some(*dst),
+            Fact::StormDst {
+                year: Some(1859),
+                dst,
+                ..
+            } => Some(*dst),
             _ => None,
         })
         .expect("Carrington Dst fact");

@@ -44,7 +44,11 @@ fn paper_trajectory_shapes_hold() {
     let t = bob.self_learn(CABLE_Q);
     assert!(t.initial_confidence().unwrap() <= 4);
     assert!(t.final_confidence().unwrap() >= 8);
-    assert_eq!(t.learning_rounds(), 1, "paper: one round of self-learning suffices");
+    assert_eq!(
+        t.learning_rounds(),
+        1,
+        "paper: one round of self-learning suffices"
+    );
 
     // E3: datacenter question improves markedly too.
     let q = "Whose datacenter is more vulnerable to a solar superstorm, Google's or Facebook's?";
@@ -96,7 +100,10 @@ fn knowledge_json_round_trips_through_a_real_agent() {
 #[test]
 fn bigger_distractor_load_does_not_break_learning() {
     let env = Environment::build(
-        CorpusConfig { seed: 0xC0FFEE, distractor_count: 600 },
+        CorpusConfig {
+            seed: 0xC0FFEE,
+            distractor_count: 600,
+        },
         0xBEEF,
     );
     let mut bob = ResearchAgent::bob(&env);
@@ -121,7 +128,11 @@ fn different_role_same_architecture() {
     let q = "Are submarine cables or terrestrial fiber links more at risk during a solar \
              superstorm?";
     let t = alice.self_learn(q);
-    assert!(t.final_confidence().unwrap() >= 7, "got {:?}", t.confidence_series());
+    assert!(
+        t.final_confidence().unwrap() >= 7,
+        "got {:?}",
+        t.confidence_series()
+    );
     let answer = alice.ask(q);
     assert_eq!(answer.verdict.as_deref(), Some("submarine cables"));
 }
@@ -179,7 +190,11 @@ fn poisoning_degrades_confidence_but_never_flips_the_verdict() {
     bob.train();
     let _ = bob.self_learn(CABLE_Q);
     let clean = bob.ask(CABLE_Q);
-    assert!(clean.verdict.as_deref().unwrap_or("").contains("United States"));
+    assert!(clean
+        .verdict
+        .as_deref()
+        .unwrap_or("")
+        .contains("United States"));
 
     for target in ["Atlantis-2", "EllaLink"] {
         PoisonCampaign::inflate(target, 75.0, 3).inject(bob.memory(), env.now_us());
@@ -232,7 +247,10 @@ fn agent_survives_a_hostile_network() {
     let mut net = Network::new(
         NetworkConfig {
             default_host: HostConfig {
-                latency: LatencyModel { loss: 0.30, ..LatencyModel::typical() },
+                latency: LatencyModel {
+                    loss: 0.30,
+                    ..LatencyModel::typical()
+                },
                 rate_limit: TokenBucket::unlimited(),
             },
         },
@@ -257,14 +275,21 @@ fn agent_survives_a_hostile_network() {
                 }
             }),
             HostConfig {
-                latency: LatencyModel { loss: 0.30, ..LatencyModel::typical() },
+                latency: LatencyModel {
+                    loss: 0.30,
+                    ..LatencyModel::typical()
+                },
                 rate_limit: TokenBucket::unlimited(),
             },
         );
     }
 
     let client = ira_simnet::Client::new(Arc::new(net));
-    let env = Environment { world, corpus, client };
+    let env = Environment {
+        world,
+        corpus,
+        client,
+    };
     let mut bob = ResearchAgent::bob(&env);
     let report = bob.train();
     assert!(
@@ -285,11 +310,13 @@ fn flagship_trajectory_holds_across_seeds() {
     // reach the correct verdict at high confidence.
     for seed in [0x5EEDu64, 0x60EF, 0x62F1, 0x67F6] {
         let env = Environment::build(
-            CorpusConfig { seed, distractor_count: 150 },
+            CorpusConfig {
+                seed,
+                distractor_count: 150,
+            },
             seed ^ 0xBEEF,
         );
-        let mut bob =
-            ResearchAgent::new(RoleDefinition::bob(), &env, AgentConfig::default(), seed);
+        let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, AgentConfig::default(), seed);
         bob.train();
         let t = bob.self_learn(CABLE_Q);
         assert!(
@@ -299,7 +326,11 @@ fn flagship_trajectory_holds_across_seeds() {
         );
         let answer = bob.ask(CABLE_Q);
         assert!(
-            answer.verdict.as_deref().unwrap_or("").contains("United States"),
+            answer
+                .verdict
+                .as_deref()
+                .unwrap_or("")
+                .contains("United States"),
             "seed {seed:#x}: verdict {:?}",
             answer.verdict
         );

@@ -19,11 +19,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { text: format!("{name}/{parameter}") }
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -76,14 +80,21 @@ pub struct Criterion {}
 
 impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { measured: None, sample_size: 100 };
+        let mut b = Bencher {
+            measured: None,
+            sample_size: 100,
+        };
         f(&mut b);
         report(name, b.measured);
         self
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 100 }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+        }
     }
 }
 
@@ -104,7 +115,10 @@ impl BenchmarkGroup<'_> {
         name: impl Display,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { measured: None, sample_size: self.sample_size };
+        let mut b = Bencher {
+            measured: None,
+            sample_size: self.sample_size,
+        };
         f(&mut b);
         report(&format!("{}/{name}", self.name), b.measured);
         self
@@ -114,7 +128,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { measured: None, sample_size: self.sample_size };
+        let mut b = Bencher {
+            measured: None,
+            sample_size: self.sample_size,
+        };
         f(&mut b, input);
         report(&format!("{}/{id}", self.name), b.measured);
         self

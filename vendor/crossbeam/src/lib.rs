@@ -61,10 +61,7 @@ mod tests {
     fn scoped_threads_join_and_borrow() {
         let data = [1u32, 2, 3];
         let sum: u32 = crate::thread::scope(|scope| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|v| scope.spawn(move |_| *v * 2))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|v| scope.spawn(move |_| *v * 2)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

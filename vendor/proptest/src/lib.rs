@@ -30,7 +30,9 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn new(seed: u64) -> TestRng {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -74,7 +76,10 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Map { strategy: self, func: f }
+        Map {
+            strategy: self,
+            func: f,
+        }
     }
 }
 
@@ -396,16 +401,12 @@ mod regex_lite {
             let count = match quant {
                 Quant::One => 1,
                 Quant::Star => rng.below(17) as usize,
-                Quant::Between(lo, hi) => {
-                    *lo + rng.below((*hi - *lo + 1) as u64) as usize
-                }
+                Quant::Between(lo, hi) => *lo + rng.below((*hi - *lo + 1) as u64) as usize,
             };
             for _ in 0..count {
                 match node {
                     Node::Literal(c) => out.push(*c),
-                    Node::Class(pool) => {
-                        out.push(pool[rng.below(pool.len() as u64) as usize])
-                    }
+                    Node::Class(pool) => out.push(pool[rng.below(pool.len() as u64) as usize]),
                     Node::Group(inner) => render(inner, rng, out),
                 }
             }
@@ -428,13 +429,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -450,7 +457,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

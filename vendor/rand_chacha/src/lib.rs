@@ -74,7 +74,12 @@ impl SeedableRng for ChaCha8Rng {
         for (i, chunk) in seed.chunks_exact(4).enumerate() {
             key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
-        let mut rng = ChaCha8Rng { key, counter: 0, buffer: [0; 16], index: 16 };
+        let mut rng = ChaCha8Rng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        };
         rng.refill();
         rng.index = 0;
         // refill() advanced the counter for the *next* block; keep the

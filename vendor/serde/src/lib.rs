@@ -187,7 +187,9 @@ pub struct Error {
 
 impl Error {
     pub fn custom(msg: impl fmt::Display) -> Error {
-        Error { msg: msg.to_string() }
+        Error {
+            msg: msg.to_string(),
+        }
     }
 
     /// Standard "wrong shape" constructor used by generated code.
@@ -246,7 +248,9 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn deserialize_value(value: &Value) -> Result<Self, Error> {
-        value.as_bool().ok_or_else(|| Error::type_mismatch("bool", value))
+        value
+            .as_bool()
+            .ok_or_else(|| Error::type_mismatch("bool", value))
     }
 }
 
@@ -440,9 +444,7 @@ fn serialize_pairs<'a, K: Serialize + 'a, V: Serialize + 'a>(
     )
 }
 
-fn deserialize_pairs<K: Deserialize, V: Deserialize>(
-    value: &Value,
-) -> Result<Vec<(K, V)>, Error> {
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(value: &Value) -> Result<Vec<(K, V)>, Error> {
     value
         .as_array()
         .ok_or_else(|| Error::type_mismatch("array of [key, value] pairs", value))?
@@ -452,7 +454,10 @@ fn deserialize_pairs<K: Deserialize, V: Deserialize>(
                 .as_array()
                 .filter(|a| a.len() == 2)
                 .ok_or_else(|| Error::type_mismatch("[key, value] pair", pair))?;
-            Ok((K::deserialize_value(&arr[0])?, V::deserialize_value(&arr[1])?))
+            Ok((
+                K::deserialize_value(&arr[0])?,
+                V::deserialize_value(&arr[1])?,
+            ))
         })
         .collect()
 }
@@ -511,8 +516,7 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
 
 impl<T: Serialize> Serialize for HashSet<T> {
     fn serialize_value(&self) -> Value {
-        let mut items: Vec<Value> =
-            self.iter().map(Serialize::serialize_value).collect();
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize_value).collect();
         items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         Value::Array(items)
     }
@@ -545,8 +549,14 @@ mod tests {
     fn option_roundtrip() {
         let some: Option<u16> = Some(1859);
         let none: Option<u16> = None;
-        assert_eq!(Option::<u16>::deserialize_value(&some.serialize_value()), Ok(some));
-        assert_eq!(Option::<u16>::deserialize_value(&none.serialize_value()), Ok(none));
+        assert_eq!(
+            Option::<u16>::deserialize_value(&some.serialize_value()),
+            Ok(some)
+        );
+        assert_eq!(
+            Option::<u16>::deserialize_value(&none.serialize_value()),
+            Ok(none)
+        );
     }
 
     #[test]

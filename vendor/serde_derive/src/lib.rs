@@ -36,26 +36,45 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, shape: Shape, fields: Vec<Field> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let generated = match parse_item(input) {
-        Item::Struct { name, shape, fields } => struct_serialize(&name, shape, &fields),
+        Item::Struct {
+            name,
+            shape,
+            fields,
+        } => struct_serialize(&name, shape, &fields),
         Item::Enum { name, variants } => enum_serialize(&name, &variants),
     };
-    generated.parse().expect("derive(Serialize): generated code failed to parse")
+    generated
+        .parse()
+        .expect("derive(Serialize): generated code failed to parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let generated = match parse_item(input) {
-        Item::Struct { name, shape, fields } => struct_deserialize(&name, shape, &fields),
+        Item::Struct {
+            name,
+            shape,
+            fields,
+        } => struct_deserialize(&name, shape, &fields),
         Item::Enum { name, variants } => enum_deserialize(&name, &variants),
     };
-    generated.parse().expect("derive(Deserialize): generated code failed to parse")
+    generated
+        .parse()
+        .expect("derive(Deserialize): generated code failed to parse")
 }
 
 // ---------------------------------------------------------------------
@@ -80,7 +99,9 @@ fn parse_item(input: TokenStream) -> Item {
     let name = ident_at(&tokens, i, "expected type name");
     i += 1;
     if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        panic!("derive(Serialize/Deserialize): generic types are not supported by the vendored serde");
+        panic!(
+            "derive(Serialize/Deserialize): generic types are not supported by the vendored serde"
+        );
     }
 
     match kind.as_str() {
@@ -95,12 +116,17 @@ fn parse_item(input: TokenStream) -> Item {
                 shape: Shape::Tuple,
                 fields: parse_fields(g.stream(), false),
             },
-            _ => Item::Struct { name, shape: Shape::Unit, fields: Vec::new() },
+            _ => Item::Struct {
+                name,
+                shape: Shape::Unit,
+                fields: Vec::new(),
+            },
         },
         "enum" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             _ => panic!("derive: expected enum body"),
         },
         other => panic!("derive: unsupported item kind `{other}`"),
@@ -148,8 +174,7 @@ fn parse_serde_attr(inner: &[TokenTree], attrs: &mut SerdeAttrs) {
                     i += 1;
                 }
                 "default" => {
-                    if matches!(&toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
-                    {
+                    if matches!(&toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
                         let lit = toks
                             .get(i + 2)
                             .map(|t| t.to_string())
@@ -248,7 +273,11 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
-        variants.push(Variant { name: vname, shape, fields });
+        variants.push(Variant {
+            name: vname,
+            shape,
+            fields,
+        });
     }
     variants
 }
@@ -276,9 +305,8 @@ fn struct_serialize(name: &str, shape: Shape, fields: &[Field]) -> String {
             }
         }
         Shape::Named => {
-            let mut out = String::from(
-                "{\n        let mut __map = ::std::collections::BTreeMap::new();\n",
-            );
+            let mut out =
+                String::from("{\n        let mut __map = ::std::collections::BTreeMap::new();\n");
             for f in fields.iter().filter(|f| !f.attrs.skip) {
                 let fname = f.name.as_ref().expect("named field");
                 out.push_str(&format!(
@@ -381,11 +409,13 @@ fn enum_serialize(name: &str, variants: &[Variant]) -> String {
                 ));
             }
             Shape::Named => {
-                let names: Vec<&String> =
-                    v.fields.iter().map(|f| f.name.as_ref().expect("named")).collect();
-                let mut inner = String::from(
-                    "let mut __fields = ::std::collections::BTreeMap::new();\n",
-                );
+                let names: Vec<&String> = v
+                    .fields
+                    .iter()
+                    .map(|f| f.name.as_ref().expect("named"))
+                    .collect();
+                let mut inner =
+                    String::from("let mut __fields = ::std::collections::BTreeMap::new();\n");
                 for f in v.fields.iter().filter(|f| !f.attrs.skip) {
                     let fname = f.name.as_ref().expect("named");
                     inner.push_str(&format!(
@@ -427,9 +457,7 @@ fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
                 } else {
                     let n = v.fields.len();
                     let items: Vec<String> = (0..n)
-                        .map(|i| {
-                            format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?")
-                        })
+                        .map(|i| format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?"))
                         .collect();
                     format!(
                         "{{ let __arr = __payload.as_array().ok_or_else(|| ::serde::Error::type_mismatch(\"array for {name}::{vname}\", __payload))?;\n                    if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\")); }}\n                    ::std::result::Result::Ok({name}::{vname}({items})) }}",

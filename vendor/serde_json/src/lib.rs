@@ -132,7 +132,10 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
 
 /// Parse a complete JSON document into a [`Value`].
 pub fn parse(s: &str) -> Result<Value> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.parse_value(0)?;
     p.skip_ws();
@@ -187,7 +190,10 @@ impl<'a> Parser<'a> {
             self.pos += kw.len();
             Ok(())
         } else {
-            Err(Error::custom(format!("invalid JSON token at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid JSON token at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -378,8 +384,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::I64(i));

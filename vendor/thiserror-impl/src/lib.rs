@@ -56,7 +56,9 @@ pub fn derive_error(input: TokenStream) -> TokenStream {
 
     let body = match tokens.get(i) {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
-        _ => panic!("derive(Error): generics and tuple structs are not supported by the vendored thiserror"),
+        _ => panic!(
+            "derive(Error): generics and tuple structs are not supported by the vendored thiserror"
+        ),
     };
 
     let generated = match kind.as_str() {
@@ -86,14 +88,9 @@ fn attr_at(tokens: &[TokenTree], i: usize) -> Option<(String, Option<String>)> {
             if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
         {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-            let name = inner
-                .first()
-                .map(|t| t.to_string())
-                .unwrap_or_default();
+            let name = inner.first().map(|t| t.to_string()).unwrap_or_default();
             let lit = inner.get(1).and_then(|t| match t {
-                TokenTree::Group(args) => {
-                    args.stream().into_iter().next().map(|l| l.to_string())
-                }
+                TokenTree::Group(args) => args.stream().into_iter().next().map(|l| l.to_string()),
                 _ => None,
             });
             Some((name, lit))
@@ -169,7 +166,12 @@ fn parse_field(chunk: Vec<TokenTree>, named: bool) -> Field {
         .cloned()
         .collect::<TokenStream>()
         .to_string();
-    Field { name, ty, is_from, is_source }
+    Field {
+        name,
+        ty,
+        is_from,
+        is_source,
+    }
 }
 
 fn parse_fields_named(stream: TokenStream) -> Vec<Field> {
@@ -214,7 +216,12 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
-        variants.push(Variant { name: vname, shape, fields, fmt });
+        variants.push(Variant {
+            name: vname,
+            shape,
+            fields,
+            fmt,
+        });
     }
     variants
 }
@@ -293,7 +300,11 @@ fn variant_pattern(type_name: &str, v: &Variant, bound: &[String]) -> String {
                 let elems: Vec<String> = (0..v.fields.len())
                     .map(|idx| {
                         let name = format!("_{idx}");
-                        if bound.contains(&name) { name } else { "_".to_string() }
+                        if bound.contains(&name) {
+                            name
+                        } else {
+                            "_".to_string()
+                        }
                     })
                     .collect();
                 format!("{type_name}::{}({})", v.name, elems.join(", "))
@@ -387,7 +398,10 @@ fn derive_for_struct(type_name: &str, fields: Vec<Field>, fmt: String) -> String
     let bindings = if used.is_empty() {
         String::new()
     } else {
-        format!("        let {type_name} {{ {}, .. }} = self;\n", used.join(", "))
+        format!(
+            "        let {type_name} {{ {}, .. }} = self;\n",
+            used.join(", ")
+        )
     };
     let source_fn = fields
         .iter()
