@@ -103,6 +103,13 @@ impl<'a> AutoGpt<'a> {
         }
     }
 
+    /// Mirror every logged event into an `ira-obs` collector tagged
+    /// with `session`. Cycle/command boundaries then appear on the
+    /// same virtual timeline as the network-level trace.
+    pub fn attach_observer(&mut self, sink: ira_obs::SharedCollector, session: u32) {
+        self.log.attach_observer(sink, session);
+    }
+
     pub fn log(&self) -> &EventLog {
         &self.log
     }

@@ -4,6 +4,7 @@
 //! timestamp, giving the experiments (E6 training cost, F1 stage
 //! timing) their raw data and making agent behaviour auditable.
 
+use ira_obs::{stage, CollectorExt, SharedCollector, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Kind of logged event.
@@ -31,10 +32,48 @@ pub struct Event {
     pub detail: String,
 }
 
+impl EventKind {
+    /// The trace stage/name this event kind maps to when forwarded to
+    /// an `ira-obs` collector.
+    fn trace_key(self) -> (&'static str, &'static str) {
+        match self {
+            EventKind::CycleStart => (stage::CYCLE, "start"),
+            EventKind::Search => (stage::SEARCH, "issued"),
+            EventKind::Fetch => (stage::FETCH, "page"),
+            EventKind::Memorize => (stage::MEMORY, "memorize"),
+            EventKind::DuplicateDropped => (stage::MEMORY, "duplicate_dropped"),
+            EventKind::Error => (stage::CYCLE, "error"),
+            EventKind::SourceUnavailable => (stage::BREAKER, "rerouted"),
+            EventKind::GoalComplete => (stage::CYCLE, "goal_complete"),
+        }
+    }
+}
+
+/// A live connection from the event log to an `ira-obs` collector:
+/// every recorded event is also forwarded as a trace point tagged with
+/// the session id. Not serialized — a deserialized log replays with no
+/// pipe attached.
+#[derive(Clone)]
+pub struct ObsPipe {
+    pub sink: SharedCollector,
+    pub session: u32,
+}
+
+impl std::fmt::Debug for ObsPipe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsPipe")
+            .field("session", &self.session)
+            .field("enabled", &self.sink.enabled())
+            .finish()
+    }
+}
+
 /// Append-only event log with counters.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EventLog {
     events: Vec<Event>,
+    #[serde(skip)]
+    pipe: Option<ObsPipe>,
 }
 
 impl EventLog {
@@ -42,11 +81,24 @@ impl EventLog {
         EventLog::default()
     }
 
+    /// Attach a trace collector; every subsequent `record` call is also
+    /// forwarded as a trace point under `session`.
+    pub fn attach_observer(&mut self, sink: SharedCollector, session: u32) {
+        self.pipe = Some(ObsPipe { sink, session });
+    }
+
     pub fn record(&mut self, at_us: u64, kind: EventKind, detail: impl Into<String>) {
+        let detail = detail.into();
+        if let Some(pipe) = &self.pipe {
+            pipe.sink.emit(|| {
+                let (stage, name) = kind.trace_key();
+                TraceEvent::point(pipe.session, at_us, stage, name, detail.as_str())
+            });
+        }
         self.events.push(Event {
             at_us,
             kind,
-            detail: detail.into(),
+            detail,
         });
     }
 
@@ -88,6 +140,35 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert_eq!(log.count(EventKind::Fetch), 2);
         assert_eq!(log.count(EventKind::Error), 0);
+    }
+
+    #[test]
+    fn attached_observer_mirrors_records() {
+        use std::sync::Arc;
+        let sink = Arc::new(ira_obs::JsonlCollector::new());
+        let mut log = EventLog::new();
+        log.attach_observer(sink.clone(), 3);
+        log.record(10, EventKind::Search, "q=bgp leak");
+        log.record(40, EventKind::SourceUnavailable, "b.test");
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].session, 3);
+        assert_eq!(events[0].metric_key(), "search.issued");
+        assert_eq!(events[1].metric_key(), "breaker.rerouted");
+        assert_eq!(log.len(), 2, "the log itself still records");
+    }
+
+    #[test]
+    fn serialization_drops_the_pipe() {
+        use std::sync::Arc;
+        let sink = Arc::new(ira_obs::JsonlCollector::new());
+        let mut log = EventLog::new();
+        log.attach_observer(sink, 1);
+        log.record(5, EventKind::Memorize, "fact");
+        let json = serde_json::to_string(&log).unwrap();
+        let back: EventLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.pipe.is_none());
     }
 
     #[test]

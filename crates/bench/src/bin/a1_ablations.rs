@@ -11,12 +11,9 @@
 //! Reported per variant: quiz consistency, self-learning effort, and
 //! memory size.
 
-use ira_agentmem::{RetrievalWeights, StoreConfig};
-use ira_autogpt::AutoGptConfig;
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::runner::evaluate_agent;
+use ira::agentmem::RetrievalWeights;
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 
 fn run_variant(label: &str, config: AgentConfig) -> Vec<String> {
     let env = Environment::standard();

@@ -7,9 +7,8 @@
 //! baseline, and prints the per-conclusion table plus the provenance
 //! audit (§4.2's "verify the sources of the knowledge").
 
-use ira_core::Environment;
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::runner::full_paper_run;
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 
 fn main() {
     print!(

@@ -6,9 +6,9 @@
 //! one round, flipping from a hedge to "the US–Europe cable, because
 //! higher latitudes".
 
-use ira_core::{Environment, ResearchAgent};
-use ira_evalkit::report::banner;
-use ira_evalkit::trajectory::{render_csv, render_table};
+use ira::evalkit::report::banner;
+use ira::evalkit::trajectory::{render_csv, render_table};
+use ira::prelude::*;
 
 const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
                         that connects Brazil to Europe or the one that connects the US to \

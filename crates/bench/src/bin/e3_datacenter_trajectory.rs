@@ -5,9 +5,9 @@
 //! data centers are more globally dispersed … Facebook more
 //! vulnerable".
 
-use ira_core::{Environment, ResearchAgent};
-use ira_evalkit::report::banner;
-use ira_evalkit::trajectory::{render_csv, render_table};
+use ira::evalkit::report::banner;
+use ira::evalkit::trajectory::{render_csv, render_table};
+use ira::prelude::*;
 
 const QUESTION: &str = "Whose datacenter is more vulnerable to a solar superstorm, Google's \
                         or Facebook's?";

@@ -5,9 +5,9 @@
 //! Shutdown* and *Redundancy Utilization*, and also proposes Phased
 //! Shutdown, Data Preservation, and Gradual Reboot.
 
-use ira_core::{Environment, ResearchAgent};
-use ira_evalkit::plancov::{PlanCoverage, CORE_COMPONENTS, REFERENCE_COMPONENTS};
-use ira_evalkit::report::banner;
+use ira::evalkit::plancov::{PlanCoverage, CORE_COMPONENTS, REFERENCE_COMPONENTS};
+use ira::evalkit::report::banner;
+use ira::prelude::*;
 
 fn main() {
     print!(

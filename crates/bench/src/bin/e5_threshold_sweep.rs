@@ -10,12 +10,9 @@
 //! generated once, not per threshold — and `--threads N` fans the
 //! sweep out without changing a byte of the report (timing on stderr).
 
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 use ira_bench::{print_timing, threads_from_args};
-use ira_core::AgentConfig;
-use ira_engine::{Engine, SessionConfig};
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::runner::{evaluate_agent, sweep};
 
 fn main() {
     let threads = threads_from_args();

@@ -8,12 +8,9 @@
 //! time. Each corpus size is an independent session; `--threads N`
 //! runs them on worker threads without changing the report.
 
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 use ira_bench::{print_timing, threads_from_args};
-use ira_engine::{Engine, SessionConfig};
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::runner::sweep;
-use ira_webcorpus::CorpusConfig;
 
 fn main() {
     let threads = threads_from_args();

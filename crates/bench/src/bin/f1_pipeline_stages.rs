@@ -8,9 +8,8 @@
 //! wall-clock, so memorised knowledge must be reused rather than
 //! re-fetched.
 
-use ira_core::{Environment, ResearchAgent};
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::{banner, table};
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 
 fn main() {
     print!(

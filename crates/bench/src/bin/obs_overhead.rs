@@ -1,0 +1,147 @@
+//! Observability overhead on the X11 sweep (tooling calibration).
+//!
+//! Runs the X11 seed-robustness workload — ten train + self-learn
+//! sessions over a shared [`Engine`] — under three observation modes
+//! and reports median wall time over repeated runs:
+//!
+//! * `off`      — `spawn_session`: the disabled [`NullCollector`] path
+//!   every existing experiment takes (emission closures never run).
+//! * `summary`  — `spawn_session_observed` with a [`SummaryCollector`]
+//!   aggregating counters/histograms.
+//! * `jsonl`    — `spawn_session_observed` with a [`JsonlCollector`]
+//!   buffering the full replayable trace in memory.
+//!
+//! The `off` mode must stay within noise of the pre-instrumentation
+//! X11 wall time (the <2% budget recorded in EXPERIMENTS.md); the
+//! sweep sanity-checks its own verdicts so a mode that changed agent
+//! behaviour would fail loudly.
+
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
+use ira_bench::threads_from_args;
+use std::sync::Arc;
+
+const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
+                        that connects Brazil to Europe or the one that connects the US to \
+                        Europe?";
+
+const RUNS: usize = 9;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Off,
+    Summary,
+    Jsonl,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Off => "off (NullCollector)",
+            Mode::Summary => "summary",
+            Mode::Jsonl => "jsonl",
+        }
+    }
+}
+
+/// One full X11 sweep; returns (wall seconds, correct verdicts, events
+/// recorded).
+fn run_once(mode: Mode, threads: usize) -> (f64, usize, usize) {
+    let start = std::time::Instant::now();
+    let engine = Engine::new();
+    let jsonl = Arc::new(JsonlCollector::new());
+    let summary = Arc::new(SummaryCollector::new());
+    let seeds: Vec<u64> = (0..10).map(|i| 0x5EED + i * 0x101).collect();
+    let outcomes = sweep(seeds, threads, |i, seed| {
+        let config = SessionConfig {
+            corpus: CorpusConfig {
+                seed,
+                distractor_count: 150,
+            },
+            net_seed: seed ^ 0xBEEF,
+            llm_seed: seed,
+            ..SessionConfig::bob()
+        };
+        let mut session = match mode {
+            Mode::Off => engine.spawn_session(config),
+            Mode::Summary => {
+                engine.spawn_session_observed(config, Arc::clone(&summary) as _, i as u32)
+            }
+            Mode::Jsonl => engine.spawn_session_observed(config, Arc::clone(&jsonl) as _, i as u32),
+        };
+        session.agent.train();
+        session.agent.self_learn(QUESTION);
+        let answer = session.agent.ask(QUESTION);
+        answer
+            .verdict
+            .as_deref()
+            .unwrap_or("")
+            .to_lowercase()
+            .contains("united states")
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let correct = outcomes.into_iter().filter(|ok| *ok).count();
+    let events = match mode {
+        Mode::Off => 0,
+        Mode::Summary => summary.snapshot().counters.values().sum::<u64>() as usize,
+        Mode::Jsonl => jsonl.events().len(),
+    };
+    (wall, correct, events)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let threads = threads_from_args();
+    print!(
+        "{}",
+        banner(
+            "OBS",
+            "collector overhead on the X11 sweep",
+            "(tooling) the disabled path must cost nothing; tracing must stay cheap \
+             enough to leave on"
+        )
+    );
+    println!("{RUNS} runs per mode, threads={threads}; reporting medians\n");
+
+    let mut rows = Vec::new();
+    let mut baseline = 0.0;
+    for mode in [Mode::Off, Mode::Summary, Mode::Jsonl] {
+        let mut walls = Vec::new();
+        let mut correct = 0;
+        let mut events = 0;
+        for _ in 0..RUNS {
+            let (w, c, e) = run_once(mode, threads);
+            assert_eq!(
+                c,
+                10,
+                "{}: verdicts must not change under tracing",
+                mode.label()
+            );
+            walls.push(w);
+            correct = c;
+            events = e;
+        }
+        let med = median(&mut walls);
+        if mode == Mode::Off {
+            baseline = med;
+        }
+        rows.push(vec![
+            mode.label().to_string(),
+            format!("{:.3}", med),
+            format!("{:+.1}%", (med / baseline - 1.0) * 100.0),
+            events.to_string(),
+            format!("{correct}/10"),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["mode", "median-wall-s", "vs-off", "events", "verdicts"],
+            &rows
+        )
+    );
+}

@@ -7,11 +7,11 @@
 //! COST-style model over the storm catalog: grid-driven regional
 //! downtime plus cross-border losses during the cable-repair window.
 
-use ira_evalkit::report::{banner, table};
-use ira_worldmodel::econ::{daily_digital_economy_busd, storm_impact};
-use ira_worldmodel::geo::Region;
-use ira_worldmodel::storm::StormScenario;
-use ira_worldmodel::World;
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
+use ira::worldmodel::econ::{daily_digital_economy_busd, storm_impact};
+use ira::worldmodel::geo::Region;
+use ira::worldmodel::storm::StormScenario;
 
 fn main() {
     print!(

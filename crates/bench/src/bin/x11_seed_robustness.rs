@@ -12,11 +12,9 @@
 //! `--threads N` runs seeds on worker threads with the report
 //! aggregated in seed order, byte-identical to serial.
 
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 use ira_bench::{print_timing, threads_from_args};
-use ira_engine::{Engine, SessionConfig};
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::runner::sweep;
-use ira_webcorpus::CorpusConfig;
 
 const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
                         that connects Brazil to Europe or the one that connects the US to \

@@ -7,12 +7,10 @@
 //! trajectory, not just the final answers — and reports the
 //! calibration table, Brier score, and expected calibration error.
 
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_evalkit::calibration::Calibration;
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::verdict::match_verdict;
-use ira_webcorpus::CorpusConfig;
+use ira::evalkit::calibration::Calibration;
+use ira::evalkit::report::{banner, table};
+use ira::evalkit::verdict::match_verdict;
+use ira::prelude::*;
 
 fn main() {
     print!(
@@ -25,24 +23,27 @@ fn main() {
         )
     );
 
+    let engine = Engine::new();
     let mut cal = Calibration::new();
     for seed in [0xCA1u64, 0xCA2, 0xCA3, 0xCA4, 0xCA5] {
-        let env = Environment::build(
-            CorpusConfig {
+        let mut session = engine.spawn_session(SessionConfig {
+            corpus: CorpusConfig {
                 seed,
                 distractor_count: 150,
             },
-            seed ^ 0xBEEF,
-        );
-        let quiz = QuizBank::from_world(&env.world);
-        let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, AgentConfig::default(), seed);
+            net_seed: seed ^ 0xBEEF,
+            llm_seed: seed,
+            ..SessionConfig::bob()
+        });
+        let quiz = QuizBank::from_world(session.world());
+        let bob = &mut session.agent;
         bob.train();
         for item in quiz.iter() {
             let trajectory = bob.self_learn(&item.question);
             // Sample every round: low-confidence rounds are exactly
             // where calibration matters most.
             for round in &trajectory.rounds {
-                let answer = ira_simllm::reason::Answer {
+                let answer = ira::simllm::reason::Answer {
                     text: round.answer_text.clone(),
                     verdict: round.verdict.clone(),
                     confidence: round.confidence,

@@ -12,9 +12,9 @@
 //! every level bit-reproducible, and `--threads N` runs the levels on
 //! worker threads with the very same output (timing on stderr).
 
+use ira::evalkit::report::{banner, table};
+use ira::evalkit::robustness::chaos_sweep_threads;
 use ira_bench::{print_timing, threads_from_args};
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::robustness::chaos_sweep_threads;
 
 const INTENSITIES: [f64; 4] = [0.0, 0.10, 0.25, 0.50];
 const FAULT_SEED: u64 = 0xC4A0;

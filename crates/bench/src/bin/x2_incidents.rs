@@ -8,11 +8,9 @@
 //! against the incident quiz derived from the incident catalog —
 //! demonstrating that nothing in the architecture is storm-specific.
 
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::runner::{evaluate_agent, evaluate_baseline};
-use ira_simllm::Llm;
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
+use ira::simllm::Llm;
 
 fn main() {
     print!(

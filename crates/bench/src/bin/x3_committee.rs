@@ -13,13 +13,11 @@
 //! evaluates them on worker threads ([`Committee::evaluate_member`])
 //! and aggregates in member order — the same report, faster.
 
+use ira::core::ensemble::aggregate;
+use ira::core::{Committee, CommitteeConfig};
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 use ira_bench::{print_timing, threads_from_args};
-use ira_core::ensemble::aggregate;
-use ira_core::{Committee, CommitteeConfig, RoleDefinition};
-use ira_engine::{Engine, SessionConfig};
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::{banner, table};
-use ira_evalkit::runner::sweep;
 
 fn main() {
     let threads = threads_from_args();

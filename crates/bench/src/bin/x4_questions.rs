@@ -7,8 +7,9 @@
 //! agent has studied the area but cannot answer confidently) are the
 //! research opportunities §5 envisions surfacing automatically.
 
-use ira_core::{questions, Environment, ResearchAgent};
-use ira_evalkit::report::{banner, table};
+use ira::core::questions;
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 
 fn main() {
     print!(

@@ -8,9 +8,9 @@
 //! disagree, so single-shot poisoning fails and larger campaigns are
 //! visible as a confidence drop before they flip the verdict.
 
-use ira_core::{Environment, ResearchAgent};
-use ira_evalkit::poison::{poisoned_entry_count, PoisonCampaign};
-use ira_evalkit::report::{banner, table};
+use ira::evalkit::poison::{poisoned_entry_count, PoisonCampaign};
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 
 const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
                         that connects Brazil to Europe or the one that connects the US to \

@@ -10,9 +10,9 @@
 //! radius, full recovery on re-announcement) are checked against the
 //! simulation.
 
-use ira_evalkit::report::{banner, table};
-use ira_worldmodel::bgp::{AsKind, RoutingSystem};
-use ira_worldmodel::incidents::{IncidentCatalog, IncidentId};
+use ira::evalkit::report::{banner, table};
+use ira::worldmodel::bgp::{AsKind, RoutingSystem};
+use ira::worldmodel::incidents::{IncidentCatalog, IncidentId};
 
 fn main() {
     print!(

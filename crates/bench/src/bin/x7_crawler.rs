@@ -9,9 +9,8 @@
 //! (fetches, virtual time), and how it changes the flagship question's
 //! starting point.
 
-use ira_autogpt::AutoGptConfig;
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_evalkit::report::{banner, table};
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 
 const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
                         that connects Brazil to Europe or the one that connects the US to \

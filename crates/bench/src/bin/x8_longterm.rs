@@ -8,11 +8,9 @@
 //! per session: quiz consistency, memory size, and new entries — the
 //! question is whether quality drifts as the memory churns.
 
-use ira_agentmem::{KnowledgeStore, StoreConfig};
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_evalkit::consistency::ConsistencyReport;
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::{banner, table};
+use ira::evalkit::consistency::ConsistencyReport;
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
 
 fn main() {
     print!(

@@ -7,9 +7,9 @@
 //! forecast CME events, sweep the shutdown trigger threshold and
 //! account expected repeater losses against preemptive downtime.
 
-use ira_evalkit::report::{banner, table};
-use ira_worldmodel::forecast::{evaluate_policy, CostModel, ForecastModel, ShutdownPolicy};
-use ira_worldmodel::World;
+use ira::evalkit::report::{banner, table};
+use ira::prelude::*;
+use ira::worldmodel::forecast::{evaluate_policy, CostModel, ForecastModel, ShutdownPolicy};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

@@ -24,6 +24,10 @@ pub enum Command {
         /// Train this many independently seeded sessions on worker
         /// threads (1 = the classic serial path).
         parallel: usize,
+        /// Write a replayable JSONL trace of every session here.
+        trace: Option<String>,
+        /// Print the metrics summary table after the run.
+        metrics: bool,
     },
     /// Answer one question from a knowledge file.
     Ask { knowledge: String, question: String },
@@ -41,6 +45,10 @@ pub enum Command {
         /// Evaluate this many independently seeded agents on worker
         /// threads and report each (1 = single agent, classic output).
         parallel: usize,
+        /// Write a replayable JSONL trace of every session here.
+        trace: Option<String>,
+        /// Print the metrics summary table after the run.
+        metrics: bool,
     },
     /// Generate a storm response plan.
     Plan,
@@ -50,6 +58,8 @@ pub enum Command {
     Corpus { distractors: usize, faults: f64 },
     /// Run a world-model simulation.
     Simulate { what: SimChoice },
+    /// Summarize a JSONL trace file into the metrics table.
+    TraceSummarize { file: String },
     /// Audit the built-in databases.
     Audit,
     /// Print usage.
@@ -100,6 +110,8 @@ COMMANDS:
                   --resume                resume from the training checkpoint
                   --parallel <n>          train n seeded sessions on worker threads
                                           (default 1; session 0 writes --out)
+                  --trace <file>          write a replayable JSONL trace
+                  --metrics               print the metrics summary table
     ask         Answer a question from saved knowledge
                   --knowledge <file>      (default knowledge.json)
                   \"<question>\"
@@ -113,6 +125,8 @@ COMMANDS:
                   --report <file>         write a markdown report
                   --parallel <n>          evaluate n seeded agents on worker threads
                                           (default 1; classic single-agent output)
+                  --trace <file>          write a replayable JSONL trace
+                  --metrics               print the metrics summary table
     plan        Train + produce a storm response plan
     questions   Propose research questions from saved knowledge
                   --knowledge <file>      (default knowledge.json)
@@ -122,6 +136,9 @@ COMMANDS:
                   --faults <0..1>         report the fault plan at this intensity
     simulate    Run a world-model simulation
                   storms | outage | economics   (default storms)
+    trace       Inspect a recorded trace
+                  summarize <file>        print the deterministic
+                                          per-stage latency/count table
     audit       Integrity-check the built-in databases
     help        Show this message
 ";
@@ -150,6 +167,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 faults: float_flag(&rest, "--faults", 0.0)?,
                 resume: rest.contains(&"--resume"),
                 parallel: num_flag(&rest, "--parallel", 1)?.max(1),
+                trace: flag(&rest, "--trace")?.map(str::to_string),
+                metrics: rest.contains(&"--metrics"),
             })
         }
         "ask" => Ok(Command::Ask {
@@ -171,6 +190,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             threshold: num_flag(&rest, "--threshold", 7)? as u8,
             report: flag(&rest, "--report")?.map(str::to_string),
             parallel: num_flag(&rest, "--parallel", 1)?.max(1),
+            trace: flag(&rest, "--trace")?.map(str::to_string),
+            metrics: rest.contains(&"--metrics"),
         }),
         "plan" => Ok(Command::Plan),
         "audit" => Ok(Command::Audit),
@@ -197,6 +218,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             };
             Ok(Command::Simulate { what })
         }
+        "trace" => match rest.first().copied() {
+            Some("summarize") => {
+                let file = rest
+                    .get(1)
+                    .copied()
+                    .ok_or_else(|| ParseError("trace summarize needs a trace file".into()))?;
+                Ok(Command::TraceSummarize {
+                    file: file.to_string(),
+                })
+            }
+            Some(other) => Err(ParseError(format!(
+                "unknown trace action {other:?}; expected summarize"
+            ))),
+            None => Err(ParseError("trace needs an action: summarize <file>".into())),
+        },
         other => Err(ParseError(format!(
             "unknown command {other:?}; run `ira help` for usage"
         ))),
@@ -246,7 +282,7 @@ fn positional(rest: &[&str]) -> Option<String> {
         }
         if a.starts_with("--") {
             // Boolean flags take no value.
-            skip_next = !matches!(*a, "--incidents" | "--resume");
+            skip_next = !matches!(*a, "--incidents" | "--resume" | "--metrics");
             let _ = i;
             continue;
         }
@@ -282,6 +318,8 @@ mod tests {
                 faults: 0.0,
                 resume: false,
                 parallel: 1,
+                trace: None,
+                metrics: false,
             })
         );
         assert_eq!(
@@ -294,6 +332,8 @@ mod tests {
                 faults: 0.0,
                 resume: false,
                 parallel: 1,
+                trace: None,
+                metrics: false,
             })
         );
         assert!(p(&["train", "--role", "mallory"]).is_err());
@@ -311,6 +351,8 @@ mod tests {
                 faults: 0.25,
                 resume: true,
                 parallel: 1,
+                trace: None,
+                metrics: false,
             })
         );
         // Intensity clamps into [0, 1]; junk is an error.
@@ -324,6 +366,8 @@ mod tests {
                 faults: 1.0,
                 resume: false,
                 parallel: 1,
+                trace: None,
+                metrics: false,
             })
         );
         assert!(p(&["train", "--faults", "many"]).is_err());
@@ -364,7 +408,9 @@ mod tests {
                 incidents: false,
                 threshold: 7,
                 report: None,
-                parallel: 1
+                parallel: 1,
+                trace: None,
+                metrics: false,
             })
         );
         assert_eq!(
@@ -381,6 +427,8 @@ mod tests {
                 threshold: 9,
                 report: Some("r.md".into()),
                 parallel: 1,
+                trace: None,
+                metrics: false,
             })
         );
     }
@@ -397,6 +445,8 @@ mod tests {
                 faults: 0.0,
                 resume: false,
                 parallel: 4,
+                trace: None,
+                metrics: false,
             })
         );
         // 0 would mean "no sessions"; it clamps up to serial.
@@ -406,7 +456,9 @@ mod tests {
                 incidents: false,
                 threshold: 7,
                 report: None,
-                parallel: 1
+                parallel: 1,
+                trace: None,
+                metrics: false,
             })
         );
         assert_eq!(
@@ -415,7 +467,9 @@ mod tests {
                 incidents: false,
                 threshold: 7,
                 report: None,
-                parallel: 8
+                parallel: 8,
+                trace: None,
+                metrics: false,
             })
         );
         assert!(p(&["quiz", "--parallel", "several"]).is_err());
@@ -459,5 +513,56 @@ mod tests {
     fn unknown_command_is_reported() {
         let err = p(&["frobnicate"]).unwrap_err();
         assert!(err.0.contains("frobnicate"));
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse() {
+        assert_eq!(
+            p(&["train", "--trace", "out.jsonl", "--metrics"]),
+            Ok(Command::Train {
+                role: RoleChoice::Bob,
+                out: "knowledge.json".into(),
+                crawl_links: 0,
+                distractors: 150,
+                faults: 0.0,
+                resume: false,
+                parallel: 1,
+                trace: Some("out.jsonl".into()),
+                metrics: true,
+            })
+        );
+        assert_eq!(
+            p(&["quiz", "--metrics", "--trace", "t.jsonl"]),
+            Ok(Command::Quiz {
+                incidents: false,
+                threshold: 7,
+                report: None,
+                parallel: 1,
+                trace: Some("t.jsonl".into()),
+                metrics: true,
+            })
+        );
+        assert!(p(&["train", "--trace"]).is_err());
+        // --metrics is a boolean flag: it must not swallow a positional.
+        assert_eq!(
+            p(&["learn", "--metrics", "what is a CME?"]).map(|c| match c {
+                Command::Learn { question, .. } => question,
+                _ => unreachable!(),
+            }),
+            Ok("what is a CME?".to_string())
+        );
+    }
+
+    #[test]
+    fn trace_summarize_parses() {
+        assert_eq!(
+            p(&["trace", "summarize", "out.jsonl"]),
+            Ok(Command::TraceSummarize {
+                file: "out.jsonl".into()
+            })
+        );
+        assert!(p(&["trace"]).is_err());
+        assert!(p(&["trace", "summarize"]).is_err());
+        assert!(p(&["trace", "replay", "out.jsonl"]).is_err());
     }
 }

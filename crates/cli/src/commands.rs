@@ -10,11 +10,13 @@ use ira_evalkit::quiz::QuizBank;
 use ira_evalkit::report::table;
 use ira_evalkit::runner::{evaluate_agent, evaluate_baseline, sweep};
 use ira_evalkit::trajectory::render_table;
+use ira_obs::{Fanout, JsonlCollector, SharedCollector, SummaryCollector};
 use ira_simllm::Llm;
 use ira_simnet::{Duration, FaultPlan};
 use ira_webcorpus::CorpusConfig;
 use std::path::Path;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Fault horizon for CLI training runs. Training alone spans roughly
 /// ten virtual seconds; thirty gives headroom for `--crawl` while
@@ -42,7 +44,10 @@ pub fn run(cmd: Command) -> i32 {
             faults,
             resume,
             parallel,
+            trace,
+            metrics,
         } => {
+            let obs = ObsSinks::new(trace.as_deref(), metrics);
             if parallel > 1 {
                 train_parallel(
                     role,
@@ -52,9 +57,10 @@ pub fn run(cmd: Command) -> i32 {
                     faults,
                     resume,
                     parallel,
+                    &obs,
                 )
             } else {
-                train(role, &out, crawl_links, distractors, faults, resume)
+                train(role, &out, crawl_links, distractors, faults, resume, &obs)
             }
         }
         Command::Ask {
@@ -71,11 +77,14 @@ pub fn run(cmd: Command) -> i32 {
             threshold,
             report,
             parallel,
+            trace,
+            metrics,
         } => {
+            let obs = ObsSinks::new(trace.as_deref(), metrics);
             if parallel > 1 {
-                quiz_parallel(incidents, threshold, report.as_deref(), parallel)
+                quiz_parallel(incidents, threshold, report.as_deref(), parallel, &obs)
             } else {
-                quiz(incidents, threshold, report.as_deref())
+                quiz(incidents, threshold, report.as_deref(), &obs)
             }
         }
         Command::Plan => plan(),
@@ -85,7 +94,76 @@ pub fn run(cmd: Command) -> i32 {
             faults,
         } => corpus_stats(distractors, faults),
         Command::Simulate { what } => simulate(what),
+        Command::TraceSummarize { file } => trace_summarize(&file),
         Command::Audit => audit_cmd(),
+    }
+}
+
+/// The collectors requested by `--trace` / `--metrics`: a JSONL
+/// recorder, a metrics aggregator, neither, or both fanned out. One
+/// `ObsSinks` is shared across every session of a run — the JSONL
+/// collector buffers per session id, and metric merges are
+/// commutative, so the outputs are identical at any `--parallel`.
+struct ObsSinks {
+    trace_path: Option<String>,
+    jsonl: Option<Arc<JsonlCollector>>,
+    summary: Option<Arc<SummaryCollector>>,
+}
+
+impl ObsSinks {
+    fn new(trace: Option<&str>, metrics: bool) -> Self {
+        ObsSinks {
+            trace_path: trace.map(str::to_string),
+            jsonl: trace.map(|_| Arc::new(JsonlCollector::new())),
+            summary: metrics.then(|| Arc::new(SummaryCollector::new())),
+        }
+    }
+
+    /// The shared sink sessions emit into, if any was requested.
+    fn sink(&self) -> Option<SharedCollector> {
+        let mut children: Vec<SharedCollector> = Vec::new();
+        if let Some(jsonl) = &self.jsonl {
+            children.push(Arc::clone(jsonl) as SharedCollector);
+        }
+        if let Some(summary) = &self.summary {
+            children.push(Arc::clone(summary) as SharedCollector);
+        }
+        match children.len() {
+            0 => None,
+            1 => children.pop(),
+            _ => Some(Arc::new(Fanout::new(children))),
+        }
+    }
+
+    /// Write the trace file and print the metrics table. Returns a
+    /// process exit code: non-zero only if the trace file could not be
+    /// written.
+    fn finish(&self) -> i32 {
+        if let (Some(jsonl), Some(path)) = (&self.jsonl, self.trace_path.as_deref()) {
+            if let Err(e) = jsonl.write_to(Path::new(path)) {
+                eprintln!("error: could not write trace {path}: {e}");
+                return 1;
+            }
+            println!("trace written to {path}");
+        }
+        if let Some(summary) = &self.summary {
+            print!("{}", summary.snapshot().render());
+        }
+        0
+    }
+}
+
+/// Spawn session `id`, attaching the run's collectors when any were
+/// requested.
+fn spawn_maybe_observed(
+    engine: &Engine,
+    config: SessionConfig,
+    obs: &ObsSinks,
+    id: u32,
+) -> ira_engine::Session {
+    match obs.sink() {
+        Some(sink) => engine.spawn_session_observed(config, sink, id),
+        None => engine.spawn_session(config),
     }
 }
 
@@ -96,14 +174,22 @@ fn role_definition(choice: RoleChoice) -> RoleDefinition {
     }
 }
 
+/// The CLI's canonical corpus: the fixed seed at the requested
+/// distractor load.
+fn cli_corpus(distractors: usize) -> CorpusConfig {
+    CorpusConfig {
+        seed: 0xC0FFEE,
+        distractor_count: distractors,
+    }
+}
+
 fn env_with(distractors: usize) -> Environment {
-    Environment::build(
-        CorpusConfig {
-            seed: 0xC0FFEE,
-            distractor_count: distractors,
-        },
-        0xBEEF,
-    )
+    let world = ira_worldmodel::World::standard();
+    let corpus = Arc::new(ira_webcorpus::Corpus::generate(
+        &world,
+        cli_corpus(distractors),
+    ));
+    Environment::from_parts(world, corpus, 0xBEEF, None)
 }
 
 /// The training checkpoint lives next to the knowledge file.
@@ -118,28 +204,13 @@ fn train(
     distractors: usize,
     faults: f64,
     resume: bool,
+    obs: &ObsSinks,
 ) -> i32 {
-    let env = if faults > 0.0 {
-        Environment::build_chaotic(
-            CorpusConfig {
-                seed: 0xC0FFEE,
-                distractor_count: distractors,
-            },
-            0xBEEF,
-            faults,
-            train_horizon(),
-            FAULT_SEED,
-        )
-    } else {
-        env_with(distractors)
-    };
-    if faults > 0.0 {
-        println!(
-            "fault injection: intensity {:.0}%, {} scheduled windows (seed {FAULT_SEED:#x})",
-            faults * 100.0,
-            env.client.network().fault_plan_window_count()
-        );
-    }
+    // The serial path is the parallel path at one session: the engine
+    // spawns session 0 on the very seeds the legacy builders used, so
+    // `--parallel 1` output (and any trace) is byte-identical to
+    // session 0 of a wider run.
+    let engine = Engine::new();
     let config = AgentConfig {
         autogpt: AutoGptConfig {
             crawl_links,
@@ -147,7 +218,28 @@ fn train(
         },
         ..AgentConfig::default()
     };
-    let mut agent = ResearchAgent::new(role_definition(role), &env, config, 0xB0B);
+    let session_config = SessionConfig {
+        role: role_definition(role),
+        agent: config,
+        corpus: cli_corpus(distractors),
+        net_seed: 0xBEEF,
+        llm_seed: 0xB0B,
+        faults: (faults > 0.0).then(|| FaultSpec {
+            intensity: faults,
+            horizon: train_horizon(),
+            seed: FAULT_SEED,
+        }),
+    };
+    let mut session = spawn_maybe_observed(&engine, session_config, obs, 0);
+    let env = &session.env;
+    if faults > 0.0 {
+        println!(
+            "fault injection: intensity {:.0}%, {} scheduled windows (seed {FAULT_SEED:#x})",
+            faults * 100.0,
+            env.client.network().fault_plan_window_count()
+        );
+    }
+    let agent = &mut session.agent;
     println!("{}", agent.role);
     // Training always checkpoints after each goal so a killed run can
     // be picked up with `--resume`; without the flag any stale
@@ -193,16 +285,12 @@ fn train(
                 .sum::<u32>()
         );
     }
-    match agent.save_knowledge(Path::new(out)) {
-        Ok(()) => {
-            println!("knowledge written to {out}");
-            0
-        }
-        Err(e) => {
-            eprintln!("error: could not write {out}: {e}");
-            1
-        }
+    if let Err(e) = agent.save_knowledge(Path::new(out)) {
+        eprintln!("error: could not write {out}: {e}");
+        return 1;
     }
+    println!("knowledge written to {out}");
+    obs.finish()
 }
 
 /// `ira train --parallel N`: N independently seeded training sessions
@@ -211,6 +299,7 @@ fn train(
 /// one engine-cached corpus. Session 0's knowledge is written to
 /// `out`, so the file is identical to a serial `ira train` run; the
 /// extra sessions report seed robustness of the training itself.
+#[allow(clippy::too_many_arguments)] // mirrors the parsed `train` flags one-to-one
 fn train_parallel(
     role: RoleChoice,
     out: &str,
@@ -219,6 +308,7 @@ fn train_parallel(
     faults: f64,
     resume: bool,
     sessions: usize,
+    obs: &ObsSinks,
 ) -> i32 {
     if resume {
         println!("note: --resume only applies to serial training; ignoring it");
@@ -237,13 +327,10 @@ fn train_parallel(
     let start = std::time::Instant::now();
     let seeds: Vec<u64> = (0..sessions as u64).collect();
     let mut results = sweep(seeds, sessions, |_, s| {
-        let mut session = engine.spawn_session(SessionConfig {
+        let session_config = SessionConfig {
             role: role_definition(role),
             agent: config,
-            corpus: CorpusConfig {
-                seed: 0xC0FFEE,
-                distractor_count: distractors,
-            },
+            corpus: cli_corpus(distractors),
             net_seed: 0xBEEF + s,
             llm_seed: 0xB0B + s,
             faults: (faults > 0.0).then(|| FaultSpec {
@@ -251,7 +338,8 @@ fn train_parallel(
                 horizon: train_horizon(),
                 seed: FAULT_SEED.wrapping_add(s),
             }),
-        });
+        };
+        let mut session = spawn_maybe_observed(&engine, session_config, obs, s as u32);
         let report = session.agent.train();
         (session, report)
     });
@@ -283,22 +371,24 @@ fn train_parallel(
     );
 
     let (session0, _) = &mut results[0];
-    match session0.agent.save_knowledge(Path::new(out)) {
-        Ok(()) => {
-            println!("knowledge from session 0 written to {out}");
-            0
-        }
-        Err(e) => {
-            eprintln!("error: could not write {out}: {e}");
-            1
-        }
+    if let Err(e) = session0.agent.save_knowledge(Path::new(out)) {
+        eprintln!("error: could not write {out}: {e}");
+        return 1;
     }
+    println!("knowledge from session 0 written to {out}");
+    obs.finish()
 }
 
 /// `ira quiz --parallel N`: N independently seeded agents take the
 /// quiz on worker threads; the per-agent scores and the across-agent
 /// aggregate quantify how seed-robust the result is.
-fn quiz_parallel(incidents: bool, threshold: u8, report_path: Option<&str>, agents: usize) -> i32 {
+fn quiz_parallel(
+    incidents: bool,
+    threshold: u8,
+    report_path: Option<&str>,
+    agents: usize,
+    obs: &ObsSinks,
+) -> i32 {
     if report_path.is_some() {
         println!("note: --report only applies to the single-agent quiz; ignoring it");
     }
@@ -323,17 +413,15 @@ fn quiz_parallel(incidents: bool, threshold: u8, report_path: Option<&str>, agen
     let start = std::time::Instant::now();
     let seeds: Vec<u64> = (0..agents as u64).collect();
     let runs = sweep(seeds, agents, |_, s| {
-        let mut session = engine.spawn_session(SessionConfig {
+        let session_config = SessionConfig {
             role: role.clone(),
             agent: config,
-            corpus: CorpusConfig {
-                seed: 0xC0FFEE,
-                distractor_count: 150,
-            },
+            corpus: cli_corpus(150),
             net_seed: 0xBEEF + s,
             llm_seed: 0xB0B + s,
             faults: None,
-        });
+        };
+        let mut session = spawn_maybe_observed(&engine, session_config, obs, s as u32);
         session.agent.train();
         evaluate_agent(&mut session.agent, &quiz, &conclusions)
     });
@@ -376,7 +464,7 @@ fn quiz_parallel(incidents: bool, threshold: u8, report_path: Option<&str>, agen
         start.elapsed().as_secs_f64(),
         engine.corpus_builds()
     );
-    0
+    obs.finish()
 }
 
 /// Load a knowledge file into a fresh agent (no training).
@@ -452,14 +540,17 @@ fn learn(knowledge: &str, question: &str, threshold: u8) -> i32 {
     0
 }
 
-fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>) -> i32 {
-    let env = env_with(150);
+fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>, obs: &ObsSinks) -> i32 {
+    // Like serial train: spawn session 0 through the engine so the
+    // single-agent quiz (and its trace) matches session 0 of
+    // `--parallel N` exactly.
+    let engine = Engine::new();
     let quiz = if incidents {
-        QuizBank::incidents(&env.world.incidents)
+        QuizBank::incidents(&engine.world().incidents)
     } else {
-        QuizBank::from_world(&env.world)
+        QuizBank::from_world(engine.world())
     };
-    let conclusions = env.world.conclusions();
+    let conclusions = engine.world().conclusions();
     let role = if incidents {
         RoleDefinition::outage_analyst()
     } else {
@@ -469,9 +560,18 @@ fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>) -> i32 {
         confidence_threshold: threshold,
         ..AgentConfig::default()
     };
-    let mut agent = ResearchAgent::new(role, &env, config, 0xB0B);
+    let session_config = SessionConfig {
+        role,
+        agent: config,
+        corpus: cli_corpus(150),
+        net_seed: 0xBEEF,
+        llm_seed: 0xB0B,
+        faults: None,
+    };
+    let mut session = spawn_maybe_observed(&engine, session_config, obs, 0);
+    let agent = &mut session.agent;
     agent.train();
-    let run = evaluate_agent(&mut agent, &quiz, &conclusions);
+    let run = evaluate_agent(agent, &quiz, &conclusions);
 
     let rows: Vec<Vec<String>> = run
         .consistency
@@ -512,6 +612,28 @@ fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>) -> i32 {
         }
         println!("report written to {path}");
     }
+    obs.finish()
+}
+
+/// `ira trace summarize <file>`: replay a recorded JSONL trace through
+/// the summary collector and print the metrics table. Pure function of
+/// the file contents, so the output is as deterministic as the trace.
+fn trace_summarize(file: &str) -> i32 {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: could not read {file}: {e}");
+            return 1;
+        }
+    };
+    let events = match ira_obs::parse_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {file} is not a valid trace: {e}");
+            return 1;
+        }
+    };
+    print!("{}", ira_obs::summarize_events(&events).render());
     0
 }
 

@@ -24,6 +24,8 @@ fn train_then_ask_then_learn_round_trip() {
         faults: 0.0,
         resume: false,
         parallel: 1,
+        trace: None,
+        metrics: false,
     });
     assert_eq!(code, 0);
     assert!(std::path::Path::new(&knowledge).exists());
@@ -76,6 +78,8 @@ fn faulted_train_still_writes_knowledge_and_cleans_its_checkpoint() {
         faults: 0.25,
         resume: false,
         parallel: 1,
+        trace: None,
+        metrics: false,
     });
     assert_eq!(code, 0);
     assert!(std::path::Path::new(&knowledge).exists());
@@ -91,6 +95,8 @@ fn faulted_train_still_writes_knowledge_and_cleans_its_checkpoint() {
         faults: 0.0,
         resume: true,
         parallel: 1,
+        trace: None,
+        metrics: false,
     });
     assert_eq!(code, 0);
 
@@ -113,6 +119,8 @@ fn parallel_train_writes_the_same_knowledge_as_serial() {
         faults: 0.0,
         resume: false,
         parallel: 1,
+        trace: None,
+        metrics: false,
     });
     assert_eq!(code, 0);
 
@@ -145,6 +153,8 @@ fn parallel_quiz_reports_all_agents() {
         threshold: 7,
         report: None,
         parallel: 2,
+        trace: None,
+        metrics: false,
     });
     assert_eq!(code, 0);
 }
@@ -169,4 +179,92 @@ fn corpus_and_help_commands_succeed() {
     );
     assert_eq!(run(Command::Help), 0);
     assert_eq!(run(parse(&["help".to_string()]).unwrap()), 0);
+}
+
+#[test]
+fn traced_train_is_thread_count_invariant_and_summarizable() {
+    let knowledge = tmp("trace-knowledge.json");
+    let trace1 = tmp("train-p1.jsonl");
+    let trace4 = tmp("train-p4.jsonl");
+    for f in [&knowledge, &trace1, &trace4] {
+        let _ = std::fs::remove_file(f);
+    }
+
+    let base = |out: &str, trace: &str, parallel: usize| Command::Train {
+        role: RoleChoice::Bob,
+        out: out.to_string(),
+        crawl_links: 0,
+        distractors: 50,
+        faults: 0.0,
+        resume: false,
+        parallel,
+        trace: Some(trace.to_string()),
+        metrics: false,
+    };
+    assert_eq!(run(base(&knowledge, &trace1, 1)), 0);
+    assert_eq!(run(base(&knowledge, &trace4, 4)), 0);
+
+    let one = std::fs::read_to_string(&trace1).unwrap();
+    let four = std::fs::read_to_string(&trace4).unwrap();
+    assert!(!one.is_empty(), "serial trace must record events");
+    assert!(
+        four.len() > one.len(),
+        "four sessions must record more than one"
+    );
+    // Per-session determinism: the serial run IS session 0, and the
+    // JSONL file is rendered in session order, so the parallel trace
+    // must start with the serial trace byte for byte.
+    assert!(
+        four.starts_with(&one),
+        "session 0 of --parallel 4 must match --parallel 1 exactly"
+    );
+    // Every line of the wider trace belongs to a session in 0..4.
+    for line in four.lines() {
+        assert!(
+            line.contains("\"session\":"),
+            "line missing session: {line}"
+        );
+    }
+
+    assert_eq!(
+        run(Command::TraceSummarize {
+            file: trace4.clone()
+        }),
+        0
+    );
+    // Summarizing garbage fails cleanly.
+    let junk = tmp("junk.jsonl");
+    std::fs::write(&junk, "not json\n").unwrap();
+    assert_eq!(run(Command::TraceSummarize { file: junk.clone() }), 1);
+    assert_eq!(
+        run(Command::TraceSummarize {
+            file: tmp("missing.jsonl")
+        }),
+        1
+    );
+
+    for f in [&knowledge, &trace1, &trace4, &junk] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn quiz_with_metrics_and_trace_succeeds() {
+    let trace = tmp("quiz-trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let code = run(Command::Quiz {
+        incidents: false,
+        threshold: 7,
+        report: None,
+        parallel: 1,
+        trace: Some(trace.clone()),
+        metrics: true,
+    });
+    assert_eq!(code, 0);
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        text.lines().all(|l| l.contains("\"session\":0")),
+        "single-agent quiz trace is all session 0"
+    );
+    std::fs::remove_file(&trace).ok();
 }

@@ -16,6 +16,7 @@ use crate::selflearn::LearningTrajectory;
 use crate::stages::{HostTimer, StageStats};
 use ira_agentmem::KnowledgeStore;
 use ira_autogpt::{AutoGpt, Budget, GoalReport};
+use ira_obs::{stage, CollectorExt, SharedCollector, TraceEvent};
 use ira_services::{Answer, LanguageModel, LlmStats, WebServices};
 use ira_simllm::Llm;
 use serde::{Deserialize, Serialize};
@@ -53,6 +54,8 @@ pub struct ResearchAgent {
     llm: Arc<dyn LanguageModel>,
     memory: KnowledgeStore,
     stages: StageStats,
+    obs: SharedCollector,
+    obs_session: u32,
 }
 
 impl ResearchAgent {
@@ -87,7 +90,50 @@ impl ResearchAgent {
             llm,
             memory: KnowledgeStore::new(config.memory),
             stages: StageStats::default(),
+            obs: ira_obs::null_collector(),
+            obs_session: 0,
         }
+    }
+
+    /// Attach a trace collector under `session`: the retrieval loops
+    /// mirror their event logs into it, knowledge-test verdicts and
+    /// memory growth are recorded, and the model's inference hook is
+    /// reinstalled to emit an LLM-call span (still charging the same
+    /// virtual latency) for every call.
+    pub fn set_observer(&mut self, sink: SharedCollector, session: u32) {
+        self.obs = Arc::clone(&sink);
+        self.obs_session = session;
+        let latency = self.config.inference;
+        let clock = Arc::clone(&self.web);
+        self.llm
+            .set_inference_hook(Arc::new(move |prompt, completion| {
+                let start = clock.now_us();
+                let charged = latency.charge_us(prompt, completion);
+                clock.advance_us(charged);
+                sink.emit(|| {
+                    TraceEvent::span(
+                        session,
+                        start,
+                        stage::LLM,
+                        "call",
+                        format!("prompt_tokens={prompt} completion_tokens={completion}"),
+                        charged,
+                    )
+                });
+            }));
+    }
+
+    /// Record the current memory size as a high-watermark gauge.
+    fn emit_memory_gauge(&self) {
+        self.obs.emit(|| {
+            TraceEvent::gauge(
+                self.obs_session,
+                self.now_us(),
+                stage::MEMORY,
+                "entries",
+                self.memory.len() as u64,
+            )
+        });
     }
 
     /// Create an agent around an existing knowledge store — the
@@ -217,10 +263,24 @@ impl ResearchAgent {
             self.config.autogpt,
             self.config.budget,
         );
+        if self.obs.enabled() {
+            loop_.attach_observer(Arc::clone(&self.obs), self.obs_session);
+        }
         let report = loop_.run_goal(goal);
         self.stages.retrieval_virtual_us += self.now_us() - virtual_start;
         self.stages.retrieval_host_us += host.elapsed_us();
         self.stages.retrieval_ops += 1;
+        self.obs.emit(|| {
+            TraceEvent::span(
+                self.obs_session,
+                virtual_start,
+                stage::CYCLE,
+                "goal",
+                goal,
+                self.now_us().saturating_sub(virtual_start),
+            )
+        });
+        self.emit_memory_gauge();
         report
     }
 
@@ -288,6 +348,7 @@ impl ResearchAgent {
         let mut trajectory = LearningTrajectory::new(question, self.config.confidence_threshold);
         let mut answer = self.ask(question);
         trajectory.record(0, &answer, Vec::new(), 0);
+        self.emit_verdict(0, &answer);
 
         let mut round = 1u32;
         while answer.confidence < self.config.confidence_threshold
@@ -312,12 +373,36 @@ impl ResearchAgent {
             let memorized = self.pursue_all(question, &queries);
             answer = self.ask(question);
             trajectory.record(round, &answer, queries, memorized);
+            self.emit_verdict(round, &answer);
             round += 1;
             if memorized == 0 {
                 break;
             }
         }
         trajectory
+    }
+
+    /// Record one knowledge-test verdict on the trace: the round's
+    /// confidence rides in `value`, the committed verdict (if any) in
+    /// the detail.
+    fn emit_verdict(&self, round: u32, answer: &Answer) {
+        self.obs.emit(|| TraceEvent {
+            session: self.obs_session,
+            at_us: self.now_us(),
+            class: ira_obs::EventClass::Point,
+            stage: stage::VERDICT.to_string(),
+            name: if answer.confidence >= self.config.confidence_threshold {
+                "committed".to_string()
+            } else {
+                "unresolved".to_string()
+            },
+            detail: format!(
+                "round={round} confidence={} verdict={}",
+                answer.confidence,
+                answer.verdict.as_deref().unwrap_or("-")
+            ),
+            value: answer.confidence as u64,
+        });
     }
 
     /// Pursue a batch of queries, sequentially or in parallel threads.
@@ -354,6 +439,13 @@ impl ResearchAgent {
                 self.config.autogpt,
                 self.config.budget,
             );
+            // Only the single-threaded path feeds the trace: with
+            // `parallel_retrieval` the intra-session interleaving (and
+            // the shared virtual clock) is scheduler-dependent, so the
+            // determinism guarantee only covers the default serial mode.
+            if self.obs.enabled() {
+                loop_.attach_observer(Arc::clone(&self.obs), self.obs_session);
+            }
             queries
                 .iter()
                 .map(|q| loop_.pursue_query(topic, q).memorized)
@@ -362,6 +454,7 @@ impl ResearchAgent {
         self.stages.retrieval_virtual_us += self.now_us() - virtual_start;
         self.stages.retrieval_host_us += host.elapsed_us();
         self.stages.retrieval_ops += queries.len() as u64;
+        self.emit_memory_gauge();
         memorized
     }
 
@@ -779,12 +872,20 @@ mod tests {
     fn chaotic_environment_still_trains_with_partial_knowledge() {
         // Training spans ~10 virtual seconds; a 12-second horizon makes
         // the fault windows actually overlap the run.
-        let env = Environment::build_chaotic(
+        let world = ira_worldmodel::World::standard();
+        let corpus = Arc::new(ira_webcorpus::Corpus::generate(
+            &world,
             ira_webcorpus::CorpusConfig::default(),
+        ));
+        let env = Environment::from_parts(
+            world,
+            corpus,
             0xBEEF,
-            0.25,
-            ira_simnet::Duration::from_secs(12),
-            7,
+            Some(crate::env::FaultSpec {
+                intensity: 0.25,
+                horizon: ira_simnet::Duration::from_secs(12),
+                seed: 7,
+            }),
         );
         let mut bob = ResearchAgent::bob(&env);
         let report = bob.train();

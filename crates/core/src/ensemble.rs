@@ -83,13 +83,15 @@ impl Committee {
     /// with [`aggregate`].
     pub fn evaluate_member(&self, m: usize, questions: &[&str]) -> Vec<MemberAnswer> {
         let seed = self.config.base_seed + m as u64;
-        let env = Environment::build(
+        let world = ira_worldmodel::World::standard();
+        let corpus = std::sync::Arc::new(ira_webcorpus::Corpus::generate(
+            &world,
             CorpusConfig {
                 seed,
                 distractor_count: 150,
             },
-            seed ^ 0xBEEF,
-        );
+        ));
+        let env = Environment::from_parts(world, corpus, seed ^ 0xBEEF, None);
         let mut agent = ResearchAgent::new(self.role.clone(), &env, self.config.agent, seed);
         agent.train();
         let mut answers = Vec::with_capacity(questions.len());

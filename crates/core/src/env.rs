@@ -1,9 +1,27 @@
 //! The simulated environment: world → corpus → network → client.
+//!
+//! [`Environment::from_parts`] is the single construction path; the
+//! engine layer (`ira-engine`) calls it with a cached corpus, and the
+//! deprecated legacy builders are thin wrappers that generate the
+//! corpus themselves first.
 
 use ira_simnet::{Client, ClientConfig, Duration, FaultPlan, Network, NetworkConfig};
 use ira_webcorpus::{register_sites, Corpus, CorpusConfig};
 use ira_worldmodel::World;
 use std::sync::Arc;
+
+/// Random fault injection for a chaos environment: a seeded random
+/// fault plan (blackouts, flaky periods, rate-limit storms, corrupted
+/// bodies) plus a circuit-breaker-enabled client.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Share of hosts faulted, 0.0–1.0.
+    pub intensity: f64,
+    /// Virtual-time horizon the fault plan covers.
+    pub horizon: Duration,
+    /// Fault-plan seed.
+    pub seed: u64,
+}
 
 /// Everything outside the agent: ground truth, the web built from it,
 /// and the network serving that web.
@@ -14,18 +32,36 @@ pub struct Environment {
 }
 
 impl Environment {
-    /// Build the standard environment with explicit seeds.
-    pub fn build(corpus_config: CorpusConfig, net_seed: u64) -> Self {
-        let world = World::standard();
-        Self::build_with_world(world, corpus_config, net_seed)
-    }
-
-    /// Build around a caller-supplied world (for ablations).
-    pub fn build_with_world(world: World, corpus_config: CorpusConfig, net_seed: u64) -> Self {
-        let corpus = Arc::new(Corpus::generate(&world, corpus_config));
+    /// The single construction path: build a fresh network on
+    /// `net_seed`, register the corpus sites, and wire a plain client —
+    /// or, with `faults`, install the seeded fault plan and a resilient
+    /// (circuit-breaker) client so the agent degrades around dead hosts
+    /// instead of hammering them.
+    ///
+    /// The corpus arrives pre-generated (and usually shared) so sweeps
+    /// pay corpus generation once; see `ira-engine`'s corpus cache.
+    pub fn from_parts(
+        world: World,
+        corpus: Arc<Corpus>,
+        net_seed: u64,
+        faults: Option<FaultSpec>,
+    ) -> Self {
         let mut net = Network::new(NetworkConfig::default(), net_seed);
         register_sites(&mut net, Arc::clone(&corpus));
-        let client = Client::new(Arc::new(net));
+        let client = match faults {
+            None => Client::new(Arc::new(net)),
+            Some(spec) => {
+                let hosts = net.host_names();
+                let net = Arc::new(net);
+                net.set_fault_plan(FaultPlan::random(
+                    &hosts,
+                    spec.intensity,
+                    spec.horizon,
+                    spec.seed,
+                ));
+                Client::with_config(net, ClientConfig::resilient())
+            }
+        };
         Environment {
             world,
             corpus,
@@ -33,16 +69,41 @@ impl Environment {
         }
     }
 
+    /// Build the standard environment with explicit seeds.
+    #[deprecated(
+        since = "0.2.0",
+        note = "spawn sessions through `ira_engine::Engine::spawn_session` (or use `Environment::from_parts`)"
+    )]
+    pub fn build(corpus_config: CorpusConfig, net_seed: u64) -> Self {
+        let world = World::standard();
+        let corpus = Arc::new(Corpus::generate(&world, corpus_config));
+        Self::from_parts(world, corpus, net_seed, None)
+    }
+
+    /// Build around a caller-supplied world (for ablations).
+    #[deprecated(
+        since = "0.2.0",
+        note = "spawn sessions through `ira_engine::Engine::with_world` + `spawn_session` (or use `Environment::from_parts`)"
+    )]
+    pub fn build_with_world(world: World, corpus_config: CorpusConfig, net_seed: u64) -> Self {
+        let corpus = Arc::new(Corpus::generate(&world, corpus_config));
+        Self::from_parts(world, corpus, net_seed, None)
+    }
+
     /// The default experiment environment.
     pub fn standard() -> Self {
-        Self::build(CorpusConfig::default(), 0xBEEF)
+        let world = World::standard();
+        let corpus = Arc::new(Corpus::generate(&world, CorpusConfig::default()));
+        Self::from_parts(world, corpus, 0xBEEF, None)
     }
 
     /// Build a chaos environment: the standard stack plus a seeded
-    /// random fault plan (blackouts, flaky periods, rate-limit storms,
-    /// corrupted bodies) over `intensity` of the hosts for `horizon` of
-    /// virtual time, and a circuit-breaker-enabled client so the agent
-    /// degrades around dead hosts instead of hammering them.
+    /// random fault plan over `intensity` of the hosts for `horizon` of
+    /// virtual time.
+    #[deprecated(
+        since = "0.2.0",
+        note = "spawn sessions through `ira_engine::Engine::spawn_session` with `SessionConfig::faults` (or use `Environment::from_parts`)"
+    )]
     pub fn build_chaotic(
         corpus_config: CorpusConfig,
         net_seed: u64,
@@ -52,17 +113,16 @@ impl Environment {
     ) -> Self {
         let world = World::standard();
         let corpus = Arc::new(Corpus::generate(&world, corpus_config));
-        let mut net = Network::new(NetworkConfig::default(), net_seed);
-        register_sites(&mut net, Arc::clone(&corpus));
-        let hosts = net.host_names();
-        let net = Arc::new(net);
-        net.set_fault_plan(FaultPlan::random(&hosts, intensity, horizon, fault_seed));
-        let client = Client::with_config(net, ClientConfig::resilient());
-        Environment {
+        Self::from_parts(
             world,
             corpus,
-            client,
-        }
+            net_seed,
+            Some(FaultSpec {
+                intensity,
+                horizon,
+                seed: fault_seed,
+            }),
+        )
     }
 
     /// Virtual time elapsed so far, microseconds.
@@ -88,20 +148,40 @@ mod tests {
 
     #[test]
     fn distractor_count_is_tunable() {
-        let small = Environment::build(
-            CorpusConfig {
-                seed: 1,
-                distractor_count: 0,
-            },
-            1,
-        );
-        let big = Environment::build(
-            CorpusConfig {
-                seed: 1,
-                distractor_count: 300,
-            },
-            1,
-        );
+        let build = |distractor_count| {
+            let world = World::standard();
+            let corpus = Arc::new(Corpus::generate(
+                &world,
+                CorpusConfig {
+                    seed: 1,
+                    distractor_count,
+                },
+            ));
+            Environment::from_parts(world, corpus, 1, None)
+        };
+        let small = build(0);
+        let big = build(300);
         assert_eq!(big.corpus.len() - small.corpus.len(), 300);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_still_match_from_parts() {
+        // The wrappers must stay byte-identical to the canonical path
+        // until they are removed.
+        let legacy = Environment::build(CorpusConfig::default(), 0xBEEF);
+        let canonical = Environment::standard();
+        assert_eq!(legacy.corpus.len(), canonical.corpus.len());
+        assert_eq!(legacy.now_us(), canonical.now_us());
+        let a = legacy
+            .client
+            .get_text("sim://search.test/q?query=solar+superstorm")
+            .unwrap();
+        let b = canonical
+            .client
+            .get_text("sim://search.test/q?query=solar+superstorm")
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(legacy.now_us(), canonical.now_us());
     }
 }

@@ -18,24 +18,14 @@
 //! path.
 
 use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_simnet::{Client, ClientConfig, Duration, FaultPlan, Network, NetworkConfig};
-use ira_webcorpus::{register_sites, Corpus, CorpusConfig};
+use ira_obs::SharedCollector;
+use ira_webcorpus::{Corpus, CorpusConfig};
 use ira_worldmodel::World;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Random fault injection for a chaos session (mirrors
-/// `Environment::build_chaotic`).
-#[derive(Debug, Clone, Copy)]
-pub struct FaultSpec {
-    /// Share of hosts faulted, 0.0–1.0.
-    pub intensity: f64,
-    /// Virtual-time horizon the fault plan covers.
-    pub horizon: Duration,
-    /// Fault-plan seed.
-    pub seed: u64,
-}
+pub use ira_core::FaultSpec;
 
 /// Everything that makes one session distinct: the agent's identity
 /// and config, the view of the web, and the seeds.
@@ -149,28 +139,36 @@ impl Engine {
     /// behaves byte-for-byte like the legacy wiring.
     pub fn spawn_session(&self, config: SessionConfig) -> Session {
         let corpus = self.corpus(config.corpus);
-        let mut net = Network::new(NetworkConfig::default(), config.net_seed);
-        register_sites(&mut net, Arc::clone(&corpus));
-        let client = match config.faults {
-            None => Client::new(Arc::new(net)),
-            Some(spec) => {
-                let hosts = net.host_names();
-                let net = Arc::new(net);
-                net.set_fault_plan(FaultPlan::random(
-                    &hosts,
-                    spec.intensity,
-                    spec.horizon,
-                    spec.seed,
-                ));
-                Client::with_config(net, ClientConfig::resilient())
-            }
-        };
-        let env = Environment {
-            world: self.world.clone(),
-            corpus,
-            client,
-        };
+        let env =
+            Environment::from_parts(self.world.clone(), corpus, config.net_seed, config.faults);
         let agent = ResearchAgent::new(config.role, &env, config.agent, config.llm_seed);
+        Session { env, agent }
+    }
+
+    /// [`Engine::spawn_session`] with a trace collector attached: the
+    /// session's client (cache/retry/breaker/fetch events) and agent
+    /// (cycle boundaries, LLM-call spans, knowledge-test verdicts,
+    /// memory growth) both emit into `sink`, tagged with `session_id`.
+    ///
+    /// Because every session runs on exactly one thread and all
+    /// timestamps come from the session's virtual clock, the events a
+    /// session emits are identical whether the sweep runs on one
+    /// thread or many — `session_id` is the per-session span root that
+    /// keeps the streams apart.
+    pub fn spawn_session_observed(
+        &self,
+        config: SessionConfig,
+        sink: SharedCollector,
+        session_id: u32,
+    ) -> Session {
+        let corpus = self.corpus(config.corpus);
+        let mut env =
+            Environment::from_parts(self.world.clone(), corpus, config.net_seed, config.faults);
+        // The agent clones the client at construction, so the observer
+        // must be installed before `ResearchAgent::new`.
+        env.client.set_observer(Arc::clone(&sink), session_id);
+        let mut agent = ResearchAgent::new(config.role, &env, config.agent, config.llm_seed);
+        agent.set_observer(sink, session_id);
         Session { env, agent }
     }
 }
@@ -244,7 +242,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // proves the deprecated wrapper stays byte-identical
     fn chaotic_session_matches_legacy_chaotic_environment() {
+        use ira_simnet::Duration;
         let horizon = Duration::from_secs(12);
         let env = Environment::build_chaotic(CorpusConfig::default(), 0xBEEF, 0.25, horizon, 7);
         let mut legacy = ResearchAgent::bob(&env);

@@ -1,0 +1,129 @@
+//! Observability determinism: the trace a sweep produces is a pure
+//! function of its seeds — byte-identical across repeat runs *and*
+//! across thread counts — and the disabled (NullCollector-style) path
+//! never builds an event at all.
+
+use ira_engine::{Engine, SessionConfig};
+use ira_evalkit::runner::{metrics_rollup, sweep};
+use ira_obs::{
+    Collector, Fanout, JsonlCollector, MetricsSnapshot, SharedCollector, SummaryCollector,
+    TraceEvent,
+};
+use std::sync::Arc;
+
+const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
+                        that connects Brazil to Europe or the one that connects the US to \
+                        Europe?";
+
+/// Train + self-learn `sessions` sessions on `threads` workers, all
+/// emitting into one shared trace + summary pair.
+fn run_observed_sweep(sessions: u32, threads: usize) -> (String, MetricsSnapshot) {
+    let engine = Engine::new();
+    let trace = Arc::new(JsonlCollector::new());
+    let summary = Arc::new(SummaryCollector::new());
+    let sink: SharedCollector = Arc::new(Fanout::new(vec![
+        Arc::clone(&trace) as SharedCollector,
+        Arc::clone(&summary) as SharedCollector,
+    ]));
+    let items: Vec<u32> = (0..sessions).collect();
+    sweep(items, threads, |i, _| {
+        let mut config = SessionConfig::bob();
+        config.net_seed = 0xBEEF + i as u64 * 0x101;
+        config.llm_seed = 0xB0B + i as u64;
+        let mut session = engine.spawn_session_observed(config, Arc::clone(&sink), i as u32);
+        session.agent.train();
+        let _ = session.agent.self_learn(QUESTION);
+    });
+    (trace.render(), summary.snapshot())
+}
+
+#[test]
+fn traces_are_byte_identical_across_thread_counts() {
+    let (serial, serial_metrics) = run_observed_sweep(3, 1);
+    let (parallel, parallel_metrics) = run_observed_sweep(3, 4);
+    assert!(!serial.is_empty(), "the sweep must emit trace events");
+    assert_eq!(
+        serial, parallel,
+        "per-session traces must be invariant under the sweep thread count"
+    );
+    assert_eq!(serial_metrics, parallel_metrics);
+}
+
+#[test]
+fn traces_are_byte_identical_across_repeat_runs() {
+    let (first, first_metrics) = run_observed_sweep(2, 2);
+    let (second, second_metrics) = run_observed_sweep(2, 2);
+    assert_eq!(first, second, "same seeds must reproduce the same trace");
+    assert_eq!(first_metrics, second_metrics);
+    // And the trace parses back into the same summary every time.
+    let events = ira_obs::parse_jsonl(&first).expect("trace must parse");
+    let a = ira_obs::summarize_events(&events).render();
+    let b = ira_obs::summarize_events(&events).render();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn rollup_of_per_session_snapshots_is_order_invariant() {
+    let engine = Engine::new();
+    let snapshots: Vec<MetricsSnapshot> = sweep((0..3u32).collect(), 2, |i, _| {
+        let summary = Arc::new(SummaryCollector::new());
+        let mut config = SessionConfig::bob();
+        config.net_seed = 0xBEEF + i as u64;
+        let mut session = engine.spawn_session_observed(
+            config,
+            Arc::clone(&summary) as SharedCollector,
+            i as u32,
+        );
+        session.agent.train();
+        summary.snapshot()
+    });
+    let forward = metrics_rollup(snapshots.clone());
+    let reverse = metrics_rollup(snapshots.into_iter().rev());
+    assert_eq!(forward, reverse, "rollup must be commutative");
+    assert!(forward.counters.contains_key("cycle.start"));
+    assert!(forward.histograms.contains_key("fetch.ok"));
+    assert!(forward.gauges.contains_key("memory.entries"));
+}
+
+/// Disabled collector that panics if anything ever reaches it: proves
+/// the hot loop builds no events (and allocates no trace strings) when
+/// tracing is off.
+struct TripwireCollector;
+impl Collector for TripwireCollector {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, event: TraceEvent) {
+        panic!("disabled collector received {event:?}");
+    }
+}
+
+#[test]
+fn disabled_collector_costs_nothing_on_the_training_hot_loop() {
+    let engine = Engine::new();
+
+    // A full train + self-learn cycle with a disabled observer: the
+    // tripwire proves no event is ever built on the disabled path.
+    let mut observed =
+        engine.spawn_session_observed(SessionConfig::bob(), Arc::new(TripwireCollector), 0);
+    let mut observed_report = observed.agent.train();
+    let observed_learning = observed.agent.self_learn(QUESTION);
+
+    // And the run is byte-identical to a plain unobserved session.
+    let mut plain = engine.spawn_session(SessionConfig::bob());
+    let mut plain_report = plain.agent.train();
+    let plain_learning = plain.agent.self_learn(QUESTION);
+
+    observed_report.host_elapsed_us = 0;
+    plain_report.host_elapsed_us = 0;
+    assert_eq!(
+        serde_json::to_string(&observed_report).unwrap(),
+        serde_json::to_string(&plain_report).unwrap(),
+        "a disabled observer must not perturb the run"
+    );
+    assert_eq!(
+        observed_learning.final_confidence(),
+        plain_learning.final_confidence()
+    );
+    assert_eq!(observed.now_us(), plain.now_us());
+}

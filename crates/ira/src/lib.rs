@@ -1,0 +1,67 @@
+//! `ira`: the facade crate.
+//!
+//! One dependency pulling in the whole workspace, plus a [`prelude`]
+//! with the types nearly every experiment touches — so examples and
+//! bench binaries write
+//!
+//! ```rust
+//! use ira::prelude::*;
+//! ```
+//!
+//! instead of reaching into six `ira-*` crates by deep path. The
+//! individual crates remain available as modules ([`core`], [`engine`],
+//! [`evalkit`], [`obs`], …) for anything the prelude does not cover.
+
+pub use ira_agentmem as agentmem;
+pub use ira_autogpt as autogpt;
+pub use ira_core as core;
+pub use ira_engine as engine;
+pub use ira_evalkit as evalkit;
+pub use ira_obs as obs;
+pub use ira_services as services;
+pub use ira_simllm as simllm;
+pub use ira_simnet as simnet;
+pub use ira_webcorpus as webcorpus;
+pub use ira_worldmodel as worldmodel;
+
+/// The working set: spawn sessions, train agents, trace runs.
+pub mod prelude {
+    pub use ira_agentmem::{KnowledgeStore, StoreConfig};
+    pub use ira_autogpt::{AutoGptConfig, Budget};
+    pub use ira_core::{
+        AgentConfig, AgentConfigBuilder, Environment, FaultSpec, InferenceLatency,
+        LearningTrajectory, ResearchAgent, RoleDefinition, TrainingReport,
+    };
+    pub use ira_engine::{Engine, Session, SessionConfig};
+    pub use ira_evalkit::quiz::QuizBank;
+    pub use ira_evalkit::runner::{
+        evaluate_agent, evaluate_baseline, full_paper_run, metrics_rollup, sweep, EvalRun,
+    };
+    pub use ira_obs::{
+        Collector, CollectorExt, Fanout, JsonlCollector, MetricsSnapshot, NullCollector,
+        SharedCollector, SummaryCollector, TraceEvent,
+    };
+    pub use ira_services::{IraError, IraResult, ServiceError};
+    pub use ira_simnet::{ClientConfig, Duration, Instant};
+    pub use ira_webcorpus::CorpusConfig;
+    pub use ira_worldmodel::World;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_covers_the_working_set() {
+        let engine = Engine::new();
+        let config = AgentConfig::builder()
+            .confidence_threshold(7)
+            .build()
+            .unwrap();
+        let mut session_config = SessionConfig::bob();
+        session_config.agent = config;
+        let session = engine.spawn_session(session_config);
+        assert_eq!(session.now_us(), 0);
+        let _: SharedCollector = std::sync::Arc::new(NullCollector);
+    }
+}

@@ -1,0 +1,187 @@
+//! The trace event: one structured record on the virtual timeline.
+//!
+//! Every event carries the **virtual** timestamp of the session that
+//! produced it — never host wall time — so a trace is a pure function
+//! of the run's seeds. Events from different sessions are kept apart by
+//! the `session` index, which is what makes parallel sweeps replayable:
+//! each session's event stream is produced by exactly one thread, so
+//! per-session ordering is deterministic regardless of how sessions
+//! interleave on the host.
+
+use serde::{Deserialize, Serialize};
+
+/// Canonical stage names used across the workspace. Using shared
+/// constants keeps trace files and metric keys grep-able and stops the
+/// per-crate wiring from inventing divergent spellings.
+pub mod stage {
+    /// Session lifecycle (the per-session span root).
+    pub const SESSION: &str = "session";
+    /// One Auto-GPT command cycle / training goal.
+    pub const CYCLE: &str = "cycle";
+    /// Search-engine queries.
+    pub const SEARCH: &str = "search";
+    /// Page fetches (client round trips).
+    pub const FETCH: &str = "fetch";
+    /// Language-model calls.
+    pub const LLM: &str = "llm";
+    /// Knowledge-memory writes and growth.
+    pub const MEMORY: &str = "memory";
+    /// Network client internals: cache, retries.
+    pub const NET: &str = "net";
+    /// Circuit-breaker state machine.
+    pub const BREAKER: &str = "breaker";
+    /// Knowledge-test verdicts (self-learning rounds).
+    pub const VERDICT: &str = "verdict";
+}
+
+/// How an event's `value` field is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventClass {
+    /// A countable occurrence; `value` is a free payload (often 0).
+    Point,
+    /// A completed span; `at_us` is the start, `value` the duration in
+    /// virtual microseconds.
+    Span,
+    /// A level sample; `value` is the level. Summaries keep the
+    /// high-watermark, which merges commutatively across threads.
+    Gauge,
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Session index within the run (0 for serial runs).
+    pub session: u32,
+    /// Virtual timestamp, microseconds (span start for spans).
+    pub at_us: u64,
+    pub class: EventClass,
+    /// Pipeline stage (see [`stage`]).
+    pub stage: String,
+    /// Event name within the stage, e.g. `fetch.ok`.
+    pub name: String,
+    /// Free-form detail: command text, host, URL, verdict.
+    pub detail: String,
+    /// Span duration (µs), gauge level, or point payload.
+    pub value: u64,
+}
+
+impl TraceEvent {
+    pub fn point(
+        session: u32,
+        at_us: u64,
+        stage: &str,
+        name: &str,
+        detail: impl Into<String>,
+    ) -> Self {
+        TraceEvent {
+            session,
+            at_us,
+            class: EventClass::Point,
+            stage: stage.to_string(),
+            name: name.to_string(),
+            detail: detail.into(),
+            value: 0,
+        }
+    }
+
+    pub fn span(
+        session: u32,
+        start_us: u64,
+        stage: &str,
+        name: &str,
+        detail: impl Into<String>,
+        dur_us: u64,
+    ) -> Self {
+        TraceEvent {
+            session,
+            at_us: start_us,
+            class: EventClass::Span,
+            stage: stage.to_string(),
+            name: name.to_string(),
+            detail: detail.into(),
+            value: dur_us,
+        }
+    }
+
+    pub fn gauge(session: u32, at_us: u64, stage: &str, name: &str, level: u64) -> Self {
+        TraceEvent {
+            session,
+            at_us,
+            class: EventClass::Gauge,
+            stage: stage.to_string(),
+            name: name.to_string(),
+            detail: String::new(),
+            value: level,
+        }
+    }
+
+    /// The metric key this event aggregates under: `stage.name`.
+    pub fn metric_key(&self) -> String {
+        format!("{}.{}", self.stage, self.name)
+    }
+
+    /// One JSONL line (no trailing newline). Fields serialize in a
+    /// fixed (alphabetical) order, so the rendering is
+    /// byte-deterministic.
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("trace event serializes")
+    }
+}
+
+/// Parse a JSONL trace document (one event per non-empty line).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev: TraceEvent = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not a trace event: {e}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips() {
+        let ev = TraceEvent::span(2, 1_500, stage::FETCH, "ok", "sim://a.test/x", 730);
+        let line = ev.to_jsonl();
+        let back = parse_jsonl(&line).unwrap();
+        assert_eq!(back, vec![ev]);
+    }
+
+    #[test]
+    fn jsonl_rendering_is_stable() {
+        let ev = TraceEvent::point(0, 42, stage::SEARCH, "issued", "q=solar storms");
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"at_us":42,"class":"Point","detail":"q=solar storms","name":"issued","session":0,"stage":"search","value":0}"#
+        );
+    }
+
+    #[test]
+    fn parse_reports_the_bad_line() {
+        let good = TraceEvent::gauge(0, 1, stage::MEMORY, "entries", 9).to_jsonl();
+        let doc = format!("{good}\nnot json\n");
+        let err = parse_jsonl(&doc).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn metric_key_joins_stage_and_name() {
+        let ev = TraceEvent::point(0, 0, stage::NET, "cache_hit", "");
+        assert_eq!(ev.metric_key(), "net.cache_hit");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let ev = TraceEvent::point(1, 7, stage::CYCLE, "start", "goal");
+        let doc = format!("\n{}\n\n", ev.to_jsonl());
+        assert_eq!(parse_jsonl(&doc).unwrap().len(), 1);
+    }
+}

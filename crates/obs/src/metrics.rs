@@ -1,0 +1,265 @@
+//! Deterministic metrics: counters, high-watermark gauges, and
+//! virtual-time histograms with fixed bucket boundaries.
+//!
+//! Everything here is keyed by `String` in `BTreeMap`s so snapshots
+//! serialize and render in a stable order, and every aggregation is
+//! commutative (sums and maxima) so merging per-session snapshots in
+//! any order — or recording from any number of threads — yields the
+//! same result.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Fixed histogram bucket upper bounds, in virtual microseconds.
+/// Chosen to straddle the simnet latency scales: sub-millisecond cache
+/// hits up through multi-second retry storms.
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// A fixed-bucket histogram over virtual-time durations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// One count per entry in [`LATENCY_BUCKETS_US`], plus a final
+    /// overflow bucket.
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum_us: u64,
+    pub max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; LATENCY_BUCKETS_US.len() + 1],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn observe(&mut self, dur_us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| dur_us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_us += dur_us;
+        self.max_us = self.max_us.max(dur_us);
+    }
+
+    /// Merge another histogram into this one (commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (slot, add) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += add;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Mean duration in µs, rounded down; 0 when empty.
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Thread-safe registry backing the [`SummaryCollector`].
+///
+/// [`SummaryCollector`]: crate::collector::SummaryCollector
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn incr(&self, key: &str, by: u64) {
+        *self.counters.lock().entry(key.to_string()).or_insert(0) += by;
+    }
+
+    /// Record a gauge sample, keeping the high-watermark.
+    pub fn gauge_max(&self, key: &str, level: u64) {
+        let mut gauges = self.gauges.lock();
+        let slot = gauges.entry(key.to_string()).or_insert(0);
+        *slot = (*slot).max(level);
+    }
+
+    pub fn observe_us(&self, key: &str, dur_us: u64) {
+        self.histograms
+            .lock()
+            .entry(key.to_string())
+            .or_default()
+            .observe(dur_us);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().clone(),
+            gauges: self.gauges.lock().clone(),
+            histograms: self.histograms.lock().clone(),
+        }
+    }
+}
+
+/// An immutable, serializable view of a registry. Snapshots from
+/// different sessions merge commutatively.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another snapshot into this one: counters add, gauges keep
+    /// the max, histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (key, add) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += add;
+        }
+        for (key, level) in &other.gauges {
+            let slot = self.gauges.entry(key.clone()).or_insert(0);
+            *slot = (*slot).max(*level);
+        }
+        for (key, hist) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// Render a deterministic fixed-width table: counters, then
+    /// gauges, then histogram summaries, each section key-sorted.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            out.push_str(&format!("  {:<40} {:>12}\n", "key", "count"));
+            for (key, value) in &self.counters {
+                out.push_str(&format!("  {key:<40} {value:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges (high-watermark)\n");
+            out.push_str(&format!("  {:<40} {:>12}\n", "key", "max"));
+            for (key, value) in &self.gauges {
+                out.push_str(&format!("  {key:<40} {value:>12}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("latency (virtual µs)\n");
+            out.push_str(&format!(
+                "  {:<40} {:>8} {:>10} {:>10} {:>12}\n",
+                "key", "count", "mean_us", "max_us", "sum_us"
+            ));
+            for (key, hist) in &self.histograms {
+                out.push_str(&format!(
+                    "  {key:<40} {:>8} {:>10} {:>10} {:>12}\n",
+                    hist.count,
+                    hist.mean_us(),
+                    hist.max_us,
+                    hist.sum_us
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut hist = Histogram::default();
+        hist.observe(50); // bucket 0 (<=100)
+        hist.observe(100); // bucket 0 boundary is inclusive
+        hist.observe(101); // bucket 1
+        hist.observe(2_000_000); // overflow
+        assert_eq!(hist.counts[0], 2);
+        assert_eq!(hist.counts[1], 1);
+        assert_eq!(hist.counts[LATENCY_BUCKETS_US.len()], 1);
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.max_us, 2_000_000);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("x".into(), 2);
+        a.gauges.insert("g".into(), 5);
+        let mut ha = Histogram::default();
+        ha.observe(300);
+        a.histograms.insert("h".into(), ha);
+
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("x".into(), 3);
+        b.counters.insert("y".into(), 1);
+        b.gauges.insert("g".into(), 4);
+        let mut hb = Histogram::default();
+        hb.observe(900);
+        b.histograms.insert("h".into(), hb);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counters.get("x"), Some(&5));
+        assert_eq!(ab.gauges.get("g"), Some(&5));
+        assert_eq!(ab.histograms.get("h").unwrap().count, 2);
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.incr("llm.call", 3);
+        reg.gauge_max("memory.entries", 12);
+        reg.observe_us("fetch.ok", 750);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.incr("z.last", 1);
+        reg.incr("a.first", 2);
+        reg.observe_us("fetch.ok", 500);
+        let snap = reg.snapshot();
+        let r1 = snap.render();
+        let r2 = snap.render();
+        assert_eq!(r1, r2);
+        let a_pos = r1.find("a.first").unwrap();
+        let z_pos = r1.find("z.last").unwrap();
+        assert!(a_pos < z_pos);
+        assert!(r1.contains("latency (virtual µs)"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        assert_eq!(
+            MetricsSnapshot::default().render(),
+            "(no metrics recorded)\n"
+        );
+    }
+}

@@ -1,6 +1,85 @@
-//! Error type shared by the web-facing service traits.
+//! Error types: the [`ServiceError`] the web-facing traits surface,
+//! and the workspace-wide [`IraError`] every per-crate error converts
+//! into.
 
 use thiserror::Error;
+
+/// Result alias over the workspace error.
+pub type IraResult<T> = Result<T, IraError>;
+
+/// The workspace-level error: every per-crate error (`NetError`,
+/// `StoreError`, `ServiceError`, io/json failures) converts into it via
+/// `?`, and [`IraError::kind`] gives a stable machine-readable code for
+/// programmatic handling (exit codes, metrics labels) that does not
+/// depend on `Display` text.
+#[derive(Debug, Error)]
+pub enum IraError {
+    /// A search/fetch service call failed.
+    #[error("{0}")]
+    Service(#[from] ServiceError),
+
+    /// The simulated network reported a failure.
+    #[error("{0}")]
+    Net(#[from] ira_simnet::NetError),
+
+    /// The knowledge store could not be loaded or persisted.
+    #[error("{0}")]
+    Store(#[from] ira_agentmem::store::StoreError),
+
+    /// Host filesystem failure outside the knowledge store.
+    #[error("io error: {0}")]
+    Io(#[from] std::io::Error),
+
+    /// JSON (de)serialization failure outside the knowledge store.
+    #[error("json error: {0}")]
+    Json(#[from] serde_json::Error),
+
+    /// A configuration value failed validation (builder `build()`).
+    #[error("invalid configuration: {0}")]
+    Config(String),
+
+    /// User-supplied input (CLI arguments, trace files) failed to parse.
+    #[error("parse error: {0}")]
+    Parse(String),
+}
+
+impl IraError {
+    /// Build a configuration-validation error.
+    pub fn config(message: impl Into<String>) -> Self {
+        IraError::Config(message.into())
+    }
+
+    /// Build a user-input parse error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        IraError::Parse(message.into())
+    }
+
+    /// Stable machine-readable code for this error. Codes are part of
+    /// the public API: match on these, not on `Display` output.
+    pub fn kind(&self) -> &'static str {
+        use ira_simnet::NetError;
+        match self {
+            IraError::Service(e) if e.is_source_unavailable() => "service.unavailable",
+            IraError::Service(_) => "service.transport",
+            IraError::Net(e) => match e {
+                NetError::InvalidUrl(_) => "net.invalid_url",
+                NetError::HostNotFound(_) => "net.host_not_found",
+                NetError::Timeout { .. } => "net.timeout",
+                NetError::ConnectionReset { .. } => "net.connection_reset",
+                NetError::RateLimited { .. } => "net.rate_limited",
+                NetError::RetriesExhausted { .. } => "net.retries_exhausted",
+                NetError::HttpStatus { .. } => "net.http_status",
+                NetError::BodyNotText { .. } => "net.body_not_text",
+                NetError::CircuitOpen { .. } => "net.circuit_open",
+            },
+            IraError::Store(_) => "store",
+            IraError::Io(_) => "io",
+            IraError::Json(_) => "json",
+            IraError::Config(_) => "config",
+            IraError::Parse(_) => "parse",
+        }
+    }
+}
 
 /// Failure of a search or fetch call, classified the way the agent
 /// loop reacts to it: an unavailable source is *rerouted around*
@@ -38,6 +117,74 @@ mod tests {
         }
         .is_source_unavailable());
         assert!(!ServiceError::Transport("boom".into()).is_source_unavailable());
+    }
+
+    #[test]
+    fn ira_error_converts_from_every_layer() {
+        let from_net: IraError = ira_simnet::NetError::HostNotFound("x.test".into()).into();
+        assert_eq!(from_net.kind(), "net.host_not_found");
+
+        let from_service: IraError = ServiceError::SourceUnavailable {
+            host: "a.test".into(),
+        }
+        .into();
+        assert_eq!(from_service.kind(), "service.unavailable");
+
+        let from_io: IraError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert_eq!(from_io.kind(), "io");
+
+        let from_json: IraError = serde_json::from_str::<u32>("not json").unwrap_err().into();
+        assert_eq!(from_json.kind(), "json");
+
+        assert_eq!(IraError::config("threshold out of range").kind(), "config");
+        assert_eq!(IraError::parse("bad flag").kind(), "parse");
+    }
+
+    #[test]
+    fn question_mark_conversion_compiles() {
+        fn load(path: &std::path::Path) -> IraResult<String> {
+            Ok(std::fs::read_to_string(path)?)
+        }
+        assert_eq!(
+            load(std::path::Path::new("/definitely/not/here"))
+                .unwrap_err()
+                .kind(),
+            "io"
+        );
+    }
+
+    #[test]
+    fn net_kinds_are_stable_codes() {
+        use ira_simnet::{Duration, NetError};
+        let cases: Vec<(IraError, &str)> = vec![
+            (
+                NetError::Timeout {
+                    host: "a".into(),
+                    elapsed: Duration::from_millis(5),
+                }
+                .into(),
+                "net.timeout",
+            ),
+            (
+                NetError::CircuitOpen {
+                    host: "a".into(),
+                    retry_in: Duration::from_secs(1),
+                }
+                .into(),
+                "net.circuit_open",
+            ),
+            (
+                NetError::RetriesExhausted {
+                    attempts: 3,
+                    last: Box::new(NetError::ConnectionReset { host: "a".into() }),
+                }
+                .into(),
+                "net.retries_exhausted",
+            ),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+        }
     }
 
     #[test]

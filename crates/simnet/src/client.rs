@@ -12,6 +12,7 @@ use crate::error::{NetError, NetResult};
 use crate::retry::RetryPolicy;
 use crate::server::{Network, Request, Response};
 use crate::url::Url;
+use ira_obs::{stage, CollectorExt, SharedCollector, TraceEvent};
 use parking_lot::Mutex;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -69,6 +70,8 @@ pub struct Client {
     breakers: Arc<Mutex<HashMap<String, CircuitBreaker>>>,
     retry_rng: Arc<Mutex<ChaCha8Rng>>,
     id: u64,
+    obs: SharedCollector,
+    obs_session: u32,
 }
 
 impl Client {
@@ -84,7 +87,24 @@ impl Client {
             retry_rng: Arc::new(Mutex::new(config.retry.backoff.jitter_rng())),
             config,
             id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
+            obs: ira_obs::null_collector(),
+            obs_session: 0,
         }
+    }
+
+    /// Attach a trace collector; subsequent requests emit cache,
+    /// retry, breaker, and fetch-latency events tagged with `session`.
+    /// Set this *before* cloning the client into agent layers so every
+    /// clone shares the sink.
+    pub fn set_observer(&mut self, sink: SharedCollector, session: u32) {
+        self.obs = sink;
+        self.obs_session = session;
+    }
+
+    /// The collector currently attached (the shared null collector by
+    /// default) and the session id requests are tagged with.
+    pub fn observer(&self) -> (SharedCollector, u32) {
+        (Arc::clone(&self.obs), self.obs_session)
     }
 
     /// (cache hits, cache misses) so far.
@@ -160,13 +180,32 @@ impl Client {
     fn fetch_one(&self, url: &Url) -> NetResult<Response> {
         let key = url.to_string();
         if let Some(cached) = self.cache.lock().get(&key, self.net.clock().now()) {
+            self.obs.emit(|| {
+                TraceEvent::point(
+                    self.obs_session,
+                    self.net.clock().now().as_micros(),
+                    stage::NET,
+                    "cache_hit",
+                    key.as_str(),
+                )
+            });
             return Ok(cached);
         }
+        self.obs.emit(|| {
+            TraceEvent::point(
+                self.obs_session,
+                self.net.clock().now().as_micros(),
+                stage::NET,
+                "cache_miss",
+                key.as_str(),
+            )
+        });
         let req = Request {
             url: url.clone(),
             client_id: self.id,
         };
         let host = url.host().to_string();
+        let fetch_start = self.net.clock().now();
         let mut attempt: u32 = 0;
         loop {
             if let Some(breaker_cfg) = self.config.breaker {
@@ -175,9 +214,18 @@ impl Client {
                 let breaker = breakers
                     .entry(host.clone())
                     .or_insert_with(|| CircuitBreaker::new(breaker_cfg));
+                let before = breaker.state();
                 if !breaker.allow(now) {
                     let retry_in = breaker.retry_in(now);
+                    drop(breakers);
+                    self.emit_breaker(&host, "fast_fail", now.as_micros());
+                    self.emit_fetch_span(&key, "err", fetch_start);
                     return Err(NetError::CircuitOpen { host, retry_in });
+                }
+                let after = breaker.state();
+                drop(breakers);
+                if before == BreakerState::Open && after == BreakerState::HalfOpen {
+                    self.emit_breaker(&host, "half_open", now.as_micros());
                 }
             }
 
@@ -197,13 +245,26 @@ impl Client {
             let err = match result {
                 Ok(resp) => {
                     if self.config.breaker.is_some() {
-                        if let Some(b) = self.breakers.lock().get_mut(&host) {
+                        let mut breakers = self.breakers.lock();
+                        if let Some(b) = breakers.get_mut(&host) {
+                            let before = b.state();
                             b.record_success();
+                            let reclosed = before == BreakerState::HalfOpen
+                                && b.state() == BreakerState::Closed;
+                            drop(breakers);
+                            if reclosed {
+                                self.emit_breaker(
+                                    &host,
+                                    "reclosed",
+                                    self.net.clock().now().as_micros(),
+                                );
+                            }
                         }
                     }
                     self.cache
                         .lock()
                         .put(&key, resp.clone(), self.net.clock().now());
+                    self.emit_fetch_span(&key, "ok", fetch_start);
                     return Ok(resp);
                 }
                 Err(err) => err,
@@ -211,17 +272,36 @@ impl Client {
 
             if self.config.breaker.is_some() {
                 let now = self.net.clock().now();
-                if let Some(b) = self.breakers.lock().get_mut(&host) {
+                let mut breakers = self.breakers.lock();
+                if let Some(b) = breakers.get_mut(&host) {
+                    let before = b.state();
                     b.record_failure(FailureClass::of(&err), now);
+                    let opened = before != BreakerState::Open && b.state() == BreakerState::Open;
+                    drop(breakers);
+                    if opened {
+                        self.emit_breaker(&host, "open", now.as_micros());
+                    }
                 }
             }
 
             match self.next_delay(attempt, &err) {
                 Some(delay) => {
+                    let wait_start = self.net.clock().now();
                     self.net.clock().advance(delay);
+                    self.obs.emit(|| {
+                        TraceEvent::span(
+                            self.obs_session,
+                            wait_start.as_micros(),
+                            stage::NET,
+                            "retry_wait",
+                            host.as_str(),
+                            delay.as_micros(),
+                        )
+                    });
                     attempt += 1;
                 }
                 None => {
+                    self.emit_fetch_span(&key, "err", fetch_start);
                     return Err(if attempt > 0 {
                         NetError::RetriesExhausted {
                             attempts: attempt + 1,
@@ -233,6 +313,28 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// Emit a breaker state-transition point event.
+    fn emit_breaker(&self, host: &str, what: &'static str, at_us: u64) {
+        self.obs
+            .emit(|| TraceEvent::point(self.obs_session, at_us, stage::BREAKER, what, host));
+    }
+
+    /// Emit the whole-request fetch span (retries included) charged in
+    /// virtual time.
+    fn emit_fetch_span(&self, key: &str, outcome: &'static str, started: crate::clock::Instant) {
+        self.obs.emit(|| {
+            let now = self.net.clock().now();
+            TraceEvent::span(
+                self.obs_session,
+                started.as_micros(),
+                stage::FETCH,
+                outcome,
+                key,
+                now.duration_since(started).as_micros(),
+            )
+        });
     }
 
     /// Decide the wait before the next retry, applying seeded jitter
@@ -593,6 +695,43 @@ mod tests {
         let m = metrics[0].1;
         assert_eq!((m.opened, m.half_opened, m.reclosed), (1, 1, 1));
         assert!(m.fast_failures >= 1);
+    }
+
+    #[test]
+    fn observer_traces_cache_fetch_and_breaker_events() {
+        use ira_obs::{EventClass, JsonlCollector};
+
+        let mut net = Network::new(NetworkConfig::default(), 17);
+        net.register_with("dead.test", ok_host(), cfg(1.0));
+        net.register_with("ok.test", ok_host(), cfg(0.0));
+        let mut client = breaker_client(net, 2, Duration::from_secs(60));
+        let sink = Arc::new(JsonlCollector::new());
+        client.set_observer(sink.clone(), 7);
+
+        client.get("sim://ok.test/page").unwrap();
+        client.get("sim://ok.test/page").unwrap(); // cache hit
+        for _ in 0..2 {
+            let _ = client.get("sim://dead.test/"); // trips the breaker
+        }
+        let _ = client.get("sim://dead.test/"); // fast failure
+
+        let events = sink.events();
+        assert!(events.iter().all(|e| e.session == 7));
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"cache_hit"));
+        assert!(names.contains(&"cache_miss"));
+        assert!(names.contains(&"open"));
+        assert!(names.contains(&"fast_fail"));
+        let ok_span = events
+            .iter()
+            .find(|e| e.stage == stage::FETCH && e.name == "ok")
+            .expect("fetch ok span");
+        assert_eq!(ok_span.class, EventClass::Span);
+        assert!(ok_span.value > 0, "fetch span must charge virtual time");
+        // Disabled by default: a fresh client with the null collector
+        // reports disabled and drops everything.
+        let plain = Client::new(Arc::clone(client.network()));
+        assert!(!plain.observer().0.enabled());
     }
 
     #[test]

@@ -7,12 +7,10 @@
 //! cargo run -p ira-bench --example incident_drill
 //! ```
 
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::report::markdown_report;
-use ira_evalkit::runner::{evaluate_agent, evaluate_baseline};
-use ira_simllm::Llm;
-use ira_worldmodel::bgp::{AsKind, RoutingSystem};
+use ira::evalkit::report::markdown_report;
+use ira::prelude::*;
+use ira::simllm::Llm;
+use ira::worldmodel::bgp::{AsKind, RoutingSystem};
 
 fn main() {
     // --- Phase 1: the incident, mechanically.

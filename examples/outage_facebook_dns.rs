@@ -11,7 +11,7 @@
 //! cargo run -p ira-bench --example outage_facebook_dns
 //! ```
 
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira::prelude::*;
 
 fn main() {
     let env = Environment::standard();

@@ -5,7 +5,7 @@
 //! cargo run -p ira-bench --example quickstart
 //! ```
 
-use ira_core::{Environment, ResearchAgent};
+use ira::prelude::*;
 
 fn main() {
     // 1. The environment: ground-truth world model -> synthetic web

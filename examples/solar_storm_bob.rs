@@ -9,13 +9,10 @@
 //! cargo run -p ira-bench --example solar_storm_bob
 //! ```
 
-use ira_agentmem::KnowledgeStore;
-use ira_autogpt::{AutoGpt, AutoGptConfig, Budget};
-use ira_core::{Environment, ResearchAgent, RoleDefinition};
-use ira_evalkit::plancov::PlanCoverage;
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::runner::evaluate_agent;
-use ira_simllm::Llm;
+use ira::autogpt::AutoGpt;
+use ira::evalkit::plancov::PlanCoverage;
+use ira::prelude::*;
+use ira::simllm::Llm;
 
 fn main() {
     let env = Environment::standard();

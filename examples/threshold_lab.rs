@@ -6,7 +6,7 @@
 //! cargo run -p ira-bench --example threshold_lab
 //! ```
 
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
+use ira::prelude::*;
 
 const QUESTIONS: [&str; 2] = [
     "Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil \

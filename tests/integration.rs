@@ -1,11 +1,8 @@
 //! Cross-crate integration tests: the full pipeline from ground-truth
 //! world to scored evaluation, exercised end to end.
 
-use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_evalkit::quiz::QuizBank;
-use ira_evalkit::runner::{evaluate_agent, evaluate_baseline};
-use ira_simllm::Llm;
-use ira_webcorpus::CorpusConfig;
+use ira::prelude::*;
+use ira::simllm::Llm;
 
 const CABLE_Q: &str = "Which is more vulnerable to solar activity? The fiber optic cable that \
                        connects Brazil to Europe or the one that connects the US to Europe?";
@@ -88,7 +85,7 @@ fn knowledge_json_round_trips_through_a_real_agent() {
     bob.train();
     let json = bob.memory().to_json();
     assert!(json.contains("source_url"));
-    let restored = ira_agentmem::KnowledgeStore::from_json(&json).unwrap();
+    let restored = ira::agentmem::KnowledgeStore::from_json(&json).unwrap();
     assert_eq!(restored.len(), bob.memory().len());
     // Retrieval over the restored store behaves identically.
     let q = "solar superstorm coronal mass ejection";
@@ -99,13 +96,14 @@ fn knowledge_json_round_trips_through_a_real_agent() {
 
 #[test]
 fn bigger_distractor_load_does_not_break_learning() {
-    let env = Environment::build(
+    let corpus = std::sync::Arc::new(ira::webcorpus::Corpus::generate(
+        &World::standard(),
         CorpusConfig {
             seed: 0xC0FFEE,
             distractor_count: 600,
         },
-        0xBEEF,
-    );
+    ));
+    let env = Environment::from_parts(World::standard(), corpus, 0xBEEF, None);
     let mut bob = ResearchAgent::bob(&env);
     bob.train();
     let t = bob.self_learn(CABLE_Q);
@@ -184,7 +182,7 @@ fn incident_investigation_matches_all_four_conclusions() {
 
 #[test]
 fn poisoning_degrades_confidence_but_never_flips_the_verdict() {
-    use ira_evalkit::poison::PoisonCampaign;
+    use ira::evalkit::poison::PoisonCampaign;
     let env = Environment::standard();
     let mut bob = ResearchAgent::bob(&env);
     bob.train();
@@ -218,8 +216,8 @@ fn poisoning_degrades_confidence_but_never_flips_the_verdict() {
 
 #[test]
 fn markdown_report_renders_a_full_run() {
-    use ira_evalkit::report::markdown_report;
-    use ira_evalkit::runner::full_paper_run;
+    use ira::evalkit::report::markdown_report;
+    use ira::evalkit::runner::full_paper_run;
     let env = Environment::standard();
     let (run, baseline) = full_paper_run(&env);
     let md = markdown_report("Investigation report: solar superstorms", &run, &baseline);
@@ -236,13 +234,13 @@ fn agent_survives_a_hostile_network() {
     // Failure injection: wrap the standard corpus in a network with a
     // heavy loss rate. Retries absorb transient failures; the agent
     // still learns, and errors are accounted rather than fatal.
-    use ira_simnet::latency::LatencyModel;
-    use ira_simnet::ratelimit::TokenBucket;
-    use ira_simnet::server::{HostConfig, Network, NetworkConfig};
-    use ira_webcorpus::{register_sites, Corpus};
+    use ira::simnet::latency::LatencyModel;
+    use ira::simnet::ratelimit::TokenBucket;
+    use ira::simnet::server::{HostConfig, Network, NetworkConfig};
+    use ira::webcorpus::{register_sites, Corpus};
     use std::sync::Arc;
 
-    let world = ira_worldmodel::World::standard();
+    let world = World::standard();
     let corpus = Arc::new(Corpus::generate(&world, CorpusConfig::default()));
     let mut net = Network::new(
         NetworkConfig {
@@ -262,16 +260,16 @@ fn agent_survives_a_hostile_network() {
     for host in hosts {
         // Re-registering replaces the slot with the lossy default.
         let corpus = Arc::clone(&corpus);
-        if host == ira_webcorpus::SEARCH_HOST {
+        if host == ira::webcorpus::SEARCH_HOST {
             continue; // keep the search engine functional
         }
         let host_static: &'static str = Box::leak(host.clone().into_boxed_str());
         net.register_with(
             &host,
-            Arc::new(move |req: &ira_simnet::server::Request| {
+            Arc::new(move |req: &ira::simnet::server::Request| {
                 match corpus.doc_by_host_path(host_static, req.url.path()) {
-                    Some(doc) => ira_simnet::server::Response::ok(doc.full_text()),
-                    None => ira_simnet::server::Response::not_found(),
+                    Some(doc) => ira::simnet::server::Response::ok(doc.full_text()),
+                    None => ira::simnet::server::Response::not_found(),
                 }
             }),
             HostConfig {
@@ -284,7 +282,7 @@ fn agent_survives_a_hostile_network() {
         );
     }
 
-    let client = ira_simnet::Client::new(Arc::new(net));
+    let client = ira::simnet::Client::new(Arc::new(net));
     let env = Environment {
         world,
         corpus,
@@ -309,13 +307,14 @@ fn flagship_trajectory_holds_across_seeds() {
     // A compressed X11: four distinct corpus/network seeds must all
     // reach the correct verdict at high confidence.
     for seed in [0x5EEDu64, 0x60EF, 0x62F1, 0x67F6] {
-        let env = Environment::build(
+        let corpus = std::sync::Arc::new(ira::webcorpus::Corpus::generate(
+            &World::standard(),
             CorpusConfig {
                 seed,
                 distractor_count: 150,
             },
-            seed ^ 0xBEEF,
-        );
+        ));
+        let env = Environment::from_parts(World::standard(), corpus, seed ^ 0xBEEF, None);
         let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, AgentConfig::default(), seed);
         bob.train();
         let t = bob.self_learn(CABLE_Q);
