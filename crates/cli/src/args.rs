@@ -141,7 +141,34 @@ COMMANDS:
                                           per-stage latency/count table
     audit       Integrity-check the built-in databases
     help        Show this message
+
+GLOBAL OPTIONS:
+    --opstats   After the command, print the deterministic virtual-op
+                counters (characters tokenized, cache hits, documents
+                scanned) to stderr — the counters behind the
+                p1_hotpath perf baseline
 ";
+
+/// Strip the global `--opstats` flag from an argument list. Returns
+/// the remaining arguments and whether the flag was present. Global
+/// flags are removed before command parsing so they never collide with
+/// positionals.
+pub fn split_opstats(args: &[String]) -> (Vec<String>, bool) {
+    let mut present = false;
+    let rest = args
+        .iter()
+        .filter(|a| {
+            if *a == "--opstats" {
+                present = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, present)
+}
 
 /// Parse `args` (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
@@ -551,6 +578,26 @@ mod tests {
             }),
             Ok("what is a CME?".to_string())
         );
+    }
+
+    #[test]
+    fn opstats_is_stripped_before_parsing() {
+        let argv: Vec<String> = ["ask", "--opstats", "what is a CME?"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, opstats) = split_opstats(&argv);
+        assert!(opstats);
+        assert_eq!(
+            parse(&rest),
+            Ok(Command::Ask {
+                knowledge: "knowledge.json".into(),
+                question: "what is a CME?".into()
+            })
+        );
+        let (rest, opstats) = split_opstats(&rest);
+        assert!(!opstats);
+        assert_eq!(rest.len(), 2);
     }
 
     #[test]

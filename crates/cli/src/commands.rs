@@ -755,6 +755,29 @@ fn simulate(what: SimChoice) -> i32 {
     0
 }
 
+/// Print the deterministic virtual-op counters (the `--opstats` global
+/// flag) to stderr, so stdout stays the command's own report. Counters
+/// are process-wide totals since program start.
+pub fn print_opstats() {
+    let llm = ira_simllm::lexicon::ops::snapshot();
+    let lookups = ira_webcorpus::index::opstats::snapshot();
+    eprintln!("[opstats] tokenize_chars={}", llm.tokenize_chars);
+    eprintln!("[opstats] absorb_calls={}", llm.absorb_calls);
+    eprintln!("[opstats] classify_calls={}", llm.classify_calls);
+    eprintln!(
+        "[opstats] extract_cache hits={} misses={}",
+        llm.extract_hits, llm.extract_misses
+    );
+    eprintln!(
+        "[opstats] answer_cache hits={} misses={}",
+        llm.answer_hits, llm.answer_misses
+    );
+    eprintln!(
+        "[opstats] corpus_lookups={} docs_scanned={}",
+        lookups.lookup_calls, lookups.docs_scanned
+    );
+}
+
 fn audit_cmd() -> i32 {
     let world = ira_worldmodel::World::standard();
     let report = ira_worldmodel::audit(&world);

@@ -5,8 +5,15 @@ use ira_cli::{args, commands};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (argv, opstats) = args::split_opstats(&argv);
     let code = match args::parse(&argv) {
-        Ok(cmd) => commands::run(cmd),
+        Ok(cmd) => {
+            let code = commands::run(cmd);
+            if opstats {
+                commands::print_opstats();
+            }
+            code
+        }
         Err(err) => {
             eprintln!("error: {err}");
             eprintln!("run `ira help` for usage");

@@ -148,6 +148,7 @@ impl ResearchAgent {
     ) -> Self {
         let mut agent = ResearchAgent::new(role, env, config, seed);
         agent.memory = memory;
+        agent.llm.invalidate_grounding();
         agent
     }
 
@@ -217,6 +218,7 @@ impl ResearchAgent {
             if ckpt.role_name == self.role.name {
                 if let Ok(memory) = KnowledgeStore::from_json(&ckpt.memory) {
                     self.memory = memory;
+                    self.llm.invalidate_grounding();
                     per_goal = ckpt.per_goal;
                     completed = ckpt.completed;
                     let now = self.now_us();
@@ -267,6 +269,9 @@ impl ResearchAgent {
             loop_.attach_observer(Arc::clone(&self.obs), self.obs_session);
         }
         let report = loop_.run_goal(goal);
+        // The goal loop memorized new pages: retrieval for a repeated
+        // question may now surface different chunks.
+        self.llm.invalidate_grounding();
         self.stages.retrieval_virtual_us += self.now_us() - virtual_start;
         self.stages.retrieval_host_us += host.elapsed_us();
         self.stages.retrieval_ops += 1;
@@ -451,6 +456,7 @@ impl ResearchAgent {
                 .map(|q| loop_.pursue_query(topic, q).memorized)
                 .sum()
         };
+        self.llm.invalidate_grounding();
         self.stages.retrieval_virtual_us += self.now_us() - virtual_start;
         self.stages.retrieval_host_us += host.elapsed_us();
         self.stages.retrieval_ops += queries.len() as u64;
@@ -553,6 +559,9 @@ impl ResearchAgent {
             {
                 stored += 1;
             }
+        }
+        if stored > 0 {
+            self.llm.invalidate_grounding();
         }
         stored
     }

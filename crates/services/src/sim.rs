@@ -42,6 +42,10 @@ impl LanguageModel for Llm {
     fn set_inference_hook(&self, hook: InferenceHook) {
         Llm::set_inference_hook(self, hook)
     }
+
+    fn invalidate_grounding(&self) {
+        Llm::invalidate_grounding(self)
+    }
 }
 
 /// Classify a network failure at the service boundary: a fast-failed

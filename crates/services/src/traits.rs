@@ -34,6 +34,11 @@ pub trait LanguageModel: Send + Sync {
 
     /// Install the inference-latency hook (see [`InferenceHook`]).
     fn set_inference_hook(&self, hook: InferenceHook);
+
+    /// Signal that the caller's knowledge store changed, so any
+    /// memoized grounded state the model holds may be stale. Models
+    /// without such state ignore this (the default).
+    fn invalidate_grounding(&self) {}
 }
 
 /// One search result, as the agent loop consumes it.

@@ -11,8 +11,9 @@
 //! found anywhere within a sentence — but strict about the fact shapes
 //! themselves, so distractor text never produces phantom facts.
 
+use crate::lexicon::{ops, Interner, Term};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// A general causal principle the model can pick up from explainer
 /// text. These carry the "why" of an answer; entity facts carry the
@@ -154,6 +155,8 @@ impl Extraction {
 
     /// Read more text into this extraction.
     pub fn absorb(&mut self, text: &str, subject_hint: Option<&str>) {
+        ops::absorb_call();
+        ops::tokenize_chars(text.len());
         let lower = text.to_lowercase();
         for p in Principle::ALL {
             if lower.contains(p.marker()) {
@@ -356,6 +359,261 @@ impl Extraction {
         } else {
             Some(values.iter().sum::<f64>() / values.len() as f64)
         }
+    }
+}
+
+/// One route endpoint with its normalization precomputed: the
+/// lowercase forms a question descriptor is compared against, plus the
+/// original-case region for [`place_region`] equality.
+///
+/// [`place_region`]: crate::intent::place_region
+struct SideKey<'e> {
+    city: String,
+    country: String,
+    region: String,
+    region_orig: &'e str,
+}
+
+impl SideKey<'_> {
+    /// Does descriptor `d` (normalized lowercase) match this endpoint?
+    /// Byte-for-byte the same predicate the reasoning engine used to
+    /// recompute per call.
+    fn matches(&self, d: &str) -> bool {
+        d == self.country
+            || d == self.region
+            || d == self.city
+            || crate::intent::place_region(d) == Some(self.region_orig)
+    }
+}
+
+/// A cable-route fact with both endpoints pre-normalized.
+struct RouteKey<'e> {
+    name: &'e str,
+    sides: [SideKey<'e>; 2],
+}
+
+/// A precomputed, interned lookup index over one [`Extraction`].
+///
+/// The reasoning engine consults the same handful of keyed views on
+/// every call — operator coverage, operator low-latitude share,
+/// presence counts, region grid latitudes, entity apex values, route
+/// endpoints, incident names. The plain [`Extraction`] accessors
+/// re-lowercase every fact per lookup; this index normalizes and
+/// interns each key **once** at build time (u32 [`Term`] symbols from
+/// a deterministic insertion-ordered [`Interner`]), so lookups are a
+/// single hash probe and endpoint matching compares precomputed
+/// strings.
+///
+/// The index is a pure derived view: building it never changes what
+/// any accessor returns relative to the scan-based equivalents (the
+/// unit tests pin this), which is what keeps answers byte-identical.
+pub struct ExtractionIndex<'e> {
+    ex: &'e Extraction,
+    interner: Interner,
+    coverage: HashMap<Term, u32>,
+    lowlat: HashMap<Term, f64>,
+    presence_counts: HashMap<Term, usize>,
+    region_lat: HashMap<Term, (f64, usize)>,
+    apex: HashMap<Term, Vec<f64>>,
+    routes: Vec<RouteKey<'e>>,
+    /// `(fact index, lowercased incident name)` for every
+    /// incident-tagged fact, in fact order.
+    incidents: Vec<(usize, String)>,
+    singapore_grid: bool,
+}
+
+impl<'e> ExtractionIndex<'e> {
+    /// Build the index in one pass over the facts.
+    pub fn build(ex: &'e Extraction) -> Self {
+        let mut idx = ExtractionIndex {
+            ex,
+            interner: Interner::new(),
+            coverage: HashMap::new(),
+            lowlat: HashMap::new(),
+            presence_counts: HashMap::new(),
+            region_lat: HashMap::new(),
+            apex: HashMap::new(),
+            routes: Vec::new(),
+            incidents: Vec::new(),
+            singapore_grid: false,
+        };
+        for (i, fact) in ex.facts.iter().enumerate() {
+            match fact {
+                Fact::RegionCoverage { operator, regions } => {
+                    ops::tokenize_chars(operator.len());
+                    let t = idx.interner.intern(&operator.to_lowercase());
+                    // First occurrence wins, like the scan's `find_map`.
+                    idx.coverage.entry(t).or_insert(*regions);
+                }
+                Fact::LowLatShare { operator, percent } => {
+                    ops::tokenize_chars(operator.len());
+                    let t = idx.interner.intern(&operator.to_lowercase());
+                    idx.lowlat.entry(t).or_insert(*percent);
+                }
+                Fact::DcPresence { operator, .. } => {
+                    ops::tokenize_chars(operator.len());
+                    let t = idx.interner.intern(&operator.to_lowercase());
+                    *idx.presence_counts.entry(t).or_insert(0) += 1;
+                }
+                Fact::RegionGridLatitude {
+                    grid,
+                    region,
+                    degrees,
+                } => {
+                    ops::tokenize_chars(region.len() + grid.len());
+                    let t = idx.interner.intern(&region.to_lowercase());
+                    let slot = idx.region_lat.entry(t).or_insert((0.0, 0));
+                    slot.0 += *degrees;
+                    slot.1 += 1;
+                    if grid.to_lowercase().contains("singapore") {
+                        idx.singapore_grid = true;
+                    }
+                }
+                Fact::MaxGeomagLatitude { entity, degrees } => {
+                    let t = idx.interner.intern(entity);
+                    idx.apex.entry(t).or_default().push(*degrees);
+                }
+                Fact::CableRoute {
+                    name,
+                    from_city,
+                    from_country,
+                    to_city,
+                    to_country,
+                    from_region,
+                    to_region,
+                } => {
+                    ops::tokenize_chars(
+                        from_city.len()
+                            + from_country.len()
+                            + from_region.len()
+                            + to_city.len()
+                            + to_country.len()
+                            + to_region.len(),
+                    );
+                    idx.routes.push(RouteKey {
+                        name,
+                        sides: [
+                            SideKey {
+                                city: from_city.to_lowercase(),
+                                country: from_country.to_lowercase(),
+                                region: from_region.to_lowercase(),
+                                region_orig: from_region,
+                            },
+                            SideKey {
+                                city: to_city.to_lowercase(),
+                                country: to_country.to_lowercase(),
+                                region: to_region.to_lowercase(),
+                                region_orig: to_region,
+                            },
+                        ],
+                    });
+                }
+                Fact::IncidentCause { incident, .. }
+                | Fact::IncidentEffect { incident, .. }
+                | Fact::IncidentDuration { incident, .. }
+                | Fact::IncidentCablesCut { incident, .. }
+                | Fact::IncidentTraffic { incident, .. } => {
+                    ops::tokenize_chars(incident.len());
+                    idx.incidents.push((i, incident.to_lowercase()));
+                }
+                Fact::LengthKm { .. } | Fact::RepeaterCount { .. } | Fact::StormDst { .. } => {}
+            }
+        }
+        idx
+    }
+
+    /// The extraction this index derives from (for raw fact scans that
+    /// never normalized strings in the first place).
+    pub fn ex(&self) -> &'e Extraction {
+        self.ex
+    }
+
+    /// Region coverage for an operator (case-insensitive, first fact
+    /// wins).
+    pub fn coverage_of(&self, operator: &str) -> Option<u32> {
+        let t = self.interner.get(&operator.to_lowercase())?;
+        self.coverage.get(&t).copied()
+    }
+
+    /// Low-latitude share for an operator (percent).
+    pub fn low_lat_share_of(&self, operator: &str) -> Option<f64> {
+        let t = self.interner.get(&operator.to_lowercase())?;
+        self.lowlat.get(&t).copied()
+    }
+
+    /// Number of data-center presence facts for an operator.
+    pub fn presence_count(&self, operator: &str) -> usize {
+        self.interner
+            .get(&operator.to_lowercase())
+            .and_then(|t| self.presence_counts.get(&t).copied())
+            .unwrap_or(0)
+    }
+
+    /// Mean |grid geomagnetic latitude| for a region, if known.
+    pub fn region_latitude(&self, region: &str) -> Option<f64> {
+        let t = self.interner.get(&region.to_lowercase())?;
+        self.region_lat.get(&t).map(|(sum, n)| sum / *n as f64)
+    }
+
+    /// Median apex latitude for an entity (same robust-median rule as
+    /// [`Extraction::apex_of`]).
+    pub fn apex_of(&self, entity: &str) -> Option<f64> {
+        let t = self.interner.get(entity)?;
+        let stored = self.apex.get(&t)?;
+        let mut values = stored.clone();
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        Some(if n % 2 == 1 {
+            values[n / 2]
+        } else {
+            (values[n / 2 - 1] + values[n / 2]) / 2.0
+        })
+    }
+
+    /// Whether sources disagree materially about an entity's apex.
+    pub fn apex_conflict(&self, entity: &str, tolerance: f64) -> bool {
+        let Some(values) = self.interner.get(entity).and_then(|t| self.apex.get(&t)) else {
+            return false;
+        };
+        match (
+            values.iter().copied().reduce(f64::min),
+            values.iter().copied().reduce(f64::max),
+        ) {
+            (Some(lo), Some(hi)) => hi - lo > tolerance,
+            _ => false,
+        }
+    }
+
+    /// Names of cables whose route matches `(a, b)` in either
+    /// direction, in fact order. Descriptors must be normalized
+    /// lowercase (the [`crate::intent::RouteSpec`] form).
+    pub fn routes_matching(&self, a: &str, b: &str) -> Vec<&'e str> {
+        self.routes
+            .iter()
+            .filter_map(|r| {
+                let fwd = r.sides[0].matches(a) && r.sides[1].matches(b);
+                let rev = r.sides[0].matches(b) && r.sides[1].matches(a);
+                (fwd || rev).then_some(r.name)
+            })
+            .collect()
+    }
+
+    /// Every incident-tagged fact matching `needle` (containment
+    /// either way, case-insensitive), in fact order.
+    pub fn incident_facts(&self, needle: &str) -> Vec<&'e Fact> {
+        ops::tokenize_chars(needle.len());
+        let needle = needle.to_lowercase();
+        self.incidents
+            .iter()
+            .filter(|(_, inc)| inc.contains(&needle) || needle.contains(inc.as_str()))
+            .map(|(i, _)| &self.ex.facts[*i])
+            .collect()
+    }
+
+    /// Whether any grid fact mentions Singapore (supporting color for
+    /// region comparisons).
+    pub fn has_singapore_grid(&self) -> bool {
+        self.singapore_grid
     }
 }
 
@@ -881,5 +1139,99 @@ mod tests {
         assert_eq!(leading_number("-1760 nanotesla"), Some(-1760.0));
         assert_eq!(leading_number("46.3 degrees"), Some(46.3));
         assert_eq!(leading_number("no number"), None);
+    }
+
+    /// A context exercising every fact shape the index covers.
+    fn rich_extraction() -> Extraction {
+        Extraction::from_text(
+            "The EllaLink submarine cable connects Fortaleza, Brazil to Sines, Portugal, \
+             linking South America and Europe. Along its route it reaches a maximum \
+             geomagnetic latitude of 46.0 degrees. \
+             The Grace Hopper submarine cable connects New York, United States to Bude, \
+             United Kingdom, linking North America and Europe. Along its route it reaches a \
+             maximum geomagnetic latitude of 63.0 degrees. \
+             Google operates data centers in 7 of the world's 7 major regions. About 26 \
+             percent of Google's data center sites sit at low geomagnetic latitudes. \
+             Google operates a data center in St. Ghislain, Belgium, in Europe. \
+             Google operates a data center in Singapore, Singapore, in Asia. \
+             The US Eastern Interconnection serves North America and sits at about 50 \
+             degrees geomagnetic latitude. The Singapore Grid serves Asia and sits at about \
+             8 degrees geomagnetic latitude. \
+             The 2021 Facebook outage was caused by a faulty BGP configuration change. \
+             Service was disrupted for about 7 hours.",
+            None,
+        )
+    }
+
+    #[test]
+    fn index_agrees_with_scan_accessors() {
+        let ex = rich_extraction();
+        let idx = ExtractionIndex::build(&ex);
+        for op in ["google", "Google", "GOOGLE", "facebook", "nobody"] {
+            assert_eq!(idx.coverage_of(op), ex.coverage_of(op), "coverage {op}");
+            assert_eq!(
+                idx.low_lat_share_of(op),
+                ex.low_lat_share_of(op),
+                "lowlat {op}"
+            );
+            assert_eq!(
+                idx.presence_count(op),
+                ex.presences_of(op).len(),
+                "presences {op}"
+            );
+        }
+        for region in ["Asia", "north america", "Europe", "Atlantis"] {
+            assert_eq!(
+                idx.region_latitude(region),
+                ex.region_latitude(region),
+                "region {region}"
+            );
+        }
+        for entity in ["EllaLink", "Grace Hopper", "ellalink", "nope"] {
+            assert_eq!(idx.apex_of(entity), ex.apex_of(entity), "apex {entity}");
+            assert_eq!(
+                idx.apex_conflict(entity, 15.0),
+                ex.apex_conflict(entity, 15.0),
+                "conflict {entity}"
+            );
+        }
+        assert!(idx.has_singapore_grid());
+    }
+
+    #[test]
+    fn index_coverage_first_fact_wins_like_the_scan() {
+        let text = "Google operates data centers in 7 of the world's 7 major regions. \
+                    Google operates data centers in 3 of the world's 7 major regions.";
+        let ex = Extraction::from_text(text, None);
+        let idx = ExtractionIndex::build(&ex);
+        assert_eq!(ex.coverage_of("google"), Some(7));
+        assert_eq!(idx.coverage_of("google"), Some(7));
+    }
+
+    #[test]
+    fn index_route_matching_covers_both_directions() {
+        let ex = rich_extraction();
+        let idx = ExtractionIndex::build(&ex);
+        assert_eq!(idx.routes_matching("brazil", "europe"), vec!["EllaLink"]);
+        assert_eq!(idx.routes_matching("europe", "brazil"), vec!["EllaLink"]);
+        assert_eq!(
+            idx.routes_matching("united states", "europe"),
+            vec!["Grace Hopper"]
+        );
+        assert!(idx.routes_matching("asia", "africa").is_empty());
+    }
+
+    #[test]
+    fn index_incident_facts_match_bidirectional_containment() {
+        let ex = rich_extraction();
+        let idx = ExtractionIndex::build(&ex);
+        assert_eq!(idx.incident_facts("facebook outage").len(), 2);
+        assert_eq!(idx.incident_facts("2021 Facebook outage").len(), 2);
+        assert!(idx.incident_facts("hengchun").is_empty());
+        // Order is fact order.
+        assert!(matches!(
+            idx.incident_facts("facebook outage")[0],
+            Fact::IncidentCause { .. }
+        ));
     }
 }

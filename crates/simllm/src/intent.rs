@@ -151,6 +151,8 @@ const REGION_WORDS: &[&str] = &[
 /// confidence on a scale from 1 to 10."): the wrapper is stripped
 /// before classification.
 pub fn classify(question: &str) -> Intent {
+    crate::lexicon::ops::classify_call();
+    crate::lexicon::ops::tokenize_chars(question.len());
     let q = strip_quiz_wrapper(&question.to_lowercase());
 
     // Planning requests first: they often mention storms and impact too.

@@ -22,6 +22,8 @@
 //!   entity facts and general principles out of context text.
 //! * [`intent`] — question understanding: classifies a question into
 //!   one of the investigation intents and fills its slots.
+//! * [`lexicon`] — deterministic term interning, content fingerprints,
+//!   and the virtual-op counters behind the hot-path perf baseline.
 //! * [`reason`] — the reasoning engine: evidence slots per intent,
 //!   verdict selection, calibrated confidence, missing-knowledge
 //!   reporting.
@@ -34,6 +36,7 @@
 pub mod chat;
 pub mod extract;
 pub mod intent;
+pub mod lexicon;
 pub mod model;
 pub mod plangen;
 pub mod prior;
@@ -41,8 +44,9 @@ pub mod reason;
 pub mod token;
 
 pub use chat::{Message, Prompt, Role};
-pub use extract::{Extraction, Fact, Principle};
+pub use extract::{Extraction, ExtractionIndex, Fact, Principle};
 pub use intent::{Intent, RouteSpec};
+pub use lexicon::{fingerprint64, fingerprint_texts, Interner, Term, TermSet};
 pub use model::{Llm, LlmConfig, LlmStats};
 pub use plangen::{ActionPlan, PlanStep};
 pub use reason::{Answer, MissingKnowledge};

@@ -7,12 +7,14 @@
 use crate::chat::{Message, Prompt};
 use crate::extract::{Extraction, Principle};
 use crate::intent::classify;
+use crate::lexicon::{fingerprint64, fingerprint_texts, ops};
 use crate::plangen::{self, ActionPlan};
 use crate::reason::{self, Answer, MissingKnowledge};
 use crate::token::{count_tokens, ContextWindow};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Model configuration.
@@ -24,6 +26,12 @@ pub struct LlmConfig {
     /// Sampling temperature in [0, 1]; 0 = always the canonical
     /// phrasing.
     pub temperature: f64,
+    /// Memoize grounded answers and per-chunk extractions (on by
+    /// default). Cache hits replay the exact token charges of the
+    /// computation they skip, so stats, traces, and the virtual clock
+    /// are byte-identical either way; `false` re-derives everything
+    /// per call (the legacy hot path, kept for the perf baseline).
+    pub grounding_cache: bool,
 }
 
 impl Default for LlmConfig {
@@ -32,6 +40,7 @@ impl Default for LlmConfig {
             context: ContextWindow::gpt4(),
             seed: 0,
             temperature: 0.0,
+            grounding_cache: true,
         }
     }
 }
@@ -51,12 +60,44 @@ pub struct LlmStats {
 /// real agent's wall time is dominated by API calls.
 pub type InferenceHook = Arc<dyn Fn(usize, usize) + Send + Sync>;
 
+/// A memoized grounded answer together with the token charges it
+/// incurred when first computed. Replaying the charges on a hit keeps
+/// [`LlmStats`] and the inference hook (and hence the virtual clock)
+/// byte-identical to the uncached path.
+#[derive(Clone)]
+struct CachedAnswer {
+    answer: Answer,
+    prompt_tokens: usize,
+    completion_tokens: usize,
+}
+
+/// Memoization state for the grounding hot path.
+///
+/// * `chunks` maps a knowledge chunk's exact text to its extraction.
+///   Keyed by content (not a fingerprint) so a hash collision can never
+///   substitute the wrong extraction. Absorbing chunks in kept order
+///   from cached per-chunk extractions is provably identical to
+///   absorbing the concatenated text sequentially: subject binding in
+///   `Extraction::absorb` is local to each call, fact dedup is
+///   order-preserving `contains`, and principles live in a `BTreeSet`.
+/// * `answers` maps `(fingerprint64(question),
+///   fingerprint_texts(kept_knowledge))` to the full answer. Because
+///   retrieval (which is recency-dependent) happens *outside* the
+///   model, the fingerprinted texts capture everything the answer
+///   depends on.
+#[derive(Default)]
+struct GroundingState {
+    chunks: HashMap<String, Arc<Extraction>>,
+    answers: HashMap<(u64, u64), CachedAnswer>,
+}
+
 /// The simulated language model.
 pub struct Llm {
     config: LlmConfig,
     stats: Mutex<LlmStats>,
     rng: Mutex<ChaCha8Rng>,
     hook: Mutex<Option<InferenceHook>>,
+    grounding: Mutex<GroundingState>,
 }
 
 impl Llm {
@@ -65,6 +106,7 @@ impl Llm {
             stats: Mutex::new(LlmStats::default()),
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(config.seed)),
             hook: Mutex::new(None),
+            grounding: Mutex::new(GroundingState::default()),
             config,
         }
     }
@@ -99,26 +141,106 @@ impl Llm {
     }
 
     /// Assemble the knowledge context that fits the window alongside
-    /// the question, newest-first retention.
+    /// the question, newest-first retention. Returns the extraction and
+    /// the prompt-token charge it incurred.
     fn grounded_extraction(&self, question: &str, knowledge: &[String]) -> (Extraction, usize) {
         let reserved = count_tokens(question) + 64;
-        let (kept, dropped) = self.config.context.fit(knowledge, reserved);
+        let (kept, _dropped) = self.config.context.fit(knowledge, reserved);
         let mut ex = Extraction::default();
-        for chunk in kept {
-            ex.absorb(chunk, None);
+        if self.config.grounding_cache {
+            let mut g = self.grounding.lock().expect("grounding lock");
+            for chunk in kept {
+                let one = match g.chunks.get(chunk.as_str()) {
+                    Some(hit) => {
+                        ops::extract_hit();
+                        Arc::clone(hit)
+                    }
+                    None => {
+                        ops::extract_miss();
+                        let mut fresh = Extraction::default();
+                        fresh.absorb(chunk, None);
+                        let fresh = Arc::new(fresh);
+                        g.chunks.insert(chunk.clone(), Arc::clone(&fresh));
+                        fresh
+                    }
+                };
+                // Merging per-chunk extractions in kept order is
+                // byte-identical to absorbing the chunks sequentially:
+                // subject binding is local to each absorb call, fact
+                // dedup preserves first-seen order, and principles are
+                // an ordered set.
+                ex.merge(&one);
+            }
+        } else {
+            for chunk in kept {
+                ex.absorb(chunk, None);
+            }
         }
         let prompt_tokens: usize = kept.iter().map(|c| count_tokens(c)).sum::<usize>() + reserved;
         self.charge(prompt_tokens, 0);
-        (ex, dropped)
+        (ex, prompt_tokens)
     }
 
     /// Answer a question grounded in the supplied knowledge snippets.
+    ///
+    /// With [`LlmConfig::grounding_cache`] on, repeated calls with the
+    /// same question and knowledge replay the memoized answer — and its
+    /// exact token charges — instead of re-extracting and re-reasoning.
     pub fn answer(&self, question: &str, knowledge: &[String]) -> Answer {
+        let key = (fingerprint64(question), fingerprint_texts(knowledge));
+        if self.config.grounding_cache {
+            let hit = self
+                .grounding
+                .lock()
+                .expect("grounding lock")
+                .answers
+                .get(&key)
+                .cloned();
+            if let Some(hit) = hit {
+                ops::answer_hit();
+                self.charge(hit.prompt_tokens, 0);
+                self.charge(0, hit.completion_tokens);
+                return hit.answer;
+            }
+            ops::answer_miss();
+        }
         let intent = classify(question);
-        let (ex, _) = self.grounded_extraction(question, knowledge);
+        let (ex, prompt_tokens) = self.grounded_extraction(question, knowledge);
         let ans = reason::answer(question, &intent, &ex);
-        self.charge(0, count_tokens(&ans.text));
+        let completion_tokens = count_tokens(&ans.text);
+        self.charge(0, completion_tokens);
+        if self.config.grounding_cache {
+            self.grounding
+                .lock()
+                .expect("grounding lock")
+                .answers
+                .insert(
+                    key,
+                    CachedAnswer {
+                        answer: ans.clone(),
+                        prompt_tokens,
+                        completion_tokens,
+                    },
+                );
+        }
         ans
+    }
+
+    /// Drop memoized answers. The agent layer calls this whenever its
+    /// knowledge store changes: retrieval may now surface different
+    /// chunks for the same question, so cached answers keyed on the old
+    /// retrieved texts must not be trusted blindly. (Per-chunk
+    /// extractions are content-addressed and stay valid forever.)
+    ///
+    /// Note the answer key already fingerprints the retrieved texts, so
+    /// this is a belt-and-braces measure: it also bounds the map's
+    /// growth across training epochs.
+    pub fn invalidate_grounding(&self) {
+        self.grounding
+            .lock()
+            .expect("grounding lock")
+            .answers
+            .clear();
     }
 
     /// The paper's confidence probe: "rate confidence on a scale from
@@ -337,8 +459,7 @@ mod tests {
     fn oversized_knowledge_is_truncated_not_fatal() {
         let llm = Llm::new(LlmConfig {
             context: ContextWindow::new(256),
-            seed: 0,
-            temperature: 0.0,
+            ..LlmConfig::default()
         });
         let mut k = vec!["filler text that is irrelevant ".repeat(50); 20];
         k.extend(knowledge());
@@ -370,6 +491,67 @@ mod tests {
         let aspects = llm.decompose("optic fiber cables, power supply systems");
         assert_eq!(aspects.len(), 2);
         assert!(llm.stats().calls >= 2);
+    }
+
+    #[test]
+    fn cached_answer_replays_identical_charges() {
+        let cached = Llm::gpt4(1);
+        let uncached = Llm::new(LlmConfig {
+            grounding_cache: false,
+            ..LlmConfig::default()
+        });
+        let k = knowledge();
+        for _ in 0..3 {
+            let a = cached.answer(CABLE_Q, &k);
+            let b = uncached.answer(CABLE_Q, &k);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.confidence, b.confidence);
+            assert_eq!(cached.stats(), uncached.stats());
+        }
+        // Three answers, two charges each, either way.
+        assert_eq!(cached.stats().calls, 6);
+    }
+
+    #[test]
+    fn cache_distinguishes_questions_and_knowledge() {
+        let llm = Llm::gpt4(1);
+        let grounded = llm.answer(CABLE_Q, &knowledge());
+        let ungrounded = llm.answer(CABLE_Q, &[]);
+        assert_ne!(grounded.confidence, ungrounded.confidence);
+        // Same inputs again must reproduce the first results exactly.
+        assert_eq!(llm.answer(CABLE_Q, &knowledge()).text, grounded.text);
+        assert_eq!(llm.answer(CABLE_Q, &[]).text, ungrounded.text);
+    }
+
+    #[test]
+    fn invalidate_grounding_recomputes_to_the_same_answer() {
+        let llm = Llm::gpt4(1);
+        let before = llm.answer(CABLE_Q, &knowledge());
+        llm.invalidate_grounding();
+        let after = llm.answer(CABLE_Q, &knowledge());
+        assert_eq!(before.text, after.text);
+        assert_eq!(before.confidence, after.confidence);
+        // Inputs were unchanged, so even the recomputation charges the
+        // same tokens: 3 answers x 2 charges.
+        let third = llm.answer(CABLE_Q, &knowledge());
+        assert_eq!(third.text, before.text);
+        assert_eq!(llm.stats().calls, 6);
+    }
+
+    #[test]
+    fn inference_hook_fires_identically_on_cache_hits() {
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let llm = Llm::gpt4(1);
+        let sink = Arc::clone(&fired);
+        llm.set_inference_hook(Arc::new(move |p, c| {
+            sink.lock().unwrap().push((p, c));
+        }));
+        llm.answer(CABLE_Q, &knowledge());
+        llm.answer(CABLE_Q, &knowledge());
+        let events = fired.lock().unwrap().clone();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], events[2], "prompt charge must replay");
+        assert_eq!(events[1], events[3], "completion charge must replay");
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! round of self-learning. Unfilled slots become [`MissingKnowledge`]
 //! items, which the self-learning loop turns into search queries.
 
-use crate::extract::{Extraction, Fact, Principle};
-use crate::intent::{place_region, Intent, RouteSpec};
+use crate::extract::{Extraction, ExtractionIndex, Fact, Principle};
+use crate::intent::{Intent, RouteSpec};
 use crate::prior;
 use serde::{Deserialize, Serialize};
 
@@ -119,61 +119,30 @@ impl Slots {
     }
 }
 
-/// Names of cables whose route matches `spec`, from route facts.
-fn matching_cables<'e>(ex: &'e Extraction, spec: &RouteSpec) -> Vec<&'e str> {
-    ex.routes()
-        .filter_map(|f| match f {
-            Fact::CableRoute {
-                name,
-                from_city,
-                from_country,
-                from_region,
-                to_city,
-                to_country,
-                to_region,
-                ..
-            } => {
-                let side_a = (
-                    from_city.as_str(),
-                    from_country.as_str(),
-                    from_region.as_str(),
-                );
-                let side_b = (to_city.as_str(), to_country.as_str(), to_region.as_str());
-                let fwd = side_matches(&spec.a, side_a) && side_matches(&spec.b, side_b);
-                let rev = side_matches(&spec.b, side_a) && side_matches(&spec.a, side_b);
-                (fwd || rev).then_some(name.as_str())
-            }
-            _ => None,
-        })
-        .collect()
-}
-
-/// Does descriptor `d` (normalized lowercase) match a route endpoint?
-fn side_matches(d: &str, (city, country, region): (&str, &str, &str)) -> bool {
-    let c = country.to_lowercase();
-    let r = region.to_lowercase();
-    let ci = city.to_lowercase();
-    d == c || d == r || d == ci || place_region(d) == Some(region)
-}
-
 /// Answer `question` (already classified as `intent`) from `ex`.
+///
+/// The extraction is indexed once up front ([`ExtractionIndex`]) so
+/// every keyed lookup below — operator coverage, region latitudes,
+/// route endpoints, incident names — is a hash probe over interned
+/// terms instead of a re-lowercasing scan of the fact list.
 pub fn answer(question: &str, intent: &Intent, ex: &Extraction) -> Answer {
+    let idx = ExtractionIndex::build(ex);
     match intent {
         Intent::CompareCableVulnerability { route_a, route_b } => {
-            compare_cables(ex, route_a, route_b)
+            compare_cables(&idx, route_a, route_b)
         }
-        Intent::CompareOperatorVulnerability { op_a, op_b } => compare_operators(ex, op_a, op_b),
-        Intent::LatitudeDependence => latitude_dependence(ex),
-        Intent::WeakComponent => weak_component(ex),
-        Intent::SubmarineVsTerrestrial => submarine_vs_terrestrial(ex),
+        Intent::CompareOperatorVulnerability { op_a, op_b } => compare_operators(&idx, op_a, op_b),
+        Intent::LatitudeDependence => latitude_dependence(&idx),
+        Intent::WeakComponent => weak_component(&idx),
+        Intent::SubmarineVsTerrestrial => submarine_vs_terrestrial(&idx),
         Intent::CompareRegionSusceptibility { region_a, region_b } => {
-            compare_regions(ex, region_a, region_b)
+            compare_regions(&idx, region_a, region_b)
         }
-        Intent::LengthEffect => length_effect(ex),
-        Intent::PartitionImpact => partition_impact(ex),
-        Intent::ShutdownPlan => shutdown_plan(ex),
-        Intent::IncidentCause { incident } => incident_cause(ex, incident),
-        Intent::IncidentImpact { incident } => incident_impact(ex, incident),
+        Intent::LengthEffect => length_effect(&idx),
+        Intent::PartitionImpact => partition_impact(&idx),
+        Intent::ShutdownPlan => shutdown_plan(&idx),
+        Intent::IncidentCause { incident } => incident_cause(&idx, incident),
+        Intent::IncidentImpact { incident } => incident_impact(&idx, incident),
         Intent::Unknown => prior::unknown_answer(question),
     }
 }
@@ -200,13 +169,13 @@ fn finish(slots: Slots, text: String, verdict: Option<String>) -> Answer {
     }
 }
 
-fn compare_cables(ex: &Extraction, spec_a: &RouteSpec, spec_b: &RouteSpec) -> Answer {
+fn compare_cables(idx: &ExtractionIndex<'_>, spec_a: &RouteSpec, spec_b: &RouteSpec) -> Answer {
     let mut slots = Slots::new();
-    let has_principle = slots.principle(ex, Principle::LatitudeRisk, 0.15);
+    let has_principle = slots.principle(idx.ex(), Principle::LatitudeRisk, 0.15);
 
     let mut sides: Vec<(Option<(String, f64)>, &RouteSpec)> = Vec::new();
     for spec in [spec_a, spec_b] {
-        let cables = matching_cables(ex, spec);
+        let cables = idx.routes_matching(&spec.a, &spec.b);
         if cables.is_empty() {
             slots.missing(MissingKnowledge::CableRoute(spec.clone()));
             slots.step(format!(
@@ -226,14 +195,14 @@ fn compare_cables(ex: &Extraction, spec_a: &RouteSpec, spec_b: &RouteSpec) -> An
         // Risk along a route is dominated by its highest-latitude cable.
         let best = cables
             .iter()
-            .filter_map(|name| ex.apex_of(name).map(|deg| (name.to_string(), deg)))
+            .filter_map(|name| idx.apex_of(name).map(|deg| (name.to_string(), deg)))
             .max_by(|a, b| a.1.total_cmp(&b.1));
         match best {
             Some(pair) => {
                 // Conflicting sources (possible poisoning or stale data)
                 // earn a confidence discount: the model still answers
                 // from the median value but flags reduced certainty.
-                if ex.apex_conflict(&pair.0, 15.0) {
+                if idx.apex_conflict(&pair.0, 15.0) {
                     slots.step(format!(
                         "sources disagree on {}'s latitude; using the median with reduced \
                          certainty",
@@ -290,15 +259,15 @@ fn compare_cables(ex: &Extraction, spec_a: &RouteSpec, spec_b: &RouteSpec) -> An
     }
 }
 
-fn compare_operators(ex: &Extraction, op_a: &str, op_b: &str) -> Answer {
+fn compare_operators(idx: &ExtractionIndex<'_>, op_a: &str, op_b: &str) -> Answer {
     let mut slots = Slots::new();
-    let has_principle = slots.principle(ex, Principle::DispersionResilience, 0.15);
+    let has_principle = slots.principle(idx.ex(), Principle::DispersionResilience, 0.15);
 
     let mut profiles = Vec::new();
     for op in [op_a, op_b] {
-        let coverage = ex.coverage_of(op);
-        let lowlat = ex.low_lat_share_of(op);
-        let presences = ex.presences_of(op);
+        let coverage = idx.coverage_of(op);
+        let lowlat = idx.low_lat_share_of(op);
+        let presences = idx.presence_count(op);
         if coverage.is_some() {
             slots.filled(0.15, 1);
         } else {
@@ -307,12 +276,12 @@ fn compare_operators(ex: &Extraction, op_a: &str, op_b: &str) -> Answer {
         if lowlat.is_some() {
             slots.filled(0.10, 1);
         }
-        if presences.len() >= 3 {
-            slots.filled(0.175, presences.len());
+        if presences >= 3 {
+            slots.filled(0.175, presences);
         } else {
             slots.missing(MissingKnowledge::OperatorPresence(op.to_string()));
         }
-        profiles.push((op.to_string(), coverage, lowlat, presences.len()));
+        profiles.push((op.to_string(), coverage, lowlat, presences));
     }
 
     let (pa, pb) = (&profiles[0], &profiles[1]);
@@ -357,7 +326,8 @@ fn compare_operators(ex: &Extraction, op_a: &str, op_b: &str) -> Answer {
     }
 }
 
-fn latitude_dependence(ex: &Extraction) -> Answer {
+fn latitude_dependence(idx: &ExtractionIndex<'_>) -> Answer {
+    let ex = idx.ex();
     let mut slots = Slots::new();
     let has = slots.principle(ex, Principle::LatitudeRisk, 0.6);
     slots.principle(ex, Principle::GridThreat, 0.2);
@@ -396,7 +366,8 @@ fn latitude_dependence(ex: &Extraction) -> Answer {
     }
 }
 
-fn weak_component(ex: &Extraction) -> Answer {
+fn weak_component(idx: &ExtractionIndex<'_>) -> Answer {
+    let ex = idx.ex();
     let mut slots = Slots::new();
     let has = slots.principle(ex, Principle::RepeaterWeakness, 0.7);
     slots.principle(ex, Principle::TerrestrialSafety, 0.15);
@@ -423,7 +394,8 @@ fn weak_component(ex: &Extraction) -> Answer {
     }
 }
 
-fn submarine_vs_terrestrial(ex: &Extraction) -> Answer {
+fn submarine_vs_terrestrial(idx: &ExtractionIndex<'_>) -> Answer {
+    let ex = idx.ex();
     let mut slots = Slots::new();
     let has = slots.principle(ex, Principle::TerrestrialSafety, 0.5);
     slots.principle(ex, Principle::RepeaterWeakness, 0.3);
@@ -444,13 +416,13 @@ fn submarine_vs_terrestrial(ex: &Extraction) -> Answer {
     }
 }
 
-fn compare_regions(ex: &Extraction, region_a: &str, region_b: &str) -> Answer {
+fn compare_regions(idx: &ExtractionIndex<'_>, region_a: &str, region_b: &str) -> Answer {
     let mut slots = Slots::new();
-    let has_principle = slots.principle(ex, Principle::LatitudeRisk, 0.2);
+    let has_principle = slots.principle(idx.ex(), Principle::LatitudeRisk, 0.2);
 
     let mut lats = Vec::new();
     for region in [region_a, region_b] {
-        match ex.region_latitude(region) {
+        match idx.region_latitude(region) {
             Some(lat) => {
                 slots.filled(0.3, 1);
                 lats.push(Some(lat));
@@ -462,9 +434,7 @@ fn compare_regions(ex: &Extraction, region_a: &str, region_b: &str) -> Answer {
         }
     }
     // Supporting color: any low-latitude Asian grid mention.
-    let singapore = ex.facts.iter().any(|f| {
-        matches!(f, Fact::RegionGridLatitude { grid, .. } if grid.to_lowercase().contains("singapore"))
-    });
+    let singapore = idx.has_singapore_grid();
     if singapore {
         slots.filled(0.2, 1);
     }
@@ -506,7 +476,8 @@ fn compare_regions(ex: &Extraction, region_a: &str, region_b: &str) -> Answer {
     }
 }
 
-fn length_effect(ex: &Extraction) -> Answer {
+fn length_effect(idx: &ExtractionIndex<'_>) -> Answer {
+    let ex = idx.ex();
     let mut slots = Slots::new();
     let has = slots.principle(ex, Principle::LengthRisk, 0.6);
     if ex
@@ -539,7 +510,8 @@ fn length_effect(ex: &Extraction) -> Answer {
     }
 }
 
-fn partition_impact(ex: &Extraction) -> Answer {
+fn partition_impact(idx: &ExtractionIndex<'_>) -> Answer {
+    let ex = idx.ex();
     let mut slots = Slots::new();
     let has = slots.principle(ex, Principle::PartitionRisk, 0.5);
     slots.principle(ex, Principle::GridThreat, 0.15);
@@ -568,7 +540,8 @@ fn partition_impact(ex: &Extraction) -> Answer {
     }
 }
 
-fn shutdown_plan(ex: &Extraction) -> Answer {
+fn shutdown_plan(idx: &ExtractionIndex<'_>) -> Answer {
+    let ex = idx.ex();
     let mut slots = Slots::new();
     let components: [(Principle, &str, &str); 5] = [
         (
@@ -646,25 +619,9 @@ fn shutdown_plan(ex: &Extraction) -> Answer {
     )
 }
 
-/// Collect every incident-tagged fact matching `needle`.
-fn incident_facts<'e>(ex: &'e Extraction, needle: &str) -> Vec<&'e Fact> {
-    use crate::extract::incident_matches;
-    ex.facts
-        .iter()
-        .filter(|f| match f {
-            Fact::IncidentCause { incident, .. }
-            | Fact::IncidentEffect { incident, .. }
-            | Fact::IncidentDuration { incident, .. }
-            | Fact::IncidentCablesCut { incident, .. }
-            | Fact::IncidentTraffic { incident, .. } => incident_matches(incident, needle),
-            _ => false,
-        })
-        .collect()
-}
-
-fn incident_cause(ex: &Extraction, needle: &str) -> Answer {
+fn incident_cause(idx: &ExtractionIndex<'_>, needle: &str) -> Answer {
     let mut slots = Slots::new();
-    let facts = incident_facts(ex, needle);
+    let facts = idx.incident_facts(needle);
     let cause = facts.iter().find_map(|f| match f {
         Fact::IncidentCause { incident, cause } => Some((incident.clone(), cause.clone())),
         _ => None,
@@ -700,9 +657,9 @@ fn incident_cause(ex: &Extraction, needle: &str) -> Answer {
     }
 }
 
-fn incident_impact(ex: &Extraction, needle: &str) -> Answer {
+fn incident_impact(idx: &ExtractionIndex<'_>, needle: &str) -> Answer {
     let mut slots = Slots::new();
-    let facts = incident_facts(ex, needle);
+    let facts = idx.incident_facts(needle);
     if facts.is_empty() {
         slots.missing(MissingKnowledge::IncidentInfo(needle.to_string()));
         return finish(

@@ -4,11 +4,13 @@
 use crate::distractors;
 use crate::doc::{DocId, Document, SourceKind, Topic};
 use crate::index::bm25::{SearchEngine, SearchHit};
+use crate::index::opstats;
 use crate::templates;
 use ira_worldmodel::World;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Corpus generation knobs.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +35,14 @@ pub struct Corpus {
     docs: Vec<Document>,
     engine: SearchEngine,
     by_url: HashMap<String, DocId>,
+    /// `(host, path) -> id` index behind [`Corpus::doc_by_host_path`].
+    /// First occurrence wins, matching what the legacy linear scan
+    /// returned for (hypothetical) duplicate addresses.
+    by_host_path: HashMap<(String, String), DocId>,
+    /// Serve host+path lookups with the legacy O(N) scan instead of
+    /// the index. Answers are identical; only the op cost differs.
+    /// Exists so the perf baseline can measure "before".
+    scan_lookups: AtomicBool,
 }
 
 impl Corpus {
@@ -50,11 +60,25 @@ impl Corpus {
 
         let engine = SearchEngine::build(docs.iter());
         let by_url = docs.iter().map(|d| (d.url().to_string(), d.id)).collect();
+        let mut by_host_path = HashMap::with_capacity(docs.len());
+        for d in &docs {
+            by_host_path
+                .entry((d.source.host().to_string(), d.path.clone()))
+                .or_insert(d.id);
+        }
         Corpus {
             docs,
             engine,
             by_url,
+            by_host_path,
+            scan_lookups: AtomicBool::new(false),
         }
+    }
+
+    /// Switch host+path lookups to the legacy linear scan (`true`) or
+    /// the index (`false`, the default). Benchmark plumbing only.
+    pub fn set_scan_lookups(&self, scan: bool) {
+        self.scan_lookups.store(scan, Ordering::Relaxed);
     }
 
     pub fn len(&self) -> usize {
@@ -74,10 +98,27 @@ impl Corpus {
     }
 
     /// Fetch a document by host + path (what a virtual host sees).
+    /// Served from the `(host, path)` index built at construction —
+    /// every simnet fetch used to pay an O(N) scan here.
     pub fn doc_by_host_path(&self, host: &str, path: &str) -> Option<&Document> {
-        self.docs
-            .iter()
-            .find(|d| d.source.host() == host && d.path == path)
+        opstats::lookup_call();
+        if self.scan_lookups.load(Ordering::Relaxed) {
+            let mut scanned = 0;
+            let hit = self.docs.iter().find(|d| {
+                scanned += 1;
+                d.source.host() == host && d.path == path
+            });
+            // A miss scans everything; a hit pays for the prefix.
+            opstats::docs_scanned(scanned);
+            return hit;
+        }
+        opstats::docs_scanned(1);
+        // The owned-tuple key costs two small allocations per lookup;
+        // avoiding them needs unstable raw-entry APIs, and they are
+        // noise next to the hundreds-of-documents scan they replace.
+        self.by_host_path
+            .get(&(host.to_string(), path.to_string()))
+            .and_then(|&id| self.doc(id))
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &Document> {
@@ -113,9 +154,18 @@ impl Corpus {
     }
 }
 
-/// Give every fact-bearing document up to two "Related" links to the
-/// next documents of the same topic (cyclically), the hypertext the
-/// crawler extension follows.
+/// Give every fact-bearing document "Related" links to the next
+/// documents of the same topic (cyclically), the hypertext the crawler
+/// extension follows.
+///
+/// Link-count contract, explicit and tested: each document gets
+/// `min(2, n - 1)` distinct links for a topic of `n` documents — the
+/// 1- and 2-step cyclic successors, which are distinct from each other
+/// and from the document itself whenever they exist. So a 2-document
+/// topic yields exactly 1 mutual link per document (the only other
+/// document — never a self-link), 3 or more yield 2, singletons none.
+/// (The old implementation got the same counts, but only by a silent
+/// `j != i` skip plus an adjacent-only `dedup()` that never fired.)
 fn link_related(docs: &mut [Document]) {
     use std::collections::BTreeMap;
     let mut by_topic: BTreeMap<Topic, Vec<usize>> = BTreeMap::new();
@@ -129,16 +179,11 @@ fn link_related(docs: &mut [Document]) {
         if n < 2 {
             continue;
         }
+        let fanout = 2.min(n - 1);
         for (pos, &i) in indices.iter().enumerate() {
-            let mut links = Vec::new();
-            for step in 1..=2usize {
-                let j = indices[(pos + step) % n];
-                if j != i {
-                    links.push(docs[j].url().to_string());
-                }
-            }
-            links.dedup();
-            docs[i].links = links;
+            docs[i].links = (1..=fanout)
+                .map(|step| docs[indices[(pos + step) % n]].url().to_string())
+                .collect();
         }
     }
 }
@@ -207,6 +252,115 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.body, y.body);
+        }
+    }
+
+    #[test]
+    fn host_path_index_agrees_with_legacy_scan_on_full_corpus() {
+        // The indexed lookup must be observationally identical to the
+        // O(N) scan it replaced, for every document and for misses.
+        let c = corpus();
+        for doc in c.iter() {
+            let host = doc.source.host();
+            let indexed = c.doc_by_host_path(host, &doc.path).map(|d| d.id);
+            c.set_scan_lookups(true);
+            let scanned = c.doc_by_host_path(host, &doc.path).map(|d| d.id);
+            c.set_scan_lookups(false);
+            assert_eq!(indexed, scanned, "disagree on {host}{}", doc.path);
+            // And both resolve to this document's address.
+            assert_eq!(indexed, Some(doc.id));
+        }
+        assert!(c.doc_by_host_path("encyclopedia.test", "/nope").is_none());
+        c.set_scan_lookups(true);
+        assert!(c.doc_by_host_path("encyclopedia.test", "/nope").is_none());
+        c.set_scan_lookups(false);
+    }
+
+    #[test]
+    fn lookup_ops_reflect_index_vs_scan_cost() {
+        use crate::index::opstats;
+        let c = corpus();
+        let before = opstats::snapshot();
+        let doc = c.iter().last().unwrap();
+        c.doc_by_host_path(doc.source.host(), &doc.path).unwrap();
+        let after_index = opstats::snapshot().since(&before);
+        c.set_scan_lookups(true);
+        c.doc_by_host_path(doc.source.host(), &doc.path).unwrap();
+        c.set_scan_lookups(false);
+        let after_both = opstats::snapshot().since(&before);
+        // Parallel tests may also count; deltas are lower bounds.
+        assert!(after_index.lookup_calls >= 1);
+        assert!(after_index.docs_scanned >= 1);
+        // The scan of the last document examines the whole corpus,
+        // dwarfing the index probe's single unit.
+        assert!(after_both.docs_scanned >= after_index.docs_scanned + c.len() as u64);
+    }
+
+    fn topic_docs(n: usize) -> Vec<Document> {
+        (0..n)
+            .map(|i| Document {
+                id: i as DocId,
+                source: SourceKind::Encyclopedia,
+                path: format!("/wiki/cable-{i}"),
+                title: format!("Cable {i}"),
+                body: "A submarine cable.".into(),
+                topic: Topic::SubmarineCables,
+                links: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_doc_topic_gets_one_mutual_link_each() {
+        let mut docs = topic_docs(2);
+        link_related(&mut docs);
+        assert_eq!(docs[0].links, vec![docs[1].url().to_string()]);
+        assert_eq!(docs[1].links, vec![docs[0].url().to_string()]);
+    }
+
+    #[test]
+    fn three_doc_topic_gets_two_distinct_links_each() {
+        let mut docs = topic_docs(3);
+        link_related(&mut docs);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(d.links.len(), 2, "doc {i}: {:?}", d.links);
+            assert!(!d.links.contains(&d.url().to_string()), "self-link on {i}");
+            let mut unique = d.links.clone();
+            unique.sort();
+            unique.dedup();
+            assert_eq!(unique.len(), 2, "duplicate links on {i}");
+        }
+        // Cyclic successors: doc 0 links to 1 then 2.
+        assert_eq!(
+            docs[0].links,
+            vec![docs[1].url().to_string(), docs[2].url().to_string()]
+        );
+    }
+
+    #[test]
+    fn singleton_and_distractor_docs_get_no_links() {
+        let mut docs = topic_docs(1);
+        docs.push(Document {
+            id: 1,
+            source: SourceKind::Blog,
+            path: "/post/sourdough".into(),
+            title: "Sourdough".into(),
+            body: "Starter dough tips.".into(),
+            topic: Topic::Distractor,
+            links: Vec::new(),
+        });
+        docs.push(Document {
+            id: 2,
+            source: SourceKind::Blog,
+            path: "/post/crumb".into(),
+            title: "Crumb".into(),
+            body: "Crumb structure.".into(),
+            topic: Topic::Distractor,
+            links: Vec::new(),
+        });
+        link_related(&mut docs);
+        for d in &docs {
+            assert!(d.links.is_empty(), "{} should be linkless", d.title);
         }
     }
 

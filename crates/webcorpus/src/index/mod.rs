@@ -1,4 +1,5 @@
-//! Text indexing: tokenizer and BM25 search.
+//! Text indexing: tokenizer, BM25 search, and lookup-op accounting.
 
 pub mod bm25;
+pub mod opstats;
 pub mod tokenize;

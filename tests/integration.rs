@@ -79,6 +79,46 @@ fn identical_seeds_give_identical_runs() {
 }
 
 #[test]
+fn grounding_cache_and_legacy_lookups_are_observationally_identical() {
+    // The hot-path overhaul (grounding cache, indexed corpus lookups)
+    // must be invisible in every observable: answers, confidence
+    // trajectories, memory contents, LLM stats, and the virtual clock.
+    use ira::services::WebServices;
+    use ira::simllm::LlmConfig;
+    use std::sync::Arc;
+
+    let run = |legacy: bool| {
+        let env = Environment::standard();
+        env.corpus.set_scan_lookups(legacy);
+        let web: Arc<dyn WebServices> = Arc::new(env.client.clone());
+        let llm = Arc::new(Llm::new(LlmConfig {
+            seed: 0xB0B,
+            grounding_cache: !legacy,
+            ..LlmConfig::default()
+        }));
+        let mut bob = ResearchAgent::from_services(
+            RoleDefinition::bob(),
+            Arc::clone(&web),
+            llm,
+            AgentConfig::default(),
+        );
+        bob.train();
+        let t = bob.self_learn(CABLE_Q);
+        // Re-asking after learning exercises the answer cache.
+        let again = bob.ask(CABLE_Q);
+        (
+            t.confidence_series(),
+            again.text,
+            again.confidence,
+            bob.memory().to_json(),
+            bob.llm_stats(),
+            web.now_us(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
 fn knowledge_json_round_trips_through_a_real_agent() {
     let env = Environment::standard();
     let mut bob = ResearchAgent::bob(&env);
