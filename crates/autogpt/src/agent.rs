@@ -110,6 +110,13 @@ impl<'a> AutoGpt<'a> {
         self.log.attach_observer(sink, session);
     }
 
+    /// Mirror logged events through a shared [`ira_obs::ObsHandle`],
+    /// joining the session's causal tree (points nest under the
+    /// caller's open scopes).
+    pub fn attach_observer_handle(&mut self, handle: ira_obs::ObsHandle) {
+        self.log.attach_observer_handle(handle);
+    }
+
     pub fn log(&self) -> &EventLog {
         &self.log
     }

@@ -4,7 +4,7 @@
 //! timestamp, giving the experiments (E6 training cost, F1 stage
 //! timing) their raw data and making agent behaviour auditable.
 
-use ira_obs::{stage, CollectorExt, SharedCollector, TraceEvent};
+use ira_obs::{stage, ObsHandle, SharedCollector, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Kind of logged event.
@@ -51,19 +51,19 @@ impl EventKind {
 
 /// A live connection from the event log to an `ira-obs` collector:
 /// every recorded event is also forwarded as a trace point tagged with
-/// the session id. Not serialized — a deserialized log replays with no
-/// pipe attached.
+/// the session id and parented under the session's current causal
+/// scope. Not serialized — a deserialized log replays with no pipe
+/// attached.
 #[derive(Clone)]
 pub struct ObsPipe {
-    pub sink: SharedCollector,
-    pub session: u32,
+    pub handle: ObsHandle,
 }
 
 impl std::fmt::Debug for ObsPipe {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObsPipe")
-            .field("session", &self.session)
-            .field("enabled", &self.sink.enabled())
+            .field("session", &self.handle.session())
+            .field("enabled", &self.handle.enabled())
             .finish()
     }
 }
@@ -82,17 +82,25 @@ impl EventLog {
     }
 
     /// Attach a trace collector; every subsequent `record` call is also
-    /// forwarded as a trace point under `session`.
+    /// forwarded as a trace point under `session`. Creates a fresh
+    /// causal context — use [`EventLog::attach_observer_handle`] to
+    /// join an existing session tree.
     pub fn attach_observer(&mut self, sink: SharedCollector, session: u32) {
-        self.pipe = Some(ObsPipe { sink, session });
+        self.attach_observer_handle(ObsHandle::new(sink, session));
+    }
+
+    /// Attach a shared [`ObsHandle`] so forwarded points nest under
+    /// whatever scope the session currently has open.
+    pub fn attach_observer_handle(&mut self, handle: ObsHandle) {
+        self.pipe = Some(ObsPipe { handle });
     }
 
     pub fn record(&mut self, at_us: u64, kind: EventKind, detail: impl Into<String>) {
         let detail = detail.into();
         if let Some(pipe) = &self.pipe {
-            pipe.sink.emit(|| {
+            pipe.handle.emit(|| {
                 let (stage, name) = kind.trace_key();
-                TraceEvent::point(pipe.session, at_us, stage, name, detail.as_str())
+                TraceEvent::point(pipe.handle.session(), at_us, stage, name, detail.as_str())
             });
         }
         self.events.push(Event {

@@ -19,7 +19,61 @@
 use ira::evalkit::report::{banner, table};
 use ira::prelude::*;
 use ira_bench::threads_from_args;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Counting allocator backing the warm-key no-allocation assertion:
+/// one relaxed add per allocation, uniform across all three modes.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The steady-state contract [`SummaryCollector`] documents: once a
+/// metric key has been seen, folding further events for it must not
+/// allocate (reused key buffer, in-place registry updates).
+fn assert_warm_key_folding_is_alloc_free() {
+    use ira::obs::Collector as _;
+    let collector = SummaryCollector::new();
+    let mut events = Vec::new();
+    for i in 0..1_000u64 {
+        events.push(TraceEvent::point(0, i, "net", "cache_hit", ""));
+        events.push(TraceEvent::span(0, i, "llm", "call", "", 40 + i));
+    }
+    for ev in events.drain(..2) {
+        collector.record(ev); // warm-up pays the one-time key allocations
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let folded = events.len();
+    for ev in events {
+        collector.record(ev);
+    }
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        during, 0,
+        "warm-key summary folding allocated {during} times over {folded} events"
+    );
+    println!("warm-key folding: 0 allocations over {folded} events\n");
+}
 
 const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
                         that connects Brazil to Europe or the one that connects the US to \
@@ -106,6 +160,8 @@ fn main() {
         )
     );
     println!("{RUNS} runs per mode, threads={threads}; reporting medians\n");
+
+    assert_warm_key_folding_is_alloc_free();
 
     let mut rows = Vec::new();
     let mut baseline = 0.0;

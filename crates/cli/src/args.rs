@@ -60,6 +60,29 @@ pub enum Command {
     Simulate { what: SimChoice },
     /// Summarize a JSONL trace file into the metrics table.
     TraceSummarize { file: String },
+    /// Fold a JSONL trace into causal span trees and print the
+    /// profile (flame view, hotspots, critical paths).
+    TraceProfile {
+        file: String,
+        /// Emit the JSON profile instead of the text view.
+        json: bool,
+        /// Hotspot table size.
+        top: usize,
+    },
+    /// Diff two traces/profiles/snapshots and report regressions.
+    TraceDiff {
+        base: String,
+        current: String,
+        /// Allowed relative drift, in percent (0 = exact).
+        max_regress: f64,
+    },
+    /// Filter a trace's events by stage, session, or duration.
+    TraceQuery {
+        file: String,
+        stage: Option<String>,
+        session: Option<u32>,
+        slower_than: Option<u64>,
+    },
     /// Audit the built-in databases.
     Audit,
     /// Print usage.
@@ -136,9 +159,26 @@ COMMANDS:
                   --faults <0..1>         report the fault plan at this intensity
     simulate    Run a world-model simulation
                   storms | outage | economics   (default storms)
-    trace       Inspect a recorded trace
+    trace       Inspect a recorded trace (every action accepts `-`
+                to read the trace from stdin)
                   summarize <file>        print the deterministic
                                           per-stage latency/count table
+                  profile <file>          fold the trace into causal span
+                                          trees: inclusive/exclusive
+                                          virtual time, hotspots,
+                                          per-session critical paths
+                    --json                emit the JSON profile instead
+                    --top <n>             hotspot table size (default 10)
+                  diff <base> <current>   compare two traces, profiles
+                                          (--json output), or metrics
+                                          snapshots; non-zero exit and
+                                          a sorted report on drift
+                    --max-regress <pct>   allowed relative drift in
+                                          percent (default 0 = exact)
+                  query <file>            grep the causal tree
+                    --stage <stage>       keep events of this stage
+                    --session <n>         keep one session
+                    --slower-than <µs>    keep spans at least this long
     audit       Integrity-check the built-in databases
     help        Show this message
 
@@ -247,18 +287,93 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "trace" => match rest.first().copied() {
             Some("summarize") => {
-                let file = rest
-                    .get(1)
-                    .copied()
-                    .ok_or_else(|| ParseError("trace summarize needs a trace file".into()))?;
+                let file = rest.get(1).copied().ok_or_else(|| {
+                    ParseError("trace summarize needs a trace file (or -)".into())
+                })?;
                 Ok(Command::TraceSummarize {
                     file: file.to_string(),
                 })
             }
+            Some("profile") => {
+                let sub = &rest[1..];
+                let file = positional(sub)
+                    .ok_or_else(|| ParseError("trace profile needs a trace file (or -)".into()))?;
+                Ok(Command::TraceProfile {
+                    file,
+                    json: sub.contains(&"--json"),
+                    top: num_flag(sub, "--top", 10)?,
+                })
+            }
+            Some("diff") => {
+                let sub = &rest[1..];
+                let positionals: Vec<&str> = {
+                    let mut skip = false;
+                    sub.iter()
+                        .filter(|a| {
+                            if skip {
+                                skip = false;
+                                return false;
+                            }
+                            if a.starts_with("--") {
+                                skip = **a == "--max-regress";
+                                return false;
+                            }
+                            true
+                        })
+                        .copied()
+                        .collect()
+                };
+                let [base, current] = positionals[..] else {
+                    return Err(ParseError(
+                        "trace diff needs two inputs: <base> <current> (either may be -)".into(),
+                    ));
+                };
+                let max_regress = match flag(sub, "--max-regress")? {
+                    Some(v) => v.parse::<f64>().map_err(|_| {
+                        ParseError(format!("--max-regress expects a percentage, got {v:?}"))
+                    })?,
+                    None => 0.0,
+                };
+                if !(0.0..=100.0).contains(&max_regress) {
+                    return Err(ParseError(format!(
+                        "--max-regress must be in [0, 100], got {max_regress}"
+                    )));
+                }
+                Ok(Command::TraceDiff {
+                    base: base.to_string(),
+                    current: current.to_string(),
+                    max_regress,
+                })
+            }
+            Some("query") => {
+                let sub = &rest[1..];
+                let file = positional(sub)
+                    .ok_or_else(|| ParseError("trace query needs a trace file (or -)".into()))?;
+                let session = match flag(sub, "--session")? {
+                    Some(v) => Some(v.parse::<u32>().map_err(|_| {
+                        ParseError(format!("--session expects a number, got {v:?}"))
+                    })?),
+                    None => None,
+                };
+                let slower_than = match flag(sub, "--slower-than")? {
+                    Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                        ParseError(format!("--slower-than expects microseconds, got {v:?}"))
+                    })?),
+                    None => None,
+                };
+                Ok(Command::TraceQuery {
+                    file,
+                    stage: flag(sub, "--stage")?.map(str::to_string),
+                    session,
+                    slower_than,
+                })
+            }
             Some(other) => Err(ParseError(format!(
-                "unknown trace action {other:?}; expected summarize"
+                "unknown trace action {other:?}; expected summarize|profile|diff|query"
             ))),
-            None => Err(ParseError("trace needs an action: summarize <file>".into())),
+            None => Err(ParseError(
+                "trace needs an action: summarize|profile|diff|query".into(),
+            )),
         },
         other => Err(ParseError(format!(
             "unknown command {other:?}; run `ira help` for usage"
@@ -309,7 +424,7 @@ fn positional(rest: &[&str]) -> Option<String> {
         }
         if a.starts_with("--") {
             // Boolean flags take no value.
-            skip_next = !matches!(*a, "--incidents" | "--resume" | "--metrics");
+            skip_next = !matches!(*a, "--incidents" | "--resume" | "--metrics" | "--json");
             let _ = i;
             continue;
         }
@@ -611,5 +726,81 @@ mod tests {
         assert!(p(&["trace"]).is_err());
         assert!(p(&["trace", "summarize"]).is_err());
         assert!(p(&["trace", "replay", "out.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn trace_profile_parses() {
+        assert_eq!(
+            p(&["trace", "profile", "t.jsonl"]),
+            Ok(Command::TraceProfile {
+                file: "t.jsonl".into(),
+                json: false,
+                top: 10,
+            })
+        );
+        assert_eq!(
+            p(&["trace", "profile", "--json", "--top", "3", "-"]),
+            Ok(Command::TraceProfile {
+                file: "-".into(),
+                json: true,
+                top: 3,
+            })
+        );
+        assert!(p(&["trace", "profile"]).is_err());
+    }
+
+    #[test]
+    fn trace_diff_parses() {
+        assert_eq!(
+            p(&["trace", "diff", "base.json", "fresh.jsonl"]),
+            Ok(Command::TraceDiff {
+                base: "base.json".into(),
+                current: "fresh.jsonl".into(),
+                max_regress: 0.0,
+            })
+        );
+        assert_eq!(
+            p(&["trace", "diff", "--max-regress", "10", "a", "-"]),
+            Ok(Command::TraceDiff {
+                base: "a".into(),
+                current: "-".into(),
+                max_regress: 10.0,
+            })
+        );
+        assert!(p(&["trace", "diff", "only-one"]).is_err());
+        assert!(p(&["trace", "diff", "a", "b", "--max-regress", "oops"]).is_err());
+        assert!(p(&["trace", "diff", "a", "b", "--max-regress", "250"]).is_err());
+    }
+
+    #[test]
+    fn trace_query_parses() {
+        assert_eq!(
+            p(&["trace", "query", "t.jsonl", "--stage", "fetch"]),
+            Ok(Command::TraceQuery {
+                file: "t.jsonl".into(),
+                stage: Some("fetch".into()),
+                session: None,
+                slower_than: None,
+            })
+        );
+        assert_eq!(
+            p(&[
+                "trace",
+                "query",
+                "--session",
+                "2",
+                "--slower-than",
+                "5000",
+                "-"
+            ]),
+            Ok(Command::TraceQuery {
+                file: "-".into(),
+                stage: None,
+                session: Some(2),
+                slower_than: Some(5000),
+            })
+        );
+        assert!(p(&["trace", "query"]).is_err());
+        assert!(p(&["trace", "query", "t.jsonl", "--session", "x"]).is_err());
     }
 }

@@ -95,6 +95,18 @@ pub fn run(cmd: Command) -> i32 {
         } => corpus_stats(distractors, faults),
         Command::Simulate { what } => simulate(what),
         Command::TraceSummarize { file } => trace_summarize(&file),
+        Command::TraceProfile { file, json, top } => trace_profile(&file, json, top),
+        Command::TraceDiff {
+            base,
+            current,
+            max_regress,
+        } => trace_diff(&base, &current, max_regress),
+        Command::TraceQuery {
+            file,
+            stage,
+            session,
+            slower_than,
+        } => trace_query(&file, stage.as_deref(), session, slower_than),
         Command::Audit => audit_cmd(),
     }
 }
@@ -615,25 +627,177 @@ fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>, obs: &ObsSink
     obs.finish()
 }
 
-/// `ira trace summarize <file>`: replay a recorded JSONL trace through
-/// the summary collector and print the metrics table. Pure function of
-/// the file contents, so the output is as deterministic as the trace.
+/// The name used for `-` inputs in diagnostics.
+fn input_name(file: &str) -> &str {
+    if file == "-" {
+        "stdin"
+    } else {
+        file
+    }
+}
+
+/// Read a trace document from a file, or from stdin when `file` is `-`.
+fn read_trace_input(file: &str) -> Result<String, String> {
+    if file == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("could not read stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("could not read {file}: {e}"))
+    }
+}
+
+/// Read and parse a JSONL trace (file or `-`). The error is a single
+/// line naming the input and the offending trace line.
+fn load_trace_events(file: &str) -> Result<Vec<ira_obs::TraceEvent>, String> {
+    let text = read_trace_input(file)?;
+    ira_obs::parse_jsonl(&text)
+        .map_err(|e| format!("{} is not a valid trace: {e}", input_name(file)))
+}
+
+/// `ira trace summarize <file|->`: replay a recorded JSONL trace
+/// through the summary collector and print the metrics table. Pure
+/// function of the input, so the output is as deterministic as the
+/// trace.
 fn trace_summarize(file: &str) -> i32 {
-    let text = match std::fs::read_to_string(file) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: could not read {file}: {e}");
-            return 1;
-        }
-    };
-    let events = match ira_obs::parse_jsonl(&text) {
+    let events = match load_trace_events(file) {
         Ok(events) => events,
         Err(e) => {
-            eprintln!("error: {file} is not a valid trace: {e}");
+            eprintln!("error: {e}");
             return 1;
         }
     };
     print!("{}", ira_obs::summarize_events(&events).render());
+    0
+}
+
+/// `ira trace profile <file|->`: fold the trace into causal span
+/// trees and print the profile — text flame view with hotspots and
+/// critical paths, or the JSON profile with `--json`.
+fn trace_profile(file: &str, json: bool, top: usize) -> i32 {
+    let events = match load_trace_events(file) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let profile = ira_obs::fold_trace(&events);
+    if json {
+        match serde_json::to_string(&profile) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("error: could not serialize profile: {e}");
+                return 1;
+            }
+        }
+    } else {
+        print!("{}", profile.render(top));
+    }
+    0
+}
+
+/// Load one `trace diff` input as a flattened key→value map. Accepts
+/// (and auto-detects) a JSON profile (`trace profile --json` output or
+/// a checked-in baseline), a JSON metrics snapshot, or a raw JSONL
+/// trace, which is folded into a profile first.
+fn load_diff_input(file: &str) -> Result<std::collections::BTreeMap<String, u64>, String> {
+    let text = read_trace_input(file)?;
+    let trimmed = text.trim_start();
+    if trimmed.starts_with('{') {
+        if let Ok(profile) = serde_json::from_str::<ira_obs::Profile>(trimmed) {
+            return Ok(ira_obs::diff::flatten_profile(&profile));
+        }
+        if let Ok(snap) = serde_json::from_str::<ira_obs::MetricsSnapshot>(trimmed) {
+            return Ok(ira_obs::diff::flatten_snapshot(&snap));
+        }
+        // Fall through: a one-line JSONL trace also starts with '{'.
+    }
+    let events = ira_obs::parse_jsonl(&text).map_err(|e| {
+        format!(
+            "{} is neither a profile, a metrics snapshot, nor a trace: {e}",
+            input_name(file)
+        )
+    })?;
+    Ok(ira_obs::diff::flatten_profile(&ira_obs::fold_trace(
+        &events,
+    )))
+}
+
+/// `ira trace diff <base> <current>`: compare two recorded inputs
+/// under a uniform relative tolerance (percent; 0 = byte-exact
+/// virtual-time equality). Exits non-zero when any key drifts out of
+/// tolerance, naming every offending key.
+fn trace_diff(base: &str, current: &str, max_regress_pct: f64) -> i32 {
+    if base == "-" && current == "-" {
+        eprintln!("error: only one diff input may come from stdin");
+        return 1;
+    }
+    let base_flat = match load_diff_input(base) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let current_flat = match load_diff_input(current) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let tol = ira_obs::Tolerances::uniform(max_regress_pct / 100.0);
+    let report = ira_obs::diff::diff_flat(&base_flat, &current_flat, &tol);
+    print!("{}", report.render());
+    i32::from(!report.is_clean())
+}
+
+/// `ira trace query <file|->`: filter a trace by stage, session, and
+/// minimum span duration. Matching events are printed as JSONL — the
+/// output is itself a valid trace, so it pipes back into
+/// `trace summarize -` or `trace profile -`. The match count goes to
+/// stderr to keep stdout replayable.
+fn trace_query(
+    file: &str,
+    stage: Option<&str>,
+    session: Option<u32>,
+    slower_than: Option<u64>,
+) -> i32 {
+    let events = match load_trace_events(file) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let total = events.len();
+    let mut matched = 0usize;
+    for ev in &events {
+        if let Some(s) = stage {
+            if ev.stage != s {
+                continue;
+            }
+        }
+        if let Some(id) = session {
+            if ev.session != id {
+                continue;
+            }
+        }
+        if let Some(floor) = slower_than {
+            // Duration filters select spans; points and gauges have no
+            // duration to compare.
+            if ev.class != ira_obs::EventClass::Span || ev.value < floor {
+                continue;
+            }
+        }
+        println!("{}", ev.to_jsonl());
+        matched += 1;
+    }
+    eprintln!("matched {matched} of {total} events");
     0
 }
 

@@ -249,6 +249,171 @@ fn traced_train_is_thread_count_invariant_and_summarizable() {
 }
 
 #[test]
+fn trace_profile_diff_and_query_flows() {
+    let knowledge = tmp("profile-knowledge.json");
+    let trace = tmp("profile-trace.jsonl");
+    for f in [&knowledge, &trace] {
+        let _ = std::fs::remove_file(f);
+    }
+    assert_eq!(
+        run(Command::Train {
+            role: RoleChoice::Bob,
+            out: knowledge.clone(),
+            crawl_links: 0,
+            distractors: 50,
+            faults: 0.0,
+            resume: false,
+            parallel: 1,
+            trace: Some(trace.clone()),
+            metrics: false,
+        }),
+        0
+    );
+
+    // Profile the recorded trace, text and JSON renderings.
+    assert_eq!(
+        run(Command::TraceProfile {
+            file: trace.clone(),
+            json: false,
+            top: 5,
+        }),
+        0
+    );
+    assert_eq!(
+        run(Command::TraceProfile {
+            file: trace.clone(),
+            json: true,
+            top: 10,
+        }),
+        0
+    );
+
+    // A trace diffed against itself is clean at zero tolerance.
+    assert_eq!(
+        run(Command::TraceDiff {
+            base: trace.clone(),
+            current: trace.clone(),
+            max_regress: 0.0,
+        }),
+        0
+    );
+
+    // Query filters compose and exit 0 even when nothing matches.
+    assert_eq!(
+        run(Command::TraceQuery {
+            file: trace.clone(),
+            stage: Some("llm".into()),
+            session: Some(0),
+            slower_than: Some(1),
+        }),
+        0
+    );
+    assert_eq!(
+        run(Command::TraceQuery {
+            file: trace.clone(),
+            stage: Some("no-such-stage".into()),
+            session: None,
+            slower_than: None,
+        }),
+        0
+    );
+
+    for f in [&knowledge, &trace] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn trace_diff_catches_a_regression_and_respects_tolerance() {
+    // Two handmade single-span traces: the llm call got 10% slower.
+    let base = tmp("diff-base.jsonl");
+    let current = tmp("diff-current.jsonl");
+    let span = |value: u64| {
+        format!(
+            "{{\"at_us\":0,\"class\":\"Span\",\"detail\":\"\",\"name\":\"call\",\
+             \"parent_id\":0,\"session\":0,\"span_id\":1,\"stage\":\"llm\",\"value\":{value}}}\n"
+        )
+    };
+    std::fs::write(&base, span(1000)).unwrap();
+    std::fs::write(&current, span(1100)).unwrap();
+
+    // Zero tolerance: the 10% slowdown is a failure.
+    assert_eq!(
+        run(Command::TraceDiff {
+            base: base.clone(),
+            current: current.clone(),
+            max_regress: 0.0,
+        }),
+        1
+    );
+    // A 15% budget forgives it.
+    assert_eq!(
+        run(Command::TraceDiff {
+            base: base.clone(),
+            current: current.clone(),
+            max_regress: 15.0,
+        }),
+        0
+    );
+
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&current).ok();
+}
+
+#[test]
+fn malformed_trace_inputs_fail_with_exit_one() {
+    let junk = tmp("profile-junk.jsonl");
+    std::fs::write(&junk, "{\"at_us\":0}\nnot json\n").unwrap();
+    let missing = tmp("profile-missing.jsonl");
+    let _ = std::fs::remove_file(&missing);
+
+    assert_eq!(
+        run(Command::TraceProfile {
+            file: junk.clone(),
+            json: false,
+            top: 10,
+        }),
+        1
+    );
+    assert_eq!(
+        run(Command::TraceProfile {
+            file: missing.clone(),
+            json: true,
+            top: 10,
+        }),
+        1
+    );
+    assert_eq!(
+        run(Command::TraceDiff {
+            base: junk.clone(),
+            current: junk.clone(),
+            max_regress: 0.0,
+        }),
+        1
+    );
+    assert_eq!(
+        run(Command::TraceQuery {
+            file: junk.clone(),
+            stage: None,
+            session: None,
+            slower_than: None,
+        }),
+        1
+    );
+    // Both diff inputs cannot come from stdin.
+    assert_eq!(
+        run(Command::TraceDiff {
+            base: "-".into(),
+            current: "-".into(),
+            max_regress: 0.0,
+        }),
+        1
+    );
+
+    std::fs::remove_file(&junk).ok();
+}
+
+#[test]
 fn quiz_with_metrics_and_trace_succeeds() {
     let trace = tmp("quiz-trace.jsonl");
     let _ = std::fs::remove_file(&trace);

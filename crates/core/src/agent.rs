@@ -16,7 +16,7 @@ use crate::selflearn::LearningTrajectory;
 use crate::stages::{HostTimer, StageStats};
 use ira_agentmem::KnowledgeStore;
 use ira_autogpt::{AutoGpt, Budget, GoalReport};
-use ira_obs::{stage, CollectorExt, SharedCollector, TraceEvent};
+use ira_obs::{stage, ObsHandle, SharedCollector, TraceEvent};
 use ira_services::{Answer, LanguageModel, LlmStats, WebServices};
 use ira_simllm::Llm;
 use serde::{Deserialize, Serialize};
@@ -54,8 +54,7 @@ pub struct ResearchAgent {
     llm: Arc<dyn LanguageModel>,
     memory: KnowledgeStore,
     stages: StageStats,
-    obs: SharedCollector,
-    obs_session: u32,
+    obs: ObsHandle,
 }
 
 impl ResearchAgent {
@@ -90,8 +89,7 @@ impl ResearchAgent {
             llm,
             memory: KnowledgeStore::new(config.memory),
             stages: StageStats::default(),
-            obs: ira_obs::null_collector(),
-            obs_session: 0,
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -99,10 +97,19 @@ impl ResearchAgent {
     /// mirror their event logs into it, knowledge-test verdicts and
     /// memory growth are recorded, and the model's inference hook is
     /// reinstalled to emit an LLM-call span (still charging the same
-    /// virtual latency) for every call.
+    /// virtual latency) for every call. Creates a fresh causal
+    /// context; use [`ResearchAgent::set_observer_handle`] to share a
+    /// session-wide one (so client fetch spans and agent cycle scopes
+    /// form one tree).
     pub fn set_observer(&mut self, sink: SharedCollector, session: u32) {
-        self.obs = Arc::clone(&sink);
-        self.obs_session = session;
+        self.set_observer_handle(ObsHandle::new(sink, session));
+    }
+
+    /// Attach a shared causal observation handle. LLM-call spans and
+    /// all agent events are parented under whatever scope the session
+    /// currently has open.
+    pub fn set_observer_handle(&mut self, handle: ObsHandle) {
+        self.obs = handle.clone();
         let latency = self.config.inference;
         let clock = Arc::clone(&self.web);
         self.llm
@@ -110,9 +117,9 @@ impl ResearchAgent {
                 let start = clock.now_us();
                 let charged = latency.charge_us(prompt, completion);
                 clock.advance_us(charged);
-                sink.emit(|| {
+                handle.emit(|| {
                     TraceEvent::span(
-                        session,
+                        handle.session(),
                         start,
                         stage::LLM,
                         "call",
@@ -127,7 +134,7 @@ impl ResearchAgent {
     fn emit_memory_gauge(&self) {
         self.obs.emit(|| {
             TraceEvent::gauge(
-                self.obs_session,
+                self.obs.session(),
                 self.now_us(),
                 stage::MEMORY,
                 "entries",
@@ -258,6 +265,12 @@ impl ResearchAgent {
     fn retrieve_goal(&mut self, goal: &str) -> GoalReport {
         let host = HostTimer::start();
         let virtual_start = self.now_us();
+        // The whole goal is one causal scope: the loop's cycle/search/
+        // fetch/memory points, the client's fetch spans, and the LLM
+        // call spans all nest under it. (The handle is cloned to a
+        // local so the open scope doesn't hold a borrow of `self`.)
+        let obs = self.obs.clone();
+        let scope = obs.scope(virtual_start, stage::CYCLE, "goal");
         let mut loop_ = AutoGpt::new(
             &*self.web,
             &*self.llm,
@@ -266,7 +279,7 @@ impl ResearchAgent {
             self.config.budget,
         );
         if self.obs.enabled() {
-            loop_.attach_observer(Arc::clone(&self.obs), self.obs_session);
+            loop_.attach_observer_handle(self.obs.clone());
         }
         let report = loop_.run_goal(goal);
         // The goal loop memorized new pages: retrieval for a repeated
@@ -275,16 +288,7 @@ impl ResearchAgent {
         self.stages.retrieval_virtual_us += self.now_us() - virtual_start;
         self.stages.retrieval_host_us += host.elapsed_us();
         self.stages.retrieval_ops += 1;
-        self.obs.emit(|| {
-            TraceEvent::span(
-                self.obs_session,
-                virtual_start,
-                stage::CYCLE,
-                "goal",
-                goal,
-                self.now_us().saturating_sub(virtual_start),
-            )
-        });
+        scope.finish(self.now_us(), || goal.to_string());
         self.emit_memory_gauge();
         report
     }
@@ -350,6 +354,11 @@ impl ResearchAgent {
     /// (optionally in parallel), memory grows, and the question is
     /// re-assessed, until the confidence threshold or round budget.
     pub fn self_learn(&mut self, question: &str) -> LearningTrajectory {
+        // One causal scope for the whole test-and-learn loop, with a
+        // child scope per learning round, so each verdict's LLM calls
+        // and retrievals are attributable to the round that spent them.
+        let obs = self.obs.clone();
+        let learn_scope = obs.scope(self.now_us(), stage::CYCLE, "self_learn");
         let mut trajectory = LearningTrajectory::new(question, self.config.confidence_threshold);
         let mut answer = self.ask(question);
         trajectory.record(0, &answer, Vec::new(), 0);
@@ -359,6 +368,7 @@ impl ResearchAgent {
         while answer.confidence < self.config.confidence_threshold
             && round <= self.config.max_rounds
         {
+            let round_scope = obs.scope(self.now_us(), stage::CYCLE, "round");
             let knowledge = self.knowledge_for(question);
             let host = HostTimer::start();
             let virtual_start = self.now_us();
@@ -379,11 +389,13 @@ impl ResearchAgent {
             answer = self.ask(question);
             trajectory.record(round, &answer, queries, memorized);
             self.emit_verdict(round, &answer);
+            round_scope.finish(self.now_us(), || format!("round={round}"));
             round += 1;
             if memorized == 0 {
                 break;
             }
         }
+        learn_scope.finish(self.now_us(), || question.to_string());
         trajectory
     }
 
@@ -391,22 +403,25 @@ impl ResearchAgent {
     /// confidence rides in `value`, the committed verdict (if any) in
     /// the detail.
     fn emit_verdict(&self, round: u32, answer: &Answer) {
-        self.obs.emit(|| TraceEvent {
-            session: self.obs_session,
-            at_us: self.now_us(),
-            class: ira_obs::EventClass::Point,
-            stage: stage::VERDICT.to_string(),
-            name: if answer.confidence >= self.config.confidence_threshold {
-                "committed".to_string()
+        self.obs.emit(|| {
+            let name = if answer.confidence >= self.config.confidence_threshold {
+                "committed"
             } else {
-                "unresolved".to_string()
-            },
-            detail: format!(
-                "round={round} confidence={} verdict={}",
-                answer.confidence,
-                answer.verdict.as_deref().unwrap_or("-")
-            ),
-            value: answer.confidence as u64,
+                "unresolved"
+            };
+            let mut ev = TraceEvent::point(
+                self.obs.session(),
+                self.now_us(),
+                stage::VERDICT,
+                name,
+                format!(
+                    "round={round} confidence={} verdict={}",
+                    answer.confidence,
+                    answer.verdict.as_deref().unwrap_or("-")
+                ),
+            );
+            ev.value = answer.confidence as u64;
+            ev
         });
     }
 
@@ -449,7 +464,7 @@ impl ResearchAgent {
             // the shared virtual clock) is scheduler-dependent, so the
             // determinism guarantee only covers the default serial mode.
             if self.obs.enabled() {
-                loop_.attach_observer(Arc::clone(&self.obs), self.obs_session);
+                loop_.attach_observer_handle(self.obs.clone());
             }
             queries
                 .iter()

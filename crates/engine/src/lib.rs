@@ -18,7 +18,7 @@
 //! path.
 
 use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
-use ira_obs::SharedCollector;
+use ira_obs::{ObsHandle, SharedCollector};
 use ira_webcorpus::{Corpus, CorpusConfig};
 use ira_worldmodel::World;
 use std::collections::HashMap;
@@ -155,6 +155,11 @@ impl Engine {
     /// session emits are identical whether the sweep runs on one
     /// thread or many — `session_id` is the per-session span root that
     /// keeps the streams apart.
+    ///
+    /// Client and agent share one [`ObsHandle`], i.e. one span-id
+    /// allocator and one current-parent slot, so fetch spans, retry
+    /// waits, LLM calls, and loop events all land in a single causal
+    /// tree under the agent's cycle scopes.
     pub fn spawn_session_observed(
         &self,
         config: SessionConfig,
@@ -164,11 +169,12 @@ impl Engine {
         let corpus = self.corpus(config.corpus);
         let mut env =
             Environment::from_parts(self.world.clone(), corpus, config.net_seed, config.faults);
+        let handle = ObsHandle::new(sink, session_id);
         // The agent clones the client at construction, so the observer
         // must be installed before `ResearchAgent::new`.
-        env.client.set_observer(Arc::clone(&sink), session_id);
+        env.client.set_observer_handle(handle.clone());
         let mut agent = ResearchAgent::new(config.role, &env, config.agent, config.llm_seed);
-        agent.set_observer(sink, session_id);
+        agent.set_observer_handle(handle);
         Session { env, agent }
     }
 }

@@ -85,6 +85,82 @@ fn rollup_of_per_session_snapshots_is_order_invariant() {
     assert!(forward.gauges.contains_key("memory.entries"));
 }
 
+#[test]
+fn profiles_are_byte_identical_across_thread_counts() {
+    // The profiler is a pure fold of the trace, and the trace is
+    // thread-count invariant — so both the text rendering and the JSON
+    // serialization (what the CI gate pins at zero tolerance) must be
+    // byte-identical however the sweep was scheduled.
+    let (serial, _) = run_observed_sweep(3, 1);
+    let (parallel, _) = run_observed_sweep(3, 4);
+    let (wide, _) = run_observed_sweep(3, 8);
+
+    let fold =
+        |doc: &str| ira_obs::fold_trace(&ira_obs::parse_jsonl(doc).expect("trace must parse"));
+    let (a, b, c) = (fold(&serial), fold(&parallel), fold(&wide));
+
+    assert_eq!(a.render(10), b.render(10));
+    assert_eq!(a.render(10), c.render(10));
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "profile JSON must be invariant under the sweep thread count"
+    );
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&c).unwrap(),
+    );
+}
+
+#[test]
+fn profiled_sweep_produces_causal_trees_not_flat_lists() {
+    let (doc, _) = run_observed_sweep(1, 1);
+    let events = ira_obs::parse_jsonl(&doc).expect("trace must parse");
+    let profile = ira_obs::fold_trace(&events);
+
+    assert_eq!(profile.sessions.len(), 1);
+    let session = &profile.sessions[0];
+    // Training cycles and the self-learn scope are roots; llm calls and
+    // fetches must hang *under* them, not float beside them.
+    assert!(
+        session.roots.iter().any(|r| r.key == "cycle.goal"),
+        "training cycles must be root spans"
+    );
+    assert!(
+        session.roots.iter().any(|r| r.key == "cycle.self_learn"),
+        "self-learn must be a root span"
+    );
+    assert!(
+        !session.roots.iter().any(|r| r.key == "llm.call"),
+        "llm calls must be nested under a cycle, never a root"
+    );
+    let goal = session
+        .roots
+        .iter()
+        .find(|r| r.key == "cycle.goal")
+        .unwrap();
+    assert!(
+        goal.children.iter().any(|c| c.key == "llm.call"),
+        "a goal cycle must contain its llm calls"
+    );
+    assert!(
+        goal.children.iter().any(|c| c.key.starts_with("fetch.")),
+        "a goal cycle must contain its fetches"
+    );
+    // Token counts parsed from llm.call details surface as span ops.
+    assert!(goal
+        .children
+        .iter()
+        .filter(|c| c.key == "llm.call")
+        .all(|c| c.ops.contains_key("llm.prompt_tokens")));
+    // The critical path descends from a root through real time.
+    assert!(!session.critical_path.is_empty());
+    assert!(session
+        .critical_path
+        .windows(2)
+        .all(|w| w[0].inclusive_us >= w[1].inclusive_us));
+}
+
 /// Disabled collector that panics if anything ever reaches it: proves
 /// the hot loop builds no events (and allocates no trace strings) when
 /// tracing is off.

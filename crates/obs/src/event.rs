@@ -7,8 +7,17 @@
 //! each session's event stream is produced by exactly one thread, so
 //! per-session ordering is deterministic regardless of how sessions
 //! interleave on the host.
+//!
+//! Since the causal-tracing overhaul, every event also carries a
+//! **span identity**: a session-local `span_id` allocated by the
+//! session's [`ObsContext`](crate::context::ObsContext) counter, and
+//! the `parent_id` of the enclosing scope (0 = session root). Because
+//! the counter is session-local and every session runs on exactly one
+//! thread, the ids — like the timestamps — are a pure function of the
+//! seeds.
 
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Canonical stage names used across the workspace. Using shared
 /// constants keeps trace files and metric keys grep-able and stops the
@@ -63,6 +72,14 @@ pub struct TraceEvent {
     pub detail: String,
     /// Span duration (µs), gauge level, or point payload.
     pub value: u64,
+    /// Session-local span identity, allocated in emission order by the
+    /// session's [`ObsContext`](crate::context::ObsContext). 0 means
+    /// the event predates causal tracing (legacy traces parse fine).
+    #[serde(default)]
+    pub span_id: u64,
+    /// The `span_id` of the enclosing scope; 0 = session root.
+    #[serde(default)]
+    pub parent_id: u64,
 }
 
 impl TraceEvent {
@@ -81,6 +98,8 @@ impl TraceEvent {
             name: name.to_string(),
             detail: detail.into(),
             value: 0,
+            span_id: 0,
+            parent_id: 0,
         }
     }
 
@@ -100,6 +119,8 @@ impl TraceEvent {
             name: name.to_string(),
             detail: detail.into(),
             value: dur_us,
+            span_id: 0,
+            parent_id: 0,
         }
     }
 
@@ -112,12 +133,33 @@ impl TraceEvent {
             name: name.to_string(),
             detail: String::new(),
             value: level,
+            span_id: 0,
+            parent_id: 0,
         }
+    }
+
+    /// Assign the causal identity (builder form, used by
+    /// [`ObsHandle`](crate::context::ObsHandle) emission).
+    pub fn with_ids(mut self, span_id: u64, parent_id: u64) -> Self {
+        self.span_id = span_id;
+        self.parent_id = parent_id;
+        self
     }
 
     /// The metric key this event aggregates under: `stage.name`.
     pub fn metric_key(&self) -> String {
         format!("{}.{}", self.stage, self.name)
+    }
+
+    /// Write the metric key into a reused buffer (cleared first). The
+    /// hot folding path of the
+    /// [`SummaryCollector`](crate::collector::SummaryCollector) uses
+    /// this instead of [`TraceEvent::metric_key`] so steady-state
+    /// aggregation allocates nothing.
+    pub fn write_metric_key(&self, buf: &mut String) {
+        buf.clear();
+        // Writing into a String is infallible.
+        let _ = write!(buf, "{}.{}", self.stage, self.name);
     }
 
     /// One JSONL line (no trailing newline). Fields serialize in a
@@ -128,19 +170,53 @@ impl TraceEvent {
     }
 }
 
-/// Parse a JSONL trace document (one event per non-empty line).
-pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+/// A trace-document parse failure: the 1-based line it occurred on and
+/// what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number within the document.
+    pub line: usize,
+    /// The underlying JSON error, human-readable.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: not a trace event: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parse a JSONL trace document (one event per non-empty line; blank
+/// lines — including trailing ones — are tolerated). On failure the
+/// error names the offending 1-based line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceParseError> {
     let mut events = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let ev: TraceEvent = serde_json::from_str(line)
-            .map_err(|e| format!("line {}: not a trace event: {e}", i + 1))?;
+        let ev: TraceEvent = serde_json::from_str(line).map_err(|e| TraceParseError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
         events.push(ev);
     }
     Ok(events)
+}
+
+/// Render events back into a JSONL document (one line per event, with
+/// a trailing newline when non-empty). `render_jsonl(parse_jsonl(doc))`
+/// is byte-identical for any document this module produced.
+pub fn render_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_jsonl());
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -149,7 +225,8 @@ mod tests {
 
     #[test]
     fn jsonl_round_trips() {
-        let ev = TraceEvent::span(2, 1_500, stage::FETCH, "ok", "sim://a.test/x", 730);
+        let ev =
+            TraceEvent::span(2, 1_500, stage::FETCH, "ok", "sim://a.test/x", 730).with_ids(4, 2);
         let line = ev.to_jsonl();
         let back = parse_jsonl(&line).unwrap();
         assert_eq!(back, vec![ev]);
@@ -157,11 +234,21 @@ mod tests {
 
     #[test]
     fn jsonl_rendering_is_stable() {
-        let ev = TraceEvent::point(0, 42, stage::SEARCH, "issued", "q=solar storms");
+        let ev = TraceEvent::point(0, 42, stage::SEARCH, "issued", "q=solar storms").with_ids(7, 3);
         assert_eq!(
             ev.to_jsonl(),
-            r#"{"at_us":42,"class":"Point","detail":"q=solar storms","name":"issued","session":0,"stage":"search","value":0}"#
+            r#"{"at_us":42,"class":"Point","detail":"q=solar storms","name":"issued","parent_id":3,"session":0,"span_id":7,"stage":"search","value":0}"#
         );
+    }
+
+    #[test]
+    fn legacy_events_without_ids_still_parse() {
+        // Traces recorded before the causal overhaul have no id fields;
+        // they deserialize with span_id = parent_id = 0.
+        let line = r#"{"at_us":42,"class":"Point","detail":"","name":"issued","session":0,"stage":"search","value":0}"#;
+        let events = parse_jsonl(line).unwrap();
+        assert_eq!(events[0].span_id, 0);
+        assert_eq!(events[0].parent_id, 0);
     }
 
     #[test]
@@ -169,19 +256,36 @@ mod tests {
         let good = TraceEvent::gauge(0, 1, stage::MEMORY, "entries", 9).to_jsonl();
         let doc = format!("{good}\nnot json\n");
         let err = parse_jsonl(&doc).unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]
     fn metric_key_joins_stage_and_name() {
         let ev = TraceEvent::point(0, 0, stage::NET, "cache_hit", "");
         assert_eq!(ev.metric_key(), "net.cache_hit");
+        let mut buf = String::from("stale contents");
+        ev.write_metric_key(&mut buf);
+        assert_eq!(buf, "net.cache_hit");
     }
 
     #[test]
     fn blank_lines_are_skipped() {
         let ev = TraceEvent::point(1, 7, stage::CYCLE, "start", "goal");
-        let doc = format!("\n{}\n\n", ev.to_jsonl());
+        let doc = format!("\n{}\n\n\n", ev.to_jsonl());
         assert_eq!(parse_jsonl(&doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn render_parse_render_is_byte_identical() {
+        let events = vec![
+            TraceEvent::point(0, 1, stage::CYCLE, "start", "g").with_ids(1, 0),
+            TraceEvent::span(0, 2, stage::FETCH, "ok", "sim://a.test/x", 400).with_ids(2, 1),
+            TraceEvent::gauge(1, 9, stage::MEMORY, "entries", 12).with_ids(1, 0),
+        ];
+        let doc = render_jsonl(&events);
+        let reparsed = parse_jsonl(&doc).unwrap();
+        assert_eq!(render_jsonl(&reparsed), doc);
+        assert_eq!(reparsed, events);
     }
 }

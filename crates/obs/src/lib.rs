@@ -6,28 +6,42 @@
 //! trace is a pure function of the run's seeds: same seeds, same
 //! trace, byte for byte, regardless of host speed or thread count.
 //!
-//! Three pieces:
+//! The pieces:
 //!
 //! - [`event::TraceEvent`] — one structured record (point, span, or
-//!   gauge) on a session's virtual timeline.
+//!   gauge) on a session's virtual timeline, carrying a deterministic
+//!   `span_id`/`parent_id` causal identity.
 //! - [`collector::Collector`] — the pluggable sink.
 //!   [`collector::NullCollector`] is the zero-cost default (event
 //!   closures never run), [`collector::JsonlCollector`] buffers a
 //!   replayable trace file, [`collector::SummaryCollector`] aggregates
 //!   into a [`metrics::MetricsRegistry`].
+//! - [`context::ObsHandle`] — a sink plus the session's span-id
+//!   allocator; [`context::ScopedSpan`] threads the current parent
+//!   through nested scopes across crate boundaries.
 //! - [`metrics`] — counters, high-watermark gauges, and fixed-bucket
 //!   virtual-time histograms whose snapshots merge commutatively.
+//! - [`profile`] — fold a trace into causal span trees: inclusive /
+//!   exclusive virtual time per stage, hotspots, critical paths.
+//! - [`diff`] — compare two profiles or snapshots under per-key
+//!   relative tolerances; the backend of the zero-tolerance CI gate.
 
 pub mod collector;
+pub mod context;
+pub mod diff;
 pub mod event;
 pub mod metrics;
+pub mod profile;
 
 pub use collector::{
     null_collector, Collector, CollectorExt, Fanout, JsonlCollector, NullCollector,
     SharedCollector, SpanGuard, SummaryCollector,
 };
-pub use event::{parse_jsonl, stage, EventClass, TraceEvent};
+pub use context::{ObsContext, ObsHandle, ScopedSpan};
+pub use diff::{diff_profiles, diff_snapshots, DiffEntry, DiffReport, Tolerances};
+pub use event::{parse_jsonl, render_jsonl, stage, EventClass, TraceEvent, TraceParseError};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS_US};
+pub use profile::{fold_trace, PathStep, Profile, SessionProfile, SpanNode, StageAgg};
 
 /// Build a per-stage latency/count summary from a parsed trace — the
 /// backend of `ira trace summarize`. Deterministic: replaying the same

@@ -42,24 +42,28 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Record one duration. Bucket bounds are inclusive (`dur_us <=
+    /// bound` lands in that bucket); counts and sums saturate instead
+    /// of wrapping, so a pathological merge chain can never corrupt a
+    /// snapshot with an overflow panic or a wrapped count.
     pub fn observe(&mut self, dur_us: u64) {
         let idx = LATENCY_BUCKETS_US
             .iter()
             .position(|&bound| dur_us <= bound)
             .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.counts[idx] += 1;
-        self.count += 1;
-        self.sum_us += dur_us;
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum_us = self.sum_us.saturating_add(dur_us);
         self.max_us = self.max_us.max(dur_us);
     }
 
-    /// Merge another histogram into this one (commutative).
+    /// Merge another histogram into this one (commutative, saturating).
     pub fn merge(&mut self, other: &Histogram) {
         for (slot, add) in self.counts.iter_mut().zip(&other.counts) {
-            *slot += add;
+            *slot = slot.saturating_add(*add);
         }
-        self.count += other.count;
-        self.sum_us += other.sum_us;
+        self.count = self.count.saturating_add(other.count);
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
         self.max_us = self.max_us.max(other.max_us);
     }
 
@@ -85,22 +89,40 @@ impl MetricsRegistry {
     }
 
     pub fn incr(&self, key: &str, by: u64) {
-        *self.counters.lock().entry(key.to_string()).or_insert(0) += by;
+        let mut counters = self.counters.lock();
+        // Look up by &str first so warm keys never allocate; only a
+        // first-seen key pays for the String.
+        if let Some(slot) = counters.get_mut(key) {
+            *slot = slot.saturating_add(by);
+        } else {
+            counters.insert(key.to_string(), by);
+        }
     }
 
-    /// Record a gauge sample, keeping the high-watermark.
+    /// Record a gauge sample. Gauges keep the **high-watermark**, not
+    /// the last value: a later, lower sample leaves the stored level
+    /// untouched. This is deliberate — a max merges commutatively, so
+    /// per-session snapshots folded in any order (or recorded from any
+    /// number of threads) agree; "last value" would depend on arrival
+    /// order and break trace determinism.
     pub fn gauge_max(&self, key: &str, level: u64) {
         let mut gauges = self.gauges.lock();
-        let slot = gauges.entry(key.to_string()).or_insert(0);
-        *slot = (*slot).max(level);
+        if let Some(slot) = gauges.get_mut(key) {
+            *slot = (*slot).max(level);
+        } else {
+            gauges.insert(key.to_string(), level);
+        }
     }
 
     pub fn observe_us(&self, key: &str, dur_us: u64) {
-        self.histograms
-            .lock()
-            .entry(key.to_string())
-            .or_default()
-            .observe(dur_us);
+        let mut histograms = self.histograms.lock();
+        if let Some(hist) = histograms.get_mut(key) {
+            hist.observe(dur_us);
+        } else {
+            let mut hist = Histogram::default();
+            hist.observe(dur_us);
+            histograms.insert(key.to_string(), hist);
+        }
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -261,5 +283,66 @@ mod tests {
             MetricsSnapshot::default().render(),
             "(no metrics recorded)\n"
         );
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut hist = Histogram::default();
+        hist.observe(300);
+        let before = hist.clone();
+        hist.merge(&Histogram::default());
+        assert_eq!(hist, before);
+
+        let mut empty = Histogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        assert_eq!(Histogram::default().mean_us(), 0, "empty mean is 0");
+    }
+
+    #[test]
+    fn histogram_counts_saturate_instead_of_wrapping() {
+        let mut a = Histogram {
+            count: u64::MAX - 1,
+            sum_us: u64::MAX - 10,
+            ..Histogram::default()
+        };
+        a.counts[0] = u64::MAX;
+        let mut b = Histogram::default();
+        b.observe(50);
+        b.observe(60);
+        a.merge(&b);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.sum_us, u64::MAX);
+        assert_eq!(a.counts[0], u64::MAX);
+        // observe on a saturated histogram is also safe
+        a.observe(70);
+        assert_eq!(a.count, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundary_durations_land_in_the_lower_bucket() {
+        // Bounds are inclusive: exactly `bound` µs belongs to that
+        // bucket; `bound + 1` spills into the next.
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            let mut hist = Histogram::default();
+            hist.observe(bound);
+            assert_eq!(hist.counts[i], 1, "bound {bound} in bucket {i}");
+            let mut next = Histogram::default();
+            next.observe(bound + 1);
+            assert_eq!(next.counts[i], 0, "bound+1 left bucket {i}");
+        }
+        let mut hist = Histogram::default();
+        hist.observe(0);
+        assert_eq!(hist.counts[0], 1, "zero lands in the first bucket");
+    }
+
+    #[test]
+    fn gauges_keep_the_high_watermark_not_the_last_sample() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_max("memory.entries", 9);
+        reg.gauge_max("memory.entries", 3); // later but lower — ignored
+        assert_eq!(reg.snapshot().gauges.get("memory.entries"), Some(&9));
+        reg.gauge_max("memory.entries", 12);
+        assert_eq!(reg.snapshot().gauges.get("memory.entries"), Some(&12));
     }
 }

@@ -1,0 +1,72 @@
+//! Pins the zero-allocation contract of warm-key metrics folding.
+//!
+//! [`SummaryCollector::record`] formats the metric key into a reused
+//! buffer and updates warm registry slots in place, so once a key has
+//! been seen, folding further events for it must not touch the
+//! allocator. A counting `#[global_allocator]` makes that a hard
+//! assertion instead of a code-review promise.
+//!
+//! This test lives alone in its own integration-test binary: the
+//! allocation counter is process-global, so no other test may run
+//! concurrently with the measured window.
+
+use ira_obs::{stage, Collector, SummaryCollector, TraceEvent};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_key_summary_folding_allocates_nothing() {
+    let collector = SummaryCollector::new();
+
+    // Pre-build the events so constructing them (String fields) is not
+    // charged to the folding path under test.
+    let mut events = Vec::new();
+    for i in 0..1_000u64 {
+        events.push(TraceEvent::point(0, i, stage::NET, "cache_hit", ""));
+        events.push(TraceEvent::span(0, i, stage::LLM, "call", "", 40 + i));
+        events.push(TraceEvent::gauge(0, i, stage::MEMORY, "entries", i));
+    }
+
+    // Warm-up: first sight of each key allocates (registry slot, key
+    // buffer capacity) — that is expected and paid once.
+    for ev in events.drain(..3) {
+        collector.record(ev);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for ev in events {
+        collector.record(ev);
+    }
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        during, 0,
+        "warm-key folding must not allocate ({during} allocations over 2997 events)"
+    );
+
+    let snap = collector.snapshot();
+    assert_eq!(snap.counters["net.cache_hit"], 1_000);
+    assert_eq!(snap.counters["llm.call"], 1_000);
+}

@@ -12,7 +12,7 @@ use crate::error::{NetError, NetResult};
 use crate::retry::RetryPolicy;
 use crate::server::{Network, Request, Response};
 use crate::url::Url;
-use ira_obs::{stage, CollectorExt, SharedCollector, TraceEvent};
+use ira_obs::{stage, ObsHandle, SharedCollector, TraceEvent};
 use parking_lot::Mutex;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -70,8 +70,7 @@ pub struct Client {
     breakers: Arc<Mutex<HashMap<String, CircuitBreaker>>>,
     retry_rng: Arc<Mutex<ChaCha8Rng>>,
     id: u64,
-    obs: SharedCollector,
-    obs_session: u32,
+    obs: ObsHandle,
 }
 
 impl Client {
@@ -87,24 +86,36 @@ impl Client {
             retry_rng: Arc::new(Mutex::new(config.retry.backoff.jitter_rng())),
             config,
             id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
-            obs: ira_obs::null_collector(),
-            obs_session: 0,
+            obs: ObsHandle::disabled(),
         }
     }
 
     /// Attach a trace collector; subsequent requests emit cache,
     /// retry, breaker, and fetch-latency events tagged with `session`.
     /// Set this *before* cloning the client into agent layers so every
-    /// clone shares the sink.
+    /// clone shares the sink. Creates a fresh causal context; to nest
+    /// client spans under agent scopes, use
+    /// [`Client::set_observer_handle`] with the session's shared
+    /// handle instead.
     pub fn set_observer(&mut self, sink: SharedCollector, session: u32) {
-        self.obs = sink;
-        self.obs_session = session;
+        self.obs = ObsHandle::new(sink, session);
+    }
+
+    /// Attach a shared [`ObsHandle`] so fetch/retry/breaker events are
+    /// parented under whatever scope the session currently has open.
+    pub fn set_observer_handle(&mut self, handle: ObsHandle) {
+        self.obs = handle;
     }
 
     /// The collector currently attached (the shared null collector by
     /// default) and the session id requests are tagged with.
     pub fn observer(&self) -> (SharedCollector, u32) {
-        (Arc::clone(&self.obs), self.obs_session)
+        (self.obs.sink(), self.obs.session())
+    }
+
+    /// The causal observation handle (disabled by default).
+    pub fn observer_handle(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// (cache hits, cache misses) so far.
@@ -182,7 +193,7 @@ impl Client {
         if let Some(cached) = self.cache.lock().get(&key, self.net.clock().now()) {
             self.obs.emit(|| {
                 TraceEvent::point(
-                    self.obs_session,
+                    self.obs.session(),
                     self.net.clock().now().as_micros(),
                     stage::NET,
                     "cache_hit",
@@ -193,7 +204,7 @@ impl Client {
         }
         self.obs.emit(|| {
             TraceEvent::point(
-                self.obs_session,
+                self.obs.session(),
                 self.net.clock().now().as_micros(),
                 stage::NET,
                 "cache_miss",
@@ -206,6 +217,13 @@ impl Client {
         };
         let host = url.host().to_string();
         let fetch_start = self.net.clock().now();
+        // The whole request — retries, breaker transitions, backoff
+        // waits — is one causal scope; the events emitted inside the
+        // loop below become its children. Closed as `ok` or `err` at
+        // every exit.
+        let fetch_scope = self
+            .obs
+            .scope(fetch_start.as_micros(), stage::FETCH, "request");
         let mut attempt: u32 = 0;
         loop {
             if let Some(breaker_cfg) = self.config.breaker {
@@ -219,7 +237,8 @@ impl Client {
                     let retry_in = breaker.retry_in(now);
                     drop(breakers);
                     self.emit_breaker(&host, "fast_fail", now.as_micros());
-                    self.emit_fetch_span(&key, "err", fetch_start);
+                    fetch_scope
+                        .finish_as(self.net.clock().now().as_micros(), "err", || key.clone());
                     return Err(NetError::CircuitOpen { host, retry_in });
                 }
                 let after = breaker.state();
@@ -264,7 +283,7 @@ impl Client {
                     self.cache
                         .lock()
                         .put(&key, resp.clone(), self.net.clock().now());
-                    self.emit_fetch_span(&key, "ok", fetch_start);
+                    fetch_scope.finish_as(self.net.clock().now().as_micros(), "ok", || key.clone());
                     return Ok(resp);
                 }
                 Err(err) => err,
@@ -290,7 +309,7 @@ impl Client {
                     self.net.clock().advance(delay);
                     self.obs.emit(|| {
                         TraceEvent::span(
-                            self.obs_session,
+                            self.obs.session(),
                             wait_start.as_micros(),
                             stage::NET,
                             "retry_wait",
@@ -301,7 +320,8 @@ impl Client {
                     attempt += 1;
                 }
                 None => {
-                    self.emit_fetch_span(&key, "err", fetch_start);
+                    fetch_scope
+                        .finish_as(self.net.clock().now().as_micros(), "err", || key.clone());
                     return Err(if attempt > 0 {
                         NetError::RetriesExhausted {
                             attempts: attempt + 1,
@@ -318,23 +338,7 @@ impl Client {
     /// Emit a breaker state-transition point event.
     fn emit_breaker(&self, host: &str, what: &'static str, at_us: u64) {
         self.obs
-            .emit(|| TraceEvent::point(self.obs_session, at_us, stage::BREAKER, what, host));
-    }
-
-    /// Emit the whole-request fetch span (retries included) charged in
-    /// virtual time.
-    fn emit_fetch_span(&self, key: &str, outcome: &'static str, started: crate::clock::Instant) {
-        self.obs.emit(|| {
-            let now = self.net.clock().now();
-            TraceEvent::span(
-                self.obs_session,
-                started.as_micros(),
-                stage::FETCH,
-                outcome,
-                key,
-                now.duration_since(started).as_micros(),
-            )
-        });
+            .emit(|| TraceEvent::point(self.obs.session(), at_us, stage::BREAKER, what, host));
     }
 
     /// Decide the wait before the next retry, applying seeded jitter
@@ -732,6 +736,53 @@ mod tests {
         // reports disabled and drops everything.
         let plain = Client::new(Arc::clone(client.network()));
         assert!(!plain.observer().0.enabled());
+    }
+
+    #[test]
+    fn retry_and_breaker_events_nest_under_the_fetch_span() {
+        use ira_obs::JsonlCollector;
+
+        let mut net = Network::new(NetworkConfig::default(), 17);
+        net.register_with("dead.test", ok_host(), cfg(1.0));
+        let mut client = Client::with_config(
+            Arc::new(net),
+            ClientConfig {
+                timeout: Duration::from_secs(60),
+                retry: RetryPolicy {
+                    max_retries: 3,
+                    backoff: Backoff::default(),
+                },
+                breaker: Some(crate::breaker::BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_secs(60),
+                }),
+                ..ClientConfig::default()
+            },
+        );
+        let sink = Arc::new(JsonlCollector::new());
+        client.set_observer(sink.clone(), 0);
+
+        let _ = client.get("sim://dead.test/"); // fails with retries
+
+        let events = sink.events();
+        let fetch = events
+            .iter()
+            .find(|e| e.stage == stage::FETCH && e.name == "err")
+            .expect("fetch err span");
+        assert_ne!(fetch.span_id, 0, "spans carry identity");
+        let retry = events
+            .iter()
+            .find(|e| e.name == "retry_wait")
+            .expect("retry wait span");
+        assert_eq!(
+            retry.parent_id, fetch.span_id,
+            "backoff waits are children of the request scope"
+        );
+        let open = events.iter().find(|e| e.name == "open").expect("breaker");
+        assert_eq!(open.parent_id, fetch.span_id);
+        // The cache miss fired before the request scope opened.
+        let miss = events.iter().find(|e| e.name == "cache_miss").unwrap();
+        assert_eq!(miss.parent_id, 0);
     }
 
     #[test]
