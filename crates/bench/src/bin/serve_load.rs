@@ -1,0 +1,422 @@
+//! Serve-layer load generator: throughput, latency, and shed/degraded
+//! accounting for the resilient multi-tenant serve layer.
+//!
+//! Runs one mixed request batch (train / ask / quiz-with-deadline /
+//! blackout quiz / panic probes / overload) through [`ira_serve::Server`]
+//! at three worker-pool sizes sharing one engine-cached corpus, and
+//! asserts the serve determinism contract in-binary: the response
+//! transcript and the trace must be byte-identical at every
+//! concurrency level. What varies with workers is host wall time —
+//! reported per level as throughput — while the virtual latency
+//! distribution (queue wait + retry backoff + session execution) is
+//! worker-invariant and reported once with p50/p95/p99.
+//!
+//! Usage:
+//!   serve_load                 full batch, writes results/BENCH_serve.json
+//!   serve_load --smoke         reduced batch, writes results/BENCH_serve_smoke.json
+//!                              (a metrics snapshot of the serve trace —
+//!                              fully deterministic, diffable with
+//!                              `ira trace diff` at zero tolerance)
+//!   serve_load --smoke --write `path`
+//!                              write the smoke snapshot to `path` instead
+//!   serve_load --smoke --check <baseline.json>
+//!                              re-run and fail unless the snapshot
+//!                              matches the checked-in baseline exactly
+//!
+//! Stdout is the deterministic report; wall-clock timing goes to
+//! stderr, matching the other sweep binaries.
+
+use ira_engine::Engine;
+use ira_obs::{summarize_events, JsonlCollector, MetricsSnapshot, SharedCollector};
+use ira_serve::{
+    render_responses, AdmissionConfig, RequestKind, ResponseStatus, ServeConfig, ServeRequest,
+    ServeResponse, Server,
+};
+use ira_simnet::Duration;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+const WORKER_LEVELS: [usize; 3] = [1, 4, 8];
+
+const SOLAR_QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
+     that connects Brazil to Europe or the one that connects the US to Europe?";
+const DATACENTER_QUESTION: &str =
+    "Whose datacenter is more vulnerable to a solar superstorm, Google's or Facebook's?";
+const REPEATER_QUESTION: &str =
+    "Which component of a submarine cable system is most at risk during a geomagnetic storm?";
+
+fn train(id: &str, seed: u64, deadline_us: Option<u64>) -> ServeRequest {
+    let mut req = ServeRequest::new(id, RequestKind::Train);
+    req.seed = seed;
+    req.deadline_us = deadline_us;
+    req
+}
+
+fn ask(id: &str, seed: u64, question: &str) -> ServeRequest {
+    let mut req = ServeRequest::new(id, RequestKind::Ask);
+    req.seed = seed;
+    req.question = Some(question.to_string());
+    req
+}
+
+fn quiz(id: &str, seed: u64, deadline_us: u64, fault: Option<(f64, u64)>) -> ServeRequest {
+    let mut req = ServeRequest::new(id, RequestKind::Quiz);
+    req.seed = seed;
+    req.deadline_us = Some(deadline_us);
+    if let Some((intensity, fault_seed)) = fault {
+        req.fault_intensity = intensity;
+        req.fault_seed = fault_seed;
+    }
+    req
+}
+
+fn probe(id: &str, panics: Option<u32>) -> ServeRequest {
+    let mut req = ServeRequest::new(id, RequestKind::PanicProbe);
+    req.probe_panics = panics;
+    req
+}
+
+/// The full mixed batch: 16 tenants across every request kind, with
+/// deadlines cutting two quizzes and one training run, a blackout
+/// quiz, a probe that recovers on retry, one that never does, and a
+/// tail request past the token-bucket burst (shed).
+fn full_workload() -> Vec<ServeRequest> {
+    vec![
+        train("t0-train", 1, None),
+        train("t1-train-cut", 2, Some(5_000_000)),
+        ask("t2-ask-solar", 3, SOLAR_QUESTION),
+        quiz("t3-quiz-cut", 4, 100_000_000, None),
+        probe("t4-probe-retry", Some(1)),
+        probe("t5-probe-dead", None),
+        ask("t6-ask-dc", 5, DATACENTER_QUESTION),
+        train("t7-train", 6, None),
+        quiz("t8-quiz-blackout", 7, 110_000_000, Some((0.25, 7))),
+        ask("t9-ask-solar", 8, SOLAR_QUESTION),
+        train("t10-train-cut", 9, Some(5_000_000)),
+        probe("t11-probe-ok", Some(0)),
+        ask("t12-ask-repeater", 10, REPEATER_QUESTION),
+        train("t13-train", 11, None),
+        quiz("t14-quiz-cut", 12, 100_000_000, None),
+        train("t15-train-tail", 13, None),
+    ]
+}
+
+/// The smoke batch: one of everything cheap (no full quiz), sized so
+/// the tail request overruns the bucket.
+fn smoke_workload() -> Vec<ServeRequest> {
+    vec![
+        train("s0-train-cut", 1, Some(5_000_000)),
+        ask("s1-ask-solar", 2, SOLAR_QUESTION),
+        probe("s2-probe-retry", Some(1)),
+        probe("s3-probe-dead", None),
+        probe("s4-probe-ok", Some(0)),
+        train("s5-train-tail", 3, None),
+    ]
+}
+
+/// Admission sized against the workload: refill 1/s with 250 ms
+/// arrival spacing drains net 0.75 tokens per arrival, so a burst of
+/// `floor(0.75 * (len - 1)) + 1` sheds exactly the batch's tail
+/// request and admits everything before it.
+fn admission_for(len: usize) -> AdmissionConfig {
+    let burst = (3 * (len as u32 - 1)) / 4 + 1;
+    AdmissionConfig {
+        rate_per_sec: 1.0,
+        burst,
+        arrival_spacing: Duration::from_millis(250),
+        lanes: 4,
+        max_queue_wait: Duration::from_secs(600),
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LevelReport {
+    workers: usize,
+    /// Informational only — never part of any `--check` comparison.
+    wall_ms: f64,
+    /// Requests per host second at this pool size.
+    throughput_rps: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LatencyReport {
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct OutcomeReport {
+    ok: usize,
+    degraded: usize,
+    rejected: usize,
+    failed: usize,
+    /// Retry attempts consumed across the batch.
+    retries: usize,
+    /// Session panics caught by the supervisor (retried or terminal).
+    panics: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    requests: usize,
+    levels: Vec<LevelReport>,
+    /// Worker-invariant end-to-end virtual latency (queue + retry
+    /// backoff + execution) over non-rejected requests.
+    virtual_latency_us: LatencyReport,
+    outcomes: OutcomeReport,
+    transcripts_identical: bool,
+}
+
+struct RunOutput {
+    transcript: String,
+    trace: String,
+    responses: Vec<ServeResponse>,
+    wall_ms: f64,
+}
+
+fn run_level(engine: &Arc<Engine>, workers: usize, requests: &[ServeRequest]) -> RunOutput {
+    let config = ServeConfig {
+        workers,
+        admission: admission_for(requests.len()),
+        ..ServeConfig::default()
+    };
+    let server = Server::with_engine(Arc::clone(engine), config);
+    let collector = Arc::new(JsonlCollector::new());
+    let start = std::time::Instant::now();
+    let responses = server.handle_batch(requests, Some(Arc::clone(&collector) as SharedCollector));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    RunOutput {
+        transcript: render_responses(&responses),
+        trace: collector.render(),
+        responses,
+        wall_ms,
+    }
+}
+
+/// End-to-end virtual latency of one served request.
+fn latency_us(response: &ServeResponse) -> u64 {
+    response.queue_us + response.retry_wait_us + response.exec_virtual_us
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn latency_report(responses: &[ServeResponse]) -> LatencyReport {
+    let mut lat: Vec<u64> = responses
+        .iter()
+        .filter(|r| r.status != ResponseStatus::Rejected)
+        .map(latency_us)
+        .collect();
+    lat.sort_unstable();
+    LatencyReport {
+        p50_us: percentile(&lat, 50.0),
+        p95_us: percentile(&lat, 95.0),
+        p99_us: percentile(&lat, 99.0),
+        max_us: lat.last().copied().unwrap_or(0),
+    }
+}
+
+fn outcome_report(responses: &[ServeResponse]) -> OutcomeReport {
+    let mut out = OutcomeReport {
+        ok: 0,
+        degraded: 0,
+        rejected: 0,
+        failed: 0,
+        retries: 0,
+        panics: 0,
+    };
+    for response in responses {
+        match response.status {
+            ResponseStatus::Ok => out.ok += 1,
+            ResponseStatus::Degraded => out.degraded += 1,
+            ResponseStatus::Rejected => out.rejected += 1,
+            ResponseStatus::Failed => out.failed += 1,
+        }
+        let retries = response.attempts.saturating_sub(1) as usize;
+        out.retries += retries;
+        // Each retry was provoked by a caught panic; a terminal
+        // failure means the last attempt panicked too.
+        out.panics += retries;
+        if response.status == ResponseStatus::Failed
+            && response
+                .error
+                .as_ref()
+                .is_some_and(|e| e.kind == "serve.session_panicked")
+        {
+            out.panics += 1;
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let check_path = flag_value("--check");
+    let write_path = flag_value("--write");
+
+    let (mode, requests) = if smoke {
+        ("smoke", smoke_workload())
+    } else {
+        ("full", full_workload())
+    };
+
+    println!("serve_load — resilient serve layer under a mixed multi-tenant batch");
+    println!("mode: {mode}, requests: {}\n", requests.len());
+
+    // The workload detonates panic probes on purpose; keep their
+    // backtraces out of the report while leaving real panics loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let probe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("panic probe"));
+        if !probe {
+            default_hook(info);
+        }
+    }));
+
+    let engine = Arc::new(Engine::new());
+    // Warm the shared corpus cache so level timings measure serving,
+    // not one-time corpus generation.
+    let _ = run_level(&engine, WORKER_LEVELS[0], &[probe("warmup", Some(0))]);
+
+    let runs: Vec<RunOutput> = WORKER_LEVELS
+        .iter()
+        .map(|&workers| run_level(&engine, workers, &requests))
+        .collect();
+
+    for pair in runs.windows(2) {
+        assert_eq!(
+            pair[0].transcript, pair[1].transcript,
+            "serve transcript must be byte-identical across worker counts"
+        );
+        assert_eq!(
+            pair[0].trace, pair[1].trace,
+            "serve trace must be byte-identical across worker counts"
+        );
+    }
+    println!(
+        "transcripts and traces byte-identical across workers {:?}: yes\n",
+        WORKER_LEVELS
+    );
+
+    let levels: Vec<LevelReport> = WORKER_LEVELS
+        .iter()
+        .zip(&runs)
+        .map(|(&workers, run)| LevelReport {
+            workers,
+            wall_ms: run.wall_ms,
+            throughput_rps: requests.len() as f64 / (run.wall_ms / 1e3),
+        })
+        .collect();
+    let responses = &runs[0].responses;
+    let latency = latency_report(responses);
+    let outcomes = outcome_report(responses);
+
+    println!("per-request outcomes (identical at every level):");
+    for response in responses {
+        let error = response
+            .error
+            .as_ref()
+            .map(|e| format!(" [{}]", e.kind))
+            .unwrap_or_default();
+        println!(
+            "  {:<18} {:<9} attempts={} queue={:>9}µs exec={:>10}µs{}",
+            response.id,
+            response.status.as_str(),
+            response.attempts,
+            response.queue_us,
+            response.exec_virtual_us,
+            error
+        );
+    }
+    println!(
+        "\noutcomes: ok={} degraded={} rejected={} failed={} retries={} panics={}",
+        outcomes.ok,
+        outcomes.degraded,
+        outcomes.rejected,
+        outcomes.failed,
+        outcomes.retries,
+        outcomes.panics
+    );
+    println!(
+        "virtual latency (non-rejected): p50={}µs p95={}µs p99={}µs max={}µs",
+        latency.p50_us, latency.p95_us, latency.p99_us, latency.max_us
+    );
+    for level in &levels {
+        eprintln!(
+            "[timing] workers={} wall={:.0}ms throughput={:.1} req/s",
+            level.workers, level.wall_ms, level.throughput_rps
+        );
+    }
+
+    // Sanity: the batch must actually exercise every degradation path.
+    assert!(outcomes.rejected > 0, "workload never tripped admission");
+    assert!(outcomes.degraded > 0, "workload never hit a deadline");
+    assert!(outcomes.failed > 0, "workload never exhausted retries");
+    assert!(outcomes.retries > 0, "workload never retried");
+
+    if smoke {
+        // The smoke artifact is the metrics snapshot folded from the
+        // serve trace: pure virtual time and counts, so CI can hold it
+        // to zero drift with `ira trace diff`.
+        let events = ira_obs::parse_jsonl(&runs[0].trace).expect("serve trace parses");
+        let snapshot = summarize_events(&events);
+        let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot") + "\n";
+        if let Some(path) = &check_path {
+            let baseline: MetricsSnapshot = serde_json::from_str(
+                &std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}")),
+            )
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+            if baseline != snapshot {
+                eprintln!("serve smoke snapshot drifted from {path}:");
+                eprintln!("--- baseline ---\n{}", baseline.render());
+                eprintln!("--- run ---\n{}", snapshot.render());
+                std::process::exit(1);
+            }
+            println!("\ncheck vs {path}: serve trace metrics match the baseline exactly");
+        }
+        if let Some(path) = &write_path {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        if check_path.is_none() && write_path.is_none() {
+            let out = "results/BENCH_serve_smoke.json";
+            std::fs::write(out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+            println!("\nwrote {out}");
+        }
+        return;
+    }
+
+    let report = Report {
+        bench: "serve_load".to_string(),
+        mode: mode.to_string(),
+        requests: requests.len(),
+        levels,
+        virtual_latency_us: latency,
+        outcomes,
+        transcripts_identical: true,
+    };
+    let out = write_path.unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+}

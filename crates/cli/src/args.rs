@@ -83,6 +83,24 @@ pub enum Command {
         session: Option<u32>,
         slower_than: Option<u64>,
     },
+    /// Serve investigation requests (JSONL in, JSONL out) through the
+    /// resilient multi-tenant serve layer.
+    Serve {
+        /// Read requests from this file instead of stdin.
+        input: Option<String>,
+        /// Worker threads. Responses are byte-identical across values.
+        workers: usize,
+        /// Admission token-bucket refill rate, requests per second.
+        rate: f64,
+        /// Admission token-bucket burst capacity.
+        burst: u32,
+        /// Default virtual deadline (µs) for requests that carry none.
+        deadline_us: Option<u64>,
+        /// Write the serve trace (a `serve.request` span per request).
+        trace: Option<String>,
+        /// Print a sample request batch and exit.
+        example: bool,
+    },
     /// Audit the built-in databases.
     Audit,
     /// Print usage.
@@ -150,6 +168,22 @@ COMMANDS:
                                           (default 1; classic single-agent output)
                   --trace <file>          write a replayable JSONL trace
                   --metrics               print the metrics summary table
+    serve       Serve investigation requests through the resilient
+                multi-tenant serve layer: JSONL requests on stdin (or
+                --input), one JSONL response per line on stdout, in
+                request order. Admission control sheds overload with
+                typed `serve.overloaded` responses; per-request virtual
+                deadlines degrade gracefully (`degraded: true` with
+                partial results); panicking sessions are isolated and
+                retried with seeded backoff. Responses and traces are
+                byte-identical for any --workers value.
+                  --input <file>          read requests from a file
+                  --workers <n>           worker threads (default 4)
+                  --rate <per-sec>        admission refill rate (default 2)
+                  --burst <n>             admission burst size (default 8)
+                  --deadline-us <µs>      default virtual deadline
+                  --trace <file>          write the serve trace
+                  --example               print a sample request batch
     plan        Train + produce a storm response plan
     questions   Propose research questions from saved knowledge
                   --knowledge <file>      (default knowledge.json)
@@ -260,6 +294,32 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             trace: flag(&rest, "--trace")?.map(str::to_string),
             metrics: rest.contains(&"--metrics"),
         }),
+        "serve" => {
+            let rate = match flag(&rest, "--rate")? {
+                Some(v) => v.parse::<f64>().map_err(|_| {
+                    ParseError(format!("--rate expects requests per second, got {v:?}"))
+                })?,
+                None => 2.0,
+            };
+            if rate.is_nan() || rate <= 0.0 {
+                return Err(ParseError(format!("--rate must be positive, got {rate}")));
+            }
+            let deadline_us = match flag(&rest, "--deadline-us")? {
+                Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                    ParseError(format!("--deadline-us expects microseconds, got {v:?}"))
+                })?),
+                None => None,
+            };
+            Ok(Command::Serve {
+                input: flag(&rest, "--input")?.map(str::to_string),
+                workers: num_flag(&rest, "--workers", 4)?.max(1),
+                rate,
+                burst: num_flag(&rest, "--burst", 8)?.max(1) as u32,
+                deadline_us,
+                trace: flag(&rest, "--trace")?.map(str::to_string),
+                example: rest.contains(&"--example"),
+            })
+        }
         "plan" => Ok(Command::Plan),
         "audit" => Ok(Command::Audit),
         "questions" => Ok(Command::Questions {
@@ -424,7 +484,10 @@ fn positional(rest: &[&str]) -> Option<String> {
         }
         if a.starts_with("--") {
             // Boolean flags take no value.
-            skip_next = !matches!(*a, "--incidents" | "--resume" | "--metrics" | "--json");
+            skip_next = !matches!(
+                *a,
+                "--incidents" | "--resume" | "--metrics" | "--json" | "--example"
+            );
             let _ = i;
             continue;
         }
@@ -479,6 +542,54 @@ mod tests {
             })
         );
         assert!(p(&["train", "--role", "mallory"]).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        assert_eq!(
+            p(&["serve"]),
+            Ok(Command::Serve {
+                input: None,
+                workers: 4,
+                rate: 2.0,
+                burst: 8,
+                deadline_us: None,
+                trace: None,
+                example: false,
+            })
+        );
+        assert_eq!(
+            p(&[
+                "serve",
+                "--input",
+                "reqs.jsonl",
+                "--workers",
+                "8",
+                "--rate",
+                "0.5",
+                "--burst",
+                "3",
+                "--deadline-us",
+                "120000000",
+                "--trace",
+                "serve.jsonl",
+            ]),
+            Ok(Command::Serve {
+                input: Some("reqs.jsonl".into()),
+                workers: 8,
+                rate: 0.5,
+                burst: 3,
+                deadline_us: Some(120_000_000),
+                trace: Some("serve.jsonl".into()),
+                example: false,
+            })
+        );
+        assert!(matches!(
+            p(&["serve", "--example"]),
+            Ok(Command::Serve { example: true, .. })
+        ));
+        assert!(p(&["serve", "--rate", "0"]).is_err());
+        assert!(p(&["serve", "--deadline-us", "soon"]).is_err());
     }
 
     #[test]

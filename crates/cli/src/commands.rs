@@ -107,6 +107,23 @@ pub fn run(cmd: Command) -> i32 {
             session,
             slower_than,
         } => trace_query(&file, stage.as_deref(), session, slower_than),
+        Command::Serve {
+            input,
+            workers,
+            rate,
+            burst,
+            deadline_us,
+            trace,
+            example,
+        } => serve_cmd(
+            input.as_deref(),
+            workers,
+            rate,
+            burst,
+            deadline_us,
+            trace.as_deref(),
+            example,
+        ),
         Command::Audit => audit_cmd(),
     }
 }
@@ -625,6 +642,78 @@ fn quiz(incidents: bool, threshold: u8, report_path: Option<&str>, obs: &ObsSink
         println!("report written to {path}");
     }
     obs.finish()
+}
+
+/// The sample batch printed by `ira serve --example`: one of each
+/// request kind, exercising a deadline and a blackout. Questions come
+/// from the incident quiz bank so the agent's verdict matching has
+/// something to latch onto.
+fn serve_example() -> String {
+    [
+        r#"{"id":"train-bob","kind":"train"}"#,
+        r#"{"id":"ask-solar","kind":"ask","seed":1,"question":"Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?"}"#,
+        r#"{"id":"quiz-quick","kind":"quiz","deadline_us":120000000}"#,
+        r#"{"id":"quiz-blackout","kind":"quiz","fault_intensity":0.25,"fault_seed":7,"deadline_us":110000000}"#,
+    ]
+    .map(|line| format!("{line}\n"))
+    .concat()
+}
+
+/// `ira serve`: one JSONL batch through the resilient serve layer —
+/// requests on stdin (or `--input`), responses on stdout in request
+/// order, diagnostics on stderr so the response stream stays clean.
+fn serve_cmd(
+    input: Option<&str>,
+    workers: usize,
+    rate: f64,
+    burst: u32,
+    deadline_us: Option<u64>,
+    trace: Option<&str>,
+    example: bool,
+) -> i32 {
+    use ira_serve::{AdmissionConfig, ServeConfig, Server};
+
+    if example {
+        print!("{}", serve_example());
+        return 0;
+    }
+    let text = match read_trace_input(input.unwrap_or("-")) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let config = ServeConfig {
+        workers,
+        admission: AdmissionConfig {
+            rate_per_sec: rate,
+            burst,
+            ..AdmissionConfig::default()
+        },
+        default_deadline_us: deadline_us,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config);
+    let collector = trace.map(|_| Arc::new(JsonlCollector::new()));
+    let sink = collector.as_ref().map(|c| Arc::clone(c) as SharedCollector);
+    match server.serve_jsonl(&text, sink) {
+        Ok(responses) => {
+            print!("{responses}");
+            if let (Some(collector), Some(path)) = (&collector, trace) {
+                if let Err(e) = collector.write_to(Path::new(path)) {
+                    eprintln!("error: could not write trace {path}: {e}");
+                    return 1;
+                }
+                eprintln!("trace written to {path}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
 }
 
 /// The name used for `-` inputs in diagnostics.

@@ -186,10 +186,25 @@ impl ResearchAgent {
 
     /// Phase 1: pursue every role goal through the autonomous loop.
     pub fn train(&mut self) -> TrainingReport {
+        self.train_until(u64::MAX)
+    }
+
+    /// Deadline-aware [`ResearchAgent::train`]: cooperative cancellation
+    /// at goal granularity. The agent checks its virtual clock before
+    /// each goal and stops once `deadline_us` (absolute virtual time)
+    /// has passed, returning the partial report — compare
+    /// `per_goal.len()` against `role.goals.len()` to detect
+    /// truncation. A goal already in flight runs to completion (each is
+    /// individually bounded by the Auto-GPT loop budget), so the
+    /// overshoot past the deadline is bounded too.
+    pub fn train_until(&mut self, deadline_us: u64) -> TrainingReport {
         let host = HostTimer::start();
         let virtual_start = self.now_us();
         let mut per_goal = Vec::new();
         for goal in self.role.goals.clone() {
+            if self.now_us() >= deadline_us {
+                break;
+            }
             per_goal.push(self.retrieve_goal(&goal));
         }
         TrainingReport {

@@ -166,10 +166,18 @@ impl Engine {
         sink: SharedCollector,
         session_id: u32,
     ) -> Session {
+        self.spawn_session_with_handle(config, ObsHandle::new(sink, session_id))
+    }
+
+    /// [`Engine::spawn_session_observed`] with a caller-supplied
+    /// [`ObsHandle`]. This lets a supervisor (the serve layer) emit its
+    /// own spans — admission, queue wait, retries — on the *same*
+    /// handle the session uses, so they nest in one causal tree with
+    /// the session's cycle/fetch/LLM spans.
+    pub fn spawn_session_with_handle(&self, config: SessionConfig, handle: ObsHandle) -> Session {
         let corpus = self.corpus(config.corpus);
         let mut env =
             Environment::from_parts(self.world.clone(), corpus, config.net_seed, config.faults);
-        let handle = ObsHandle::new(sink, session_id);
         // The agent clones the client at construction, so the observer
         // must be installed before `ResearchAgent::new`.
         env.client.set_observer_handle(handle.clone());

@@ -40,5 +40,7 @@ pub use robustness::{
     chaos_sweep, chaos_sweep_threads, run_chaos_level, run_chaos_level_on, ChaosLevelReport,
     ChaosSweep,
 };
-pub use runner::{evaluate_agent, evaluate_baseline, sweep, EvalRun};
+pub use runner::{
+    evaluate_agent, evaluate_baseline, panic_message, sweep, try_sweep, EvalRun, SweepPanic,
+};
 pub use verdict::{match_verdict, VerdictMatch};

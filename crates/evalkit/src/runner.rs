@@ -10,6 +10,7 @@ use ira_core::selflearn::LearningTrajectory;
 use ira_core::{Environment, ResearchAgent};
 use ira_simllm::Llm;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// Everything one evaluated run produces.
@@ -114,19 +115,84 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    let mut out = Vec::with_capacity(items.len());
+    for result in try_sweep(items, threads, job) {
+        match result {
+            Ok(r) => out.push(r),
+            Err(p) => panic!("{p}"),
+        }
+    }
+    out
+}
+
+/// A job that panicked during [`try_sweep`]: which item blew up and the
+/// panic payload's message. Serializable so supervisors can forward it
+/// as a typed error response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepPanic {
+    /// Index of the item whose job panicked.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for SweepPanic {}
+
+/// Render a caught panic payload as text.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`sweep`] with per-job panic isolation: a panicking job yields
+/// `Err(SweepPanic)` at its own index while every other job still runs
+/// to completion. This is what keeps one poisoned session from taking
+/// down a whole evaluation run (or the serve layer's worker pool).
+///
+/// The same determinism contract as [`sweep`] applies: results come
+/// back in item order and are invariant under `threads`. Note the
+/// caught panic still triggers the process panic hook (the default hook
+/// prints a backtrace to stderr); output streams are unaffected.
+pub fn try_sweep<T, R, F>(items: Vec<T>, threads: usize, job: F) -> Vec<Result<R, SweepPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    // Jobs share no mutable state (that is the sweep contract), so
+    // resuming after a caught panic observes nothing torn.
+    let guarded = |i: usize, item: T| {
+        catch_unwind(AssertUnwindSafe(|| job(i, item))).map_err(|payload| SweepPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
+
     let n = items.len();
     if threads <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| job(i, item))
+            .map(|(i, item)| guarded(i, item))
             .collect();
     }
 
     // Shared pull queue: workers take the next pending item, so a slow
     // job never stalls the rest of the sweep behind it.
     let queue = Mutex::new(items.into_iter().enumerate());
-    let mut indexed: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
+    let mut indexed: Vec<(usize, Result<R, SweepPanic>)> = crossbeam::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads.min(n))
             .map(|_| {
                 scope.spawn(|_| {
@@ -134,7 +200,7 @@ where
                     loop {
                         let next = queue.lock().expect("sweep queue poisoned").next();
                         match next {
-                            Some((i, item)) => done.push((i, job(i, item))),
+                            Some((i, item)) => done.push((i, guarded(i, item))),
                             None => break done,
                         }
                     }
@@ -179,6 +245,89 @@ mod tests {
         assert_eq!(sweep(vec![7u32], 8, |_, x| x + 1), vec![8]);
         // More threads than items must not hang or duplicate work.
         assert_eq!(sweep(vec![1u32, 2], 16, |_, x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_sweep_isolates_panics_per_job() {
+        let items: Vec<u32> = (0..8).collect();
+        let job = |_i: usize, item: u32| {
+            if item == 3 {
+                panic!("static payload");
+            }
+            if item == 5 {
+                panic!("dynamic payload for {item}");
+            }
+            item * 10
+        };
+        let serial = try_sweep(items.clone(), 1, job);
+        let parallel = try_sweep(items, 4, job);
+        assert_eq!(serial, parallel, "panic isolation must be thread-invariant");
+        assert_eq!(serial.len(), 8);
+        for (i, r) in serial.iter().enumerate() {
+            match i {
+                3 => assert_eq!(
+                    r.as_ref().unwrap_err(),
+                    &SweepPanic {
+                        index: 3,
+                        message: "static payload".into()
+                    }
+                ),
+                5 => assert_eq!(
+                    r.as_ref().unwrap_err().message,
+                    "dynamic payload for 5",
+                    "String panic payloads must be preserved"
+                ),
+                _ => assert_eq!(*r.as_ref().unwrap(), i as u32 * 10),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_repropagates_the_first_panic_by_index() {
+        let caught = std::panic::catch_unwind(|| {
+            sweep(vec![0u32, 1, 2, 3], 2, |_, item| {
+                if item >= 2 {
+                    panic!("job {item} exploded");
+                }
+                item
+            })
+        });
+        let message = panic_message(caught.unwrap_err());
+        assert_eq!(message, "sweep job 2 panicked: job 2 exploded");
+    }
+
+    #[test]
+    fn panicking_session_does_not_take_down_the_sweep() {
+        // Regression: a deliberately-panicking session used to abort the
+        // whole sweep via the worker join. Now its neighbours complete.
+        let engine = ira_engine::Engine::new();
+        let results = try_sweep(vec![0u64, 1, 2], 2, |_i, seed| {
+            let mut session = engine.spawn_session(ira_engine::SessionConfig::bob());
+            if seed == 1 {
+                panic!("poisoned session {seed}");
+            }
+            session.agent.train();
+            session.agent.memory().len()
+        });
+        assert!(results[0].is_ok() && results[2].is_ok());
+        assert_eq!(results[0], results[2], "surviving sessions are untouched");
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &SweepPanic {
+                index: 1,
+                message: "poisoned session 1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_panic_round_trips_through_serde() {
+        let p = SweepPanic {
+            index: 4,
+            message: "boom".into(),
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<SweepPanic>(&json).unwrap(), p);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub use ira_core as core;
 pub use ira_engine as engine;
 pub use ira_evalkit as evalkit;
 pub use ira_obs as obs;
+pub use ira_serve as serve;
 pub use ira_services as services;
 pub use ira_simllm as simllm;
 pub use ira_simnet as simnet;
@@ -41,6 +42,7 @@ pub mod prelude {
         Collector, CollectorExt, Fanout, JsonlCollector, MetricsSnapshot, NullCollector,
         SharedCollector, SummaryCollector, TraceEvent,
     };
+    pub use ira_serve::{ServeConfig, ServeRequest, ServeResponse, Server};
     pub use ira_services::{IraError, IraResult, ServiceError};
     pub use ira_simnet::{ClientConfig, Duration, Instant};
     pub use ira_webcorpus::CorpusConfig;
@@ -63,5 +65,14 @@ mod tests {
         let session = engine.spawn_session(session_config);
         assert_eq!(session.now_us(), 0);
         let _: SharedCollector = std::sync::Arc::new(NullCollector);
+    }
+
+    #[test]
+    fn prelude_covers_the_serve_layer() {
+        let server = Server::new(ServeConfig::default());
+        let mut probe = ServeRequest::new("p", ira_serve::RequestKind::PanicProbe);
+        probe.probe_panics = Some(0);
+        let responses: Vec<ServeResponse> = server.handle_batch(&[probe], None);
+        assert_eq!(responses.len(), 1);
     }
 }

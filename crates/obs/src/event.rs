@@ -41,6 +41,8 @@ pub mod stage {
     pub const BREAKER: &str = "breaker";
     /// Knowledge-test verdicts (self-learning rounds).
     pub const VERDICT: &str = "verdict";
+    /// Serve-layer request lifecycle: admission, queueing, execution.
+    pub const SERVE: &str = "serve";
 }
 
 /// How an event's `value` field is interpreted.

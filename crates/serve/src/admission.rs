@@ -1,0 +1,223 @@
+//! Deterministic admission control.
+//!
+//! The controller decides — at intake, in request order, on a single
+//! thread — whether each request is admitted and how long it waits
+//! before execution. Decisions are computed against a purely *virtual*
+//! model of the server: a [`TokenBucket`] driven by a synthetic arrival
+//! clock (requests arrive `arrival_spacing` apart) and a fixed-lane
+//! queue model with nominal per-kind service costs. Crucially, nothing
+//! here observes real worker progress, so the shed/queue-wait outcome
+//! for a request set is a pure function of the request order and the
+//! [`AdmissionConfig`] — identical at `--workers 1` and `--workers 8`.
+//!
+//! The price of that determinism is that the queue model is nominal
+//! rather than measured; the bench reports both modeled and host
+//! timings so the gap stays visible.
+
+use ira_simnet::clock::{Duration, Instant};
+use ira_simnet::ratelimit::{Acquire, TokenBucket};
+
+/// Static admission policy.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Token-bucket steady admission rate, requests per virtual second.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst capacity.
+    pub burst: u32,
+    /// Synthetic gap between consecutive arrivals on the batch's
+    /// arrival clock.
+    pub arrival_spacing: Duration,
+    /// Modeled service parallelism (NOT the real worker count — the
+    /// model must not know it, or determinism across `--workers` dies).
+    pub lanes: usize,
+    /// Admitted requests whose modeled queue wait would exceed this are
+    /// shed instead — the bounded-queue guarantee.
+    pub max_queue_wait: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_sec: 2.0,
+            burst: 8,
+            arrival_spacing: Duration::from_millis(250),
+            lanes: 4,
+            max_queue_wait: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The token bucket was empty at arrival.
+    RateLimited,
+    /// The modeled queue wait exceeded `max_queue_wait`.
+    QueueFull,
+}
+
+impl ShedReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::RateLimited => "rate limited",
+            ShedReason::QueueFull => "queue full",
+        }
+    }
+}
+
+/// Outcome of one admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run it, after `queue_wait` of modeled queueing.
+    Admitted {
+        arrival: Instant,
+        queue_wait: Duration,
+    },
+    /// Typed rejection, decided within the same virtual tick as the
+    /// arrival (no queueing, no hang).
+    Shed {
+        arrival: Instant,
+        reason: ShedReason,
+        retry_after: Duration,
+    },
+}
+
+/// The intake-side scheduler state: one bucket plus the modeled lanes'
+/// busy-until horizons.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    bucket: TokenBucket,
+    /// Modeled time at which each lane frees up.
+    lanes: Vec<Instant>,
+    arrivals: u64,
+}
+
+impl AdmissionController {
+    pub fn new(config: AdmissionConfig) -> Self {
+        assert!(config.lanes >= 1, "admission model needs at least 1 lane");
+        let bucket = TokenBucket::new(config.burst.max(1), config.rate_per_sec);
+        let lanes = vec![Instant::EPOCH; config.lanes];
+        AdmissionController {
+            config,
+            bucket,
+            lanes,
+            arrivals: 0,
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Decide the next request (requests arrive in call order). `cost`
+    /// is the kind's nominal service time charged to the chosen lane.
+    pub fn admit(&mut self, cost: Duration) -> Admission {
+        let arrival = Instant::EPOCH
+            + Duration::from_micros(self.arrivals * self.config.arrival_spacing.as_micros());
+        self.arrivals += 1;
+
+        if let Acquire::Denied { retry_after } = self.bucket.try_acquire(arrival) {
+            return Admission::Shed {
+                arrival,
+                reason: ShedReason::RateLimited,
+                retry_after,
+            };
+        }
+
+        // Earliest-free lane; ties break to the lowest index, which is
+        // deterministic because intake is single-threaded.
+        let lane = (0..self.lanes.len())
+            .min_by_key(|&i| self.lanes[i])
+            .expect("at least one lane");
+        let start = self.lanes[lane].max(arrival);
+        let queue_wait = start.duration_since(arrival);
+        if queue_wait > self.config.max_queue_wait {
+            // The token stays consumed — shedding must not make room
+            // for a later, lower-priority arrival to jump the bucket.
+            return Admission::Shed {
+                arrival,
+                reason: ShedReason::QueueFull,
+                retry_after: queue_wait,
+            };
+        }
+        self.lanes[lane] = start + cost;
+        Admission::Admitted {
+            arrival,
+            queue_wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(rate: f64, burst: u32, lanes: usize, max_wait_s: u64) -> AdmissionConfig {
+        AdmissionConfig {
+            rate_per_sec: rate,
+            burst,
+            arrival_spacing: Duration::from_millis(100),
+            lanes,
+            max_queue_wait: Duration::from_secs(max_wait_s),
+        }
+    }
+
+    #[test]
+    fn burst_overflow_is_shed_immediately_with_a_hint() {
+        let mut ctl = AdmissionController::new(config(0.1, 2, 4, 600));
+        let cost = Duration::from_secs(1);
+        assert!(matches!(ctl.admit(cost), Admission::Admitted { .. }));
+        assert!(matches!(ctl.admit(cost), Admission::Admitted { .. }));
+        match ctl.admit(cost) {
+            Admission::Shed {
+                reason,
+                retry_after,
+                ..
+            } => {
+                assert_eq!(reason, ShedReason::RateLimited);
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected rate-limit shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_wait_grows_once_lanes_are_busy() {
+        // 1 lane, 10s jobs, arrivals 100ms apart: request i waits about
+        // i*10s - i*100ms.
+        let mut ctl = AdmissionController::new(config(1000.0, 1000, 1, 600));
+        let cost = Duration::from_secs(10);
+        let waits: Vec<u64> = (0..3)
+            .map(|_| match ctl.admit(cost) {
+                Admission::Admitted { queue_wait, .. } => queue_wait.as_micros(),
+                other => panic!("unexpected shed: {other:?}"),
+            })
+            .collect();
+        assert_eq!(waits[0], 0);
+        assert_eq!(waits[1], 9_900_000);
+        assert_eq!(waits[2], 19_800_000);
+    }
+
+    #[test]
+    fn excessive_modeled_wait_sheds_as_queue_full() {
+        let mut ctl = AdmissionController::new(config(1000.0, 1000, 1, 5));
+        let cost = Duration::from_secs(10);
+        assert!(matches!(ctl.admit(cost), Admission::Admitted { .. }));
+        match ctl.admit(cost) {
+            Admission::Shed { reason, .. } => assert_eq!(reason, ShedReason::QueueFull),
+            other => panic!("expected queue-full shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let run = || {
+            let mut ctl = AdmissionController::new(config(2.0, 4, 2, 30));
+            (0..20)
+                .map(|i| ctl.admit(Duration::from_secs(if i % 3 == 0 { 20 } else { 5 })))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,496 @@
+//! The serve layer's JSONL wire protocol.
+//!
+//! One request per line in, one response per line out, in request
+//! order. Responses are a pure function of the request line (plus the
+//! server's static [`ServeConfig`]), so transcripts are byte-identical
+//! across worker counts and repeated runs — the serve determinism
+//! contract that CI enforces.
+//!
+//! [`ServeConfig`]: crate::ServeConfig
+
+use ira_services::{IraError, WireError};
+use serde::{Deserialize, Serialize, Value};
+
+/// What kind of investigation a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Train the session's agent through its role goals.
+    Train,
+    /// Train, then self-learn and answer the full incident quiz.
+    Quiz,
+    /// Train, then self-learn and answer one caller-supplied question.
+    Ask,
+    /// A deliberately poisoned request that panics inside the session —
+    /// a chaos probe for the supervisor (tests, load generator).
+    PanicProbe,
+}
+
+impl RequestKind {
+    /// Stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Train => "train",
+            RequestKind::Quiz => "quiz",
+            RequestKind::Ask => "ask",
+            RequestKind::PanicProbe => "panic_probe",
+        }
+    }
+}
+
+// The wire spellings are part of the protocol, so the enums get manual
+// serde impls (the derive would use the Rust variant names).
+impl Serialize for RequestKind {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for RequestKind {
+    fn deserialize_value(value: &Value) -> Result<Self, serde::Error> {
+        match value.as_str() {
+            Some("train") => Ok(RequestKind::Train),
+            Some("quiz") => Ok(RequestKind::Quiz),
+            Some("ask") => Ok(RequestKind::Ask),
+            Some("panic_probe") => Ok(RequestKind::PanicProbe),
+            _ => Err(serde::Error::type_mismatch(
+                "one of train|quiz|ask|panic_probe",
+                value,
+            )),
+        }
+    }
+}
+
+fn default_distractors() -> usize {
+    ira_webcorpus::CorpusConfig::default().distractor_count
+}
+
+/// One investigation request, as parsed from a JSONL line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-chosen identifier, echoed on the response.
+    pub id: String,
+    pub kind: RequestKind,
+    /// The question for [`RequestKind::Ask`]; ignored otherwise.
+    #[serde(default)]
+    pub question: Option<String>,
+    /// Tenant seed: perturbs the session's network/model streams so
+    /// distinct tenants get distinct (but each deterministic) runs.
+    #[serde(default)]
+    pub seed: u64,
+    /// Corpus distractor count (the corpus cache key's second half).
+    #[serde(default = "default_distractors")]
+    pub distractors: usize,
+    /// `> 0` runs the session against a chaotic network with this
+    /// fault intensity (seeded blackouts/brownouts mid-flight).
+    #[serde(default)]
+    pub fault_intensity: f64,
+    /// Seed for the fault plan when `fault_intensity > 0`.
+    #[serde(default)]
+    pub fault_seed: u64,
+    /// Virtual-time budget for the session, microseconds. Expiry
+    /// returns a partial `degraded: true` response, not an error.
+    /// `None` falls back to the server's default deadline (if any).
+    #[serde(default)]
+    pub deadline_us: Option<u64>,
+    /// For [`RequestKind::PanicProbe`]: panic while the retry attempt
+    /// index is below this value. `None` means every attempt panics.
+    #[serde(default)]
+    pub probe_panics: Option<u32>,
+}
+
+impl ServeRequest {
+    /// A minimal request of the given kind.
+    pub fn new(id: impl Into<String>, kind: RequestKind) -> Self {
+        ServeRequest {
+            id: id.into(),
+            kind,
+            question: None,
+            seed: 0,
+            distractors: default_distractors(),
+            fault_intensity: 0.0,
+            fault_seed: 0,
+            deadline_us: None,
+            probe_panics: None,
+        }
+    }
+
+    /// Structural validation before admission: errors here are the
+    /// caller's fault and are never charged against the token bucket.
+    pub fn validate(&self) -> Result<(), IraError> {
+        if self.id.is_empty() {
+            return Err(IraError::config("request id must be non-empty"));
+        }
+        if self.kind == RequestKind::Ask && self.question.as_deref().unwrap_or("").is_empty() {
+            return Err(IraError::config("ask request needs a question"));
+        }
+        if !(0.0..=1.0).contains(&self.fault_intensity) {
+            return Err(IraError::config("fault_intensity must be in [0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// Terminal state of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// Completed within budget.
+    Ok,
+    /// Deadline expired mid-flight; `result` holds the partial work.
+    Degraded,
+    /// Shed by admission control before any session ran.
+    Rejected,
+    /// Session error (panic, invalid request) after retries.
+    Failed,
+}
+
+impl ResponseStatus {
+    /// Stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResponseStatus::Ok => "ok",
+            ResponseStatus::Degraded => "degraded",
+            ResponseStatus::Rejected => "rejected",
+            ResponseStatus::Failed => "failed",
+        }
+    }
+}
+
+impl Serialize for ResponseStatus {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ResponseStatus {
+    fn deserialize_value(value: &Value) -> Result<Self, serde::Error> {
+        match value.as_str() {
+            Some("ok") => Ok(ResponseStatus::Ok),
+            Some("degraded") => Ok(ResponseStatus::Degraded),
+            Some("rejected") => Ok(ResponseStatus::Rejected),
+            Some("failed") => Ok(ResponseStatus::Failed),
+            _ => Err(serde::Error::type_mismatch(
+                "one of ok|degraded|rejected|failed",
+                value,
+            )),
+        }
+    }
+}
+
+/// Per-conclusion outcome inside a quiz payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuizConclusion {
+    pub id: String,
+    pub verdict: Option<String>,
+    pub confidence: u8,
+    pub consistent: bool,
+}
+
+/// Kind-specific result payload. On the wire this is internally
+/// tagged: an object with a `"kind"` field naming the variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponsePayload {
+    Train {
+        goals_completed: usize,
+        goals_total: usize,
+        memory_entries: usize,
+    },
+    Quiz {
+        answered: usize,
+        total: usize,
+        consistent: usize,
+        conclusions: Vec<QuizConclusion>,
+    },
+    Ask {
+        text: String,
+        verdict: Option<String>,
+        confidence: u8,
+    },
+    /// A panic probe that survived (after `probe_panics` retries).
+    Probe { survived_attempt: u32 },
+}
+
+impl Serialize for ResponsePayload {
+    fn serialize_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        let tag = |map: &mut std::collections::BTreeMap<String, Value>, name: &str| {
+            map.insert("kind".to_string(), Value::String(name.to_string()));
+        };
+        match self {
+            ResponsePayload::Train {
+                goals_completed,
+                goals_total,
+                memory_entries,
+            } => {
+                tag(&mut map, "train");
+                map.insert(
+                    "goals_completed".to_string(),
+                    goals_completed.serialize_value(),
+                );
+                map.insert("goals_total".to_string(), goals_total.serialize_value());
+                map.insert(
+                    "memory_entries".to_string(),
+                    memory_entries.serialize_value(),
+                );
+            }
+            ResponsePayload::Quiz {
+                answered,
+                total,
+                consistent,
+                conclusions,
+            } => {
+                tag(&mut map, "quiz");
+                map.insert("answered".to_string(), answered.serialize_value());
+                map.insert("total".to_string(), total.serialize_value());
+                map.insert("consistent".to_string(), consistent.serialize_value());
+                map.insert("conclusions".to_string(), conclusions.serialize_value());
+            }
+            ResponsePayload::Ask {
+                text,
+                verdict,
+                confidence,
+            } => {
+                tag(&mut map, "ask");
+                map.insert("text".to_string(), text.serialize_value());
+                map.insert("verdict".to_string(), verdict.serialize_value());
+                map.insert("confidence".to_string(), confidence.serialize_value());
+            }
+            ResponsePayload::Probe { survived_attempt } => {
+                tag(&mut map, "probe");
+                map.insert(
+                    "survived_attempt".to_string(),
+                    survived_attempt.serialize_value(),
+                );
+            }
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for ResponsePayload {
+    fn deserialize_value(value: &Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::type_mismatch("object for ResponsePayload", value))?;
+        fn field<T: Deserialize>(
+            obj: &std::collections::BTreeMap<String, Value>,
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            let value = obj
+                .get(name)
+                .ok_or_else(|| serde::Error::custom(format!("payload missing field `{name}`")))?;
+            T::deserialize_value(value)
+        }
+        let kind = obj
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| serde::Error::custom("payload missing `kind` tag"))?;
+        match kind {
+            "train" => Ok(ResponsePayload::Train {
+                goals_completed: field(obj, "goals_completed")?,
+                goals_total: field(obj, "goals_total")?,
+                memory_entries: field(obj, "memory_entries")?,
+            }),
+            "quiz" => Ok(ResponsePayload::Quiz {
+                answered: field(obj, "answered")?,
+                total: field(obj, "total")?,
+                consistent: field(obj, "consistent")?,
+                conclusions: field(obj, "conclusions")?,
+            }),
+            "ask" => Ok(ResponsePayload::Ask {
+                text: field(obj, "text")?,
+                verdict: match obj.get("verdict") {
+                    Some(v) => Option::deserialize_value(v)?,
+                    None => None,
+                },
+                confidence: field(obj, "confidence")?,
+            }),
+            "probe" => Ok(ResponsePayload::Probe {
+                survived_attempt: field(obj, "survived_attempt")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "unknown payload kind `{other}`"
+            ))),
+        }
+    }
+}
+
+/// One response line. All `*_us` fields are virtual time on the
+/// request's own timeline (0 = the instant the request was admitted);
+/// `arrival_us` alone is on the batch's synthetic arrival clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    pub id: String,
+    pub status: ResponseStatus,
+    /// Redundant with `status == Degraded`, kept as an explicit marker
+    /// so stream consumers can filter without matching the enum.
+    pub degraded: bool,
+    /// `null` on the wire when absent.
+    #[serde(default)]
+    pub error: Option<WireError>,
+    /// When the request arrived, on the batch arrival clock.
+    pub arrival_us: u64,
+    /// Modeled queue wait between admission and execution start.
+    pub queue_us: u64,
+    /// Total backoff spent between retry attempts.
+    pub retry_wait_us: u64,
+    /// Virtual time the final attempt's session execution took.
+    pub exec_virtual_us: u64,
+    /// Attempts made (1 = no retries).
+    pub attempts: u32,
+    /// `null` on the wire for rejected/failed requests.
+    #[serde(default)]
+    pub result: Option<ResponsePayload>,
+}
+
+impl ServeResponse {
+    /// An admission-control rejection (typed, within one virtual tick).
+    pub fn rejected(request: &ServeRequest, arrival_us: u64, error: &IraError) -> Self {
+        ServeResponse {
+            id: request.id.clone(),
+            status: ResponseStatus::Rejected,
+            degraded: false,
+            error: Some(WireError::from(error)),
+            arrival_us,
+            queue_us: 0,
+            retry_wait_us: 0,
+            exec_virtual_us: 0,
+            attempts: 0,
+            result: None,
+        }
+    }
+
+    /// A request that failed validation before admission.
+    pub fn invalid(request: &ServeRequest, arrival_us: u64, error: &IraError) -> Self {
+        ServeResponse {
+            id: request.id.clone(),
+            status: ResponseStatus::Failed,
+            degraded: false,
+            error: Some(WireError::from(error)),
+            arrival_us,
+            queue_us: 0,
+            retry_wait_us: 0,
+            exec_virtual_us: 0,
+            attempts: 0,
+            result: None,
+        }
+    }
+}
+
+/// Parse a JSONL request stream. Blank lines are skipped; the first
+/// malformed line aborts the whole parse with its line number.
+pub fn parse_requests(input: &str) -> Result<Vec<ServeRequest>, IraError> {
+    let mut requests = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let request: ServeRequest = serde_json::from_str(line)
+            .map_err(|e| IraError::parse(format!("request line {}: {e}", lineno + 1)))?;
+        requests.push(request);
+    }
+    Ok(requests)
+}
+
+/// Render responses as JSONL, one per line, in the given order.
+pub fn render_responses(responses: &[ServeResponse]) -> String {
+    let mut out = String::new();
+    for response in responses {
+        out.push_str(&serde_json::to_string(response).expect("response serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL response transcript (the inverse of
+/// [`render_responses`], used by tests and the load generator).
+pub fn parse_responses(input: &str) -> Result<Vec<ServeResponse>, IraError> {
+    let mut responses = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let response: ServeResponse = serde_json::from_str(line)
+            .map_err(|e| IraError::parse(format!("response line {}: {e}", lineno + 1)))?;
+        responses.push(response);
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_defaults_fill_in() {
+        let parsed = parse_requests(r#"{"id":"r1","kind":"train"}"#).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].kind, RequestKind::Train);
+        assert_eq!(parsed[0].seed, 0);
+        assert_eq!(parsed[0].distractors, default_distractors());
+        assert_eq!(parsed[0].deadline_us, None);
+    }
+
+    #[test]
+    fn malformed_line_reports_its_number() {
+        let err = parse_requests("{\"id\":\"a\",\"kind\":\"train\"}\n\nnot json\n").unwrap_err();
+        assert_eq!(err.kind(), "parse");
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_questionless_ask_and_bad_intensity() {
+        let mut req = ServeRequest::new("a", RequestKind::Ask);
+        assert_eq!(req.validate().unwrap_err().kind(), "config");
+        req.question = Some("why did the route flap?".into());
+        assert!(req.validate().is_ok());
+        req.fault_intensity = 1.5;
+        assert_eq!(req.validate().unwrap_err().kind(), "config");
+    }
+
+    #[test]
+    fn responses_round_trip_through_jsonl() {
+        let responses = vec![
+            ServeResponse {
+                id: "r1".into(),
+                status: ResponseStatus::Ok,
+                degraded: false,
+                error: None,
+                arrival_us: 0,
+                queue_us: 10,
+                retry_wait_us: 0,
+                exec_virtual_us: 123,
+                attempts: 1,
+                result: Some(ResponsePayload::Ask {
+                    text: "yes".into(),
+                    verdict: Some("solar storm".into()),
+                    confidence: 8,
+                }),
+            },
+            ServeResponse::rejected(
+                &ServeRequest::new("r2", RequestKind::Quiz),
+                77,
+                &ira_services::IraError::overloaded("rate limited", 500_000),
+            ),
+        ];
+        let text = render_responses(&responses);
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_responses(&text).unwrap();
+        assert_eq!(back, responses);
+        assert_eq!(back[1].error.as_ref().unwrap().kind, "serve.overloaded");
+    }
+
+    #[test]
+    fn kind_spellings_match_serde() {
+        for kind in [
+            RequestKind::Train,
+            RequestKind::Quiz,
+            RequestKind::Ask,
+            RequestKind::PanicProbe,
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(json, format!("\"{}\"", kind.as_str()));
+        }
+    }
+}

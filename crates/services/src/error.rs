@@ -2,6 +2,7 @@
 //! and the workspace-wide [`IraError`] every per-crate error converts
 //! into.
 
+use serde::{Deserialize, Serialize};
 use thiserror::Error;
 
 /// Result alias over the workspace error.
@@ -41,6 +42,22 @@ pub enum IraError {
     /// User-supplied input (CLI arguments, trace files) failed to parse.
     #[error("parse error: {0}")]
     Parse(String),
+
+    /// The serve layer shed this request under admission control.
+    /// `retry_after_us` is the virtual-time hint after which a resubmit
+    /// would be admitted.
+    #[error("overloaded: {reason} (retry after {retry_after_us}us)")]
+    Overloaded { reason: String, retry_after_us: u64 },
+
+    /// A request's virtual-time deadline expired before the session
+    /// finished; any partial result travels alongside this marker.
+    #[error("deadline exceeded: {elapsed_us}us elapsed of {deadline_us}us budget")]
+    DeadlineExceeded { deadline_us: u64, elapsed_us: u64 },
+
+    /// A session panicked and was isolated by the serve supervisor;
+    /// the panic payload's message is preserved.
+    #[error("session panicked: {message}")]
+    SessionPanicked { message: String },
 }
 
 impl IraError {
@@ -52,6 +69,29 @@ impl IraError {
     /// Build a user-input parse error.
     pub fn parse(message: impl Into<String>) -> Self {
         IraError::Parse(message.into())
+    }
+
+    /// Build an admission-control rejection.
+    pub fn overloaded(reason: impl Into<String>, retry_after_us: u64) -> Self {
+        IraError::Overloaded {
+            reason: reason.into(),
+            retry_after_us,
+        }
+    }
+
+    /// Build a deadline-expiry error.
+    pub fn deadline_exceeded(deadline_us: u64, elapsed_us: u64) -> Self {
+        IraError::DeadlineExceeded {
+            deadline_us,
+            elapsed_us,
+        }
+    }
+
+    /// Build a supervisor-caught session panic.
+    pub fn session_panicked(message: impl Into<String>) -> Self {
+        IraError::SessionPanicked {
+            message: message.into(),
+        }
     }
 
     /// Stable machine-readable code for this error. Codes are part of
@@ -77,6 +117,31 @@ impl IraError {
             IraError::Json(_) => "json",
             IraError::Config(_) => "config",
             IraError::Parse(_) => "parse",
+            IraError::Overloaded { .. } => "serve.overloaded",
+            IraError::DeadlineExceeded { .. } => "serve.deadline_exceeded",
+            IraError::SessionPanicked { .. } => "serve.session_panicked",
+        }
+    }
+}
+
+/// The serializable wire form of an [`IraError`]: the stable `kind()`
+/// code plus the human-readable message. This is what typed error
+/// responses (e.g. the serve layer's JSONL protocol) carry — it
+/// round-trips through serde where `IraError` itself (which wraps
+/// non-serializable io errors) cannot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Stable machine-readable code, identical to [`IraError::kind`].
+    pub kind: String,
+    /// Display text of the originating error.
+    pub message: String,
+}
+
+impl From<&IraError> for WireError {
+    fn from(err: &IraError) -> Self {
+        WireError {
+            kind: err.kind().to_string(),
+            message: err.to_string(),
         }
     }
 }
@@ -184,6 +249,100 @@ mod tests {
         ];
         for (err, kind) in cases {
             assert_eq!(err.kind(), kind);
+        }
+    }
+
+    /// One sample of *every* `IraError` variant. The match below has no
+    /// wildcard arm, so adding a variant without updating this list (and
+    /// therefore without deciding its `kind()` code and expected entry in
+    /// `every_variant_has_a_stable_unique_code`) fails to compile.
+    fn one_of_each() -> Vec<IraError> {
+        let samples = vec![
+            IraError::Service(ServiceError::Transport("boom".into())),
+            IraError::Net(ira_simnet::NetError::HostNotFound("x.test".into())),
+            IraError::Store(ira_agentmem::store::StoreError::Corrupt(
+                serde_json::from_str::<u32>("{").unwrap_err(),
+            )),
+            IraError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
+            IraError::Json(serde_json::from_str::<u32>("x").unwrap_err()),
+            IraError::Config("bad threshold".into()),
+            IraError::Parse("bad flag".into()),
+            IraError::Overloaded {
+                reason: "queue full".into(),
+                retry_after_us: 250_000,
+            },
+            IraError::DeadlineExceeded {
+                deadline_us: 30_000_000,
+                elapsed_us: 31_500_000,
+            },
+            IraError::SessionPanicked {
+                message: "index out of bounds".into(),
+            },
+        ];
+        // Exhaustiveness guard: every variant above, no wildcard.
+        for s in &samples {
+            match s {
+                IraError::Service(_)
+                | IraError::Net(_)
+                | IraError::Store(_)
+                | IraError::Io(_)
+                | IraError::Json(_)
+                | IraError::Config(_)
+                | IraError::Parse(_)
+                | IraError::Overloaded { .. }
+                | IraError::DeadlineExceeded { .. }
+                | IraError::SessionPanicked { .. } => {}
+            }
+        }
+        samples
+    }
+
+    #[test]
+    fn every_variant_has_a_stable_unique_code() {
+        let codes: Vec<&str> = one_of_each().iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "service.transport",
+                "net.host_not_found",
+                "store",
+                "io",
+                "json",
+                "config",
+                "parse",
+                "serve.overloaded",
+                "serve.deadline_exceeded",
+                "serve.session_panicked",
+            ]
+        );
+        let unique: std::collections::BTreeSet<&str> = codes.iter().copied().collect();
+        assert_eq!(unique.len(), codes.len(), "kind codes must be unique");
+    }
+
+    #[test]
+    fn serve_kind_constructors_and_messages() {
+        let o = IraError::overloaded("rate limited", 125_000);
+        assert_eq!(o.kind(), "serve.overloaded");
+        assert!(o.to_string().contains("125000us"));
+
+        let d = IraError::deadline_exceeded(1_000_000, 1_200_000);
+        assert_eq!(d.kind(), "serve.deadline_exceeded");
+        assert!(d.to_string().contains("1200000us elapsed"));
+
+        let p = IraError::session_panicked("attempt to divide by zero");
+        assert_eq!(p.kind(), "serve.session_panicked");
+        assert!(p.to_string().contains("divide by zero"));
+    }
+
+    #[test]
+    fn wire_error_round_trips_every_kind_through_serde() {
+        for err in one_of_each() {
+            let wire = WireError::from(&err);
+            assert_eq!(wire.kind, err.kind());
+            assert_eq!(wire.message, err.to_string());
+            let json = serde_json::to_string(&wire).unwrap();
+            let back: WireError = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, wire, "WireError must round-trip losslessly");
         }
     }
 

@@ -33,7 +33,7 @@ pub mod error;
 pub mod sim;
 pub mod traits;
 
-pub use error::{IraError, IraResult, ServiceError};
+pub use error::{IraError, IraResult, ServiceError, WireError};
 pub use traits::{
     Fetcher, InferenceHook, LanguageModel, Memory, SearchHit, SearchProvider, TimeSource,
     WebServices,
