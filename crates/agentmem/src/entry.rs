@@ -30,9 +30,16 @@ pub struct KnowledgeEntry {
 }
 
 impl KnowledgeEntry {
-    /// Approximate size in bytes for capacity accounting.
+    /// Approximate in-memory size in bytes for capacity accounting:
+    /// every owned heap buffer (all four strings plus the embedding at
+    /// 4 bytes per dimension) on top of the struct itself.
     pub fn byte_size(&self) -> usize {
-        self.content.len() + self.topic.len() + self.source_url.len() + 64
+        std::mem::size_of::<Self>()
+            + self.topic.len()
+            + self.content.len()
+            + self.source_url.len()
+            + self.source_kind.len()
+            + self.embedding.len() * std::mem::size_of::<f32>()
     }
 }
 
@@ -75,5 +82,26 @@ mod tests {
         let small = e.byte_size();
         e.content.push_str(&"x".repeat(1000));
         assert!(e.byte_size() >= small + 1000);
+    }
+
+    #[test]
+    fn byte_size_accounts_for_every_owned_field() {
+        // Pin the formula: struct + all four strings + embedding bytes.
+        let e = entry();
+        let expected = std::mem::size_of::<KnowledgeEntry>()
+            + e.topic.len()
+            + e.content.len()
+            + e.source_url.len()
+            + e.source_kind.len()
+            + e.embedding.len() * 4;
+        assert_eq!(e.byte_size(), expected);
+
+        // Growing any single owned field must grow the accounted size.
+        let mut grown = e.clone();
+        grown.source_kind.push_str("-with-suffix");
+        assert_eq!(grown.byte_size(), e.byte_size() + "-with-suffix".len());
+        let mut embedded = e.clone();
+        embedded.embedding.extend_from_slice(&[0.0; 8]);
+        assert_eq!(embedded.byte_size(), e.byte_size() + 8 * 4);
     }
 }

@@ -16,14 +16,25 @@
 //!   eviction, and `knowledge.json` (de)serialization.
 //! * [`persist`] — crash-safe persistence shared by everything that
 //!   writes JSON state: atomic temp-file + fsync + rename writes,
-//!   checksum envelopes, and `.bak` rotation with fallback on load.
+//!   checksum envelopes (JSON and binary), and `.bak` rotation with
+//!   fallback on load.
+//! * [`graph`] — the weighted claim graph: interned-term claim nodes
+//!   with per-source provenance, co-occurrence edges that strengthen
+//!   across distinct documents, corroboration-weighted retrieval
+//!   support, and a compact checksummed binary snapshot.
+//! * [`provenance`] — [`provenance::SourceRef`] records (host, path,
+//!   fetch virtual-time, absorbing session) attached to every claim.
 
 pub mod embed;
 pub mod entry;
+pub mod graph;
 pub mod persist;
+pub mod provenance;
 pub mod store;
 
 pub use embed::{cosine, embed, EMBED_DIM};
 pub use entry::KnowledgeEntry;
-pub use persist::{load_with_backup, save_atomic};
+pub use graph::{ClaimGraph, ClaimNode, GraphConfig, GraphStats, HostStats};
+pub use persist::{load_bytes_with_backup, load_with_backup, save_atomic, save_atomic_bytes};
+pub use provenance::{split_url, SourceRef};
 pub use store::{KnowledgeStore, RetrievalWeights, StoreConfig};

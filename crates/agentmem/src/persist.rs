@@ -139,6 +139,80 @@ pub fn load_with_backup(path: &Path) -> io::Result<String> {
     }
 }
 
+/// Magic prefix of the binary checksum envelope (see
+/// [`save_atomic_bytes`]). Versioned: bump the trailing digit on any
+/// layout change.
+const BIN_MAGIC: &[u8; 8] = b"IRABINE1";
+
+/// Atomically persist a binary `payload` to `path` in a checksummed
+/// envelope — the binary twin of [`save_atomic`].
+///
+/// Layout: `[magic 8B][payload_len u64 LE][fnv64(payload) u64 LE][payload]`.
+/// Same write discipline as the JSON path: temp file + fsync, rotate
+/// the current file to `<path>.bak`, rename into place.
+pub fn save_atomic_bytes(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let mut wrapped = Vec::with_capacity(payload.len() + 24);
+    wrapped.extend_from_slice(BIN_MAGIC);
+    wrapped.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    wrapped.extend_from_slice(&fnv64(payload).to_le_bytes());
+    wrapped.extend_from_slice(payload);
+    let tmp = sibling(path, ".tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&wrapped)?;
+        f.sync_all()?;
+    }
+    if path.exists() {
+        std::fs::rename(path, backup_path(path))?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and verify one binary envelope, returning the payload bytes.
+fn read_verified_bytes(path: &Path) -> io::Result<Vec<u8>> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    if raw.len() < 24 || &raw[..8] != BIN_MAGIC {
+        return Err(invalid(format!(
+            "{}: not a binary envelope (bad or truncated header)",
+            path.display()
+        )));
+    }
+    let len = u64::from_le_bytes(raw[8..16].try_into().unwrap()) as usize;
+    let expected = u64::from_le_bytes(raw[16..24].try_into().unwrap());
+    let payload = &raw[24..];
+    if payload.len() != len {
+        return Err(invalid(format!(
+            "{}: payload length mismatch (header says {len}, file has {})",
+            path.display(),
+            payload.len()
+        )));
+    }
+    let actual = fnv64(payload);
+    if actual != expected {
+        return Err(invalid(format!(
+            "{}: checksum mismatch (stored {expected:016x}, computed {actual:016x})",
+            path.display()
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+/// Load binary payload from `path`, falling back to `<path>.bak` when
+/// the primary is missing, truncated, or fails its checksum — the
+/// binary twin of [`load_with_backup`]. The primary's error is
+/// preserved when both fail.
+pub fn load_bytes_with_backup(path: &Path) -> io::Result<Vec<u8>> {
+    match read_verified_bytes(path) {
+        Ok(payload) => Ok(payload),
+        Err(primary_err) => match read_verified_bytes(&backup_path(path)) {
+            Ok(payload) => Ok(payload),
+            Err(_) => Err(primary_err),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +307,50 @@ mod tests {
         std::fs::write(&path, r#"{"old": "format"}"#).unwrap();
         let payload = load_with_backup(&path).unwrap();
         assert!(payload.contains("old"));
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_bytes() {
+        let path = temp_path("bin.graph");
+        let payload: Vec<u8> = (0..=255u8).collect();
+        save_atomic_bytes(&path, &payload).unwrap();
+        assert_eq!(load_bytes_with_backup(&path).unwrap(), payload);
+    }
+
+    #[test]
+    fn binary_rewrite_rotates_to_bak_and_truncation_falls_back() {
+        let path = temp_path("binrot.graph");
+        save_atomic_bytes(&path, b"generation-one").unwrap();
+        save_atomic_bytes(&path, b"generation-two").unwrap();
+        assert_eq!(load_bytes_with_backup(&path).unwrap(), b"generation-two");
+        // Truncate the primary, as a crash mid-write would.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        assert_eq!(
+            load_bytes_with_backup(&path).unwrap(),
+            b"generation-one",
+            "must recover the previous generation from .bak"
+        );
+    }
+
+    #[test]
+    fn binary_bitflip_fails_checksum_and_falls_back() {
+        let path = temp_path("binflip.graph");
+        save_atomic_bytes(&path, b"aaaa-payload").unwrap();
+        save_atomic_bytes(&path, b"bbbb-payload").unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+        assert_eq!(load_bytes_with_backup(&path).unwrap(), b"aaaa-payload");
+    }
+
+    #[test]
+    fn binary_bad_magic_and_missing_file_are_errors() {
+        let path = temp_path("binmagic.graph");
+        std::fs::write(&path, b"NOTMAGIC-and-some-payload-bytes!").unwrap();
+        assert!(load_bytes_with_backup(&path).is_err());
+        let absent = temp_path("binabsent.graph");
+        assert!(load_bytes_with_backup(&absent).is_err());
     }
 }

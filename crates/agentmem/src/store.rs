@@ -1,11 +1,24 @@
 //! The knowledge store: dedup, scored retrieval, eviction, and
-//! `knowledge.json` persistence.
+//! `knowledge.json` persistence — plus the weighted claim graph
+//! maintained alongside the entries (see [`crate::graph`]).
+//!
+//! The graph is always *built* (every memorise absorbs its content,
+//! every eviction drops its provenance), but only *consulted* when
+//! graph retrieval is switched on via
+//! [`KnowledgeStore::set_graph_retrieval`] — the same legacy-parity
+//! pattern as `set_scan_lookups` in the corpus index. With the flag
+//! off, retrieval scoring, `knowledge.json` bytes, and therefore quiz
+//! answers are byte-identical to the flat-store path.
 
 use crate::embed::{cosine, embed};
 use crate::entry::KnowledgeEntry;
+use crate::graph::{ClaimGraph, GraphConfig, GraphStats, HostStats};
+use crate::provenance::{split_url, SourceRef};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use thiserror::Error;
 
 /// Weights of the three retrieval components, following the
@@ -99,11 +112,19 @@ struct StoreFile {
 pub struct KnowledgeStore {
     inner: RwLock<Inner>,
     config: StoreConfig,
+    /// When set, retrieval scoring adds the graph corroboration term.
+    /// Runtime-only (never serialized) so `knowledge.json` stays
+    /// byte-identical either way.
+    graph_retrieval: AtomicBool,
+    /// Session id stamped into provenance records (0 outside
+    /// multi-session runs).
+    session: AtomicU32,
 }
 
 struct Inner {
     entries: Vec<KnowledgeEntry>,
     next_id: u64,
+    graph: ClaimGraph,
 }
 
 impl KnowledgeStore {
@@ -112,8 +133,11 @@ impl KnowledgeStore {
             inner: RwLock::new(Inner {
                 entries: Vec::new(),
                 next_id: 0,
+                graph: ClaimGraph::new(GraphConfig::default()),
             }),
             config,
+            graph_retrieval: AtomicBool::new(false),
+            session: AtomicU32::new(0),
         }
     }
 
@@ -123,6 +147,51 @@ impl KnowledgeStore {
 
     pub fn config(&self) -> &StoreConfig {
         &self.config
+    }
+
+    /// Switch the graph corroboration term in retrieval scoring on or
+    /// off (default off). Off ⇒ scoring is byte-identical to the flat
+    /// store; the graph is still built either way.
+    pub fn set_graph_retrieval(&self, enabled: bool) {
+        self.graph_retrieval.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether graph-mode retrieval is active.
+    pub fn graph_retrieval(&self) -> bool {
+        self.graph_retrieval.load(Ordering::Relaxed)
+    }
+
+    /// Set the session id stamped into provenance records of future
+    /// memorisations.
+    pub fn set_session(&self, session: u32) {
+        self.session.store(session, Ordering::Relaxed);
+    }
+
+    /// Replace the claim-graph tuning (expansion width, corroboration
+    /// weight, decay horizon). Runtime-only; not serialized.
+    pub fn set_graph_config(&self, config: GraphConfig) {
+        self.inner.write().graph.set_config(config);
+    }
+
+    /// Aggregate claim-graph statistics (the observability surface).
+    pub fn graph_stats(&self) -> GraphStats {
+        self.inner.read().graph.stats()
+    }
+
+    /// Per-host contribution summary from the claim graph.
+    pub fn graph_host_stats(&self) -> BTreeMap<String, HostStats> {
+        self.inner.read().graph.host_stats()
+    }
+
+    /// Run a closure against the claim graph under the read lock (for
+    /// audits, CLI queries, and tests).
+    pub fn with_graph<R>(&self, f: impl FnOnce(&ClaimGraph) -> R) -> R {
+        f(&self.inner.read().graph)
+    }
+
+    /// Serialize the claim graph to its compact binary snapshot.
+    pub fn graph_to_bytes(&self) -> Vec<u8> {
+        self.inner.read().graph.to_bytes()
     }
 
     pub fn len(&self) -> usize {
@@ -145,7 +214,7 @@ impl KnowledgeStore {
         importance: f64,
     ) -> Option<u64> {
         let embedding = embed(content);
-        let mut inner = self.inner.write();
+        let inner = &mut *self.inner.write();
 
         let duplicate = inner
             .entries
@@ -168,6 +237,20 @@ impl KnowledgeStore {
             embedding,
         });
 
+        // Absorb into the claim graph with full provenance.
+        let (host, path) = split_url(source_url);
+        inner.graph.absorb(
+            id,
+            content,
+            SourceRef {
+                host,
+                path,
+                fetched_at_us: learned_at,
+                session: self.session.load(Ordering::Relaxed),
+                entry_id: id,
+            },
+        );
+
         if inner.entries.len() > self.config.capacity {
             // Evict the entry with the lowest standing value
             // (importance + recency), never the one just added.
@@ -184,7 +267,10 @@ impl KnowledgeStore {
                 })
                 .map(|(i, _)| i);
             if let Some(i) = victim {
-                inner.entries.remove(i);
+                let evicted = inner.entries.remove(i);
+                // The page is gone; its provenance records go with it.
+                // The claims it asserted persist in the graph.
+                inner.graph.remove_entry(evicted.id);
             }
         }
 
@@ -195,13 +281,26 @@ impl KnowledgeStore {
     /// greedily maximising marginal relevance: at each step the
     /// highest-scoring remaining entry is chosen after subtracting the
     /// diversity penalty against what is already selected.
+    ///
+    /// With graph retrieval on, each entry's score additionally earns
+    /// `corroboration_weight × entry_support` — the graph activation of
+    /// its claims (query matches plus strong co-occurrence neighbors)
+    /// weighted by how many *distinct hosts* corroborate each claim.
     pub fn retrieve(&self, query: &str, k: usize, now: u64) -> Vec<KnowledgeEntry> {
         let q = embed(query);
         let inner = self.inner.read();
+        let activation = self.graph_retrieval().then(|| inner.graph.activate(query));
+        let corroboration_weight = inner.graph.config().corroboration_weight;
         let mut candidates: Vec<(f64, &KnowledgeEntry)> = inner
             .entries
             .iter()
-            .map(|e| (self.score(e, &q, now), e))
+            .map(|e| {
+                let mut score = self.score(e, &q, now);
+                if let Some(activation) = &activation {
+                    score += corroboration_weight * inner.graph.entry_support(e.id, activation);
+                }
+                (score, e)
+            })
             .collect();
         // Deterministic base order: score desc, id asc.
         candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id.cmp(&b.1.id)));
@@ -306,7 +405,10 @@ impl KnowledgeStore {
     }
 
     /// Load from the `knowledge.json` format. Entries missing an
-    /// embedding are re-embedded.
+    /// embedding are re-embedded; the claim graph is rebuilt
+    /// deterministically from the surviving entries (historical claims
+    /// of evicted entries are only recoverable from a graph snapshot —
+    /// see [`KnowledgeStore::load`]).
     pub fn from_json(json: &str) -> Result<Self, StoreError> {
         let mut file: StoreFile = serde_json::from_str(json)?;
         for e in &mut file.entries {
@@ -314,30 +416,85 @@ impl KnowledgeStore {
                 e.embedding = embed(&e.content);
             }
         }
+        let graph = rebuild_graph(&file.entries);
         Ok(KnowledgeStore {
             inner: RwLock::new(Inner {
                 entries: file.entries,
                 next_id: file.next_id,
+                graph,
             }),
             config: file.config,
+            graph_retrieval: AtomicBool::new(false),
+            session: AtomicU32::new(0),
         })
+    }
+
+    /// The sidecar path of the binary graph snapshot saved next to a
+    /// `knowledge.json` (`<path>.graph`).
+    pub fn graph_snapshot_path(path: &Path) -> PathBuf {
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(".graph");
+        path.with_file_name(name)
     }
 
     /// Write `knowledge.json` to disk atomically (temp file + fsync +
     /// rename), wrapped in a checksum envelope, rotating the previous
-    /// file to `<path>.bak`. See [`crate::persist`].
+    /// file to `<path>.bak` — plus the claim-graph binary snapshot as a
+    /// `<path>.graph` sidecar under the same discipline. The JSON bytes
+    /// are unchanged from the flat-store format. See [`crate::persist`].
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
         crate::persist::save_atomic(path, &self.to_json())?;
+        crate::persist::save_atomic_bytes(
+            &KnowledgeStore::graph_snapshot_path(path),
+            &self.graph_to_bytes(),
+        )?;
         Ok(())
     }
 
     /// Read `knowledge.json` from disk, verifying its checksum and
     /// falling back to `<path>.bak` when the primary file is missing,
     /// truncated, or corrupted.
+    ///
+    /// The claim graph loads from the `<path>.graph` binary snapshot
+    /// (with its own `.bak` fallback); when the snapshot is missing or
+    /// fails verification, the graph is rebuilt deterministically from
+    /// the JSON entries instead — degraded (evicted entries' historical
+    /// claims are lost) but never fatal.
     pub fn load(path: &Path) -> Result<Self, StoreError> {
         let json = crate::persist::load_with_backup(path)?;
-        KnowledgeStore::from_json(&json)
+        let store = KnowledgeStore::from_json(&json)?;
+        let snapshot = KnowledgeStore::graph_snapshot_path(path);
+        if let Ok(bytes) = crate::persist::load_bytes_with_backup(&snapshot) {
+            if let Ok(graph) = ClaimGraph::from_bytes(&bytes, GraphConfig::default()) {
+                store.inner.write().graph = graph;
+            }
+        }
+        Ok(store)
     }
+}
+
+/// Rebuild the claim graph from surviving entries, in insertion order.
+/// The deterministic fallback when no graph snapshot is available.
+fn rebuild_graph(entries: &[KnowledgeEntry]) -> ClaimGraph {
+    let mut graph = ClaimGraph::new(GraphConfig::default());
+    for e in entries {
+        let (host, path) = split_url(&e.source_url);
+        graph.absorb(
+            e.id,
+            &e.content,
+            SourceRef {
+                host,
+                path,
+                fetched_at_us: e.learned_at,
+                session: 0,
+                entry_id: e.id,
+            },
+        );
+    }
+    graph
 }
 
 fn standing(e: &KnowledgeEntry, now: u64, w: &RetrievalWeights) -> f64 {
@@ -628,5 +785,228 @@ mod tests {
         let hist = s.source_histogram();
         assert!(hist.contains(&("news".to_string(), 2)));
         assert!(hist.contains(&("encyclopedia".to_string(), 1)));
+    }
+
+    #[test]
+    fn memorize_builds_the_claim_graph_with_provenance() {
+        let s = store();
+        s.set_session(7);
+        s.memorize(
+            "cables",
+            "EllaLink cable connects Brazil",
+            "sim://a.test/wiki/ellalink",
+            "encyclopedia",
+            11,
+            0.5,
+        );
+        s.memorize(
+            "cables",
+            "Grace Hopper cable connects America",
+            "sim://b.test/wiki/hopper",
+            "encyclopedia",
+            22,
+            0.5,
+        );
+        let stats = s.graph_stats();
+        assert!(stats.nodes >= 6);
+        assert!(stats.edges > 0);
+        s.with_graph(|g| {
+            let cable = g.node_by_text("cable").unwrap();
+            assert_eq!(cable.corroboration(), 2);
+            assert_eq!(cable.sources[0].host, "a.test");
+            assert_eq!(cable.sources[0].path, "/wiki/ellalink");
+            assert_eq!(cable.sources[0].fetched_at_us, 11);
+            assert_eq!(cable.sources[0].session, 7);
+        });
+        let hosts = s.graph_host_stats();
+        assert!(hosts.contains_key("a.test") && hosts.contains_key("b.test"));
+    }
+
+    #[test]
+    fn graph_flag_off_means_flat_scoring() {
+        // Two stores fed identically, one with graph retrieval toggled
+        // on and back off — retrieval must be byte-identical.
+        let feed = |s: &KnowledgeStore| {
+            s.memorize(
+                "t",
+                "alpha cable latitude fact",
+                "sim://a.test/1",
+                "news",
+                1,
+                0.5,
+            );
+            s.memorize(
+                "t",
+                "beta storm latitude fact",
+                "sim://b.test/2",
+                "news",
+                2,
+                0.5,
+            );
+            s.memorize(
+                "t",
+                "gardening trivia roses",
+                "sim://c.test/3",
+                "forum",
+                3,
+                0.5,
+            );
+        };
+        let plain = store();
+        feed(&plain);
+        let toggled = store();
+        toggled.set_graph_retrieval(true);
+        feed(&toggled);
+        toggled.set_graph_retrieval(false);
+        assert_eq!(
+            plain.retrieve_texts("latitude fact", 2, 10),
+            toggled.retrieve_texts("latitude fact", 2, 10)
+        );
+        assert_eq!(plain.to_json(), toggled.to_json());
+    }
+
+    #[test]
+    fn graph_mode_lifts_corroborated_entries() {
+        // Entries tie on flat scoring (disjoint vocab, same recency /
+        // importance weights zeroed), but one claim set is asserted by
+        // two hosts. Graph mode must prefer the corroborated entry.
+        let config = StoreConfig {
+            weights: RetrievalWeights {
+                relevance: 1.0,
+                recency: 0.0,
+                importance: 0.0,
+                half_life_secs: 3600.0,
+                diversity: 0.0,
+            },
+            ..StoreConfig::default()
+        };
+        let s = KnowledgeStore::new(config);
+        s.memorize(
+            "t",
+            "apex latitude figure corroborated",
+            "sim://a.test/1",
+            "news",
+            1,
+            0.5,
+        );
+        s.memorize(
+            "t",
+            "apex latitude figure confirmed independently",
+            "sim://b.test/2",
+            "news",
+            2,
+            0.5,
+        );
+        s.memorize(
+            "t",
+            "apex latitude bulletin exclusive fabricated",
+            "sim://evil.test/3",
+            "news",
+            3,
+            0.5,
+        );
+        s.set_graph_retrieval(true);
+        let hits = s.retrieve("apex latitude", 1, 10);
+        assert!(
+            !hits[0].source_url.contains("evil"),
+            "corroborated claims must outrank the single-host exclusive"
+        );
+    }
+
+    #[test]
+    fn eviction_removes_provenance_from_graph() {
+        let config = StoreConfig {
+            capacity: 2,
+            ..StoreConfig::default()
+        };
+        let s = KnowledgeStore::new(config);
+        s.memorize(
+            "t",
+            "oldest stale claim nonsense",
+            "sim://a.test/1",
+            "news",
+            0,
+            0.0,
+        );
+        s.memorize(
+            "t",
+            "newer useful cable latitude",
+            "sim://b.test/2",
+            "news",
+            1_000_000,
+            0.9,
+        );
+        s.memorize(
+            "t",
+            "newest storm grid impact",
+            "sim://c.test/3",
+            "news",
+            2_000_000,
+            0.9,
+        );
+        assert_eq!(s.len(), 2);
+        s.with_graph(|g| {
+            let node = g.node_by_text("nonsense").unwrap();
+            assert!(
+                node.sources.is_empty(),
+                "evicted entry's provenance must go"
+            );
+            assert_eq!(node.occurrences, 1, "the claim itself persists");
+        });
+    }
+
+    #[test]
+    fn save_writes_graph_sidecar_and_load_restores_it() {
+        let dir = std::env::temp_dir().join("ira-agentmem-graph-sidecar");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.json");
+        let sidecar = KnowledgeStore::graph_snapshot_path(&path);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+        std::fs::remove_file(crate::persist::backup_path(&path)).ok();
+        std::fs::remove_file(crate::persist::backup_path(&sidecar)).ok();
+
+        let s = store();
+        mem(
+            &s,
+            "a",
+            "The EllaLink cable connects Brazil to Portugal.",
+            1,
+        );
+        mem(&s, "b", "Geomagnetic storms threaten power grids.", 2);
+        s.save(&path).unwrap();
+        assert!(sidecar.exists(), "sidecar snapshot must be written");
+
+        let back = KnowledgeStore::load(&path).unwrap();
+        assert_eq!(back.graph_to_bytes(), s.graph_to_bytes());
+
+        // Corrupt the sidecar: load must fall back to a JSON rebuild.
+        std::fs::write(&sidecar, b"garbage").unwrap();
+        std::fs::remove_file(crate::persist::backup_path(&sidecar)).ok();
+        let rebuilt = KnowledgeStore::load(&path).unwrap();
+        assert_eq!(
+            rebuilt.graph_to_bytes(),
+            s.graph_to_bytes(),
+            "no evictions happened, so the rebuild matches the snapshot"
+        );
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+        std::fs::remove_file(crate::persist::backup_path(&path)).ok();
+        std::fs::remove_file(crate::persist::backup_path(&sidecar)).ok();
+    }
+
+    #[test]
+    fn from_json_rebuilds_graph_deterministically() {
+        let s = store();
+        mem(
+            &s,
+            "a",
+            "The EllaLink cable connects Brazil to Portugal.",
+            1,
+        );
+        mem(&s, "b", "Geomagnetic storms threaten power grids.", 2);
+        let back = KnowledgeStore::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.graph_to_bytes(), s.graph_to_bytes());
     }
 }

@@ -2,6 +2,36 @@
 
 use ira_agentmem::{cosine, embed, KnowledgeStore, StoreConfig, EMBED_DIM};
 use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory per test case (proptest shrinks rerun the
+/// closure many times, so the path must never collide across cases).
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ira-agentmem-props-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn seeded_store(n: usize) -> KnowledgeStore {
+    let store = KnowledgeStore::with_defaults();
+    for i in 0..n {
+        store.memorize(
+            "cables",
+            &format!("bulletin number{i:02} reports outage near landing{i:02} station"),
+            &format!("sim://host{:02}.test/report/{i}", i % 3),
+            "news",
+            i as u64 * 11,
+            0.5,
+        );
+    }
+    store
+}
 
 proptest! {
     #[test]
@@ -109,5 +139,101 @@ proptest! {
             prop_assert_eq!(&x.source_url, &y.source_url);
             prop_assert_eq!(x.learned_at, y.learned_at);
         }
+    }
+
+    #[test]
+    fn graph_snapshot_round_trips_through_disk(n in 0usize..8) {
+        let dir = scratch_dir();
+        let path = dir.join("knowledge.json");
+        let store = seeded_store(n);
+        store.save(&path).unwrap();
+        let restored = KnowledgeStore::load(&path).unwrap();
+        prop_assert_eq!(restored.len(), store.len());
+        prop_assert_eq!(restored.graph_to_bytes(), store.graph_to_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_with_no_bak_falls_back_to_json_rebuild(
+        n in 1usize..8,
+        pos in 0usize..1_000_000,
+        truncate in 0usize..2,
+    ) {
+        let truncate = truncate == 1;
+        let dir = scratch_dir();
+        let path = dir.join("knowledge.json");
+        let store = seeded_store(n);
+        store.save(&path).unwrap();
+
+        // First save: no .bak exists yet, so a damaged sidecar can only
+        // recover via the deterministic rebuild from the JSON entries.
+        let sidecar = KnowledgeStore::graph_snapshot_path(&path);
+        let mut bytes = std::fs::read(&sidecar).unwrap();
+        if truncate {
+            bytes.truncate(pos % bytes.len());
+        } else {
+            let i = pos % bytes.len();
+            bytes[i] ^= 0xFF;
+        }
+        std::fs::write(&sidecar, &bytes).unwrap();
+
+        let restored = KnowledgeStore::load(&path).unwrap();
+        prop_assert_eq!(restored.len(), store.len());
+        let rebuilt = KnowledgeStore::from_json(&store.to_json()).unwrap();
+        prop_assert_eq!(restored.graph_to_bytes(), rebuilt.graph_to_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_recovers_from_bak_or_rebuild(
+        n in 1usize..6,
+        pos in 0usize..1_000_000,
+        also_corrupt_bak in 0usize..2,
+    ) {
+        let also_corrupt_bak = also_corrupt_bak == 1;
+        let dir = scratch_dir();
+        let path = dir.join("knowledge.json");
+        let store = seeded_store(n);
+        store.save(&path).unwrap();
+        let v1_graph = store.graph_to_bytes();
+
+        // A rewrite rotates the v1 snapshot to `.bak`.
+        store.memorize(
+            "cables",
+            "a late bulletin reports splicing finished overnight",
+            "sim://host99.test/report/late",
+            "news",
+            9_000,
+            0.5,
+        );
+        store.save(&path).unwrap();
+
+        let sidecar = KnowledgeStore::graph_snapshot_path(&path);
+        let mut bytes = std::fs::read(&sidecar).unwrap();
+        let i = pos % bytes.len();
+        bytes[i] ^= 0xFF;
+        std::fs::write(&sidecar, &bytes).unwrap();
+        if also_corrupt_bak {
+            let bak = PathBuf::from(format!("{}.bak", sidecar.display()));
+            let mut bak_bytes = std::fs::read(&bak).unwrap();
+            let j = pos % bak_bytes.len();
+            bak_bytes[j] ^= 0xFF;
+            std::fs::write(&bak, &bak_bytes).unwrap();
+        }
+
+        let restored = KnowledgeStore::load(&path).unwrap();
+        // Entries always come from the (intact) JSON: the full v2 set.
+        prop_assert_eq!(restored.len(), store.len());
+        if also_corrupt_bak {
+            // Both snapshot generations damaged: deterministic rebuild
+            // from the v2 JSON entries.
+            let rebuilt = KnowledgeStore::from_json(&store.to_json()).unwrap();
+            prop_assert_eq!(restored.graph_to_bytes(), rebuilt.graph_to_bytes());
+        } else {
+            // The rotated v1 snapshot is the freshest intact graph —
+            // degraded (missing the last absorb) but never fatal.
+            prop_assert_eq!(restored.graph_to_bytes(), v1_graph);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

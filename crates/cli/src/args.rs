@@ -98,13 +98,37 @@ pub enum Command {
         deadline_us: Option<u64>,
         /// Write the serve trace (a `serve.request` span per request).
         trace: Option<String>,
+        /// Run every session's memory in graph-retrieval mode (claim
+        /// graph corroboration joins the retrieval score).
+        graph: bool,
         /// Print a sample request batch and exit.
         example: bool,
     },
+    /// Inspect the claim graph behind a knowledge file.
+    Mem { action: MemAction },
     /// Audit the built-in databases.
     Audit,
     /// Print usage.
     Help,
+}
+
+/// What `ira mem` does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemAction {
+    /// Print graph statistics: nodes, edges, corroboration histogram,
+    /// per-host trust table.
+    Stats { knowledge: String },
+    /// Preview retrieval for a query with graph activation: matched
+    /// claim nodes, their expansions, and the top entries with flat
+    /// vs graph-mode scores.
+    Query {
+        knowledge: String,
+        query: String,
+        top: usize,
+    },
+    /// Show the provenance of a claim term: every source that asserted
+    /// it, with host, path, fetch time, and session.
+    Provenance { knowledge: String, term: String },
 }
 
 /// What `ira simulate` runs.
@@ -183,6 +207,7 @@ COMMANDS:
                   --burst <n>             admission burst size (default 8)
                   --deadline-us <µs>      default virtual deadline
                   --trace <file>          write the serve trace
+                  --graph                 graph-retrieval memory mode
                   --example               print a sample request batch
     plan        Train + produce a storm response plan
     questions   Propose research questions from saved knowledge
@@ -213,6 +238,19 @@ COMMANDS:
                     --stage <stage>       keep events of this stage
                     --session <n>         keep one session
                     --slower-than <µs>    keep spans at least this long
+    mem         Inspect the claim graph behind a knowledge file (all
+                actions accept --knowledge <file>, default
+                knowledge.json)
+                  stats                   node/edge counts, corroboration
+                                          histogram, per-host trust table
+                  query \"<terms>\"         preview retrieval: matched claim
+                                          nodes, expansions, and top
+                                          entries with flat vs graph-mode
+                                          scores
+                    --top <n>             entries to show (default 5)
+                  provenance \"<term>\"     every source that asserted a
+                                          claim term: host, path, fetch
+                                          time, session
     audit       Integrity-check the built-in databases
     help        Show this message
 
@@ -317,10 +355,43 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 burst: num_flag(&rest, "--burst", 8)?.max(1) as u32,
                 deadline_us,
                 trace: flag(&rest, "--trace")?.map(str::to_string),
+                graph: rest.contains(&"--graph"),
                 example: rest.contains(&"--example"),
             })
         }
         "plan" => Ok(Command::Plan),
+        "mem" => {
+            let sub = rest.get(1..).unwrap_or(&[]);
+            let knowledge = flag(sub, "--knowledge")?
+                .unwrap_or("knowledge.json")
+                .to_string();
+            match rest.first().copied() {
+                Some("stats") => Ok(Command::Mem {
+                    action: MemAction::Stats { knowledge },
+                }),
+                Some("query") => Ok(Command::Mem {
+                    action: MemAction::Query {
+                        knowledge,
+                        query: positional(sub)
+                            .ok_or_else(|| ParseError("mem query needs a query string".into()))?,
+                        top: num_flag(sub, "--top", 5)?.max(1),
+                    },
+                }),
+                Some("provenance") => Ok(Command::Mem {
+                    action: MemAction::Provenance {
+                        knowledge,
+                        term: positional(sub)
+                            .ok_or_else(|| ParseError("mem provenance needs a term".into()))?,
+                    },
+                }),
+                Some(other) => Err(ParseError(format!(
+                    "unknown mem action {other:?}; expected stats|query|provenance"
+                ))),
+                None => Err(ParseError(
+                    "mem needs an action: stats|query|provenance".into(),
+                )),
+            }
+        }
         "audit" => Ok(Command::Audit),
         "questions" => Ok(Command::Questions {
             knowledge: flag(&rest, "--knowledge")?
@@ -486,7 +557,7 @@ fn positional(rest: &[&str]) -> Option<String> {
             // Boolean flags take no value.
             skip_next = !matches!(
                 *a,
-                "--incidents" | "--resume" | "--metrics" | "--json" | "--example"
+                "--incidents" | "--resume" | "--metrics" | "--json" | "--example" | "--graph"
             );
             let _ = i;
             continue;
@@ -555,6 +626,7 @@ mod tests {
                 burst: 8,
                 deadline_us: None,
                 trace: None,
+                graph: false,
                 example: false,
             })
         );
@@ -581,6 +653,7 @@ mod tests {
                 burst: 3,
                 deadline_us: Some(120_000_000),
                 trace: Some("serve.jsonl".into()),
+                graph: false,
                 example: false,
             })
         );
@@ -824,6 +897,49 @@ mod tests {
         let (rest, opstats) = split_opstats(&rest);
         assert!(!opstats);
         assert_eq!(rest.len(), 2);
+    }
+
+    #[test]
+    fn mem_actions_parse() {
+        assert_eq!(
+            p(&["mem", "stats"]),
+            Ok(Command::Mem {
+                action: MemAction::Stats {
+                    knowledge: "knowledge.json".into()
+                }
+            })
+        );
+        assert_eq!(
+            p(&["mem", "stats", "--knowledge", "k.json"]),
+            Ok(Command::Mem {
+                action: MemAction::Stats {
+                    knowledge: "k.json".into()
+                }
+            })
+        );
+        assert_eq!(
+            p(&["mem", "query", "geomagnetic latitude", "--top", "3"]),
+            Ok(Command::Mem {
+                action: MemAction::Query {
+                    knowledge: "knowledge.json".into(),
+                    query: "geomagnetic latitude".into(),
+                    top: 3,
+                }
+            })
+        );
+        assert_eq!(
+            p(&["mem", "provenance", "--knowledge", "k.json", "ellalink"]),
+            Ok(Command::Mem {
+                action: MemAction::Provenance {
+                    knowledge: "k.json".into(),
+                    term: "ellalink".into(),
+                }
+            })
+        );
+        assert!(p(&["mem"]).is_err());
+        assert!(p(&["mem", "query"]).is_err());
+        assert!(p(&["mem", "provenance"]).is_err());
+        assert!(p(&["mem", "forget", "everything"]).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations for the `ira` CLI.
 
-use crate::args::{Command, RoleChoice, SimChoice};
+use crate::args::{Command, MemAction, RoleChoice, SimChoice};
 use ira_agentmem::KnowledgeStore;
 use ira_autogpt::AutoGptConfig;
 use ira_core::{questions, AgentConfig, Environment, ResearchAgent, RoleDefinition};
@@ -114,6 +114,7 @@ pub fn run(cmd: Command) -> i32 {
             burst,
             deadline_us,
             trace,
+            graph,
             example,
         } => serve_cmd(
             input.as_deref(),
@@ -122,8 +123,18 @@ pub fn run(cmd: Command) -> i32 {
             burst,
             deadline_us,
             trace.as_deref(),
+            graph,
             example,
         ),
+        Command::Mem { action } => match action {
+            MemAction::Stats { knowledge } => mem_stats(&knowledge),
+            MemAction::Query {
+                knowledge,
+                query,
+                top,
+            } => mem_query(&knowledge, &query, top),
+            MemAction::Provenance { knowledge, term } => mem_provenance(&knowledge, &term),
+        },
         Command::Audit => audit_cmd(),
     }
 }
@@ -662,6 +673,7 @@ fn serve_example() -> String {
 /// `ira serve`: one JSONL batch through the resilient serve layer —
 /// requests on stdin (or `--input`), responses on stdout in request
 /// order, diagnostics on stderr so the response stream stays clean.
+#[allow(clippy::too_many_arguments)] // mirrors the parsed `serve` flags one-to-one
 fn serve_cmd(
     input: Option<&str>,
     workers: usize,
@@ -669,6 +681,7 @@ fn serve_cmd(
     burst: u32,
     deadline_us: Option<u64>,
     trace: Option<&str>,
+    graph: bool,
     example: bool,
 ) -> i32 {
     use ira_serve::{AdmissionConfig, ServeConfig, Server};
@@ -692,6 +705,7 @@ fn serve_cmd(
             ..AdmissionConfig::default()
         },
         default_deadline_us: deadline_us,
+        graph_retrieval: graph,
         ..ServeConfig::default()
     };
     let server = Server::new(config);
@@ -1029,6 +1043,213 @@ pub fn print_opstats() {
         "[opstats] corpus_lookups={} docs_scanned={}",
         lookups.lookup_calls, lookups.docs_scanned
     );
+}
+
+/// Load a knowledge store for `ira mem` inspection (graph rebuilt or
+/// restored from the sidecar snapshot by [`KnowledgeStore::load`]).
+fn load_store(path: &str) -> Result<KnowledgeStore, i32> {
+    KnowledgeStore::load(Path::new(path)).map_err(|e| {
+        eprintln!("error: could not load {path}: {e}");
+        eprintln!("hint: run `ira train --out {path}` first");
+        1
+    })
+}
+
+/// `ira mem stats`: the claim graph behind a knowledge file — node and
+/// edge counts, the corroboration histogram, and the per-host trust
+/// table the poisoning detector votes with.
+fn mem_stats(knowledge: &str) -> i32 {
+    let store = match load_store(knowledge) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let stats = store.graph_stats();
+    println!("entries: {}", store.len());
+    println!(
+        "claim graph: {} nodes ({} live), {} co-occurrence edges",
+        stats.nodes, stats.live_nodes, stats.edges
+    );
+    println!(
+        "corroborated claims (≥2 hosts): {}",
+        stats.corroborated_nodes
+    );
+    let hist: Vec<String> = stats
+        .corroboration_histogram
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    println!(
+        "corroboration histogram [1, 2, 3, 4+ hosts]: {}",
+        hist.join(" / ")
+    );
+    if stats.decay_evictions > 0 {
+        println!("decay evictions: {}", stats.decay_evictions);
+    }
+    let rows: Vec<Vec<String>> = store
+        .graph_host_stats()
+        .into_iter()
+        .map(|(host, s)| {
+            vec![
+                host,
+                s.claims.to_string(),
+                s.corroborated.to_string(),
+                s.exclusive.to_string(),
+            ]
+        })
+        .collect();
+    if !rows.is_empty() {
+        println!();
+        println!(
+            "{}",
+            table(&["host", "claims", "corroborated", "exclusive"], &rows)
+        );
+    }
+    0
+}
+
+/// `ira mem query`: preview retrieval for a query — which claim nodes
+/// the query activates (matches plus co-occurrence expansions), and the
+/// top entries under flat vs graph-mode scoring.
+fn mem_query(knowledge: &str, query: &str, top: usize) -> i32 {
+    let store = match load_store(knowledge) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    // Retrieval needs a "now"; the newest entry's timestamp keeps the
+    // recency term meaningful without a live clock.
+    let now = store
+        .entries()
+        .iter()
+        .map(|e| e.learned_at)
+        .max()
+        .unwrap_or(0);
+
+    let activation = store.with_graph(|g| g.activate(query));
+    let mut node_rows: Vec<(f64, Vec<String>)> = store.with_graph(|g| {
+        activation
+            .iter()
+            .map(|(&id, &act)| {
+                let node = &g.nodes()[id as usize];
+                let row = vec![
+                    g.term_text(id).unwrap_or("?").to_string(),
+                    format!("{act:.2}"),
+                    node.corroboration().to_string(),
+                    node.occurrences.to_string(),
+                ];
+                (act, row)
+            })
+            .collect()
+    });
+    node_rows.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1[0].cmp(&b.1[0])));
+    println!("query: {query:?}");
+    if node_rows.is_empty() {
+        println!("no claim nodes activated — the graph has no matching terms");
+    } else {
+        println!(
+            "{}",
+            table(
+                &["claim node", "activation", "corroboration", "occurrences"],
+                &node_rows.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
+            )
+        );
+    }
+
+    let was_on = store.graph_retrieval();
+    store.set_graph_retrieval(false);
+    let flat: Vec<u64> = store
+        .retrieve(query, top, now)
+        .into_iter()
+        .map(|e| e.id)
+        .collect();
+    store.set_graph_retrieval(true);
+    let graph_top = store.retrieve(query, top, now);
+    store.set_graph_retrieval(was_on);
+
+    let rows: Vec<Vec<String>> = graph_top
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let support = store.with_graph(|g| g.entry_support(e.id, &activation));
+            let flat_rank = flat
+                .iter()
+                .position(|&id| id == e.id)
+                .map(|p| (p + 1).to_string())
+                .unwrap_or_else(|| "-".into());
+            vec![
+                (i + 1).to_string(),
+                flat_rank,
+                format!("{support:.2}"),
+                e.source_url.clone(),
+                e.topic.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["graph-rank", "flat-rank", "support", "source", "topic"],
+            &rows
+        )
+    );
+    0
+}
+
+/// `ira mem provenance`: every source that asserted a claim term, plus
+/// its strongest co-occurrence neighbors — where a belief came from.
+fn mem_provenance(knowledge: &str, term: &str) -> i32 {
+    let store = match load_store(knowledge) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    store.with_graph(|g| match g.node_by_text(term) {
+        None => {
+            println!("no claim node for {term:?}");
+            1
+        }
+        Some(node) => {
+            println!(
+                "claim {:?}: {} occurrences, corroborated by {} host(s){}",
+                term,
+                node.occurrences,
+                node.corroboration(),
+                if node.decayed { ", decayed" } else { "" }
+            );
+            println!(
+                "first seen {:.1}s, last seen {:.1}s (virtual)",
+                node.first_seen_us as f64 / 1e6,
+                node.last_seen_us as f64 / 1e6
+            );
+            let rows: Vec<Vec<String>> = node
+                .sources
+                .iter()
+                .map(|s| {
+                    vec![
+                        s.host.clone(),
+                        s.path.clone(),
+                        format!("{:.1}", s.fetched_at_us as f64 / 1e6),
+                        s.session.to_string(),
+                        s.entry_id.to_string(),
+                    ]
+                })
+                .collect();
+            if rows.is_empty() {
+                println!("no live provenance (every asserting entry was evicted)");
+            } else {
+                println!(
+                    "{}",
+                    table(&["host", "path", "fetched-s", "session", "entry"], &rows)
+                );
+            }
+            let neighbors = g.neighbors(node.id);
+            if !neighbors.is_empty() {
+                println!("strongest co-occurrences:");
+                for &(w, n) in neighbors.iter().take(8) {
+                    println!("  {:<24} weight {}", g.term_text(n).unwrap_or("?"), w);
+                }
+            }
+            0
+        }
+    })
 }
 
 fn audit_cmd() -> i32 {

@@ -82,12 +82,18 @@ impl ResearchAgent {
         llm.set_inference_hook(Arc::new(move |prompt, completion| {
             clock.advance_us(latency.charge_us(prompt, completion));
         }));
+        let memory = KnowledgeStore::new(config.memory);
+        memory.set_graph_retrieval(config.graph_retrieval);
+        // Graph-mode retrieval feeds different knowledge into the
+        // prompt, so grounded answers must be cached under a distinct
+        // mode (0 = legacy, byte-identical to the pre-graph cache).
+        llm.set_grounding_mode(config.graph_retrieval as u64);
         ResearchAgent {
             role,
             config,
             web,
             llm,
-            memory: KnowledgeStore::new(config.memory),
+            memory,
             stages: StageStats::default(),
             obs: ObsHandle::disabled(),
         }
@@ -110,6 +116,9 @@ impl ResearchAgent {
     /// currently has open.
     pub fn set_observer_handle(&mut self, handle: ObsHandle) {
         self.obs = handle.clone();
+        // Provenance records of future memorisations carry the
+        // observing session's id.
+        self.memory.set_session(handle.session());
         let latency = self.config.inference;
         let clock = Arc::clone(&self.web);
         self.llm
@@ -130,7 +139,11 @@ impl ResearchAgent {
             }));
     }
 
-    /// Record the current memory size as a high-watermark gauge.
+    /// Record the current memory size as a high-watermark gauge —
+    /// plus, in graph-retrieval mode, the claim graph's shape (node /
+    /// edge counts, corroboration histogram, decay evictions). The
+    /// graph gauges are gated on the flag so legacy traces stay
+    /// byte-identical.
     fn emit_memory_gauge(&self) {
         self.obs.emit(|| {
             TraceEvent::gauge(
@@ -141,6 +154,29 @@ impl ResearchAgent {
                 self.memory.len() as u64,
             )
         });
+        if !self.config.graph_retrieval {
+            return;
+        }
+        let gauge = |name: &'static str, value: u64| {
+            self.obs.emit(|| {
+                TraceEvent::gauge(
+                    self.obs.session(),
+                    self.now_us(),
+                    stage::MEMORY,
+                    name,
+                    value,
+                )
+            });
+        };
+        let stats = self.memory.graph_stats();
+        gauge("graph_nodes", stats.live_nodes);
+        gauge("graph_edges", stats.edges);
+        gauge("graph_corroborated", stats.corroborated_nodes);
+        gauge("graph_support1", stats.corroboration_histogram[0]);
+        gauge("graph_support2", stats.corroboration_histogram[1]);
+        gauge("graph_support3", stats.corroboration_histogram[2]);
+        gauge("graph_support4plus", stats.corroboration_histogram[3]);
+        gauge("graph_decay_evictions", stats.decay_evictions);
     }
 
     /// Create an agent around an existing knowledge store — the
@@ -155,6 +191,9 @@ impl ResearchAgent {
     ) -> Self {
         let mut agent = ResearchAgent::new(role, env, config, seed);
         agent.memory = memory;
+        // The adopted store carries its own runtime flags; align them
+        // with this agent's config.
+        agent.memory.set_graph_retrieval(config.graph_retrieval);
         agent.llm.invalidate_grounding();
         agent
     }
@@ -240,6 +279,8 @@ impl ResearchAgent {
             if ckpt.role_name == self.role.name {
                 if let Ok(memory) = KnowledgeStore::from_json(&ckpt.memory) {
                     self.memory = memory;
+                    self.memory.set_graph_retrieval(self.config.graph_retrieval);
+                    self.memory.set_session(self.obs.session());
                     self.llm.invalidate_grounding();
                     per_goal = ckpt.per_goal;
                     completed = ckpt.completed;
@@ -758,6 +799,44 @@ mod tests {
         let last = fixed.rounds.last().unwrap();
         let verdict = last.verdict.as_deref().unwrap_or("");
         assert!(verdict.contains("united states"), "verdict: {verdict}");
+    }
+
+    #[test]
+    fn graph_retrieval_agent_still_resolves_the_cable_question() {
+        // Graph-mode retrieval changes ranking, not correctness: the
+        // trained agent must still reach the paper's verdict, and its
+        // claim graph must be populated with provenance.
+        let env = Environment::standard();
+        let config = AgentConfig::builder()
+            .graph_retrieval(true)
+            .build()
+            .unwrap();
+        let mut bob = ResearchAgent::new(RoleDefinition::bob(), &env, config, 0xB0B);
+        bob.train();
+        assert!(bob.memory().graph_retrieval(), "flag must reach the store");
+        let stats = bob.memory().graph_stats();
+        assert!(stats.nodes > 0 && stats.edges > 0, "graph must be built");
+        assert!(
+            stats.corroborated_nodes > 0,
+            "training reads multiple hosts; some claims must corroborate"
+        );
+        let trajectory = bob.self_learn(CABLE_Q);
+        assert!(
+            trajectory.final_confidence().unwrap() >= 8,
+            "series: {:?}",
+            trajectory.confidence_series()
+        );
+        let verdict = trajectory
+            .rounds
+            .last()
+            .unwrap()
+            .verdict
+            .as_deref()
+            .unwrap();
+        assert!(
+            verdict.to_lowercase().contains("united states"),
+            "verdict: {verdict}"
+        );
     }
 
     #[test]

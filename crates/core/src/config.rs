@@ -81,6 +81,13 @@ pub struct AgentConfig {
     pub inference: InferenceLatency,
     /// Knowledge-memory behaviour (dedup threshold, retrieval weights).
     pub memory: StoreConfig,
+    /// Graph-mode retrieval: add the claim-graph corroboration term to
+    /// retrieval scoring and salt the grounding cache accordingly. Off
+    /// by default, and `#[serde(skip)]` so `knowledge.json` (which
+    /// embeds this config) stays byte-identical either way — the same
+    /// legacy-parity contract as the corpus `set_scan_lookups` flag.
+    #[serde(skip)]
+    pub graph_retrieval: bool,
     #[serde(skip, default = "default_autogpt")]
     pub autogpt: AutoGptConfig,
     #[serde(skip, default = "default_budget")]
@@ -114,6 +121,7 @@ impl Default for AgentConfig {
             query_expansion: true,
             inference: InferenceLatency::default(),
             memory: StoreConfig::default(),
+            graph_retrieval: false,
             autogpt: AutoGptConfig::default(),
             budget: Budget::standard(),
         }
@@ -175,6 +183,12 @@ impl AgentConfigBuilder {
     /// Knowledge-memory behaviour (dedup threshold, retrieval weights).
     pub fn memory(mut self, memory: StoreConfig) -> Self {
         self.config.memory = memory;
+        self
+    }
+
+    /// Claim-graph corroboration in retrieval scoring (off by default).
+    pub fn graph_retrieval(mut self, on: bool) -> Self {
+        self.config.graph_retrieval = on;
         self
     }
 
@@ -279,6 +293,25 @@ mod tests {
             let err = builder.build().expect_err(field);
             assert_eq!(err.kind(), "config", "{field}");
         }
+    }
+
+    #[test]
+    fn graph_retrieval_is_runtime_only() {
+        // The flag must never leak into serialized configs (it would
+        // change knowledge.json bytes), and must survive the builder.
+        let c = AgentConfig {
+            graph_retrieval: true,
+            ..AgentConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("graph_retrieval"));
+        let back: AgentConfig = serde_json::from_str(&json).unwrap();
+        assert!(!back.graph_retrieval, "serde must not round-trip the flag");
+        let built = AgentConfig::builder()
+            .graph_retrieval(true)
+            .build()
+            .unwrap();
+        assert!(built.graph_retrieval);
     }
 
     #[test]

@@ -9,8 +9,20 @@
 //! distinct values plus a confidence discount on conflicting sources);
 //! this module provides the attack so experiments can measure both.
 
-use ira_agentmem::KnowledgeStore;
+//! Detection (the quantitative X5 sweep) lives here too:
+//! [`detect_poisoned_sources`] computes a per-host verdict for every
+//! entity with numeric apex claims, either with the flat baseline
+//! (every entry one vote in the consensus) or source-weighted through
+//! the claim graph (one vote per host, weighted by corroboration
+//! trust). At narrow doses both agree; once the campaign outnumbers
+//! the honest entries the flat consensus *moves into the poison
+//! cluster* — honest hosts get flagged and the adversary sails through
+//! — while the host-weighted consensus holds.
+
+use ira_agentmem::{split_url, KnowledgeStore};
+use ira_simllm::extract::{Extraction, Fact};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Description of one injected poisoning campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,6 +88,209 @@ pub fn poisoned_entry_count(store: &KnowledgeStore) -> usize {
         .count()
 }
 
+/// One host's verdict for one entity's numeric apex claims.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostVerdict {
+    pub entity: String,
+    pub host: String,
+    /// Apex values this host asserted for the entity.
+    pub claims: usize,
+    /// The host's own median claim.
+    pub median: f64,
+    /// The consensus the host was judged against.
+    pub consensus: f64,
+    /// `|median − consensus|`.
+    pub deviation: f64,
+    /// Shrunk corroboration trust from the claim graph:
+    /// `corroborated / (claims + TRUST_SHRINKAGE)`, so a host with only
+    /// a handful of claims cannot look trustworthy on ratio alone.
+    /// Fixed at 1.0 in flat mode.
+    pub trust: f64,
+    pub flagged: bool,
+}
+
+/// The full detection outcome over a store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DetectionReport {
+    pub verdicts: Vec<HostVerdict>,
+    pub flagged_hosts: BTreeSet<String>,
+    /// Every host that asserted at least one apex claim.
+    pub observed_hosts: BTreeSet<String>,
+}
+
+/// Precision/recall of a [`DetectionReport`] against known adversary
+/// hosts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetectionScores {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+    pub precision: f64,
+    pub recall: f64,
+}
+
+impl DetectionReport {
+    /// Score flagged hosts against the ground-truth adversary set.
+    /// Adversary hosts with no stored claims are excluded (nothing to
+    /// detect). Empty denominators score 1.0: flagging nothing when
+    /// nothing is poisoned is perfect behaviour.
+    pub fn score_against(&self, adversary_hosts: &BTreeSet<String>) -> DetectionScores {
+        let present: BTreeSet<&String> = adversary_hosts
+            .iter()
+            .filter(|h| self.observed_hosts.contains(*h))
+            .collect();
+        let tp = self
+            .flagged_hosts
+            .iter()
+            .filter(|h| present.contains(h))
+            .count();
+        let fp = self.flagged_hosts.len() - tp;
+        let fn_ = present.len() - tp;
+        let ratio = |num: usize, denom: usize| {
+            if denom == 0 {
+                1.0
+            } else {
+                num as f64 / denom as f64
+            }
+        };
+        DetectionScores {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+            precision: ratio(tp, tp + fp),
+            recall: ratio(tp, tp + fn_),
+        }
+    }
+}
+
+/// Median with the same convention as `Extraction::apex_of`: sort,
+/// middle element (mean of the two middles for even counts).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Weighted median over `(value, weight)` pairs: the smallest value at
+/// which the cumulative weight reaches half the total. Falls back to
+/// the unweighted median when every weight is zero.
+fn weighted_median(pairs: &mut [(f64, f64)]) -> f64 {
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        let mut values: Vec<f64> = pairs.iter().map(|(v, _)| *v).collect();
+        return median(&mut values);
+    }
+    let mut cumulative = 0.0;
+    for (value, weight) in pairs.iter() {
+        cumulative += weight;
+        if cumulative >= total / 2.0 {
+            return *value;
+        }
+    }
+    pairs[pairs.len() - 1].0
+}
+
+/// Evidence shrinkage for corroboration trust: a host's vote weight is
+/// `corroborated / (claims + TRUST_SHRINKAGE)`, not the raw ratio. A
+/// host that has asserted only a handful of terms has not *earned*
+/// trust yet, whatever its ratio — a single terse poison bulletin
+/// reuses the flagship vocabulary and would otherwise score higher
+/// than a verbose honest article full of filler terms. Shrinkage is
+/// volume-resistant: pumping more bulletins from one host adds mostly
+/// exclusive terms, so the only way to gain weight is for *other
+/// hosts* to corroborate you.
+const TRUST_SHRINKAGE: usize = 20;
+
+/// Flag hosts whose apex claims deviate from consensus by more than
+/// `tolerance` degrees.
+///
+/// * `source_weighted: false` — the flat baseline: the consensus per
+///   entity is the median over **every stored value** (each entry one
+///   vote), so a campaign that outnumbers the honest entries drags the
+///   consensus into the poison cluster.
+/// * `source_weighted: true` — the claim-graph detector: each host
+///   gets **one vote** (its own median), weighted by its shrunk
+///   corroboration trust from [`KnowledgeStore::graph_host_stats`]
+///   (see `TRUST_SHRINKAGE`). Repetition from one host cannot move
+///   this consensus, however loud.
+pub fn detect_poisoned_sources(
+    store: &KnowledgeStore,
+    tolerance: f64,
+    source_weighted: bool,
+) -> DetectionReport {
+    // entity -> host -> asserted apex values.
+    let mut claims: BTreeMap<String, BTreeMap<String, Vec<f64>>> = BTreeMap::new();
+    for entry in store.entries() {
+        let (host, _path) = split_url(&entry.source_url);
+        let ex = Extraction::from_text(&entry.content, None);
+        for fact in &ex.facts {
+            if let Fact::MaxGeomagLatitude { entity, degrees } = fact {
+                claims
+                    .entry(entity.clone())
+                    .or_default()
+                    .entry(host.clone())
+                    .or_default()
+                    .push(*degrees);
+            }
+        }
+    }
+
+    let trust_by_host: BTreeMap<String, f64> = store
+        .graph_host_stats()
+        .into_iter()
+        .map(|(host, s)| {
+            let trust = s.corroborated as f64 / (s.claims + TRUST_SHRINKAGE) as f64;
+            (host, trust)
+        })
+        .collect();
+
+    let mut report = DetectionReport::default();
+    for (entity, by_host) in &claims {
+        let host_medians: BTreeMap<&String, f64> = by_host
+            .iter()
+            .map(|(host, values)| (host, median(&mut values.clone())))
+            .collect();
+        let consensus = if source_weighted {
+            let mut votes: Vec<(f64, f64)> = host_medians
+                .iter()
+                .map(|(host, m)| (*m, trust_by_host.get(*host).copied().unwrap_or(0.0)))
+                .collect();
+            weighted_median(&mut votes)
+        } else {
+            let mut all: Vec<f64> = by_host.values().flatten().copied().collect();
+            median(&mut all)
+        };
+        for (host, m) in host_medians {
+            let deviation = (m - consensus).abs();
+            let flagged = deviation > tolerance;
+            report.observed_hosts.insert(host.clone());
+            if flagged {
+                report.flagged_hosts.insert(host.clone());
+            }
+            report.verdicts.push(HostVerdict {
+                entity: entity.clone(),
+                host: host.clone(),
+                claims: by_host[host].len(),
+                median: m,
+                consensus,
+                deviation,
+                trust: if source_weighted {
+                    trust_by_host.get(host).copied().unwrap_or(0.0)
+                } else {
+                    1.0
+                },
+                flagged,
+            });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +320,126 @@ mod tests {
         let store = KnowledgeStore::with_defaults();
         assert_eq!(PoisonCampaign::inflate("X", 70.0, 0).inject(&store, 0), 0);
         assert!(store.is_empty());
+    }
+
+    /// Three honest hosts independently report EllaLink's apex near 48
+    /// (shared canonical vocabulary, so their claims corroborate in the
+    /// graph), then the adversary injects `poison_count` inflated
+    /// entries from one host.
+    fn poisoned_scenario(poison_count: usize) -> KnowledgeStore {
+        let store = KnowledgeStore::with_defaults();
+        let honest = [
+            (
+                "sim://survey.test/report",
+                "Survey report: The EllaLink cable reaches a maximum geomagnetic latitude \
+                 of 47.0 degrees.",
+            ),
+            (
+                "sim://encyclopedia.test/wiki/ellalink",
+                "Encyclopedia entry: The EllaLink cable reaches a maximum geomagnetic \
+                 latitude of 48.0 degrees.",
+            ),
+            (
+                "sim://news.test/cables",
+                "Newsroom coverage: The EllaLink cable reaches a maximum geomagnetic \
+                 latitude of 49.0 degrees.",
+            ),
+        ];
+        for (i, (url, text)) in honest.iter().enumerate() {
+            assert!(
+                store
+                    .memorize("cables", text, url, "web", i as u64, 0.5)
+                    .is_some(),
+                "honest entries must not dedup away"
+            );
+        }
+        PoisonCampaign::inflate("EllaLink", 75.0, poison_count).inject(&store, 100);
+        store
+    }
+
+    fn adversary() -> BTreeSet<String> {
+        BTreeSet::from(["adversary.test".to_string()])
+    }
+
+    #[test]
+    fn clean_store_flags_nothing_either_way() {
+        let store = poisoned_scenario(0);
+        for weighted in [false, true] {
+            let report = detect_poisoned_sources(&store, 5.0, weighted);
+            assert!(report.flagged_hosts.is_empty(), "weighted={weighted}");
+            let scores = report.score_against(&adversary());
+            assert_eq!(scores.precision, 1.0);
+            assert_eq!(scores.recall, 1.0, "vacuous recall when nothing to find");
+        }
+    }
+
+    #[test]
+    fn narrow_dose_is_caught_by_both_detectors() {
+        // One fake value cannot move either consensus; the adversary
+        // host deviates and both detectors flag it.
+        let store = poisoned_scenario(1);
+        for weighted in [false, true] {
+            let scores = detect_poisoned_sources(&store, 5.0, weighted).score_against(&adversary());
+            assert_eq!(scores.true_positives, 1, "weighted={weighted}");
+            assert_eq!(scores.false_positives, 0, "weighted={weighted}");
+            assert_eq!(scores.recall, 1.0, "weighted={weighted}");
+        }
+    }
+
+    #[test]
+    fn heavy_campaign_defeats_flat_detection_but_not_source_weighted() {
+        // Six fakes outnumber the three honest values: the flat
+        // consensus (one vote per entry) moves into the poison cluster
+        // — honest hosts get flagged, the adversary sails through. The
+        // source-weighted consensus (one corroboration-weighted vote
+        // per host) holds at the honest value.
+        let store = poisoned_scenario(6);
+        let flat = detect_poisoned_sources(&store, 5.0, false).score_against(&adversary());
+        assert_eq!(
+            flat.true_positives, 0,
+            "the flat detector must miss the adversary at this dose"
+        );
+        assert!(
+            flat.false_positives >= 1,
+            "and wrongly flag honest hosts instead"
+        );
+
+        let graph = detect_poisoned_sources(&store, 5.0, true).score_against(&adversary());
+        assert_eq!(graph.true_positives, 1, "graph detector must catch it");
+        assert_eq!(graph.false_positives, 0);
+        assert_eq!(graph.precision, 1.0);
+        assert_eq!(graph.recall, 1.0);
+    }
+
+    #[test]
+    fn adversary_trust_is_below_honest_trust() {
+        let store = poisoned_scenario(6);
+        let report = detect_poisoned_sources(&store, 5.0, true);
+        let trust_of = |host: &str| {
+            report
+                .verdicts
+                .iter()
+                .find(|v| v.host == host)
+                .map(|v| v.trust)
+                .unwrap()
+        };
+        let adv = trust_of("adversary.test");
+        for honest in ["survey.test", "encyclopedia.test", "news.test"] {
+            assert!(
+                trust_of(honest) > adv,
+                "{honest} trust {} must exceed adversary trust {adv}",
+                trust_of(honest)
+            );
+        }
+    }
+
+    #[test]
+    fn detection_report_is_deterministic() {
+        let a = detect_poisoned_sources(&poisoned_scenario(4), 5.0, true);
+        let b = detect_poisoned_sources(&poisoned_scenario(4), 5.0, true);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 }

@@ -39,6 +39,13 @@ pub trait LanguageModel: Send + Sync {
     /// memoized grounded state the model holds may be stale. Models
     /// without such state ignore this (the default).
     fn invalidate_grounding(&self) {}
+
+    /// Declare the retrieval mode producing the knowledge this model
+    /// is grounded on (0 = legacy flat retrieval, the default). Models
+    /// with a grounding cache must salt their answer keys with it so
+    /// answers cached under one retrieval mode are never replayed
+    /// under another. Stateless models ignore this.
+    fn set_grounding_mode(&self, _mode: u64) {}
 }
 
 /// One search result, as the agent loop consumes it.
