@@ -13,6 +13,7 @@ fn bench_search(c: &mut Criterion) {
             CorpusConfig {
                 seed: 1,
                 distractor_count: distractors,
+                ..CorpusConfig::default()
             },
         );
         group.bench_with_input(
@@ -39,6 +40,7 @@ fn bench_index_build(c: &mut Criterion) {
                 CorpusConfig {
                     seed: 1,
                     distractor_count: 150,
+                    ..CorpusConfig::default()
                 },
             ))
         })

@@ -34,6 +34,7 @@ fn main() {
                 corpus: CorpusConfig {
                     seed: 0xC0FFEE,
                     distractor_count: distractors,
+                    ..CorpusConfig::default()
                 },
                 ..SessionConfig::bob()
             });

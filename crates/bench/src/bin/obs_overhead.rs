@@ -111,6 +111,7 @@ fn run_once(mode: Mode, threads: usize) -> (f64, usize, usize) {
             corpus: CorpusConfig {
                 seed,
                 distractor_count: 150,
+                ..CorpusConfig::default()
             },
             net_seed: seed ^ 0xBEEF,
             llm_seed: seed,

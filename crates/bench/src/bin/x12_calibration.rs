@@ -30,6 +30,7 @@ fn main() {
             corpus: CorpusConfig {
                 seed,
                 distractor_count: 150,
+                ..CorpusConfig::default()
             },
             net_seed: seed ^ 0xBEEF,
             llm_seed: seed,

@@ -23,7 +23,12 @@ fn main() {
         )
     );
 
-    let env = Environment::standard();
+    // The canonical environment, assembled through the scenario API:
+    // the solar-superstorm spec reproduces the legacy corpus
+    // byte-for-byte (pinned by webcorpus tests), so Alice's run here is
+    // unchanged from the Environment::standard() era.
+    let env = Environment::for_scenario(&ScenarioSpec::solar_superstorm(), 0xBEEF, None)
+        .expect("canonical scenario is registered");
     let quiz = QuizBank::incidents(&env.world.incidents);
     let conclusions = env.world.conclusions();
 

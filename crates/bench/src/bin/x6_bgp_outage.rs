@@ -13,6 +13,8 @@
 use ira::evalkit::report::{banner, table};
 use ira::worldmodel::bgp::{AsKind, RoutingSystem};
 use ira::worldmodel::incidents::{IncidentCatalog, IncidentId};
+use ira::worldmodel::scenario::{RouteLeak, Scenario};
+use ira::worldmodel::World;
 
 fn main() {
     print!(
@@ -78,5 +80,39 @@ fn main() {
          only the DNS prefixes takes availability to 0% everywhere while every other \
          network stays up.",
         fb.cause
+    );
+
+    // The route-leak scenario derives its quiz ground truth from this
+    // very replay; cross-check that its numbers match the phases above
+    // and that every conclusion holds in the model.
+    let (before, during, after) = RouteLeak::replay();
+    let world = World::standard();
+    RouteLeak
+        .self_check(&world)
+        .expect("route-leak ground truth");
+    let availability = |v: f64| format!("{} percent", (v * 100.0).round() as u64);
+    let conclusions = RouteLeak.conclusions(&world);
+    let stated = |id: &str| {
+        conclusions
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| c.statement.as_str())
+            .expect("conclusion present")
+    };
+    assert!(
+        stated("RouteLeakAvailability").contains(&availability(during)),
+        "scenario availability claim must quote the replayed outage level"
+    );
+    assert!(
+        stated("RouteLeakRecovery").contains(&availability(after)),
+        "scenario recovery claim must quote the replayed recovery level"
+    );
+    println!(
+        "\nscenario cross-check: route-leak ground truth self-checks against the same \
+         replay — availability {} -> {} -> {}, {} conclusions hold.",
+        availability(before),
+        availability(during),
+        availability(after),
+        conclusions.len()
     );
 }

@@ -58,6 +58,8 @@ pub enum Command {
     Corpus { distractors: usize, faults: f64 },
     /// Run a world-model simulation.
     Simulate { what: SimChoice },
+    /// Inspect the registered incident scenarios.
+    Scenario { action: ScenarioAction },
     /// Summarize a JSONL trace file into the metrics table.
     TraceSummarize { file: String },
     /// Fold a JSONL trace into causal span trees and print the
@@ -129,6 +131,17 @@ pub enum MemAction {
     /// Show the provenance of a claim term: every source that asserted
     /// it, with host, path, fetch time, and session.
     Provenance { knowledge: String, term: String },
+}
+
+/// What `ira scenario` does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioAction {
+    /// One line per registered scenario: name, class, counts.
+    List,
+    /// Full spec of one scenario: conclusions and event documents.
+    Describe { name: String },
+    /// The scenario's derived quiz as JSONL, one item per line.
+    Quiz { name: String },
 }
 
 /// What `ira simulate` runs.
@@ -218,6 +231,19 @@ COMMANDS:
                   --faults <0..1>         report the fault plan at this intensity
     simulate    Run a world-model simulation
                   storms | outage | economics   (default storms)
+    scenario    Inspect the registered incident scenarios (stable,
+                diff-friendly output; each scenario derives its own
+                corpus slice and ground-truth quiz from the world model)
+                  list                    one line per scenario: name,
+                                          class, conclusion and event-doc
+                                          counts
+                  describe <name>         the full spec: every conclusion
+                                          with its question, expected
+                                          answer and rationale terms, and
+                                          the event documents the
+                                          scenario injects into the corpus
+                  quiz <name>             the derived quiz as JSONL, one
+                                          item per line
     trace       Inspect a recorded trace (every action accepts `-`
                 to read the trace from stdin)
                   summarize <file>        print the deterministic
@@ -415,6 +441,30 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
             };
             Ok(Command::Simulate { what })
+        }
+        "scenario" => {
+            let sub = rest.get(1..).unwrap_or(&[]);
+            let name = || {
+                positional(sub)
+                    .ok_or_else(|| ParseError("scenario action needs a scenario name".into()))
+            };
+            match rest.first().copied() {
+                Some("list") => Ok(Command::Scenario {
+                    action: ScenarioAction::List,
+                }),
+                Some("describe") => Ok(Command::Scenario {
+                    action: ScenarioAction::Describe { name: name()? },
+                }),
+                Some("quiz") => Ok(Command::Scenario {
+                    action: ScenarioAction::Quiz { name: name()? },
+                }),
+                Some(other) => Err(ParseError(format!(
+                    "unknown scenario action {other:?}; expected list|describe|quiz"
+                ))),
+                None => Err(ParseError(
+                    "scenario needs an action: list|describe|quiz".into(),
+                )),
+            }
         }
         "trace" => match rest.first().copied() {
             Some("summarize") => {
@@ -940,6 +990,35 @@ mod tests {
         assert!(p(&["mem", "query"]).is_err());
         assert!(p(&["mem", "provenance"]).is_err());
         assert!(p(&["mem", "forget", "everything"]).is_err());
+    }
+
+    #[test]
+    fn scenario_actions_parse() {
+        assert_eq!(
+            p(&["scenario", "list"]),
+            Ok(Command::Scenario {
+                action: ScenarioAction::List
+            })
+        );
+        assert_eq!(
+            p(&["scenario", "describe", "route-leak"]),
+            Ok(Command::Scenario {
+                action: ScenarioAction::Describe {
+                    name: "route-leak".into()
+                }
+            })
+        );
+        assert_eq!(
+            p(&["scenario", "quiz", "cable-cut"]),
+            Ok(Command::Scenario {
+                action: ScenarioAction::Quiz {
+                    name: "cable-cut".into()
+                }
+            })
+        );
+        assert!(p(&["scenario"]).is_err());
+        assert!(p(&["scenario", "describe"]).is_err());
+        assert!(p(&["scenario", "invent", "new-one"]).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations for the `ira` CLI.
 
-use crate::args::{Command, MemAction, RoleChoice, SimChoice};
+use crate::args::{Command, MemAction, RoleChoice, ScenarioAction, SimChoice};
 use ira_agentmem::KnowledgeStore;
 use ira_autogpt::AutoGptConfig;
 use ira_core::{questions, AgentConfig, Environment, ResearchAgent, RoleDefinition};
@@ -94,6 +94,7 @@ pub fn run(cmd: Command) -> i32 {
             faults,
         } => corpus_stats(distractors, faults),
         Command::Simulate { what } => simulate(what),
+        Command::Scenario { action } => scenario_cmd(action),
         Command::TraceSummarize { file } => trace_summarize(&file),
         Command::TraceProfile { file, json, top } => trace_profile(&file, json, top),
         Command::TraceDiff {
@@ -220,6 +221,7 @@ fn cli_corpus(distractors: usize) -> CorpusConfig {
     CorpusConfig {
         seed: 0xC0FFEE,
         distractor_count: distractors,
+        ..CorpusConfig::default()
     }
 }
 
@@ -1250,6 +1252,88 @@ fn mem_provenance(knowledge: &str, term: &str) -> i32 {
             0
         }
     })
+}
+
+/// `ira scenario list|describe|quiz`. The output is intentionally
+/// stable and diff-friendly: registry order, fixed column widths, and
+/// JSONL quiz items, so CI and scripts can pin it byte-for-byte.
+fn scenario_cmd(action: ScenarioAction) -> i32 {
+    use ira_worldmodel::scenario::{lookup, ScenarioRegistry};
+    let world = ira_worldmodel::World::standard();
+    let resolve = |name: &str| {
+        lookup(name).ok_or_else(|| {
+            let known = ScenarioRegistry::standard().names().join(", ");
+            format!("unknown scenario {name:?}; registered: {known}")
+        })
+    };
+    match action {
+        ScenarioAction::List => {
+            println!(
+                "{:<24} {:<18} {:>11} {:>10}",
+                "name", "class", "conclusions", "event-docs"
+            );
+            for name in ScenarioRegistry::standard().names() {
+                let s = lookup(name).expect("registry names resolve");
+                println!(
+                    "{:<24} {:<18} {:>11} {:>10}",
+                    s.name(),
+                    s.class().label(),
+                    s.conclusions(&world).len(),
+                    s.docs(&world).event_count()
+                );
+            }
+            0
+        }
+        ScenarioAction::Describe { name } => {
+            let s = match resolve(&name) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            println!("name:  {}", s.name());
+            println!("class: {}", s.class().label());
+            println!("{}", s.description());
+            let conclusions = s.conclusions(&world);
+            println!("\nconclusions ({}):", conclusions.len());
+            for c in &conclusions {
+                println!("  [{}] {}", c.id, c.statement);
+                println!("      question: {}", c.question);
+                println!("      expected: {}", c.expected_answer);
+                println!("      rationale: {}", c.rationale_terms.join(", "));
+                if !c.wrong_terms.is_empty() {
+                    println!("      wrong-side: {}", c.wrong_terms.join(", "));
+                }
+            }
+            let docs = s.docs(&world);
+            println!("\nevent documents ({}):", docs.event_count());
+            for d in &docs.events {
+                println!("  [{:?}] {}", d.channel, d.title);
+                for sentence in &d.sentences {
+                    println!("      {sentence}");
+                }
+            }
+            0
+        }
+        ScenarioAction::Quiz { name } => {
+            let s = match resolve(&name) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            let quiz = QuizBank::for_scenario(&world, s.as_ref());
+            for item in quiz.iter() {
+                println!(
+                    "{}",
+                    serde_json::to_string(item).expect("quiz item serializes")
+                );
+            }
+            0
+        }
+    }
 }
 
 fn audit_cmd() -> i32 {

@@ -89,6 +89,7 @@ impl Committee {
             CorpusConfig {
                 seed,
                 distractor_count: 150,
+                ..CorpusConfig::default()
             },
         ));
         let env = Environment::from_parts(world, corpus, seed ^ 0xBEEF, None);

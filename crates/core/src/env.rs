@@ -7,6 +7,7 @@
 
 use ira_simnet::{Client, ClientConfig, Duration, FaultPlan, Network, NetworkConfig};
 use ira_webcorpus::{register_sites, Corpus, CorpusConfig};
+use ira_worldmodel::scenario::ScenarioSpec;
 use ira_worldmodel::World;
 use std::sync::Arc;
 
@@ -97,6 +98,24 @@ impl Environment {
         Self::from_parts(world, corpus, 0xBEEF, None)
     }
 
+    /// Build an environment for a scenario spec: standard world, the
+    /// scenario's corpus (base web + event pages), and a network on
+    /// `net_seed`. The canonical spec reproduces
+    /// [`Environment::standard`] byte for byte. Errors if the spec
+    /// names no registered scenario.
+    ///
+    /// Sweeps should prefer `ira_engine::Engine` session spawning,
+    /// which shares one corpus per spec across sessions.
+    pub fn for_scenario(
+        spec: &ScenarioSpec,
+        net_seed: u64,
+        faults: Option<FaultSpec>,
+    ) -> Result<Self, String> {
+        let world = World::standard();
+        let corpus = Arc::new(Corpus::for_scenario(&world, spec)?);
+        Ok(Self::from_parts(world, corpus, net_seed, faults))
+    }
+
     /// Build a chaos environment: the standard stack plus a seeded
     /// random fault plan over `intensity` of the hosts for `horizon` of
     /// virtual time.
@@ -155,6 +174,7 @@ mod tests {
                 CorpusConfig {
                     seed: 1,
                     distractor_count,
+                    ..CorpusConfig::default()
                 },
             ));
             Environment::from_parts(world, corpus, 1, None)
@@ -162,6 +182,42 @@ mod tests {
         let small = build(0);
         let big = build(300);
         assert_eq!(big.corpus.len() - small.corpus.len(), 300);
+    }
+
+    #[test]
+    fn scenario_spec_path_matches_standard_for_the_canonical_spec() {
+        let canonical = Environment::standard();
+        let spec = Environment::for_scenario(&ScenarioSpec::default(), 0xBEEF, None).unwrap();
+        assert_eq!(canonical.corpus.len(), spec.corpus.len());
+        let a = canonical
+            .client
+            .get_text("sim://search.test/q?query=solar+superstorm")
+            .unwrap();
+        let b = spec
+            .client
+            .get_text("sim://search.test/q?query=solar+superstorm")
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(canonical.now_us(), spec.now_us());
+        assert!(Environment::for_scenario(&ScenarioSpec::named("nope"), 0xBEEF, None).is_err());
+    }
+
+    #[test]
+    fn scenario_environments_serve_their_event_pages() {
+        let env =
+            Environment::for_scenario(&ScenarioSpec::named("route-leak"), 0xBEEF, None).unwrap();
+        let page = env
+            .client
+            .get_text("sim://search.test/q?query=bgp+withdrawal+dns+prefixes")
+            .unwrap();
+        assert!(page.contains("results"));
+        let doc = env
+            .corpus
+            .iter()
+            .find(|d| d.topic == ira_webcorpus::Topic::ScenarioEvent)
+            .expect("route-leak emits event pages");
+        let body = env.client.get_text(&doc.url().to_string()).unwrap();
+        assert!(body.contains(&doc.title));
     }
 
     #[test]

@@ -29,11 +29,19 @@ pub struct ProvenanceReport {
 impl ProvenanceReport {
     /// Audit a knowledge store against the conclusion set.
     pub fn audit(store: &KnowledgeStore, conclusions: &ConclusionSet) -> Self {
+        let statements: Vec<String> = conclusions.iter().map(|c| c.statement.clone()).collect();
+        Self::audit_statements(store, &statements)
+    }
+
+    /// Audit against an arbitrary answer key — the scenario-aware path,
+    /// where the statements come from a scenario's derived conclusions
+    /// rather than the solar [`ConclusionSet`].
+    pub fn audit_statements(store: &KnowledgeStore, statements: &[String]) -> Self {
         let entries = store.entries();
         let mut leaks = 0;
         for e in &entries {
-            for c in conclusions.iter() {
-                if e.content.contains(&c.statement) {
+            for statement in statements {
+                if e.content.contains(statement) {
                     leaks += 1;
                 }
             }

@@ -4,6 +4,7 @@
 
 use ira_worldmodel::conclusions::{Conclusion, ConclusionId, ConclusionSet};
 use ira_worldmodel::incidents::{derive_incident_conclusions, IncidentCatalog};
+use ira_worldmodel::scenario::{Scenario, ScenarioConclusion};
 use ira_worldmodel::World;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,31 @@ impl QuizBank {
     /// Build the quiz for a world.
     pub fn from_world(world: &World) -> Self {
         Self::from_conclusions(&world.conclusions())
+    }
+
+    /// Build the quiz from scenario conclusions (which carry their own
+    /// wrong-term hints).
+    pub fn from_scenario_conclusions(conclusions: &[ScenarioConclusion]) -> Self {
+        let items = conclusions
+            .iter()
+            .map(|c| QuizItem {
+                id: c.id.clone(),
+                statement: c.statement.clone(),
+                question: c.question.clone(),
+                expected_answer: c.expected_answer.clone(),
+                rationale_terms: c.rationale_terms.clone(),
+                wrong_terms: c.wrong_terms.clone(),
+            })
+            .collect();
+        QuizBank { items }
+    }
+
+    /// Build the quiz a scenario defines over `world`. For the solar
+    /// superstorm this is item-for-item identical to
+    /// [`QuizBank::from_world`] (pinned by test), so callers can use the
+    /// scenario path uniformly.
+    pub fn for_scenario(world: &World, scenario: &dyn Scenario) -> Self {
+        Self::from_scenario_conclusions(&scenario.conclusions(world))
     }
 
     /// Build the incident quiz (the second investigation domain) from
@@ -138,6 +164,35 @@ mod tests {
         let fb = quiz.get("FacebookOutage2021").unwrap();
         assert!(fb.question.contains("caused"));
         assert!(fb.expected_answer.contains("BGP"));
+    }
+
+    #[test]
+    fn solar_scenario_quiz_is_identical_to_the_legacy_quiz() {
+        use ira_worldmodel::scenario::SolarSuperstorm;
+        let world = World::standard();
+        let legacy = QuizBank::from_world(&world);
+        let scenario = QuizBank::for_scenario(&world, &SolarSuperstorm);
+        assert_eq!(legacy.len(), scenario.len());
+        for (a, b) in legacy.iter().zip(scenario.iter()) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_quizzes_cover_every_registered_scenario() {
+        use ira_worldmodel::scenario::{lookup, ScenarioRegistry};
+        let world = World::standard();
+        for name in ScenarioRegistry::standard().names() {
+            let quiz = QuizBank::for_scenario(&world, lookup(name).unwrap().as_ref());
+            assert!(quiz.len() >= 4, "{name} quiz too small");
+            for item in quiz.iter() {
+                assert!(!item.question.is_empty());
+                assert!(!item.expected_answer.is_empty());
+            }
+        }
     }
 
     #[test]

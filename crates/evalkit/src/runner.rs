@@ -56,6 +56,40 @@ pub fn evaluate_agent(
     }
 }
 
+/// The scenario-aware [`EvalRun`] path: evaluate an agent on the quiz
+/// a scenario derives from `world`, with full self-learning per
+/// question. The provenance audit's answer-key leak check runs against
+/// the scenario's own conclusion statements. For the solar superstorm
+/// the quiz is item-for-item identical to the legacy
+/// [`evaluate_agent`] path.
+pub fn evaluate_scenario(
+    agent: &mut ResearchAgent,
+    scenario: &dyn ira_worldmodel::scenario::Scenario,
+    world: &ira_worldmodel::World,
+) -> EvalRun {
+    let quiz = QuizBank::for_scenario(world, scenario);
+    let mut consistency =
+        ConsistencyReport::new(&format!("agent {} on {}", agent.role.name, scenario.name()));
+    let mut trajectories = Vec::new();
+    for item in quiz.iter() {
+        let trajectory = agent.self_learn(&item.question);
+        let answer = agent.ask(&item.question);
+        consistency.add(item, &answer);
+        trajectories.push(trajectory);
+    }
+    let statements: Vec<String> = scenario
+        .conclusions(world)
+        .into_iter()
+        .map(|c| c.statement)
+        .collect();
+    let provenance = ProvenanceReport::audit_statements(agent.memory(), &statements);
+    EvalRun {
+        consistency,
+        trajectories,
+        provenance,
+    }
+}
+
 /// The baseline: the same model with no agent architecture — no
 /// memory, no retrieval, no self-learning. This reproduces the paper's
 /// observation that the raw model hedges.

@@ -27,6 +27,7 @@ fn graph_sweep(threads: usize) -> Vec<(Vec<u8>, String)> {
             corpus: CorpusConfig {
                 seed,
                 distractor_count: 150,
+                ..CorpusConfig::default()
             },
             net_seed: seed ^ 0xBEEF,
             llm_seed: seed,

@@ -6,8 +6,9 @@ use ira_core::{AgentConfig, Environment, ResearchAgent, RoleDefinition};
 use ira_engine::{Engine, SessionConfig};
 use ira_evalkit::quiz::QuizBank;
 use ira_evalkit::robustness::chaos_sweep_threads;
-use ira_evalkit::runner::{evaluate_agent, sweep};
+use ira_evalkit::runner::{evaluate_agent, evaluate_scenario, sweep};
 use ira_webcorpus::CorpusConfig;
+use ira_worldmodel::scenario::{lookup, ScenarioRegistry, ScenarioSpec};
 
 const CABLE_Q: &str = "Which is more vulnerable to solar activity? The fiber optic cable that \
                        connects Brazil to Europe or the one that connects the US to Europe?";
@@ -52,6 +53,7 @@ fn parallel_seed_sweep_is_byte_identical_to_serial() {
                 corpus: CorpusConfig {
                     seed,
                     distractor_count: 150,
+                    ..CorpusConfig::default()
                 },
                 net_seed: seed ^ 0xBEEF,
                 llm_seed: seed,
@@ -76,6 +78,43 @@ fn parallel_seed_sweep_is_byte_identical_to_serial() {
         "thread count must not change any sweep byte"
     );
     assert_eq!(serial.len(), seeds.len());
+}
+
+/// The scenario matrix (ISSUE 8): every registered scenario, trained
+/// and quizzed through the scenario-aware EvalRun path, must serialize
+/// identically at 1, 4, and 8 threads — the determinism bar the
+/// `m1_scenario_matrix` bench builds on.
+#[test]
+fn scenario_matrix_is_byte_identical_across_thread_counts() {
+    let scenarios = ScenarioRegistry::standard().names();
+
+    let run = |threads: usize| -> Vec<String> {
+        let engine = Engine::new();
+        sweep(scenarios.clone(), threads, |_, name| {
+            let spec = ScenarioSpec::named(name);
+            let mut session = engine
+                .spawn_session(SessionConfig::for_scenario(&spec).expect("registered scenario"));
+            session.agent.train();
+            let scenario = lookup(name).expect("registered scenario");
+            let world = session.env.world.clone();
+            let eval = evaluate_scenario(&mut session.agent, scenario.as_ref(), &world);
+            format!(
+                "{name}|{}|{}",
+                serde_json::to_string(&eval).unwrap(),
+                session.now_us()
+            )
+        })
+    };
+
+    let serial = run(1);
+    for threads in [4usize, 8] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "thread count {threads} changed a scenario-matrix byte"
+        );
+    }
+    assert_eq!(serial.len(), scenarios.len());
 }
 
 /// The chaos sweep exposed through the threaded API must match the

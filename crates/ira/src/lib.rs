@@ -36,7 +36,8 @@ pub mod prelude {
     pub use ira_engine::{Engine, Session, SessionConfig};
     pub use ira_evalkit::quiz::QuizBank;
     pub use ira_evalkit::runner::{
-        evaluate_agent, evaluate_baseline, full_paper_run, metrics_rollup, sweep, EvalRun,
+        evaluate_agent, evaluate_baseline, evaluate_scenario, full_paper_run, metrics_rollup,
+        sweep, EvalRun,
     };
     pub use ira_obs::{
         Collector, CollectorExt, Fanout, JsonlCollector, MetricsSnapshot, NullCollector,
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use ira_services::{IraError, IraResult, ServiceError};
     pub use ira_simnet::{ClientConfig, Duration, Instant};
     pub use ira_webcorpus::CorpusConfig;
+    pub use ira_worldmodel::scenario::{Scenario, ScenarioRegistry, ScenarioSpec};
     pub use ira_worldmodel::World;
 }
 

@@ -64,6 +64,10 @@ fn default_distractors() -> usize {
     ira_webcorpus::CorpusConfig::default().distractor_count
 }
 
+fn default_scenario() -> String {
+    ira_worldmodel::scenario::SOLAR_SUPERSTORM.to_string()
+}
+
 /// One investigation request, as parsed from a JSONL line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeRequest {
@@ -77,9 +81,13 @@ pub struct ServeRequest {
     /// distinct tenants get distinct (but each deterministic) runs.
     #[serde(default)]
     pub seed: u64,
-    /// Corpus distractor count (the corpus cache key's second half).
+    /// Corpus distractor count (part of the corpus cache key).
     #[serde(default = "default_distractors")]
     pub distractors: usize,
+    /// Registered scenario to investigate; the corpus and the quiz both
+    /// follow it. Defaults to the canonical `solar-superstorm`.
+    #[serde(default = "default_scenario")]
+    pub scenario: String,
     /// `> 0` runs the session against a chaotic network with this
     /// fault intensity (seeded blackouts/brownouts mid-flight).
     #[serde(default)]
@@ -107,6 +115,7 @@ impl ServeRequest {
             question: None,
             seed: 0,
             distractors: default_distractors(),
+            scenario: default_scenario(),
             fault_intensity: 0.0,
             fault_seed: 0,
             deadline_us: None,
@@ -125,6 +134,12 @@ impl ServeRequest {
         }
         if !(0.0..=1.0).contains(&self.fault_intensity) {
             return Err(IraError::config("fault_intensity must be in [0, 1]"));
+        }
+        if ira_worldmodel::scenario::static_name(&self.scenario).is_none() {
+            return Err(IraError::config(format!(
+                "unknown scenario `{}`",
+                self.scenario
+            )));
         }
         Ok(())
     }
@@ -429,7 +444,20 @@ mod tests {
         assert_eq!(parsed[0].kind, RequestKind::Train);
         assert_eq!(parsed[0].seed, 0);
         assert_eq!(parsed[0].distractors, default_distractors());
+        assert_eq!(parsed[0].scenario, "solar-superstorm");
         assert_eq!(parsed[0].deadline_us, None);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_scenarios() {
+        let mut req = ServeRequest::new("a", RequestKind::Quiz);
+        assert!(req.validate().is_ok());
+        req.scenario = "route-leak".into();
+        assert!(req.validate().is_ok());
+        req.scenario = "alien-invasion".into();
+        let err = req.validate().unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("alien-invasion"), "{err}");
     }
 
     #[test]

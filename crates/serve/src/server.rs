@@ -436,6 +436,10 @@ impl Server {
             corpus: CorpusConfig {
                 seed: self.config.corpus_seed,
                 distractor_count: request.distractors,
+                // Admission control rejects unknown scenario names, so
+                // interning cannot fail here.
+                scenario: ira_worldmodel::scenario::static_name(&request.scenario)
+                    .expect("scenario validated at admission"),
             },
             net_seed: NET_SEED_BASE
                 .wrapping_add(request.seed)
@@ -573,7 +577,16 @@ impl Server {
             RequestKind::Quiz => {
                 let report = session.agent.train_until(deadline_us);
                 let train_truncated = report.per_goal.len() < session.agent.role.goals.len();
-                let quiz = QuizBank::from_world(session.world());
+                let quiz = if request.scenario == ira_worldmodel::scenario::SOLAR_SUPERSTORM {
+                    // Legacy hot path, byte-for-byte untouched (the
+                    // scenario quiz is pinned identical by evalkit
+                    // tests, but the baseline traces are sacred).
+                    QuizBank::from_world(session.world())
+                } else {
+                    let scenario = ira_worldmodel::scenario::lookup(&request.scenario)
+                        .expect("scenario validated at admission");
+                    QuizBank::for_scenario(session.world(), scenario.as_ref())
+                };
                 let total = quiz.len();
                 let mut consistency = ConsistencyReport::new(&request.id);
                 let mut answered = 0usize;

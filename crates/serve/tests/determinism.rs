@@ -482,6 +482,68 @@ fn every_request_lands_in_the_trace_tree() {
     }
 }
 
+/// Scenario-parameterised requests (ISSUE 8): a request naming a
+/// registered scenario runs against that scenario's corpus and quiz;
+/// an explicit `solar-superstorm` is byte-identical to the default;
+/// an unknown scenario fails validation with a typed config error.
+#[test]
+fn scenario_requests_route_to_their_own_quiz() {
+    let engine = Arc::new(Engine::new());
+    let server = Server::with_engine(Arc::clone(&engine), ServeConfig::default());
+
+    let mut leak_quiz = ServeRequest::new("leak-quiz", RequestKind::Quiz);
+    leak_quiz.scenario = "route-leak".into();
+    let responses = server.handle_batch(std::slice::from_ref(&leak_quiz), None);
+    assert_eq!(responses[0].status, ResponseStatus::Ok);
+    match responses[0].result.as_ref().unwrap() {
+        ResponsePayload::Quiz {
+            answered,
+            total,
+            conclusions,
+            ..
+        } => {
+            assert_eq!(answered, total, "no deadline: the full quiz runs");
+            let ids: Vec<&str> = conclusions.iter().map(|c| c.id.as_str()).collect();
+            assert!(
+                ids.contains(&"RouteLeakCause"),
+                "quiz follows the requested scenario, got {ids:?}"
+            );
+        }
+        other => panic!("expected quiz payload, got {other:?}"),
+    }
+
+    // Explicit solar == default (the legacy path is untouched).
+    let implicit = ServeRequest::new("solar", RequestKind::Train);
+    let mut explicit = ServeRequest::new("solar", RequestKind::Train);
+    explicit.scenario = "solar-superstorm".into();
+    let (a, trace_a, _) = run_batch(
+        &engine,
+        ServeConfig::default(),
+        std::slice::from_ref(&implicit),
+    );
+    let (b, trace_b, _) = run_batch(
+        &engine,
+        ServeConfig::default(),
+        std::slice::from_ref(&explicit),
+    );
+    assert_eq!(a, b, "explicit solar-superstorm must stay legacy");
+    assert_eq!(trace_a, trace_b, "explicit solar trace must stay legacy");
+
+    // Unknown scenarios are the caller's fault: typed, never executed.
+    let mut bogus = ServeRequest::new("bogus", RequestKind::Train);
+    bogus.scenario = "volcanic-winter".into();
+    let rejected = server.handle_batch(std::slice::from_ref(&bogus), None);
+    assert_eq!(rejected[0].status, ResponseStatus::Failed);
+    let error = rejected[0].error.as_ref().unwrap();
+    assert_eq!(error.kind, "config");
+    assert!(
+        error.message.contains("volcanic-winter"),
+        "{}",
+        error.message
+    );
+    assert_eq!(rejected[0].exec_virtual_us, 0, "never ran");
+}
+
 /// `serve_jsonl` round-trips the whole wire path: JSONL in, JSONL out,
 /// byte-identical across repeated calls.
 #[test]

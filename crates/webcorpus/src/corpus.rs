@@ -5,20 +5,56 @@ use crate::distractors;
 use crate::doc::{DocId, Document, SourceKind, Topic};
 use crate::index::bm25::{SearchEngine, SearchHit};
 use crate::index::opstats;
+use crate::scenario_docs;
 use crate::templates;
+use ira_worldmodel::scenario::{self, ScenarioSpec, SOLAR_SUPERSTORM};
 use ira_worldmodel::World;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Corpus generation knobs.
-#[derive(Debug, Clone, Copy)]
+/// Corpus generation knobs. The scenario name is interned against the
+/// standard registry (a `&'static str`), which keeps this type `Copy`
+/// and usable as a cache key; build one from a serializable
+/// [`ScenarioSpec`] with [`CorpusConfig::for_spec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CorpusConfig {
     /// RNG seed for prose variation and distractor sampling.
     pub seed: u64,
     /// Number of distractor documents to interleave.
     pub distractor_count: usize,
+    /// Registry name of the scenario whose event pages to emit after
+    /// the base world corpus. The canonical `solar-superstorm` emits
+    /// none (the base corpus is its web).
+    pub scenario: &'static str,
+}
+
+impl CorpusConfig {
+    /// Resolve a [`ScenarioSpec`] into corpus knobs, interning the
+    /// scenario name. `None` if the spec names no registered scenario.
+    pub fn for_spec(spec: &ScenarioSpec) -> Option<Self> {
+        Some(CorpusConfig {
+            seed: spec.seed,
+            distractor_count: spec.distractors,
+            scenario: scenario::static_name(&spec.scenario)?,
+        })
+    }
+
+    /// The pre-scenario constructor shape. The scenario is implicit
+    /// (always the solar superstorm), which is exactly why it is
+    /// deprecated — construct through a [`ScenarioSpec`] instead.
+    #[deprecated(
+        since = "0.3.0",
+        note = "scenario-implicit; build via `CorpusConfig::for_spec(&ScenarioSpec)`"
+    )]
+    pub fn legacy(seed: u64, distractor_count: usize) -> Self {
+        CorpusConfig {
+            seed,
+            distractor_count,
+            scenario: SOLAR_SUPERSTORM,
+        }
+    }
 }
 
 impl Default for CorpusConfig {
@@ -26,6 +62,7 @@ impl Default for CorpusConfig {
         CorpusConfig {
             seed: 0xC0FFEE,
             distractor_count: 150,
+            scenario: SOLAR_SUPERSTORM,
         }
     }
 }
@@ -46,10 +83,25 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Generate the corpus for `world`.
+    /// Generate the corpus for a scenario spec: the base world corpus,
+    /// the scenario's event pages, then the distractors. Errors if the
+    /// spec names no registered scenario.
+    pub fn for_scenario(world: &World, spec: &ScenarioSpec) -> Result<Self, String> {
+        let config = CorpusConfig::for_spec(spec)
+            .ok_or_else(|| format!("unknown scenario `{}`", spec.scenario))?;
+        Ok(Self::generate(world, config))
+    }
+
+    /// Generate the corpus for `world`: base fact documents, then the
+    /// configured scenario's event pages, then distractors. Event pages
+    /// consume no RNG state, so the canonical (event-free) scenario is
+    /// byte-identical to the pre-scenario generator.
     pub fn generate(world: &World, config: CorpusConfig) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut docs = templates::generate(world, &mut rng, 0);
+        let sc = scenario::lookup(config.scenario)
+            .unwrap_or_else(|| panic!("unknown scenario `{}`", config.scenario));
+        docs.extend(scenario_docs::render(&sc.docs(world), docs.len() as DocId));
         let first_distractor = docs.len() as DocId;
         docs.extend(distractors::generate(
             config.distractor_count,
@@ -371,6 +423,7 @@ mod tests {
             CorpusConfig {
                 seed: 1,
                 distractor_count: 10,
+                ..CorpusConfig::default()
             },
         );
         let d = Corpus::generate(
@@ -378,8 +431,110 @@ mod tests {
             CorpusConfig {
                 seed: 1,
                 distractor_count: 400,
+                ..CorpusConfig::default()
             },
         );
         assert_eq!(d.len() - c.len(), 390);
+    }
+
+    #[test]
+    fn for_spec_interns_known_scenarios_and_rejects_unknown() {
+        let spec = ScenarioSpec::named("cable-cut")
+            .with_seed(9)
+            .with_distractors(3);
+        let config = CorpusConfig::for_spec(&spec).unwrap();
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.distractor_count, 3);
+        assert_eq!(config.scenario, "cable-cut");
+        assert!(CorpusConfig::for_spec(&ScenarioSpec::named("nope")).is_none());
+        assert!(Corpus::for_scenario(&World::standard(), &ScenarioSpec::named("nope")).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_config_shim_pins_the_solar_scenario() {
+        assert_eq!(CorpusConfig::legacy(0xC0FFEE, 150), CorpusConfig::default());
+    }
+
+    /// The golden byte-identity bar: the canonical scenario through the
+    /// spec path reproduces the legacy generator exactly — same ids,
+    /// paths, titles, bodies, topics, and links for every document.
+    #[test]
+    fn solar_scenario_corpus_is_byte_identical_to_legacy() {
+        let world = World::standard();
+        let legacy = Corpus::generate(&world, CorpusConfig::default());
+        let spec = Corpus::for_scenario(&world, &ScenarioSpec::default()).unwrap();
+        assert_eq!(legacy.len(), spec.len());
+        for (a, b) in legacy.iter().zip(spec.iter()) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_corpora_append_events_between_facts_and_distractors() {
+        let world = World::standard();
+        let base = Corpus::for_scenario(&world, &ScenarioSpec::default()).unwrap();
+        for name in ["cable-cut", "regional-grid-failure", "route-leak"] {
+            let c = Corpus::for_scenario(&world, &ScenarioSpec::named(name)).unwrap();
+            let events: Vec<_> = c
+                .iter()
+                .filter(|d| d.topic == Topic::ScenarioEvent)
+                .collect();
+            assert!(!events.is_empty(), "{name} emits no events");
+            assert_eq!(c.len(), base.len() + events.len(), "{name} count");
+            // Events sit exactly between the fact block and the
+            // distractor block, ids dense.
+            let first_event = events[0].id;
+            let base_facts = base.iter().filter(|d| d.topic != Topic::Distractor).count();
+            assert_eq!(first_event as usize, base_facts, "{name} placement");
+            // And the base fact block is untouched.
+            for (a, b) in base.iter().zip(c.iter()).take(base_facts) {
+                assert_eq!(a.body, b.body, "{name} perturbed doc {}", a.id);
+            }
+        }
+    }
+
+    /// Every rationale term an event-emitting scenario's quiz relies on
+    /// appears somewhere in that scenario's corpus — the corpus-level
+    /// half of the ground-truth self-consistency contract. (The solar
+    /// scenario's terms are phrased against agent *answers* and are
+    /// covered by the end-to-end consistency suite instead.)
+    #[test]
+    fn scenario_rationale_terms_are_grounded_in_the_corpus() {
+        let world = World::standard();
+        for name in ["cable-cut", "regional-grid-failure", "route-leak"] {
+            let c = Corpus::for_scenario(&world, &ScenarioSpec::named(name)).unwrap();
+            let mut pool = String::new();
+            for d in c.iter() {
+                pool.push_str(&d.full_text().to_lowercase());
+                pool.push('\n');
+            }
+            let sc = ira_worldmodel::scenario::lookup(name).unwrap();
+            for conclusion in sc.conclusions(&world) {
+                for term in &conclusion.rationale_terms {
+                    assert!(
+                        pool.contains(&term.to_lowercase()),
+                        "{name}/{}: term `{term}` not in corpus",
+                        conclusion.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_event_pages_are_searchable_and_linked() {
+        let world = World::standard();
+        let c = Corpus::for_scenario(&world, &ScenarioSpec::named("cable-cut")).unwrap();
+        let target = ira_worldmodel::scenario::CableCut::target(&world);
+        let hits = c.search(&format!("{} severed landslide", target.name), 5);
+        assert!(!hits.is_empty());
+        let top = c.doc(hits[0].doc).unwrap();
+        assert_eq!(top.topic, Topic::ScenarioEvent, "top hit was {}", top.title);
+        // Scenario pages cross-link like any other topic group.
+        assert!(!top.links.is_empty());
     }
 }

@@ -77,6 +77,10 @@ pub enum Topic {
     InternetInfrastructure,
     ResponsePlanning,
     Incidents,
+    /// Incident-specific pages emitted by a scenario (see
+    /// `ira_worldmodel::scenario`); empty for the canonical
+    /// solar-superstorm corpus.
+    ScenarioEvent,
     Distractor,
 }
 
@@ -91,6 +95,7 @@ impl Topic {
             Topic::InternetInfrastructure => "internet-infrastructure",
             Topic::ResponsePlanning => "response-planning",
             Topic::Incidents => "incidents",
+            Topic::ScenarioEvent => "scenario-event",
             Topic::Distractor => "distractor",
         }
     }

@@ -15,6 +15,8 @@
 //! * [`distractors`] — plausible but irrelevant documents with keyword
 //!   overlap, so retrieval has to actually rank.
 //! * [`index`] — tokenizer and BM25 inverted index.
+//! * [`scenario_docs`] — renders a scenario's incident pages (see
+//!   `ira_worldmodel::scenario`) into corpus documents.
 //! * [`corpus`] — the assembled corpus.
 //! * [`sites`] — simnet virtual hosts: a search engine front-end plus
 //!   one content host per source kind.
@@ -37,6 +39,7 @@ pub mod corpus;
 pub mod distractors;
 pub mod doc;
 pub mod index;
+pub mod scenario_docs;
 pub mod sites;
 pub mod templates;
 pub mod textgen;

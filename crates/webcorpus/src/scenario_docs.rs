@@ -1,0 +1,99 @@
+//! Render a scenario's corpus slice into documents.
+//!
+//! Scenarios (see [`ira_worldmodel::scenario`]) describe their
+//! incident-specific pages abstractly — a channel, a title, and the
+//! canonical fact sentences — because the world model sits below this
+//! crate. This module maps each [`DocChannel`] onto its corpus
+//! [`SourceKind`] and renders the pages with the same path scheme the
+//! fact templates use, so scenario pages are indistinguishable from the
+//! rest of the synthetic web (searchable, crawlable, linkable).
+
+use crate::doc::{slugify, DocId, Document, SourceKind, Topic};
+use ira_worldmodel::scenario::{DocChannel, ScenarioDocs};
+
+/// The corpus source kind publishing a scenario channel.
+pub fn source_kind(channel: DocChannel) -> SourceKind {
+    match channel {
+        DocChannel::Encyclopedia => SourceKind::Encyclopedia,
+        DocChannel::News => SourceKind::News,
+        DocChannel::Blog => SourceKind::Blog,
+        DocChannel::Forum => SourceKind::Forum,
+        DocChannel::MicroPost => SourceKind::MicroPost,
+        DocChannel::PaperAbstract => SourceKind::PaperAbstract,
+    }
+}
+
+/// Render the scenario's event pages, ids starting at `first_id`. The
+/// path scheme matches the fact templates exactly (slug paths for
+/// reference/blog hosts, id paths for feeds), so virtual hosts serve
+/// scenario pages with no special cases.
+pub fn render(docs: &ScenarioDocs, first_id: DocId) -> Vec<Document> {
+    docs.events
+        .iter()
+        .enumerate()
+        .map(|(offset, event)| {
+            let id = first_id + offset as DocId;
+            let source = source_kind(event.channel);
+            let path = match source {
+                SourceKind::Encyclopedia => format!("/wiki/{}", slugify(&event.title)),
+                SourceKind::News => format!("/articles/{}-{}", id, slugify(&event.title)),
+                SourceKind::Blog => format!("/posts/{}", slugify(&event.title)),
+                SourceKind::Forum => format!("/thread/{id}"),
+                SourceKind::MicroPost => format!("/status/{id}"),
+                SourceKind::PaperAbstract => format!("/abs/{id}"),
+            };
+            Document {
+                id,
+                source,
+                path,
+                title: event.title.clone(),
+                body: event.sentences.join(" "),
+                topic: Topic::ScenarioEvent,
+                links: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ira_worldmodel::scenario::{lookup, CABLE_CUT};
+    use ira_worldmodel::World;
+
+    #[test]
+    fn rendering_preserves_order_ids_and_sentences() {
+        let world = World::standard();
+        let scenario = lookup(CABLE_CUT).unwrap();
+        let slice = scenario.docs(&world);
+        let docs = render(&slice, 100);
+        assert_eq!(docs.len(), slice.events.len());
+        for (i, (doc, event)) in docs.iter().zip(slice.events.iter()).enumerate() {
+            assert_eq!(doc.id, 100 + i as DocId);
+            assert_eq!(doc.title, event.title);
+            assert_eq!(doc.topic, Topic::ScenarioEvent);
+            assert_eq!(doc.source, source_kind(event.channel));
+            for sentence in &event.sentences {
+                assert!(doc.body.contains(sentence), "missing: {sentence}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_follow_the_template_scheme() {
+        let world = World::standard();
+        let scenario = lookup(CABLE_CUT).unwrap();
+        let docs = render(&scenario.docs(&world), 0);
+        for doc in &docs {
+            let ok = match doc.source {
+                SourceKind::Encyclopedia => doc.path.starts_with("/wiki/"),
+                SourceKind::News => doc.path.starts_with("/articles/"),
+                SourceKind::Blog => doc.path.starts_with("/posts/"),
+                SourceKind::Forum => doc.path.starts_with("/thread/"),
+                SourceKind::MicroPost => doc.path.starts_with("/status/"),
+                SourceKind::PaperAbstract => doc.path.starts_with("/abs/"),
+            };
+            assert!(ok, "bad path {} for {:?}", doc.path, doc.source);
+        }
+    }
+}

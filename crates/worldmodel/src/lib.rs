@@ -28,6 +28,9 @@
 //! * [`conclusions`] — the eight expert conclusions, *derived* from the
 //!   model rather than hard-coded, so the evaluation harness can verify
 //!   them mechanically.
+//! * [`scenario`] — enumerable incident scenarios: each derives its
+//!   ground-truth conclusions *and* its corpus slice from the same
+//!   model facts, with the solar superstorm as the canonical member.
 //! * [`world`] — the bundle type tying it together.
 //!
 //! The synthetic web corpus (`ira-webcorpus`) is generated from this
@@ -46,6 +49,7 @@ pub mod geomag;
 pub mod graph;
 pub mod incidents;
 pub mod power;
+pub mod scenario;
 pub mod storm;
 pub mod world;
 
@@ -60,5 +64,9 @@ pub use geo::{GeoPoint, Region};
 pub use graph::{ConnectivityReport, TopologyGraph};
 pub use incidents::{Incident, IncidentCatalog, IncidentClass, IncidentId};
 pub use power::{PowerGrid, PowerGridDatabase};
+pub use scenario::{
+    Scenario, ScenarioClass, ScenarioConclusion, ScenarioDoc, ScenarioDocs, ScenarioRegistry,
+    ScenarioSpec,
+};
 pub use storm::{StormModel, StormScenario};
 pub use world::World;

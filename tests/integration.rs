@@ -141,6 +141,7 @@ fn bigger_distractor_load_does_not_break_learning() {
         CorpusConfig {
             seed: 0xC0FFEE,
             distractor_count: 600,
+            ..CorpusConfig::default()
         },
     ));
     let env = Environment::from_parts(World::standard(), corpus, 0xBEEF, None);
@@ -352,6 +353,7 @@ fn flagship_trajectory_holds_across_seeds() {
             CorpusConfig {
                 seed,
                 distractor_count: 150,
+                ..CorpusConfig::default()
             },
         ));
         let env = Environment::from_parts(World::standard(), corpus, seed ^ 0xBEEF, None);
