@@ -15,6 +15,12 @@
 //! drifted cell. `--threads N` fans cells out without changing a byte
 //! of stdout (timing goes to stderr).
 //!
+//! Independently of the baseline comparison, every cell must clear the
+//! per-scenario regression floor — nonzero consistent answers, learning
+//! rounds, and searches — so the pre-ISSUE-9 failure mode (scenario
+//! questions falling through to a no-learning path) can never silently
+//! return behind a regenerated baseline.
+//!
 //! Usage:
 //!   m1_scenario_matrix                 full matrix, writes results/BENCH_scenarios.json
 //!   m1_scenario_matrix --smoke         one cell per scenario, writes
@@ -164,6 +170,35 @@ fn main() {
         )
     );
     print_timing(threads, start.elapsed(), engine.corpus_builds());
+
+    // Per-scenario regression floor (ISSUE 9): before the sim-LLM
+    // learned scenario-class rules, three of four scenarios scored
+    // 0/N consistent with zero learning rounds and zero searches. Any
+    // cell regressing to that no-learning state fails the gate outright
+    // — even before the strict-equality baseline comparison — so the
+    // defect can't silently return behind a regenerated baseline.
+    let mut floor_violations = Vec::new();
+    for c in &cells {
+        if c.consistent == 0 || c.learning_rounds == 0 || c.searches == 0 {
+            floor_violations.push(format!(
+                "{} seed {} faults {:.2}: consistent {}/{}, rounds {}, searches {}",
+                c.scenario,
+                c.seed,
+                c.faults,
+                c.consistent,
+                c.quiz_items,
+                c.learning_rounds,
+                c.searches
+            ));
+        }
+    }
+    if !floor_violations.is_empty() {
+        eprintln!("per-scenario floor FAILED (consistent, rounds, and searches must be nonzero):");
+        for v in &floor_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
 
     let report = Report {
         bench: "m1_scenario_matrix".to_string(),

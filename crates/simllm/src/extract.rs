@@ -44,6 +44,13 @@ pub enum Principle {
     DataPreservation,
     /// Planning: reboot gradually after impact.
     GradualReboot,
+    /// Severed cables are repaired by ship-borne grapple-and-splice.
+    CableRepair,
+    /// EHV transformers saturate and overheat under sustained GIC.
+    TransformerSaturation,
+    /// Withdrawing the prefixes under authoritative nameservers takes
+    /// a service offline by name.
+    BgpDnsWithdrawal,
 }
 
 impl Principle {
@@ -62,10 +69,13 @@ impl Principle {
             Principle::PhasedShutdown => "phased shutdown sequence",
             Principle::DataPreservation => "backed up and preserved before",
             Principle::GradualReboot => "rebooted gradually",
+            Principle::CableRepair => "repair ship grapples the damaged section",
+            Principle::TransformerSaturation => "transformers saturate and overheat",
+            Principle::BgpDnsWithdrawal => "withdrew the bgp routes for",
         }
     }
 
-    pub const ALL: [Principle; 12] = [
+    pub const ALL: [Principle; 15] = [
         Principle::LatitudeRisk,
         Principle::RepeaterWeakness,
         Principle::DispersionResilience,
@@ -78,6 +88,9 @@ impl Principle {
         Principle::PhasedShutdown,
         Principle::DataPreservation,
         Principle::GradualReboot,
+        Principle::CableRepair,
+        Principle::TransformerSaturation,
+        Principle::BgpDnsWithdrawal,
     ];
 }
 
@@ -135,6 +148,24 @@ pub enum Fact {
     /// "During the {year} {name}, global Internet traffic grew by
     /// about {p} percent."
     IncidentTraffic { incident: String, percent: f64 },
+    /// "The {cable} cable was severed by {cause}."
+    CableCut { cable: String, cause: String },
+    /// "Traffic rerouted onto {n} parallel transatlantic cable
+    /// systems…" / "Because {n} parallel systems serve the corridor…"
+    CorridorSurvivors { count: u32 },
+    /// "The {grid} power grid collapsed when {cause}."
+    GridCollapse { grid: String, cause: String },
+    /// "{grid} has the highest GIC exposure of any major grid." /
+    /// "…and find {grid} most exposed."
+    GridMostExposed { grid: String },
+    /// "Grids at low geomagnetic latitude, such as {grid}, show
+    /// negligible exposure."
+    GridLowLatitude { grid: String },
+    /// "Only {p} percent of edge networks could reach…" (`during`) /
+    /// "…restored to {p} percent…" (`!during`).
+    EdgeAvailability { during: bool, percent: f64 },
+    /// "The content prefixes stayed announced…"
+    ContentPrefixesAnnounced,
 }
 
 /// Everything read out of a body of context text.
@@ -234,6 +265,61 @@ impl Extraction {
             }
             if let Some(fact) = parse_incident_traffic(sentence) {
                 self.push(fact);
+            }
+            if let Some(fact) = parse_cable_cut(sentence) {
+                if let Fact::CableCut { cable, .. } = &fact {
+                    subject = Some(cable.clone());
+                }
+                self.push(fact);
+            }
+            if let Some(fact) = parse_cable_span(sentence) {
+                if let Fact::LengthKm { entity, .. } = &fact {
+                    subject = Some(entity.clone());
+                }
+                self.push(fact);
+            }
+            if let Some(n) = parse_after_number(sentence, "break took about ", " optical repeaters")
+            {
+                if let Some(entity) = subject.clone() {
+                    self.push(Fact::RepeaterCount {
+                        entity,
+                        count: n as u32,
+                    });
+                }
+            }
+            for (prefix, suffix) in [
+                ("rerouted onto ", " parallel"),
+                ("Because ", " parallel systems"),
+            ] {
+                if let Some(n) = parse_after_number(sentence, prefix, suffix) {
+                    self.push(Fact::CorridorSurvivors { count: n as u32 });
+                }
+            }
+            if let Some(fact) = parse_grid_collapse(sentence) {
+                self.push(fact);
+            }
+            if let Some(fact) = parse_grid_most_exposed(sentence) {
+                self.push(fact);
+            }
+            if let Some(fact) = parse_grid_low_latitude(sentence) {
+                self.push(fact);
+            }
+            if let Some(p) = parse_after_number(sentence, "Only ", " percent of edge networks") {
+                self.push(Fact::EdgeAvailability {
+                    during: true,
+                    percent: p,
+                });
+            }
+            if sentence.contains("restored to ") && sentence.contains("re-announced") {
+                if let Some(p) = parse_after_number(sentence, "restored to ", " percent") {
+                    self.push(Fact::EdgeAvailability {
+                        during: false,
+                        percent: p,
+                    });
+                }
+            }
+            if sentence.contains("content prefixes stayed announced") {
+                self.push(Fact::ContentPrefixesAnnounced);
             }
         }
     }
@@ -516,7 +602,16 @@ impl<'e> ExtractionIndex<'e> {
                     ops::tokenize_chars(incident.len());
                     idx.incidents.push((i, incident.to_lowercase()));
                 }
-                Fact::LengthKm { .. } | Fact::RepeaterCount { .. } | Fact::StormDst { .. } => {}
+                Fact::LengthKm { .. }
+                | Fact::RepeaterCount { .. }
+                | Fact::StormDst { .. }
+                | Fact::CableCut { .. }
+                | Fact::CorridorSurvivors { .. }
+                | Fact::GridCollapse { .. }
+                | Fact::GridMostExposed { .. }
+                | Fact::GridLowLatitude { .. }
+                | Fact::EdgeAvailability { .. }
+                | Fact::ContentPrefixesAnnounced => {}
             }
         }
         idx
@@ -869,6 +964,96 @@ fn parse_incident_traffic(sentence: &str) -> Option<Fact> {
         .then_some(Fact::IncidentTraffic { incident, percent })
 }
 
+/// "The {cable} cable was severed by {cause}."
+fn parse_cable_cut(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " cable was severed by ";
+    let idx = sentence.find(MARKER)?;
+    let head = sentence[..idx].trim();
+    let cable = head.strip_prefix("The ").unwrap_or(head);
+    if cable.is_empty() || cable.len() > 60 {
+        return None;
+    }
+    let cause = sentence[idx + MARKER.len()..].trim_end_matches('.').trim();
+    (!cause.is_empty()).then(|| Fact::CableCut {
+        cable: cable.to_string(),
+        cause: cause.to_string(),
+    })
+}
+
+/// "The {cable} system spans about {n} km." — the scenario-doc length
+/// form carries its own entity (unlike the solar "spans approximately
+/// … kilometres" form, which binds to the running subject).
+fn parse_cable_span(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " system spans about ";
+    let idx = sentence.find(MARKER)?;
+    let head = sentence[..idx].trim();
+    let entity = head.strip_prefix("The ").unwrap_or(head);
+    if entity.is_empty() || entity.len() > 60 {
+        return None;
+    }
+    let rest = &sentence[idx + MARKER.len()..];
+    let km = leading_number(rest)?;
+    rest.contains(" km").then(|| Fact::LengthKm {
+        entity: entity.to_string(),
+        km,
+    })
+}
+
+/// "The {grid} power grid collapsed when {cause}."
+fn parse_grid_collapse(sentence: &str) -> Option<Fact> {
+    const MARKER: &str = " power grid collapsed when ";
+    let idx = sentence.find(MARKER)?;
+    let head = sentence[..idx].trim();
+    let grid = head.strip_prefix("The ").unwrap_or(head);
+    if grid.is_empty() || grid.len() > 60 {
+        return None;
+    }
+    let cause = sentence[idx + MARKER.len()..].trim_end_matches('.').trim();
+    (!cause.is_empty()).then(|| Fact::GridCollapse {
+        grid: grid.to_string(),
+        cause: cause.to_string(),
+    })
+}
+
+/// "{grid} has the highest GIC exposure of any major grid." /
+/// "We rank grids by GIC exposure and find {grid} most exposed."
+fn parse_grid_most_exposed(sentence: &str) -> Option<Fact> {
+    if let Some(idx) = sentence.find(" has the highest GIC exposure") {
+        let head = sentence[..idx].trim();
+        let grid = head.strip_prefix("The ").unwrap_or(head);
+        if !grid.is_empty() && grid.len() <= 60 {
+            return Some(Fact::GridMostExposed {
+                grid: grid.to_string(),
+            });
+        }
+    }
+    const FIND: &str = "and find ";
+    const TAIL: &str = " most exposed";
+    let idx = sentence.find(FIND)?;
+    let rest = &sentence[idx + FIND.len()..];
+    let end = rest.find(TAIL)?;
+    let grid = rest[..end].trim();
+    (!grid.is_empty() && grid.len() <= 60).then(|| Fact::GridMostExposed {
+        grid: grid.to_string(),
+    })
+}
+
+/// "Grids at low geomagnetic latitude, such as {grid}, show
+/// negligible exposure."
+fn parse_grid_low_latitude(sentence: &str) -> Option<Fact> {
+    if !sentence.contains("low geomagnetic latitude") {
+        return None;
+    }
+    const FIND: &str = "such as ";
+    let idx = sentence.find(FIND)?;
+    let rest = &sentence[idx + FIND.len()..];
+    let end = rest.find(", show negligible")?;
+    let grid = rest[..end].trim();
+    (!grid.is_empty() && grid.len() <= 60).then(|| Fact::GridLowLatitude {
+        grid: grid.to_string(),
+    })
+}
+
 /// The word(s) immediately before a marker — operator names are one
 /// word ("Google", "Facebook"), so take the trailing word.
 fn last_word_span(head: &str) -> Option<String> {
@@ -1132,6 +1317,98 @@ mod tests {
         );
         assert!(poisoned.apex_conflict("MAREA", 15.0));
         assert!(!poisoned.apex_conflict("unknown entity", 15.0));
+    }
+
+    #[test]
+    fn cable_cut_doc_sentences_parse() {
+        let text = "The Anjana cable was severed by a subsea landslide on the continental \
+                    slope. Traffic rerouted onto 14 parallel transatlantic cable systems \
+                    within minutes. The Anjana system spans about 7675 km. The break took \
+                    about 109 optical repeaters out of service. Because 14 parallel systems \
+                    serve the corridor, North America and Europe stayed connected. A cable \
+                    repair ship grapples the damaged section and splices in a new span.";
+        let ex = Extraction::from_text(text, None);
+        assert!(ex.facts.contains(&Fact::CableCut {
+            cable: "Anjana".into(),
+            cause: "a subsea landslide on the continental slope".into()
+        }));
+        assert!(ex.facts.contains(&Fact::CorridorSurvivors { count: 14 }));
+        assert!(ex.facts.contains(&Fact::LengthKm {
+            entity: "Anjana".into(),
+            km: 7675.0
+        }));
+        assert!(
+            ex.facts.contains(&Fact::RepeaterCount {
+                entity: "Anjana".into(),
+                count: 109
+            }),
+            "span sentence must bind the subject for the repeater count: {ex:?}"
+        );
+        assert!(ex.principles.contains(&Principle::CableRepair));
+    }
+
+    #[test]
+    fn grid_failure_doc_sentences_parse() {
+        let text = "The Hydro-Québec power grid collapsed when geomagnetically induced \
+                    currents saturated its extra-high-voltage transformers. Extra-high-voltage \
+                    transformers saturate and overheat under sustained GIC. Hydro-Québec has \
+                    the highest GIC exposure of any major grid. We rank grids by GIC exposure \
+                    and find Hydro-Québec most exposed. Grids at low geomagnetic latitude, \
+                    such as Singapore Grid, show negligible exposure.";
+        let ex = Extraction::from_text(text, None);
+        assert!(ex.facts.contains(&Fact::GridCollapse {
+            grid: "Hydro-Québec".into(),
+            cause: "geomagnetically induced currents saturated its extra-high-voltage \
+                    transformers"
+                .into()
+        }));
+        assert!(ex.facts.contains(&Fact::GridMostExposed {
+            grid: "Hydro-Québec".into()
+        }));
+        assert!(ex.facts.contains(&Fact::GridLowLatitude {
+            grid: "Singapore Grid".into()
+        }));
+        assert!(ex.principles.contains(&Principle::TransformerSaturation));
+    }
+
+    #[test]
+    fn route_leak_doc_sentences_parse() {
+        let text = "A configuration error withdrew the BGP routes for Facebook's DNS \
+                    prefixes. Only 0 percent of edge networks could reach facebook.com during \
+                    the incident. The content prefixes stayed announced, but with the \
+                    nameservers unreachable no client could resolve the service. Availability \
+                    was restored to 100 percent once the prefixes were re-announced.";
+        let ex = Extraction::from_text(text, None);
+        assert!(ex.principles.contains(&Principle::BgpDnsWithdrawal));
+        assert!(ex.facts.contains(&Fact::EdgeAvailability {
+            during: true,
+            percent: 0.0
+        }));
+        assert!(ex.facts.contains(&Fact::EdgeAvailability {
+            during: false,
+            percent: 100.0
+        }));
+        assert!(ex.facts.contains(&Fact::ContentPrefixesAnnounced));
+    }
+
+    #[test]
+    fn scenario_parsers_ignore_solar_and_distractor_prose() {
+        // Sentences the solar corpus actually publishes must not grow
+        // any of the scenario-class facts.
+        let text = "The EllaLink submarine cable connects Fortaleza, Brazil to Sines, \
+                    Portugal, linking South America and Europe. The 2006 Hengchun earthquake \
+                    severed 8 submarine cables. The storm dropped five centimetres of rain.";
+        let ex = Extraction::from_text(text, None);
+        assert!(!ex.facts.iter().any(|f| matches!(
+            f,
+            Fact::CableCut { .. }
+                | Fact::CorridorSurvivors { .. }
+                | Fact::GridCollapse { .. }
+                | Fact::GridMostExposed { .. }
+                | Fact::GridLowLatitude { .. }
+                | Fact::EdgeAvailability { .. }
+                | Fact::ContentPrefixesAnnounced
+        )));
     }
 
     #[test]

@@ -30,6 +30,50 @@ impl RouteSpec {
     }
 }
 
+/// Sub-question kinds for a physical cable-damage incident
+/// (scenario class `physical-damage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CableQuestion {
+    /// What severed the cable?
+    Cause,
+    /// Did the corridor stay connected after the cut?
+    CorridorRedundancy,
+    /// How many repeaters went dark?
+    RepeatersLost,
+    /// How is a severed cable repaired?
+    RepairMethod,
+    /// How long is the cable?
+    Length,
+}
+
+/// Sub-question kinds for a power-grid collapse
+/// (scenario class `power-failure`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridQuestion {
+    /// What collapsed the grid?
+    Cause,
+    /// Which grid is most exposed to geomagnetic storms?
+    MostExposed,
+    /// Are low-latitude grids at similar risk?
+    LowLatitudeRisk,
+    /// Which component fails during a severe storm?
+    FailingComponent,
+}
+
+/// Sub-question kinds for a control-plane routing incident
+/// (scenario class `routing`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingQuestion {
+    /// What took the service offline?
+    Cause,
+    /// What fraction of edge networks could still reach it?
+    AvailabilityDuring,
+    /// Were the content prefixes also withdrawn?
+    ContentPrefixes,
+    /// Did availability recover on re-announcement?
+    Recovery,
+}
+
 /// Classified question intent.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Intent {
@@ -58,6 +102,21 @@ pub enum Intent {
     IncidentCause { incident: String },
     /// What was a named historical incident's impact?
     IncidentImpact { incident: String },
+    /// A question about a physical cable-damage incident. `cable` is
+    /// the lowercase cable name when the question names one, else
+    /// empty.
+    CableIncident { kind: CableQuestion, cable: String },
+    /// A question about a power-grid collapse or GIC exposure
+    /// ranking. `grid` is the lowercase grid name when the question
+    /// names one, else empty.
+    GridIncident { kind: GridQuestion, grid: String },
+    /// A question about a control-plane routing incident. `service`
+    /// is the lowercase service name when the question names one,
+    /// else empty.
+    RoutingIncident {
+        kind: RoutingQuestion,
+        service: String,
+    },
     /// Anything else.
     Unknown,
 }
@@ -81,17 +140,38 @@ pub fn normalize_place(raw: &str) -> String {
 /// the descriptor is itself country-like.
 pub fn place_region(place: &str) -> Option<&'static str> {
     match place {
-        "united states" | "canada" | "mexico" => Some("North America"),
-        "brazil" | "argentina" | "chile" => Some("South America"),
+        "united states" | "canada" | "mexico" | "greenland" => Some("North America"),
+        "brazil" | "argentina" | "chile" | "uruguay" => Some("South America"),
         "united kingdom" | "portugal" | "spain" | "france" | "ireland" | "denmark" | "norway"
-        | "iceland" | "sweden" | "finland" | "netherlands" | "belgium" | "germany" | "italy" => {
-            Some("Europe")
-        }
+        | "iceland" | "sweden" | "finland" | "netherlands" | "belgium" | "germany" | "italy"
+        | "russia" => Some("Europe"),
         "japan" | "china" | "singapore" | "india" | "south korea" | "taiwan" | "indonesia" => {
             Some("Asia")
         }
         "australia" | "new zealand" => Some("Oceania"),
-        "south africa" | "kenya" | "angola" | "cameroon" | "nigeria" | "egypt" => Some("Africa"),
+        "south africa" | "kenya" | "angola" | "cameroon" | "nigeria" | "egypt" | "sudan"
+        | "mozambique" => Some("Africa"),
+        // Power-grid service areas: scenario event docs name grids
+        // directly, so the grid names round-trip like countries do.
+        "hydro-québec"
+        | "hydro-quebec"
+        | "québec"
+        | "quebec"
+        | "us eastern interconnection"
+        | "us western interconnection"
+        | "ercot (texas)"
+        | "ercot" => Some("North America"),
+        "nordic grid"
+        | "uk national grid"
+        | "continental europe (entso-e)"
+        | "continental europe"
+        | "iberian grid" => Some("Europe"),
+        "china state grid" | "japan (tepco/kansai)" | "india grid" | "singapore grid" => {
+            Some("Asia")
+        }
+        "australia nem" => Some("Oceania"),
+        "south africa (eskom)" => Some("Africa"),
+        "brazil interconnected system" => Some("South America"),
         "north america" | "south america" | "europe" | "asia" | "africa" | "oceania"
         | "middle east" => Some(region_const(place)),
         _ => None,
@@ -170,6 +250,25 @@ pub fn classify(question: &str) -> Intent {
             .unwrap_or(tail);
         let tail = tail.strip_prefix("the ").unwrap_or(tail);
         let incident = tail.trim_end_matches(['?', '.']).trim();
+        // Scenario-class causes carry their infrastructure kind in the
+        // incident name; route them to class-specific intents so the
+        // answer engine knows which fact shapes to look for.
+        if let Some(cable) = incident.strip_suffix(" submarine cable outage") {
+            if !cable.is_empty() {
+                return Intent::CableIncident {
+                    kind: CableQuestion::Cause,
+                    cable: cable.to_string(),
+                };
+            }
+        }
+        if let Some(grid) = incident.strip_suffix(" power grid collapse") {
+            if !grid.is_empty() {
+                return Intent::GridIncident {
+                    kind: GridQuestion::Cause,
+                    grid: grid.to_string(),
+                };
+            }
+        }
         if !incident.is_empty() && !incident.contains("storm") {
             return Intent::IncidentCause {
                 incident: incident.to_string(),
@@ -259,7 +358,123 @@ pub fn classify(question: &str) -> Intent {
         return Intent::PartitionImpact;
     }
 
+    // Scenario-class rules, checked last: every branch keys on phrases
+    // absent from the solar-superstorm question space, so questions
+    // that used to reach a specific intent above still do.
+    if let Some(intent) = classify_scenario_class(&q) {
+        return intent;
+    }
+
     Intent::Unknown
+}
+
+/// Scenario-class question shapes (physical-damage, power-failure,
+/// routing). These recognise the question templates that scenario
+/// conclusions generate; anything they match previously fell through
+/// to [`Intent::Unknown`].
+fn classify_scenario_class(q: &str) -> Option<Intent> {
+    // Physical damage: corridor redundancy, repeater loss, repair
+    // doctrine, cable length.
+    if q.contains("stay connected") {
+        if let Some(cable) = between(q, "after the ", " was cut") {
+            return Some(Intent::CableIncident {
+                kind: CableQuestion::CorridorRedundancy,
+                cable,
+            });
+        }
+    }
+    if q.contains("repeaters") && q.contains("went dark") {
+        let cable = between(q, "when the ", " failed").unwrap_or_default();
+        return Some(Intent::CableIncident {
+            kind: CableQuestion::RepeatersLost,
+            cable,
+        });
+    }
+    if q.contains("severed") && q.contains("cable") && q.contains("repair") {
+        return Some(Intent::CableIncident {
+            kind: CableQuestion::RepairMethod,
+            cable: String::new(),
+        });
+    }
+    if let Some(idx) = q.find("how long is the ") {
+        let tail = &q[idx + "how long is the ".len()..];
+        if let Some(end) = tail.find(" cable") {
+            let cable = tail[..end].trim();
+            if !cable.is_empty() {
+                return Some(Intent::CableIncident {
+                    kind: CableQuestion::Length,
+                    cable: cable.to_string(),
+                });
+            }
+        }
+    }
+
+    // Power failure: exposure ranking, low-latitude immunity, failure
+    // mode.
+    if q.contains("power grid") && q.contains("most exposed") {
+        return Some(Intent::GridIncident {
+            kind: GridQuestion::MostExposed,
+            grid: String::new(),
+        });
+    }
+    if q.contains("equatorial") && q.contains("grid") {
+        let grid = between(q, "like ", " at similar").unwrap_or_default();
+        return Some(Intent::GridIncident {
+            kind: GridQuestion::LowLatitudeRisk,
+            grid,
+        });
+    }
+    if q.contains("component") && q.contains("grid") {
+        return Some(Intent::GridIncident {
+            kind: GridQuestion::FailingComponent,
+            grid: String::new(),
+        });
+    }
+
+    // Routing: withdrawal cause, availability during/after, scope.
+    if let Some(idx) = q.find("what took ") {
+        let tail = &q[idx + "what took ".len()..];
+        if let Some(end) = tail.find(" offline") {
+            let service = tail[..end].trim();
+            if !service.is_empty() {
+                return Some(Intent::RoutingIncident {
+                    kind: RoutingQuestion::Cause,
+                    service: service.to_string(),
+                });
+            }
+        }
+    }
+    if q.contains("fraction") && q.contains("edge networks") {
+        let service = between(q, "could reach ", " during").unwrap_or_default();
+        return Some(Intent::RoutingIncident {
+            kind: RoutingQuestion::AvailabilityDuring,
+            service,
+        });
+    }
+    if q.contains("content prefixes") && q.contains("withdrawn") {
+        return Some(Intent::RoutingIncident {
+            kind: RoutingQuestion::ContentPrefixes,
+            service: String::new(),
+        });
+    }
+    if q.contains("availability") && q.contains("re-announced") {
+        return Some(Intent::RoutingIncident {
+            kind: RoutingQuestion::Recovery,
+            service: String::new(),
+        });
+    }
+
+    None
+}
+
+/// The trimmed text between the first `start` marker and the next
+/// `end` marker after it, when both are present and non-adjacent.
+fn between(q: &str, start: &str, end: &str) -> Option<String> {
+    let idx = q.find(start)?;
+    let tail = &q[idx + start.len()..];
+    let stop = tail.find(end)?;
+    let got = tail[..stop].trim();
+    (!got.is_empty()).then(|| got.to_string())
 }
 
 /// Strip the paper's quiz-prompt scaffolding, leaving the bare
@@ -472,6 +687,135 @@ mod tests {
         assert_eq!(place_region("united states"), Some("North America"));
         assert_eq!(place_region("europe"), Some("Europe"));
         assert_eq!(place_region("atlantis"), None);
+    }
+
+    #[test]
+    fn scenario_places_have_regions() {
+        // Cable-cut landing geographies.
+        assert_eq!(place_region("greenland"), Some("North America"));
+        assert_eq!(place_region("iceland"), Some("Europe"));
+        // Grid-failure service areas, straight from the event docs.
+        assert_eq!(place_region("hydro-québec"), Some("North America"));
+        assert_eq!(place_region("nordic grid"), Some("Europe"));
+        assert_eq!(place_region("singapore grid"), Some("Asia"));
+        assert_eq!(
+            place_region(&normalize_place("The Hydro-Québec?")),
+            Some("North America")
+        );
+    }
+
+    #[test]
+    fn cable_incident_questions_classify() {
+        let cases: &[(&str, CableQuestion, &str)] = &[
+            (
+                "What caused the Anjana submarine cable outage?",
+                CableQuestion::Cause,
+                "anjana",
+            ),
+            (
+                "Did North America and Europe stay connected after the Anjana was cut?",
+                CableQuestion::CorridorRedundancy,
+                "anjana",
+            ),
+            (
+                "How many optical repeaters went dark when the Anjana failed?",
+                CableQuestion::RepeatersLost,
+                "anjana",
+            ),
+            (
+                "How is a severed submarine cable repaired?",
+                CableQuestion::RepairMethod,
+                "",
+            ),
+            (
+                "How long is the Anjana cable?",
+                CableQuestion::Length,
+                "anjana",
+            ),
+        ];
+        for (q, kind, cable) in cases {
+            match classify(q) {
+                Intent::CableIncident { kind: k, cable: c } => {
+                    assert_eq!(k, *kind, "kind for {q:?}");
+                    assert_eq!(c, *cable, "cable slot for {q:?}");
+                }
+                other => panic!("{q:?} classified as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn grid_incident_questions_classify() {
+        let cases: &[(&str, GridQuestion, &str)] = &[
+            (
+                "What caused the Hydro-Québec power grid collapse?",
+                GridQuestion::Cause,
+                "hydro-québec",
+            ),
+            (
+                "Which power grid is most exposed to geomagnetic storms?",
+                GridQuestion::MostExposed,
+                "",
+            ),
+            (
+                "Are equatorial power grids like Singapore Grid at similar geomagnetic risk?",
+                GridQuestion::LowLatitudeRisk,
+                "singapore grid",
+            ),
+            (
+                "Which grid component fails during a severe geomagnetic storm?",
+                GridQuestion::FailingComponent,
+                "",
+            ),
+        ];
+        for (q, kind, grid) in cases {
+            match classify(q) {
+                Intent::GridIncident { kind: k, grid: g } => {
+                    assert_eq!(k, *kind, "kind for {q:?}");
+                    assert_eq!(g, *grid, "grid slot for {q:?}");
+                }
+                other => panic!("{q:?} classified as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn routing_incident_questions_classify() {
+        let cases: &[(&str, RoutingQuestion, &str)] = &[
+            (
+                "What took facebook.com offline in the routing incident?",
+                RoutingQuestion::Cause,
+                "facebook.com",
+            ),
+            (
+                "What fraction of edge networks could reach facebook.com during the route \
+                 withdrawal?",
+                RoutingQuestion::AvailabilityDuring,
+                "facebook.com",
+            ),
+            (
+                "Were the content prefixes also withdrawn during the outage?",
+                RoutingQuestion::ContentPrefixes,
+                "",
+            ),
+            (
+                "Did availability recover once the routes were re-announced?",
+                RoutingQuestion::Recovery,
+                "",
+            ),
+        ];
+        for (q, kind, service) in cases {
+            match classify(q) {
+                Intent::RoutingIncident {
+                    kind: k,
+                    service: s,
+                } => {
+                    assert_eq!(k, *kind, "kind for {q:?}");
+                    assert_eq!(s, *service, "service slot for {q:?}");
+                }
+                other => panic!("{q:?} classified as {other:?}"),
+            }
+        }
     }
 
     #[test]

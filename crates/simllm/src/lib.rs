@@ -34,6 +34,7 @@
 //!   token accounting and deterministic sampling.
 
 pub mod chat;
+pub mod classterms;
 pub mod extract;
 pub mod intent;
 pub mod lexicon;

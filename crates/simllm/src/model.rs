@@ -334,6 +334,15 @@ impl Llm {
             MissingKnowledge::IncidentInfo(incident) => {
                 format!("{incident} internet outage cause impact")
             }
+            MissingKnowledge::CableIncidentInfo { cable } => {
+                crate::classterms::incident_query("physical-damage", cable)
+            }
+            MissingKnowledge::GridIncidentInfo { grid } => {
+                crate::classterms::incident_query("power-failure", grid)
+            }
+            MissingKnowledge::RoutingIncidentInfo { service } => {
+                crate::classterms::incident_query("routing", service)
+            }
         }
     }
 
@@ -406,6 +415,11 @@ fn principle_query(p: Principle) -> &'static str {
         Principle::TerrestrialSafety => "terrestrial fiber links storm exposure",
         Principle::GridThreat => "geomagnetic storm power grid transformers",
         Principle::PartitionRisk => "internet continents partition cable failures",
+        Principle::CableRepair => "submarine cable repair ship splice grapple",
+        Principle::TransformerSaturation => {
+            "extra-high-voltage transformer saturation GIC overheat"
+        }
+        Principle::BgpDnsWithdrawal => "bgp route withdrawal dns prefixes configuration error",
         Principle::PredictiveShutdown
         | Principle::RedundancyUtilization
         | Principle::PhasedShutdown
@@ -464,6 +478,38 @@ mod tests {
             "queries: {queries:?}"
         );
         assert!(queries.iter().any(|q| q.contains("united states")));
+    }
+
+    #[test]
+    fn scenario_questions_propose_class_searches() {
+        let llm = Llm::gpt4(1);
+        let cable = llm.propose_searches("What caused the Anjana submarine cable outage?", &[], 4);
+        assert!(
+            cable
+                .iter()
+                .any(|q| q.contains("anjana") && q.contains("landslide")),
+            "cable queries: {cable:?}"
+        );
+        let grid = llm.propose_searches(
+            "Which power grid is most exposed to geomagnetic storms?",
+            &[],
+            4,
+        );
+        assert!(
+            grid.iter().any(|q| q.contains("gic") && q.contains("grid")),
+            "grid queries: {grid:?}"
+        );
+        let routing = llm.propose_searches(
+            "What took facebook.com offline in the routing incident?",
+            &[],
+            4,
+        );
+        assert!(
+            routing
+                .iter()
+                .any(|q| q.contains("facebook.com") && q.contains("bgp")),
+            "routing queries: {routing:?}"
+        );
     }
 
     #[test]

@@ -62,6 +62,18 @@ pub fn generic_hedge(topic: &str) -> String {
     )
 }
 
+/// Hedge for an unanswered scenario-class question. Same ungrounded
+/// regime as [`generic_hedge`], flavoured by the incident class (labels
+/// mirror `ScenarioClass::label()` in `ira-worldmodel`) so traces show
+/// which rule family hedged.
+pub fn scenario_hedge(class_label: &str, topic: &str) -> String {
+    format!(
+        "There is not enough specific information available to give a confident answer about \
+         {topic}. In general, {class_label} incidents unfold in situation-dependent ways, and \
+         the details would depend on the specific infrastructure and event involved."
+    )
+}
+
 /// Full answer object for an unclassifiable question.
 pub fn unknown_answer(question: &str) -> Answer {
     let topic = question
@@ -122,6 +134,14 @@ mod tests {
     fn operator_hedge_names_both() {
         let text = operator_hedge("google", "facebook", false);
         assert!(text.contains("Google") && text.contains("Facebook"));
+    }
+
+    #[test]
+    fn scenario_hedge_names_class_and_topic() {
+        let text = scenario_hedge("routing", "what took facebook.com offline");
+        assert!(text.contains("routing incidents"));
+        assert!(text.contains("facebook.com"));
+        assert!(text.contains("not enough specific information"));
     }
 
     #[test]

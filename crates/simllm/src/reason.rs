@@ -17,7 +17,7 @@
 //! items, which the self-learning loop turns into search queries.
 
 use crate::extract::{Extraction, ExtractionIndex, Fact, Principle};
-use crate::intent::{Intent, RouteSpec};
+use crate::intent::{CableQuestion, GridQuestion, Intent, RouteSpec, RoutingQuestion};
 use crate::prior;
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +40,15 @@ pub enum MissingKnowledge {
     Principle(Principle),
     /// No response-planning guidance in context.
     PlanningGuidance,
+    /// Nothing memorised about a named cable-damage incident
+    /// (scenario class `physical-damage`).
+    CableIncidentInfo { cable: String },
+    /// Nothing memorised about a power-grid collapse or the GIC
+    /// exposure ranking (scenario class `power-failure`).
+    GridIncidentInfo { grid: String },
+    /// Nothing memorised about a routing incident affecting a service
+    /// (scenario class `routing`).
+    RoutingIncidentInfo { service: String },
 }
 
 /// The model's answer to a question.
@@ -143,6 +152,9 @@ pub fn answer(question: &str, intent: &Intent, ex: &Extraction) -> Answer {
         Intent::ShutdownPlan => shutdown_plan(&idx),
         Intent::IncidentCause { incident } => incident_cause(&idx, incident),
         Intent::IncidentImpact { incident } => incident_impact(&idx, incident),
+        Intent::CableIncident { kind, cable } => cable_incident(&idx, *kind, cable),
+        Intent::GridIncident { kind, grid } => grid_incident(&idx, *kind, grid),
+        Intent::RoutingIncident { kind, service } => routing_incident(&idx, *kind, service),
         Intent::Unknown => prior::unknown_answer(question),
     }
 }
@@ -731,6 +743,493 @@ fn incident_impact(idx: &ExtractionIndex<'_>, needle: &str) -> Answer {
     finish(slots, sentences.join(" "), Some(verdict))
 }
 
+/// Does a fact's entity name match a question slot? Slots are
+/// lowercase (questions are lowercased before classification) and may
+/// be empty when the question names no entity; facts keep original
+/// case. Same bidirectional-containment rule as incident matching.
+fn entity_matches(fact_entity: &str, slot: &str) -> bool {
+    if slot.is_empty() {
+        return true;
+    }
+    let e = fact_entity.to_lowercase();
+    e.contains(slot) || slot.contains(e.as_str())
+}
+
+fn cable_incident(idx: &ExtractionIndex<'_>, kind: CableQuestion, cable: &str) -> Answer {
+    let ex = idx.ex();
+    let mut slots = Slots::new();
+    let cut = ex.facts.iter().find_map(|f| match f {
+        Fact::CableCut { cable: c, cause } if entity_matches(c, cable) => {
+            Some((c.clone(), cause.clone()))
+        }
+        _ => None,
+    });
+    let survivors = ex.facts.iter().find_map(|f| match f {
+        Fact::CorridorSurvivors { count } => Some(*count),
+        _ => None,
+    });
+    let length = ex.facts.iter().find_map(|f| match f {
+        Fact::LengthKm { entity, km } if entity_matches(entity, cable) => {
+            Some((entity.clone(), *km))
+        }
+        _ => None,
+    });
+    let repeaters = ex.facts.iter().find_map(|f| match f {
+        Fact::RepeaterCount { entity, count } if entity_matches(entity, cable) => {
+            Some((entity.clone(), *count))
+        }
+        _ => None,
+    });
+    let need = || MissingKnowledge::CableIncidentInfo {
+        cable: cable.to_string(),
+    };
+
+    match kind {
+        CableQuestion::Cause => match cut {
+            Some((name, cause)) => {
+                slots.filled(0.7, 1);
+                slots.step(format!("recalled what severed the {name}"));
+                let mut text = format!("The {name} cable was severed by {cause}.");
+                match survivors {
+                    Some(n) => {
+                        slots.filled(0.2, 1);
+                        text.push_str(&format!(
+                            " Traffic rerouted onto {n} parallel transatlantic cable systems."
+                        ));
+                    }
+                    None => slots.missing(need()),
+                }
+                slots.principle(ex, Principle::CableRepair, 0.1);
+                let verdict = format!("the {name} cable was severed by {cause}");
+                finish(slots, text, Some(verdict))
+            }
+            None => {
+                slots.missing(need());
+                let topic = format!("the cause of the {cable} cable outage");
+                finish(
+                    slots,
+                    prior::scenario_hedge("physical-damage", &topic),
+                    None,
+                )
+            }
+        },
+        CableQuestion::CorridorRedundancy => match survivors {
+            Some(n) => {
+                slots.filled(0.7, 1);
+                slots.step("recalled the corridor's parallel cable systems".to_string());
+                let mut text = format!(
+                    "Yes — traffic rerouted onto {n} parallel transatlantic cable systems, so \
+                     North America and Europe stayed connected."
+                );
+                match &cut {
+                    Some((name, cause)) => {
+                        slots.filled(0.2, 1);
+                        text.push_str(&format!(" The {name} itself was severed by {cause}."));
+                    }
+                    None => slots.missing(need()),
+                }
+                if repeaters.is_some() || length.is_some() {
+                    slots.filled(0.1, 1);
+                }
+                let verdict =
+                    format!("yes — traffic rerouted onto {n} parallel transatlantic cable systems");
+                finish(slots, text, Some(verdict))
+            }
+            None => {
+                slots.missing(need());
+                let topic = format!("corridor redundancy after the {cable} cut");
+                finish(
+                    slots,
+                    prior::scenario_hedge("physical-damage", &topic),
+                    None,
+                )
+            }
+        },
+        CableQuestion::RepeatersLost => match repeaters {
+            Some((name, n)) => {
+                slots.filled(0.7, 1);
+                slots.step(format!("recalled the {name}'s repeater count"));
+                let mut text =
+                    format!("About {n} optical repeaters went dark when the {name} failed.");
+                match &length {
+                    Some((_, km)) => {
+                        slots.filled(0.2, 1);
+                        text.push_str(&format!(" The system spans about {km:.0} km."));
+                    }
+                    None => slots.missing(need()),
+                }
+                if cut.is_some() {
+                    slots.filled(0.1, 1);
+                }
+                finish(slots, text, Some(format!("about {n} repeaters")))
+            }
+            None => {
+                slots.missing(need());
+                let topic = format!("the {cable} repeater count");
+                finish(
+                    slots,
+                    prior::scenario_hedge("physical-damage", &topic),
+                    None,
+                )
+            }
+        },
+        CableQuestion::RepairMethod => {
+            let has = slots.principle(ex, Principle::CableRepair, 0.75);
+            if has {
+                let mut text = "A cable repair ship grapples the damaged section and splices in \
+                                a new span; until the splice completes, the cable remains dark \
+                                end to end."
+                    .to_string();
+                if let Some((name, _)) = &cut {
+                    slots.filled(0.15, 1);
+                    text.push_str(&format!(
+                        " That is how the severed {name} will be restored."
+                    ));
+                }
+                let verdict = "a cable repair ship grapples the damaged section and splices in \
+                               a new span"
+                    .to_string();
+                finish(slots, text, Some(verdict))
+            } else {
+                slots.missing(need());
+                finish(
+                    slots,
+                    prior::scenario_hedge("physical-damage", "submarine cable repair procedure"),
+                    None,
+                )
+            }
+        }
+        CableQuestion::Length => match length {
+            Some((name, km)) => {
+                slots.filled(0.7, 1);
+                slots.step(format!("recalled the {name}'s span"));
+                let mut text = format!("The {name} system spans about {km:.0} km.");
+                match &repeaters {
+                    Some((_, n)) => {
+                        slots.filled(0.15, 1);
+                        text.push_str(&format!(
+                            " It is powered through about {n} optical repeaters."
+                        ));
+                    }
+                    None => slots.missing(need()),
+                }
+                if cut.is_some() {
+                    slots.filled(0.15, 1);
+                }
+                finish(slots, text, Some(format!("about {km:.0} km")))
+            }
+            None => {
+                slots.missing(need());
+                let topic = format!("the {cable} cable length");
+                finish(
+                    slots,
+                    prior::scenario_hedge("physical-damage", &topic),
+                    None,
+                )
+            }
+        },
+    }
+}
+
+fn grid_incident(idx: &ExtractionIndex<'_>, kind: GridQuestion, grid: &str) -> Answer {
+    let ex = idx.ex();
+    let mut slots = Slots::new();
+    let collapse = ex.facts.iter().find_map(|f| match f {
+        Fact::GridCollapse { grid: g, cause } if entity_matches(g, grid) => {
+            Some((g.clone(), cause.clone()))
+        }
+        _ => None,
+    });
+    let most = ex.facts.iter().find_map(|f| match f {
+        Fact::GridMostExposed { grid: g } => Some(g.clone()),
+        _ => None,
+    });
+    let low = ex.facts.iter().find_map(|f| match f {
+        Fact::GridLowLatitude { grid: g } if entity_matches(g, grid) => Some(g.clone()),
+        _ => None,
+    });
+    let need = || MissingKnowledge::GridIncidentInfo {
+        grid: grid.to_string(),
+    };
+
+    match kind {
+        GridQuestion::Cause => match collapse {
+            Some((name, cause)) => {
+                slots.filled(0.7, 1);
+                slots.step(format!("recalled what collapsed the {name} grid"));
+                let mut text = format!(
+                    "The {name} power grid collapsed when {cause} during a severe geomagnetic \
+                     storm."
+                );
+                slots.principle(ex, Principle::TransformerSaturation, 0.2);
+                if most.is_some() {
+                    slots.filled(0.1, 1);
+                    text.push_str(&format!(
+                        " {name} has the highest GIC exposure of any major grid."
+                    ));
+                }
+                let verdict = format!(
+                    "the {name} power grid collapsed when {cause} during a severe geomagnetic \
+                     storm"
+                );
+                finish(slots, text, Some(verdict))
+            }
+            None => {
+                slots.missing(need());
+                let topic = format!("the cause of the {grid} grid collapse");
+                finish(slots, prior::scenario_hedge("power-failure", &topic), None)
+            }
+        },
+        GridQuestion::MostExposed => match most {
+            Some(name) => {
+                slots.filled(0.7, 1);
+                slots.step(format!("recalled the GIC exposure ranking: {name} leads"));
+                let mut text = format!("{name} has the highest GIC exposure of any major grid.");
+                if collapse.is_some() {
+                    slots.filled(0.2, 1);
+                    text.push_str(" Its storm-driven collapse bore the ranking out.");
+                }
+                if let Some(lo) = &low {
+                    slots.filled(0.1, 1);
+                    text.push_str(&format!(
+                        " Grids at low geomagnetic latitude, such as {lo}, show negligible \
+                         exposure."
+                    ));
+                }
+                finish(slots, text, Some(name))
+            }
+            None => {
+                slots.missing(need());
+                finish(
+                    slots,
+                    prior::scenario_hedge("power-failure", "the grid GIC exposure ranking"),
+                    None,
+                )
+            }
+        },
+        GridQuestion::LowLatitudeRisk => match low {
+            Some(name) => {
+                slots.filled(0.7, 1);
+                slots.step(format!(
+                    "recalled that {name} sits at low geomagnetic latitude"
+                ));
+                let mut text = format!(
+                    "No — grids at low geomagnetic latitude such as {name} face negligible GIC \
+                     exposure."
+                );
+                match &most {
+                    Some(m) => {
+                        slots.filled(0.2, 1);
+                        text.push_str(&format!(
+                            " The exposure ranking is led by {m}, at high geomagnetic latitude."
+                        ));
+                    }
+                    None => slots.missing(need()),
+                }
+                if collapse.is_some() {
+                    slots.filled(0.1, 1);
+                }
+                let verdict = format!(
+                    "no — grids at low geomagnetic latitude such as {name} face negligible GIC \
+                     exposure"
+                );
+                finish(slots, text, Some(verdict))
+            }
+            None => {
+                slots.missing(need());
+                finish(
+                    slots,
+                    prior::scenario_hedge("power-failure", "low-latitude grid exposure"),
+                    None,
+                )
+            }
+        },
+        GridQuestion::FailingComponent => {
+            let has = slots.principle(ex, Principle::TransformerSaturation, 0.75);
+            if has {
+                let mut text = "Extra-high-voltage transformers saturate and overheat under \
+                                sustained geomagnetically induced currents."
+                    .to_string();
+                if let Some((name, _)) = &collapse {
+                    slots.filled(0.2, 1);
+                    text.push_str(&format!(
+                        " That failure mode is what collapsed the {name} grid."
+                    ));
+                }
+                let verdict = "extra-high-voltage transformers saturate and overheat".to_string();
+                finish(slots, text, Some(verdict))
+            } else {
+                slots.missing(need());
+                finish(
+                    slots,
+                    prior::scenario_hedge(
+                        "power-failure",
+                        "grid failure modes under geomagnetic storms",
+                    ),
+                    None,
+                )
+            }
+        }
+    }
+}
+
+fn routing_incident(idx: &ExtractionIndex<'_>, kind: RoutingQuestion, service: &str) -> Answer {
+    let ex = idx.ex();
+    let mut slots = Slots::new();
+    let during = ex.facts.iter().find_map(|f| match f {
+        Fact::EdgeAvailability {
+            during: true,
+            percent,
+        } => Some(*percent),
+        _ => None,
+    });
+    let restored = ex.facts.iter().find_map(|f| match f {
+        Fact::EdgeAvailability {
+            during: false,
+            percent,
+        } => Some(*percent),
+        _ => None,
+    });
+    let content = ex
+        .facts
+        .iter()
+        .any(|f| matches!(f, Fact::ContentPrefixesAnnounced));
+    let need = || MissingKnowledge::RoutingIncidentInfo {
+        service: service.to_string(),
+    };
+
+    match kind {
+        RoutingQuestion::Cause => {
+            let has = slots.principle(ex, Principle::BgpDnsWithdrawal, 0.7);
+            if has {
+                let mut verdict =
+                    "a configuration error withdrew the BGP routes for the DNS prefixes"
+                        .to_string();
+                let mut text = "A configuration error withdrew the BGP routes for the service's \
+                                DNS prefixes."
+                    .to_string();
+                if content {
+                    slots.filled(0.2, 1);
+                    verdict.push_str(", so the nameservers became unreachable");
+                    text.push_str(
+                        " The content prefixes stayed announced, but with the nameservers \
+                         unreachable no client could resolve the service.",
+                    );
+                } else {
+                    slots.missing(need());
+                }
+                if let Some(p) = during {
+                    slots.filled(0.1, 1);
+                    text.push_str(&format!(
+                        " Only {p:.0} percent of edge networks could reach it during the \
+                         incident."
+                    ));
+                }
+                finish(slots, text, Some(verdict))
+            } else {
+                slots.missing(need());
+                let topic = format!("what took {service} offline");
+                finish(slots, prior::scenario_hedge("routing", &topic), None)
+            }
+        }
+        RoutingQuestion::AvailabilityDuring => match during {
+            Some(p) => {
+                slots.filled(0.7, 1);
+                slots.step("recalled edge-network reachability during the withdrawal".to_string());
+                let mut text = format!(
+                    "About {p:.0} percent of edge networks could reach the service during the \
+                     route withdrawal."
+                );
+                match restored {
+                    Some(r) => {
+                        slots.filled(0.2, 1);
+                        text.push_str(&format!(
+                            " Availability returned to {r:.0} percent after re-announcement."
+                        ));
+                    }
+                    None => slots.missing(need()),
+                }
+                if content {
+                    slots.filled(0.1, 1);
+                }
+                let verdict = format!("about {p:.0} percent of edge networks");
+                finish(slots, text, Some(verdict))
+            }
+            None => {
+                slots.missing(need());
+                finish(
+                    slots,
+                    prior::scenario_hedge("routing", "edge availability during the withdrawal"),
+                    None,
+                )
+            }
+        },
+        RoutingQuestion::ContentPrefixes => {
+            if content {
+                slots.filled(0.7, 1);
+                slots.step("recalled that only the DNS prefixes were withdrawn".to_string());
+                let mut text = "No — the content prefixes stayed announced; only the nameservers \
+                                became unreachable, so no client could resolve the service."
+                    .to_string();
+                slots.principle(ex, Principle::BgpDnsWithdrawal, 0.2);
+                if during.is_some() {
+                    slots.filled(0.1, 1);
+                }
+                if let Some(p) = during {
+                    text.push_str(&format!(
+                        " Reachability by name fell to {p:.0} percent regardless."
+                    ));
+                }
+                let verdict = "no — the content prefixes stayed announced; only the nameservers \
+                               became unreachable"
+                    .to_string();
+                finish(slots, text, Some(verdict))
+            } else {
+                slots.missing(need());
+                finish(
+                    slots,
+                    prior::scenario_hedge("routing", "the withdrawal's prefix scope"),
+                    None,
+                )
+            }
+        }
+        RoutingQuestion::Recovery => match restored {
+            Some(r) => {
+                slots.filled(0.7, 1);
+                slots.step("recalled availability after re-announcement".to_string());
+                let mut text = format!(
+                    "Yes — availability was restored to {r:.0} percent once the prefixes were \
+                     re-announced."
+                );
+                match during {
+                    Some(p) => {
+                        slots.filled(0.2, 1);
+                        text.push_str(&format!(
+                            " During the withdrawal only {p:.0} percent of edge networks could \
+                             reach the service."
+                        ));
+                    }
+                    None => slots.missing(need()),
+                }
+                slots.principle(ex, Principle::BgpDnsWithdrawal, 0.1);
+                let verdict = format!(
+                    "yes — availability was restored to {r:.0} percent once the prefixes were \
+                     re-announced"
+                );
+                finish(slots, text, Some(verdict))
+            }
+            None => {
+                slots.missing(need());
+                finish(
+                    slots,
+                    prior::scenario_hedge("routing", "availability after re-announcement"),
+                    None,
+                )
+            }
+        },
+    }
+}
+
 fn cap(s: &str) -> String {
     let mut c = s.chars();
     match c.next() {
@@ -1018,6 +1517,135 @@ mod tests {
             farice < grace && grace < ella,
             "must be ordered by latitude: {text}"
         );
+    }
+
+    fn cable_scenario_context() -> Extraction {
+        Extraction::from_text(
+            "The Anjana cable was severed by a subsea landslide on the continental slope. \
+             Traffic rerouted onto 14 parallel transatlantic cable systems within minutes. \
+             The Anjana system spans about 7675 km. \
+             The break took about 109 optical repeaters out of service. \
+             A cable repair ship grapples the damaged section and splices in a new span.",
+            None,
+        )
+    }
+
+    #[test]
+    fn cable_incident_grounded_commits_ungrounded_requests_info() {
+        let q = "What caused the Anjana submarine cable outage?";
+        let intent = classify(q);
+        let ans = answer(q, &intent, &cable_scenario_context());
+        let verdict = ans.verdict.expect("commits");
+        assert!(verdict.contains("landslide"), "verdict: {verdict}");
+        assert!(ans.confidence >= 7, "got {}", ans.confidence);
+
+        let hedge = answer(q, &intent, &Extraction::default());
+        assert!(hedge.verdict.is_none());
+        assert_eq!(hedge.confidence, 2);
+        assert!(hedge.missing.iter().any(
+            |m| matches!(m, MissingKnowledge::CableIncidentInfo { cable } if cable == "anjana")
+        ));
+    }
+
+    #[test]
+    fn cable_incident_answers_every_question_kind_from_one_context() {
+        let ex = cable_scenario_context();
+        for (q, expect) in [
+            (
+                "Did North America and Europe stay connected after the Anjana was cut?",
+                "14 parallel",
+            ),
+            (
+                "How many optical repeaters went dark when the Anjana failed?",
+                "about 109 repeaters",
+            ),
+            (
+                "How is a severed submarine cable repaired?",
+                "repair ship grapples",
+            ),
+            ("How long is the Anjana cable?", "about 7675 km"),
+        ] {
+            let ans = answer(q, &classify(q), &ex);
+            let verdict = ans.verdict.unwrap_or_else(|| panic!("hedged on {q}"));
+            assert!(verdict.contains(expect), "{q} -> {verdict}");
+            assert!(ans.confidence >= 7, "{q} -> {}", ans.confidence);
+        }
+    }
+
+    #[test]
+    fn grid_incident_grounded_commits_ungrounded_requests_info() {
+        let ex = Extraction::from_text(
+            "The Hydro-Québec power grid collapsed when geomagnetically induced currents \
+             saturated its extra-high-voltage transformers. \
+             Extra-high-voltage transformers saturate and overheat under sustained GIC. \
+             Hydro-Québec has the highest GIC exposure of any major grid. \
+             Grids at low geomagnetic latitude, such as Singapore Grid, show negligible \
+             exposure.",
+            None,
+        );
+        let q = "Which power grid is most exposed to geomagnetic storms?";
+        let ans = answer(q, &classify(q), &ex);
+        assert_eq!(ans.verdict.as_deref(), Some("Hydro-Québec"));
+        assert!(ans.confidence >= 8, "got {}", ans.confidence);
+
+        let q2 = "What caused the Hydro-Québec power grid collapse?";
+        let ans2 = answer(q2, &classify(q2), &ex);
+        let verdict = ans2.verdict.expect("commits");
+        assert!(verdict.contains("geomagnetically induced currents"));
+        assert!(ans2.confidence >= 7);
+
+        let q3 = "Are equatorial power grids like Singapore Grid at similar geomagnetic risk?";
+        let ans3 = answer(q3, &classify(q3), &ex);
+        assert!(ans3.verdict.expect("commits").starts_with("no — "));
+
+        let hedge = answer(q2, &classify(q2), &Extraction::default());
+        assert!(hedge.verdict.is_none());
+        assert!(hedge
+            .missing
+            .iter()
+            .any(|m| matches!(m, MissingKnowledge::GridIncidentInfo { .. })));
+    }
+
+    #[test]
+    fn routing_incident_grounded_commits_ungrounded_requests_info() {
+        let ex = Extraction::from_text(
+            "A configuration error withdrew the BGP routes for Facebook's DNS prefixes. \
+             Only 0 percent of edge networks could reach facebook.com during the incident. \
+             The content prefixes stayed announced, but with the nameservers unreachable no \
+             client could resolve the service. \
+             Availability was restored to 100 percent once the prefixes were re-announced.",
+            None,
+        );
+        for (q, expect) in [
+            (
+                "What took facebook.com offline in the routing incident?",
+                "configuration error withdrew the BGP routes",
+            ),
+            (
+                "What fraction of edge networks could reach facebook.com during the route \
+                 withdrawal?",
+                "about 0 percent of edge networks",
+            ),
+            (
+                "Were the content prefixes also withdrawn during the outage?",
+                "no — the content prefixes stayed announced",
+            ),
+            (
+                "Did availability recover once the routes were re-announced?",
+                "yes — availability was restored to 100 percent",
+            ),
+        ] {
+            let ans = answer(q, &classify(q), &ex);
+            let verdict = ans.verdict.unwrap_or_else(|| panic!("hedged on {q}"));
+            assert!(verdict.contains(expect), "{q} -> {verdict}");
+            assert!(ans.confidence >= 7, "{q} -> {}", ans.confidence);
+        }
+        let q = "What took facebook.com offline in the routing incident?";
+        let hedge = answer(q, &classify(q), &Extraction::default());
+        assert!(hedge.verdict.is_none());
+        assert!(hedge.missing.iter().any(
+            |m| matches!(m, MissingKnowledge::RoutingIncidentInfo { service } if service == "facebook.com")
+        ));
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub enum ScenarioClass {
 }
 
 impl ScenarioClass {
+    /// Every scenario class, in declaration order. The sim-LLM's
+    /// per-class search-term tables (`ira-simllm::classterms`) must
+    /// cover each of these labels; the evalkit integration suite pins
+    /// the correspondence.
+    pub const ALL: [ScenarioClass; 4] = [
+        ScenarioClass::Geomagnetic,
+        ScenarioClass::PhysicalDamage,
+        ScenarioClass::PowerFailure,
+        ScenarioClass::Routing,
+    ];
+
     pub fn label(&self) -> &'static str {
         match self {
             ScenarioClass::Geomagnetic => "geomagnetic",
