@@ -10,6 +10,11 @@
 //!   aggregating counters/histograms.
 //! * `jsonl`    — `spawn_session_observed` with a [`JsonlCollector`]
 //!   buffering the full replayable trace in memory.
+//! * `flight`   — `spawn_session_observed` with the always-on
+//!   [`FlightRecorder`](ira::obs::FlightRecorder): a bounded
+//!   per-session ring of recent events. No serve-stage triggers fire
+//!   in an engine sweep, so this measures the pure ring-buffer cost of
+//!   leaving the recorder attached.
 //!
 //! The `off` mode must stay within noise of the pre-instrumentation
 //! X11 wall time (the <2% budget recorded in EXPERIMENTS.md); the
@@ -75,6 +80,26 @@ fn assert_warm_key_folding_is_alloc_free() {
     println!("warm-key folding: 0 allocations over {folded} events\n");
 }
 
+/// The disabled-path contract the `off` rows lean on, asserted
+/// directly: a disabled [`ObsHandle`](ira::obs::ObsHandle) never runs
+/// an emit closure, opens no span state, and allocates nothing.
+fn assert_disabled_path_is_alloc_free() {
+    let handle = ira::obs::ObsHandle::disabled();
+    const CALLS: u64 = 10_000;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..CALLS {
+        handle.emit(|| TraceEvent::point(0, i, "net", "cache_hit", ""));
+        let scope = handle.scope(i, "llm", "call");
+        scope.finish(i + 40, || format!("call {i}"));
+    }
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        during, 0,
+        "disabled observability allocated {during} times over {CALLS} emit+scope rounds"
+    );
+    println!("disabled path: 0 allocations over {CALLS} emit+scope rounds\n");
+}
+
 const QUESTION: &str = "Which is more vulnerable to solar activity? The fiber optic cable \
                         that connects Brazil to Europe or the one that connects the US to \
                         Europe?";
@@ -86,6 +111,7 @@ enum Mode {
     Off,
     Summary,
     Jsonl,
+    Flight,
 }
 
 impl Mode {
@@ -94,6 +120,7 @@ impl Mode {
             Mode::Off => "off (NullCollector)",
             Mode::Summary => "summary",
             Mode::Jsonl => "jsonl",
+            Mode::Flight => "flight",
         }
     }
 }
@@ -105,6 +132,7 @@ fn run_once(mode: Mode, threads: usize) -> (f64, usize, usize) {
     let engine = Engine::new();
     let jsonl = Arc::new(JsonlCollector::new());
     let summary = Arc::new(SummaryCollector::new());
+    let flight = Arc::new(ira::obs::FlightRecorder::default());
     let seeds: Vec<u64> = (0..10).map(|i| 0x5EED + i * 0x101).collect();
     let outcomes = sweep(seeds, threads, |i, seed| {
         let config = SessionConfig {
@@ -123,6 +151,9 @@ fn run_once(mode: Mode, threads: usize) -> (f64, usize, usize) {
                 engine.spawn_session_observed(config, Arc::clone(&summary) as _, i as u32)
             }
             Mode::Jsonl => engine.spawn_session_observed(config, Arc::clone(&jsonl) as _, i as u32),
+            Mode::Flight => {
+                engine.spawn_session_observed(config, Arc::clone(&flight) as _, i as u32)
+            }
         };
         session.agent.train();
         session.agent.self_learn(QUESTION);
@@ -140,6 +171,14 @@ fn run_once(mode: Mode, threads: usize) -> (f64, usize, usize) {
         Mode::Off => 0,
         Mode::Summary => summary.snapshot().counters.values().sum::<u64>() as usize,
         Mode::Jsonl => jsonl.events().len(),
+        Mode::Flight => {
+            assert_eq!(
+                flight.dump_count(),
+                0,
+                "no serve-stage trigger exists in an engine sweep"
+            );
+            flight.events_seen() as usize
+        }
     };
     (wall, correct, events)
 }
@@ -163,10 +202,11 @@ fn main() {
     println!("{RUNS} runs per mode, threads={threads}; reporting medians\n");
 
     assert_warm_key_folding_is_alloc_free();
+    assert_disabled_path_is_alloc_free();
 
     let mut rows = Vec::new();
     let mut baseline = 0.0;
-    for mode in [Mode::Off, Mode::Summary, Mode::Jsonl] {
+    for mode in [Mode::Off, Mode::Summary, Mode::Jsonl, Mode::Flight] {
         let mut walls = Vec::new();
         let mut correct = 0;
         let mut events = 0;

@@ -27,10 +27,10 @@
 //! stderr, matching the other sweep binaries.
 
 use ira_engine::Engine;
-use ira_obs::{summarize_events, JsonlCollector, MetricsSnapshot, SharedCollector};
+use ira_obs::{summarize_events, JsonlCollector, LiveStats, MetricsSnapshot, SharedCollector};
 use ira_serve::{
-    render_responses, AdmissionConfig, RequestKind, ResponseStatus, ServeConfig, ServeRequest,
-    ServeResponse, Server,
+    render_responses, slo_sample, AdmissionConfig, RequestKind, ResponseStatus, ServeConfig,
+    ServeRequest, ServeResponse, Server,
 };
 use ira_simnet::Duration;
 use serde::{Deserialize, Serialize};
@@ -76,6 +76,12 @@ fn probe(id: &str, panics: Option<u32>) -> ServeRequest {
     req
 }
 
+/// Control-plane stats probe: reads the live-telemetry ledger without
+/// spending an admission token.
+fn stats(id: &str) -> ServeRequest {
+    ServeRequest::new(id, RequestKind::Stats)
+}
+
 /// The full mixed batch: 16 tenants across every request kind, with
 /// deadlines cutting two quizzes and one training run, a blackout
 /// quiz, a probe that recovers on retry, one that never does, and a
@@ -98,6 +104,7 @@ fn full_workload() -> Vec<ServeRequest> {
         train("t13-train", 11, None),
         quiz("t14-quiz-cut", 12, 100_000_000, None),
         train("t15-train-tail", 13, None),
+        stats("t16-stats"),
     ]
 }
 
@@ -111,15 +118,17 @@ fn smoke_workload() -> Vec<ServeRequest> {
         probe("s3-probe-dead", None),
         probe("s4-probe-ok", Some(0)),
         train("s5-train-tail", 3, None),
+        stats("s6-stats"),
     ]
 }
 
 /// Admission sized against the workload: refill 1/s with 250 ms
 /// arrival spacing drains net 0.75 tokens per arrival, so a burst of
-/// `floor(0.75 * (len - 1)) + 1` sheds exactly the batch's tail
-/// request and admits everything before it.
-fn admission_for(len: usize) -> AdmissionConfig {
-    let burst = (3 * (len as u32 - 1)) / 4 + 1;
+/// `floor(0.75 * (billable - 1)) + 1` sheds exactly the batch's last
+/// *billable* request and admits everything before it. Stats probes
+/// spend no tokens, so they are excluded from the sizing.
+fn admission_for(billable: usize) -> AdmissionConfig {
+    let burst = (3 * (billable as u32 - 1)) / 4 + 1;
     AdmissionConfig {
         rate_per_sec: 1.0,
         burst,
@@ -158,6 +167,53 @@ struct OutcomeReport {
     panics: usize,
 }
 
+/// The SLO summary derived from the live-telemetry ledger: rates as
+/// integer parts-per-million (so the report stays `Eq`-diffable at
+/// zero tolerance) plus the deterministic sketch percentiles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct SloReport {
+    arrivals: u64,
+    admitted: u64,
+    shed_ppm: u64,
+    degraded_ppm: u64,
+    deadline_miss_ppm: u64,
+    queue_p50_us: u64,
+    queue_p95_us: u64,
+    queue_p99_us: u64,
+    exec_p50_us: u64,
+    exec_p95_us: u64,
+    exec_p99_us: u64,
+}
+
+/// Fold every `(request, response)` pair through the serve layer's
+/// public [`slo_sample`] derivation — the same stream the in-server
+/// ledger records — and collapse the per-key cells into one batch-wide
+/// SLO cell.
+fn slo_report(requests: &[ServeRequest], responses: &[ServeResponse]) -> SloReport {
+    let mut live = LiveStats::default();
+    for (request, response) in requests.iter().zip(responses) {
+        live.record(&slo_sample(request, response));
+    }
+    let snapshot = live.snapshot(0);
+    let mut all = ira_obs::SloCell::default();
+    for cell in snapshot.total.values() {
+        all.merge(cell);
+    }
+    SloReport {
+        arrivals: all.arrivals,
+        admitted: all.admitted,
+        shed_ppm: all.shed_ppm(),
+        degraded_ppm: all.degraded_ppm(),
+        deadline_miss_ppm: all.deadline_miss_ppm(),
+        queue_p50_us: all.queue.p50_us(),
+        queue_p95_us: all.queue.p95_us(),
+        queue_p99_us: all.queue.p99_us(),
+        exec_p50_us: all.exec.p50_us(),
+        exec_p95_us: all.exec.p95_us(),
+        exec_p99_us: all.exec.p99_us(),
+    }
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Report {
     bench: String,
@@ -165,9 +221,12 @@ struct Report {
     requests: usize,
     levels: Vec<LevelReport>,
     /// Worker-invariant end-to-end virtual latency (queue + retry
-    /// backoff + execution) over non-rejected requests.
+    /// backoff + execution) over executed requests.
     virtual_latency_us: LatencyReport,
     outcomes: OutcomeReport,
+    /// Batch-wide SLO rates and sketch percentiles from the live
+    /// telemetry ledger.
+    slo: SloReport,
     transcripts_identical: bool,
 }
 
@@ -179,9 +238,13 @@ struct RunOutput {
 }
 
 fn run_level(engine: &Arc<Engine>, workers: usize, requests: &[ServeRequest]) -> RunOutput {
+    let billable = requests
+        .iter()
+        .filter(|r| r.kind != RequestKind::Stats)
+        .count();
     let config = ServeConfig {
         workers,
-        admission: admission_for(requests.len()),
+        admission: admission_for(billable),
         ..ServeConfig::default()
     };
     let server = Server::with_engine(Arc::clone(engine), config);
@@ -211,9 +274,11 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 fn latency_report(responses: &[ServeResponse]) -> LatencyReport {
+    // Executed requests only: sheds never ran, and control-plane stats
+    // probes are answered at intake with zero attempts.
     let mut lat: Vec<u64> = responses
         .iter()
-        .filter(|r| r.status != ResponseStatus::Rejected)
+        .filter(|r| r.attempts > 0)
         .map(latency_us)
         .collect();
     lat.sort_unstable();
@@ -329,6 +394,7 @@ fn main() {
     let responses = &runs[0].responses;
     let latency = latency_report(responses);
     let outcomes = outcome_report(responses);
+    let slo = slo_report(&requests, responses);
 
     println!("per-request outcomes (identical at every level):");
     for response in responses {
@@ -357,8 +423,25 @@ fn main() {
         outcomes.panics
     );
     println!(
-        "virtual latency (non-rejected): p50={}µs p95={}µs p99={}µs max={}µs",
+        "virtual latency (executed): p50={}µs p95={}µs p99={}µs max={}µs",
         latency.p50_us, latency.p95_us, latency.p99_us, latency.max_us
+    );
+    println!(
+        "slo: arrivals={} admitted={} shed={} degraded={} deadline_miss={}",
+        slo.arrivals,
+        slo.admitted,
+        ira_obs::fmt_ppm_pct(slo.shed_ppm),
+        ira_obs::fmt_ppm_pct(slo.degraded_ppm),
+        ira_obs::fmt_ppm_pct(slo.deadline_miss_ppm),
+    );
+    println!(
+        "slo sketch percentiles: queue p50/p95/p99 = {}/{}/{}µs, exec = {}/{}/{}µs",
+        slo.queue_p50_us,
+        slo.queue_p95_us,
+        slo.queue_p99_us,
+        slo.exec_p50_us,
+        slo.exec_p95_us,
+        slo.exec_p99_us
     );
     for level in &levels {
         eprintln!(
@@ -413,6 +496,7 @@ fn main() {
         levels,
         virtual_latency_us: latency,
         outcomes,
+        slo,
         transcripts_identical: true,
     };
     let out = write_path.unwrap_or_else(|| "results/BENCH_serve.json".to_string());

@@ -105,6 +105,24 @@ pub enum Command {
         graph: bool,
         /// Print a sample request batch and exit.
         example: bool,
+        /// Print a live-telemetry snapshot to stderr every N requests.
+        stats_every: Option<usize>,
+        /// Write flight-recorder post-mortem dumps into this directory.
+        flight: Option<String>,
+    },
+    /// Render a live-telemetry snapshot (stats text or Prometheus
+    /// exposition) from a snapshot JSON or a serve response transcript.
+    ObsRender {
+        file: String,
+        /// Emit Prometheus exposition format instead of the text view.
+        prom: bool,
+    },
+    /// Diff two BENCH_*.json reports and flag integer-field drift.
+    BenchDiff {
+        base: String,
+        current: String,
+        /// Allowed relative drift, in percent (0 = exact).
+        max_regress: f64,
     },
     /// Inspect the claim graph behind a knowledge file.
     Mem { action: MemAction },
@@ -222,6 +240,11 @@ COMMANDS:
                   --trace <file>          write the serve trace
                   --graph                 graph-retrieval memory mode
                   --example               print a sample request batch
+                  --stats-every <n>       print a live-telemetry snapshot
+                                          to stderr every n requests
+                  --flight <dir>          write flight-recorder post-mortem
+                                          dumps (one JSONL per trigger)
+                                          into this directory
     plan        Train + produce a storm response plan
     questions   Propose research questions from saved knowledge
                   --knowledge <file>      (default knowledge.json)
@@ -277,6 +300,21 @@ COMMANDS:
                   provenance \"<term>\"     every source that asserted a
                                           claim term: host, path, fetch
                                           time, session
+    obs         Observability utilities
+                  render <file>           render a live-telemetry snapshot
+                                          (a snapshot JSON, or a serve
+                                          response transcript — the last
+                                          stats payload is used; `-` reads
+                                          stdin)
+                    --prom                Prometheus exposition format
+                                          instead of the text view
+    bench       Benchmark report utilities
+                  diff <base> <current>   compare two BENCH_*.json reports
+                                          field by field (integer fields
+                                          only — floats are host timing);
+                                          non-zero exit on drift
+                    --max-regress <pct>   allowed relative drift in
+                                          percent (default 0 = exact)
     audit       Integrity-check the built-in databases
     help        Show this message
 
@@ -383,8 +421,79 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 trace: flag(&rest, "--trace")?.map(str::to_string),
                 graph: rest.contains(&"--graph"),
                 example: rest.contains(&"--example"),
+                stats_every: match flag(&rest, "--stats-every")? {
+                    Some(v) => Some(v.parse::<usize>().map_err(|_| {
+                        ParseError(format!("--stats-every expects a request count, got {v:?}"))
+                    })?)
+                    .filter(|n| *n > 0),
+                    None => None,
+                },
+                flight: flag(&rest, "--flight")?.map(str::to_string),
             })
         }
+        "obs" => match rest.first().copied() {
+            Some("render") => {
+                let sub = &rest[1..];
+                let file = positional(sub).ok_or_else(|| {
+                    ParseError("obs render needs a snapshot or transcript file (or -)".into())
+                })?;
+                Ok(Command::ObsRender {
+                    file,
+                    prom: sub.contains(&"--prom"),
+                })
+            }
+            Some(other) => Err(ParseError(format!(
+                "unknown obs action {other:?}; expected render"
+            ))),
+            None => Err(ParseError("obs needs an action: render".into())),
+        },
+        "bench" => match rest.first().copied() {
+            Some("diff") => {
+                let sub = &rest[1..];
+                let positionals: Vec<&str> = {
+                    let mut skip = false;
+                    sub.iter()
+                        .filter(|a| {
+                            if skip {
+                                skip = false;
+                                return false;
+                            }
+                            if a.starts_with("--") {
+                                skip = **a == "--max-regress";
+                                return false;
+                            }
+                            true
+                        })
+                        .copied()
+                        .collect()
+                };
+                let [base, current] = positionals[..] else {
+                    return Err(ParseError(
+                        "bench diff needs two inputs: <base> <current> (either may be -)".into(),
+                    ));
+                };
+                let max_regress = match flag(sub, "--max-regress")? {
+                    Some(v) => v.parse::<f64>().map_err(|_| {
+                        ParseError(format!("--max-regress expects a percentage, got {v:?}"))
+                    })?,
+                    None => 0.0,
+                };
+                if !(0.0..=100.0).contains(&max_regress) {
+                    return Err(ParseError(format!(
+                        "--max-regress must be in [0, 100], got {max_regress}"
+                    )));
+                }
+                Ok(Command::BenchDiff {
+                    base: base.to_string(),
+                    current: current.to_string(),
+                    max_regress,
+                })
+            }
+            Some(other) => Err(ParseError(format!(
+                "unknown bench action {other:?}; expected diff"
+            ))),
+            None => Err(ParseError("bench needs an action: diff".into())),
+        },
         "plan" => Ok(Command::Plan),
         "mem" => {
             let sub = rest.get(1..).unwrap_or(&[]);
@@ -607,7 +716,13 @@ fn positional(rest: &[&str]) -> Option<String> {
             // Boolean flags take no value.
             skip_next = !matches!(
                 *a,
-                "--incidents" | "--resume" | "--metrics" | "--json" | "--example" | "--graph"
+                "--incidents"
+                    | "--resume"
+                    | "--metrics"
+                    | "--json"
+                    | "--example"
+                    | "--graph"
+                    | "--prom"
             );
             let _ = i;
             continue;
@@ -678,6 +793,8 @@ mod tests {
                 trace: None,
                 graph: false,
                 example: false,
+                stats_every: None,
+                flight: None,
             })
         );
         assert_eq!(
@@ -695,6 +812,10 @@ mod tests {
                 "120000000",
                 "--trace",
                 "serve.jsonl",
+                "--stats-every",
+                "4",
+                "--flight",
+                "dumps/",
             ]),
             Ok(Command::Serve {
                 input: Some("reqs.jsonl".into()),
@@ -705,14 +826,70 @@ mod tests {
                 trace: Some("serve.jsonl".into()),
                 graph: false,
                 example: false,
+                stats_every: Some(4),
+                flight: Some("dumps/".into()),
             })
         );
         assert!(matches!(
             p(&["serve", "--example"]),
             Ok(Command::Serve { example: true, .. })
         ));
+        // --stats-every 0 means "never": it normalizes to None.
+        assert!(matches!(
+            p(&["serve", "--stats-every", "0"]),
+            Ok(Command::Serve {
+                stats_every: None,
+                ..
+            })
+        ));
         assert!(p(&["serve", "--rate", "0"]).is_err());
         assert!(p(&["serve", "--deadline-us", "soon"]).is_err());
+        assert!(p(&["serve", "--stats-every", "often"]).is_err());
+    }
+
+    #[test]
+    fn obs_render_parses() {
+        assert_eq!(
+            p(&["obs", "render", "snap.json"]),
+            Ok(Command::ObsRender {
+                file: "snap.json".into(),
+                prom: false,
+            })
+        );
+        assert_eq!(
+            p(&["obs", "render", "--prom", "-"]),
+            Ok(Command::ObsRender {
+                file: "-".into(),
+                prom: true,
+            })
+        );
+        assert!(p(&["obs"]).is_err());
+        assert!(p(&["obs", "render"]).is_err());
+        assert!(p(&["obs", "export", "snap.json"]).is_err());
+    }
+
+    #[test]
+    fn bench_diff_parses() {
+        assert_eq!(
+            p(&["bench", "diff", "base.json", "fresh.json"]),
+            Ok(Command::BenchDiff {
+                base: "base.json".into(),
+                current: "fresh.json".into(),
+                max_regress: 0.0,
+            })
+        );
+        assert_eq!(
+            p(&["bench", "diff", "--max-regress", "5", "a.json", "-"]),
+            Ok(Command::BenchDiff {
+                base: "a.json".into(),
+                current: "-".into(),
+                max_regress: 5.0,
+            })
+        );
+        assert!(p(&["bench"]).is_err());
+        assert!(p(&["bench", "diff", "only-one"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "--max-regress", "999"]).is_err());
+        assert!(p(&["bench", "run"]).is_err());
     }
 
     #[test]

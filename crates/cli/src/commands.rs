@@ -117,6 +117,8 @@ pub fn run(cmd: Command) -> i32 {
             trace,
             graph,
             example,
+            stats_every,
+            flight,
         } => serve_cmd(
             input.as_deref(),
             workers,
@@ -126,7 +128,15 @@ pub fn run(cmd: Command) -> i32 {
             trace.as_deref(),
             graph,
             example,
+            stats_every,
+            flight.as_deref(),
         ),
+        Command::ObsRender { file, prom } => obs_render(&file, prom),
+        Command::BenchDiff {
+            base,
+            current,
+            max_regress,
+        } => bench_diff(&base, &current, max_regress),
         Command::Mem { action } => match action {
             MemAction::Stats { knowledge } => mem_stats(&knowledge),
             MemAction::Query {
@@ -667,6 +677,7 @@ fn serve_example() -> String {
         r#"{"id":"ask-solar","kind":"ask","seed":1,"question":"Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?"}"#,
         r#"{"id":"quiz-quick","kind":"quiz","deadline_us":120000000}"#,
         r#"{"id":"quiz-blackout","kind":"quiz","fault_intensity":0.25,"fault_seed":7,"deadline_us":110000000}"#,
+        r#"{"id":"stats-tail","kind":"stats"}"#,
     ]
     .map(|line| format!("{line}\n"))
     .concat()
@@ -675,6 +686,10 @@ fn serve_example() -> String {
 /// `ira serve`: one JSONL batch through the resilient serve layer —
 /// requests on stdin (or `--input`), responses on stdout in request
 /// order, diagnostics on stderr so the response stream stays clean.
+/// `--flight <dir>` fans the always-on flight recorder into the trace
+/// sink and writes its post-mortem dumps after the batch;
+/// `--stats-every <n>` prints a live-telemetry snapshot to stderr
+/// after every n responses.
 #[allow(clippy::too_many_arguments)] // mirrors the parsed `serve` flags one-to-one
 fn serve_cmd(
     input: Option<&str>,
@@ -685,7 +700,10 @@ fn serve_cmd(
     trace: Option<&str>,
     graph: bool,
     example: bool,
+    stats_every: Option<usize>,
+    flight: Option<&str>,
 ) -> i32 {
+    use ira_obs::FlightRecorder;
     use ira_serve::{AdmissionConfig, ServeConfig, Server};
 
     if example {
@@ -712,16 +730,48 @@ fn serve_cmd(
     };
     let server = Server::new(config);
     let collector = trace.map(|_| Arc::new(JsonlCollector::new()));
-    let sink = collector.as_ref().map(|c| Arc::clone(c) as SharedCollector);
+    let recorder = flight.map(|_| Arc::new(FlightRecorder::default()));
+    let mut children: Vec<SharedCollector> = Vec::new();
+    if let Some(c) = &collector {
+        children.push(Arc::clone(c) as SharedCollector);
+    }
+    if let Some(r) = &recorder {
+        children.push(Arc::clone(r) as SharedCollector);
+    }
+    let sink: Option<SharedCollector> = match children.len() {
+        0 => None,
+        1 => children.pop(),
+        _ => Some(Arc::new(Fanout::new(children))),
+    };
     match server.serve_jsonl(&text, sink) {
         Ok(responses) => {
             print!("{responses}");
+            if let Some(every) = stats_every {
+                print_stats_snapshots(&text, &responses, every);
+            }
             if let (Some(collector), Some(path)) = (&collector, trace) {
                 if let Err(e) = collector.write_to(Path::new(path)) {
                     eprintln!("error: could not write trace {path}: {e}");
                     return 1;
                 }
                 eprintln!("trace written to {path}");
+            }
+            if let (Some(recorder), Some(dir)) = (&recorder, flight) {
+                match recorder.write_dumps(Path::new(dir)) {
+                    Ok(paths) if paths.is_empty() => {
+                        eprintln!("flight recorder: clean run, no dumps");
+                    }
+                    Ok(paths) => {
+                        eprintln!("flight recorder: {} dump(s) in {dir}", paths.len());
+                        for p in &paths {
+                            eprintln!("  {}", p.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: could not write flight dumps to {dir}: {e}");
+                        return 1;
+                    }
+                }
             }
             0
         }
@@ -730,6 +780,122 @@ fn serve_cmd(
             1
         }
     }
+}
+
+/// The `--stats-every` replay: fold the request/response pairs through
+/// the public [`ira_serve::slo_sample`] derivation — which reproduces
+/// the server's own ledger exactly — and print a snapshot to stderr
+/// after every `every` responses (and after the last, if it didn't
+/// land on a boundary). Post-hoc replay keeps the response stream and
+/// the worker pool untouched.
+fn print_stats_snapshots(input: &str, output: &str, every: usize) {
+    let (requests, responses) = match (
+        ira_serve::parse_requests(input),
+        ira_serve::parse_responses(output),
+    ) {
+        (Ok(req), Ok(resp)) => (req, resp),
+        _ => return, // a malformed batch already produced error lines
+    };
+    let mut live = ira_obs::LiveStats::default();
+    let mut printed_at = 0usize;
+    for (i, (request, response)) in requests.iter().zip(&responses).enumerate() {
+        live.record(&ira_serve::slo_sample(request, response));
+        if (i + 1) % every == 0 {
+            eprint!("{}", live.snapshot(response.arrival_us).render_text());
+            printed_at = i + 1;
+        }
+    }
+    if printed_at < responses.len() {
+        if let Some(last) = responses.last() {
+            eprint!("{}", live.snapshot(last.arrival_us).render_text());
+        }
+    }
+}
+
+/// `ira obs render <file|->`: render a live-telemetry snapshot as the
+/// stable text view or (`--prom`) Prometheus exposition format. The
+/// input is either a snapshot JSON (e.g. saved from a `stats` response
+/// payload) or a serve response transcript, in which case the *last*
+/// `stats` payload in the stream is rendered.
+fn obs_render(file: &str, prom: bool) -> i32 {
+    let text = match read_trace_input(file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let snapshot = match serde_json::from_str::<ira_obs::LiveSnapshot>(text.trim()) {
+        Ok(snapshot) => snapshot,
+        Err(_) => {
+            let responses = match ira_serve::parse_responses(&text) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!(
+                        "error: {} is neither a snapshot JSON nor a response transcript: {e}",
+                        input_name(file)
+                    );
+                    return 1;
+                }
+            };
+            let last_stats = responses.iter().rev().find_map(|r| match &r.result {
+                Some(ira_serve::ResponsePayload::Stats { snapshot }) => Some(snapshot.clone()),
+                _ => None,
+            });
+            match last_stats {
+                Some(snapshot) => snapshot,
+                None => {
+                    eprintln!(
+                        "error: {} holds no stats payload — send a {{\"kind\":\"stats\"}} request",
+                        input_name(file)
+                    );
+                    return 1;
+                }
+            }
+        }
+    };
+    if prom {
+        print!("{}", snapshot.render_prometheus());
+    } else {
+        print!("{}", snapshot.render_text());
+    }
+    0
+}
+
+/// `ira bench diff <base> <current>`: compare two benchmark reports
+/// (`BENCH_*.json` or any JSON document) field by field under a
+/// uniform relative tolerance. Only integer-valued fields are
+/// compared — floats are host timing and drift run to run. Exits
+/// non-zero when any field moves out of tolerance.
+fn bench_diff(base: &str, current: &str, max_regress_pct: f64) -> i32 {
+    if base == "-" && current == "-" {
+        eprintln!("error: only one diff input may come from stdin");
+        return 1;
+    }
+    let load = |file: &str| -> Result<std::collections::BTreeMap<String, u64>, String> {
+        let text = read_trace_input(file)?;
+        let value = serde_json::parse(&text)
+            .map_err(|e| format!("{} is not valid JSON: {e}", input_name(file)))?;
+        Ok(ira_obs::flatten_json(&value))
+    };
+    let base_flat = match load(base) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let current_flat = match load(current) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let tol = ira_obs::Tolerances::uniform(max_regress_pct / 100.0);
+    let report = ira_obs::diff::diff_flat(&base_flat, &current_flat, &tol);
+    print!("{}", report.render());
+    i32::from(!report.is_clean())
 }
 
 /// The name used for `-` inputs in diagnostics.

@@ -161,6 +161,72 @@ fn profiled_sweep_produces_causal_trees_not_flat_lists() {
         .all(|w| w[0].inclusive_us >= w[1].inclusive_us));
 }
 
+/// Attach a flight recorder (triggered on each session's `self_learn`
+/// span close) to the observed sweep and return its concatenated dump
+/// artifact.
+fn run_flight_sweep(sessions: u32, threads: usize) -> Arc<ira_obs::FlightRecorder> {
+    let engine = Engine::new();
+    let recorder = Arc::new(ira_obs::FlightRecorder::new(ira_obs::FlightConfig {
+        capacity: 16,
+        triggers: vec![ira_obs::FlightTrigger::new("cycle", "self_learn")],
+    }));
+    let sink: SharedCollector = Arc::clone(&recorder) as SharedCollector;
+    sweep((0..sessions).collect::<Vec<u32>>(), threads, |i, _| {
+        let mut config = SessionConfig::bob();
+        config.net_seed = 0xBEEF + i as u64 * 0x101;
+        config.llm_seed = 0xB0B + i as u64;
+        let mut session = engine.spawn_session_observed(config, Arc::clone(&sink), i as u32);
+        session.agent.train();
+        let _ = session.agent.self_learn(QUESTION);
+    });
+    recorder
+}
+
+#[test]
+fn flight_dumps_are_byte_identical_across_thread_counts() {
+    let serial = run_flight_sweep(3, 1);
+    let parallel = run_flight_sweep(3, 4);
+
+    // One self_learn per session: exactly one dump each, rendered in
+    // session order however the sweep was scheduled.
+    assert_eq!(serial.dump_count(), 3);
+    assert_eq!(
+        serial.render(),
+        parallel.render(),
+        "flight dumps must be invariant under the sweep thread count"
+    );
+    assert_eq!(serial.events_seen(), parallel.events_seen());
+
+    // Each dump is a valid trace: a flight.dump header followed by a
+    // bounded window that ends with the trigger event.
+    for dump in serial.dumps() {
+        assert_eq!(dump.trigger, "cycle.self_learn");
+        assert!(dump.events.len() <= 16, "window must respect capacity");
+        assert!(dump.evicted > 0, "training overflows a 16-event ring");
+        let last = dump.events.last().expect("window is never empty");
+        assert_eq!(
+            (last.stage.as_str(), last.name.as_str()),
+            ("cycle", "self_learn")
+        );
+        let events = ira_obs::parse_jsonl(&dump.render()).expect("dump parses as a trace");
+        assert_eq!(events.len(), dump.events.len() + 1);
+    }
+
+    // The default (serve-triggered) config never fires on an engine
+    // sweep: the ring absorbs everything and leaves zero artifacts.
+    let engine = Engine::new();
+    let quiet = Arc::new(ira_obs::FlightRecorder::default());
+    let mut session = engine.spawn_session_observed(
+        SessionConfig::bob(),
+        Arc::clone(&quiet) as SharedCollector,
+        0,
+    );
+    session.agent.train();
+    assert_eq!(quiet.dump_count(), 0);
+    assert_eq!(quiet.render(), "");
+    assert!(quiet.events_seen() > 0, "the ring still saw the stream");
+}
+
 /// Disabled collector that panics if anything ever reaches it: proves
 /// the hot loop builds no events (and allocates no trace strings) when
 /// tracing is off.

@@ -204,6 +204,53 @@ pub fn flatten_snapshot(snap: &MetricsSnapshot) -> BTreeMap<String, u64> {
     flat
 }
 
+/// Flatten an arbitrary JSON document into diffable integral scalars
+/// with dotted keys (`levels.0.outcomes.rejected`). Integers (and
+/// booleans as 0/1) are kept; floats and strings are skipped — in a
+/// bench report those carry host timing (wall ms, throughput), which
+/// is exactly what a deterministic diff must ignore. The backend of
+/// `ira bench diff`.
+pub fn flatten_json(value: &serde::Value) -> BTreeMap<String, u64> {
+    let mut flat = BTreeMap::new();
+    flatten_json_into(&mut flat, String::new(), value);
+    flat
+}
+
+fn flatten_json_into(flat: &mut BTreeMap<String, u64>, prefix: String, value: &serde::Value) {
+    let join = |suffix: &str| {
+        if prefix.is_empty() {
+            suffix.to_string()
+        } else {
+            format!("{prefix}.{suffix}")
+        }
+    };
+    match value {
+        serde::Value::Object(map) => {
+            for (key, child) in map {
+                flatten_json_into(flat, join(key), child);
+            }
+        }
+        serde::Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten_json_into(flat, join(&i.to_string()), child);
+            }
+        }
+        serde::Value::U64(v) => {
+            flat.insert(prefix, *v);
+        }
+        serde::Value::I64(v) => {
+            if *v >= 0 {
+                flat.insert(prefix, *v as u64);
+            }
+        }
+        serde::Value::Bool(v) => {
+            flat.insert(prefix, u64::from(*v));
+        }
+        // Floats are host-dependent timing; strings aren't scalars.
+        serde::Value::F64(_) | serde::Value::String(_) | serde::Value::Null => {}
+    }
+}
+
 /// Diff two profiles under the given tolerances.
 pub fn diff_profiles(base: &Profile, current: &Profile, tol: &Tolerances) -> DiffReport {
     diff_flat(&flatten_profile(base), &flatten_profile(current), tol)
@@ -307,6 +354,33 @@ mod tests {
         let report = diff_snapshots(&base, &cur, &Tolerances::zero());
         assert_eq!(report.regressions[0].key, "counter.net.cache_hit");
         assert!(diff_snapshots(&base, &base, &Tolerances::zero()).is_clean());
+    }
+
+    #[test]
+    fn flatten_json_keeps_integers_and_skips_host_timing() {
+        let doc = r#"{
+            "workload": "serve",
+            "wall_ms": 12.75,
+            "levels": [
+                {"workers": 1, "outcomes": {"ok": 10, "rejected": 2}, "throughput_rps": 99.5},
+                {"workers": 4, "outcomes": {"ok": 10, "rejected": 2}}
+            ],
+            "deterministic": true
+        }"#;
+        let value: serde::Value = serde_json::from_str(doc).unwrap();
+        let flat = flatten_json(&value);
+        assert_eq!(flat.get("levels.0.workers"), Some(&1));
+        assert_eq!(flat.get("levels.1.outcomes.rejected"), Some(&2));
+        assert_eq!(flat.get("deterministic"), Some(&1));
+        assert!(!flat.contains_key("wall_ms"), "floats are host timing");
+        assert!(!flat.contains_key("levels.0.throughput_rps"));
+        assert!(!flat.contains_key("workload"), "strings are not scalars");
+        // A drift in an integral key is caught by the normal machinery.
+        let mut drifted = flat.clone();
+        drifted.insert("levels.0.outcomes.rejected".to_string(), 3);
+        let report = diff_flat(&flat, &drifted, &Tolerances::zero());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key, "levels.0.outcomes.rejected");
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Flight recorder: always-on bounded capture with dump-on-trigger.
+//!
+//! A [`FlightRecorder`] is a [`Collector`] that keeps a small ring
+//! buffer of the most recent [`TraceEvent`]s *per session* — cheap
+//! enough to leave on in production — and, when a trigger event lands
+//! (a serve-layer panic, shed, or deadline miss by default), freezes
+//! the ring into a [`FlightDump`]: a causal post-mortem window ending
+//! at the trigger, without paying for full tracing on the happy path.
+//!
+//! Determinism mirrors [`JsonlCollector`](crate::JsonlCollector): each
+//! session's event stream is produced by exactly one thread, rings are
+//! keyed by session id in a `BTreeMap`, and dumps render in
+//! `(session, seq)` order — so the dump bytes are identical at any
+//! worker count. Dump artifacts are themselves valid JSONL traces
+//! (a synthetic `flight.dump` header point followed by the window),
+//! so `ira trace profile/query` work on them unchanged.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::collector::Collector;
+use crate::event::{render_jsonl, stage, TraceEvent};
+
+/// Stage name used by synthetic dump-header events.
+pub const FLIGHT_STAGE: &str = "flight";
+
+/// A `(stage, name)` pair that freezes the ring when recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightTrigger {
+    pub stage: String,
+    pub name: String,
+}
+
+impl FlightTrigger {
+    pub fn new(stage: impl Into<String>, name: impl Into<String>) -> Self {
+        FlightTrigger {
+            stage: stage.into(),
+            name: name.into(),
+        }
+    }
+
+    fn matches(&self, event: &TraceEvent) -> bool {
+        event.stage == self.stage && event.name == self.name
+    }
+
+    /// The label dumps carry: `stage.name`.
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.stage, self.name)
+    }
+}
+
+/// Recorder policy: ring capacity and the trigger set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Events retained per session; older events are evicted FIFO.
+    pub capacity: usize,
+    /// Events that freeze the ring into a dump. The defaults cover the
+    /// serve layer's failure modes: `serve.panic` (session panicked),
+    /// `serve.shed` (overload rejection), and `serve.deadline`
+    /// (deadline exceeded, the marker every degraded request emits).
+    pub triggers: Vec<FlightTrigger>,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 64,
+            triggers: vec![
+                FlightTrigger::new(stage::SERVE, "panic"),
+                FlightTrigger::new(stage::SERVE, "shed"),
+                FlightTrigger::new(stage::SERVE, "deadline"),
+            ],
+        }
+    }
+}
+
+/// One frozen post-mortem window: the ring contents at the instant a
+/// trigger event was recorded (the trigger is the last event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Session whose ring was frozen.
+    pub session: u32,
+    /// 0-based dump index within the session.
+    pub seq: u32,
+    /// Trigger label, `stage.name`.
+    pub trigger: String,
+    /// Virtual timestamp of the trigger event.
+    pub at_us: u64,
+    /// Events that had already fallen off the ring before the trigger.
+    pub evicted: u64,
+    /// The retained window, oldest first; ends with the trigger event.
+    pub events: Vec<TraceEvent>,
+}
+
+impl FlightDump {
+    /// Deterministic artifact name: `flight_s0003_01_serve.panic.jsonl`.
+    pub fn file_name(&self) -> String {
+        format!(
+            "flight_s{:04}_{:02}_{}.jsonl",
+            self.session, self.seq, self.trigger
+        )
+    }
+
+    /// Synthetic header event carried as the first line of the
+    /// artifact: a `flight.dump` point whose detail names the trigger
+    /// and the eviction count, and whose value is the dump seq.
+    pub fn header_event(&self) -> TraceEvent {
+        let mut header = TraceEvent::point(
+            self.session,
+            self.at_us,
+            FLIGHT_STAGE,
+            "dump",
+            format!(
+                "trigger={} evicted={} events={}",
+                self.trigger,
+                self.evicted,
+                self.events.len()
+            ),
+        );
+        header.value = u64::from(self.seq);
+        header
+    }
+
+    /// The JSONL artifact: header line + window, parseable by
+    /// [`parse_jsonl`](crate::parse_jsonl).
+    pub fn render(&self) -> String {
+        let mut lines = Vec::with_capacity(self.events.len() + 1);
+        lines.push(self.header_event());
+        lines.extend(self.events.iter().cloned());
+        render_jsonl(&lines)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SessionRing {
+    ring: VecDeque<TraceEvent>,
+    evicted: u64,
+    dumps: Vec<FlightDump>,
+}
+
+/// The always-on collector. See the module docs for the determinism
+/// contract; see [`FlightConfig`] for the trigger policy.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    config: FlightConfig,
+    sessions: Mutex<BTreeMap<u32, SessionRing>>,
+    events_seen: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(FlightConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    pub fn new(config: FlightConfig) -> Self {
+        FlightRecorder {
+            config: FlightConfig {
+                capacity: config.capacity.max(1),
+                ..config
+            },
+            sessions: Mutex::new(BTreeMap::new()),
+            events_seen: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &FlightConfig {
+        &self.config
+    }
+
+    /// Total events recorded (triggered or not).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen.load(Ordering::Relaxed)
+    }
+
+    /// All dumps frozen so far, in `(session, seq)` order.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        let sessions = self.sessions.lock();
+        sessions
+            .values()
+            .flat_map(|s| s.dumps.iter().cloned())
+            .collect()
+    }
+
+    pub fn dump_count(&self) -> usize {
+        let sessions = self.sessions.lock();
+        sessions.values().map(|s| s.dumps.len()).sum()
+    }
+
+    /// Every dump artifact concatenated in `(session, seq)` order —
+    /// the golden-test surface.
+    pub fn render(&self) -> String {
+        self.dumps().iter().map(FlightDump::render).collect()
+    }
+
+    /// Write one JSONL artifact per dump into `dir` (created if
+    /// missing), returning the paths in `(session, seq)` order. A
+    /// run with no triggers writes nothing — not even the directory's
+    /// contents change.
+    pub fn write_dumps(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let dumps = self.dumps();
+        let mut paths = Vec::with_capacity(dumps.len());
+        if dumps.is_empty() {
+            return Ok(paths);
+        }
+        std::fs::create_dir_all(dir)?;
+        for dump in &dumps {
+            let path = dir.join(dump.file_name());
+            std::fs::write(&path, dump.render())?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+impl Collector for FlightRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: TraceEvent) {
+        self.events_seen.fetch_add(1, Ordering::Relaxed);
+        let triggered = self
+            .config
+            .triggers
+            .iter()
+            .find(|t| t.matches(&event))
+            .map(FlightTrigger::label);
+        let mut sessions = self.sessions.lock();
+        let entry = sessions.entry(event.session).or_default();
+        if entry.ring.len() == self.config.capacity {
+            entry.ring.pop_front();
+            entry.evicted += 1;
+        }
+        let session = event.session;
+        let at_us = event.at_us;
+        entry.ring.push_back(event);
+        if let Some(trigger) = triggered {
+            let dump = FlightDump {
+                session,
+                seq: entry.dumps.len() as u32,
+                trigger,
+                at_us,
+                evicted: entry.evicted,
+                events: entry.ring.iter().cloned().collect(),
+            };
+            entry.dumps.push(dump);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_jsonl;
+
+    fn point(session: u32, at_us: u64, name: &str) -> TraceEvent {
+        TraceEvent::point(session, at_us, stage::SERVE, name, format!("t={at_us}"))
+    }
+
+    fn tiny_recorder(capacity: usize) -> FlightRecorder {
+        FlightRecorder::new(FlightConfig {
+            capacity,
+            ..FlightConfig::default()
+        })
+    }
+
+    #[test]
+    fn ring_evicts_fifo_and_dump_ends_with_trigger() {
+        let rec = tiny_recorder(3);
+        for i in 0..5 {
+            rec.record(point(7, i, "admitted"));
+        }
+        rec.record(point(7, 5, "panic"));
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 1);
+        let dump = &dumps[0];
+        assert_eq!(dump.trigger, "serve.panic");
+        assert_eq!(dump.evicted, 3, "events 0..=2 fell off a 3-slot ring");
+        let times: Vec<u64> = dump.events.iter().map(|e| e.at_us).collect();
+        assert_eq!(times, vec![3, 4, 5], "oldest-first window ends at trigger");
+        assert_eq!(dump.events.last().unwrap().name, "panic");
+        assert_eq!(dump.file_name(), "flight_s0007_00_serve.panic.jsonl");
+    }
+
+    #[test]
+    fn no_trigger_means_no_dumps() {
+        let rec = FlightRecorder::default();
+        for i in 0..100 {
+            rec.record(point(0, i, "admitted"));
+        }
+        assert_eq!(rec.dump_count(), 0);
+        assert_eq!(rec.events_seen(), 100);
+        assert_eq!(rec.render(), "");
+        let dir = std::env::temp_dir().join("ira_flight_none_test");
+        let written = rec.write_dumps(&dir).unwrap();
+        assert!(written.is_empty(), "zero artifacts on a clean run");
+    }
+
+    #[test]
+    fn dumps_flatten_in_session_then_seq_order() {
+        let rec = FlightRecorder::default();
+        // Record sessions out of order to prove the BTreeMap sorts.
+        rec.record(point(9, 1, "shed"));
+        rec.record(point(2, 1, "deadline"));
+        rec.record(point(2, 2, "panic"));
+        let dumps = rec.dumps();
+        let keys: Vec<(u32, u32, &str)> = dumps
+            .iter()
+            .map(|d| (d.session, d.seq, d.trigger.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (2, 0, "serve.deadline"),
+                (2, 1, "serve.panic"),
+                (9, 0, "serve.shed"),
+            ]
+        );
+    }
+
+    #[test]
+    fn rendered_dump_is_a_valid_trace() {
+        let rec = tiny_recorder(8);
+        rec.record(point(1, 10, "admitted"));
+        rec.record(point(1, 20, "deadline"));
+        let rendered = rec.render();
+        let events = parse_jsonl(&rendered).expect("dump parses as a trace");
+        assert_eq!(events.len(), 3, "header + two window events");
+        assert_eq!(events[0].stage, FLIGHT_STAGE);
+        assert_eq!(events[0].name, "dump");
+        assert_eq!(
+            events[0].detail,
+            "trigger=serve.deadline evicted=0 events=2"
+        );
+        assert_eq!(events[0].at_us, 20, "header carries the trigger instant");
+    }
+
+    #[test]
+    fn identical_streams_render_identical_bytes() {
+        let run = || {
+            let rec = tiny_recorder(4);
+            for i in 0..6 {
+                rec.record(point(3, i, "admitted"));
+            }
+            rec.record(point(3, 6, "shed"));
+            rec.record(point(5, 0, "panic"));
+            rec.render()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn write_dumps_produces_named_artifacts() {
+        let rec = FlightRecorder::default();
+        rec.record(point(4, 100, "panic"));
+        let dir = std::env::temp_dir().join("ira_flight_write_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = rec.write_dumps(&dir).unwrap();
+        assert_eq!(written.len(), 1);
+        assert!(written[0].ends_with("flight_s0004_00_serve.panic.jsonl"));
+        let body = std::fs::read_to_string(&written[0]).unwrap();
+        assert_eq!(body, rec.dumps()[0].render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,11 +25,20 @@
 //!   exclusive virtual time per stage, hotspots, critical paths.
 //! - [`diff`] — compare two profiles or snapshots under per-key
 //!   relative tolerances; the backend of the zero-tolerance CI gate.
+//! - [`flight`] — the always-on [`flight::FlightRecorder`]: a bounded
+//!   per-session ring of recent events, frozen into a JSONL
+//!   post-mortem dump when a trigger (panic, shed, deadline) fires.
+//! - [`live`] — sliding-window SLO aggregation on the virtual clock:
+//!   windowed counters, integer-ppm rates, and a deterministic
+//!   mergeable [`live::QuantileSketch`] for latency percentiles,
+//!   snapshot as stable text or Prometheus-style exposition.
 
 pub mod collector;
 pub mod context;
 pub mod diff;
 pub mod event;
+pub mod flight;
+pub mod live;
 pub mod metrics;
 pub mod profile;
 
@@ -38,8 +47,13 @@ pub use collector::{
     SharedCollector, SpanGuard, SummaryCollector,
 };
 pub use context::{ObsContext, ObsHandle, ScopedSpan};
-pub use diff::{diff_profiles, diff_snapshots, DiffEntry, DiffReport, Tolerances};
+pub use diff::{diff_profiles, diff_snapshots, flatten_json, DiffEntry, DiffReport, Tolerances};
 pub use event::{parse_jsonl, render_jsonl, stage, EventClass, TraceEvent, TraceParseError};
+pub use flight::{FlightConfig, FlightDump, FlightRecorder, FlightTrigger};
+pub use live::{
+    fmt_ppm_pct, LiveConfig, LiveSnapshot, LiveStats, QuantileSketch, SloCell, SloSample,
+    SKETCH_EXACT_CAP,
+};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS_US};
 pub use profile::{fold_trace, PathStep, Profile, SessionProfile, SpanNode, StageAgg};
 

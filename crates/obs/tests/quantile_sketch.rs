@@ -1,0 +1,125 @@
+//! Property-based tests for the live-telemetry quantile sketch.
+//!
+//! The sketch's contract is algebraic: its state is a pure function of
+//! the observed multiset, so merging shards in any grouping or order
+//! must equal observing one combined stream — the property that makes
+//! sharded serve telemetry worker-invariant.
+
+use ira_obs::{QuantileSketch, SKETCH_EXACT_CAP};
+use proptest::prelude::*;
+
+fn sketch_of(values: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.observe(v);
+    }
+    s
+}
+
+/// Ground truth: nearest-rank percentile over the sorted raw values.
+fn nearest_rank(values: &[u64], ppm: u64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank =
+        ((ppm as u128 * sorted.len() as u128).div_ceil(1_000_000) as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Durations spanning sub-ms up to beyond the largest bucket bound, so
+/// cases explore both the exact and the saturated regime. The vendored
+/// proptest has no `prop_oneof`, so regimes are picked by a class tag.
+fn durations(max_len: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0usize..4, 0u64..100_000_000), 0..max_len)
+}
+
+fn widen(tagged: &[(usize, u64)]) -> Vec<u64> {
+    tagged
+        .iter()
+        .map(|&(class, raw)| match class {
+            0 => raw % 1_000,
+            1 => 1_000 + raw % 999_000,
+            2 => 1_000_000 + raw,
+            _ => u64::MAX,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in durations(100), b in durations(100)) {
+        let (a, b) = (widen(&a), widen(&b));
+        let mut ab = sketch_of(&a);
+        ab.merge(&sketch_of(&b));
+        let mut ba = sketch_of(&b);
+        ba.merge(&sketch_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in durations(60), b in durations(60), c in durations(60)) {
+        let (a, b, c) = (widen(&a), widen(&b), widen(&c));
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_stream(values in durations(150), cut in 0usize..150) {
+        let values = widen(&values);
+        let cut = cut.min(values.len());
+        let mut sharded = sketch_of(&values[..cut]);
+        sharded.merge(&sketch_of(&values[cut..]));
+        // Observation order must not matter either: the single stream
+        // sees the same multiset sorted.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sharded, sketch_of(&sorted));
+    }
+
+    #[test]
+    fn small_windows_agree_exactly_with_sorted_percentiles(
+        values in prop::collection::vec(0u64..u64::MAX, 1..=SKETCH_EXACT_CAP),
+        ppm in 1u64..=1_000_000,
+    ) {
+        let sketch = sketch_of(&values);
+        prop_assert!(sketch.is_exact());
+        prop_assert_eq!(sketch.quantile_ppm(ppm), nearest_rank(&values, ppm));
+    }
+
+    #[test]
+    fn saturated_quantiles_are_bounded_and_monotone(values in durations(300)) {
+        prop_assume!(!values.is_empty());
+        let values = widen(&values);
+        let sketch = sketch_of(&values);
+        let max = *values.iter().max().unwrap();
+        let mut previous = 0u64;
+        for ppm in [1, 100_000, 500_000, 950_000, 990_000, 1_000_000] {
+            let q = sketch.quantile_ppm(ppm);
+            prop_assert!(q <= max, "quantile {q} above observed max {max}");
+            prop_assert!(q >= previous, "quantiles must be monotone in ppm");
+            previous = q;
+        }
+        prop_assert_eq!(sketch.quantile_ppm(1_000_000), max,
+            "p100 is the observed max even when bucketed");
+        prop_assert_eq!(sketch.count, values.len() as u64);
+    }
+
+    #[test]
+    fn count_boundary_controls_the_representation(extra in 0usize..10) {
+        // Exactly at the cap the sketch stays exact; any observation or
+        // merge past it saturates into buckets.
+        let at_cap: Vec<u64> = (0..SKETCH_EXACT_CAP as u64).collect();
+        let sketch = sketch_of(&at_cap);
+        prop_assert!(sketch.is_exact());
+        let mut grown = sketch.clone();
+        grown.merge(&sketch_of(&vec![7; extra + 1]));
+        prop_assert!(!grown.is_exact());
+        prop_assert_eq!(grown.count, (SKETCH_EXACT_CAP + extra + 1) as u64);
+    }
+}

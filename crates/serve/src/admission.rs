@@ -147,6 +147,19 @@ impl AdmissionController {
             queue_wait,
         }
     }
+
+    /// Consume the next arrival slot *without* charging the token
+    /// bucket or a lane, returning the arrival instant. Control-plane
+    /// requests (`stats`) use this: they occupy a position on the
+    /// arrival clock but spend no tokens and hold no lane, so they can
+    /// never be shed and never displace a billable request's admission
+    /// decision.
+    pub fn observe_arrival(&mut self) -> Instant {
+        let arrival = Instant::EPOCH
+            + Duration::from_micros(self.arrivals * self.config.arrival_spacing.as_micros());
+        self.arrivals += 1;
+        arrival
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +220,24 @@ mod tests {
         match ctl.admit(cost) {
             Admission::Shed { reason, .. } => assert_eq!(reason, ShedReason::QueueFull),
             other => panic!("expected queue-full shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observe_arrival_advances_the_clock_without_spending_tokens() {
+        // burst 1: a second billable admit would normally be shed, so
+        // interleaving observations must not consume the only token.
+        let mut ctl = AdmissionController::new(config(0.1, 1, 4, 600));
+        assert_eq!(ctl.observe_arrival(), Instant::EPOCH);
+        assert_eq!(
+            ctl.observe_arrival(),
+            Instant::EPOCH + Duration::from_millis(100)
+        );
+        match ctl.admit(Duration::from_secs(1)) {
+            Admission::Admitted { arrival, .. } => {
+                assert_eq!(arrival, Instant::EPOCH + Duration::from_millis(200));
+            }
+            other => panic!("token must still be available, got {other:?}"),
         }
     }
 

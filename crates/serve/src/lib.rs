@@ -24,6 +24,16 @@
 //! traces regardless of worker count or interleaving, and every
 //! request lands in the causal trace tree as a `serve.request` span
 //! enclosing admission, queue wait, and session execution.
+//!
+//! Live telemetry rides the same contract: the server keeps a
+//! sliding-window SLO ledger ([`ira_obs::LiveStats`]) fed at intake
+//! and merge time — both single-threaded, in request order — so the
+//! snapshot returned by a [`RequestKind::Stats`] control-plane request
+//! (or [`Server::live_snapshot`]) is byte-identical at any worker
+//! count; and an always-on [`ira_obs::FlightRecorder`] sink captures a
+//! bounded per-session window of recent events, frozen to a JSONL
+//! post-mortem dump whenever a request panics, sheds, or misses its
+//! deadline.
 
 pub mod admission;
 pub mod protocol;
@@ -34,4 +44,4 @@ pub use protocol::{
     parse_requests, parse_responses, render_responses, QuizConclusion, RequestKind,
     ResponsePayload, ResponseStatus, ServeRequest, ServeResponse,
 };
-pub use server::{nominal_cost, RetrySpec, ServeConfig, Server};
+pub use server::{nominal_cost, slo_sample, RetrySpec, ServeConfig, Server};

@@ -23,6 +23,11 @@ pub enum RequestKind {
     /// A deliberately poisoned request that panics inside the session —
     /// a chaos probe for the supervisor (tests, load generator).
     PanicProbe,
+    /// Control-plane probe: returns the server's live telemetry
+    /// snapshot ([`ira_obs::LiveSnapshot`]) as of this request's
+    /// arrival. Never admitted against the token bucket, never shed,
+    /// never runs a session.
+    Stats,
 }
 
 impl RequestKind {
@@ -33,6 +38,7 @@ impl RequestKind {
             RequestKind::Quiz => "quiz",
             RequestKind::Ask => "ask",
             RequestKind::PanicProbe => "panic_probe",
+            RequestKind::Stats => "stats",
         }
     }
 }
@@ -52,8 +58,9 @@ impl Deserialize for RequestKind {
             Some("quiz") => Ok(RequestKind::Quiz),
             Some("ask") => Ok(RequestKind::Ask),
             Some("panic_probe") => Ok(RequestKind::PanicProbe),
+            Some("stats") => Ok(RequestKind::Stats),
             _ => Err(serde::Error::type_mismatch(
-                "one of train|quiz|ask|panic_probe",
+                "one of train|quiz|ask|panic_probe|stats",
                 value,
             )),
         }
@@ -222,6 +229,8 @@ pub enum ResponsePayload {
     },
     /// A panic probe that survived (after `probe_panics` retries).
     Probe { survived_attempt: u32 },
+    /// Live telemetry as of the stats request's arrival.
+    Stats { snapshot: ira_obs::LiveSnapshot },
 }
 
 impl Serialize for ResponsePayload {
@@ -276,6 +285,10 @@ impl Serialize for ResponsePayload {
                     survived_attempt.serialize_value(),
                 );
             }
+            ResponsePayload::Stats { snapshot } => {
+                tag(&mut map, "stats");
+                map.insert("snapshot".to_string(), snapshot.serialize_value());
+            }
         }
         Value::Object(map)
     }
@@ -321,6 +334,9 @@ impl Deserialize for ResponsePayload {
             }),
             "probe" => Ok(ResponsePayload::Probe {
                 survived_attempt: field(obj, "survived_attempt")?,
+            }),
+            "stats" => Ok(ResponsePayload::Stats {
+                snapshot: field(obj, "snapshot")?,
             }),
             other => Err(serde::Error::custom(format!(
                 "unknown payload kind `{other}`"
@@ -516,9 +532,45 @@ mod tests {
             RequestKind::Quiz,
             RequestKind::Ask,
             RequestKind::PanicProbe,
+            RequestKind::Stats,
         ] {
             let json = serde_json::to_string(&kind).unwrap();
             assert_eq!(json, format!("\"{}\"", kind.as_str()));
+        }
+    }
+
+    #[test]
+    fn stats_payload_round_trips_with_its_snapshot() {
+        let mut live = ira_obs::LiveStats::default();
+        let mut sample = ira_obs::SloSample::new(250_000, "solar-superstorm", "train");
+        sample.admitted = true;
+        sample.ok = true;
+        sample.queue_us = Some(0);
+        sample.exec_us = Some(10_000_000);
+        live.record(&sample);
+        let response = ServeResponse {
+            id: "s1".into(),
+            status: ResponseStatus::Ok,
+            degraded: false,
+            error: None,
+            arrival_us: 500_000,
+            queue_us: 0,
+            retry_wait_us: 0,
+            exec_virtual_us: 0,
+            attempts: 0,
+            result: Some(ResponsePayload::Stats {
+                snapshot: live.snapshot(500_000),
+            }),
+        };
+        let text = render_responses(std::slice::from_ref(&response));
+        let back = parse_responses(&text).unwrap();
+        assert_eq!(back, vec![response.clone()]);
+        match back[0].result.as_ref().unwrap() {
+            ResponsePayload::Stats { snapshot } => {
+                assert_eq!(snapshot.total["solar-superstorm/train"].admitted, 1);
+                assert_eq!(snapshot.at_us, 500_000);
+            }
+            other => panic!("expected stats payload, got {other:?}"),
         }
     }
 }

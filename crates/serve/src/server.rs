@@ -30,13 +30,13 @@ use ira_core::{AgentConfig, RoleDefinition};
 use ira_engine::{Engine, FaultSpec, Session, SessionConfig};
 use ira_evalkit::runner::{panic_message, try_sweep};
 use ira_evalkit::{ConsistencyReport, QuizBank};
-use ira_obs::{stage, ObsHandle, SharedCollector, TraceEvent};
+use ira_obs::{stage, LiveSnapshot, LiveStats, ObsHandle, SharedCollector, SloSample, TraceEvent};
 use ira_services::{IraError, TimeSource, WireError};
 use ira_simnet::clock::Duration;
 use ira_simnet::retry::Backoff;
 use ira_webcorpus::CorpusConfig;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Retry policy for transient session faults.
 #[derive(Debug, Clone, Copy)]
@@ -105,7 +105,43 @@ pub fn nominal_cost(kind: RequestKind) -> Duration {
         RequestKind::Quiz => Duration::from_secs(60),
         RequestKind::Ask => Duration::from_secs(20),
         RequestKind::PanicProbe => Duration::from_secs(1),
+        // Control plane: answered at intake, never holds a lane.
+        RequestKind::Stats => Duration::ZERO,
     }
+}
+
+/// Derive the combined [`SloSample`] for one `(request, response)`
+/// pair — the replay form used by `ira serve --stats-every` and the
+/// load generator's SLO summary. Folding these samples into a
+/// [`LiveStats`] in request order reproduces exactly what the server's
+/// own live ledger recorded for the batch.
+pub fn slo_sample(request: &ServeRequest, response: &ServeResponse) -> SloSample {
+    let mut sample = SloSample::new(
+        response.arrival_us,
+        request.scenario.clone(),
+        request.kind.as_str(),
+    );
+    match response.status {
+        ResponseStatus::Rejected => sample.shed = true,
+        // attempts == 0 means no session ever ran: validation failure
+        // (stats responses are Ok and land in the admitted arm).
+        ResponseStatus::Failed if response.attempts == 0 => sample.invalid = true,
+        _ => sample.admitted = true,
+    }
+    let executed = response.attempts > 0;
+    sample.ok = executed && response.status == ResponseStatus::Ok;
+    sample.degraded = response.status == ResponseStatus::Degraded;
+    sample.failed = executed && response.status == ResponseStatus::Failed;
+    sample.deadline_miss = response
+        .error
+        .as_ref()
+        .is_some_and(|e| e.kind == "serve.deadline_exceeded");
+    sample.retries = u64::from(response.attempts.saturating_sub(1));
+    if executed {
+        sample.queue_us = Some(response.queue_us);
+        sample.exec_us = Some(response.exec_virtual_us);
+    }
+    sample
 }
 
 /// Seed strides mixed into per-attempt session provisioning. A retry
@@ -120,6 +156,12 @@ struct Job {
     request: ServeRequest,
     arrival_us: u64,
     queue_us: u64,
+}
+
+/// A blank intake-phase sample; the caller sets exactly one of the
+/// admission-decision flags.
+fn intake_sample(request: &ServeRequest, at_us: u64) -> SloSample {
+    SloSample::new(at_us, request.scenario.clone(), request.kind.as_str())
 }
 
 struct Execution {
@@ -145,6 +187,10 @@ struct AttemptFault {
 pub struct Server {
     engine: Arc<Engine>,
     config: ServeConfig,
+    /// Live SLO ledger, persistent across batches. Only ever touched
+    /// from single-threaded phases (intake, post-merge) in request
+    /// order, which keeps snapshots worker-invariant.
+    live: Mutex<LiveStats>,
 }
 
 impl Server {
@@ -152,12 +198,17 @@ impl Server {
         Server {
             engine: Arc::new(Engine::new()),
             config,
+            live: Mutex::new(LiveStats::default()),
         }
     }
 
     /// A server over a caller-supplied engine (shared corpus cache).
     pub fn with_engine(engine: Arc<Engine>, config: ServeConfig) -> Self {
-        Server { engine, config }
+        Server {
+            engine,
+            config,
+            live: Mutex::new(LiveStats::default()),
+        }
     }
 
     pub fn config(&self) -> &ServeConfig {
@@ -166,6 +217,16 @@ impl Server {
 
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The server's live telemetry at virtual instant `at_us` — the
+    /// same snapshot a `stats` request arriving then would observe.
+    pub fn live_snapshot(&self, at_us: u64) -> LiveSnapshot {
+        self.live.lock().expect("live stats lock").snapshot(at_us)
+    }
+
+    fn record_live(&self, sample: &SloSample) {
+        self.live.lock().expect("live stats lock").record(sample);
     }
 
     /// Serve one JSONL batch end to end: parse, handle, render.
@@ -199,18 +260,59 @@ impl Server {
                 slots[index] = Some(ServeResponse::invalid(request, 0, &error));
                 // Still consumes an arrival slot on the synthetic clock.
                 let _ = admission.admit(Duration::ZERO);
+                let mut sample = intake_sample(request, 0);
+                sample.invalid = true;
+                self.record_live(&sample);
+                continue;
+            }
+            if request.kind == RequestKind::Stats {
+                // Control plane: answered here at intake, where every
+                // prior request's admission decision (and every prior
+                // batch's outcomes) are already in the ledger — so the
+                // snapshot is worker-invariant by construction. Spends
+                // an arrival slot but no token; can never be shed.
+                let arrival_us = admission.observe_arrival().as_micros();
+                let snapshot = self
+                    .live
+                    .lock()
+                    .expect("live stats lock")
+                    .snapshot(arrival_us);
+                self.emit_stats(&sink, session_id, request, arrival_us);
+                slots[index] = Some(ServeResponse {
+                    id: request.id.clone(),
+                    status: ResponseStatus::Ok,
+                    degraded: false,
+                    error: None,
+                    arrival_us,
+                    queue_us: 0,
+                    retry_wait_us: 0,
+                    exec_virtual_us: 0,
+                    attempts: 0,
+                    result: Some(ResponsePayload::Stats { snapshot }),
+                });
+                // The probe itself is counted *after* it answered, so a
+                // lone stats request reports an empty window rather
+                // than observing itself.
+                let mut sample = intake_sample(request, arrival_us);
+                sample.admitted = true;
+                self.record_live(&sample);
                 continue;
             }
             match admission.admit(nominal_cost(request.kind)) {
                 Admission::Admitted {
                     arrival,
                     queue_wait,
-                } => jobs.push(Job {
-                    index,
-                    request: request.clone(),
-                    arrival_us: arrival.as_micros(),
-                    queue_us: queue_wait.as_micros(),
-                }),
+                } => {
+                    let mut sample = intake_sample(request, arrival.as_micros());
+                    sample.admitted = true;
+                    self.record_live(&sample);
+                    jobs.push(Job {
+                        index,
+                        request: request.clone(),
+                        arrival_us: arrival.as_micros(),
+                        queue_us: queue_wait.as_micros(),
+                    });
+                }
                 Admission::Shed {
                     arrival,
                     reason,
@@ -223,6 +325,9 @@ impl Server {
                         arrival.as_micros(),
                         &error,
                     ));
+                    let mut sample = intake_sample(request, arrival.as_micros());
+                    sample.shed = true;
+                    self.record_live(&sample);
                 }
             }
         }
@@ -259,10 +364,24 @@ impl Server {
             });
         }
 
-        slots
+        let responses: Vec<ServeResponse> = slots
             .into_iter()
             .map(|slot| slot.expect("every request produced exactly one response"))
-            .collect()
+            .collect();
+
+        // Fold execution outcomes into the live ledger, single-threaded
+        // in request order (the intake flags were recorded at admission
+        // time, so they are zeroed here to avoid double counting).
+        for (request, response) in requests.iter().zip(&responses) {
+            if response.attempts > 0 {
+                let mut sample = slo_sample(request, response);
+                sample.admitted = false;
+                sample.shed = false;
+                sample.invalid = false;
+                self.record_live(&sample);
+            }
+        }
+        responses
     }
 
     fn emit_intake_reject(
@@ -287,6 +406,29 @@ impl Server {
                 )
             });
             scope.finish_as(0, "rejected", || format!("id={}", request.id));
+        }
+    }
+
+    fn emit_stats(
+        &self,
+        sink: &Option<SharedCollector>,
+        session_id: u32,
+        request: &ServeRequest,
+        arrival_us: u64,
+    ) {
+        if let Some(sink) = sink {
+            let obs = ObsHandle::new(sink.clone(), session_id);
+            let scope = obs.scope(0, stage::SERVE, "request");
+            obs.emit(|| {
+                TraceEvent::point(
+                    session_id,
+                    0,
+                    stage::SERVE,
+                    "stats",
+                    format!("id={} arrival_us={arrival_us}", request.id),
+                )
+            });
+            scope.finish_as(0, "stats", || format!("id={}", request.id));
         }
     }
 
@@ -530,6 +672,9 @@ impl Server {
         deadline_us: u64,
     ) -> Execution {
         match request.kind {
+            RequestKind::Stats => {
+                unreachable!("stats requests are answered at intake and never become jobs")
+            }
             RequestKind::PanicProbe => {
                 let threshold = request.probe_panics.unwrap_or(u32::MAX);
                 if attempt < threshold {
